@@ -1,0 +1,43 @@
+# hypermeshfft — build, test and reproduction targets.
+
+GO ?= go
+
+.PHONY: all build vet test test-race cover bench repro examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# Regenerate every paper table/figure and the recorded outputs.
+repro:
+	$(GO) run ./cmd/fftrepro
+	$(GO) test ./... 2>&1 | tee test_output.txt
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/hypermesh-fft
+	$(GO) run ./examples/network-compare
+	$(GO) run ./examples/bitonic-sort
+	$(GO) run ./examples/spectral-filter
+	$(GO) run ./examples/parallel-primitives
+	$(GO) run ./examples/matrix-algorithms
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,606 @@
+package hypermeshfft
+
+// This file is the benchmark harness that regenerates every table and
+// figure of the paper (see DESIGN.md's per-experiment index). Run with
+//
+//	go test -bench=. -benchmem
+//
+// Benchmarks report the paper's headline quantities as custom metrics
+// (e.g. speedup_vs_mesh) so that `go test -bench` output doubles as the
+// experiment log; cmd/fftrepro renders the same data as tables.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/banyan"
+	"repro/internal/bitonic"
+	"repro/internal/embed"
+	"repro/internal/fft"
+	"repro/internal/hardware"
+	"repro/internal/layout"
+	"repro/internal/matrixalg"
+	"repro/internal/netsim"
+	"repro/internal/parfft"
+	"repro/internal/perfmodel"
+	"repro/internal/permute"
+	"repro/internal/topology"
+)
+
+// BenchmarkTable1A regenerates Table 1A (hardware complexity before
+// normalization) across the practical sizes the paper discusses.
+func BenchmarkTable1A(b *testing.B) {
+	var rows int
+	for i := 0; i < b.N; i++ {
+		rows = 0
+		for _, n := range []int{256, 1024, 4096, 16384} {
+			r, err := perfmodel.Table1A(n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rows += len(r)
+		}
+	}
+	b.ReportMetric(float64(rows), "rows")
+}
+
+// BenchmarkTable1B regenerates Table 1B (link bandwidth, diameter and
+// D/BW after equal-cost normalization) at N = 4096.
+func BenchmarkTable1B(b *testing.B) {
+	var dbwMesh, dbwHM float64
+	for i := 0; i < b.N; i++ {
+		rows, err := perfmodel.Table1B(4096, hardware.GaAs64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dbwMesh, dbwHM = rows[0].DOverBW, rows[1].DOverBW
+	}
+	b.ReportMetric(dbwMesh/dbwHM, "mesh_over_hypermesh_DBW")
+}
+
+// BenchmarkTable2A regenerates Table 2A (FFT data-transfer steps per
+// network) by running the distributed FFT on all three simulated 4K
+// machines and checking the measured counts against the closed forms.
+func BenchmarkTable2A(b *testing.B) {
+	x := randomSignal(4096, 1)
+	var meshTotal, cubeTotal, hmTotal int
+	for i := 0; i < b.N; i++ {
+		mesh, _ := netsim.NewMesh[complex128](64, true, netsim.Config{})
+		cube, _ := netsim.NewHypercube[complex128](12, netsim.Config{})
+		hm, _ := netsim.NewHypermesh[complex128](64, 2, netsim.Config{})
+		mr, err := parfft.Run(mesh, x, parfft.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cr, err := parfft.Run(cube, x, parfft.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		hr, err := parfft.Run(hm, x, parfft.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if cr.TotalSteps() != 24 || hr.TotalSteps() > 15 {
+			b.Fatalf("measured steps diverge from Table 2A: cube %d, hypermesh %d",
+				cr.TotalSteps(), hr.TotalSteps())
+		}
+		meshTotal, cubeTotal, hmTotal = mr.TotalSteps(), cr.TotalSteps(), hr.TotalSteps()
+	}
+	b.ReportMetric(float64(meshTotal), "mesh_steps")
+	b.ReportMetric(float64(cubeTotal), "hypercube_steps")
+	b.ReportMetric(float64(hmTotal), "hypermesh_steps")
+}
+
+// BenchmarkTable2B regenerates Table 2B (normalized FFT execution time).
+func BenchmarkTable2B(b *testing.B) {
+	var mesh, cube, hm float64
+	for i := 0; i < b.N; i++ {
+		rows, err := perfmodel.Table2B(4096, hardware.GaAs64, 128)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mesh, cube, hm = rows[0].CommTime, rows[1].CommTime, rows[2].CommTime
+	}
+	b.ReportMetric(mesh*1e9, "mesh_ns")
+	b.ReportMetric(cube*1e9, "hypercube_ns")
+	b.ReportMetric(hm*1e9, "hypermesh_ns")
+}
+
+// BenchmarkCaseStudyNoProp regenerates §IV.A: 4K-sample FFT on 4K PEs
+// with negligible propagation delay (paper: 8 µs / 3.12 µs / 0.3 µs;
+// speedups 26.6 and 10.4).
+func BenchmarkCaseStudyNoProp(b *testing.B) {
+	var cs *perfmodel.CaseStudy
+	for i := 0; i < b.N; i++ {
+		var err error
+		cs, err = perfmodel.RunCaseStudy(perfmodel.CaseStudyOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(cs.SpeedupVsMesh, "speedup_vs_mesh")
+	b.ReportMetric(cs.SpeedupVsHypercube, "speedup_vs_hypercube")
+}
+
+// BenchmarkCaseStudyProp regenerates §IV.B: the same comparison with a
+// 20 ns propagation delay (paper: speedups 13.3 and 6).
+func BenchmarkCaseStudyProp(b *testing.B) {
+	var cs *perfmodel.CaseStudy
+	for i := 0; i < b.N; i++ {
+		var err error
+		cs, err = perfmodel.RunCaseStudy(perfmodel.CaseStudyOptions{PropDelay: hardware.DefaultPropDelay})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(cs.SpeedupVsMesh, "speedup_vs_mesh")
+	b.ReportMetric(cs.SpeedupVsHypercube, "speedup_vs_hypercube")
+}
+
+// BenchmarkBitonicCaseStudy regenerates the §IV.A aside: the bitonic
+// sort comparison cited from [13] (paper: 12.3 and 6.47).
+func BenchmarkBitonicCaseStudy(b *testing.B) {
+	var cs *perfmodel.CaseStudy
+	for i := 0; i < b.N; i++ {
+		meshSteps, err := bitonic.MeshSteps(4096, layout.ShuffledRowMajor(4096))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cs, err = perfmodel.BitonicCaseStudy(4096, meshSteps,
+			bitonic.DirectSteps(4096), bitonic.DirectSteps(4096), perfmodel.CaseStudyOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(cs.SpeedupVsMesh, "speedup_vs_mesh")
+	b.ReportMetric(cs.SpeedupVsHypercube, "speedup_vs_hypercube")
+}
+
+// BenchmarkBisection regenerates §V: bisection bandwidths and the
+// hypermesh's O(sqrt N) / O(log N) advantages.
+func BenchmarkBisection(b *testing.B) {
+	var rows []perfmodel.BisectionRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = perfmodel.BisectionTable(4096, hardware.GaAs64)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[2].Bandwidth/rows[0].Bandwidth, "hypermesh_over_mesh")
+	b.ReportMetric(rows[2].Bandwidth/rows[1].Bandwidth, "hypermesh_over_hypercube")
+}
+
+// BenchmarkFig1HypermeshNets exercises the Fig. 1 structure: building
+// the 64^2 hypermesh and enumerating every hypergraph net with its
+// members.
+func BenchmarkFig1HypermeshNets(b *testing.B) {
+	var members int
+	for i := 0; i < b.N; i++ {
+		h := topology.NewHypermesh(64, 2)
+		members = 0
+		for net := 0; net < h.Nets(); net++ {
+			members += len(h.NetMembers(net))
+		}
+	}
+	b.ReportMetric(float64(members), "net_memberships")
+}
+
+// BenchmarkFig3FlowGraph builds and evaluates the Fig. 3 data-flow graph
+// at the case-study size, verifying it against the serial FFT.
+func BenchmarkFig3FlowGraph(b *testing.B) {
+	x := randomSignal(4096, 2)
+	want := fft.MustPlan(4096).Forward(x)
+	for i := 0; i < b.N; i++ {
+		g, err := NewFlowGraph(4096)
+		if err != nil {
+			b.Fatal(err)
+		}
+		got := g.Evaluate(x)
+		if d := fft.MaxAbsDiff(got, want); d > 1e-6 {
+			b.Fatalf("flow graph diverged by %g", d)
+		}
+	}
+}
+
+// BenchmarkWormholeAblation regenerates ablation ABL1: wormhole routing
+// cannot beat store-and-forward on the mesh's butterfly traffic
+// (§III.E).
+func BenchmarkWormholeAblation(b *testing.B) {
+	var worm, saf int
+	for i := 0; i < b.N; i++ {
+		w, err := netsim.NewWormhole(16, false, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := permute.ButterflyExchange(256, 3)
+		worm, err = w.RoutePermutation(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		saf, err = w.StoreAndForwardCycles(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(worm)/float64(saf), "wormhole_over_saf")
+}
+
+// BenchmarkBitLevelAblation regenerates ablation ABL2: the §I bit-level
+// model with O(log N) headers and length-proportional wire delays.
+func BenchmarkBitLevelAblation(b *testing.B) {
+	var bl *perfmodel.BitLevelTimes
+	for i := 0; i < b.N; i++ {
+		var err error
+		bl, err = perfmodel.RunBitLevel(perfmodel.BitLevelOptions{
+			HeaderBitsPerAddressBit: 1,
+			WireDelayPerUnit:        2e-9 / 64, // ~2 ns across the whole array
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(bl.SpeedupVsMesh, "speedup_vs_mesh")
+	b.ReportMetric(bl.SpeedupVsHypercube, "speedup_vs_hypercube")
+}
+
+// BenchmarkHypermeshShapes regenerates extension EXT1: the alternative
+// 4K-processor hypermesh shapes of §IV (8^4, 16^3, 64^2).
+func BenchmarkHypermeshShapes(b *testing.B) {
+	shapes := []struct{ base, dims int }{{8, 4}, {16, 3}, {64, 2}}
+	var diameters int
+	for i := 0; i < b.N; i++ {
+		diameters = 0
+		for _, s := range shapes {
+			h := topology.NewHypermesh(s.base, s.dims)
+			if h.Nodes() != 4096 {
+				b.Fatalf("%d^%d != 4096", s.base, s.dims)
+			}
+			diameters += h.Diameter()
+		}
+	}
+	b.ReportMetric(float64(diameters), "total_diameter")
+}
+
+// BenchmarkEngineSequential and BenchmarkEngineParallel compare the
+// simulator's sequential and goroutine-pool compute engines on the
+// distributed 4K FFT (design-choice ablation).
+func BenchmarkEngineSequential(b *testing.B) {
+	benchmarkEngine(b, 1)
+}
+
+func BenchmarkEngineParallel(b *testing.B) {
+	benchmarkEngine(b, 0) // 0 = GOMAXPROCS workers
+}
+
+func benchmarkEngine(b *testing.B, workers int) {
+	x := randomSignal(4096, 3)
+	for i := 0; i < b.N; i++ {
+		hm, err := netsim.NewHypermesh[complex128](64, 2, netsim.Config{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := parfft.Run(hm, x, parfft.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSerialFFT4096 is the library-quality baseline: the plain
+// serial transform at the case-study size.
+func BenchmarkSerialFFT4096(b *testing.B) {
+	p := MustPlan(4096)
+	x := randomSignal(4096, 4)
+	dst := make([]complex128, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Transform(dst, x)
+	}
+}
+
+func randomSignal(n int, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+// BenchmarkFourStepAblation regenerates ablation ABL3: the four-step
+// (transpose) FFT schedule versus the binary-exchange schedule on the
+// 64^2 hypermesh.
+func BenchmarkFourStepAblation(b *testing.B) {
+	x := randomSignal(4096, 5)
+	var be, fs int
+	for i := 0; i < b.N; i++ {
+		hm1, _ := netsim.NewHypermesh[complex128](64, 2, netsim.Config{})
+		r1, err := parfft.Run(hm1, x, parfft.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		hm2, _ := netsim.NewHypermesh[complex128](64, 2, netsim.Config{})
+		r2, err := parfft.FourStep(hm2, x, 64, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		be, fs = r1.TotalSteps(), r2.TotalSteps()
+	}
+	b.ReportMetric(float64(be), "binary_exchange_steps")
+	b.ReportMetric(float64(fs), "four_step_steps")
+}
+
+// BenchmarkValiantAblation regenerates ablation ABL4: Valiant two-phase
+// randomized routing versus greedy e-cube on an adversarial (transpose)
+// permutation — the §I universality discussion (reference [15]).
+func BenchmarkValiantAblation(b *testing.B) {
+	dims := 10
+	n := 1 << uint(dims)
+	p := make(permute.Permutation, n)
+	for i := range p {
+		p[i] = (i&31)<<5 | i>>5
+	}
+	rng := rand.New(rand.NewSource(9))
+	var greedy, valiant int
+	for i := 0; i < b.N; i++ {
+		g, _ := netsim.NewHypercube[int](dims, netsim.Config{})
+		var err error
+		greedy, err = g.Route(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		v, _ := netsim.NewHypercube[int](dims, netsim.Config{})
+		valiant, err = v.RouteValiant(p, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(greedy), "greedy_steps")
+	b.ReportMetric(float64(valiant), "valiant_steps")
+}
+
+// BenchmarkDeflectionAblation regenerates ablation ABL5: hot-potato
+// (deflection) routing on the torus (reference [3]) versus queued
+// store-and-forward for random permutations.
+func BenchmarkDeflectionAblation(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	p := permute.Random(256, rng)
+	var deflect, saf int
+	for i := 0; i < b.N; i++ {
+		d, _ := netsim.NewDeflectionMesh(16)
+		res, err := d.RoutePermutation(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		deflect = res.Cycles
+		m, _ := netsim.NewMesh[int](16, true, netsim.Config{})
+		saf, err = m.Route(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(deflect), "deflection_cycles")
+	b.ReportMetric(float64(saf), "store_and_forward_steps")
+}
+
+// BenchmarkBlockedModel regenerates extension EXT2: the N-samples-on-
+// P-processors step model (64K-point FFT on the 4K machines).
+func BenchmarkBlockedModel(b *testing.B) {
+	var cmp *perfmodel.BlockedComparison
+	for i := 0; i < b.N; i++ {
+		var err error
+		cmp, err = perfmodel.RunBlockedComparison(65536, 4096)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(cmp.StepRatioVsMesh, "step_ratio_vs_mesh")
+	b.ReportMetric(cmp.StepRatioVsHypercube, "step_ratio_vs_hypercube")
+}
+
+// BenchmarkShapesFFT regenerates extension EXT1b: the distributed 4K FFT
+// on every §IV hypermesh shape (8^4, 16^3, 64^2), reporting total steps.
+func BenchmarkShapesFFT(b *testing.B) {
+	x := randomSignal(4096, 11)
+	shapes := []struct{ base, dims int }{{8, 4}, {16, 3}, {64, 2}}
+	totals := make([]int, len(shapes))
+	for i := 0; i < b.N; i++ {
+		for j, s := range shapes {
+			hm, _ := netsim.NewHypermesh[complex128](s.base, s.dims, netsim.Config{})
+			res, err := parfft.Run(hm, x, parfft.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			totals[j] = res.TotalSteps()
+		}
+	}
+	b.ReportMetric(float64(totals[0]), "steps_8pow4")
+	b.ReportMetric(float64(totals[1]), "steps_16pow3")
+	b.ReportMetric(float64(totals[2]), "steps_64pow2")
+}
+
+// BenchmarkOmegaAdmissibility regenerates extension EXT4: the §II
+// multistage-network contrast — the Omega network blocks the FFT's bit
+// reversal (conflicts counted here) while the hypermesh routes it in at
+// most 3 steps.
+func BenchmarkOmegaAdmissibility(b *testing.B) {
+	var conflicts int
+	for i := 0; i < b.N; i++ {
+		o, err := banyan.NewOmega(4096)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := o.Check(permute.BitReversal(4096))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Passable {
+			b.Fatal("bit reversal passed the Omega network")
+		}
+		conflicts = res.Conflicts
+	}
+	b.ReportMetric(float64(conflicts), "bit_reversal_conflicts")
+}
+
+// BenchmarkRandomTrafficAblation regenerates ablation ABL6: uniform
+// random traffic (Dally's assumption 4) at the word level — the
+// hypermesh sustains lower latency than the torus at equal offered
+// load.
+func BenchmarkRandomTrafficAblation(b *testing.B) {
+	opts := netsim.TrafficOptions{Rate: 0.1, Warmup: 100, Measure: 300, Seed: 6}
+	var meshLat, hmLat float64
+	for i := 0; i < b.N; i++ {
+		mr, err := netsim.NewMeshTraffic(16, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hr, err := netsim.NewHypermeshTraffic(16, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		meshLat, hmLat = mr.AvgLatency, hr.AvgLatency
+	}
+	b.ReportMetric(meshLat, "mesh_latency_steps")
+	b.ReportMetric(hmLat, "hypermesh_latency_steps")
+}
+
+// BenchmarkEmbeddings regenerates extension EXT5: classic embedding
+// dilations (Gray-code ring into hypercube; anything into the
+// diameter-2 hypermesh).
+func BenchmarkEmbeddings(b *testing.B) {
+	var ringDil, hmDil int
+	for i := 0; i < b.N; i++ {
+		cube := topology.NewHypercube(10)
+		ringDil, _ = embed.Dilation(cube, embed.GrayRingIntoHypercube(10), embed.RingEdges(1024))
+		hm := topology.NewHypermesh(32, 2)
+		hmDil, _ = embed.Dilation(hm, embed.Identity(1024), embed.HypercubeEdges(10))
+	}
+	b.ReportMetric(float64(ringDil), "gray_ring_dilation")
+	b.ReportMetric(float64(hmDil), "hypercube_into_hypermesh_dilation")
+}
+
+// BenchmarkWaferAblation regenerates ablation ABL7: Dally's equal-
+// bisection wafer normalization, under which the mesh wins — the §I
+// concession ("may not hold when the network is implemented entirely on
+// a single wafer"), quantified.
+func BenchmarkWaferAblation(b *testing.B) {
+	var w *perfmodel.WaferComparison
+	for i := 0; i < b.N; i++ {
+		var err error
+		w, err = perfmodel.RunWaferComparison(perfmodel.WaferOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(w.MeshSpeedupVsHypermesh, "mesh_speedup_vs_hypermesh")
+	b.ReportMetric(w.MeshSpeedupVsHypercube, "mesh_speedup_vs_hypercube")
+}
+
+// BenchmarkBlockedSimulated regenerates EXT2's simulator cross-check:
+// the blocked FFT (16K points on 256 PEs) executed and verified on the
+// hypermesh machine.
+func BenchmarkBlockedSimulated(b *testing.B) {
+	x := randomSignal(16384, 12)
+	var steps int
+	for i := 0; i < b.N; i++ {
+		hm, _ := netsim.NewHypermesh[complex128](16, 2, netsim.Config{})
+		res, err := parfft.RunBlocked(hm, x)
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps = res.TotalSteps()
+	}
+	b.ReportMetric(float64(steps), "total_steps")
+}
+
+// BenchmarkMatrixAlgorithms regenerates extension EXT6: the distributed
+// matrix-algorithm step counts (transpose / matvec on the 16^2
+// machines).
+func BenchmarkMatrixAlgorithms(b *testing.B) {
+	a := make([]float64, 256)
+	x := make([]float64, 16)
+	for i := range a {
+		a[i] = float64(i%7) - 3
+	}
+	for i := range x {
+		x[i] = float64(i%5) - 2
+	}
+	var transposeSteps, matvecSteps int
+	for i := 0; i < b.N; i++ {
+		hm, _ := netsim.NewHypermesh[float64](16, 2, netsim.Config{})
+		copy(hm.Values(), a)
+		var err error
+		transposeSteps, err = matrixalg.Transpose(hm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mv, _ := matrixalg.NewHypermeshMatVec(16, 2)
+		res, err := matrixalg.MatVec(mv, a, x)
+		if err != nil {
+			b.Fatal(err)
+		}
+		matvecSteps = res.Steps
+	}
+	b.ReportMetric(float64(transposeSteps), "transpose_steps")
+	b.ReportMetric(float64(matvecSteps), "matvec_steps")
+}
+
+// BenchmarkFaultTolerantRouting regenerates ablation ABL8: adaptive
+// routing on a hypercube with injected link failures.
+func BenchmarkFaultTolerantRouting(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	p := permute.Random(1024, rng)
+	var healthy, degraded int
+	for i := 0; i < b.N; i++ {
+		h, _ := netsim.NewHypercube[int](10, netsim.Config{})
+		var err error
+		healthy, err = h.RouteAdaptive(p, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		h2, _ := netsim.NewHypercube[int](10, netsim.Config{})
+		for f := 0; f < 8; f++ {
+			if err := h2.FailLink(rng.Intn(1024), rng.Intn(10)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		degraded, err = h2.RouteAdaptive(p, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(healthy), "healthy_steps")
+	b.ReportMetric(float64(degraded), "degraded_steps")
+}
+
+// BenchmarkActorEngine regenerates ablation ABL9: the goroutine-per-PE
+// bulk-synchronous engine on a 1K-point FFT.
+func BenchmarkActorEngine(b *testing.B) {
+	x := randomSignal(1024, 14)
+	for i := 0; i < b.N; i++ {
+		if _, err := parfft.RunActor(x, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKAryNCubeFamily regenerates extension EXT8: the Dally k-ary
+// n-cube family interpolating between the paper's torus and hypercube
+// endpoints, priced under the §IV normalization.
+func BenchmarkKAryNCubeFamily(b *testing.B) {
+	var t84, t163, hm float64
+	for i := 0; i < b.N; i++ {
+		c84, hmT, err := perfmodel.KAryNCubeCaseStudy(8, 4, perfmodel.CaseStudyOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		c163, _, err := perfmodel.KAryNCubeCaseStudy(16, 3, perfmodel.CaseStudyOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		t84, t163, hm = c84.CommTime, c163.CommTime, hmT
+	}
+	b.ReportMetric(t84*1e9, "8ary4cube_ns")
+	b.ReportMetric(t163*1e9, "16ary3cube_ns")
+	b.ReportMetric(hm*1e9, "hypermesh_ns")
+}

@@ -1,0 +1,158 @@
+// Command fftsweep emits CSV series for parameter sweeps of the paper's
+// model: communication time and speedups versus network size, packet
+// size or propagation delay. The series reproduce the shape of the
+// paper's conclusions (hypermesh advantage O(sqrt N / log N) over the
+// mesh and O(log N) over the hypercube).
+//
+// Usage:
+//
+//	fftsweep -sweep size                # N from 64 to 64K
+//	fftsweep -sweep packet -n 4096      # packet size 32..1024 bits
+//	fftsweep -sweep propdelay -n 4096   # propagation delay 0..100 ns
+//	fftsweep -sweep bitonic             # bitonic sort sweep over N
+//	fftsweep -sweep blocked             # N samples on 4K processors
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bitonic"
+	"repro/internal/hardware"
+	"repro/internal/layout"
+	"repro/internal/perfmodel"
+)
+
+func main() {
+	sweep := flag.String("sweep", "size", "sweep: size, packet, propdelay, bitonic, blocked, crossover")
+	n := flag.Int("n", 4096, "machine size for packet/propdelay sweeps")
+	flag.Parse()
+
+	var err error
+	switch *sweep {
+	case "size":
+		err = sweepSize()
+	case "packet":
+		err = sweepPacket(*n)
+	case "propdelay":
+		err = sweepPropDelay(*n)
+	case "bitonic":
+		err = sweepBitonic()
+	case "blocked":
+		err = sweepBlocked()
+	case "crossover":
+		err = sweepCrossover()
+	default:
+		err = fmt.Errorf("unknown sweep %q", *sweep)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fftsweep: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// bigXbar lets the sweep exceed the GaAs64 part's K >= sqrt(N) limit;
+// the paper's normalization only needs some common part.
+func xbarFor(n int) hardware.Crossbar {
+	side := 1
+	for side*side < n {
+		side *= 2
+	}
+	if side <= hardware.GaAs64.Degree {
+		return hardware.GaAs64
+	}
+	return hardware.Crossbar{Degree: side, PinBandwidth: hardware.GaAs64.PinBandwidth}
+}
+
+func sweepSize() error {
+	fmt.Println("n,mesh_us,hypercube_us,hypermesh_us,speedup_vs_mesh,speedup_vs_hypercube")
+	for _, n := range []int{64, 256, 1024, 4096, 16384, 65536} {
+		cs, err := perfmodel.RunCaseStudy(perfmodel.CaseStudyOptions{N: n, Crossbar: xbarFor(n)})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d,%.4f,%.4f,%.4f,%.2f,%.2f\n", n,
+			cs.Mesh.CommTime*1e6, cs.Hypercube.CommTime*1e6, cs.Hypermesh.CommTime*1e6,
+			cs.SpeedupVsMesh, cs.SpeedupVsHypercube)
+	}
+	return nil
+}
+
+func sweepPacket(n int) error {
+	fmt.Println("packet_bits,mesh_us,hypercube_us,hypermesh_us,speedup_vs_mesh,speedup_vs_hypercube")
+	for _, bits := range []int{32, 64, 128, 256, 512, 1024} {
+		cs, err := perfmodel.RunCaseStudy(perfmodel.CaseStudyOptions{N: n, PacketBits: bits, Crossbar: xbarFor(n)})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d,%.4f,%.4f,%.4f,%.2f,%.2f\n", bits,
+			cs.Mesh.CommTime*1e6, cs.Hypercube.CommTime*1e6, cs.Hypermesh.CommTime*1e6,
+			cs.SpeedupVsMesh, cs.SpeedupVsHypercube)
+	}
+	return nil
+}
+
+func sweepPropDelay(n int) error {
+	fmt.Println("prop_delay_ns,mesh_us,hypercube_us,hypermesh_us,speedup_vs_mesh,speedup_vs_hypercube")
+	for _, ns := range []float64{0, 5, 10, 20, 40, 80, 100} {
+		cs, err := perfmodel.RunCaseStudy(perfmodel.CaseStudyOptions{N: n, PropDelay: ns * 1e-9, Crossbar: xbarFor(n)})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%.0f,%.4f,%.4f,%.4f,%.2f,%.2f\n", ns,
+			cs.Mesh.CommTime*1e6, cs.Hypercube.CommTime*1e6, cs.Hypermesh.CommTime*1e6,
+			cs.SpeedupVsMesh, cs.SpeedupVsHypercube)
+	}
+	return nil
+}
+
+func sweepBitonic() error {
+	fmt.Println("n,mesh_steps,hypercube_steps,hypermesh_steps,speedup_vs_mesh,speedup_vs_hypercube")
+	for _, n := range []int{64, 256, 1024, 4096, 16384} {
+		meshSteps, err := bitonic.MeshSteps(n, layout.ShuffledRowMajor(n))
+		if err != nil {
+			return err
+		}
+		cs, err := perfmodel.BitonicCaseStudy(n, meshSteps, bitonic.DirectSteps(n), bitonic.DirectSteps(n),
+			perfmodel.CaseStudyOptions{Crossbar: xbarFor(n)})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d,%d,%d,%d,%.2f,%.2f\n", n,
+			meshSteps, bitonic.DirectSteps(n), bitonic.DirectSteps(n),
+			cs.SpeedupVsMesh, cs.SpeedupVsHypercube)
+	}
+	return nil
+}
+
+func sweepBlocked() error {
+	fmt.Println("n,p,block,mesh_steps,hypercube_steps,hypermesh_steps,ratio_vs_mesh,ratio_vs_hypercube")
+	p := 4096
+	for _, n := range []int{4096, 16384, 65536, 262144, 1048576} {
+		cmp, err := perfmodel.RunBlockedComparison(n, p)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d,%d,%d,%d,%d,%d,%.2f,%.2f\n", n, p, n/p,
+			cmp.Mesh.Total(), cmp.Hypercube.Total(), cmp.Hypermesh.Total(),
+			cmp.StepRatioVsMesh, cmp.StepRatioVsHypercube)
+	}
+	return nil
+}
+
+func sweepCrossover() error {
+	fmt.Println("threshold,first_n_vs_mesh,first_n_vs_hypercube")
+	for _, th := range []float64{2, 5, 10, 20, 26, 40} {
+		m, err := perfmodel.FindCrossoverVsMesh(th, 10, 0)
+		if err != nil {
+			return err
+		}
+		c, err := perfmodel.FindCrossoverVsHypercube(th, 10, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%.0f,%d,%d\n", th, m.N, c.N)
+	}
+	return nil
+}

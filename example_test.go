@@ -1,0 +1,92 @@
+package hypermeshfft_test
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	hypermeshfft "repro"
+)
+
+// ExampleMustPlan demonstrates the serial FFT on a pure tone: all the
+// energy lands in one bin.
+func ExampleMustPlan() {
+	const n = 64
+	plan := hypermeshfft.MustPlan(n)
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = cmplx.Exp(complex(0, 2*math.Pi*5*float64(i)/n))
+	}
+	spec := plan.Forward(x)
+	peak := 0
+	for k := range spec {
+		if cmplx.Abs(spec[k]) > cmplx.Abs(spec[peak]) {
+			peak = k
+		}
+	}
+	fmt.Printf("peak bin %d, magnitude %.0f\n", peak, cmplx.Abs(spec[peak]))
+	// Output: peak bin 5, magnitude 64
+}
+
+// ExampleDistributedFFT runs the paper's headline experiment at a small
+// size: the butterfly ranks cost log N steps and the bit reversal at
+// most 3 on a 2D hypermesh.
+func ExampleDistributedFFT() {
+	m, _ := hypermeshfft.NewHypermeshMachine(8, 2) // 64 PEs
+	x := make([]complex128, 64)
+	x[1] = 1
+	res, _ := hypermeshfft.DistributedFFT(m, x, hypermeshfft.FFTOptions{})
+	fmt.Printf("butterfly steps: %d\n", res.ButterflySteps)
+	fmt.Printf("bit-reversal steps <= 3: %v\n", res.BitReversalSteps <= 3)
+	// Output:
+	// butterfly steps: 6
+	// bit-reversal steps <= 3: true
+}
+
+// ExampleRunCaseStudy reproduces §IV.A's headline speedups.
+func ExampleRunCaseStudy() {
+	cs, _ := hypermeshfft.RunCaseStudy(hypermeshfft.CaseStudyOptions{})
+	fmt.Printf("hypermesh vs mesh:      %.1fx\n", cs.SpeedupVsMesh)
+	fmt.Printf("hypermesh vs hypercube: %.1fx\n", cs.SpeedupVsHypercube)
+	// Output:
+	// hypermesh vs mesh:      26.7x
+	// hypermesh vs hypercube: 10.4x
+}
+
+// ExampleDecomposePermutation shows the 3-step rearrangeable routing
+// behind the hypermesh's bit reversal.
+func ExampleDecomposePermutation() {
+	ph, _ := hypermeshfft.DecomposePermutation(8, hypermeshfft.BitReversal(64))
+	fmt.Printf("phases needed: %d\n", ph.Steps())
+	// Output: phases needed: 3
+}
+
+// ExampleBitonicSort sorts with Batcher's network.
+func ExampleBitonicSort() {
+	data := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	_ = hypermeshfft.BitonicSort(data)
+	fmt.Println(data)
+	// Output: [1 1 2 3 4 5 6 9]
+}
+
+// ExamplePolyMul multiplies polynomials via the FFT.
+func ExamplePolyMul() {
+	// (1 + x)^2 = 1 + 2x + x^2
+	c, _ := hypermeshfft.PolyMul([]float64{1, 1}, []float64{1, 1})
+	fmt.Printf("%.0f %.0f %.0f\n", c[0], c[1], c[2])
+	// Output: 1 2 1
+}
+
+// ExampleNewOmegaNetwork shows the §II multistage contrast: the FFT's
+// bit reversal blocks an Omega network in one pass, while the hypermesh
+// routes it in at most three net steps.
+func ExampleNewOmegaNetwork() {
+	o, _ := hypermeshfft.NewOmegaNetwork(64)
+	ok, _ := o.Passable(hypermeshfft.BitReversal(64))
+	fmt.Printf("bit reversal passes Omega in one pass: %v\n", ok)
+	ph, _ := hypermeshfft.DecomposePermutation(8, hypermeshfft.BitReversal(64))
+	fmt.Printf("hypermesh routes it in %d steps\n", ph.Steps())
+	// Output:
+	// bit reversal passes Omega in one pass: false
+	// hypermesh routes it in 3 steps
+}

@@ -1,0 +1,61 @@
+// hypermesh-fft: the paper's headline experiment end to end — a
+// 4096-point FFT distributed one-sample-per-PE over a simulated 64x64
+// hypermesh SIMD machine, with the terminal bit-reversal permutation
+// realized in at most 3 data-transfer steps by the rearrangeable
+// (row/column/row) decomposition. The result is verified against the
+// serial FFT, and the same run is repeated on a 2D torus and a binary
+// hypercube for the Table 2A comparison.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	hypermeshfft "repro"
+	"repro/internal/fft"
+	"repro/internal/netsim"
+)
+
+func main() {
+	const n = 4096
+	rng := rand.New(rand.NewSource(7))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	want := hypermeshfft.MustPlan(n).Forward(x)
+
+	hm, err := hypermeshfft.NewHypermeshMachine(64, 2)
+	check(err)
+	torus, err := hypermeshfft.NewMeshMachine(64, true)
+	check(err)
+	cube, err := hypermeshfft.NewHypercubeMachine(12)
+	check(err)
+
+	fmt.Printf("distributed %d-point FFT, one sample per processing element\n\n", n)
+	fmt.Printf("%-14s %-18s %-20s %-8s %s\n", "network", "butterfly steps", "bit-reversal steps", "total", "max |err|")
+	for _, m := range []netsim.Machine[complex128]{hm, torus, cube} {
+		res, err := hypermeshfft.DistributedFFT(m, x, hypermeshfft.FFTOptions{})
+		check(err)
+		diff := fft.MaxAbsDiff(res.Output, want)
+		fmt.Printf("%-14s %-18d %-20d %-8d %.2g\n",
+			m.Name(), res.ButterflySteps, res.BitReversalSteps, res.TotalSteps(), diff)
+	}
+
+	fmt.Println()
+	fmt.Println("the hypermesh matches the hypercube on the butterfly ranks (log N = 12 steps)")
+	fmt.Println("and crushes it on the bit reversal (<= 3 steps vs log N = 12), as §III.C claims.")
+
+	// Show the Clos decomposition behind the 3-step reversal.
+	ph, err := hypermeshfft.DecomposePermutation(64, hypermeshfft.BitReversal(n))
+	check(err)
+	fmt.Printf("\nbit-reversal decomposition on the 64x64 hypermesh: %d phases (row, column, row)\n", ph.Steps())
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,70 @@
+// network-compare: replays the paper's §IV engineering case study. All
+// three 4K-processor machines are built from the same 4096 GaAs 64x64
+// crossbar ICs (200 Mbit/s per pin); the program derives each network's
+// inter-PE link bandwidth under that equal-cost normalization, prices
+// the FFT's data-transfer steps, and prints the speedups — with and
+// without a 20 ns propagation delay — alongside the §V bisection
+// bandwidths that explain them.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	hypermeshfft "repro"
+	"repro/internal/hardware"
+	"repro/internal/perfmodel"
+	"repro/internal/report"
+)
+
+func main() {
+	const n = 4096
+
+	fmt.Printf("three %d-processor machines, each built from %d GaAs %dx%d crossbars (%s/pin)\n\n",
+		n, n, hypermeshfft.GaAs64.Degree, hypermeshfft.GaAs64.Degree,
+		report.Bandwidth(hypermeshfft.GaAs64.PinBandwidth))
+
+	// Per-network link engineering.
+	for _, t := range []hypermeshfft.Topology{
+		hypermeshfft.NewMesh2D(64, true),
+		hypermeshfft.NewHypercube(12),
+		hypermeshfft.NewHypermesh(64, 2),
+	} {
+		m := hypermeshfft.NewHardwareModel(t)
+		pins, err := m.PinsPerLink()
+		check(err)
+		bw, err := m.LinkBandwidth()
+		check(err)
+		pt, err := m.PacketTime()
+		check(err)
+		bisect, err := m.BisectionBandwidth()
+		check(err)
+		fmt.Printf("%-14s %5.2f pins/link  link %-13s 128-bit packet in %-8s bisection %s\n",
+			t.Name(), pins, report.Bandwidth(bw), report.Seconds(pt), report.Bandwidth(bisect))
+	}
+
+	// The FFT case study, both delay regimes.
+	for _, prop := range []float64{0, hardware.DefaultPropDelay} {
+		cs, err := hypermeshfft.RunCaseStudy(perfmodel.CaseStudyOptions{N: n, PropDelay: prop})
+		check(err)
+		label := "negligible propagation delay"
+		if prop > 0 {
+			label = fmt.Sprintf("%s propagation delay on hypercube and hypermesh", report.Seconds(prop))
+		}
+		fmt.Printf("\n%d-sample FFT, %s:\n", n, label)
+		fmt.Printf("  2D mesh      %8s  (%d steps)\n", report.Seconds(cs.Mesh.CommTime), cs.Mesh.Steps)
+		fmt.Printf("  hypercube    %8s  (%d steps)\n", report.Seconds(cs.Hypercube.CommTime), cs.Hypercube.Steps)
+		fmt.Printf("  2D hypermesh %8s  (%d steps)\n", report.Seconds(cs.Hypermesh.CommTime), cs.Hypermesh.Steps)
+		fmt.Printf("  hypermesh speedup: %s vs mesh, %s vs hypercube\n",
+			report.Ratio(cs.SpeedupVsMesh), report.Ratio(cs.SpeedupVsHypercube))
+	}
+
+	fmt.Println("\npaper's figures: 26.6x / 10.4x without delay, 13.3x / 6x with delay (§IV, §VI)")
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

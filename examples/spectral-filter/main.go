@@ -1,0 +1,89 @@
+// spectral-filter: a realistic DSP workload on the library — design a
+// windowed-sinc low-pass filter, apply it to a noisy multi-tone signal
+// with overlap-add fast convolution (the no-bit-reversal FFT pipeline of
+// §IV.A), and report the per-tone attenuation via Welch PSD estimates.
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+
+	"repro/internal/dsp"
+)
+
+func main() {
+	const (
+		rate    = 8192.0
+		n       = 1 << 15
+		lowHz   = 300.0  // kept
+		midHz   = 900.0  // kept
+		highHz  = 3000.0 // removed
+		cutoff  = 0.4    // fraction of Nyquist = 1638 Hz
+		fftSize = 2048
+	)
+
+	rng := rand.New(rand.NewSource(11))
+	x := make([]float64, n)
+	for i := range x {
+		ti := float64(i) / rate
+		x[i] = math.Sin(2*math.Pi*lowHz*ti) +
+			0.7*math.Sin(2*math.Pi*midHz*ti) +
+			0.7*math.Sin(2*math.Pi*highHz*ti) +
+			0.05*rng.NormFloat64()
+	}
+
+	h, err := dsp.LowPassFIR(201, cutoff, dsp.Hamming)
+	check(err)
+	y, err := dsp.FIRFilter(x, h)
+	check(err)
+
+	inPSD, err := dsp.PSD(x, fftSize, dsp.Hann)
+	check(err)
+	outPSD, err := dsp.PSD(y[:n], fftSize, dsp.Hann)
+	check(err)
+
+	bin := func(hz float64) int { return int(hz/rate*fftSize + 0.5) }
+	fmt.Printf("low-pass FIR (201 taps, cutoff %.0f Hz) on a three-tone signal at %.0f Hz\n\n",
+		cutoff*rate/2, rate)
+	fmt.Printf("%-10s %-14s %-14s %s\n", "tone", "input power", "output power", "attenuation")
+	for _, tone := range []float64{lowHz, midHz, highHz} {
+		b := bin(tone)
+		in, out := dsp.DB(inPSD[b]), dsp.DB(outPSD[b])
+		fmt.Printf("%6.0f Hz  %8.1f dB    %8.1f dB    %6.1f dB\n", tone, in, out, in-out)
+	}
+
+	// A compact text spectrogram of the filtered signal: time frames
+	// down, frequency bands across, intensity as characters.
+	frames, err := dsp.Spectrogram(y[:n], 1024, 4096, dsp.Hann)
+	check(err)
+	fmt.Println("\nfiltered-signal spectrogram (rows = time, cols = 0..4096 Hz in 16 bands):")
+	ramp := " .:-=+*#%@"
+	for _, f := range frames {
+		bands := 16
+		per := len(f) / bands
+		for b := 0; b < bands; b++ {
+			sum := 0.0
+			for k := b * per; k < (b+1)*per; k++ {
+				sum += f[k]
+			}
+			level := (dsp.DB(sum) + 30) / 10
+			if level < 0 {
+				level = 0
+			}
+			if level > 9 {
+				level = 9
+			}
+			fmt.Printf("%c", ramp[int(level)])
+		}
+		fmt.Println()
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

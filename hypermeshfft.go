@@ -1,0 +1,201 @@
+// Package hypermeshfft reproduces T.H. Szymanski's ICPP 1992 paper "The
+// Complexity of FFT and Related Butterfly Algorithms on Meshes and
+// Hypermeshes" as a usable Go library.
+//
+// It bundles, behind one import:
+//
+//   - a radix-2 FFT library (serial plans, real/2D transforms, naive DFT
+//     oracle) — internal/fft;
+//   - static models of the compared interconnection networks (2D mesh /
+//     torus, binary hypercube, base-b hypermesh, k-ary n-cube) —
+//     internal/topology;
+//   - the paper's hardware cost normalization (equal numbers of degree-K
+//     crossbar ICs with pin bandwidth L, pin ganging, packet times,
+//     bisection bandwidths) — internal/hardware;
+//   - a synchronous word-level SIMD network simulator with per-topology
+//     routing, including the 3-step rearrangeable hypermesh router —
+//     internal/netsim and internal/clos;
+//   - distributed FFT and bitonic-sort schedules that execute on the
+//     simulator and are verified against the serial implementations —
+//     internal/parfft and internal/bitonic;
+//   - the closed-form performance model that regenerates every table in
+//     the paper — internal/perfmodel.
+//
+// The quickest way in:
+//
+//	plan := hypermeshfft.MustPlan(4096)
+//	spectrum := plan.Forward(samples)
+//
+// and for the paper's headline experiment (a 4096-point FFT distributed
+// over a 64x64 hypermesh, bit reversal in <= 3 steps):
+//
+//	m, _ := hypermeshfft.NewHypermeshMachine(64, 2)
+//	res, _ := hypermeshfft.DistributedFFT(m, samples, hypermeshfft.FFTOptions{})
+//	fmt.Println(res.ButterflySteps, res.BitReversalSteps) // 12, <=3
+package hypermeshfft
+
+import (
+	"repro/internal/bitonic"
+	"repro/internal/clos"
+	"repro/internal/fft"
+	"repro/internal/flowgraph"
+	"repro/internal/hardware"
+	"repro/internal/layout"
+	"repro/internal/netsim"
+	"repro/internal/parfft"
+	"repro/internal/perfmodel"
+	"repro/internal/permute"
+	"repro/internal/topology"
+)
+
+// ---- Serial FFT ----
+
+// Plan is a reusable FFT plan for one power-of-two length; see
+// internal/fft.
+type Plan = fft.Plan
+
+// Plan2D is a two-dimensional FFT plan.
+type Plan2D = fft.Plan2D
+
+// NewPlan creates an FFT plan for length n (a power of two).
+func NewPlan(n int) (*Plan, error) { return fft.NewPlan(n) }
+
+// MustPlan is NewPlan panicking on invalid lengths.
+func MustPlan(n int) *Plan { return fft.MustPlan(n) }
+
+// NewPlan2D creates a rows x cols 2D FFT plan.
+func NewPlan2D(rows, cols int) (*Plan2D, error) { return fft.NewPlan2D(rows, cols) }
+
+// DFT computes the discrete Fourier transform directly in O(n^2) time —
+// the correctness oracle.
+func DFT(x []complex128) []complex128 { return fft.DFT(x) }
+
+// ---- Topologies and hardware model ----
+
+// Topology describes an interconnection network's static structure.
+type Topology = topology.Topology
+
+// Mesh2D, Hypercube, Hypermesh and KAryNCube are the network families
+// compared in the paper.
+type (
+	Mesh2D    = topology.Mesh2D
+	Hypercube = topology.Hypercube
+	Hypermesh = topology.Hypermesh
+	KAryNCube = topology.KAryNCube
+)
+
+// NewMesh2D builds a side x side mesh (torus when wrap is true).
+func NewMesh2D(side int, wrap bool) *Mesh2D { return topology.NewMesh2D(side, wrap) }
+
+// NewHypercube builds a 2^dims-node binary hypercube.
+func NewHypercube(dims int) *Hypercube { return topology.NewHypercube(dims) }
+
+// NewHypermesh builds a base^dims hypermesh.
+func NewHypermesh(base, dims int) *Hypermesh { return topology.NewHypermesh(base, dims) }
+
+// Crossbar is a switching IC (degree K, per-pin bandwidth L bits/s).
+type Crossbar = hardware.Crossbar
+
+// GaAs64 is the paper's 64x64, 200 Mbit/s-per-pin GaAs part.
+var GaAs64 = hardware.GaAs64
+
+// HardwareModel binds a topology to a crossbar part and computes the
+// paper's normalized link bandwidths, packet times and bisection
+// bandwidths.
+type HardwareModel = hardware.Model
+
+// NewHardwareModel builds a hardware model with the paper's defaults.
+func NewHardwareModel(t Topology) *HardwareModel { return hardware.NewModel(t) }
+
+// ---- Permutations ----
+
+// Permutation maps source index to destination index.
+type Permutation = permute.Permutation
+
+// BitReversal returns the FFT's terminal output permutation.
+func BitReversal(n int) Permutation { return permute.BitReversal(n) }
+
+// ClosPhases is the <= 3-step rearrangeable decomposition of a
+// permutation on a b x b hypermesh.
+type ClosPhases = clos.Phases
+
+// DecomposePermutation factors an arbitrary permutation of b*b nodes
+// into at most three hypermesh net-permutation steps.
+func DecomposePermutation(b int, p Permutation) (*ClosPhases, error) { return clos.Decompose(b, p) }
+
+// ---- Flow graph ----
+
+// FlowGraph is the Cooley–Tukey butterfly data-flow graph of Fig. 3.
+type FlowGraph = flowgraph.Graph
+
+// NewFlowGraph builds the FFT flow graph on n inputs.
+func NewFlowGraph(n int) (*FlowGraph, error) { return flowgraph.Build(n) }
+
+// ---- Simulated machines ----
+
+// Machine is a simulated SIMD network with one register per processing
+// element.
+type Machine[T any] interface {
+	netsim.Machine[T]
+}
+
+// SimConfig controls simulation execution (worker pool size).
+type SimConfig = netsim.Config
+
+// NewMeshMachine builds a side^2-node mesh/torus machine carrying
+// complex samples.
+func NewMeshMachine(side int, wrap bool) (*netsim.Mesh[complex128], error) {
+	return netsim.NewMesh[complex128](side, wrap, netsim.Config{})
+}
+
+// NewHypercubeMachine builds a 2^dims-node hypercube machine.
+func NewHypercubeMachine(dims int) (*netsim.Hypercube[complex128], error) {
+	return netsim.NewHypercube[complex128](dims, netsim.Config{})
+}
+
+// NewHypermeshMachine builds a base^dims hypermesh machine.
+func NewHypermeshMachine(base, dims int) (*netsim.Hypermesh[complex128], error) {
+	return netsim.NewHypermesh[complex128](base, dims, netsim.Config{})
+}
+
+// ---- Distributed algorithms ----
+
+// FFTOptions configures a distributed FFT run.
+type FFTOptions = parfft.Options
+
+// FFTResult reports a distributed FFT run: the spectrum and the
+// Table 2A step counts.
+type FFTResult = parfft.Result
+
+// DistributedFFT runs the N-point FFT with one sample per processing
+// element on a simulated machine, verified against the serial plan.
+func DistributedFFT(m netsim.Machine[complex128], x []complex128, opts FFTOptions) (*FFTResult, error) {
+	return parfft.Run(m, x, opts)
+}
+
+// BitonicSort sorts data in place with Batcher's bitonic network — the
+// companion algorithm of the paper's [13] comparison.
+func BitonicSort(data []float64) error { return bitonic.Sort(data) }
+
+// Layout maps element indices onto machine nodes.
+type Layout = layout.Layout
+
+// RowMajorLayout is the natural embedding.
+func RowMajorLayout(n int) Layout { return layout.RowMajor(n) }
+
+// ShuffledLayout is the bit-interleaved mesh embedding that halves
+// high-stage distances.
+func ShuffledLayout(n int) Layout { return layout.ShuffledRowMajor(n) }
+
+// ---- Performance model ----
+
+// CaseStudyOptions and CaseStudy expose the §IV 4K-processor analysis.
+type (
+	CaseStudyOptions = perfmodel.CaseStudyOptions
+	CaseStudy        = perfmodel.CaseStudy
+)
+
+// RunCaseStudy evaluates the §IV FFT comparison: 4K-sample FFT on 4K
+// processors, hypermesh ~26.6x faster than the mesh and ~10.4x faster
+// than the hypercube (13.3x and 6x with a 20 ns propagation delay).
+func RunCaseStudy(o CaseStudyOptions) (*CaseStudy, error) { return perfmodel.RunCaseStudy(o) }

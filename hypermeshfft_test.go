@@ -1,0 +1,119 @@
+package hypermeshfft
+
+import (
+	"math"
+	"math/cmplx"
+	"sort"
+	"testing"
+
+	"repro/internal/fft"
+)
+
+// TestPublicAPIQuickstart walks the README quickstart through the
+// facade: serial FFT, then the paper's headline distributed run.
+func TestPublicAPIQuickstart(t *testing.T) {
+	n := 1024
+	plan := MustPlan(n)
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = cmplx.Exp(complex(0, 2*math.Pi*float64(3*i)/float64(n)))
+	}
+	spec := plan.Forward(x)
+	peak := 0
+	for k := range spec {
+		if cmplx.Abs(spec[k]) > cmplx.Abs(spec[peak]) {
+			peak = k
+		}
+	}
+	if peak != 3 {
+		t.Fatalf("spectrum peak at %d, want 3", peak)
+	}
+}
+
+func TestPublicAPIDistributedFFT(t *testing.T) {
+	n := 256
+	x := randomSignal(n, 10)
+	want := MustPlan(n).Forward(x)
+	m, err := NewHypermeshMachine(16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DistributedFFT(m, x, FFTOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := fft.MaxAbsDiff(res.Output, want); d > 1e-7 {
+		t.Fatalf("distributed FFT differs by %g", d)
+	}
+	if res.BitReversalSteps > 3 {
+		t.Fatalf("hypermesh bit reversal took %d steps", res.BitReversalSteps)
+	}
+}
+
+func TestPublicAPICaseStudy(t *testing.T) {
+	cs, err := RunCaseStudy(CaseStudyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.SpeedupVsMesh < 26 || cs.SpeedupVsMesh > 27 {
+		t.Fatalf("speedup vs mesh = %v", cs.SpeedupVsMesh)
+	}
+}
+
+func TestPublicAPIBitonicSort(t *testing.T) {
+	data := []float64{5, 3, 8, 1, 9, 2, 7, 4}
+	if err := BitonicSort(data); err != nil {
+		t.Fatal(err)
+	}
+	if !sort.Float64sAreSorted(data) {
+		t.Fatalf("not sorted: %v", data)
+	}
+}
+
+func TestPublicAPITopologiesAndHardware(t *testing.T) {
+	hm := NewHypermesh(64, 2)
+	model := NewHardwareModel(hm)
+	bw, err := model.LinkBandwidth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bw != 6.4e9 {
+		t.Fatalf("link bandwidth = %v", bw)
+	}
+	if NewMesh2D(64, true).Nodes() != NewHypercube(12).Nodes() {
+		t.Fatal("4K machines disagree on node count")
+	}
+}
+
+func TestPublicAPIClosDecomposition(t *testing.T) {
+	ph, err := DecomposePermutation(16, BitReversal(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ph.Steps() > 3 {
+		t.Fatalf("bit reversal needs %d steps", ph.Steps())
+	}
+}
+
+func TestPublicAPIFlowGraph(t *testing.T) {
+	g, err := NewFlowGraph(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Ranks() != 6 {
+		t.Fatalf("ranks = %d", g.Ranks())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPILayouts(t *testing.T) {
+	if RowMajorLayout(64).NodeOf(5) != 5 {
+		t.Fatal("row-major layout not identity")
+	}
+	if ShuffledLayout(64).NodeOf(1) != 1 {
+		// element bit 0 maps to column bit 0
+		t.Fatal("shuffled layout bit 0 should stay put")
+	}
+}

@@ -1,0 +1,252 @@
+package hypermeshfft
+
+// End-to-end consistency tests: the analytical model, the simulator and
+// the serial numerics must all tell one story. These are the
+// repository's "does the whole reproduction hang together" checks.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/congest"
+	"repro/internal/fft"
+	"repro/internal/hardware"
+	"repro/internal/netsim"
+	"repro/internal/parfft"
+	"repro/internal/perfmodel"
+	"repro/internal/permute"
+	"repro/internal/topology"
+)
+
+// TestEndToEndModelMatchesSimulation pins the central claim: the step
+// counts the closed-form model prices are exactly the step counts the
+// simulator measures for verified FFT schedules (hypercube and
+// hypermesh; the mesh's reversal is a lower bound, checked as such).
+func TestEndToEndModelMatchesSimulation(t *testing.T) {
+	for _, k := range []int{2, 3, 4, 5} { // N = 16 .. 1024
+		n := 1 << uint(2*k)
+		side := 1 << uint(k)
+		x := randomSignal(n, int64(n))
+		want := fft.MustPlan(n).Forward(x)
+
+		cubeModel, err := perfmodel.HypercubeFFTSteps(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cube, _ := netsim.NewHypercube[complex128](2*k, netsim.Config{})
+		cr, err := parfft.Run(cube, x, parfft.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := fft.MaxAbsDiff(cr.Output, want); d != 0 {
+			t.Fatalf("N=%d: hypercube output differs by %g", n, d)
+		}
+		if cr.ButterflySteps != cubeModel.Butterfly {
+			t.Fatalf("N=%d: hypercube butterfly %d != model %d", n, cr.ButterflySteps, cubeModel.Butterfly)
+		}
+		if cr.BitReversalSteps > cubeModel.BitReversal {
+			t.Fatalf("N=%d: hypercube reversal %d > model bound %d", n, cr.BitReversalSteps, cubeModel.BitReversal)
+		}
+
+		hmModel, _ := perfmodel.HypermeshFFTSteps(n)
+		hm, _ := netsim.NewHypermesh[complex128](side, 2, netsim.Config{})
+		hr, err := parfft.Run(hm, x, parfft.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := fft.MaxAbsDiff(hr.Output, want); d != 0 {
+			t.Fatalf("N=%d: hypermesh output differs by %g", n, d)
+		}
+		if hr.ButterflySteps != hmModel.Butterfly {
+			t.Fatalf("N=%d: hypermesh butterfly %d != model %d", n, hr.ButterflySteps, hmModel.Butterfly)
+		}
+		if hr.BitReversalSteps > hmModel.BitReversal {
+			t.Fatalf("N=%d: hypermesh reversal %d > bound %d", n, hr.BitReversalSteps, hmModel.BitReversal)
+		}
+
+		meshModel, _ := perfmodel.MeshFFTSteps(n)
+		mesh, _ := netsim.NewMesh[complex128](side, true, netsim.Config{})
+		mr, err := parfft.Run(mesh, x, parfft.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := fft.MaxAbsDiff(mr.Output, want); d != 0 {
+			t.Fatalf("N=%d: mesh output differs by %g", n, d)
+		}
+		if mr.ButterflySteps != meshModel.Butterfly {
+			t.Fatalf("N=%d: mesh butterfly %d != model %d", n, mr.ButterflySteps, meshModel.Butterfly)
+		}
+		if mr.BitReversalSteps < meshModel.BitReversal {
+			t.Fatalf("N=%d: mesh reversal %d below the model's lower bound %d",
+				n, mr.BitReversalSteps, meshModel.BitReversal)
+		}
+	}
+}
+
+// TestEndToEndCongestionExplainsMeshReversal ties §V to the measured
+// behaviour: the congestion/bisection lower bound for the mesh's bit
+// reversal is respected by the simulator's measured makespan.
+func TestEndToEndCongestionExplainsMeshReversal(t *testing.T) {
+	side := 16
+	n := side * side
+	topo := topology.NewMesh2D(side, true)
+	res, err := congest.Analyze(topo, permute.BitReversal(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := res.StepLowerBound(topo.BisectionLinks())
+
+	mesh, _ := netsim.NewMesh[complex128](side, true, netsim.Config{})
+	x := randomSignal(n, 7)
+	mr, err := parfft.Run(mesh, x, parfft.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr.BitReversalSteps < lb {
+		t.Fatalf("measured reversal %d below congestion bound %d", mr.BitReversalSteps, lb)
+	}
+}
+
+// TestEndToEndSpeedupFromMeasuredSteps recomputes the §IV.A speedups
+// from *measured* steps (instead of the model's) and confirms the
+// conclusion direction survives: the hypermesh still wins by >20x.
+func TestEndToEndSpeedupFromMeasuredSteps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	n := 4096
+	x := randomSignal(n, 8)
+	mesh, _ := netsim.NewMesh[complex128](64, true, netsim.Config{})
+	cube, _ := netsim.NewHypercube[complex128](12, netsim.Config{})
+	hm, _ := netsim.NewHypermesh[complex128](64, 2, netsim.Config{})
+	mr, err := parfft.Run(mesh, x, parfft.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := parfft.Run(cube, x, parfft.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := parfft.Run(hm, x, parfft.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepTime := func(topo topology.Topology) float64 {
+		m := hardware.NewModel(topo)
+		st, err := m.StepTime()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	meshT := float64(mr.TotalSteps()) * stepTime(topology.NewMesh2D(64, true))
+	cubeT := float64(cr.TotalSteps()) * stepTime(topology.NewHypercubeForNodes(n))
+	hmT := float64(hr.TotalSteps()) * stepTime(topology.NewHypermesh(64, 2))
+	if meshT/hmT < 20 {
+		t.Fatalf("measured-step speedup vs mesh = %v; conclusion should survive", meshT/hmT)
+	}
+	if cubeT/hmT < 8 {
+		t.Fatalf("measured-step speedup vs hypercube = %v", cubeT/hmT)
+	}
+}
+
+// TestEndToEndFourEnginesAgree cross-checks four independent FFT
+// implementations on one input: the planned serial transform, the
+// flow-graph evaluation, the distributed machine run and the BSP actor
+// run.
+func TestEndToEndFourEnginesAgree(t *testing.T) {
+	n := 256
+	x := randomSignal(n, 9)
+	serial := MustPlan(n).Forward(x)
+
+	g, err := NewFlowGraph(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graph := g.Evaluate(x)
+
+	hm, _ := netsim.NewHypermesh[complex128](16, 2, netsim.Config{})
+	dist, err := parfft.Run(hm, x, parfft.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	actor, err := parfft.RunActor(x, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, got := range map[string][]complex128{
+		"flow graph": graph, "distributed": dist.Output, "actor": actor,
+	} {
+		if d := fft.MaxAbsDiff(got, serial); d > 1e-9*float64(n) {
+			t.Fatalf("%s differs from serial by %g", name, d)
+		}
+	}
+}
+
+func randomPermSeeded(n int, seed int64) permute.Permutation {
+	return permute.Random(n, rand.New(rand.NewSource(seed)))
+}
+
+// TestEndToEndEveryRouterDeliversSamePermutation drives one random
+// permutation through every router in the repository and checks they
+// all implement the same semantics.
+func TestEndToEndEveryRouterDeliversSamePermutation(t *testing.T) {
+	p := randomPermSeeded(64, 10)
+	rng := rand.New(rand.NewSource(11))
+
+	check := func(name string, vals []int) {
+		t.Helper()
+		for src, dst := range p {
+			if vals[dst] != src {
+				t.Fatalf("%s: node %d holds %d, want %d", name, dst, vals[dst], src)
+			}
+		}
+	}
+
+	mesh, _ := netsim.NewMesh[int](8, true, netsim.Config{})
+	for i := range mesh.Values() {
+		mesh.Values()[i] = i
+	}
+	if _, err := mesh.Route(p); err != nil {
+		t.Fatal(err)
+	}
+	check("mesh store-and-forward", mesh.Values())
+
+	cube, _ := netsim.NewHypercube[int](6, netsim.Config{})
+	for i := range cube.Values() {
+		cube.Values()[i] = i
+	}
+	if _, err := cube.Route(p); err != nil {
+		t.Fatal(err)
+	}
+	check("hypercube greedy", cube.Values())
+
+	cubeV, _ := netsim.NewHypercube[int](6, netsim.Config{})
+	for i := range cubeV.Values() {
+		cubeV.Values()[i] = i
+	}
+	if _, err := cubeV.RouteValiant(p, rng); err != nil {
+		t.Fatal(err)
+	}
+	check("hypercube valiant", cubeV.Values())
+
+	cubeA, _ := netsim.NewHypercube[int](6, netsim.Config{})
+	for i := range cubeA.Values() {
+		cubeA.Values()[i] = i
+	}
+	if _, err := cubeA.RouteAdaptive(p, rng); err != nil {
+		t.Fatal(err)
+	}
+	check("hypercube adaptive", cubeA.Values())
+
+	hm, _ := netsim.NewHypermesh[int](8, 2, netsim.Config{})
+	for i := range hm.Values() {
+		hm.Values()[i] = i
+	}
+	if _, err := hm.Route(p); err != nil {
+		t.Fatal(err)
+	}
+	check("hypermesh clos", hm.Values())
+}

@@ -1,0 +1,140 @@
+// Package ascend implements the classic ASCEND/DESCEND algorithm family
+// on the simulated machines of package netsim. The paper's §I motivates
+// the hypermesh precisely with this family: "The majority of parallel
+// algorithms, such as the Bitonic sort, the FFT, and matrix algorithms,
+// use these permutations" — every communication is a butterfly exchange
+// over one address bit, executed in ascending (ASCEND) or descending
+// (DESCEND) bit order.
+//
+// Provided here: all-reduce, one-to-all broadcast, parallel prefix
+// (scan), and total-exchange cost accounting. Each costs log2(N)
+// exchange operations: log N data-transfer steps on a hypercube or
+// hypermesh, and 2(sqrt(N)-1) steps on a mesh — the same Table 2A
+// economics as the FFT's butterfly half.
+package ascend
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+	"repro/internal/netsim"
+)
+
+// logNodes returns log2 of the machine size, erroring on non powers of
+// two.
+func logNodes[T any](m netsim.Machine[T]) (int, error) {
+	n := m.Nodes()
+	if !bits.IsPow2(n) {
+		return 0, fmt.Errorf("ascend: machine size %d is not a power of two", n)
+	}
+	return bits.Log2(n), nil
+}
+
+// AllReduce combines every node's register with the associative,
+// commutative operator op and leaves the full combination in every
+// node's register, in log2(N) exchange steps (ASCEND order).
+func AllReduce[T any](m netsim.Machine[T], op func(a, b T) T) error {
+	k, err := logNodes(m)
+	if err != nil {
+		return err
+	}
+	for bit := 0; bit < k; bit++ {
+		err := m.ExchangeCompute(bit, func(self, partner T, node int) T {
+			return op(self, partner)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Broadcast copies the register of node root into every node's
+// register in log2(N) exchange steps.
+func Broadcast[T any](m netsim.Machine[T], root int) error {
+	k, err := logNodes(m)
+	if err != nil {
+		return err
+	}
+	if root < 0 || root >= m.Nodes() {
+		return fmt.Errorf("ascend: broadcast root %d out of range", root)
+	}
+	for bit := 0; bit < k; bit++ {
+		b := bit
+		err := m.ExchangeCompute(b, func(self, partner T, node int) T {
+			// Invariant: before step b, every node agreeing with root on
+			// bits >= b holds the root value. Nodes whose bit b differs
+			// from the root's fetch it from their partner, which agrees
+			// with root on bit b (and, inductively, on all higher bits).
+			if bits.Bit(node, b) != bits.Bit(root, b) {
+				return partner
+			}
+			return self
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ScanPair carries the running prefix and segment total of the
+// hypercube scan; see Scan.
+type ScanPair[T any] struct {
+	Prefix T // inclusive prefix over this node's processed segment
+	Total  T // combination over the whole processed segment
+}
+
+// Scan computes the inclusive parallel prefix: after the call, node i's
+// register holds op(x_0, x_1, ..., x_i), where x_j was node j's initial
+// register (node order = address order). op must be associative; it
+// does not need to be commutative. Cost: log2(N) exchange steps on a
+// machine of ScanPair registers.
+func Scan[T any](m netsim.Machine[ScanPair[T]], op func(a, b T) T) error {
+	k, err := logNodes(m)
+	if err != nil {
+		return err
+	}
+	// Initialize totals from prefixes (callers load Prefix = x_i).
+	vals := m.Values()
+	for i := range vals {
+		vals[i].Total = vals[i].Prefix
+	}
+	for bit := 0; bit < k; bit++ {
+		b := bit
+		err := m.ExchangeCompute(b, func(self, partner ScanPair[T], node int) ScanPair[T] {
+			// Nodes pair across bit b; the partner with bit b clear is
+			// the lower half of the merged segment.
+			if bits.Bit(node, b) == 1 {
+				return ScanPair[T]{
+					Prefix: op(partner.Total, self.Prefix),
+					Total:  op(partner.Total, self.Total),
+				}
+			}
+			return ScanPair[T]{
+				Prefix: self.Prefix,
+				Total:  op(self.Total, partner.Total),
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MaxIndex is a reduction payload selecting the maximum value and the
+// node that held it — a common AllReduce instantiation (argmax).
+type MaxIndex struct {
+	Value float64
+	Index int
+}
+
+// CombineMaxIndex is the AllReduce operator for MaxIndex; ties break
+// toward the lower index, making the result deterministic.
+func CombineMaxIndex(a, b MaxIndex) MaxIndex {
+	if b.Value > a.Value || (b.Value == a.Value && b.Index < a.Index) {
+		return b
+	}
+	return a
+}

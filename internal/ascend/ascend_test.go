@@ -1,0 +1,248 @@
+package ascend
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/netsim"
+)
+
+// intMachines builds the three 64-node machines with int registers.
+func intMachines(t *testing.T) []netsim.Machine[int] {
+	t.Helper()
+	mesh, err := netsim.NewMesh[int](8, true, netsim.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cube, err := netsim.NewHypercube[int](6, netsim.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hm, err := netsim.NewHypermesh[int](8, 2, netsim.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []netsim.Machine[int]{mesh, cube, hm}
+}
+
+func TestAllReduceSum(t *testing.T) {
+	for _, m := range intMachines(t) {
+		for i := range m.Values() {
+			m.Values()[i] = i + 1
+		}
+		if err := AllReduce(m, func(a, b int) int { return a + b }); err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		want := 64 * 65 / 2
+		for i, v := range m.Values() {
+			if v != want {
+				t.Fatalf("%s: node %d holds %d, want %d", m.Name(), i, v, want)
+			}
+		}
+	}
+}
+
+func TestAllReduceMax(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, m := range intMachines(t) {
+		maxVal := -1 << 30
+		for i := range m.Values() {
+			v := rng.Intn(10000)
+			m.Values()[i] = v
+			if v > maxVal {
+				maxVal = v
+			}
+		}
+		if err := AllReduce(m, func(a, b int) int {
+			if a > b {
+				return a
+			}
+			return b
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range m.Values() {
+			if v != maxVal {
+				t.Fatalf("%s: got %d, want max %d", m.Name(), v, maxVal)
+			}
+		}
+	}
+}
+
+func TestAllReduceStepCosts(t *testing.T) {
+	// The reduction pays the same per-network costs as the FFT's
+	// butterfly half: log N on hypercube/hypermesh, 2(sqrt N - 1) on
+	// the mesh.
+	ms := intMachines(t)
+	for _, m := range ms {
+		m.ResetStats()
+		if err := AllReduce(m, func(a, b int) int { return a + b }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := ms[1].Stats().Steps; got != 6 {
+		t.Fatalf("hypercube all-reduce steps = %d, want 6", got)
+	}
+	if got := ms[2].Stats().Steps; got != 6 {
+		t.Fatalf("hypermesh all-reduce steps = %d, want 6", got)
+	}
+	if got := ms[0].Stats().Steps; got != 2*(8-1) {
+		t.Fatalf("mesh all-reduce steps = %d, want 14", got)
+	}
+}
+
+func TestBroadcastFromEveryRoot(t *testing.T) {
+	for _, m := range intMachines(t) {
+		for root := 0; root < m.Nodes(); root += 13 {
+			for i := range m.Values() {
+				m.Values()[i] = i * 100
+			}
+			if err := Broadcast(m, root); err != nil {
+				t.Fatalf("%s root %d: %v", m.Name(), root, err)
+			}
+			for i, v := range m.Values() {
+				if v != root*100 {
+					t.Fatalf("%s root %d: node %d holds %d", m.Name(), root, i, v)
+				}
+			}
+		}
+	}
+}
+
+func TestBroadcastValidatesRoot(t *testing.T) {
+	m := intMachines(t)[1]
+	if err := Broadcast(m, -1); err == nil {
+		t.Fatal("negative root accepted")
+	}
+	if err := Broadcast(m, 64); err == nil {
+		t.Fatal("out-of-range root accepted")
+	}
+}
+
+func TestScanSum(t *testing.T) {
+	build := func() []netsim.Machine[ScanPair[int]] {
+		mesh, _ := netsim.NewMesh[ScanPair[int]](8, true, netsim.Config{Workers: 1})
+		cube, _ := netsim.NewHypercube[ScanPair[int]](6, netsim.Config{Workers: 1})
+		hm, _ := netsim.NewHypermesh[ScanPair[int]](8, 2, netsim.Config{Workers: 1})
+		return []netsim.Machine[ScanPair[int]]{mesh, cube, hm}
+	}
+	rng := rand.New(rand.NewSource(2))
+	xs := make([]int, 64)
+	for i := range xs {
+		xs[i] = rng.Intn(100)
+	}
+	for _, m := range build() {
+		for i := range m.Values() {
+			m.Values()[i] = ScanPair[int]{Prefix: xs[i]}
+		}
+		if err := Scan(m, func(a, b int) int { return a + b }); err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		run := 0
+		for i, v := range m.Values() {
+			run += xs[i]
+			if v.Prefix != run {
+				t.Fatalf("%s: prefix at %d = %d, want %d", m.Name(), i, v.Prefix, run)
+			}
+			if i == 63 && v.Total != run {
+				t.Fatalf("%s: final total = %d, want %d", m.Name(), v.Total, run)
+			}
+		}
+	}
+}
+
+func TestScanNonCommutativeOp(t *testing.T) {
+	// String concatenation is associative but not commutative; the scan
+	// must respect address order.
+	cube, _ := netsim.NewHypercube[ScanPair[string]](4, netsim.Config{Workers: 1})
+	letters := "abcdefghijklmnop"
+	for i := range cube.Values() {
+		cube.Values()[i] = ScanPair[string]{Prefix: string(letters[i])}
+	}
+	if err := Scan[string](cube, func(a, b string) string { return a + b }); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range cube.Values() {
+		if v.Prefix != letters[:i+1] {
+			t.Fatalf("prefix at %d = %q, want %q", i, v.Prefix, letters[:i+1])
+		}
+	}
+}
+
+func TestArgmaxReduction(t *testing.T) {
+	cube, _ := netsim.NewHypercube[MaxIndex](6, netsim.Config{Workers: 1})
+	rng := rand.New(rand.NewSource(3))
+	best := MaxIndex{Value: -1, Index: -1}
+	for i := range cube.Values() {
+		v := rng.Float64()
+		cube.Values()[i] = MaxIndex{Value: v, Index: i}
+		if v > best.Value {
+			best = MaxIndex{Value: v, Index: i}
+		}
+	}
+	if err := AllReduce[MaxIndex](cube, CombineMaxIndex); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range cube.Values() {
+		if v != best {
+			t.Fatalf("argmax = %+v, want %+v", v, best)
+		}
+	}
+}
+
+func TestCombineMaxIndexTieBreak(t *testing.T) {
+	a := MaxIndex{Value: 1, Index: 5}
+	b := MaxIndex{Value: 1, Index: 2}
+	if CombineMaxIndex(a, b).Index != 2 || CombineMaxIndex(b, a).Index != 2 {
+		t.Fatal("tie does not break toward lower index")
+	}
+}
+
+func BenchmarkAllReduceHypermesh4096(b *testing.B) {
+	hm, _ := netsim.NewHypermesh[int](64, 2, netsim.Config{})
+	for i := range hm.Values() {
+		hm.Values()[i] = i
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := AllReduce[int](hm, func(a, b int) int { return a + b }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestNonPowerOfTwoMachineRejected(t *testing.T) {
+	// A base-6 hypermesh has 36 nodes — not a power of two, so the
+	// ASCEND primitives must refuse it.
+	hm, err := netsim.NewHypermesh[int](6, 2, netsim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AllReduce(hm, func(a, b int) int { return a + b }); err == nil {
+		t.Fatal("AllReduce accepted a 36-node machine")
+	}
+	if err := Broadcast(hm, 0); err == nil {
+		t.Fatal("Broadcast accepted a 36-node machine")
+	}
+	hms, err := netsim.NewHypermesh[ScanPair[int]](6, 2, netsim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Scan(hms, func(a, b int) int { return a + b }); err == nil {
+		t.Fatal("Scan accepted a 36-node machine")
+	}
+}
+
+func TestAllReducePropagatesExchangeErrors(t *testing.T) {
+	// A failed hypercube dimension turns the reduction into an error.
+	h, err := netsim.NewHypercube[int](4, netsim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.FailLink(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := AllReduce(h, func(a, b int) int { return a + b }); err == nil {
+		t.Fatal("AllReduce ignored a failed link")
+	}
+}

@@ -1,0 +1,141 @@
+// Package banyan models the multistage interconnection networks the
+// paper contrasts with hypermeshes: the Omega (shuffle-exchange) network
+// of log2(N) stages of 2x2 switches — topologically the SW-banyan whose
+// graph is the FFT flow graph of Fig. 3.
+//
+// An Omega network realizes a permutation in one pass only if the
+// destination-tag paths of all N packets are link-disjoint; the paper's
+// §II observation is that a hypermesh realizes every Omega and
+// Omega-inverse admissible permutation in one pass *and* every other
+// permutation in at most three, while the Omega network blocks (the
+// FFT's bit-reversal being the classic inadmissible example).
+package banyan
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+	"repro/internal/permute"
+)
+
+// Omega is an N-input, N-output Omega network with log2(N) stages.
+type Omega struct {
+	n      int
+	stages int
+}
+
+// NewOmega builds an Omega network for n = 2^k ports.
+func NewOmega(n int) (*Omega, error) {
+	if !bits.IsPow2(n) || n < 2 {
+		return nil, fmt.Errorf("banyan: Omega size %d is not a power of two >= 2", n)
+	}
+	return &Omega{n: n, stages: bits.Log2(n)}, nil
+}
+
+// Ports returns N.
+func (o *Omega) Ports() int { return o.n }
+
+// Stages returns log2(N).
+func (o *Omega) Stages() int { return o.stages }
+
+// PathPositions returns the wire position of a packet from input src to
+// output dst after every stage: positions[0] is the input port and
+// positions[stages] is the output port. Destination-tag (self-routing):
+// entering stage s, the wiring perfect-shuffles the position, then the
+// switch sets the low bit to destination bit stages-1-s.
+func (o *Omega) PathPositions(src, dst int) []int {
+	if src < 0 || src >= o.n || dst < 0 || dst >= o.n {
+		panic(fmt.Sprintf("banyan: port out of range: src %d dst %d", src, dst))
+	}
+	pos := src
+	out := make([]int, o.stages+1)
+	out[0] = pos
+	for s := 0; s < o.stages; s++ {
+		pos = bits.PerfectShuffle(pos, o.stages)
+		pos = bits.SetBit(pos, 0, bits.Bit(dst, o.stages-1-s))
+		out[s+1] = pos
+	}
+	return out
+}
+
+// Result reports the admissibility check of one permutation.
+type Result struct {
+	// Passable is true when all N paths are wire-disjoint at every
+	// stage: the permutation routes in a single pass.
+	Passable bool
+	// Conflicts is the total number of wire collisions summed over
+	// stages (0 when Passable).
+	Conflicts int
+	// ConflictsPerStage breaks Conflicts down by stage (index 1 =
+	// after the first stage's switches; index 0 is always 0 because
+	// inputs are distinct).
+	ConflictsPerStage []int
+}
+
+// Check runs destination-tag routing for permutation p and reports
+// whether the Omega network can realize it without blocking.
+func (o *Omega) Check(p permute.Permutation) (*Result, error) {
+	if len(p) != o.n {
+		return nil, fmt.Errorf("banyan: permutation size %d != %d ports", len(p), o.n)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("banyan: %w", err)
+	}
+	res := &Result{Passable: true, ConflictsPerStage: make([]int, o.stages+1)}
+	occupied := make([]int, o.n) // stamp: last stage the wire was claimed
+	for i := range occupied {
+		occupied[i] = -1
+	}
+	// Positions of all packets, advanced stage by stage.
+	pos := make([]int, o.n)
+	for src := range pos {
+		pos[src] = src
+	}
+	for s := 0; s < o.stages; s++ {
+		for src := range pos {
+			q := bits.PerfectShuffle(pos[src], o.stages)
+			q = bits.SetBit(q, 0, bits.Bit(p[src], o.stages-1-s))
+			pos[src] = q
+		}
+		for _, q := range pos {
+			if occupied[q] == s {
+				res.Conflicts++
+				res.ConflictsPerStage[s+1]++
+				res.Passable = false
+			}
+			occupied[q] = s
+		}
+	}
+	return res, nil
+}
+
+// Passable reports whether the Omega network realizes p in one pass.
+func (o *Omega) Passable(p permute.Permutation) (bool, error) {
+	res, err := o.Check(p)
+	if err != nil {
+		return false, err
+	}
+	return res.Passable, nil
+}
+
+// PassableFraction estimates, over the given sample of permutations,
+// the fraction an Omega network can realize in one pass; random
+// permutations almost never pass for large N (there are (N/2)^... far
+// fewer admissible settings than N! permutations), which is why
+// multistage machines need multiple passes or sorting networks.
+func (o *Omega) PassableFraction(perms []permute.Permutation) (float64, error) {
+	if len(perms) == 0 {
+		return 0, fmt.Errorf("banyan: empty sample")
+	}
+	pass := 0
+	for _, p := range perms {
+		ok, err := o.Passable(p)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			pass++
+		}
+	}
+	return float64(pass) / float64(len(perms)), nil
+}

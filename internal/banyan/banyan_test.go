@@ -1,0 +1,235 @@
+package banyan
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bits"
+	"repro/internal/clos"
+	"repro/internal/permute"
+)
+
+func TestNewOmegaValidates(t *testing.T) {
+	if _, err := NewOmega(12); err == nil {
+		t.Fatal("size 12 accepted")
+	}
+	if _, err := NewOmega(1); err == nil {
+		t.Fatal("size 1 accepted")
+	}
+	o, err := NewOmega(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Ports() != 16 || o.Stages() != 4 {
+		t.Fatalf("shape %d/%d", o.Ports(), o.Stages())
+	}
+}
+
+func TestPathPositionsEndpoints(t *testing.T) {
+	o, _ := NewOmega(32)
+	for src := 0; src < 32; src += 5 {
+		for dst := 0; dst < 32; dst += 3 {
+			path := o.PathPositions(src, dst)
+			if path[0] != src {
+				t.Fatalf("path starts at %d", path[0])
+			}
+			if path[len(path)-1] != dst {
+				t.Fatalf("path from %d to %d ends at %d", src, dst, path[len(path)-1])
+			}
+		}
+	}
+}
+
+func TestIdentityPasses(t *testing.T) {
+	o, _ := NewOmega(64)
+	ok, err := o.Passable(permute.Identity(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("identity blocked")
+	}
+}
+
+func TestPerfectShuffleBlocks(t *testing.T) {
+	// Counter-intuitively, the Omega network cannot realize the perfect
+	// shuffle — its own wiring pattern — as a routed permutation in one
+	// pass: at N = 4 packets from inputs 0 and 2 already collide after
+	// the first stage. (The hypermesh routes it in <= 3 steps like any
+	// other permutation; see TestHypermeshCoversWhatOmegaCannot.)
+	o, _ := NewOmega(64)
+	ok, err := o.Passable(permute.PerfectShuffle(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("perfect shuffle unexpectedly passed")
+	}
+}
+
+func TestButterflyExchangesPass(t *testing.T) {
+	// The FFT's stage permutations (XOR with a power of two) are
+	// admissible: every switch sees its two packets request opposite
+	// outputs.
+	o, _ := NewOmega(64)
+	for s := 0; s < 6; s++ {
+		ok, err := o.Passable(permute.ButterflyExchange(64, s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("butterfly exchange of bit %d blocked", s)
+		}
+	}
+}
+
+func TestCyclicShiftsPass(t *testing.T) {
+	// Uniform shifts are the classic Omega-admissible family.
+	o, _ := NewOmega(64)
+	for _, k := range []int{1, 2, 7, 31, 63} {
+		ok, err := o.Passable(permute.CyclicShift(64, k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("cyclic shift by %d blocked", k)
+		}
+	}
+}
+
+func TestBitReversalBlocks(t *testing.T) {
+	// The FFT's terminal permutation does NOT pass an Omega network in
+	// one pass (for N >= 8) — the contrast that §III.C exploits: the
+	// hypermesh needs at most 3 steps for it.
+	for _, n := range []int{8, 16, 64, 256, 4096} {
+		o, _ := NewOmega(n)
+		res, err := o.Check(permute.BitReversal(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Passable {
+			t.Fatalf("n=%d: bit reversal passed the Omega network", n)
+		}
+		if res.Conflicts == 0 {
+			t.Fatalf("n=%d: inadmissible but zero conflicts", n)
+		}
+	}
+}
+
+func TestTransposeBlocks(t *testing.T) {
+	o, _ := NewOmega(64)
+	ok, err := o.Passable(permute.Transpose(8, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("matrix transpose passed (it is the classic blocker)")
+	}
+}
+
+func TestRandomPermutationsMostlyBlock(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	var perms []permute.Permutation
+	for i := 0; i < 200; i++ {
+		perms = append(perms, permute.Random(256, rng))
+	}
+	o, _ := NewOmega(256)
+	frac, err := o.PassableFraction(perms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Admissible settings are 2^(N/2*logN) = 2^1024 out of 256! ~ 2^1684:
+	// a random permutation passes with probability ~ 2^-660.
+	if frac != 0 {
+		t.Fatalf("%.2f of random permutations passed; expected none", frac)
+	}
+}
+
+func TestConflictsPerStageSumsToConflicts(t *testing.T) {
+	o, _ := NewOmega(64)
+	res, err := o.Check(permute.BitReversal(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for _, c := range res.ConflictsPerStage {
+		sum += c
+	}
+	if sum != res.Conflicts {
+		t.Fatalf("per-stage sum %d != total %d", sum, res.Conflicts)
+	}
+	if res.ConflictsPerStage[0] != 0 {
+		t.Fatal("stage 0 cannot conflict")
+	}
+}
+
+func TestCheckValidates(t *testing.T) {
+	o, _ := NewOmega(16)
+	if _, err := o.Check(permute.Identity(8)); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	if _, err := o.Check(permute.Permutation{0, 0, 1, 2, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}); err == nil {
+		t.Fatal("invalid permutation accepted")
+	}
+	if _, err := o.PassableFraction(nil); err == nil {
+		t.Fatal("empty sample accepted")
+	}
+}
+
+func TestHypermeshCoversWhatOmegaCannot(t *testing.T) {
+	// The paper's contrast, demonstrated end to end: permutations the
+	// Omega network blocks still route on the 2D hypermesh in <= 3 net
+	// steps via the Clos decomposition.
+	rng := rand.New(rand.NewSource(78))
+	o, _ := NewOmega(64)
+	blocked := 0
+	for trial := 0; trial < 20; trial++ {
+		p := permute.Random(64, rng)
+		ok, err := o.Passable(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			continue
+		}
+		blocked++
+		ph, err := clos.Decompose(8, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ph.Steps() > 3 {
+			t.Fatalf("hypermesh needed %d steps", ph.Steps())
+		}
+		if !ph.Compose().Equal(p) {
+			t.Fatal("decomposition wrong")
+		}
+	}
+	if blocked == 0 {
+		t.Fatal("no blocked permutations sampled")
+	}
+}
+
+func TestPathPositionsSingleSwitchSemantics(t *testing.T) {
+	// After each stage, the packet's position has its low bit equal to
+	// the corresponding destination bit.
+	o, _ := NewOmega(32)
+	src, dst := 13, 22
+	path := o.PathPositions(src, dst)
+	for s := 1; s <= o.Stages(); s++ {
+		want := bits.Bit(dst, o.Stages()-s)
+		if bits.Bit(path[s], 0) != want {
+			t.Fatalf("stage %d low bit %d, want %d", s, bits.Bit(path[s], 0), want)
+		}
+	}
+}
+
+func BenchmarkOmegaCheck4096(b *testing.B) {
+	o, _ := NewOmega(4096)
+	p := permute.BitReversal(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := o.Check(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

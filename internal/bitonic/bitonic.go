@@ -1,0 +1,159 @@
+// Package bitonic implements Batcher's bitonic sorting network and its
+// execution on the simulated machines of package netsim.
+//
+// The paper's §IV.A cites the companion comparison (Szymanski, ICPP'91)
+// of the Bitonic sort on the 2D mesh, 2D hypermesh and binary hypercube;
+// like the FFT, the bitonic sort is an ASCEND/DESCEND algorithm whose
+// every communication is a butterfly exchange over one element-address
+// bit, so the same machinery (and the same per-topology step accounting)
+// applies.
+package bitonic
+
+import (
+	"cmp"
+	"fmt"
+
+	"repro/internal/bits"
+	"repro/internal/layout"
+	"repro/internal/netsim"
+)
+
+// Stage is one compare-exchange stage of the network: every element e is
+// paired with e XOR J inside the merge block of size K.
+type Stage struct {
+	K int // merge block size (direction selector)
+	J int // partner distance; the exchanged address bit is log2(J)
+}
+
+// Bit returns the element-address bit exchanged by the stage.
+func (s Stage) Bit() int { return bits.Log2(s.J) }
+
+// Schedule returns the bitonic sorting network for n = 2^k elements:
+// k*(k+1)/2 stages of butterfly exchanges.
+func Schedule(n int) ([]Stage, error) {
+	if !bits.IsPow2(n) {
+		return nil, fmt.Errorf("bitonic: size %d is not a power of two", n)
+	}
+	var out []Stage
+	for k := 2; k <= n; k *= 2 {
+		for j := k / 2; j >= 1; j /= 2 {
+			out = append(out, Stage{K: k, J: j})
+		}
+	}
+	return out, nil
+}
+
+// StageCount returns len(Schedule(n)) in closed form: with k = log2(n),
+// k*(k+1)/2 stages.
+func StageCount(n int) int {
+	k := bits.Log2(n)
+	return k * (k + 1) / 2
+}
+
+// keep computes the post-exchange value at element index e for one
+// stage: whether e keeps the minimum or maximum of (self, partner).
+func keep[T cmp.Ordered](st Stage, e int, self, partner T) T {
+	ascending := e&st.K == 0
+	lower := e&st.J == 0
+	if ascending == lower {
+		return min(self, partner)
+	}
+	return max(self, partner)
+}
+
+// Sort sorts data in place with the bitonic network (ascending). It is
+// the sequential reference the distributed runs are checked against.
+func Sort[T cmp.Ordered](data []T) error {
+	sched, err := Schedule(len(data))
+	if err != nil {
+		return err
+	}
+	for _, st := range sched {
+		for e := 0; e < len(data); e++ {
+			p := e ^ st.J
+			if p > e {
+				lo, hi := keep(st, e, data[e], data[p]), keep(st, p, data[p], data[e])
+				data[e], data[p] = lo, hi
+			}
+		}
+	}
+	return nil
+}
+
+// Result reports one distributed bitonic sort execution.
+type Result struct {
+	// TransferSteps is the total number of data-transfer steps over all
+	// k*(k+1)/2 compare-exchange stages.
+	TransferSteps int
+	// ComputeSteps is the number of parallel compare steps, k*(k+1)/2.
+	ComputeSteps int
+}
+
+// Run sorts n = m.Nodes() keys, one per processing element, on the
+// simulated machine and returns the sorted sequence (in element order)
+// along with the step counts.
+func Run[T cmp.Ordered](m netsim.Machine[T], data []T, lay layout.Layout) (*Result, []T, error) {
+	n := m.Nodes()
+	if len(data) != n {
+		return nil, nil, fmt.Errorf("bitonic: input length %d != %d nodes", len(data), n)
+	}
+	sched, err := Schedule(n)
+	if err != nil {
+		return nil, nil, err
+	}
+	if lay == nil {
+		lay = layout.RowMajor(n)
+	}
+	lp := layout.Permutation(lay, n)
+	if err := lp.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("bitonic: layout is not a bijection: %w", err)
+	}
+	elemAt := lp.Inverse()
+	vals := m.Values()
+	for e := 0; e < n; e++ {
+		vals[lp[e]] = data[e]
+	}
+	m.ResetStats()
+	for _, st := range sched {
+		stage := st
+		err := m.ExchangeCompute(lay.NodeBit(st.Bit()), func(self, partner T, node int) T {
+			return keep(stage, elemAt[node], self, partner)
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	out := make([]T, n)
+	vals = m.Values()
+	for e := 0; e < n; e++ {
+		out[e] = vals[lp[e]]
+	}
+	s := m.Stats()
+	return &Result{TransferSteps: s.Steps, ComputeSteps: s.ComputeSteps}, out, nil
+}
+
+// MeshSteps returns, in closed form, the number of data-transfer steps
+// the bitonic sort needs on a side^2 mesh under the given layout: each
+// stage exchanging element bit b costs 2^(axis position of NodeBit(b)).
+func MeshSteps(n int, lay layout.Layout) (int, error) {
+	sched, err := Schedule(n)
+	if err != nil {
+		return 0, err
+	}
+	axBits := bits.Log2(n) / 2
+	if axBits*2 != bits.Log2(n) {
+		return 0, fmt.Errorf("bitonic: mesh steps need a square machine, n=%d", n)
+	}
+	if lay == nil {
+		lay = layout.RowMajor(n)
+	}
+	total := 0
+	for _, st := range sched {
+		total += 1 << uint(lay.NodeBit(st.Bit())%axBits)
+	}
+	return total, nil
+}
+
+// DirectSteps returns the data-transfer steps on a hypercube or 2D
+// hypermesh: one step per stage, k*(k+1)/2 total.
+func DirectSteps(n int) int { return StageCount(n) }

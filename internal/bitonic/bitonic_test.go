@@ -1,0 +1,312 @@
+package bitonic
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/layout"
+	"repro/internal/netsim"
+)
+
+func TestScheduleShape(t *testing.T) {
+	sched, err := Schedule(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched) != StageCount(16) {
+		t.Fatalf("schedule has %d stages, closed form says %d", len(sched), StageCount(16))
+	}
+	if StageCount(16) != 10 {
+		t.Fatalf("StageCount(16) = %d, want 10", StageCount(16))
+	}
+	if StageCount(4096) != 78 {
+		t.Fatalf("StageCount(4096) = %d, want 78", StageCount(4096))
+	}
+	// First stage: K=2, J=1; last stage: K=n, J=1.
+	if sched[0].K != 2 || sched[0].J != 1 {
+		t.Fatalf("first stage %+v", sched[0])
+	}
+	last := sched[len(sched)-1]
+	if last.K != 16 || last.J != 1 {
+		t.Fatalf("last stage %+v", last)
+	}
+}
+
+func TestScheduleRejectsBadSize(t *testing.T) {
+	if _, err := Schedule(12); err == nil {
+		t.Fatal("Schedule(12) accepted")
+	}
+}
+
+func TestSortRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 64, 1024} {
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = rng.NormFloat64()
+		}
+		want := append([]float64(nil), data...)
+		sort.Float64s(want)
+		if err := Sort(data); err != nil {
+			t.Fatal(err)
+		}
+		for i := range data {
+			if data[i] != want[i] {
+				t.Fatalf("n=%d: mismatch at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestSortZeroOnePrinciple(t *testing.T) {
+	// A comparison network sorts all inputs iff it sorts every 0-1
+	// input; exhaustively verify for n=16 (65536 cases).
+	n := 16
+	for mask := 0; mask < 1<<n; mask++ {
+		data := make([]int, n)
+		ones := 0
+		for i := 0; i < n; i++ {
+			if mask>>i&1 == 1 {
+				data[i] = 1
+				ones++
+			}
+		}
+		if err := Sort(data); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			want := 0
+			if i >= n-ones {
+				want = 1
+			}
+			if data[i] != want {
+				t.Fatalf("mask %b not sorted: %v", mask, data)
+			}
+		}
+	}
+}
+
+func TestSortDuplicatesAndSortedInputs(t *testing.T) {
+	data := []int{5, 5, 5, 5, 1, 1, 1, 1}
+	if err := Sort(data); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if data[i] != 1 || data[i+4] != 5 {
+			t.Fatalf("duplicates mishandled: %v", data)
+		}
+	}
+	asc := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	if err := Sort(asc); err != nil {
+		t.Fatal(err)
+	}
+	for i := range asc {
+		if asc[i] != i+1 {
+			t.Fatalf("already-sorted input broken: %v", asc)
+		}
+	}
+}
+
+func TestSortQuickProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (1 + rng.Intn(7))
+		data := make([]int, n)
+		for i := range data {
+			data[i] = rng.Intn(100)
+		}
+		if err := Sort(data); err != nil {
+			return false
+		}
+		return sort.IntsAreSorted(data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func distributedMachines(t *testing.T, n int) []netsim.Machine[float64] {
+	t.Helper()
+	side := 1
+	for side*side < n {
+		side *= 2
+	}
+	if side*side != n {
+		t.Fatalf("n=%d is not a square power of two", n)
+	}
+	mesh, err := netsim.NewMesh[float64](side, true, netsim.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dims := 0
+	for 1<<dims < n {
+		dims++
+	}
+	cube, err := netsim.NewHypercube[float64](dims, netsim.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hm, err := netsim.NewHypermesh[float64](side, 2, netsim.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []netsim.Machine[float64]{mesh, cube, hm}
+}
+
+func TestRunSortsOnAllMachines(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 64
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	want := append([]float64(nil), data...)
+	sort.Float64s(want)
+	for _, m := range distributedMachines(t, n) {
+		res, out, err := Run(m, data, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		for i := range out {
+			if out[i] != want[i] {
+				t.Fatalf("%s: unsorted at %d", m.Name(), i)
+			}
+		}
+		if res.ComputeSteps != StageCount(n) {
+			t.Fatalf("%s: compute steps %d, want %d", m.Name(), res.ComputeSteps, StageCount(n))
+		}
+	}
+}
+
+func TestRunStepCounts(t *testing.T) {
+	n := 64
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = float64(n - i)
+	}
+	ms := distributedMachines(t, n)
+	meshRes, _, err := Run(ms[0], data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cubeRes, _, err := Run(ms[1], data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hmRes, _, err := Run(ms[2], data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hypercube and hypermesh: 1 step per stage.
+	if cubeRes.TransferSteps != DirectSteps(n) {
+		t.Fatalf("hypercube steps %d, want %d", cubeRes.TransferSteps, DirectSteps(n))
+	}
+	if hmRes.TransferSteps != DirectSteps(n) {
+		t.Fatalf("hypermesh steps %d, want %d", hmRes.TransferSteps, DirectSteps(n))
+	}
+	// Mesh: matches the closed form.
+	want, err := MeshSteps(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meshRes.TransferSteps != want {
+		t.Fatalf("mesh steps %d, closed form %d", meshRes.TransferSteps, want)
+	}
+	if meshRes.TransferSteps <= hmRes.TransferSteps {
+		t.Fatal("mesh should pay more transfer steps than the hypermesh")
+	}
+}
+
+func TestShuffledLayoutReducesMeshSteps(t *testing.T) {
+	// At 4K keys the shuffled row-major layout reduces mesh steps
+	// substantially (the [13] comparison assumes an efficient layout).
+	n := 4096
+	rm, err := MeshSteps(n, layout.RowMajor(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := MeshSteps(n, layout.ShuffledRowMajor(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh >= rm {
+		t.Fatalf("shuffled (%d) not cheaper than row-major (%d)", sh, rm)
+	}
+	// Closed-form spot checks: row-major 618, shuffled 417 at n=4096.
+	if rm != 618 {
+		t.Fatalf("row-major mesh steps = %d, want 618", rm)
+	}
+	if sh != 417 {
+		t.Fatalf("shuffled mesh steps = %d, want 417", sh)
+	}
+}
+
+func TestRunWithShuffledLayoutStillSorts(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 256
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	want := append([]float64(nil), data...)
+	sort.Float64s(want)
+	mesh, _ := netsim.NewMesh[float64](16, true, netsim.Config{})
+	res, out, err := Run(mesh, data, layout.ShuffledRowMajor(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range out {
+		if out[i] != want[i] {
+			t.Fatalf("unsorted at %d", i)
+		}
+	}
+	closed, _ := MeshSteps(n, layout.ShuffledRowMajor(n))
+	if res.TransferSteps != closed {
+		t.Fatalf("measured %d steps, closed form %d", res.TransferSteps, closed)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	hm, _ := netsim.NewHypermesh[float64](4, 2, netsim.Config{})
+	if _, _, err := Run(hm, make([]float64, 4), nil); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestMeshStepsRejectsNonSquare(t *testing.T) {
+	if _, err := MeshSteps(32, nil); err == nil {
+		t.Fatal("non-square size accepted")
+	}
+}
+
+func BenchmarkSort4096(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	data := make([]float64, 4096)
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := append([]float64(nil), data...)
+		if err := Sort(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDistributedSortHypermesh4096(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	data := make([]float64, 4096)
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hm, _ := netsim.NewHypermesh[float64](64, 2, netsim.Config{})
+		if _, _, err := Run(hm, data, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

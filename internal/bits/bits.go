@@ -1,0 +1,205 @@
+// Package bits provides the low-level integer utilities that the rest of
+// the repository is built on: base-2 logarithms, bit reversal, mixed-radix
+// digit manipulation, Gray codes and shuffle operations.
+//
+// Every butterfly algorithm in the paper is indexed by the binary (or, for
+// hypermeshes, base-b) representation of node addresses, so these helpers
+// are shared by the topology models, the permutation library, the FFT and
+// the network simulator.
+package bits
+
+import "fmt"
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool {
+	return n > 0 && n&(n-1) == 0
+}
+
+// Log2 returns floor(log2(n)) for n >= 1. It panics if n < 1.
+func Log2(n int) int {
+	if n < 1 {
+		panic(fmt.Sprintf("bits: Log2 of non-positive value %d", n))
+	}
+	l := 0
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}
+
+// CeilLog2 returns ceil(log2(n)) for n >= 1. It panics if n < 1.
+func CeilLog2(n int) int {
+	l := Log2(n)
+	if 1<<uint(l) < n {
+		l++
+	}
+	return l
+}
+
+// Pow returns b**e for non-negative integer exponents. It panics on a
+// negative exponent and does not guard against overflow; callers in this
+// repository only use small bases and exponents (network sizes).
+func Pow(b, e int) int {
+	if e < 0 {
+		panic(fmt.Sprintf("bits: Pow with negative exponent %d", e))
+	}
+	r := 1
+	for ; e > 0; e-- {
+		r *= b
+	}
+	return r
+}
+
+// Reverse returns the reversal of the low `width` bits of x. Bits above
+// `width` are discarded. It panics if width is negative or x has bits set
+// at or above width.
+func Reverse(x, width int) int {
+	if width < 0 {
+		panic("bits: Reverse with negative width")
+	}
+	if width < 63 && x >= 1<<uint(width) {
+		panic(fmt.Sprintf("bits: Reverse(%d) does not fit in %d bits", x, width))
+	}
+	r := 0
+	for i := 0; i < width; i++ {
+		r = r<<1 | (x>>uint(i))&1
+	}
+	return r
+}
+
+// Bit returns bit i (0 = least significant) of x as 0 or 1.
+func Bit(x, i int) int {
+	return (x >> uint(i)) & 1
+}
+
+// SetBit returns x with bit i forced to b (b must be 0 or 1).
+func SetBit(x, i, b int) int {
+	if b != 0 && b != 1 {
+		panic(fmt.Sprintf("bits: SetBit with non-binary value %d", b))
+	}
+	return x&^(1<<uint(i)) | b<<uint(i)
+}
+
+// FlipBit returns x with bit i complemented.
+func FlipBit(x, i int) int {
+	return x ^ 1<<uint(i)
+}
+
+// OnesCount returns the number of set bits in x (x >= 0).
+func OnesCount(x int) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}
+
+// HammingDistance returns the number of bit positions in which a and b
+// differ.
+func HammingDistance(a, b int) int {
+	return OnesCount(a ^ b)
+}
+
+// GrayCode returns the binary-reflected Gray code of x.
+func GrayCode(x int) int {
+	return x ^ (x >> 1)
+}
+
+// InverseGrayCode inverts GrayCode: InverseGrayCode(GrayCode(x)) == x.
+func InverseGrayCode(g int) int {
+	x := 0
+	for ; g != 0; g >>= 1 {
+		x ^= g
+	}
+	return x
+}
+
+// Digits decomposes x into n base-b digits, least significant first.
+// It panics if x does not fit in n digits or if b < 2 or n < 0.
+func Digits(x, b, n int) []int {
+	if b < 2 {
+		panic(fmt.Sprintf("bits: Digits with base %d < 2", b))
+	}
+	if n < 0 {
+		panic("bits: Digits with negative digit count")
+	}
+	if x < 0 {
+		panic(fmt.Sprintf("bits: Digits of negative value %d", x))
+	}
+	d := make([]int, n)
+	for i := 0; i < n; i++ {
+		d[i] = x % b
+		x /= b
+	}
+	if x != 0 {
+		panic(fmt.Sprintf("bits: value does not fit in %d base-%d digits", n, b))
+	}
+	return d
+}
+
+// FromDigits recomposes base-b digits (least significant first) into an
+// integer. It is the inverse of Digits.
+func FromDigits(d []int, b int) int {
+	if b < 2 {
+		panic(fmt.Sprintf("bits: FromDigits with base %d < 2", b))
+	}
+	x := 0
+	for i := len(d) - 1; i >= 0; i-- {
+		if d[i] < 0 || d[i] >= b {
+			panic(fmt.Sprintf("bits: digit %d out of range for base %d", d[i], b))
+		}
+		x = x*b + d[i]
+	}
+	return x
+}
+
+// Digit returns digit i (0 = least significant) of x in base b.
+func Digit(x, b, i int) int {
+	for ; i > 0; i-- {
+		x /= b
+	}
+	return x % b
+}
+
+// SetDigit returns x with base-b digit i replaced by v (0 <= v < b).
+func SetDigit(x, b, i, v int) int {
+	if v < 0 || v >= b {
+		panic(fmt.Sprintf("bits: SetDigit value %d out of range for base %d", v, b))
+	}
+	p := Pow(b, i)
+	old := (x / p) % b
+	return x + (v-old)*p
+}
+
+// DigitReverse reverses the order of the n base-b digits of x. For b=2 it
+// coincides with Reverse. Digit reversal is the hypermesh analogue of the
+// FFT's bit-reversal output permutation.
+func DigitReverse(x, b, n int) int {
+	d := Digits(x, b, n)
+	for i, j := 0, n-1; i < j; i, j = i+1, j-1 {
+		d[i], d[j] = d[j], d[i]
+	}
+	return FromDigits(d, b)
+}
+
+// PerfectShuffle performs a one-bit left rotation of the low `width` bits
+// of x: the classic perfect-shuffle interconnection function.
+func PerfectShuffle(x, width int) int {
+	if width <= 0 {
+		return x
+	}
+	top := Bit(x, width-1)
+	return (x<<1)&(1<<uint(width)-1) | top
+}
+
+// InverseShuffle performs a one-bit right rotation of the low `width`
+// bits of x, inverting PerfectShuffle.
+func InverseShuffle(x, width int) int {
+	if width <= 0 {
+		return x
+	}
+	low := x & 1
+	return x>>1 | low<<uint(width-1)
+}

@@ -1,0 +1,290 @@
+package bits
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIsPow2(t *testing.T) {
+	cases := map[int]bool{
+		-4: false, -1: false, 0: false,
+		1: true, 2: true, 3: false, 4: true, 6: false, 8: true,
+		1024: true, 1023: false, 1 << 30: true,
+	}
+	for n, want := range cases {
+		if got := IsPow2(n); got != want {
+			t.Errorf("IsPow2(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestLog2(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 1, 4: 2, 7: 2, 8: 3, 1024: 10, 4096: 12}
+	for n, want := range cases {
+		if got := Log2(n); got != want {
+			t.Errorf("Log2(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestLog2PanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Log2(0) did not panic")
+		}
+	}()
+	Log2(0)
+}
+
+func TestCeilLog2(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 4096: 12, 4097: 13}
+	for n, want := range cases {
+		if got := CeilLog2(n); got != want {
+			t.Errorf("CeilLog2(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestPow(t *testing.T) {
+	cases := []struct{ b, e, want int }{
+		{2, 0, 1}, {2, 10, 1024}, {3, 4, 81}, {64, 2, 4096}, {8, 4, 4096}, {16, 3, 4096},
+		{1, 100, 1}, {10, 3, 1000},
+	}
+	for _, c := range cases {
+		if got := Pow(c.b, c.e); got != c.want {
+			t.Errorf("Pow(%d,%d) = %d, want %d", c.b, c.e, got, c.want)
+		}
+	}
+}
+
+func TestReverseKnown(t *testing.T) {
+	cases := []struct{ x, w, want int }{
+		{0, 4, 0},
+		{1, 4, 8},
+		{0b0011, 4, 0b1100},
+		{0b101, 3, 0b101},
+		{0b100110, 6, 0b011001},
+		{1, 12, 2048},
+	}
+	for _, c := range cases {
+		if got := Reverse(c.x, c.w); got != c.want {
+			t.Errorf("Reverse(%b,%d) = %b, want %b", c.x, c.w, got, c.want)
+		}
+	}
+}
+
+func TestReverseIsInvolution(t *testing.T) {
+	f := func(x uint16) bool {
+		v := int(x) & 0xfff
+		return Reverse(Reverse(v, 12), 12) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReversePanicsOnOversizedInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Reverse(16, 4) did not panic")
+		}
+	}()
+	Reverse(16, 4)
+}
+
+func TestBitSetFlip(t *testing.T) {
+	x := 0b1010
+	if Bit(x, 0) != 0 || Bit(x, 1) != 1 || Bit(x, 3) != 1 {
+		t.Errorf("Bit probes of %b wrong", x)
+	}
+	if got := SetBit(x, 0, 1); got != 0b1011 {
+		t.Errorf("SetBit = %b", got)
+	}
+	if got := SetBit(x, 1, 0); got != 0b1000 {
+		t.Errorf("SetBit clear = %b", got)
+	}
+	if got := FlipBit(x, 2); got != 0b1110 {
+		t.Errorf("FlipBit = %b", got)
+	}
+	if got := FlipBit(FlipBit(x, 2), 2); got != x {
+		t.Errorf("FlipBit not an involution: %b", got)
+	}
+}
+
+func TestOnesCountAndHamming(t *testing.T) {
+	if OnesCount(0) != 0 || OnesCount(0b1011) != 3 || OnesCount(1<<20) != 1 {
+		t.Error("OnesCount wrong")
+	}
+	if HammingDistance(0, 0) != 0 {
+		t.Error("HammingDistance(0,0) != 0")
+	}
+	if HammingDistance(0b1010, 0b0101) != 4 {
+		t.Error("HammingDistance complementary nibbles != 4")
+	}
+	// The worst-case bit-reversal pair from the paper: 000...01 vs 100...0
+	// differ in exactly 2 bits, but node 0b000000000001 must reach its
+	// reversal across all 12 hypercube dimensions only when all differing
+	// bits are counted; sanity check distance here.
+	if HammingDistance(1, Reverse(1, 12)) != 2 {
+		t.Error("HammingDistance(1, rev(1)) != 2")
+	}
+}
+
+func TestGrayCodeAdjacency(t *testing.T) {
+	for x := 0; x < 1<<10-1; x++ {
+		if HammingDistance(GrayCode(x), GrayCode(x+1)) != 1 {
+			t.Fatalf("Gray codes of %d and %d are not adjacent", x, x+1)
+		}
+	}
+}
+
+func TestGrayCodeInverse(t *testing.T) {
+	f := func(x uint16) bool {
+		v := int(x)
+		return InverseGrayCode(GrayCode(v)) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDigitsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		b := 2 + rng.Intn(9)
+		n := 1 + rng.Intn(6)
+		x := rng.Intn(Pow(b, n))
+		d := Digits(x, b, n)
+		if len(d) != n {
+			t.Fatalf("Digits(%d,%d,%d) returned %d digits", x, b, n, len(d))
+		}
+		if got := FromDigits(d, b); got != x {
+			t.Fatalf("FromDigits(Digits(%d,%d,%d)) = %d", x, b, n, got)
+		}
+	}
+}
+
+func TestDigitsKnown(t *testing.T) {
+	d := Digits(4095, 64, 2)
+	if d[0] != 63 || d[1] != 63 {
+		t.Errorf("Digits(4095,64,2) = %v", d)
+	}
+	d = Digits(130, 64, 2)
+	if d[0] != 2 || d[1] != 2 {
+		t.Errorf("Digits(130,64,2) = %v", d)
+	}
+}
+
+func TestDigitsPanicsOnOverflow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Digits overflow did not panic")
+		}
+	}()
+	Digits(100, 10, 1)
+}
+
+func TestDigitAndSetDigit(t *testing.T) {
+	x := FromDigits([]int{3, 1, 4}, 8) // 4*64 + 1*8 + 3
+	if Digit(x, 8, 0) != 3 || Digit(x, 8, 1) != 1 || Digit(x, 8, 2) != 4 {
+		t.Fatalf("Digit probes of %d wrong", x)
+	}
+	y := SetDigit(x, 8, 1, 7)
+	if Digit(y, 8, 1) != 7 || Digit(y, 8, 0) != 3 || Digit(y, 8, 2) != 4 {
+		t.Fatalf("SetDigit produced %d", y)
+	}
+}
+
+func TestDigitReverseBinaryMatchesReverse(t *testing.T) {
+	for x := 0; x < 256; x++ {
+		if DigitReverse(x, 2, 8) != Reverse(x, 8) {
+			t.Fatalf("DigitReverse(%d,2,8) != Reverse", x)
+		}
+	}
+}
+
+func TestDigitReverseInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		b := 2 + rng.Intn(9)
+		n := 1 + rng.Intn(5)
+		x := rng.Intn(Pow(b, n))
+		if DigitReverse(DigitReverse(x, b, n), b, n) != x {
+			t.Fatalf("DigitReverse not involution for x=%d b=%d n=%d", x, b, n)
+		}
+	}
+}
+
+func TestShuffleInverse(t *testing.T) {
+	const w = 10
+	for x := 0; x < 1<<w; x++ {
+		s := PerfectShuffle(x, w)
+		if InverseShuffle(s, w) != x {
+			t.Fatalf("InverseShuffle(PerfectShuffle(%d)) != identity", x)
+		}
+	}
+}
+
+func TestShuffleIsRotation(t *testing.T) {
+	// log N applications of the perfect shuffle are the identity.
+	const w = 8
+	for x := 0; x < 1<<w; x++ {
+		v := x
+		for i := 0; i < w; i++ {
+			v = PerfectShuffle(v, w)
+		}
+		if v != x {
+			t.Fatalf("%d shuffles of %d gave %d", w, x, v)
+		}
+	}
+}
+
+func TestShuffleKnown(t *testing.T) {
+	// 3-bit shuffle: abc -> bca.
+	if PerfectShuffle(0b100, 3) != 0b001 {
+		t.Error("shuffle of 100 wrong")
+	}
+	if PerfectShuffle(0b011, 3) != 0b110 {
+		t.Error("shuffle of 011 wrong")
+	}
+}
+
+func BenchmarkReverse12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Reverse(i&4095, 12)
+	}
+}
+
+func BenchmarkDigits64(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Digits(i&4095, 64, 2)
+	}
+}
+
+func TestPanicPaths(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Pow negative exponent", func() { Pow(2, -1) })
+	mustPanic("Reverse negative width", func() { Reverse(1, -1) })
+	mustPanic("SetBit bad value", func() { SetBit(0, 1, 2) })
+	mustPanic("Digits bad base", func() { Digits(1, 1, 1) })
+	mustPanic("Digits negative count", func() { Digits(1, 2, -1) })
+	mustPanic("Digits negative value", func() { Digits(-1, 2, 4) })
+	mustPanic("FromDigits bad base", func() { FromDigits([]int{0}, 1) })
+	mustPanic("FromDigits bad digit", func() { FromDigits([]int{5}, 4) })
+	mustPanic("SetDigit bad value", func() { SetDigit(0, 4, 0, 9) })
+}
+
+func TestShuffleZeroWidth(t *testing.T) {
+	if PerfectShuffle(5, 0) != 5 || InverseShuffle(5, 0) != 5 {
+		t.Fatal("zero-width shuffles should be identity")
+	}
+}

@@ -1,0 +1,239 @@
+// Package clos implements rearrangeable permutation routing for the 2D
+// hypermesh: any permutation of the b^2 processing elements decomposes
+// into at most three data-transfer steps — a permutation within every
+// row, then within every column, then within every row again.
+//
+// This is "property [6]" of Szymanski's Supercomputing'90 hypermesh paper
+// that the FFT paper invokes to bound the bit-reversal at 3 steps; the
+// construction is the classic Slepian–Duguid argument for three-stage
+// Clos networks. Each packet travelling from (r0,c0) to (r2,c2) is
+// assigned an intermediate column c1; the assignment is an edge colouring
+// of the b-regular bipartite multigraph whose edges join source rows to
+// destination rows, obtained here by repeatedly extracting perfect
+// matchings (Birkhoff–von Neumann decomposition via Hall's theorem).
+package clos
+
+import (
+	"fmt"
+
+	"repro/internal/permute"
+)
+
+// Phases is a three-step realization of a permutation on a b x b array
+// of nodes in row-major order. Row1[r][j] = j2 means: in the first step,
+// the packet held by node (r, j) moves to node (r, j2). Col[c][i] = i2
+// means: in the second step, the packet at (i, c) moves to (i2, c).
+// Row2 is a second row phase like Row1.
+//
+// Each of the three phase slices is a valid permutation per row/column,
+// so a hypermesh can realize each phase in a single data-transfer step
+// (one permutation per hypergraph net, all nets in parallel).
+type Phases struct {
+	B    int
+	Row1 [][]int
+	Col  [][]int
+	Row2 [][]int
+}
+
+// Decompose factors an arbitrary permutation p of n = b*b elements into
+// three hypermesh phases. It returns an error if p is not a valid
+// permutation of size b*b.
+func Decompose(b int, p permute.Permutation) (*Phases, error) {
+	if b < 1 {
+		return nil, fmt.Errorf("clos: base %d < 1", b)
+	}
+	n := b * b
+	if len(p) != n {
+		return nil, fmt.Errorf("clos: permutation size %d does not match b^2 = %d", len(p), n)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("clos: %w", err)
+	}
+
+	// Multiplicity matrix: mult[r0][r2] = number of packets from source
+	// row r0 bound for destination row r2. Every row and column of mult
+	// sums to b, so Birkhoff–von Neumann applies.
+	mult := make([][]int, b)
+	for i := range mult {
+		mult[i] = make([]int, b)
+	}
+	for src, dst := range p {
+		mult[src/b][dst/b]++
+	}
+
+	// Repeatedly extract perfect matchings; matching k assigns
+	// intermediate column k to one packet of each source row.
+	// color[r0][r2] collects the colours available for (r0 -> r2)
+	// packets; duplicates (several packets with the same source and
+	// destination row) consume colours in extraction order.
+	colors := make([][][]int, b)
+	for i := range colors {
+		colors[i] = make([][]int, b)
+	}
+	work := make([][]int, b)
+	for i := range work {
+		work[i] = append([]int(nil), mult[i]...)
+	}
+	for k := 0; k < b; k++ {
+		match, ok := perfectMatching(work)
+		if !ok {
+			// Cannot happen for a valid permutation (Hall's condition is
+			// implied by the doubly-balanced multiplicity matrix); guard
+			// anyway so corruption fails loudly.
+			return nil, fmt.Errorf("clos: internal error: no perfect matching at colour %d", k)
+		}
+		for r0, r2 := range match {
+			work[r0][r2]--
+			colors[r0][r2] = append(colors[r0][r2], k)
+		}
+	}
+
+	// Assign each packet its intermediate column and derive the three
+	// phase permutations.
+	ph := &Phases{
+		B:    b,
+		Row1: identityRows(b),
+		Col:  identityRows(b),
+		Row2: identityRows(b),
+	}
+	next := make([][]int, b) // per (r0, r2): index of next unused colour
+	for i := range next {
+		next[i] = make([]int, b)
+	}
+	for src, dst := range p {
+		r0, c0 := src/b, src%b
+		r2, c2 := dst/b, dst%b
+		ci := next[r0][r2]
+		next[r0][r2]++
+		c1 := colors[r0][r2][ci]
+		ph.Row1[r0][c0] = c1
+		ph.Col[c1][r0] = r2
+		ph.Row2[r2][c1] = c2
+	}
+	return ph, nil
+}
+
+func identityRows(b int) [][]int {
+	rows := make([][]int, b)
+	for i := range rows {
+		rows[i] = make([]int, b)
+		for j := range rows[i] {
+			rows[i][j] = j
+		}
+	}
+	return rows
+}
+
+// perfectMatching finds a perfect matching in the bipartite multigraph
+// given by a nonnegative multiplicity matrix using Kuhn's augmenting-path
+// algorithm. It returns match[left] = right.
+func perfectMatching(mult [][]int) ([]int, bool) {
+	b := len(mult)
+	matchR := make([]int, b) // right vertex -> left vertex
+	for i := range matchR {
+		matchR[i] = -1
+	}
+	var try func(l int, seen []bool) bool
+	try = func(l int, seen []bool) bool {
+		for r := 0; r < b; r++ {
+			if mult[l][r] > 0 && !seen[r] {
+				seen[r] = true
+				if matchR[r] == -1 || try(matchR[r], seen) {
+					matchR[r] = l
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for l := 0; l < b; l++ {
+		seen := make([]bool, b)
+		if !try(l, seen) {
+			return nil, false
+		}
+	}
+	match := make([]int, b)
+	for r, l := range matchR {
+		match[l] = r
+	}
+	return match, true
+}
+
+// phaseIsIdentity reports whether every per-row (or per-column)
+// permutation in the phase is the identity.
+func phaseIsIdentity(rows [][]int) bool {
+	for _, row := range rows {
+		for j, v := range row {
+			if v != j {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Steps returns the number of data-transfer steps the decomposition
+// actually needs: identity phases are free. Row-local permutations cost
+// 1 step; a transpose-like permutation costs 3.
+func (ph *Phases) Steps() int {
+	s := 0
+	if !phaseIsIdentity(ph.Row1) {
+		s++
+	}
+	if !phaseIsIdentity(ph.Col) {
+		s++
+	}
+	if !phaseIsIdentity(ph.Row2) {
+		s++
+	}
+	return s
+}
+
+// GlobalPermutations lifts the three phases to full permutations of the
+// b*b node ids (row-major). Composing them in order reproduces the
+// original permutation: Row1 then Col then Row2.
+func (ph *Phases) GlobalPermutations() (row1, col, row2 permute.Permutation) {
+	b := ph.B
+	n := b * b
+	row1 = make(permute.Permutation, n)
+	col = make(permute.Permutation, n)
+	row2 = make(permute.Permutation, n)
+	for r := 0; r < b; r++ {
+		for c := 0; c < b; c++ {
+			row1[r*b+c] = r*b + ph.Row1[r][c]
+			row2[r*b+c] = r*b + ph.Row2[r][c]
+			col[r*b+c] = ph.Col[c][r]*b + c
+		}
+	}
+	return row1, col, row2
+}
+
+// Compose returns the single permutation equal to applying the three
+// phases in order; tests use it to verify Decompose.
+func (ph *Phases) Compose() permute.Permutation {
+	r1, c, r2 := ph.GlobalPermutations()
+	return r1.Compose(c).Compose(r2)
+}
+
+// Validate checks the internal consistency of the phases: each row/col
+// mapping must itself be a permutation of [0, b).
+func (ph *Phases) Validate() error {
+	check := func(kind string, rows [][]int) error {
+		if len(rows) != ph.B {
+			return fmt.Errorf("clos: %s has %d rows, want %d", kind, len(rows), ph.B)
+		}
+		for i, row := range rows {
+			if err := permute.Permutation(row).Validate(); err != nil {
+				return fmt.Errorf("clos: %s[%d]: %w", kind, i, err)
+			}
+		}
+		return nil
+	}
+	if err := check("Row1", ph.Row1); err != nil {
+		return err
+	}
+	if err := check("Col", ph.Col); err != nil {
+		return err
+	}
+	return check("Row2", ph.Row2)
+}

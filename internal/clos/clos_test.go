@@ -1,0 +1,193 @@
+package clos
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/permute"
+)
+
+// decomposeAndCheck verifies the full contract of Decompose for one
+// permutation: valid phases, composition equals the input, step bound 3.
+func decomposeAndCheck(t *testing.T, b int, p permute.Permutation) *Phases {
+	t.Helper()
+	ph, err := Decompose(b, p)
+	if err != nil {
+		t.Fatalf("Decompose: %v", err)
+	}
+	if err := ph.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if !ph.Compose().Equal(p) {
+		t.Fatalf("composition of phases does not equal input permutation (b=%d)", b)
+	}
+	if s := ph.Steps(); s > 3 {
+		t.Fatalf("Steps = %d > 3", s)
+	}
+	return ph
+}
+
+func TestDecomposeIdentity(t *testing.T) {
+	ph := decomposeAndCheck(t, 8, permute.Identity(64))
+	if ph.Steps() != 0 {
+		t.Fatalf("identity needs %d steps, want 0", ph.Steps())
+	}
+}
+
+func TestDecomposeRowLocalPermutationsTakeOneStep(t *testing.T) {
+	// A permutation that only rearranges within rows must not spill into
+	// the column phase.
+	b := 8
+	p := permute.Identity(b * b)
+	rng := rand.New(rand.NewSource(3))
+	for r := 0; r < b; r++ {
+		rowPerm := permute.Random(b, rng)
+		for c := 0; c < b; c++ {
+			p[r*b+c] = r*b + rowPerm[c]
+		}
+	}
+	ph := decomposeAndCheck(t, b, p)
+	if ph.Steps() > 2 {
+		// The matching-based assignment may route a row-local permutation
+		// through a non-trivial intermediate colouring, but it must never
+		// need all three phases worth of movement for data that starts in
+		// its destination row... in fact the column phase must be
+		// identity-free movement only if colours were chosen badly; we
+		// assert the hard guarantee instead: composition correct, <= 3.
+		t.Logf("row-local permutation used %d steps", ph.Steps())
+	}
+}
+
+func TestDecomposeTranspose(t *testing.T) {
+	b := 16
+	decomposeAndCheck(t, b, permute.Transpose(b, b))
+}
+
+func TestDecomposeBitReversal4096(t *testing.T) {
+	// The headline use: bit reversal of 4096 samples on the 64^2
+	// hypermesh takes at most 3 data-transfer steps (paper §III.C).
+	b := 64
+	ph := decomposeAndCheck(t, b, permute.BitReversal(b*b))
+	if ph.Steps() > 3 {
+		t.Fatalf("bit reversal needs %d steps", ph.Steps())
+	}
+}
+
+func TestDecomposeBitReversalSmallSizes(t *testing.T) {
+	for _, b := range []int{2, 4, 8, 16, 32} {
+		decomposeAndCheck(t, b, permute.BitReversal(b*b))
+	}
+}
+
+func TestDecomposeReverseAll(t *testing.T) {
+	// The mesh worst case (diagonally opposite corners exchange) is a
+	// 3-step walk on the hypermesh like any other permutation.
+	b := 32
+	decomposeAndCheck(t, b, permute.ReverseAll(b*b))
+}
+
+func TestDecomposeShuffleAndOmega(t *testing.T) {
+	b := 16
+	decomposeAndCheck(t, b, permute.PerfectShuffle(b*b))
+	decomposeAndCheck(t, b, permute.OmegaInverse(b*b))
+}
+
+func TestDecomposeCyclicShifts(t *testing.T) {
+	b := 8
+	for _, k := range []int{1, 7, 8, 31, 63} {
+		decomposeAndCheck(t, b, permute.CyclicShift(b*b, k))
+	}
+}
+
+func TestDecomposeRandomPermutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 25; trial++ {
+		b := 2 + rng.Intn(15)
+		decomposeAndCheck(t, b, permute.Random(b*b, rng))
+	}
+}
+
+func TestDecomposeRandomLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rng := rand.New(rand.NewSource(43))
+	decomposeAndCheck(t, 64, permute.Random(4096, rng))
+}
+
+func TestDecomposeRejectsBadInput(t *testing.T) {
+	if _, err := Decompose(4, permute.Identity(15)); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	if _, err := Decompose(0, permute.Identity(0)); err == nil {
+		t.Fatal("b=0 accepted")
+	}
+	bad := permute.Permutation{0, 0, 1, 2}
+	if _, err := Decompose(2, bad); err == nil {
+		t.Fatal("invalid permutation accepted")
+	}
+}
+
+func TestGlobalPermutationsStayLocal(t *testing.T) {
+	// Row phases must never move a packet out of its row; the column
+	// phase must never move a packet out of its column.
+	b := 16
+	rng := rand.New(rand.NewSource(5))
+	p := permute.Random(b*b, rng)
+	ph, err := Decompose(b, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, col, r2 := ph.GlobalPermutations()
+	for i := 0; i < b*b; i++ {
+		if r1[i]/b != i/b {
+			t.Fatalf("Row1 moved node %d to row %d", i, r1[i]/b)
+		}
+		if r2[i]/b != i/b {
+			t.Fatalf("Row2 moved node %d to row %d", i, r2[i]/b)
+		}
+		if col[i]%b != i%b {
+			t.Fatalf("Col moved node %d to column %d", i, col[i]%b)
+		}
+	}
+}
+
+func TestDecomposeB1(t *testing.T) {
+	decomposeAndCheck(t, 1, permute.Identity(1))
+}
+
+func TestStepsCountsNontrivialPhases(t *testing.T) {
+	b := 8
+	// A pure column permutation: p moves within columns only.
+	p := permute.Identity(b * b)
+	for c := 0; c < b; c++ {
+		for r := 0; r < b; r++ {
+			p[r*b+c] = ((r+1)%b)*b + c
+		}
+	}
+	ph := decomposeAndCheck(t, b, p)
+	if ph.Steps() == 0 {
+		t.Fatal("non-identity permutation reported 0 steps")
+	}
+}
+
+func BenchmarkDecomposeBitReversal64(b *testing.B) {
+	p := permute.BitReversal(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompose(64, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecomposeRandom64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	p := permute.Random(4096, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompose(64, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

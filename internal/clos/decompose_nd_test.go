@@ -1,0 +1,251 @@
+package clos
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bits"
+	"repro/internal/permute"
+)
+
+// checkND verifies the full DecomposeND contract for one permutation:
+// phase count 2*dims-1, palindromic dimension sequence, composition
+// equal to the input, and step bound.
+func checkND(t *testing.T, base, dims int, p permute.Permutation) []NetPhase {
+	t.Helper()
+	phases, err := DecomposeND(base, dims, p)
+	if err != nil {
+		t.Fatalf("DecomposeND(%d,%d): %v", base, dims, err)
+	}
+	wantLen := 2*dims - 1
+	if len(phases) != wantLen {
+		t.Fatalf("got %d phases, want %d", len(phases), wantLen)
+	}
+	for k, ph := range phases {
+		wantDim := k
+		if k >= dims {
+			wantDim = 2*dims - 2 - k
+		}
+		if ph.Dim != wantDim {
+			t.Fatalf("phase %d has dim %d, want %d", k, ph.Dim, wantDim)
+		}
+	}
+	// Apply and compare to the permutation.
+	n := bits.Pow(base, dims)
+	vals := make([]int, n)
+	for i := range vals {
+		vals[i] = i
+	}
+	out, err := ApplyPhases(base, dims, phases, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for src, dst := range p {
+		if out[dst] != src {
+			t.Fatalf("node %d holds %d after phases, want %d", dst, out[dst], src)
+		}
+	}
+	if s := CountSteps(phases); s > wantLen {
+		t.Fatalf("CountSteps = %d > %d", s, wantLen)
+	}
+	return phases
+}
+
+func TestDecomposeNDMatches2D(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		b := 2 + rng.Intn(7)
+		p := permute.Random(b*b, rng)
+		checkND(t, b, 2, p)
+		// The 2D decomposition must agree step-for-step with Decompose.
+		ph2, err := Decompose(b, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ph2.Steps() > 3 {
+			t.Fatal("2D steps > 3")
+		}
+	}
+}
+
+func TestDecomposeND1D(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	phases := checkND(t, 8, 1, permute.Random(8, rng))
+	if len(phases) != 1 {
+		t.Fatalf("1D should be a single phase")
+	}
+}
+
+func TestDecomposeND3D(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 5; trial++ {
+		checkND(t, 4, 3, permute.Random(64, rng))
+	}
+}
+
+func TestDecomposeND4D(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	checkND(t, 3, 4, permute.Random(81, rng))
+}
+
+func TestDecomposeNDIdentityCountsZeroSteps(t *testing.T) {
+	phases := checkND(t, 4, 3, permute.Identity(64))
+	if CountSteps(phases) != 0 {
+		t.Fatalf("identity needs %d steps", CountSteps(phases))
+	}
+}
+
+func TestDecomposeNDBitReversalOn4KShapes(t *testing.T) {
+	// §IV: 8^4, 16^3 and 64^2 all interconnect 4K processors; the FFT's
+	// bit reversal routes in at most 2*dims-1 net steps on each.
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	p := permute.BitReversal(4096)
+	for _, c := range []struct{ b, n int }{{8, 4}, {16, 3}, {64, 2}} {
+		phases := checkND(t, c.b, c.n, p)
+		if s := CountSteps(phases); s > 2*c.n-1 {
+			t.Fatalf("%d^%d: bit reversal needs %d steps", c.b, c.n, s)
+		}
+	}
+}
+
+func TestDecomposeNDDigitReversal(t *testing.T) {
+	// The radix-b generalization of the bit reversal.
+	checkND(t, 4, 3, permute.DigitReversal(4, 3))
+	checkND(t, 8, 2, permute.DigitReversal(8, 2))
+}
+
+func TestDecomposeNDRejectsBadInput(t *testing.T) {
+	if _, err := DecomposeND(0, 2, permute.Identity(0)); err == nil {
+		t.Fatal("base 0 accepted")
+	}
+	if _, err := DecomposeND(4, 0, permute.Identity(1)); err == nil {
+		t.Fatal("dims 0 accepted")
+	}
+	if _, err := DecomposeND(4, 2, permute.Identity(15)); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	if _, err := DecomposeND(2, 2, permute.Permutation{0, 0, 1, 2}); err == nil {
+		t.Fatal("invalid permutation accepted")
+	}
+}
+
+func TestApplyPhasesValidates(t *testing.T) {
+	phases, err := DecomposeND(4, 2, permute.Identity(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ApplyPhases(4, 2, phases, make([]int, 15)); err == nil {
+		t.Fatal("wrong value vector length accepted")
+	}
+	bad := []NetPhase{{Dim: 5, Perms: nil}}
+	if _, err := ApplyPhases(4, 2, bad, make([]int, 16)); err == nil {
+		t.Fatal("bad phase dimension accepted")
+	}
+}
+
+func TestDecomposeNDPhasesStayWithinNets(t *testing.T) {
+	// Every phase must only move values within single nets of its
+	// dimension: applying a phase never changes any digit except Dim.
+	rng := rand.New(rand.NewSource(15))
+	b, dims := 4, 3
+	p := permute.Random(64, rng)
+	phases, err := DecomposeND(b, dims, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ph := range phases {
+		vals := make([]int, 64)
+		for i := range vals {
+			vals[i] = i
+		}
+		out, err := ApplyPhases(b, dims, []NetPhase{ph}, vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for node, v := range out {
+			for d := 0; d < dims; d++ {
+				if d == ph.Dim {
+					continue
+				}
+				if bits.Digit(node, b, d) != bits.Digit(v, b, d) {
+					t.Fatalf("phase dim %d moved value across dimension %d", ph.Dim, d)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkDecomposeND16cubed(b *testing.B) {
+	p := permute.BitReversal(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecomposeND(16, 3, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestDecomposeMultigraphRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		r := 2 + rng.Intn(8)
+		d := 1 + rng.Intn(6)
+		// Build a random d-regular bipartite multigraph as a sum of d
+		// random permutation matrices.
+		mult := make([][]int, r)
+		for i := range mult {
+			mult[i] = make([]int, r)
+		}
+		for c := 0; c < d; c++ {
+			p := permute.Random(r, rng)
+			for i, j := range p {
+				mult[i][j]++
+			}
+		}
+		perms, err := DecomposeMultigraph(mult, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(perms) != d {
+			t.Fatalf("%d rounds, want %d", len(perms), d)
+		}
+		// The rounds must sum back to the multiplicity matrix.
+		back := make([][]int, r)
+		for i := range back {
+			back[i] = make([]int, r)
+		}
+		for _, p := range perms {
+			if err := p.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			for i, j := range p {
+				back[i][j]++
+			}
+		}
+		for i := range mult {
+			for j := range mult[i] {
+				if back[i][j] != mult[i][j] {
+					t.Fatalf("reconstruction differs at (%d,%d)", i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestDecomposeMultigraphValidates(t *testing.T) {
+	if _, err := DecomposeMultigraph([][]int{{1, 0}, {0}}, 1); err == nil {
+		t.Fatal("ragged matrix accepted")
+	}
+	if _, err := DecomposeMultigraph([][]int{{2, 0}, {0, 1}}, 2); err == nil {
+		t.Fatal("unbalanced rows accepted")
+	}
+	if _, err := DecomposeMultigraph([][]int{{1, -1}, {0, 2}}, 0); err == nil {
+		t.Fatal("negative multiplicity accepted")
+	}
+	// A balanced all-ones matrix decomposes fine.
+	if _, err := DecomposeMultigraph([][]int{{1, 1}, {1, 1}}, 2); err != nil {
+		t.Fatalf("balanced matrix rejected: %v", err)
+	}
+}

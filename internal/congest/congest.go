@@ -1,0 +1,106 @@
+// Package congest measures link-level congestion of routed permutations:
+// how many packets cross each directed link when every packet follows
+// the topology's deterministic shortest path. Congestion lower-bounds
+// the data-transfer steps of any schedule that uses those paths, and the
+// bisection cut explains §V: every Butterfly permutation of the FFT
+// sends half the machine's packets across a bisector, so per-step
+// bisection bandwidth decides the race.
+package congest
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+	"repro/internal/permute"
+	"repro/internal/topology"
+)
+
+// Link is a directed edge between adjacent nodes.
+type Link struct {
+	From, To int
+}
+
+// Pather produces the deterministic routing path (inclusive of both
+// endpoints) the analysis charges packets to. topology.Mesh2D and
+// topology.Hypercube satisfy it with their dimension-order routers.
+type Pather interface {
+	topology.Topology
+	RoutePath(a, b int) []int
+}
+
+// Result summarizes the congestion of routing one permutation.
+type Result struct {
+	// MaxCongestion is the heaviest directed-link load — a lower bound
+	// on the steps of any schedule using these paths.
+	MaxCongestion int
+	// TotalHops is the sum of all path lengths.
+	TotalHops int
+	// BusiestLink is one link achieving MaxCongestion.
+	BusiestLink Link
+	// BisectionCrossings counts packets whose path crosses the standard
+	// bisector (top address bit for hypercubes, middle column boundary
+	// for meshes).
+	BisectionCrossings int
+}
+
+// Analyze routes permutation p over the topology's deterministic paths
+// and tallies per-link load.
+func Analyze(t Pather, p permute.Permutation) (*Result, error) {
+	if len(p) != t.Nodes() {
+		return nil, fmt.Errorf("congest: permutation size %d != %d nodes", len(p), t.Nodes())
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("congest: %w", err)
+	}
+	load := make(map[Link]int)
+	res := &Result{}
+	for src, dst := range p {
+		path := t.RoutePath(src, dst)
+		res.TotalHops += len(path) - 1
+		crossed := false
+		for i := 1; i < len(path); i++ {
+			l := Link{From: path[i-1], To: path[i]}
+			load[l]++
+			if load[l] > res.MaxCongestion {
+				res.MaxCongestion = load[l]
+				res.BusiestLink = l
+			}
+			if !crossed && crossesBisector(t, path[i-1], path[i]) {
+				crossed = true
+			}
+		}
+		if crossed {
+			res.BisectionCrossings++
+		}
+	}
+	return res, nil
+}
+
+// crossesBisector reports whether the hop from a to b crosses the
+// standard bisector of the topology.
+func crossesBisector(t Pather, a, b int) bool {
+	switch tt := t.(type) {
+	case *topology.Hypercube:
+		top := tt.Dims - 1
+		return bits.Bit(a, top) != bits.Bit(b, top)
+	case *topology.Mesh2D:
+		half := tt.Side / 2
+		ac, bc := a%tt.Side, b%tt.Side
+		return (ac < half) != (bc < half)
+	default:
+		return false
+	}
+}
+
+// StepLowerBound returns max(MaxCongestion, ceil(BisectionCrossings /
+// bisectionLinks)): no schedule over these paths can finish faster than
+// its most loaded link, nor faster than the bisector can drain.
+func (r *Result) StepLowerBound(bisectionLinks int) int {
+	lb := r.MaxCongestion
+	if bisectionLinks > 0 {
+		if b := (r.BisectionCrossings + bisectionLinks - 1) / bisectionLinks; b > lb {
+			lb = b
+		}
+	}
+	return lb
+}

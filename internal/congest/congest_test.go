@@ -1,0 +1,158 @@
+package congest
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/permute"
+	"repro/internal/topology"
+)
+
+func TestIdentityHasNoCongestion(t *testing.T) {
+	res, err := Analyze(topology.NewHypercube(6), permute.Identity(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxCongestion != 0 || res.TotalHops != 0 || res.BisectionCrossings != 0 {
+		t.Fatalf("identity congestion %+v", res)
+	}
+}
+
+func TestButterflyTopBitSendsHalfAcrossBisector(t *testing.T) {
+	// The paper's §V point: the last DESCEND stage (top address bit)
+	// sends every packet across the hypercube bisector — N packets, all
+	// crossing, max congestion 1 (each uses its own dimension link).
+	h := topology.NewHypercube(8)
+	p := permute.ButterflyExchange(256, 7)
+	res, err := Analyze(h, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BisectionCrossings != 256 {
+		t.Fatalf("crossings = %d, want 256", res.BisectionCrossings)
+	}
+	if res.MaxCongestion != 1 {
+		t.Fatalf("max congestion = %d, want 1 (dedicated dimension links)", res.MaxCongestion)
+	}
+	// With N/2 bisection links the drain bound is 2 (one each way ...
+	// counted per direction the bound is crossings / links).
+	if lb := res.StepLowerBound(h.BisectionLinks()); lb < 1 {
+		t.Fatalf("lower bound %d", lb)
+	}
+}
+
+func TestMeshButterflyCongestionGrowsWithStage(t *testing.T) {
+	// On the mesh, stage bit b (within the column half) loads the
+	// central links with 2^b packets per direction — the distance-d
+	// pipelining cost of §III.B seen as congestion.
+	m := topology.NewMesh2D(16, false)
+	prev := 0
+	for b := 0; b < 4; b++ {
+		res, err := Analyze(m, permute.ButterflyExchange(256, b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MaxCongestion != 1<<uint(b) {
+			t.Fatalf("bit %d: congestion %d, want %d", b, res.MaxCongestion, 1<<uint(b))
+		}
+		if res.MaxCongestion < prev {
+			t.Fatal("congestion not monotone in stage distance")
+		}
+		prev = res.MaxCongestion
+	}
+}
+
+func TestHypercubeTransposeHotspot(t *testing.T) {
+	// The transpose pattern congests greedy e-cube routing: some links
+	// carry far more than one packet — Valiant's motivation (ABL4).
+	dims := 10
+	n := 1 << uint(dims)
+	h := topology.NewHypercube(dims)
+	p := make(permute.Permutation, n)
+	half := dims / 2
+	lowMask := 1<<uint(half) - 1
+	for i := range p {
+		p[i] = (i&lowMask)<<uint(half) | i>>uint(half)
+	}
+	res, err := Analyze(h, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxCongestion < 4 {
+		t.Fatalf("transpose congestion = %d; expected a hotspot", res.MaxCongestion)
+	}
+	// Random permutations congest far less per link on average.
+	rng := rand.New(rand.NewSource(1))
+	rres, err := Analyze(h, permute.Random(n, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rres.MaxCongestion >= res.MaxCongestion {
+		t.Fatalf("random (%d) as congested as transpose (%d)", rres.MaxCongestion, res.MaxCongestion)
+	}
+}
+
+func TestMeshBitReversalBisectionLoad(t *testing.T) {
+	// The mesh's bit reversal drives many packets through sqrt(N)
+	// bisection links: the §V argument for why it is slow there.
+	m := topology.NewMesh2D(16, false)
+	res, err := Analyze(m, permute.BitReversal(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := res.StepLowerBound(m.BisectionLinks())
+	if lb < 4 {
+		t.Fatalf("mesh bit-reversal lower bound %d; expected meaningful bisection pressure", lb)
+	}
+}
+
+func TestStepLowerBoundUsesBothTerms(t *testing.T) {
+	r := &Result{MaxCongestion: 3, BisectionCrossings: 100}
+	if r.StepLowerBound(10) != 10 {
+		t.Fatalf("bisection-bound case = %d", r.StepLowerBound(10))
+	}
+	if r.StepLowerBound(1000) != 3 {
+		t.Fatalf("congestion-bound case = %d", r.StepLowerBound(1000))
+	}
+	if r.StepLowerBound(0) != 3 {
+		t.Fatalf("zero links case = %d", r.StepLowerBound(0))
+	}
+}
+
+func TestAnalyzeValidates(t *testing.T) {
+	h := topology.NewHypercube(3)
+	if _, err := Analyze(h, permute.Identity(4)); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	if _, err := Analyze(h, permute.Permutation{0, 0, 1, 2, 4, 5, 6, 7}); err == nil {
+		t.Fatal("invalid permutation accepted")
+	}
+}
+
+func TestTotalHopsMatchesDistances(t *testing.T) {
+	h := topology.NewHypercube(6)
+	rng := rand.New(rand.NewSource(2))
+	p := permute.Random(64, rng)
+	res, err := Analyze(h, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for src, dst := range p {
+		want += h.Distance(src, dst)
+	}
+	if res.TotalHops != want {
+		t.Fatalf("TotalHops = %d, want %d (shortest paths)", res.TotalHops, want)
+	}
+}
+
+func BenchmarkAnalyzeBitReversal4096(b *testing.B) {
+	h := topology.NewHypercube(12)
+	p := permute.BitReversal(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Analyze(h, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

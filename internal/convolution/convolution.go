@@ -1,0 +1,120 @@
+// Package convolution implements fast convolution, correlation and
+// polynomial multiplication on top of the FFT library — the class of
+// applications the paper's §IV.A singles out as not needing the
+// bit-reversal permutation at all: both transforms stay in bit-reversed
+// order, the pointwise product is order-agnostic, and the inverse
+// transform consumes bit-reversed input directly.
+package convolution
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+	"repro/internal/fft"
+)
+
+// Circular computes the circular (cyclic) convolution of a and b, which
+// must have equal power-of-two length: out[k] = sum_j a[j]*b[(k-j) mod n].
+func Circular(a, b []complex128) ([]complex128, error) {
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("convolution: length mismatch %d vs %d", len(a), len(b))
+	}
+	p, err := fft.NewPlan(len(a))
+	if err != nil {
+		return nil, err
+	}
+	// No-reorder pipeline: DIF forward (bit-reversed spectra), pointwise
+	// product, DIT inverse from bit-reversed order. No bit-reversal
+	// permutation is ever applied.
+	fa := make([]complex128, len(a))
+	fb := make([]complex128, len(b))
+	p.TransformNoReorder(fa, a)
+	p.TransformNoReorder(fb, b)
+	for i := range fa {
+		fa[i] *= fb[i]
+	}
+	p.InverseNoReorder(fa, fa)
+	return fa, nil
+}
+
+// CircularDirect is the O(n^2) reference implementation used by tests.
+func CircularDirect(a, b []complex128) ([]complex128, error) {
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("convolution: length mismatch %d vs %d", len(a), len(b))
+	}
+	n := len(a)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for j := 0; j < n; j++ {
+			sum += a[j] * b[((k-j)%n+n)%n]
+		}
+		out[k] = sum
+	}
+	return out, nil
+}
+
+// Linear computes the linear convolution of a and b (lengths need not
+// match or be powers of two): out has length len(a)+len(b)-1.
+func Linear(a, b []complex128) ([]complex128, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return nil, fmt.Errorf("convolution: empty input")
+	}
+	outLen := len(a) + len(b) - 1
+	n := 1 << uint(bits.CeilLog2(outLen))
+	pa := make([]complex128, n)
+	pb := make([]complex128, n)
+	copy(pa, a)
+	copy(pb, b)
+	full, err := Circular(pa, pb)
+	if err != nil {
+		return nil, err
+	}
+	return full[:outLen], nil
+}
+
+// Correlate computes the circular cross-correlation of a with b:
+// out[k] = sum_j conj(a[j]) * b[(j+k) mod n].
+func Correlate(a, b []complex128) ([]complex128, error) {
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("convolution: length mismatch %d vs %d", len(a), len(b))
+	}
+	// Spectral identity: DFT(corr)[m] = conj(DFT(a)[m]) * DFT(b)[m].
+	p, err := fft.NewPlan(len(a))
+	if err != nil {
+		return nil, err
+	}
+	fa := p.Forward(a)
+	fb := p.Forward(b)
+	prod := make([]complex128, len(a))
+	for i := range prod {
+		prod[i] = complex(real(fa[i]), -imag(fa[i])) * fb[i]
+	}
+	return p.Backward(prod), nil
+}
+
+// PolyMul multiplies two real-coefficient polynomials given as
+// coefficient slices (lowest degree first) and returns the product's
+// coefficients, computed by FFT in O(n log n).
+func PolyMul(a, b []float64) ([]float64, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return nil, fmt.Errorf("convolution: empty polynomial")
+	}
+	ca := make([]complex128, len(a))
+	cb := make([]complex128, len(b))
+	for i, v := range a {
+		ca[i] = complex(v, 0)
+	}
+	for i, v := range b {
+		cb[i] = complex(v, 0)
+	}
+	prod, err := Linear(ca, cb)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(prod))
+	for i, v := range prod {
+		out[i] = real(v)
+	}
+	return out, nil
+}

@@ -1,0 +1,216 @@
+package convolution
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"repro/internal/fft"
+)
+
+func randomComplex(n int, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func TestCircularMatchesDirect(t *testing.T) {
+	for _, n := range []int{2, 8, 64, 256} {
+		a := randomComplex(n, int64(n))
+		b := randomComplex(n, int64(n)+1)
+		fast, err := Circular(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, err := CircularDirect(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := fft.MaxAbsDiff(fast, slow); d > 1e-8*float64(n) {
+			t.Fatalf("n=%d: circular convolution differs by %g", n, d)
+		}
+	}
+}
+
+func TestCircularWithImpulseIsIdentity(t *testing.T) {
+	n := 32
+	a := randomComplex(n, 3)
+	delta := make([]complex128, n)
+	delta[0] = 1
+	out, err := Circular(a, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := fft.MaxAbsDiff(out, a); d > 1e-10 {
+		t.Fatalf("conv with delta differs by %g", d)
+	}
+}
+
+func TestCircularShiftedImpulse(t *testing.T) {
+	n := 16
+	a := randomComplex(n, 4)
+	delta := make([]complex128, n)
+	delta[3] = 1
+	out, err := Circular(a, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range out {
+		want := a[((k-3)%n+n)%n]
+		if cmplx.Abs(out[k]-want) > 1e-10 {
+			t.Fatalf("shifted impulse mismatch at %d", k)
+		}
+	}
+}
+
+func TestCircularRejectsMismatch(t *testing.T) {
+	if _, err := Circular(make([]complex128, 4), make([]complex128, 8)); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := Circular(make([]complex128, 3), make([]complex128, 3)); err == nil {
+		t.Fatal("non power of two accepted")
+	}
+}
+
+func TestLinearSmallKnown(t *testing.T) {
+	// (1 + 2x) * (3 + 4x) = 3 + 10x + 8x^2
+	a := []complex128{1, 2}
+	b := []complex128{3, 4}
+	out, err := Linear(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []complex128{3, 10, 8}
+	if len(out) != 3 {
+		t.Fatalf("length %d", len(out))
+	}
+	if d := fft.MaxAbsDiff(out, want); d > 1e-10 {
+		t.Fatalf("linear conv differs by %g", d)
+	}
+}
+
+func TestLinearMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randomComplex(13, 6)
+	b := randomComplex(27, 7)
+	out, err := Linear(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]complex128, len(a)+len(b)-1)
+	for i := range a {
+		for j := range b {
+			want[i+j] += a[i] * b[j]
+		}
+	}
+	if d := fft.MaxAbsDiff(out, want); d > 1e-8 {
+		t.Fatalf("linear conv differs by %g", d)
+	}
+	_ = rng
+}
+
+func TestLinearRejectsEmpty(t *testing.T) {
+	if _, err := Linear(nil, make([]complex128, 4)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestCorrelateMatchesDirect(t *testing.T) {
+	n := 64
+	a := randomComplex(n, 8)
+	b := randomComplex(n, 9)
+	out, err := Correlate(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for j := 0; j < n; j++ {
+			sum += cmplx.Conj(a[j]) * b[(j+k)%n]
+		}
+		want[k] = sum
+	}
+	if d := fft.MaxAbsDiff(out, want); d > 1e-8 {
+		t.Fatalf("correlation differs by %g", d)
+	}
+}
+
+func TestAutocorrelationPeakAtZeroLag(t *testing.T) {
+	n := 128
+	a := randomComplex(n, 10)
+	out, err := Correlate(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k < n; k++ {
+		if cmplx.Abs(out[k]) > cmplx.Abs(out[0]) {
+			t.Fatalf("autocorrelation peak at lag %d, not 0", k)
+		}
+	}
+	// The zero-lag value is the signal energy (real, positive).
+	if real(out[0]) <= 0 || cmplx.Abs(complex(0, imag(out[0]))) > 1e-8*real(out[0]) {
+		t.Fatalf("zero-lag autocorrelation %v not a positive real energy", out[0])
+	}
+}
+
+func TestPolyMul(t *testing.T) {
+	// (x^2 - 1)(x^2 + 1) = x^4 - 1
+	a := []float64{-1, 0, 1}
+	b := []float64{1, 0, 1}
+	out, err := PolyMul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{-1, 0, 0, 0, 1}
+	if len(out) != 5 {
+		t.Fatalf("degree wrong: %v", out)
+	}
+	for i := range want {
+		if d := out[i] - want[i]; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("coefficient %d = %g, want %g", i, out[i], want[i])
+		}
+	}
+}
+
+func TestPolyMulRejectsEmpty(t *testing.T) {
+	if _, err := PolyMul(nil, []float64{1}); err == nil {
+		t.Fatal("empty polynomial accepted")
+	}
+}
+
+func TestNoReorderPipelineEqualsReorderedPipeline(t *testing.T) {
+	// The whole point of the no-reorder path: it must equal the naive
+	// forward/inverse pipeline that does apply bit reversals.
+	n := 256
+	a := randomComplex(n, 11)
+	b := randomComplex(n, 12)
+	p := fft.MustPlan(n)
+	fa := p.Forward(a)
+	fb := p.Forward(b)
+	for i := range fa {
+		fa[i] *= fb[i]
+	}
+	withReorder := p.Backward(fa)
+	noReorder, err := Circular(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := fft.MaxAbsDiff(noReorder, withReorder); d > 1e-8*float64(n) {
+		t.Fatalf("no-reorder pipeline differs by %g", d)
+	}
+}
+
+func BenchmarkCircular4096(b *testing.B) {
+	x := randomComplex(4096, 1)
+	y := randomComplex(4096, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Circular(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/fft"
+)
+
+// AnalyticSignal returns the analytic signal of x (the Hilbert-transform
+// companion): a complex signal whose real part is x and whose imaginary
+// part is the Hilbert transform of x, computed by zeroing the negative
+// frequencies of the spectrum. The instantaneous envelope of x is the
+// magnitude of the result. Length must be a power of two.
+func AnalyticSignal(x []float64) ([]complex128, error) {
+	n := len(x)
+	plan, err := fft.NewPlan(n)
+	if err != nil {
+		return nil, fmt.Errorf("dsp: analytic signal: %w", err)
+	}
+	buf := make([]complex128, n)
+	for i, v := range x {
+		buf[i] = complex(v, 0)
+	}
+	plan.Transform(buf, buf)
+	// Keep DC and Nyquist, double the positive frequencies, zero the
+	// negative ones.
+	for k := 1; k < n/2; k++ {
+		buf[k] *= 2
+	}
+	for k := n/2 + 1; k < n; k++ {
+		buf[k] = 0
+	}
+	plan.Inverse(buf, buf)
+	return buf, nil
+}
+
+// Envelope returns the instantaneous amplitude envelope |analytic(x)|.
+func Envelope(x []float64) ([]float64, error) {
+	a, err := AnalyticSignal(x)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(a))
+	for i, v := range a {
+		out[i] = cmplx.Abs(v)
+	}
+	return out, nil
+}
+
+// Goertzel evaluates the power of a single DFT bin in O(n) time and
+// O(1) space — the classic tone detector, useful as an independent
+// cross-check of FFT bins and as the cheap alternative when only a few
+// bins matter.
+func Goertzel(x []float64, bin int) (float64, error) {
+	n := len(x)
+	if n == 0 {
+		return 0, fmt.Errorf("dsp: Goertzel on empty signal")
+	}
+	if bin < 0 || bin >= n {
+		return 0, fmt.Errorf("dsp: Goertzel bin %d out of range [0,%d)", bin, n)
+	}
+	w := 2 * math.Pi * float64(bin) / float64(n)
+	coeff := 2 * math.Cos(w)
+	var s0, s1, s2 float64
+	for _, v := range x {
+		s0 = v + coeff*s1 - s2
+		s2 = s1
+		s1 = s0
+	}
+	// |X[bin]|^2 = s1^2 + s2^2 - coeff*s1*s2
+	return s1*s1 + s2*s2 - coeff*s1*s2, nil
+}

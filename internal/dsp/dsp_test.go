@@ -1,0 +1,238 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestWindowsShapeAndSymmetry(t *testing.T) {
+	for name, win := range map[string]Window{
+		"rect": Rectangular, "hann": Hann, "hamming": Hamming, "blackman": Blackman,
+	} {
+		w := win(65)
+		if len(w) != 65 {
+			t.Fatalf("%s: length %d", name, len(w))
+		}
+		for i := range w {
+			if w[i] < -1e-12 || w[i] > 1+1e-12 {
+				t.Fatalf("%s: w[%d] = %v out of [0,1]", name, i, w[i])
+			}
+			if math.Abs(w[i]-w[len(w)-1-i]) > 1e-12 {
+				t.Fatalf("%s: not symmetric at %d", name, i)
+			}
+		}
+		if win(1)[0] != 1 {
+			t.Fatalf("%s: degenerate window", name)
+		}
+	}
+	// Hann endpoints are 0, Hamming endpoints are 0.08.
+	if Hann(64)[0] > 1e-12 {
+		t.Fatal("Hann endpoint nonzero")
+	}
+	if math.Abs(Hamming(64)[0]-0.08) > 1e-12 {
+		t.Fatal("Hamming endpoint wrong")
+	}
+}
+
+func TestDB(t *testing.T) {
+	if DB(1) != 0 {
+		t.Fatal("DB(1) != 0")
+	}
+	if math.Abs(DB(100)-20) > 1e-12 {
+		t.Fatal("DB(100) != 20")
+	}
+	if DB(0) != -300 {
+		t.Fatal("DB floor missing")
+	}
+}
+
+func twoTone(n int, f1, f2 float64, rate float64) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		ti := float64(i) / rate
+		x[i] = math.Sin(2*math.Pi*f1*ti) + 0.25*math.Sin(2*math.Pi*f2*ti)
+	}
+	return x
+}
+
+func TestSpectrogramShapeAndPeaks(t *testing.T) {
+	rate := 4096.0
+	x := twoTone(16384, 256, 1024, rate)
+	frames, err := Spectrogram(x, 1024, 512, Hann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFrames := (16384-1024)/512 + 1
+	if len(frames) != wantFrames {
+		t.Fatalf("%d frames, want %d", len(frames), wantFrames)
+	}
+	if len(frames[0]) != 513 {
+		t.Fatalf("%d bins", len(frames[0]))
+	}
+	// The strongest bin of every frame is the 256 Hz tone: bin 256/4096*1024 = 64.
+	for fi, f := range frames {
+		best := 0
+		for k := range f {
+			if f[k] > f[best] {
+				best = k
+			}
+		}
+		if best != 64 {
+			t.Fatalf("frame %d peak at bin %d, want 64", fi, best)
+		}
+	}
+}
+
+func TestSpectrogramValidation(t *testing.T) {
+	if _, err := Spectrogram(make([]float64, 100), 1, 10, Hann); err == nil {
+		t.Fatal("fft size 1 accepted")
+	}
+	if _, err := Spectrogram(make([]float64, 100), 64, 0, Hann); err == nil {
+		t.Fatal("hop 0 accepted")
+	}
+	if _, err := Spectrogram(make([]float64, 100), 63, 10, Hann); err == nil {
+		t.Fatal("non power of two accepted")
+	}
+}
+
+func TestPSDFindsBothTones(t *testing.T) {
+	rate := 4096.0
+	x := twoTone(32768, 256, 1024, rate)
+	psd, err := PSD(x, 1024, Hann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin1, bin2 := 64, 256 // 256 Hz and 1024 Hz at 4 Hz/bin
+	// Both tone bins dominate their neighbourhoods.
+	for _, bin := range []int{bin1, bin2} {
+		for k := range psd {
+			if k >= bin-2 && k <= bin+2 {
+				continue
+			}
+			if k >= bin1-2 && k <= bin1+2 || k >= bin2-2 && k <= bin2+2 {
+				continue
+			}
+			if psd[k] >= psd[bin] {
+				t.Fatalf("bin %d (%v) not above background bin %d (%v)", bin, psd[bin], k, psd[k])
+			}
+		}
+	}
+	// The 0.25-amplitude tone is ~12 dB below the unit tone.
+	ratio := DB(psd[bin1]) - DB(psd[bin2])
+	if ratio < 10 || ratio > 14 {
+		t.Fatalf("tone power ratio %v dB, want ~12", ratio)
+	}
+}
+
+func TestPSDTooShort(t *testing.T) {
+	if _, err := PSD(make([]float64, 100), 1024, Hann); err == nil {
+		t.Fatal("short signal accepted")
+	}
+}
+
+func TestFIRFilterMatchesDirectConvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, 1000)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	h := []float64{0.2, 0.5, 0.2, -0.1, 0.05}
+	got, err := FIRFilter(x, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float64, len(x)+len(h)-1)
+	for i := range x {
+		for j := range h {
+			want[i+j] += x[i] * h[j]
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("sample %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFIRFilterValidation(t *testing.T) {
+	if _, err := FIRFilter(nil, []float64{1}); err == nil {
+		t.Fatal("empty signal accepted")
+	}
+	if _, err := FIRFilter([]float64{1}, nil); err == nil {
+		t.Fatal("empty filter accepted")
+	}
+}
+
+func TestLowPassFIRAttenuatesHighFrequency(t *testing.T) {
+	rate := 4096.0
+	x := twoTone(8192, 128, 1600, rate) // keep 128 Hz, kill 1600 Hz
+	h, err := LowPassFIR(101, 0.25, Hamming)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := FIRFilter(x, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare PSD of input and output at both tone bins.
+	inPSD, _ := PSD(x, 1024, Hann)
+	outPSD, err := PSD(y[:len(x)], 1024, Hann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lowBin := 32   // 128 Hz
+	highBin := 400 // 1600 Hz
+	lowLoss := DB(inPSD[lowBin]) - DB(outPSD[lowBin])
+	highLoss := DB(inPSD[highBin]) - DB(outPSD[highBin])
+	if lowLoss > 1 {
+		t.Fatalf("passband loss %v dB", lowLoss)
+	}
+	if highLoss < 40 {
+		t.Fatalf("stopband attenuation only %v dB", highLoss)
+	}
+}
+
+func TestLowPassFIRUnitDCGain(t *testing.T) {
+	h, err := LowPassFIR(51, 0.3, Hann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, v := range h {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("DC gain %v", sum)
+	}
+}
+
+func TestLowPassFIRValidation(t *testing.T) {
+	if _, err := LowPassFIR(50, 0.3, Hann); err == nil {
+		t.Fatal("even tap count accepted")
+	}
+	if _, err := LowPassFIR(51, 0, Hann); err == nil {
+		t.Fatal("cutoff 0 accepted")
+	}
+	if _, err := LowPassFIR(51, 1, Hann); err == nil {
+		t.Fatal("cutoff 1 accepted")
+	}
+}
+
+func BenchmarkFIRFilter(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, 1<<14)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	h, _ := LowPassFIR(101, 0.25, Hamming)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FIRFilter(x, h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+// Package embed evaluates graph embeddings into the repository's host
+// topologies: a mapping of guest-graph nodes onto host nodes, judged by
+// dilation (the worst stretch of any guest edge measured in host
+// data-transfer steps). The paper's §II notes the hypermesh "can realize
+// useful permutations and embed other useful graphs"; this package makes
+// such claims checkable — e.g. every guest graph embeds into a 2D
+// hypermesh with dilation at most 2 (its diameter), while hypercube
+// embeddings need Gray-code constructions for dilation 1.
+package embed
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+	"repro/internal/topology"
+)
+
+// Edge is one guest-graph edge between guest node indices.
+type Edge [2]int
+
+// Validate checks that mapping is an injective assignment of guest
+// nodes to host nodes in [0, hostNodes).
+func Validate(mapping []int, hostNodes int) error {
+	seen := make(map[int]bool, len(mapping))
+	for g, h := range mapping {
+		if h < 0 || h >= hostNodes {
+			return fmt.Errorf("embed: guest %d maps to host %d out of range [0,%d)", g, h, hostNodes)
+		}
+		if seen[h] {
+			return fmt.Errorf("embed: host node %d used twice", h)
+		}
+		seen[h] = true
+	}
+	return nil
+}
+
+// Dilation returns the maximum host distance across all guest edges,
+// and the average as a second value. It panics on invalid edges.
+func Dilation(host topology.Topology, mapping []int, edges []Edge) (max int, avg float64) {
+	if len(edges) == 0 {
+		return 0, 0
+	}
+	total := 0
+	for _, e := range edges {
+		if e[0] < 0 || e[0] >= len(mapping) || e[1] < 0 || e[1] >= len(mapping) {
+			panic(fmt.Sprintf("embed: edge %v out of guest range", e))
+		}
+		d := host.Distance(mapping[e[0]], mapping[e[1]])
+		total += d
+		if d > max {
+			max = d
+		}
+	}
+	return max, float64(total) / float64(len(edges))
+}
+
+// RingEdges returns the n edges of an n-node ring.
+func RingEdges(n int) []Edge {
+	if n < 2 {
+		return nil
+	}
+	out := make([]Edge, n)
+	for i := 0; i < n; i++ {
+		out[i] = Edge{i, (i + 1) % n}
+	}
+	return out
+}
+
+// Grid2DEdges returns the edges of an r x c grid (no wraparound),
+// row-major guest indexing.
+func Grid2DEdges(r, c int) []Edge {
+	var out []Edge
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if j+1 < c {
+				out = append(out, Edge{i*c + j, i*c + j + 1})
+			}
+			if i+1 < r {
+				out = append(out, Edge{i*c + j, (i+1)*c + j})
+			}
+		}
+	}
+	return out
+}
+
+// HypercubeEdges returns the edges of a k-dimensional hypercube guest.
+func HypercubeEdges(k int) []Edge {
+	n := 1 << uint(k)
+	var out []Edge
+	for a := 0; a < n; a++ {
+		for d := 0; d < k; d++ {
+			b := bits.FlipBit(a, d)
+			if b > a {
+				out = append(out, Edge{a, b})
+			}
+		}
+	}
+	return out
+}
+
+// ButterflyStageEdges returns the pairing edges of FFT stage `bit` on n
+// elements — the guest graph whose embedding cost is the per-stage
+// mesh distance of Table 2A.
+func ButterflyStageEdges(n, bit int) []Edge {
+	var out []Edge
+	for a := 0; a < n; a++ {
+		b := bits.FlipBit(a, bit)
+		if b > a {
+			out = append(out, Edge{a, b})
+		}
+	}
+	return out
+}
+
+// Identity returns the identity mapping on n nodes.
+func Identity(n int) []int {
+	m := make([]int, n)
+	for i := range m {
+		m[i] = i
+	}
+	return m
+}
+
+// GrayRingIntoHypercube maps a 2^k-node ring onto a k-dimensional
+// hypercube with dilation 1 via the binary-reflected Gray code.
+func GrayRingIntoHypercube(k int) []int {
+	n := 1 << uint(k)
+	m := make([]int, n)
+	for i := range m {
+		m[i] = bits.GrayCode(i)
+	}
+	return m
+}
+
+// GrayGridIntoHypercube maps a 2^rBits x 2^cBits grid onto a hypercube
+// of rBits+cBits dimensions with dilation 1: each coordinate is Gray-
+// coded independently, rows in the high bits.
+func GrayGridIntoHypercube(rBits, cBits int) []int {
+	rows, cols := 1<<uint(rBits), 1<<uint(cBits)
+	m := make([]int, rows*cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			m[i*cols+j] = bits.GrayCode(i)<<uint(cBits) | bits.GrayCode(j)
+		}
+	}
+	return m
+}
+
+// SnakeRingIntoGrid maps a side^2-node ring onto a side x side grid in
+// boustrophedon (snake) order: consecutive ring nodes are grid
+// neighbours; only the closing edge stretches across the grid.
+func SnakeRingIntoGrid(side int) []int {
+	m := make([]int, side*side)
+	idx := 0
+	for r := 0; r < side; r++ {
+		if r%2 == 0 {
+			for c := 0; c < side; c++ {
+				m[idx] = r*side + c
+				idx++
+			}
+		} else {
+			for c := side - 1; c >= 0; c-- {
+				m[idx] = r*side + c
+				idx++
+			}
+		}
+	}
+	return m
+}

@@ -1,0 +1,169 @@
+package embed
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bits"
+	"repro/internal/topology"
+)
+
+func TestValidate(t *testing.T) {
+	if err := Validate([]int{0, 1, 2}, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate([]int{0, 0}, 4); err == nil {
+		t.Fatal("duplicate host accepted")
+	}
+	if err := Validate([]int{0, 4}, 4); err == nil {
+		t.Fatal("out-of-range host accepted")
+	}
+}
+
+func TestGrayRingIntoHypercubeDilationOne(t *testing.T) {
+	for _, k := range []int{2, 4, 6, 10} {
+		host := topology.NewHypercube(k)
+		m := GrayRingIntoHypercube(k)
+		if err := Validate(m, host.Nodes()); err != nil {
+			t.Fatal(err)
+		}
+		max, avg := Dilation(host, m, RingEdges(1<<uint(k)))
+		if max != 1 {
+			t.Fatalf("k=%d: Gray ring dilation %d, want 1", k, max)
+		}
+		if avg != 1 {
+			t.Fatalf("k=%d: avg dilation %v", k, avg)
+		}
+	}
+}
+
+func TestGrayGridIntoHypercubeDilationOne(t *testing.T) {
+	host := topology.NewHypercube(7)
+	m := GrayGridIntoHypercube(3, 4) // 8 x 16 grid into 128-node cube
+	if err := Validate(m, host.Nodes()); err != nil {
+		t.Fatal(err)
+	}
+	max, _ := Dilation(host, m, Grid2DEdges(8, 16))
+	if max != 1 {
+		t.Fatalf("Gray grid dilation %d, want 1", max)
+	}
+}
+
+func TestNaiveRingIntoHypercubeStretches(t *testing.T) {
+	// Without the Gray code, the natural (identity) embedding of the
+	// ring dilates: consecutive integers can differ in many bits.
+	host := topology.NewHypercube(6)
+	max, _ := Dilation(host, Identity(64), RingEdges(64))
+	if max <= 1 {
+		t.Fatalf("identity ring embedding dilation %d; expected > 1", max)
+	}
+}
+
+func TestAnythingIntoHypermeshDilationAtMostDiameter(t *testing.T) {
+	// The 2D hypermesh has diameter 2, so EVERY embedding of EVERY
+	// guest graph has dilation <= 2 — the strongest form of the paper's
+	// "embeds other useful graphs" remark.
+	host := topology.NewHypermesh(8, 2)
+	rng := rand.New(rand.NewSource(3))
+	perm := rng.Perm(64)
+	guests := [][]Edge{
+		RingEdges(64),
+		Grid2DEdges(8, 8),
+		HypercubeEdges(6),
+		ButterflyStageEdges(64, 5),
+	}
+	for gi, edges := range guests {
+		max, _ := Dilation(host, perm, edges)
+		if max > 2 {
+			t.Fatalf("guest %d: dilation %d > hypermesh diameter", gi, max)
+		}
+	}
+}
+
+func TestButterflyStageDilationOnMesh(t *testing.T) {
+	// Stage bit b of the row-major embedding dilates to 2^(b mod axBits)
+	// on the mesh — the per-stage distance of §III.B.
+	host := topology.NewMesh2D(8, false)
+	for b := 0; b < 6; b++ {
+		max, avg := Dilation(host, Identity(64), ButterflyStageEdges(64, b))
+		want := 1 << uint(b%3)
+		if max != want {
+			t.Fatalf("bit %d: dilation %d, want %d", b, max, want)
+		}
+		if avg != float64(want) {
+			t.Fatalf("bit %d: avg %v, want %d (all pairs equidistant)", b, avg, want)
+		}
+	}
+}
+
+func TestButterflyStageDilationOnHypercubeIsOne(t *testing.T) {
+	host := topology.NewHypercube(6)
+	for b := 0; b < 6; b++ {
+		max, _ := Dilation(host, Identity(64), ButterflyStageEdges(64, b))
+		if max != 1 {
+			t.Fatalf("bit %d: dilation %d on hypercube", b, max)
+		}
+	}
+}
+
+func TestSnakeRingIntoGrid(t *testing.T) {
+	side := 8
+	host := topology.NewMesh2D(side, false)
+	m := SnakeRingIntoGrid(side)
+	if err := Validate(m, host.Nodes()); err != nil {
+		t.Fatal(err)
+	}
+	edges := RingEdges(side * side)
+	// All edges except the closing one are unit; the closing edge spans
+	// the grid's left column.
+	for i, e := range edges[:len(edges)-1] {
+		if d := host.Distance(m[e[0]], m[e[1]]); d != 1 {
+			t.Fatalf("snake edge %d dilated to %d", i, d)
+		}
+	}
+	closing := host.Distance(m[side*side-1], m[0])
+	if closing != side-1 {
+		t.Fatalf("closing edge distance %d, want %d", closing, side-1)
+	}
+	// On a torus the closing edge collapses to 1.
+	torus := topology.NewMesh2D(side, true)
+	if d := torus.Distance(m[side*side-1], m[0]); d != 1 {
+		t.Fatalf("torus closing edge distance %d, want 1", d)
+	}
+}
+
+func TestEdgeGenerators(t *testing.T) {
+	if len(RingEdges(1)) != 0 {
+		t.Fatal("degenerate ring has edges")
+	}
+	if got := len(Grid2DEdges(3, 4)); got != 3*3+2*4 {
+		t.Fatalf("grid edges = %d", got)
+	}
+	if got := len(HypercubeEdges(4)); got != 16*4/2 {
+		t.Fatalf("hypercube edges = %d", got)
+	}
+	if got := len(ButterflyStageEdges(64, 0)); got != 32 {
+		t.Fatalf("butterfly edges = %d", got)
+	}
+}
+
+func TestGrayCodesAreBijective(t *testing.T) {
+	m := GrayRingIntoHypercube(8)
+	seen := map[int]bool{}
+	for _, h := range m {
+		if seen[h] {
+			t.Fatal("Gray code repeated")
+		}
+		seen[h] = true
+	}
+	_ = bits.GrayCode(0)
+}
+
+func TestDilationPanicsOnBadEdge(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on out-of-range edge")
+		}
+	}()
+	Dilation(topology.NewHypercube(2), Identity(4), []Edge{{0, 9}})
+}

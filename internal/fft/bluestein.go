@@ -1,0 +1,130 @@
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/bits"
+)
+
+// AnyPlan computes DFTs of arbitrary length (not only powers of two)
+// using Bluestein's chirp-z algorithm: the length-n DFT is re-expressed
+// as a linear convolution with a chirp sequence, which is evaluated by a
+// zero-padded power-of-two transform of length m >= 2n-1. Power-of-two
+// lengths delegate to the ordinary Plan.
+type AnyPlan struct {
+	n int
+
+	// pow2 is non-nil when n is a power of two and the plan delegates.
+	pow2 *Plan
+
+	// Bluestein state (nil when pow2 is set).
+	m     int
+	inner *Plan
+	// chirp[j] = exp(-i*pi*j^2/n) for j in [0, n)
+	chirp []complex128
+	// fh is the inner FFT of the chirp filter h[j] = conj(chirp[|j|]).
+	fh []complex128
+}
+
+// NewAnyPlan creates a DFT plan for any length n >= 1.
+func NewAnyPlan(n int) (*AnyPlan, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("fft: length %d < 1", n)
+	}
+	if bits.IsPow2(n) {
+		p, err := NewPlan(n)
+		if err != nil {
+			return nil, err
+		}
+		return &AnyPlan{n: n, pow2: p}, nil
+	}
+	m := 1 << uint(bits.CeilLog2(2*n-1))
+	inner, err := NewPlan(m)
+	if err != nil {
+		return nil, err
+	}
+	p := &AnyPlan{n: n, m: m, inner: inner}
+	p.chirp = make([]complex128, n)
+	for j := 0; j < n; j++ {
+		// Reduce j^2 modulo 2n before forming the angle so that very
+		// long transforms do not lose precision to huge arguments.
+		q := (j * j) % (2 * n)
+		angle := -math.Pi * float64(q) / float64(n)
+		p.chirp[j] = cmplx.Exp(complex(0, angle))
+	}
+	h := make([]complex128, m)
+	for j := 0; j < n; j++ {
+		c := cmplx.Conj(p.chirp[j])
+		h[j] = c
+		if j > 0 {
+			h[m-j] = c
+		}
+	}
+	p.fh = make([]complex128, m)
+	inner.Transform(p.fh, h)
+	return p, nil
+}
+
+// Len returns the transform length.
+func (p *AnyPlan) Len() int { return p.n }
+
+// Transform computes the forward DFT of src into dst (may alias):
+// dst[k] = sum_j src[j] * exp(-2*pi*i*j*k/n).
+func (p *AnyPlan) Transform(dst, src []complex128) {
+	if len(src) != p.n || len(dst) != p.n {
+		panic(fmt.Sprintf("fft: AnyPlan length mismatch (%d, %d) vs %d", len(dst), len(src), p.n))
+	}
+	if p.pow2 != nil {
+		p.pow2.Transform(dst, src)
+		return
+	}
+	a := make([]complex128, p.m)
+	for j := 0; j < p.n; j++ {
+		a[j] = src[j] * p.chirp[j]
+	}
+	p.inner.Transform(a, a)
+	for i := range a {
+		a[i] *= p.fh[i]
+	}
+	p.inner.Inverse(a, a)
+	for k := 0; k < p.n; k++ {
+		dst[k] = a[k] * p.chirp[k]
+	}
+}
+
+// Inverse computes the inverse DFT of src into dst (may alias).
+func (p *AnyPlan) Inverse(dst, src []complex128) {
+	if len(src) != p.n || len(dst) != p.n {
+		panic(fmt.Sprintf("fft: AnyPlan length mismatch (%d, %d) vs %d", len(dst), len(src), p.n))
+	}
+	if p.pow2 != nil {
+		p.pow2.Inverse(dst, src)
+		return
+	}
+	// IDFT(x) = conj(DFT(conj(x)))/n.
+	tmp := make([]complex128, p.n)
+	for i, v := range src {
+		tmp[i] = cmplx.Conj(v)
+	}
+	p.Transform(tmp, tmp)
+	scale := complex(1/float64(p.n), 0)
+	for i, v := range tmp {
+		dst[i] = cmplx.Conj(v) * scale
+	}
+}
+
+// Forward is a convenience wrapper allocating the output slice.
+func (p *AnyPlan) Forward(src []complex128) []complex128 {
+	dst := make([]complex128, p.n)
+	p.Transform(dst, src)
+	return dst
+}
+
+// Backward is a convenience wrapper allocating the output slice.
+func (p *AnyPlan) Backward(src []complex128) []complex128 {
+	dst := make([]complex128, p.n)
+	p.Inverse(dst, src)
+	return dst
+}

@@ -1,0 +1,115 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+func TestAnyPlanMatchesDFT(t *testing.T) {
+	// Primes, prime powers, highly composite, and power-of-two lengths.
+	for _, n := range []int{1, 2, 3, 5, 7, 12, 17, 31, 60, 97, 128, 243, 1000} {
+		p, err := NewAnyPlan(n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if p.Len() != n {
+			t.Fatalf("Len = %d", p.Len())
+		}
+		x := randomSignal(n, int64(n)+500)
+		got := p.Forward(x)
+		want := DFT(x)
+		if d := MaxAbsDiff(got, want); d > 1e-8*float64(n) {
+			t.Fatalf("n=%d: Bluestein differs from DFT by %g", n, d)
+		}
+	}
+}
+
+func TestAnyPlanInverseRoundTrip(t *testing.T) {
+	for _, n := range []int{3, 17, 100, 255, 256} {
+		p, err := NewAnyPlan(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := randomSignal(n, int64(n)+600)
+		y := p.Backward(p.Forward(x))
+		if d := MaxAbsDiff(x, y); d > 1e-8*float64(n) {
+			t.Fatalf("n=%d: round trip differs by %g", n, d)
+		}
+	}
+}
+
+func TestAnyPlanPow2Delegates(t *testing.T) {
+	p, err := NewAnyPlan(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randomSignal(64, 700)
+	if d := MaxAbsDiff(p.Forward(x), MustPlan(64).Forward(x)); d != 0 {
+		t.Fatalf("power-of-two AnyPlan differs from Plan by %g", d)
+	}
+}
+
+func TestAnyPlanRejectsBadLength(t *testing.T) {
+	if _, err := NewAnyPlan(0); err == nil {
+		t.Fatal("length 0 accepted")
+	}
+	if _, err := NewAnyPlan(-5); err == nil {
+		t.Fatal("negative length accepted")
+	}
+}
+
+func TestAnyPlanPanicsOnLengthMismatch(t *testing.T) {
+	p, _ := NewAnyPlan(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on mismatched slice")
+		}
+	}()
+	p.Transform(make([]complex128, 5), make([]complex128, 4))
+}
+
+func TestAnyPlanSinusoidPrimeLength(t *testing.T) {
+	n := 101 // prime
+	p, _ := NewAnyPlan(n)
+	freq := 13
+	x := make([]complex128, n)
+	for i := range x {
+		angle := 2 * math.Pi * float64(freq) * float64(i) / float64(n)
+		x[i] = cmplx.Exp(complex(0, angle))
+	}
+	y := p.Forward(x)
+	for k := range y {
+		want := 0.0
+		if k == freq {
+			want = float64(n)
+		}
+		if math.Abs(cmplx.Abs(y[k])-want) > 1e-7 {
+			t.Fatalf("bin %d magnitude %g, want %g", k, cmplx.Abs(y[k]), want)
+		}
+	}
+}
+
+func TestAnyPlanLargePrimePrecision(t *testing.T) {
+	// The j^2 mod 2n angle reduction keeps large transforms accurate.
+	n := 4999
+	p, err := NewAnyPlan(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randomSignal(n, 800)
+	y := p.Backward(p.Forward(x))
+	if d := MaxAbsDiff(x, y); d > 1e-6 {
+		t.Fatalf("large prime round trip differs by %g", d)
+	}
+}
+
+func BenchmarkAnyPlanPrime1009(b *testing.B) {
+	p, _ := NewAnyPlan(1009)
+	x := randomSignal(1009, 1)
+	dst := make([]complex128, 1009)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Transform(dst, x)
+	}
+}

@@ -1,0 +1,104 @@
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// DCTPlan computes the type-II discrete cosine transform (the "DCT") and
+// its inverse (type III) of length n via a same-length complex FFT using
+// Makhoul's even permutation:
+//
+//	DCT-II[k] = 2 * sum_j x[j] cos(pi*(2j+1)*k / (2n))
+//
+// The even-odd reshuffle v[j] = x[2j], v[n-1-j] = x[2j+1] turns the
+// cosine sum into the real part of a phase-rotated FFT of v.
+type DCTPlan struct {
+	n    int
+	plan *Plan
+	// rot[k] = 2 * exp(-i*pi*k/(2n))
+	rot []complex128
+}
+
+// NewDCTPlan creates a DCT plan for length n (a power of two).
+func NewDCTPlan(n int) (*DCTPlan, error) {
+	p, err := NewPlan(n)
+	if err != nil {
+		return nil, fmt.Errorf("fft: DCT: %w", err)
+	}
+	d := &DCTPlan{n: n, plan: p, rot: make([]complex128, n)}
+	for k := 0; k < n; k++ {
+		angle := -math.Pi * float64(k) / float64(2*n)
+		d.rot[k] = 2 * cmplx.Exp(complex(0, angle))
+	}
+	return d, nil
+}
+
+// Len returns the transform length.
+func (d *DCTPlan) Len() int { return d.n }
+
+// Transform computes the (unnormalized) DCT-II of src into dst, which
+// may alias src.
+func (d *DCTPlan) Transform(dst, src []float64) {
+	if len(src) != d.n || len(dst) != d.n {
+		panic(fmt.Sprintf("fft: DCT length mismatch (%d,%d) vs %d", len(dst), len(src), d.n))
+	}
+	v := make([]complex128, d.n)
+	half := (d.n + 1) / 2
+	for j := 0; j < half; j++ {
+		v[j] = complex(src[2*j], 0)
+	}
+	for j := 0; j < d.n/2; j++ {
+		v[d.n-1-j] = complex(src[2*j+1], 0)
+	}
+	d.plan.Transform(v, v)
+	for k := 0; k < d.n; k++ {
+		dst[k] = real(d.rot[k] * v[k])
+	}
+}
+
+// Inverse computes the inverse of Transform (a scaled DCT-III): applying
+// Transform then Inverse returns the original signal. dst may alias src.
+func (d *DCTPlan) Inverse(dst, src []float64) {
+	if len(src) != d.n || len(dst) != d.n {
+		panic(fmt.Sprintf("fft: DCT length mismatch (%d,%d) vs %d", len(dst), len(src), d.n))
+	}
+	n := d.n
+	// Rebuild the complex spectrum V[k] = (1/2) conj(rot[k]/2)^-1 ...:
+	// invert dst[k] = Re(rot[k] * V[k]) using the conjugate-symmetry of
+	// the underlying even sequence: V[n-k] = -i * conj(V[k]) * w where
+	// the standard inversion is V[k] = (c[k] - i*c[n-k]) * exp(i pi k/2n)/2
+	// with c[n] treated as 0.
+	v := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var cNk float64
+		if k > 0 {
+			cNk = src[n-k]
+		}
+		phase := cmplx.Exp(complex(0, math.Pi*float64(k)/float64(2*n)))
+		v[k] = phase * complex(src[k], -cNk) / 2
+	}
+	d.plan.Inverse(v, v)
+	for j := 0; j < (n+1)/2; j++ {
+		dst[2*j] = real(v[j])
+	}
+	for j := 0; j < n/2; j++ {
+		dst[2*j+1] = real(v[n-1-j])
+	}
+}
+
+// DCTDirect computes the DCT-II from its definition in O(n^2); the test
+// oracle.
+func DCTDirect(x []float64) []float64 {
+	n := len(x)
+	out := make([]float64, n)
+	for k := 0; k < n; k++ {
+		sum := 0.0
+		for j := 0; j < n; j++ {
+			sum += x[j] * math.Cos(math.Pi*float64(2*j+1)*float64(k)/float64(2*n))
+		}
+		out[k] = 2 * sum
+	}
+	return out
+}

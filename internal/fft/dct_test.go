@@ -1,0 +1,141 @@
+package fft
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randomReal(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+func TestDCTMatchesDirect(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 64, 256} {
+		d, err := NewDCTPlan(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := randomReal(n, int64(n))
+		got := make([]float64, n)
+		d.Transform(got, x)
+		want := DCTDirect(x)
+		for k := range want {
+			if math.Abs(got[k]-want[k]) > 1e-9*float64(n) {
+				t.Fatalf("n=%d bin %d: %v vs %v", n, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestDCTRoundTrip(t *testing.T) {
+	for _, n := range []int{2, 16, 128, 1024} {
+		d, err := NewDCTPlan(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := randomReal(n, int64(n)+1000)
+		y := make([]float64, n)
+		d.Transform(y, x)
+		back := make([]float64, n)
+		d.Inverse(back, y)
+		for i := range x {
+			if math.Abs(back[i]-x[i]) > 1e-9*float64(n) {
+				t.Fatalf("n=%d: round trip differs at %d: %v vs %v", n, i, back[i], x[i])
+			}
+		}
+	}
+}
+
+func TestDCTConstantSignal(t *testing.T) {
+	// A constant signal concentrates all DCT energy in bin 0.
+	n := 64
+	d, _ := NewDCTPlan(n)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1
+	}
+	y := make([]float64, n)
+	d.Transform(y, x)
+	if math.Abs(y[0]-float64(2*n)) > 1e-9 {
+		t.Fatalf("DC bin = %v, want %d", y[0], 2*n)
+	}
+	for k := 1; k < n; k++ {
+		if math.Abs(y[k]) > 1e-9 {
+			t.Fatalf("bin %d = %v, want 0", k, y[k])
+		}
+	}
+}
+
+func TestDCTCosineConcentrates(t *testing.T) {
+	// x[j] = cos(pi*(2j+1)*k0/(2n)) concentrates in bin k0.
+	n, k0 := 128, 17
+	d, _ := NewDCTPlan(n)
+	x := make([]float64, n)
+	for j := range x {
+		x[j] = math.Cos(math.Pi * float64(2*j+1) * float64(k0) / float64(2*n))
+	}
+	y := make([]float64, n)
+	d.Transform(y, x)
+	for k := range y {
+		want := 0.0
+		if k == k0 {
+			want = float64(n)
+		}
+		if math.Abs(y[k]-want) > 1e-8 {
+			t.Fatalf("bin %d = %v, want %v", k, y[k], want)
+		}
+	}
+}
+
+func TestDCTEnergyCompaction(t *testing.T) {
+	// A smooth ramp compacts energy in the low bins — the property that
+	// makes the DCT a compression transform.
+	n := 256
+	d, _ := NewDCTPlan(n)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i) / float64(n)
+	}
+	y := make([]float64, n)
+	d.Transform(y, x)
+	var low, high float64
+	for k := 0; k < n; k++ {
+		if k < n/8 {
+			low += y[k] * y[k]
+		} else {
+			high += y[k] * y[k]
+		}
+	}
+	if low < 100*high {
+		t.Fatalf("energy not compacted: low %v vs high %v", low, high)
+	}
+}
+
+func TestDCTRejectsBadLength(t *testing.T) {
+	if _, err := NewDCTPlan(12); err == nil {
+		t.Fatal("length 12 accepted")
+	}
+	d, _ := NewDCTPlan(8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	d.Transform(make([]float64, 8), make([]float64, 4))
+}
+
+func BenchmarkDCT1024(b *testing.B) {
+	d, _ := NewDCTPlan(1024)
+	x := randomReal(1024, 1)
+	y := make([]float64, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Transform(y, x)
+	}
+}

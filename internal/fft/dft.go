@@ -1,0 +1,56 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// DFT computes the discrete Fourier transform directly from its
+// definition in O(n^2) operations. It accepts any length (not only
+// powers of two) and serves as the correctness oracle for every fast
+// transform in this repository.
+func DFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for j := 0; j < n; j++ {
+			angle := -2 * math.Pi * float64(j) * float64(k) / float64(n)
+			sum += x[j] * cmplx.Exp(complex(0, angle))
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+// IDFT computes the inverse discrete Fourier transform directly in
+// O(n^2) operations.
+func IDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for j := 0; j < n; j++ {
+		var sum complex128
+		for k := 0; k < n; k++ {
+			angle := 2 * math.Pi * float64(j) * float64(k) / float64(n)
+			sum += x[k] * cmplx.Exp(complex(0, angle))
+		}
+		out[j] = sum / complex(float64(n), 0)
+	}
+	return out
+}
+
+// MaxAbsDiff returns the largest elementwise modulus of difference
+// between a and b; tests compare transforms with a tolerance scaled by
+// input size.
+func MaxAbsDiff(a, b []complex128) float64 {
+	if len(a) != len(b) {
+		panic("fft: MaxAbsDiff length mismatch")
+	}
+	max := 0.0
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > max {
+			max = d
+		}
+	}
+	return max
+}

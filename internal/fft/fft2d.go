@@ -1,0 +1,82 @@
+package fft
+
+import "fmt"
+
+// Plan2D computes two-dimensional DFTs of rows x cols arrays by
+// row-column decomposition. Both dimensions must be powers of two.
+type Plan2D struct {
+	rows, cols int
+	rowPlan    *Plan
+	colPlan    *Plan
+}
+
+// NewPlan2D creates a 2D transform plan.
+func NewPlan2D(rows, cols int) (*Plan2D, error) {
+	rp, err := NewPlan(cols)
+	if err != nil {
+		return nil, fmt.Errorf("fft: 2D plan cols: %w", err)
+	}
+	cp, err := NewPlan(rows)
+	if err != nil {
+		return nil, fmt.Errorf("fft: 2D plan rows: %w", err)
+	}
+	return &Plan2D{rows: rows, cols: cols, rowPlan: rp, colPlan: cp}, nil
+}
+
+// Size returns the (rows, cols) shape.
+func (p *Plan2D) Size() (rows, cols int) { return p.rows, p.cols }
+
+func (p *Plan2D) checkLen(x []complex128) {
+	if len(x) != p.rows*p.cols {
+		panic(fmt.Sprintf("fft: 2D slice length %d does not match %dx%d", len(x), p.rows, p.cols))
+	}
+}
+
+// Transform computes the forward 2D DFT of the row-major array src into
+// dst (which may alias src).
+func (p *Plan2D) Transform(dst, src []complex128) {
+	p.checkLen(src)
+	p.checkLen(dst)
+	if &dst[0] != &src[0] {
+		copy(dst, src)
+	}
+	// Rows first.
+	for r := 0; r < p.rows; r++ {
+		row := dst[r*p.cols : (r+1)*p.cols]
+		p.rowPlan.Transform(row, row)
+	}
+	// Then columns, via a scratch column buffer.
+	col := make([]complex128, p.rows)
+	for c := 0; c < p.cols; c++ {
+		for r := 0; r < p.rows; r++ {
+			col[r] = dst[r*p.cols+c]
+		}
+		p.colPlan.Transform(col, col)
+		for r := 0; r < p.rows; r++ {
+			dst[r*p.cols+c] = col[r]
+		}
+	}
+}
+
+// Inverse computes the inverse 2D DFT of src into dst (may alias).
+func (p *Plan2D) Inverse(dst, src []complex128) {
+	p.checkLen(src)
+	p.checkLen(dst)
+	if &dst[0] != &src[0] {
+		copy(dst, src)
+	}
+	for r := 0; r < p.rows; r++ {
+		row := dst[r*p.cols : (r+1)*p.cols]
+		p.rowPlan.Inverse(row, row)
+	}
+	col := make([]complex128, p.rows)
+	for c := 0; c < p.cols; c++ {
+		for r := 0; r < p.rows; r++ {
+			col[r] = dst[r*p.cols+c]
+		}
+		p.colPlan.Inverse(col, col)
+		for r := 0; r < p.rows; r++ {
+			dst[r*p.cols+c] = col[r]
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package fft
+
+import "math/cmplx"
+
+// inverseDITFromBitReversed runs the decimation-in-time butterfly
+// network with conjugated twiddles on a spectrum given in bit-reversed
+// index order, producing the (unscaled) inverse DFT in natural order.
+// It is the mirror image of forwardDIF: composing the two without any
+// bit-reversal permutation is the identity (up to the 1/n scale).
+func (p *Plan) inverseDITFromBitReversed(x []complex128) {
+	n := p.n
+	for size := 2; size <= n; size *= 2 {
+		half := size / 2
+		tablestep := n / size
+		for start := 0; start < n; start += size {
+			for j := 0; j < half; j++ {
+				w := cmplx.Conj(p.Twiddle(j * tablestep))
+				a := x[start+j]
+				t := w * x[start+j+half]
+				x[start+j] = a + t
+				x[start+j+half] = a - t
+			}
+		}
+	}
+}
+
+// InverseNoReorder computes the inverse DFT of a spectrum that is in
+// bit-reversed order — exactly what TransformNoReorder produces — and
+// returns the time-domain signal in natural order, scaled by 1/n.
+// dst may alias src.
+//
+// TransformNoReorder followed by pointwise spectral processing followed
+// by InverseNoReorder performs convolution-style work with no
+// bit-reversal permutation at all: the workload of §IV.A's "if the
+// bit-reversal is not needed, as in many applications" remark, which
+// saves log N of the hypercube's 2 log N data-transfer steps (and the
+// 3-step reversal on a hypermesh).
+func (p *Plan) InverseNoReorder(dst, src []complex128) {
+	p.checkLen(src)
+	p.checkLen(dst)
+	if &dst[0] != &src[0] {
+		copy(dst, src)
+	}
+	p.inverseDITFromBitReversed(dst)
+	scale := complex(1/float64(p.n), 0)
+	for i := range dst {
+		dst[i] *= scale
+	}
+}

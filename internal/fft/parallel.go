@@ -1,0 +1,83 @@
+package fft
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/bits"
+)
+
+// TransformParallel computes the same forward DFT as Transform but
+// spreads the butterfly work of each rank across a pool of goroutines —
+// host-level multicore parallelism for large transforms (the simulated
+// machines of package netsim model *network* parallelism instead).
+// workers <= 0 means runtime.GOMAXPROCS(0). Results are bit-identical to
+// Transform: the parallel split only partitions independent butterflies.
+func (p *Plan) TransformParallel(dst, src []complex128, workers int) {
+	p.checkLen(src)
+	p.checkLen(dst)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || p.n < 4096 {
+		p.Transform(dst, src)
+		return
+	}
+	if &dst[0] != &src[0] {
+		copy(dst, src)
+	}
+	n := p.n
+	for stage := p.log2n - 1; stage >= 0; stage-- {
+		half := 1 << uint(stage)
+		size := half * 2
+		// All butterflies of a rank are independent; enumerate them by
+		// flat index b in [0, n/2): block = b / half, offset = b % half.
+		parallelRange(n/2, workers, func(lo, hi int) {
+			for b := lo; b < hi; b++ {
+				start := (b / half) * size
+				j := start + b%half
+				l := j + half
+				w := p.Twiddle(p.DIFTwiddleExponent(stage, j))
+				dst[j], dst[l] = Butterfly(dst[j], dst[l], w)
+			}
+		})
+	}
+	// Parallel-safe bit reversal: each swap pair touched once.
+	parallelRange(n, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			j := bits.Reverse(i, p.log2n)
+			if j > i {
+				dst[i], dst[j] = dst[j], dst[i]
+			}
+		}
+	})
+}
+
+// parallelRange splits [0, n) into contiguous chunks across workers.
+func parallelRange(n, workers int, fn func(lo, hi int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,50 @@
+package fft
+
+import "testing"
+
+func TestTransformParallelMatchesSerial(t *testing.T) {
+	for _, n := range []int{64, 4096, 16384} {
+		p := MustPlan(n)
+		x := randomSignal(n, int64(n)+7000)
+		want := p.Forward(x)
+		for _, workers := range []int{0, 1, 2, 7, 16} {
+			dst := make([]complex128, n)
+			p.TransformParallel(dst, x, workers)
+			if d := MaxAbsDiff(dst, want); d != 0 {
+				t.Fatalf("n=%d workers=%d: parallel differs by %g", n, workers, d)
+			}
+		}
+	}
+}
+
+func TestTransformParallelInPlace(t *testing.T) {
+	n := 8192
+	p := MustPlan(n)
+	x := randomSignal(n, 7100)
+	want := p.Forward(x)
+	buf := append([]complex128(nil), x...)
+	p.TransformParallel(buf, buf, 8)
+	if d := MaxAbsDiff(buf, want); d != 0 {
+		t.Fatalf("in-place parallel differs by %g", d)
+	}
+}
+
+func BenchmarkTransformSerial64K(b *testing.B) {
+	p := MustPlan(1 << 16)
+	x := randomSignal(1<<16, 1)
+	dst := make([]complex128, 1<<16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Transform(dst, x)
+	}
+}
+
+func BenchmarkTransformParallel64K(b *testing.B) {
+	p := MustPlan(1 << 16)
+	x := randomSignal(1<<16, 1)
+	dst := make([]complex128, 1<<16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.TransformParallel(dst, x, 0)
+	}
+}

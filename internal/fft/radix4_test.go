@@ -1,0 +1,68 @@
+package fft
+
+import "testing"
+
+func TestRadix4MatchesPlan(t *testing.T) {
+	for _, n := range []int{1, 4, 16, 64, 256, 1024, 4096} {
+		p, err := NewRadix4Plan(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := randomSignal(n, int64(n)+5000)
+		got := p.Forward(x)
+		want := MustPlan(n).Forward(x)
+		if d := MaxAbsDiff(got, want); d > 1e-9*float64(n) {
+			t.Fatalf("n=%d: radix-4 differs from radix-2 by %g", n, d)
+		}
+	}
+}
+
+func TestRadix4RejectsNonPowersOfFour(t *testing.T) {
+	for _, n := range []int{2, 8, 32, 100, 0} {
+		if _, err := NewRadix4Plan(n); err == nil {
+			t.Fatalf("NewRadix4Plan(%d) accepted", n)
+		}
+	}
+}
+
+func TestRadix4Stages(t *testing.T) {
+	p, _ := NewRadix4Plan(4096)
+	if p.Stages() != 6 {
+		t.Fatalf("Stages = %d, want 6", p.Stages())
+	}
+	if p.Len() != 4096 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+}
+
+func TestRadix4InPlace(t *testing.T) {
+	n := 256
+	p, _ := NewRadix4Plan(n)
+	x := randomSignal(n, 6000)
+	want := p.Forward(x)
+	buf := append([]complex128(nil), x...)
+	p.Transform(buf, buf)
+	if d := MaxAbsDiff(buf, want); d != 0 {
+		t.Fatalf("in-place differs by %g", d)
+	}
+}
+
+func BenchmarkRadix4_4096(b *testing.B) {
+	p, _ := NewRadix4Plan(4096)
+	x := randomSignal(4096, 1)
+	dst := make([]complex128, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Transform(dst, x)
+	}
+}
+
+func BenchmarkRadix2_4096(b *testing.B) {
+	p := MustPlan(4096)
+	x := randomSignal(4096, 1)
+	dst := make([]complex128, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Transform(dst, x)
+	}
+}

@@ -1,0 +1,51 @@
+package fft
+
+import "math/cmplx"
+
+// RealForward computes the DFT of a real-valued signal, returning the
+// n/2+1 non-redundant spectrum bins (the remainder follow from conjugate
+// symmetry). The input length must match the plan length.
+func (p *Plan) RealForward(x []float64) []complex128 {
+	if len(x) != p.n {
+		panic("fft: RealForward length mismatch")
+	}
+	buf := make([]complex128, p.n)
+	for i, v := range x {
+		buf[i] = complex(v, 0)
+	}
+	p.Transform(buf, buf)
+	out := make([]complex128, p.n/2+1)
+	copy(out, buf[:p.n/2+1])
+	return out
+}
+
+// RealInverse reconstructs a real signal of length n from its n/2+1
+// non-redundant spectrum bins, inverting RealForward.
+func (p *Plan) RealInverse(spec []complex128) []float64 {
+	if len(spec) != p.n/2+1 {
+		panic("fft: RealInverse expects n/2+1 bins")
+	}
+	buf := make([]complex128, p.n)
+	copy(buf, spec)
+	for k := 1; k < p.n/2; k++ {
+		buf[p.n-k] = cmplx.Conj(spec[k])
+	}
+	p.Inverse(buf, buf)
+	out := make([]float64, p.n)
+	for i, v := range buf {
+		out[i] = real(v)
+	}
+	return out
+}
+
+// PowerSpectrum returns |X[k]|^2 for the non-redundant bins of a real
+// signal — the quantity the quickstart example plots.
+func (p *Plan) PowerSpectrum(x []float64) []float64 {
+	spec := p.RealForward(x)
+	out := make([]float64, len(spec))
+	for i, v := range spec {
+		re, im := real(v), imag(v)
+		out[i] = re*re + im*im
+	}
+	return out
+}

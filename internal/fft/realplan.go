@@ -1,0 +1,103 @@
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// RealPlan computes forward and inverse DFTs of real signals of length
+// n using a single complex transform of length n/2 (the classic packing
+// trick): the even samples become real parts and the odd samples
+// imaginary parts, and a post-processing pass untangles the two
+// half-spectra. It does half the work of Plan.RealForward, which runs a
+// full-length complex transform.
+type RealPlan struct {
+	n    int
+	half *Plan
+	// w[k] = exp(-2*pi*i*k/n) for k in [0, n/2)
+	w []complex128
+}
+
+// NewRealPlan creates a real-input plan for length n, a power of two
+// and at least 2.
+func NewRealPlan(n int) (*RealPlan, error) {
+	if n < 2 || n%2 != 0 {
+		return nil, fmt.Errorf("fft: real plan length %d must be even and >= 2", n)
+	}
+	half, err := NewPlan(n / 2)
+	if err != nil {
+		return nil, fmt.Errorf("fft: real plan: %w", err)
+	}
+	p := &RealPlan{n: n, half: half, w: make([]complex128, n/2)}
+	for k := range p.w {
+		angle := -2 * math.Pi * float64(k) / float64(n)
+		p.w[k] = cmplx.Exp(complex(0, angle))
+	}
+	return p, nil
+}
+
+// Len returns the signal length n.
+func (p *RealPlan) Len() int { return p.n }
+
+// Forward computes the n/2+1 non-redundant spectrum bins of the real
+// signal x (the remainder follow from conjugate symmetry).
+func (p *RealPlan) Forward(x []float64) []complex128 {
+	if len(x) != p.n {
+		panic(fmt.Sprintf("fft: real plan length mismatch %d vs %d", len(x), p.n))
+	}
+	h := p.n / 2
+	// Pack even samples into real parts, odd into imaginary parts.
+	z := make([]complex128, h)
+	for i := 0; i < h; i++ {
+		z[i] = complex(x[2*i], x[2*i+1])
+	}
+	p.half.Transform(z, z)
+	out := make([]complex128, h+1)
+	// Untangle: with E[k] and O[k] the DFTs of the even and odd
+	// subsequences, Z[k] = E[k] + i O[k] and conjugate symmetry gives
+	// E[k] = (Z[k] + conj(Z[h-k]))/2, O[k] = (Z[k] - conj(Z[h-k]))/(2i).
+	for k := 0; k <= h; k++ {
+		zk := z[k%h]
+		zc := cmplx.Conj(z[(h-k)%h])
+		e := (zk + zc) / 2
+		o := (zk - zc) / complex(0, 2)
+		out[k] = e + p.twiddle(k)*o
+	}
+	return out
+}
+
+// twiddle returns W_n^k for k in [0, n/2].
+func (p *RealPlan) twiddle(k int) complex128 {
+	if k == p.n/2 {
+		return -1
+	}
+	return p.w[k]
+}
+
+// Inverse reconstructs the real signal from its n/2+1 non-redundant
+// bins, inverting Forward.
+func (p *RealPlan) Inverse(spec []complex128) []float64 {
+	h := p.n / 2
+	if len(spec) != h+1 {
+		panic(fmt.Sprintf("fft: real plan inverse wants %d bins, got %d", h+1, len(spec)))
+	}
+	// Repack the half-length complex spectrum Z[k] = E[k] + i O[k],
+	// inverting Forward's untangling: E[k] = (X[k] + conj(X[h-k]))/2 and
+	// O[k] = (X[k] - conj(X[h-k])) / (2 W_n^k).
+	z := make([]complex128, h)
+	for k := 0; k < h; k++ {
+		xk := spec[k]
+		xc := cmplx.Conj(spec[h-k])
+		e := (xk + xc) / 2
+		o := (xk - xc) / (2 * p.twiddle(k))
+		z[k] = e + complex(0, 1)*o
+	}
+	p.half.Inverse(z, z)
+	out := make([]float64, p.n)
+	for i := 0; i < h; i++ {
+		out[2*i] = real(z[i])
+		out[2*i+1] = imag(z[i])
+	}
+	return out
+}

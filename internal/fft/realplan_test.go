@@ -1,0 +1,86 @@
+package fft
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRealPlanMatchesFullComplexTransform(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 64, 256, 1024} {
+		p, err := NewRealPlan(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Len() != n {
+			t.Fatalf("Len = %d", p.Len())
+		}
+		x := randomReal(n, int64(n)+2000)
+		got := p.Forward(x)
+		full := MustPlan(n)
+		want := full.RealForward(x)
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: %d bins vs %d", n, len(got), len(want))
+		}
+		for k := range want {
+			if d := got[k] - want[k]; math.Hypot(real(d), imag(d)) > 1e-9*float64(n) {
+				t.Fatalf("n=%d bin %d: %v vs %v", n, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestRealPlanRoundTrip(t *testing.T) {
+	for _, n := range []int{4, 32, 512} {
+		p, _ := NewRealPlan(n)
+		x := randomReal(n, int64(n)+3000)
+		y := p.Inverse(p.Forward(x))
+		for i := range x {
+			if math.Abs(y[i]-x[i]) > 1e-9*float64(n) {
+				t.Fatalf("n=%d: round trip differs at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestRealPlanNyquistAndDCAreReal(t *testing.T) {
+	n := 128
+	p, _ := NewRealPlan(n)
+	x := randomReal(n, 4000)
+	spec := p.Forward(x)
+	if math.Abs(imag(spec[0])) > 1e-10 {
+		t.Fatalf("DC bin not real: %v", spec[0])
+	}
+	if math.Abs(imag(spec[n/2])) > 1e-10 {
+		t.Fatalf("Nyquist bin not real: %v", spec[n/2])
+	}
+}
+
+func TestRealPlanRejectsBadLengths(t *testing.T) {
+	if _, err := NewRealPlan(1); err == nil {
+		t.Fatal("length 1 accepted")
+	}
+	if _, err := NewRealPlan(7); err == nil {
+		t.Fatal("odd length accepted")
+	}
+	if _, err := NewRealPlan(12); err == nil {
+		t.Fatal("non power of two accepted (half not power of two)")
+	}
+}
+
+func BenchmarkRealPlan4096(b *testing.B) {
+	p, _ := NewRealPlan(4096)
+	x := randomReal(4096, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Forward(x)
+	}
+}
+
+func BenchmarkFullComplexRealForward4096(b *testing.B) {
+	p := MustPlan(4096)
+	x := randomReal(4096, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.RealForward(x)
+	}
+}

@@ -1,0 +1,47 @@
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/bits"
+)
+
+// Recursive computes the forward DFT by the textbook recursive
+// decimation-in-time Cooley–Tukey algorithm. It is slower than the
+// planned iterative transform (it allocates at every level) but its
+// structure follows the mathematics directly, so the test suite uses it
+// as a second independent implementation alongside the naive DFT.
+func Recursive(x []complex128) []complex128 {
+	n := len(x)
+	if !bits.IsPow2(n) {
+		panic(fmt.Sprintf("fft: Recursive length %d is not a power of two", n))
+	}
+	out := make([]complex128, n)
+	copy(out, x)
+	return recurse(out)
+}
+
+func recurse(x []complex128) []complex128 {
+	n := len(x)
+	if n == 1 {
+		return x
+	}
+	even := make([]complex128, n/2)
+	odd := make([]complex128, n/2)
+	for i := 0; i < n/2; i++ {
+		even[i] = x[2*i]
+		odd[i] = x[2*i+1]
+	}
+	e := recurse(even)
+	o := recurse(odd)
+	out := make([]complex128, n)
+	for k := 0; k < n/2; k++ {
+		angle := -2 * math.Pi * float64(k) / float64(n)
+		t := cmplx.Exp(complex(0, angle)) * o[k]
+		out[k] = e[k] + t
+		out[k+n/2] = e[k] - t
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+// Package flowgraph builds and evaluates the data-flow graph of the
+// parallel radix-2 Cooley–Tukey FFT — the paper's Fig. 3: an SW-banyan
+// (Butterfly) graph of log2(N) ranks followed by a bit-reversal
+// permutation of the outputs.
+//
+// The graph is an explicit object so that embeddings can be reasoned
+// about: each rank's cross edges form exactly the Butterfly-exchange
+// permutation of one address bit, which is what the mapping layer
+// (package parfft) schedules onto mesh, hypercube and hypermesh links.
+// Evaluating the graph reproduces the DFT bit-for-bit against package
+// fft, which pins down every twiddle assignment.
+package flowgraph
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+	"repro/internal/fft"
+	"repro/internal/permute"
+)
+
+// Graph is the FFT data-flow graph on n = 2^k inputs. Rank r (0-based,
+// executed in increasing order) pairs vertices whose indices differ in
+// bit k-1-r, i.e. the first rank pairs elements n/2 apart and the last
+// pairs adjacent elements — the decimation-in-frequency schedule.
+type Graph struct {
+	n     int
+	ranks int
+	plan  *fft.Plan
+}
+
+// Build constructs the flow graph for n inputs (a power of two).
+func Build(n int) (*Graph, error) {
+	p, err := fft.NewPlan(n)
+	if err != nil {
+		return nil, fmt.Errorf("flowgraph: %w", err)
+	}
+	return &Graph{n: n, ranks: p.Stages(), plan: p}, nil
+}
+
+// MustBuild is Build for sizes known to be valid; it panics on error.
+func MustBuild(n int) *Graph {
+	g, err := Build(n)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Inputs returns n.
+func (g *Graph) Inputs() int { return g.n }
+
+// Ranks returns the number of butterfly ranks, log2(n).
+func (g *Graph) Ranks() int { return g.ranks }
+
+// Butterflies returns the total number of two-input butterfly operations
+// in the graph: ranks * n/2.
+func (g *Graph) Butterflies() int { return g.ranks * g.n / 2 }
+
+// Edges returns the total number of data-flow edges between ranks:
+// every vertex of every rank has two outputs, so 2 * n * ranks, plus the
+// n bit-reversal output wires.
+func (g *Graph) Edges() int { return 2*g.n*g.ranks + g.n }
+
+// StageBit returns the address bit paired at rank r: bit k-1-r.
+func (g *Graph) StageBit(r int) int {
+	if r < 0 || r >= g.ranks {
+		panic(fmt.Sprintf("flowgraph: rank %d out of range [0,%d)", r, g.ranks))
+	}
+	return g.ranks - 1 - r
+}
+
+// CrossPermutation returns the permutation realized by rank r's cross
+// edges: the Butterfly exchange of the rank's stage bit. The paper's
+// observation that the hypercube and hypermesh "can implement all
+// Butterfly permutations without conflict" is about these permutations.
+func (g *Graph) CrossPermutation(r int) permute.Permutation {
+	return permute.ButterflyExchange(g.n, g.StageBit(r))
+}
+
+// OutputPermutation returns the terminal bit-reversal wiring.
+func (g *Graph) OutputPermutation() permute.Permutation {
+	return permute.BitReversal(g.n)
+}
+
+// Partner returns the index that vertex i is paired with at rank r.
+func (g *Graph) Partner(r, i int) int {
+	return bits.FlipBit(i, g.StageBit(r))
+}
+
+// TwiddleExponent returns the twiddle exponent applied to the lower
+// (bit = 1) output of the butterfly containing vertex i at rank r.
+func (g *Graph) TwiddleExponent(r, i int) int {
+	b := g.StageBit(r)
+	j := bits.SetBit(i, b, 0) // the upper element of the pair
+	return g.plan.DIFTwiddleExponent(b, j)
+}
+
+// EvaluateRank applies rank r of the graph to the value vector in,
+// returning the next rank's values. len(in) must be n.
+func (g *Graph) EvaluateRank(r int, in []complex128) []complex128 {
+	if len(in) != g.n {
+		panic(fmt.Sprintf("flowgraph: rank input length %d != %d", len(in), g.n))
+	}
+	b := g.StageBit(r)
+	out := make([]complex128, g.n)
+	for i := 0; i < g.n; i++ {
+		if bits.Bit(i, b) == 0 {
+			j := bits.FlipBit(i, b)
+			w := g.plan.Twiddle(g.plan.DIFTwiddleExponent(b, i))
+			out[i], out[j] = fft.Butterfly(in[i], in[j], w)
+		}
+	}
+	return out
+}
+
+// Evaluate runs the complete flow graph — all ranks, then the
+// bit-reversal output permutation — computing the DFT of x.
+func (g *Graph) Evaluate(x []complex128) []complex128 {
+	if len(x) != g.n {
+		panic(fmt.Sprintf("flowgraph: input length %d != %d", len(x), g.n))
+	}
+	v := append([]complex128(nil), x...)
+	for r := 0; r < g.ranks; r++ {
+		v = g.EvaluateRank(r, v)
+	}
+	return permute.Apply(g.OutputPermutation(), v)
+}
+
+// Validate checks structural invariants: every rank's cross permutation
+// is a fixed-point-free involution pairing indices at Hamming distance
+// one, and the output permutation is the bit reversal.
+func (g *Graph) Validate() error {
+	for r := 0; r < g.ranks; r++ {
+		p := g.CrossPermutation(r)
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("flowgraph: rank %d: %w", r, err)
+		}
+		for i, v := range p {
+			if v == i {
+				return fmt.Errorf("flowgraph: rank %d has fixed point %d", r, i)
+			}
+			if p[v] != i {
+				return fmt.Errorf("flowgraph: rank %d pairing not symmetric at %d", r, i)
+			}
+			if bits.HammingDistance(i, v) != 1 {
+				return fmt.Errorf("flowgraph: rank %d pairs %d with %d across >1 bit", r, i, v)
+			}
+			if g.Partner(r, i) != v {
+				return fmt.Errorf("flowgraph: Partner inconsistent at rank %d index %d", r, i)
+			}
+		}
+	}
+	if !g.OutputPermutation().Equal(permute.BitReversal(g.n)) {
+		return fmt.Errorf("flowgraph: output permutation is not the bit reversal")
+	}
+	return nil
+}

@@ -1,0 +1,199 @@
+package flowgraph
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fft"
+)
+
+func randomSignal(n int, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func TestBuildRejectsBadSizes(t *testing.T) {
+	for _, n := range []int{0, 3, 100} {
+		if _, err := Build(n); err == nil {
+			t.Errorf("Build(%d) accepted", n)
+		}
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBuild(5) did not panic")
+		}
+	}()
+	MustBuild(5)
+}
+
+func TestGraphShape(t *testing.T) {
+	g := MustBuild(4096)
+	if g.Inputs() != 4096 {
+		t.Fatalf("Inputs = %d", g.Inputs())
+	}
+	if g.Ranks() != 12 {
+		t.Fatalf("Ranks = %d, want 12", g.Ranks())
+	}
+	if g.Butterflies() != 12*2048 {
+		t.Fatalf("Butterflies = %d", g.Butterflies())
+	}
+	if g.Edges() != 2*4096*12+4096 {
+		t.Fatalf("Edges = %d", g.Edges())
+	}
+}
+
+func TestValidateAcrossSizes(t *testing.T) {
+	for _, n := range []int{2, 4, 16, 64, 1024, 4096} {
+		g := MustBuild(n)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestStageBitsDescend(t *testing.T) {
+	// The DIF schedule pairs the high bit first (elements n/2 apart) and
+	// the low bit last — the DESCEND order the paper's algorithms use.
+	g := MustBuild(256)
+	for r := 0; r < g.Ranks(); r++ {
+		if g.StageBit(r) != g.Ranks()-1-r {
+			t.Fatalf("StageBit(%d) = %d", r, g.StageBit(r))
+		}
+	}
+}
+
+func TestEvaluateMatchesFFT(t *testing.T) {
+	for _, n := range []int{2, 8, 64, 512, 4096} {
+		g := MustBuild(n)
+		p := fft.MustPlan(n)
+		x := randomSignal(n, int64(n))
+		got := g.Evaluate(x)
+		want := p.Forward(x)
+		if d := fft.MaxAbsDiff(got, want); d > 1e-9*float64(n) {
+			t.Fatalf("n=%d: flow graph evaluation differs from FFT by %g", n, d)
+		}
+	}
+}
+
+func TestEvaluateMatchesDFT(t *testing.T) {
+	n := 128
+	g := MustBuild(n)
+	x := randomSignal(n, 5)
+	if d := fft.MaxAbsDiff(g.Evaluate(x), fft.DFT(x)); d > 1e-9*float64(n) {
+		t.Fatalf("flow graph differs from DFT by %g", d)
+	}
+}
+
+func TestEvaluateRankPreservesLength(t *testing.T) {
+	g := MustBuild(32)
+	v := randomSignal(32, 9)
+	for r := 0; r < g.Ranks(); r++ {
+		v = g.EvaluateRank(r, v)
+		if len(v) != 32 {
+			t.Fatalf("rank %d changed vector length", r)
+		}
+	}
+}
+
+func TestPartnerInvolution(t *testing.T) {
+	g := MustBuild(64)
+	for r := 0; r < g.Ranks(); r++ {
+		for i := 0; i < 64; i++ {
+			if g.Partner(r, g.Partner(r, i)) != i {
+				t.Fatalf("Partner not an involution at rank %d", r)
+			}
+		}
+	}
+}
+
+func TestTwiddleExponentSharedWithinPair(t *testing.T) {
+	// Both members of a butterfly see the same twiddle exponent — the
+	// exponent is a function of the pair, not the member.
+	g := MustBuild(128)
+	for r := 0; r < g.Ranks(); r++ {
+		for i := 0; i < 128; i++ {
+			if g.TwiddleExponent(r, i) != g.TwiddleExponent(r, g.Partner(r, i)) {
+				t.Fatalf("twiddle exponent differs within pair at rank %d index %d", r, i)
+			}
+		}
+	}
+}
+
+func TestFirstRankTwiddleExponents(t *testing.T) {
+	// Rank 0 of an n-point DIF graph pairs (j, j+n/2) with exponent j.
+	g := MustBuild(16)
+	for j := 0; j < 8; j++ {
+		if got := g.TwiddleExponent(0, j); got != j {
+			t.Fatalf("rank-0 exponent at %d = %d, want %d", j, got, j)
+		}
+	}
+	// Last rank uses exponent 0 everywhere.
+	last := g.Ranks() - 1
+	for j := 0; j < 16; j++ {
+		if got := g.TwiddleExponent(last, j); got != 0 {
+			t.Fatalf("last-rank exponent at %d = %d, want 0", j, got)
+		}
+	}
+}
+
+func TestCrossPermutationMatchesPartner(t *testing.T) {
+	g := MustBuild(64)
+	for r := 0; r < g.Ranks(); r++ {
+		p := g.CrossPermutation(r)
+		for i, v := range p {
+			if v != g.Partner(r, i) {
+				t.Fatalf("cross permutation and Partner disagree at rank %d", r)
+			}
+		}
+	}
+}
+
+func BenchmarkEvaluate4096(b *testing.B) {
+	g := MustBuild(4096)
+	x := randomSignal(4096, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Evaluate(x)
+	}
+}
+
+func TestStageBitPanicsOutOfRange(t *testing.T) {
+	g := MustBuild(16)
+	for _, r := range []int{-1, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("StageBit(%d) did not panic", r)
+				}
+			}()
+			g.StageBit(r)
+		}()
+	}
+}
+
+func TestEvaluatePanicsOnBadLength(t *testing.T) {
+	g := MustBuild(16)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Evaluate with wrong length did not panic")
+		}
+	}()
+	g.Evaluate(make([]complex128, 8))
+}
+
+func TestEvaluateRankPanicsOnBadLength(t *testing.T) {
+	g := MustBuild(16)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EvaluateRank with wrong length did not panic")
+		}
+	}()
+	g.EvaluateRank(0, make([]complex128, 4))
+}

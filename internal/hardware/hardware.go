@@ -1,0 +1,199 @@
+// Package hardware implements the paper's cost normalization: every
+// network is built from the same number of identical crossbar switch ICs
+// (degree K, per-pin bandwidth L), so all networks have equivalent
+// aggregate bandwidth, and unused crossbar ports are ganged in parallel
+// onto the links that do exist, raising per-link bandwidth.
+//
+// This package turns a Topology into the engineering quantities of
+// Tables 1B and Section IV: inter-PE link bandwidth, packet transmission
+// time, and bisection bandwidth.
+//
+// Units: bandwidths are bits per second (float64), times are seconds
+// (float64). Seconds rather than time.Duration keep sub-nanosecond
+// precision for the paper's fractional pin counts (e.g. 64/13 = 4.92
+// pins per hypercube link).
+package hardware
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// Crossbar describes one switching IC: a Degree x Degree crossbar whose
+// every IO pin carries PinBandwidth bits per second.
+type Crossbar struct {
+	Degree       int     // K: ports on the IC
+	PinBandwidth float64 // L: bits/second per IO pin
+}
+
+// GaAs64 is the paper's §IV reference part: a commercially available
+// 64 x 64 GaAs crossbar IC with 200 Mbit/s pins.
+var GaAs64 = Crossbar{Degree: 64, PinBandwidth: 200e6}
+
+// DefaultPacketBits is the paper's packet size: a 128-bit packet (one
+// complex sample plus header at the word level of abstraction).
+const DefaultPacketBits = 128
+
+// DefaultPropDelay is the paper's §IV.B propagation delay: 20 ns models
+// a signal traversing roughly 20 feet of transmission line.
+const DefaultPropDelay = 20e-9
+
+// AggregateBandwidth returns the total IO bandwidth of n crossbar ICs:
+// n * K * L. Equal-cost comparisons hold this quantity constant.
+func (c Crossbar) AggregateBandwidth(n int) float64 {
+	return float64(n) * float64(c.Degree) * c.PinBandwidth
+}
+
+// Model binds a topology to a crossbar part and exposes the paper's
+// normalized engineering quantities.
+type Model struct {
+	Topo topology.Topology
+	Xbar Crossbar
+
+	// PacketBits is the packet size in bits; zero means
+	// DefaultPacketBits.
+	PacketBits int
+
+	// PropDelay is the per-hop propagation delay in seconds added to
+	// every data-transfer step when the caller opts in (§IV.B). The
+	// paper applies it to the hypermesh and hypercube (whose wires are
+	// long) and not to the mesh.
+	PropDelay float64
+}
+
+// NewModel builds a Model with the paper's defaults (GaAs 64x64 part,
+// 128-bit packets, no propagation delay).
+func NewModel(t topology.Topology) *Model {
+	return &Model{Topo: t, Xbar: GaAs64, PacketBits: DefaultPacketBits}
+}
+
+func (m *Model) packetBits() int {
+	if m.PacketBits == 0 {
+		return DefaultPacketBits
+	}
+	return m.PacketBits
+}
+
+// CrossbarBudget returns the number of crossbar ICs granted to this
+// network under equal-cost normalization: one per processing element,
+// matching the mesh and hypercube constructions (§III.D) and the 32-ICs-
+// per-net hypermesh construction (§IV).
+func (m *Model) CrossbarBudget() int { return m.Topo.Nodes() }
+
+// PinsPerLink returns how many crossbar IO pins drive each inter-PE
+// link after ganging. For point-to-point networks a degree-K crossbar
+// used as a b x b node drives each link with K/b pins (§III.D); for a
+// hypermesh, the budget of N ICs is divided over the nets and each
+// member port of each parallel IC contributes one pin.
+//
+// The value is fractional on purpose: the paper notes that 64/5 = 12.8
+// and 64/13 = 4.92 "should be rounded down", but keeps the fractions,
+// slightly over-estimating mesh and hypercube performance. Rounded
+// variants are available via PinsPerLinkRounded.
+func (m *Model) PinsPerLink() (float64, error) {
+	switch t := m.Topo.(type) {
+	case *topology.Hypermesh:
+		if m.Xbar.Degree < t.Base {
+			return 0, fmt.Errorf("hardware: crossbar degree %d cannot span a base-%d net (need K >= b)",
+				m.Xbar.Degree, t.Base)
+		}
+		perNet := float64(m.CrossbarBudget()) / float64(t.Nets())
+		pinsPerMemberPerIC := float64(m.Xbar.Degree) / float64(t.Base)
+		return perNet * pinsPerMemberPerIC, nil
+	default:
+		deg := m.Topo.SwitchDegree()
+		if m.Xbar.Degree < deg {
+			return 0, fmt.Errorf("hardware: crossbar degree %d below switch degree %d of %s",
+				m.Xbar.Degree, deg, m.Topo.Name())
+		}
+		return float64(m.Xbar.Degree) / float64(deg), nil
+	}
+}
+
+// PinsPerLinkRounded is PinsPerLink with the engineering round-down the
+// paper mentions but deliberately skips.
+func (m *Model) PinsPerLinkRounded() (int, error) {
+	p, err := m.PinsPerLink()
+	if err != nil {
+		return 0, err
+	}
+	return int(p), nil
+}
+
+// LinkBandwidth returns the bits/second of one inter-PE link (for a
+// hypermesh: the bandwidth available to each member of a net) under the
+// equal-aggregate-bandwidth normalization.
+func (m *Model) LinkBandwidth() (float64, error) {
+	pins, err := m.PinsPerLink()
+	if err != nil {
+		return 0, err
+	}
+	return pins * m.Xbar.PinBandwidth, nil
+}
+
+// PacketTime returns the transmission time in seconds for one packet
+// over one inter-PE link — the duration of one data-transfer step —
+// excluding propagation delay.
+func (m *Model) PacketTime() (float64, error) {
+	bw, err := m.LinkBandwidth()
+	if err != nil {
+		return 0, err
+	}
+	return float64(m.packetBits()) / bw, nil
+}
+
+// StepTime returns PacketTime plus the model's per-hop propagation
+// delay.
+func (m *Model) StepTime() (float64, error) {
+	pt, err := m.PacketTime()
+	if err != nil {
+		return 0, err
+	}
+	return pt + m.PropDelay, nil
+}
+
+// CommTime returns the total communication time in seconds for an
+// algorithm that takes the given number of data-transfer steps.
+func (m *Model) CommTime(steps int) (float64, error) {
+	st, err := m.StepTime()
+	if err != nil {
+		return 0, err
+	}
+	return float64(steps) * st, nil
+}
+
+// BisectionBandwidth returns the §V bisection bandwidth in bits/second:
+// the aggregate bandwidth crossing a bisector that splits the network
+// into equal halves.
+//
+//	2D mesh:        sqrt(N) links * KL/5
+//	hypercube:      N/2 links * KL/(log N + 1)
+//	2D hypermesh:   sqrt(N) nets, each with its full per-net crossbar
+//	                bandwidth crossing = N*KL/2
+func (m *Model) BisectionBandwidth() (float64, error) {
+	switch t := m.Topo.(type) {
+	case *topology.Hypermesh:
+		perNetICs := float64(m.CrossbarBudget()) / float64(t.Nets())
+		perNetBandwidth := perNetICs * float64(m.Xbar.Degree) * m.Xbar.PinBandwidth
+		return float64(t.BisectionLinks()) * perNetBandwidth, nil
+	default:
+		bw, err := m.LinkBandwidth()
+		if err != nil {
+			return 0, err
+		}
+		return float64(m.Topo.BisectionLinks()) * bw, nil
+	}
+}
+
+// DiameterOverBandwidth returns the Table 1B figure of merit D/BW in
+// seconds per bit: network diameter divided by link bandwidth. Lower is
+// better; the paper uses it as a one-number proxy for worst-case
+// permutation latency.
+func (m *Model) DiameterOverBandwidth() (float64, error) {
+	bw, err := m.LinkBandwidth()
+	if err != nil {
+		return 0, err
+	}
+	return float64(m.Topo.Diameter()) / bw, nil
+}

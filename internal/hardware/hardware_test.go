@@ -1,0 +1,238 @@
+package hardware
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestMeshLinkBandwidthMatchesPaper(t *testing.T) {
+	// §IV: 4K-PE mesh, 64/5 = 12.8 pins per link, 2.56 Gbit/s, 50 ns for
+	// a 128-bit packet.
+	m := NewModel(topology.NewMesh2DForNodes(4096, true))
+	pins, err := m.PinsPerLink()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(pins, 12.8, 1e-12) {
+		t.Fatalf("mesh pins/link = %v, want 12.8", pins)
+	}
+	bw, _ := m.LinkBandwidth()
+	if !almostEqual(bw, 2.56e9, 1e-12) {
+		t.Fatalf("mesh link bw = %v, want 2.56e9", bw)
+	}
+	pt, _ := m.PacketTime()
+	if !almostEqual(pt, 50e-9, 1e-12) {
+		t.Fatalf("mesh packet time = %v, want 50 ns", pt)
+	}
+}
+
+func TestHypercubeLinkBandwidthMatchesPaper(t *testing.T) {
+	// §IV: degree-13 node, 64/13 = 4.92 pins, .985 Gbit/s, 130 ns.
+	m := NewModel(topology.NewHypercubeForNodes(4096))
+	pins, err := m.PinsPerLink()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(pins, 64.0/13.0, 1e-12) {
+		t.Fatalf("hypercube pins/link = %v, want 64/13", pins)
+	}
+	bw, _ := m.LinkBandwidth()
+	if !almostEqual(bw, 64.0/13.0*200e6, 1e-12) {
+		t.Fatalf("hypercube link bw = %v", bw)
+	}
+	pt, _ := m.PacketTime()
+	if !almostEqual(pt, 130e-9, 0.001) {
+		// 128 bits / 0.9846 Gb/s = 130.0 ns
+		t.Fatalf("hypercube packet time = %v, want ~130 ns", pt)
+	}
+	rounded, _ := m.PinsPerLinkRounded()
+	if rounded != 4 {
+		t.Fatalf("rounded pins = %d, want 4", rounded)
+	}
+}
+
+func TestHypermeshLinkBandwidthMatchesPaper(t *testing.T) {
+	// §IV: 64^2 hypermesh, 128 nets, 32 ICs per net, 6.4 Gbit/s links,
+	// 20 ns per 128-bit packet.
+	m := NewModel(topology.NewHypermesh(64, 2))
+	pins, err := m.PinsPerLink()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(pins, 32, 1e-12) {
+		t.Fatalf("hypermesh pins/link = %v, want 32", pins)
+	}
+	bw, _ := m.LinkBandwidth()
+	if !almostEqual(bw, 6.4e9, 1e-12) {
+		t.Fatalf("hypermesh link bw = %v, want 6.4e9", bw)
+	}
+	pt, _ := m.PacketTime()
+	if !almostEqual(pt, 20e-9, 1e-12) {
+		t.Fatalf("hypermesh packet time = %v, want 20 ns", pt)
+	}
+}
+
+func TestHypermeshEquation1ClosedForm(t *testing.T) {
+	// Paper eq. (1): per-link bandwidth of the 2D hypermesh net is
+	// sqrt(N)*K*L / (2*sqrt(N)) ... = K*L/2 when K = b = sqrt(N).
+	m := NewModel(topology.NewHypermesh(64, 2))
+	bw, _ := m.LinkBandwidth()
+	want := float64(GaAs64.Degree) * GaAs64.PinBandwidth / 2
+	if !almostEqual(bw, want, 1e-12) {
+		t.Fatalf("hypermesh bw = %v, want KL/2 = %v", bw, want)
+	}
+}
+
+func TestAggregateBandwidthEqualAcrossNetworks(t *testing.T) {
+	// The normalization invariant: all three 4K networks consume N ICs
+	// and hence identical aggregate bandwidth.
+	n := 4096
+	nets := []topology.Topology{
+		topology.NewMesh2DForNodes(n, true),
+		topology.NewHypercubeForNodes(n),
+		topology.NewHypermesh(64, 2),
+	}
+	var ref float64
+	for i, tp := range nets {
+		m := NewModel(tp)
+		agg := m.Xbar.AggregateBandwidth(m.CrossbarBudget())
+		if i == 0 {
+			ref = agg
+			continue
+		}
+		if !almostEqual(agg, ref, 1e-12) {
+			t.Fatalf("%s aggregate bandwidth %v != %v", tp.Name(), agg, ref)
+		}
+	}
+	if !almostEqual(ref, 4096*64*200e6, 1e-12) {
+		t.Fatalf("aggregate bandwidth = %v", ref)
+	}
+}
+
+func TestBisectionBandwidthsMatchPaperSection5(t *testing.T) {
+	n := 4096.0
+	k, l := 64.0, 200e6
+
+	mesh := NewModel(topology.NewMesh2DForNodes(4096, false))
+	got, err := mesh.BisectionBandwidth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt(n) * k * l / 5 // sqrt(N) * KL/5
+	if !almostEqual(got, want, 1e-12) {
+		t.Fatalf("mesh bisection = %v, want %v", got, want)
+	}
+
+	cube := NewModel(topology.NewHypercubeForNodes(4096))
+	got, _ = cube.BisectionBandwidth()
+	want = n / 2 * k * l / 13 // (N/2) * KL/(log N + 1)
+	if !almostEqual(got, want, 1e-12) {
+		t.Fatalf("hypercube bisection = %v, want %v", got, want)
+	}
+
+	hm := NewModel(topology.NewHypermesh(64, 2))
+	got, _ = hm.BisectionBandwidth()
+	want = n * k * l / 2 // N*KL/2, "intuitively obvious" in §V
+	if !almostEqual(got, want, 1e-12) {
+		t.Fatalf("hypermesh bisection = %v, want %v", got, want)
+	}
+}
+
+func TestBisectionRatios(t *testing.T) {
+	// §V conclusion: hypermesh bisection exceeds mesh by O(sqrt N) and
+	// hypercube by O(log N). At N = 4096 the exact ratios are
+	// 4096*KL/2 / (64*KL/5) = 160 and 4096*KL/2 / (2048*KL/13) = 13.
+	hm := NewModel(topology.NewHypermesh(64, 2))
+	mesh := NewModel(topology.NewMesh2DForNodes(4096, false))
+	cube := NewModel(topology.NewHypercubeForNodes(4096))
+	hb, _ := hm.BisectionBandwidth()
+	mb, _ := mesh.BisectionBandwidth()
+	cb, _ := cube.BisectionBandwidth()
+	if !almostEqual(hb/mb, 160, 1e-9) {
+		t.Fatalf("hypermesh/mesh bisection ratio = %v, want 160", hb/mb)
+	}
+	if !almostEqual(hb/cb, 13, 1e-9) {
+		t.Fatalf("hypermesh/hypercube bisection ratio = %v, want 13", hb/cb)
+	}
+}
+
+func TestStepTimeWithPropDelay(t *testing.T) {
+	m := NewModel(topology.NewHypermesh(64, 2))
+	m.PropDelay = DefaultPropDelay
+	st, err := m.StepTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(st, 40e-9, 1e-12) {
+		t.Fatalf("hypermesh step time with prop delay = %v, want 40 ns", st)
+	}
+}
+
+func TestCommTime(t *testing.T) {
+	m := NewModel(topology.NewHypermesh(64, 2))
+	// log N + 3 = 15 steps at 20 ns = 300 ns = 0.3 µs (paper eq. 4)
+	got, err := m.CommTime(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 0.3e-6, 1e-12) {
+		t.Fatalf("hypermesh FFT comm time = %v, want 0.3 µs", got)
+	}
+}
+
+func TestCrossbarTooSmallErrors(t *testing.T) {
+	m := NewModel(topology.NewHypermesh(128, 2)) // base 128 > K = 64
+	if _, err := m.PinsPerLink(); err == nil {
+		t.Fatal("expected error for net wider than crossbar degree")
+	}
+	m2 := NewModel(topology.NewHypercube(70)) // switch degree 71 > 64
+	if _, err := m2.PinsPerLink(); err == nil {
+		t.Fatal("expected error for switch degree above crossbar degree")
+	}
+	if _, err := m2.LinkBandwidth(); err == nil {
+		t.Fatal("LinkBandwidth should propagate the error")
+	}
+	if _, err := m2.PacketTime(); err == nil {
+		t.Fatal("PacketTime should propagate the error")
+	}
+	if _, err := m2.CommTime(10); err == nil {
+		t.Fatal("CommTime should propagate the error")
+	}
+	if _, err := m2.BisectionBandwidth(); err == nil {
+		t.Fatal("BisectionBandwidth should propagate the error")
+	}
+	if _, err := m2.DiameterOverBandwidth(); err == nil {
+		t.Fatal("DiameterOverBandwidth should propagate the error")
+	}
+}
+
+func TestDiameterOverBandwidthOrdering(t *testing.T) {
+	// Table 1B: hypermesh D/BW = O(1/KL) beats hypercube O(log^2/KL)
+	// beats mesh O(sqrt N/KL) at practical sizes.
+	hm := NewModel(topology.NewHypermesh(64, 2))
+	mesh := NewModel(topology.NewMesh2DForNodes(4096, true))
+	cube := NewModel(topology.NewHypercubeForNodes(4096))
+	h, _ := hm.DiameterOverBandwidth()
+	m, _ := mesh.DiameterOverBandwidth()
+	c, _ := cube.DiameterOverBandwidth()
+	if !(h < c && c < m) {
+		t.Fatalf("D/BW ordering violated: hypermesh %v, hypercube %v, mesh %v", h, c, m)
+	}
+}
+
+func TestDefaultPacketBits(t *testing.T) {
+	m := &Model{Topo: topology.NewHypermesh(64, 2), Xbar: GaAs64}
+	pt, err := m.PacketTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(pt, 20e-9, 1e-12) {
+		t.Fatalf("zero PacketBits did not default to 128: %v", pt)
+	}
+}

@@ -1,0 +1,112 @@
+// Package layout maps algorithm element indices onto machine node
+// addresses. The distributed FFT (package parfft) and bitonic sort
+// (package bitonic) are both ASCEND/DESCEND algorithms whose
+// communication is butterfly exchanges over element address bits; a
+// layout decides which physical node bit each element bit lands on, and
+// therefore what each exchange costs on a mesh.
+package layout
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+	"repro/internal/permute"
+)
+
+// Layout maps FFT element indices onto machine node addresses. Layouts
+// must be bit permutations: layout(e XOR 2^b) = layout(e) XOR 2^NodeBit(b),
+// so that a butterfly exchange over an element address bit is a butterfly
+// exchange over a node address bit — the property every embedding in the
+// paper relies on.
+type Layout interface {
+	// Name identifies the layout.
+	Name() string
+	// NodeOf returns the node storing element e.
+	NodeOf(e int) int
+	// NodeBit returns the node-address bit corresponding to element-
+	// address bit b.
+	NodeBit(b int) int
+}
+
+// identityLayout stores element e at node e: the natural embedding used
+// on the hypercube and hypermesh, and the row-major embedding on the
+// mesh (low bits = column, high bits = row).
+type identityLayout struct{ bits int }
+
+// RowMajor returns the identity (row-major) layout for n = 2^k elements.
+func RowMajor(n int) Layout {
+	if !bits.IsPow2(n) {
+		panic(fmt.Sprintf("layout: layout size %d not a power of two", n))
+	}
+	return identityLayout{bits: bits.Log2(n)}
+}
+
+func (l identityLayout) Name() string     { return "row-major" }
+func (l identityLayout) NodeOf(e int) int { return e }
+func (l identityLayout) NodeBit(b int) int {
+	if b < 0 || b >= l.bits {
+		panic(fmt.Sprintf("layout: bit %d out of range", b))
+	}
+	return b
+}
+
+// shuffledLayout is the shuffled row-major embedding for square meshes:
+// element address bits are interleaved between the column and row
+// halves, so element bit b maps to axis bit b/2 of the column (even b)
+// or row (odd b) coordinate. Consecutive butterfly stages then alternate
+// between row and column traffic, halving the physical distance of the
+// high stages — the embedding Thompson and Kung used for sorting and the
+// one the bitonic comparison of [13] assumes.
+type shuffledLayout struct {
+	axBits int // log2(side); node has 2*axBits address bits
+}
+
+// ShuffledRowMajor returns the bit-interleaved layout for n = 4^k
+// elements on a 2^k x 2^k mesh.
+func ShuffledRowMajor(n int) Layout {
+	if !bits.IsPow2(n) || bits.Log2(n)%2 != 0 {
+		panic(fmt.Sprintf("layout: shuffled layout needs n = 4^k, got %d", n))
+	}
+	return shuffledLayout{axBits: bits.Log2(n) / 2}
+}
+
+func (l shuffledLayout) Name() string { return "shuffled row-major" }
+
+func (l shuffledLayout) NodeOf(e int) int {
+	node := 0
+	for b := 0; b < 2*l.axBits; b++ {
+		node |= bits.Bit(e, b) << uint(l.NodeBit(b))
+	}
+	return node
+}
+
+func (l shuffledLayout) NodeBit(b int) int {
+	if b < 0 || b >= 2*l.axBits {
+		panic(fmt.Sprintf("layout: bit %d out of range", b))
+	}
+	if b%2 == 0 {
+		return b / 2 // column axis bit
+	}
+	return l.axBits + b/2 // row axis bit
+}
+
+// Permutation returns the permutation sending element index e to node
+// NodeOf(e); machines use it to load inputs and unload outputs.
+func Permutation(l Layout, n int) permute.Permutation {
+	p := make(permute.Permutation, n)
+	for e := range p {
+		p[e] = l.NodeOf(e)
+	}
+	return p
+}
+
+// IsIdentity reports whether the layout stores every element at the node
+// with the same address.
+func IsIdentity(l Layout, n int) bool {
+	for e := 0; e < n; e++ {
+		if l.NodeOf(e) != e {
+			return false
+		}
+	}
+	return true
+}

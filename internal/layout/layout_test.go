@@ -1,0 +1,98 @@
+package layout
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRowMajorIsIdentity(t *testing.T) {
+	l := RowMajor(256)
+	if !IsIdentity(l, 256) {
+		t.Fatal("row-major is not the identity layout")
+	}
+	for b := 0; b < 8; b++ {
+		if l.NodeBit(b) != b {
+			t.Fatalf("NodeBit(%d) = %d", b, l.NodeBit(b))
+		}
+	}
+	if l.Name() == "" {
+		t.Fatal("empty name")
+	}
+}
+
+func TestRowMajorRejectsBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RowMajor(12) did not panic")
+		}
+	}()
+	RowMajor(12)
+}
+
+func TestShuffledIsBijection(t *testing.T) {
+	for _, n := range []int{4, 16, 64, 256, 4096} {
+		l := ShuffledRowMajor(n)
+		if err := Permutation(l, n).Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestShuffledNotIdentity(t *testing.T) {
+	if IsIdentity(ShuffledRowMajor(16), 16) {
+		t.Fatal("shuffled layout reported as identity")
+	}
+}
+
+func TestShuffledNodeBitIsPermutationOfBits(t *testing.T) {
+	l := ShuffledRowMajor(4096)
+	seen := map[int]bool{}
+	for b := 0; b < 12; b++ {
+		nb := l.NodeBit(b)
+		if nb < 0 || nb >= 12 || seen[nb] {
+			t.Fatalf("NodeBit not a bit permutation: bit %d -> %d", b, nb)
+		}
+		seen[nb] = true
+	}
+}
+
+func TestShuffledAlternatesAxes(t *testing.T) {
+	// Even element bits land in the column half [0, axBits), odd bits in
+	// the row half — consecutive butterfly stages alternate axes.
+	l := ShuffledRowMajor(4096)
+	axBits := 6
+	for b := 0; b < 12; b++ {
+		nb := l.NodeBit(b)
+		if b%2 == 0 && nb >= axBits {
+			t.Fatalf("even bit %d landed in row half", b)
+		}
+		if b%2 == 1 && nb < axBits {
+			t.Fatalf("odd bit %d landed in column half", b)
+		}
+	}
+}
+
+func TestShuffledXorHomomorphismQuick(t *testing.T) {
+	l := ShuffledRowMajor(4096)
+	f := func(e uint16, b uint8) bool {
+		ei := int(e) & 4095
+		bi := int(b) % 12
+		return l.NodeOf(ei^(1<<bi)) == l.NodeOf(ei)^(1<<l.NodeBit(bi))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNodeBitPanicsOutOfRange(t *testing.T) {
+	for _, l := range []Layout{RowMajor(16), ShuffledRowMajor(16)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: NodeBit(4) did not panic", l.Name())
+				}
+			}()
+			l.NodeBit(4)
+		}()
+	}
+}

@@ -1,0 +1,283 @@
+// Package matrixalg implements the distributed matrix algorithms the
+// paper's §II groups with the FFT and bitonic sort ("the majority of
+// parallel algorithms, such as the Bitonic sort, the FFT, and matrix
+// algorithms, use these permutations"): matrix transpose, matrix-vector
+// multiplication and Cannon's matrix-matrix multiplication, all with one
+// element per processing element on the simulated machines.
+//
+// Step economics on the three networks:
+//
+//   - transpose: one permutation — <= 3 net steps on a 2D hypermesh,
+//     log N bit-swap steps on the hypercube, O(sqrt N) on the mesh;
+//   - matvec: a column broadcast (log b exchanges) plus a row reduction
+//     (log b exchanges) — exchange-bound like the FFT's butterflies;
+//   - Cannon: 2 skew permutations plus b-1 unit shifts; shifts are
+//     dimension-local single steps on both the torus and the hypermesh,
+//     so the networks tie and the algorithm is compute-bound — an honest
+//     case where the hypermesh buys nothing.
+package matrixalg
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+	"repro/internal/netsim"
+	"repro/internal/permute"
+)
+
+// sideOf returns b with b*b == n, or an error.
+func sideOf(n int) (int, error) {
+	b := 0
+	for (b+1)*(b+1) <= n {
+		b++
+	}
+	if b*b != n {
+		return 0, fmt.Errorf("matrixalg: machine size %d is not a perfect square", n)
+	}
+	return b, nil
+}
+
+// Transpose transposes the b x b matrix held one element per node in
+// row-major order, returning the number of data-transfer steps.
+func Transpose(m netsim.Machine[float64]) (int, error) {
+	b, err := sideOf(m.Nodes())
+	if err != nil {
+		return 0, err
+	}
+	return m.Route(permute.Transpose(b, b))
+}
+
+// MatVecResult reports a distributed matrix-vector multiplication.
+type MatVecResult struct {
+	// Y is the result vector of length b.
+	Y []float64
+	// Steps is the total data-transfer steps (broadcast + reduction).
+	Steps int
+}
+
+// matvecEntry carries the matrix element and the vector operand through
+// the broadcast/reduce phases.
+type matvecEntry struct {
+	a float64 // matrix element (constant)
+	v float64 // broadcast vector element, then the running partial sum
+}
+
+// MatVec computes y = A*x for a b x b matrix A distributed one element
+// per node (row-major) and a dense vector x of length b. The vector is
+// loaded on the diagonal, broadcast down the columns with log2(b)
+// butterfly exchanges, multiplied locally, and summed across the rows
+// with log2(b) more exchanges; every node of row i ends holding y[i].
+func MatVec(m netsim.Machine[matvecEntry], a []float64, x []float64) (*MatVecResult, error) {
+	n := m.Nodes()
+	b, err := sideOf(n)
+	if err != nil {
+		return nil, err
+	}
+	if !bits.IsPow2(b) {
+		return nil, fmt.Errorf("matrixalg: matvec needs a power-of-two side, got %d", b)
+	}
+	if len(a) != n {
+		return nil, fmt.Errorf("matrixalg: matrix has %d elements, want %d", len(a), n)
+	}
+	if len(x) != b {
+		return nil, fmt.Errorf("matrixalg: vector has %d elements, want %d", len(x), b)
+	}
+	logB := bits.Log2(b)
+	vals := m.Values()
+	for node := 0; node < n; node++ {
+		r, c := node/b, node%b
+		e := matvecEntry{a: a[node]}
+		if r == c {
+			e.v = x[c]
+		}
+		vals[node] = e
+	}
+	m.ResetStats()
+
+	// Column broadcast from the diagonal: after processing row-bit t,
+	// every node whose row agrees with its column on the remaining bits
+	// holds x[column]. Node address = r*b + c; row bits are the high
+	// half (bits logB..2logB-1).
+	for t := 0; t < logB; t++ {
+		bit := logB + t
+		tt := t
+		err := m.ExchangeCompute(bit, func(self, partner matvecEntry, node int) matvecEntry {
+			r, c := node/b, node%b
+			if bits.Bit(r, tt) != bits.Bit(c, tt) {
+				self.v = partner.v
+			}
+			return self
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Local multiply.
+	vals = m.Values()
+	for node := range vals {
+		vals[node].v *= vals[node].a
+	}
+	// Row reduction over the column bits (low half).
+	for t := 0; t < logB; t++ {
+		err := m.ExchangeCompute(t, func(self, partner matvecEntry, node int) matvecEntry {
+			self.v += partner.v
+			return self
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	vals = m.Values()
+	y := make([]float64, b)
+	for r := 0; r < b; r++ {
+		y[r] = vals[r*b].v
+	}
+	return &MatVecResult{Y: y, Steps: m.Stats().Steps}, nil
+}
+
+// CannonResult reports a distributed matrix-matrix multiplication.
+type CannonResult struct {
+	// C is the b x b product matrix, row-major.
+	C []float64
+	// SkewSteps is the cost of the two initial alignment permutations
+	// and the final unskew.
+	SkewSteps int
+	// ShiftSteps is the cost of the 2*(b-1) unit shifts of the main
+	// loop.
+	ShiftSteps int
+}
+
+// TotalSteps returns all data-transfer steps.
+func (r *CannonResult) TotalSteps() int { return r.SkewSteps + r.ShiftSteps }
+
+// cannonEntry carries one element of A and one of B plus the running
+// partial product.
+type cannonEntry struct {
+	a, b, c float64
+}
+
+// Cannon multiplies two b x b matrices distributed one element per node
+// (row-major) with Cannon's algorithm: A's row i is pre-rotated left by
+// i and B's column j up by j, then b iterations of local multiply-
+// accumulate and unit rotations.
+func Cannon(m netsim.Machine[cannonEntry], a, bm []float64) (*CannonResult, error) {
+	n := m.Nodes()
+	side, err := sideOf(n)
+	if err != nil {
+		return nil, err
+	}
+	if len(a) != n || len(bm) != n {
+		return nil, fmt.Errorf("matrixalg: matrices have %d/%d elements, want %d", len(a), len(bm), n)
+	}
+	vals := m.Values()
+	for node := 0; node < n; node++ {
+		vals[node] = cannonEntry{a: a[node], b: bm[node]}
+	}
+	m.ResetStats()
+
+	// Initial skews as permutations of the packed (a, b, c) registers
+	// would move both operands together, so the skews are done as two
+	// separate passes that only move one operand each; the machine cost
+	// of a within-row (or within-column) rotation is one dimension-local
+	// permutation.
+	skewA := make(permute.Permutation, n)
+	skewB := make(permute.Permutation, n)
+	for node := 0; node < n; node++ {
+		r, c := node/side, node%side
+		skewA[node] = r*side + ((c - r + side) % side) // row i rotates left by i
+		skewB[node] = ((r-c+side)%side)*side + c       // column j rotates up by j
+	}
+	pre := m.Stats().Steps
+	if err := routeField(m, skewA, func(e *cannonEntry) *float64 { return &e.a }); err != nil {
+		return nil, err
+	}
+	if err := routeField(m, skewB, func(e *cannonEntry) *float64 { return &e.b }); err != nil {
+		return nil, err
+	}
+	skewSteps := m.Stats().Steps - pre
+
+	shiftA := make(permute.Permutation, n)
+	shiftB := make(permute.Permutation, n)
+	for node := 0; node < n; node++ {
+		r, c := node/side, node%side
+		shiftA[node] = r*side + ((c - 1 + side) % side) // left by one
+		shiftB[node] = ((r-1+side)%side)*side + c       // up by one
+	}
+	preShift := m.Stats().Steps
+	for iter := 0; iter < side; iter++ {
+		vals = m.Values()
+		for node := range vals {
+			vals[node].c += vals[node].a * vals[node].b
+		}
+		if iter == side-1 {
+			break
+		}
+		if err := routeField(m, shiftA, func(e *cannonEntry) *float64 { return &e.a }); err != nil {
+			return nil, err
+		}
+		if err := routeField(m, shiftB, func(e *cannonEntry) *float64 { return &e.b }); err != nil {
+			return nil, err
+		}
+	}
+	shiftSteps := m.Stats().Steps - preShift
+
+	vals = m.Values()
+	c := make([]float64, n)
+	for node := range vals {
+		c[node] = vals[node].c
+	}
+	return &CannonResult{C: c, SkewSteps: skewSteps, ShiftSteps: shiftSteps}, nil
+}
+
+// routeField routes only one float64 field of the packed register
+// through permutation p, leaving the other fields in place. It works by
+// temporarily lifting the field into a full register copy: route the
+// whole struct, then merge the routed field back. The machine step cost
+// is that of one Route call.
+func routeField(m netsim.Machine[cannonEntry], p permute.Permutation, field func(*cannonEntry) *float64) error {
+	n := m.Nodes()
+	saved := make([]cannonEntry, n)
+	copy(saved, m.Values())
+	if _, err := m.Route(p); err != nil {
+		return err
+	}
+	vals := m.Values()
+	for node := 0; node < n; node++ {
+		merged := saved[node]
+		*field(&merged) = *field(&vals[node])
+		vals[node] = merged
+	}
+	return nil
+}
+
+// MatVecMachine builds the machine register type for MatVec on a given
+// network constructor; exposed so callers outside the package can
+// instantiate machines with the unexported entry types.
+func NewMeshMatVec(side int, wrap bool) (netsim.Machine[matvecEntry], error) {
+	return netsim.NewMesh[matvecEntry](side, wrap, netsim.Config{})
+}
+
+// NewHypercubeMatVec builds a hypercube matvec machine.
+func NewHypercubeMatVec(dims int) (netsim.Machine[matvecEntry], error) {
+	return netsim.NewHypercube[matvecEntry](dims, netsim.Config{})
+}
+
+// NewHypermeshMatVec builds a hypermesh matvec machine.
+func NewHypermeshMatVec(base, dims int) (netsim.Machine[matvecEntry], error) {
+	return netsim.NewHypermesh[matvecEntry](base, dims, netsim.Config{})
+}
+
+// NewMeshCannon builds a torus Cannon machine.
+func NewMeshCannon(side int, wrap bool) (netsim.Machine[cannonEntry], error) {
+	return netsim.NewMesh[cannonEntry](side, wrap, netsim.Config{})
+}
+
+// NewHypercubeCannon builds a hypercube Cannon machine.
+func NewHypercubeCannon(dims int) (netsim.Machine[cannonEntry], error) {
+	return netsim.NewHypercube[cannonEntry](dims, netsim.Config{})
+}
+
+// NewHypermeshCannon builds a hypermesh Cannon machine.
+func NewHypermeshCannon(base, dims int) (netsim.Machine[cannonEntry], error) {
+	return netsim.NewHypermesh[cannonEntry](base, dims, netsim.Config{})
+}

@@ -1,0 +1,230 @@
+package matrixalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/netsim"
+)
+
+func randomMatrix(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	a := make([]float64, n)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+	}
+	return a
+}
+
+func TestTransposeOnAllMachines(t *testing.T) {
+	b := 8
+	n := b * b
+	a := randomMatrix(n, 1)
+	mesh, _ := netsim.NewMesh[float64](b, true, netsim.Config{})
+	cube, _ := netsim.NewHypercube[float64](6, netsim.Config{})
+	hm, _ := netsim.NewHypermesh[float64](b, 2, netsim.Config{})
+	for _, m := range []netsim.Machine[float64]{mesh, cube, hm} {
+		copy(m.Values(), a)
+		steps, err := Transpose(m)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if steps <= 0 {
+			t.Fatalf("%s: no steps", m.Name())
+		}
+		for r := 0; r < b; r++ {
+			for c := 0; c < b; c++ {
+				if m.Values()[c*b+r] != a[r*b+c] {
+					t.Fatalf("%s: transpose wrong at (%d,%d)", m.Name(), r, c)
+				}
+			}
+		}
+	}
+}
+
+func TestTransposeHypermeshWithinThreeSteps(t *testing.T) {
+	hm, _ := netsim.NewHypermesh[float64](16, 2, netsim.Config{})
+	copy(hm.Values(), randomMatrix(256, 2))
+	steps, err := Transpose(hm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps > 3 {
+		t.Fatalf("hypermesh transpose took %d steps", steps)
+	}
+}
+
+func TestMatVecMatchesDirect(t *testing.T) {
+	b := 8
+	n := b * b
+	a := randomMatrix(n, 3)
+	x := randomMatrix(b, 4)
+	want := make([]float64, b)
+	for r := 0; r < b; r++ {
+		for c := 0; c < b; c++ {
+			want[r] += a[r*b+c] * x[c]
+		}
+	}
+	mesh, _ := NewMeshMatVec(b, true)
+	cube, _ := NewHypercubeMatVec(6)
+	hm, _ := NewHypermeshMatVec(b, 2)
+	for _, m := range []netsim.Machine[matvecEntry]{mesh, cube, hm} {
+		res, err := MatVec(m, a, x)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		for r := range want {
+			if math.Abs(res.Y[r]-want[r]) > 1e-9 {
+				t.Fatalf("%s: y[%d] = %v, want %v", m.Name(), r, res.Y[r], want[r])
+			}
+		}
+	}
+}
+
+func TestMatVecStepCounts(t *testing.T) {
+	// 2*log2(b) exchanges: 6 steps on hypercube/hypermesh for b=8,
+	// 2*(b-1) = 14 on the torus.
+	b := 8
+	a := randomMatrix(b*b, 5)
+	x := randomMatrix(b, 6)
+	cube, _ := NewHypercubeMatVec(6)
+	res, err := MatVec(cube, a, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 6 {
+		t.Fatalf("hypercube matvec steps = %d, want 6", res.Steps)
+	}
+	hm, _ := NewHypermeshMatVec(b, 2)
+	res, err = MatVec(hm, a, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 6 {
+		t.Fatalf("hypermesh matvec steps = %d, want 6", res.Steps)
+	}
+	mesh, _ := NewMeshMatVec(b, true)
+	res, err = MatVec(mesh, a, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 2*(b-1) {
+		t.Fatalf("mesh matvec steps = %d, want %d", res.Steps, 2*(b-1))
+	}
+}
+
+func TestMatVecValidates(t *testing.T) {
+	hm, _ := NewHypermeshMatVec(8, 2)
+	if _, err := MatVec(hm, make([]float64, 10), make([]float64, 8)); err == nil {
+		t.Fatal("bad matrix size accepted")
+	}
+	if _, err := MatVec(hm, make([]float64, 64), make([]float64, 7)); err == nil {
+		t.Fatal("bad vector size accepted")
+	}
+}
+
+func directMatMul(a, b []float64, side int) []float64 {
+	c := make([]float64, side*side)
+	for i := 0; i < side; i++ {
+		for j := 0; j < side; j++ {
+			for k := 0; k < side; k++ {
+				c[i*side+j] += a[i*side+k] * b[k*side+j]
+			}
+		}
+	}
+	return c
+}
+
+func TestCannonMatchesDirect(t *testing.T) {
+	side := 8
+	n := side * side
+	a := randomMatrix(n, 7)
+	bm := randomMatrix(n, 8)
+	want := directMatMul(a, bm, side)
+	mesh, _ := NewMeshCannon(side, true)
+	cube, _ := NewHypercubeCannon(6)
+	hm, _ := NewHypermeshCannon(side, 2)
+	for _, m := range []netsim.Machine[cannonEntry]{mesh, cube, hm} {
+		res, err := Cannon(m, a, bm)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		for i := range want {
+			if math.Abs(res.C[i]-want[i]) > 1e-9 {
+				t.Fatalf("%s: C[%d] = %v, want %v", m.Name(), i, res.C[i], want[i])
+			}
+		}
+	}
+}
+
+func TestCannonIdentityMatrix(t *testing.T) {
+	side := 4
+	n := side * side
+	a := randomMatrix(n, 9)
+	id := make([]float64, n)
+	for i := 0; i < side; i++ {
+		id[i*side+i] = 1
+	}
+	hm, _ := NewHypermeshCannon(side, 2)
+	res, err := Cannon(hm, a, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if math.Abs(res.C[i]-a[i]) > 1e-12 {
+			t.Fatalf("A*I differs at %d", i)
+		}
+	}
+}
+
+func TestCannonShiftsAreCheapOnBothGridNetworks(t *testing.T) {
+	// The main loop's unit rotations are dimension-local: one step each
+	// on both the torus and the hypermesh — Cannon is the honest case
+	// where the hypermesh has no communication advantage.
+	side := 8
+	a := randomMatrix(side*side, 10)
+	bm := randomMatrix(side*side, 11)
+	mesh, _ := NewMeshCannon(side, true)
+	mres, err := Cannon(mesh, a, bm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hm, _ := NewHypermeshCannon(side, 2)
+	hres, err := Cannon(hm, a, bm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantShifts := 2 * (side - 1) // one A shift + one B shift per iteration
+	if mres.ShiftSteps != wantShifts {
+		t.Fatalf("mesh shift steps = %d, want %d", mres.ShiftSteps, wantShifts)
+	}
+	if hres.ShiftSteps != wantShifts {
+		t.Fatalf("hypermesh shift steps = %d, want %d", hres.ShiftSteps, wantShifts)
+	}
+	// Skews: dimension-local single steps on the hypermesh.
+	if hres.SkewSteps > 2 {
+		t.Fatalf("hypermesh skew steps = %d, want <= 2", hres.SkewSteps)
+	}
+	if mres.SkewSteps <= hres.SkewSteps {
+		t.Fatalf("mesh skews (%d) should exceed hypermesh (%d)", mres.SkewSteps, hres.SkewSteps)
+	}
+}
+
+func TestCannonValidates(t *testing.T) {
+	hm, _ := NewHypermeshCannon(4, 2)
+	if _, err := Cannon(hm, make([]float64, 10), make([]float64, 16)); err == nil {
+		t.Fatal("bad matrix size accepted")
+	}
+}
+
+func BenchmarkCannon16(b *testing.B) {
+	a := randomMatrix(256, 1)
+	bm := randomMatrix(256, 2)
+	for i := 0; i < b.N; i++ {
+		hm, _ := NewHypermeshCannon(16, 2)
+		if _, err := Cannon(hm, a, bm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

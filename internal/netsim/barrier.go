@@ -1,0 +1,55 @@
+package netsim
+
+import "sync"
+
+// Barrier is a reusable synchronization barrier for a fixed party count:
+// every party's Await blocks until all parties of the current generation
+// have arrived, then all are released together. It implements the
+// bulk-synchronous step boundary of the goroutine-per-PE simulation
+// mode (one goroutine per processing element, lock-step supersteps).
+type Barrier struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	n      int
+	count  int
+	gen    uint64
+	broken bool
+}
+
+// NewBarrier creates a barrier for n parties (n >= 1).
+func NewBarrier(n int) *Barrier {
+	b := &Barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Await blocks until all n parties have called Await for this
+// generation. It returns false if the barrier was broken by Break.
+func (b *Barrier) Await() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.broken {
+		return false
+	}
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		return true
+	}
+	for gen == b.gen && !b.broken {
+		b.cond.Wait()
+	}
+	return !b.broken
+}
+
+// Break releases all waiters with a failure indication; used to abort a
+// parallel run when one party errors.
+func (b *Barrier) Break() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.broken = true
+	b.cond.Broadcast()
+}

@@ -1,0 +1,72 @@
+package netsim
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestBarrierLockStep(t *testing.T) {
+	const parties = 16
+	const rounds = 50
+	b := NewBarrier(parties)
+	var counter int64
+	var wg sync.WaitGroup
+	wg.Add(parties)
+	for p := 0; p < parties; p++ {
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				atomic.AddInt64(&counter, 1)
+				if !b.Await() {
+					t.Error("barrier broken unexpectedly")
+					return
+				}
+				// After the barrier, all increments of this round are
+				// visible: counter is a multiple of parties.
+				v := atomic.LoadInt64(&counter)
+				if v < int64((r+1)*parties) {
+					t.Errorf("round %d: counter %d below %d", r, v, (r+1)*parties)
+					return
+				}
+				if !b.Await() {
+					t.Error("barrier broken unexpectedly")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != parties*rounds {
+		t.Fatalf("counter = %d", counter)
+	}
+}
+
+func TestBarrierBreakReleasesWaiters(t *testing.T) {
+	b := NewBarrier(3)
+	done := make(chan bool, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			done <- b.Await()
+		}()
+	}
+	b.Break()
+	for i := 0; i < 2; i++ {
+		if <-done {
+			t.Fatal("broken barrier reported success")
+		}
+	}
+	// Subsequent Awaits fail immediately.
+	if b.Await() {
+		t.Fatal("Await after Break succeeded")
+	}
+}
+
+func TestBarrierSingleParty(t *testing.T) {
+	b := NewBarrier(1)
+	for i := 0; i < 10; i++ {
+		if !b.Await() {
+			t.Fatal("single-party barrier blocked")
+		}
+	}
+}

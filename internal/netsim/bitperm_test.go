@@ -1,0 +1,140 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/bits"
+	"repro/internal/permute"
+)
+
+// nodePermOfBitPerm returns the register permutation induced by carrying
+// address bit i to position bp[i].
+func nodePermOfBitPerm(dims int, bp []int) permute.Permutation {
+	n := 1 << uint(dims)
+	p := make(permute.Permutation, n)
+	for a := 0; a < n; a++ {
+		b := 0
+		for i := 0; i < dims; i++ {
+			b |= bits.Bit(a, i) << uint(bp[i])
+		}
+		p[a] = b
+	}
+	return p
+}
+
+// allBitPerms enumerates all permutations of [0, dims).
+func allBitPerms(dims int) [][]int {
+	var out [][]int
+	perm := make([]int, dims)
+	for i := range perm {
+		perm[i] = i
+	}
+	var rec func(k int)
+	rec = func(k int) {
+		if k == dims {
+			out = append(out, append([]int(nil), perm...))
+			return
+		}
+		for i := k; i < dims; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	return out
+}
+
+func TestRouteBitPermutationExhaustive4Bits(t *testing.T) {
+	// All 24 bit permutations of a 16-node hypercube: the routed
+	// register contents must match the induced node permutation, within
+	// 2*(dims-1) steps.
+	for _, bp := range allBitPerms(4) {
+		h, _ := NewHypercube[int](4, Config{})
+		fill(h)
+		steps, err := h.RouteBitPermutation(bp)
+		if err != nil {
+			t.Fatalf("bp=%v: %v", bp, err)
+		}
+		if steps > 2*3 {
+			t.Fatalf("bp=%v took %d steps", bp, steps)
+		}
+		want := nodePermOfBitPerm(4, bp)
+		checkRouted(t, h, want)
+	}
+}
+
+func TestRouteBitPermutationTransposeHalves(t *testing.T) {
+	// Matrix transpose on a 4K hypercube: swap the two 6-bit halves.
+	dims := 12
+	bp := make([]int, dims)
+	for i := 0; i < 6; i++ {
+		bp[i] = i + 6
+		bp[i+6] = i
+	}
+	h, _ := NewHypercube[int](dims, Config{})
+	fill(h)
+	steps, err := h.RouteBitPermutation(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != 12 {
+		t.Fatalf("transpose took %d steps, want 12 (6 transpositions)", steps)
+	}
+	checkRouted(t, h, nodePermOfBitPerm(dims, bp))
+	// The induced permutation is the 64x64 matrix transpose.
+	if !nodePermOfBitPerm(dims, bp).Equal(permute.Transpose(64, 64)) {
+		t.Fatal("bit-half swap is not the matrix transpose")
+	}
+}
+
+func TestRouteBitPermutationShuffle(t *testing.T) {
+	// The perfect shuffle is a cyclic bit rotation.
+	dims := 8
+	bp := make([]int, dims)
+	for i := range bp {
+		bp[i] = (i + 1) % dims
+	}
+	h, _ := NewHypercube[int](dims, Config{})
+	fill(h)
+	if _, err := h.RouteBitPermutation(bp); err != nil {
+		t.Fatal(err)
+	}
+	checkRouted(t, h, permute.PerfectShuffle(256))
+}
+
+func TestRouteBitPermutationIdentityFree(t *testing.T) {
+	h, _ := NewHypercube[int](6, Config{})
+	fill(h)
+	steps, err := h.RouteBitPermutation([]int{0, 1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != 0 {
+		t.Fatalf("identity bit permutation cost %d steps", steps)
+	}
+}
+
+func TestRouteBitPermutationValidates(t *testing.T) {
+	h, _ := NewHypercube[int](4, Config{})
+	if _, err := h.RouteBitPermutation([]int{0, 1}); err == nil {
+		t.Fatal("wrong length accepted")
+	}
+	if _, err := h.RouteBitPermutation([]int{0, 0, 1, 2}); err == nil {
+		t.Fatal("invalid permutation accepted")
+	}
+}
+
+func TestRouteBitReversalStillMatches(t *testing.T) {
+	// The reversal special case must keep its exact step count.
+	h, _ := NewHypercube[int](12, Config{})
+	fill(h)
+	steps, err := h.RouteBitReversal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != 12 {
+		t.Fatalf("bit reversal took %d steps, want 12", steps)
+	}
+	checkRouted(t, h, permute.BitReversal(4096))
+}

@@ -1,0 +1,182 @@
+package netsim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/permute"
+)
+
+// DeflectionMesh models hot-potato (deflection) routing on a 2D torus —
+// the bufferless switching discipline analysed in the paper's reference
+// [3] (Fang & Szymanski, "An Analysis of Deflection Routing in
+// Multidimensional Regular Mesh Networks"). Nodes have no packet
+// queues: every packet present at a node at the start of a cycle must
+// leave on some output link that cycle; packets that lose arbitration
+// for a productive link are deflected onto a free unproductive one and
+// try again from wherever they land.
+//
+// The torus guarantee makes this safe: each node has four input and
+// four output links, at most four packets can be present (ejection frees
+// a slot for delivered packets), so there is always an output for every
+// packet.
+type DeflectionMesh struct {
+	Side int
+
+	maxCycles int
+}
+
+// NewDeflectionMesh creates a deflection-routed torus; side must be at
+// least 2 (the torus needs distinct +/- neighbours for the four-port
+// argument, so side >= 3 is recommended).
+func NewDeflectionMesh(side int) (*DeflectionMesh, error) {
+	if side < 2 {
+		return nil, fmt.Errorf("netsim: deflection mesh side %d < 2", side)
+	}
+	return &DeflectionMesh{Side: side, maxCycles: 10000 * side}, nil
+}
+
+// deflectPacket is one in-flight packet.
+type deflectPacket struct {
+	id   int // source id; arbitration priority (age is uniform: all inject at cycle 0)
+	dst  int
+	node int
+	hops int
+}
+
+// DeflectResult reports one deflection-routing run.
+type DeflectResult struct {
+	// Cycles is the makespan in data-transfer steps.
+	Cycles int
+	// TotalHops counts every link traversal, including deflections.
+	TotalHops int
+	// Deflections counts hops that moved a packet away from (or not
+	// toward) its destination.
+	Deflections int
+}
+
+// productive reports which directions reduce the torus distance from
+// node to dst; dirs are the dirE..dirN constants.
+func (d *DeflectionMesh) productive(node, dst int) []int {
+	side := d.Side
+	cr, cc := node/side, node%side
+	dr, dc := dst/side, dst%side
+	var out []int
+	if cc != dc {
+		fwd := ((dc-cc)%side + side) % side
+		if fwd <= side-fwd {
+			out = append(out, dirE)
+		}
+		if fwd >= side-fwd {
+			out = append(out, dirW)
+		}
+	}
+	if cr != dr {
+		fwd := ((dr-cr)%side + side) % side
+		if fwd <= side-fwd {
+			out = append(out, dirS)
+		}
+		if fwd >= side-fwd {
+			out = append(out, dirN)
+		}
+	}
+	return out
+}
+
+func (d *DeflectionMesh) neighbor(node, dir int) int {
+	side := d.Side
+	r, c := node/side, node%side
+	switch dir {
+	case dirE:
+		c = (c + 1) % side
+	case dirW:
+		c = (c - 1 + side) % side
+	case dirS:
+		r = (r + 1) % side
+	case dirN:
+		r = (r - 1 + side) % side
+	}
+	return r*side + c
+}
+
+// RoutePermutation delivers one packet per non-fixed node of p under
+// deflection routing and reports the makespan and deflection counts.
+// Arbitration is deterministic: within a node, packets claim productive
+// ports in priority order (lower source id first); losers take free
+// ports in fixed direction order.
+func (d *DeflectionMesh) RoutePermutation(p permute.Permutation) (*DeflectResult, error) {
+	n := d.Side * d.Side
+	if err := validateRoute("deflection mesh", n, p); err != nil {
+		return nil, err
+	}
+	var live []*deflectPacket
+	for src, dst := range p {
+		if src != dst {
+			live = append(live, &deflectPacket{id: src, dst: dst, node: src})
+		}
+	}
+	res := &DeflectResult{}
+	for len(live) > 0 {
+		if res.Cycles > d.maxCycles {
+			return res, fmt.Errorf("netsim: deflection routing exceeded %d cycles (livelock)", d.maxCycles)
+		}
+		// Group packets by node.
+		byNode := make(map[int][]*deflectPacket)
+		for _, pk := range live {
+			byNode[pk.node] = append(byNode[pk.node], pk)
+		}
+		for _, pkts := range byNode {
+			if len(pkts) > 4 {
+				return res, fmt.Errorf("netsim: %d packets at one node exceeds the four-port bound", len(pkts))
+			}
+			sort.Slice(pkts, func(i, j int) bool { return pkts[i].id < pkts[j].id })
+			used := [numDirs]bool{}
+			assigned := make([]int, len(pkts))
+			for i := range assigned {
+				assigned[i] = -1
+			}
+			// Pass 1: claim productive ports by priority.
+			for i, pk := range pkts {
+				for _, dir := range d.productive(pk.node, pk.dst) {
+					if !used[dir] {
+						used[dir] = true
+						assigned[i] = dir
+						break
+					}
+				}
+			}
+			// Pass 2: deflect the rest onto any free port.
+			for i := range pkts {
+				if assigned[i] != -1 {
+					continue
+				}
+				for dir := 0; dir < numDirs; dir++ {
+					if !used[dir] {
+						used[dir] = true
+						assigned[i] = dir
+						res.Deflections++
+						break
+					}
+				}
+				if assigned[i] == -1 {
+					return res, fmt.Errorf("netsim: no free output port (internal error)")
+				}
+			}
+			for i, pk := range pkts {
+				pk.node = d.neighbor(pk.node, assigned[i])
+				pk.hops++
+				res.TotalHops++
+			}
+		}
+		res.Cycles++
+		// Eject delivered packets.
+		var next []*deflectPacket
+		for _, pk := range live {
+			if pk.node != pk.dst {
+				next = append(next, pk)
+			}
+		}
+		live = next
+	}
+	return res, nil
+}

@@ -1,0 +1,188 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bits"
+	"repro/internal/permute"
+)
+
+// FailLink marks the dimension-d link of node a (and its mirror image)
+// as failed. Subsequent ExchangeCompute calls across that dimension
+// return an error, and RouteAdaptive routes around the failure.
+func (h *Hypercube[T]) FailLink(a, d int) error {
+	if a < 0 || a >= h.Nodes() {
+		return fmt.Errorf("netsim: node %d out of range", a)
+	}
+	if d < 0 || d >= h.topo.Dims {
+		return fmt.Errorf("netsim: dimension %d out of range", d)
+	}
+	if h.failed == nil {
+		h.failed = make(map[cubeLink]bool)
+	}
+	h.failed[h.linkID(a, d)] = true
+	return nil
+}
+
+// RepairAllLinks clears every injected failure.
+func (h *Hypercube[T]) RepairAllLinks() { h.failed = nil }
+
+// FailedLinks returns the number of distinct failed links.
+func (h *Hypercube[T]) FailedLinks() int { return len(h.failed) }
+
+// cubeLink identifies an undirected hypercube link by its lower
+// endpoint and dimension.
+type cubeLink struct {
+	low, dim int
+}
+
+func (h *Hypercube[T]) linkID(a, d int) cubeLink {
+	b := bits.FlipBit(a, d)
+	if b < a {
+		a = b
+	}
+	return cubeLink{low: a, dim: d}
+}
+
+// linkOK reports whether node a's dimension-d link is intact.
+func (h *Hypercube[T]) linkOK(a, d int) bool {
+	if h.failed == nil {
+		return true
+	}
+	return !h.failed[h.linkID(a, d)]
+}
+
+// adaptivePacket is a packet in fault-tolerant routing.
+type adaptivePacket[T any] struct {
+	dst     int
+	val     T
+	lastDim int // dimension of the previous hop, -1 initially
+}
+
+// RouteAdaptive delivers the permutation like Route, but tolerates
+// injected link failures with randomized minimal-adaptive routing: a
+// packet takes a uniformly random intact link toward its destination;
+// when every productive link at its node has failed, it takes a random
+// intact unproductive link as a detour (avoiding an immediate reversal
+// of its previous hop when possible). Randomizing the choices prevents
+// the deterministic livelock cycles that fixed tie-breaking produces
+// around failures; as long as the damaged cube remains connected, the
+// resulting walk delivers every packet with probability 1, and the step
+// cap bounds pathological cases. rng must be non-nil.
+func (h *Hypercube[T]) RouteAdaptive(p permute.Permutation, rng *rand.Rand) (int, error) {
+	if err := validateRoute(h.Name(), h.Nodes(), p); err != nil {
+		return 0, err
+	}
+	if rng == nil {
+		return 0, fmt.Errorf("netsim: RouteAdaptive needs a random source")
+	}
+	n := h.Nodes()
+	dims := h.topo.Dims
+
+	// nextDim picks the outgoing dimension for a packet at cur.
+	nextDim := func(cur int, pkt adaptivePacket[T]) (int, error) {
+		diff := cur ^ pkt.dst
+		var productive, detour []int
+		for d := 0; d < dims; d++ {
+			if !h.linkOK(cur, d) {
+				continue
+			}
+			if diff>>uint(d)&1 == 1 {
+				productive = append(productive, d)
+			} else if d != pkt.lastDim {
+				detour = append(detour, d)
+			}
+		}
+		if len(productive) > 0 {
+			return productive[rng.Intn(len(productive))], nil
+		}
+		if len(detour) > 0 {
+			return detour[rng.Intn(len(detour))], nil
+		}
+		if pkt.lastDim >= 0 && h.linkOK(cur, pkt.lastDim) {
+			return pkt.lastDim, nil
+		}
+		return 0, fmt.Errorf("netsim: node %d is isolated by link failures", cur)
+	}
+
+	queues := make([][][]adaptivePacket[T], n)
+	for i := range queues {
+		queues[i] = make([][]adaptivePacket[T], dims)
+	}
+	out := make([]T, n)
+	remaining := 0
+	for i, dst := range p {
+		if dst == i {
+			out[i] = h.vals[i]
+			continue
+		}
+		pkt := adaptivePacket[T]{dst: dst, val: h.vals[i], lastDim: -1}
+		d, err := nextDim(i, pkt)
+		if err != nil {
+			return 0, err
+		}
+		queues[i][d] = append(queues[i][d], pkt)
+		remaining++
+	}
+
+	steps := 0
+	for remaining > 0 {
+		if steps > h.maxStep {
+			return steps, fmt.Errorf("netsim: adaptive routing exceeded %d steps", h.maxStep)
+		}
+		type arrival struct {
+			node int
+			pkt  adaptivePacket[T]
+		}
+		var arrivals []arrival
+		moved := false
+		for node := 0; node < n; node++ {
+			for d := 0; d < dims; d++ {
+				q := queues[node][d]
+				if len(q) == 0 {
+					continue
+				}
+				if !h.linkOK(node, d) {
+					// A failure injected after enqueue: re-plan the head.
+					pkt := q[0]
+					queues[node][d] = q[1:]
+					nd, err := nextDim(node, pkt)
+					if err != nil {
+						return steps, err
+					}
+					queues[node][nd] = append(queues[node][nd], pkt)
+					continue
+				}
+				pkt := q[0]
+				queues[node][d] = q[1:]
+				pkt.lastDim = d
+				arrivals = append(arrivals, arrival{node: bits.FlipBit(node, d), pkt: pkt})
+				h.stats.LinkTraversals++
+				moved = true
+			}
+		}
+		if !moved {
+			return steps, fmt.Errorf("netsim: adaptive routing stalled with %d packets left", remaining)
+		}
+		for _, a := range arrivals {
+			if a.node == a.pkt.dst {
+				out[a.node] = a.pkt.val
+				remaining--
+				continue
+			}
+			d, err := nextDim(a.node, a.pkt)
+			if err != nil {
+				return steps, err
+			}
+			queues[a.node][d] = append(queues[a.node][d], a.pkt)
+			if l := len(queues[a.node][d]); l > h.stats.MaxQueue {
+				h.stats.MaxQueue = l
+			}
+		}
+		steps++
+	}
+	copy(h.vals, out)
+	h.stats.Steps += steps
+	return steps, nil
+}

@@ -1,0 +1,111 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/permute"
+)
+
+func TestRouteAdaptiveHealthyMatchesGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	p := permute.Random(64, rng)
+	a, _ := NewHypercube[int](6, Config{})
+	fill(a)
+	if _, err := a.RouteAdaptive(p, rng); err != nil {
+		t.Fatal(err)
+	}
+	checkRouted(t, a, p)
+}
+
+func TestRouteAdaptiveSurvivesLinkFailures(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 10; trial++ {
+		h, _ := NewHypercube[int](6, Config{})
+		// Fewer than dims failures keep the cube connected.
+		for f := 0; f < 5; f++ {
+			if err := h.FailLink(rng.Intn(64), rng.Intn(6)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if h.FailedLinks() == 0 {
+			t.Fatal("no failures recorded")
+		}
+		p := permute.Random(64, rng)
+		fill(h)
+		steps, err := h.RouteAdaptive(p, rng)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if steps <= 0 && !p.IsIdentity() {
+			t.Fatal("no steps")
+		}
+		checkRouted(t, h, p)
+	}
+}
+
+func TestRouteAdaptiveDetoursAroundBlockedShortestPath(t *testing.T) {
+	// Nodes 0 and 1 differ only in dimension 0; failing that link forces
+	// a two-extra-hop detour.
+	h, _ := NewHypercube[int](4, Config{})
+	if err := h.FailLink(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	p := permute.Identity(16)
+	p[0], p[1] = 1, 0
+	fill(h)
+	steps, err := h.RouteAdaptive(p, rand.New(rand.NewSource(62)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRouted(t, h, p)
+	if steps < 3 {
+		t.Fatalf("detour took %d steps; the direct link is down", steps)
+	}
+}
+
+func TestExchangeComputeBlockedByFailure(t *testing.T) {
+	h, _ := NewHypercube[int](4, Config{})
+	if err := h.FailLink(3, 2); err != nil {
+		t.Fatal(err)
+	}
+	err := h.ExchangeCompute(2, func(s, p int, n int) int { return s })
+	if err == nil {
+		t.Fatal("exchange over failed dimension accepted")
+	}
+	// Other dimensions still work.
+	if err := h.ExchangeCompute(1, func(s, p int, n int) int { return s }); err != nil {
+		t.Fatal(err)
+	}
+	h.RepairAllLinks()
+	if err := h.ExchangeCompute(2, func(s, p int, n int) int { return s }); err != nil {
+		t.Fatalf("repair did not restore the link: %v", err)
+	}
+}
+
+func TestFailLinkValidates(t *testing.T) {
+	h, _ := NewHypercube[int](4, Config{})
+	if err := h.FailLink(-1, 0); err == nil {
+		t.Fatal("bad node accepted")
+	}
+	if err := h.FailLink(0, 9); err == nil {
+		t.Fatal("bad dimension accepted")
+	}
+}
+
+func TestRouteAdaptiveIsolatedNodeErrors(t *testing.T) {
+	// Cut every link of node 0: packets from/to it cannot be delivered,
+	// and the router must error rather than hang.
+	h, _ := NewHypercube[int](3, Config{})
+	for d := 0; d < 3; d++ {
+		if err := h.FailLink(0, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := permute.Identity(8)
+	p[0], p[7] = 7, 0
+	fill(h)
+	if _, err := h.RouteAdaptive(p, rand.New(rand.NewSource(63))); err == nil {
+		t.Fatal("routing from an isolated node succeeded")
+	}
+}

@@ -1,0 +1,147 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bits"
+	"repro/internal/permute"
+)
+
+func TestKAryNCubeConstructorValidates(t *testing.T) {
+	if _, err := NewKAryNCube[int](1, 3, Config{}); err == nil {
+		t.Fatal("radix 1 accepted")
+	}
+	if _, err := NewKAryNCube[int](4, 0, Config{}); err == nil {
+		t.Fatal("dims 0 accepted")
+	}
+}
+
+func TestKAryNCubeExchangeSwap(t *testing.T) {
+	k, err := NewKAryNCube[int](8, 2, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bit := 0; bit < 6; bit++ {
+		fill(k)
+		if err := k.ExchangeCompute(bit, func(self, partner int, node int) int {
+			return partner
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range k.Values() {
+			if v != bits.FlipBit(i, bit) {
+				t.Fatalf("bit %d: node %d holds %d", bit, i, v)
+			}
+		}
+	}
+}
+
+func TestKAryNCubeExchangeCosts(t *testing.T) {
+	// Ring distances with wraparound: bits 0,1,2 of an 8-ring cost
+	// 1, 2, 4 steps; the full per-digit sweep costs radix-1 = 7.
+	k, _ := NewKAryNCube[int](8, 2, Config{Workers: 1})
+	id := func(self, partner int, node int) int { return self }
+	wants := []int{1, 2, 4, 1, 2, 4}
+	for bit, want := range wants {
+		k.ResetStats()
+		if err := k.ExchangeCompute(bit, id); err != nil {
+			t.Fatal(err)
+		}
+		if got := k.Stats().Steps; got != want {
+			t.Fatalf("bit %d cost %d, want %d", bit, got, want)
+		}
+	}
+}
+
+func TestKAryNCubeFullSweepCost(t *testing.T) {
+	// All bits of an 8^4 machine: 4 digits x (8-1) = 28 steps — between
+	// the hypercube's 12 and the 64x64 torus's 126.
+	k, _ := NewKAryNCube[int](8, 4, Config{})
+	id := func(self, partner int, node int) int { return self }
+	for bit := 0; bit < 12; bit++ {
+		if err := k.ExchangeCompute(bit, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := k.Stats().Steps; got != 28 {
+		t.Fatalf("8^4 sweep cost %d, want 28", got)
+	}
+}
+
+func TestKAryNCubeRadix2IsHypercubeCosts(t *testing.T) {
+	k, _ := NewKAryNCube[int](2, 6, Config{})
+	id := func(self, partner int, node int) int { return self }
+	for bit := 0; bit < 6; bit++ {
+		if err := k.ExchangeCompute(bit, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := k.Stats().Steps; got != 6 {
+		t.Fatalf("binary cube sweep cost %d, want 6", got)
+	}
+}
+
+func TestKAryNCubeRouteDelivers(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	k, _ := NewKAryNCube[int](4, 3, Config{})
+	for trial := 0; trial < 10; trial++ {
+		p := permute.Random(64, rng)
+		fill(k)
+		steps, err := k.Route(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if steps <= 0 && !p.IsIdentity() {
+			t.Fatal("no steps")
+		}
+		checkRouted(t, k, p)
+	}
+}
+
+func TestKAryNCubeRouteRespectsDiameter(t *testing.T) {
+	// Exchanging two antipodal nodes costs at least the diameter.
+	k, _ := NewKAryNCube[int](4, 3, Config{})
+	antipode := 0
+	for d := 0; d < 3; d++ {
+		antipode = bits.SetDigit(antipode, 4, d, 2)
+	}
+	p := permute.Identity(64)
+	p[0], p[antipode] = antipode, 0
+	fill(k)
+	steps, err := k.Route(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps < k.Topology().Diameter() {
+		t.Fatalf("antipodal exchange in %d steps, diameter %d", steps, k.Topology().Diameter())
+	}
+	checkRouted(t, k, p)
+}
+
+func TestKAryNCubeNonPow2RadixExchangeFails(t *testing.T) {
+	k, _ := NewKAryNCube[int](6, 2, Config{})
+	if err := k.ExchangeCompute(0, func(s, p int, n int) int { return s }); err == nil {
+		t.Fatal("non power-of-two radix exchange accepted")
+	}
+	// Route still works.
+	rng := rand.New(rand.NewSource(71))
+	p := permute.Random(36, rng)
+	fill(k)
+	if _, err := k.Route(p); err != nil {
+		t.Fatal(err)
+	}
+	checkRouted(t, k, p)
+}
+
+func BenchmarkKAryNCubeRoute4096(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	p := permute.Random(4096, rng)
+	for i := 0; i < b.N; i++ {
+		k, _ := NewKAryNCube[int](8, 4, Config{})
+		fill(k)
+		if _, err := k.Route(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Package netsim is a synchronous, word-level simulator for the SIMD
+// machines the paper compares: a 2D mesh (optionally a torus), a binary
+// hypercube, and a 2D hypermesh, all operating on one register per
+// processing element.
+//
+// The simulator works at the paper's level of abstraction: every packet
+// is an indivisible unit, time advances in data-transfer steps, and in
+// one step every link (or, on a hypermesh, every hypergraph net) moves
+// at most one packet per direction. Machines expose two operations:
+//
+//   - ExchangeCompute(bit, f): the butterfly primitive. Every node
+//     exchanges its register with the node whose global index differs in
+//     the given address bit and computes a new register value. Cost: one
+//     step on the hypercube and hypermesh; 2^d steps on the mesh, where
+//     2^d is the physical row/column distance of the pair — exactly the
+//     accounting behind Table 2A.
+//
+//   - Route(p): deliver an arbitrary permutation of registers with the
+//     machine's native routing (queued dimension-order store-and-forward
+//     on mesh and hypercube; the three-phase rearrangeable decomposition
+//     on the 2D hypermesh).
+//
+// Every machine counts steps and link traversals so that experiments can
+// multiply measured step counts by the hardware model's per-step times.
+// Computation inside ExchangeCompute is spread over a worker pool (one
+// goroutine per CPU by default), mirroring how an HPC host would model
+// thousands of PEs.
+package netsim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/permute"
+	"repro/internal/trace"
+)
+
+// Stats accumulates the cost counters of a machine.
+type Stats struct {
+	// Steps is the number of parallel data-transfer steps performed —
+	// the paper's primary cost metric.
+	Steps int
+	// ComputeSteps counts the parallel computation steps (one per
+	// ExchangeCompute call); the paper counts log N of these for the FFT
+	// on every network.
+	ComputeSteps int
+	// LinkTraversals is the total number of packet-over-link (or
+	// packet-through-net) movements, an aggregate load measure.
+	LinkTraversals int
+	// MaxQueue is the largest per-node queue length observed while
+	// routing arbitrary permutations (0 for conflict-free schedules).
+	MaxQueue int
+}
+
+// Config controls simulation execution.
+type Config struct {
+	// Workers is the size of the compute worker pool; 0 means
+	// runtime.GOMAXPROCS(0). Set 1 for fully sequential execution (the
+	// oracle mode in tests).
+	Workers int
+
+	// Trace, when non-nil, records every machine operation (exchanges,
+	// net permutations, routing phases) with its step cost.
+	Trace *trace.Recorder
+}
+
+func (c Config) workers() int {
+	if c.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Workers
+}
+
+// Machine is the common surface of the three simulated SIMD networks,
+// generic over the register payload type.
+type Machine[T any] interface {
+	// Name identifies the underlying topology.
+	Name() string
+	// Nodes returns the number of processing elements.
+	Nodes() int
+	// Values exposes the register file, one value per node. Callers may
+	// read and write it between operations.
+	Values() []T
+	// Stats returns the accumulated cost counters.
+	Stats() Stats
+	// ResetStats zeroes the cost counters.
+	ResetStats()
+	// ExchangeCompute pairs every node with the node whose global index
+	// differs in address bit `bit`, and sets each node's register to
+	// f(self, partner, node).
+	ExchangeCompute(bit int, f func(self, partner T, node int) T) error
+	// Route rearranges registers so that the value of node i moves to
+	// node p[i], using the machine's native routing, and returns the
+	// number of data-transfer steps it took.
+	Route(p permute.Permutation) (int, error)
+}
+
+// parallelFor runs fn(i) for i in [0, n) across the configured number of
+// workers. fn must be safe to run concurrently for distinct i.
+func parallelFor(n, workers int, fn func(i int)) {
+	if workers <= 1 || n < 256 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// exchangeCompute applies the register update for a conflict-free
+// pairwise exchange given a partner function; shared by all machines.
+func exchangeCompute[T any](vals []T, workers int, partner func(i int) int, f func(self, partner T, node int) T) {
+	old := make([]T, len(vals))
+	copy(old, vals)
+	parallelFor(len(vals), workers, func(i int) {
+		vals[i] = f(old[i], old[partner(i)], i)
+	})
+}
+
+// validateRoute rejects permutations whose size does not match a
+// machine.
+func validateRoute(name string, n int, p permute.Permutation) error {
+	if len(p) != n {
+		return fmt.Errorf("netsim: %s: permutation size %d != %d nodes", name, len(p), n)
+	}
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("netsim: %s: %w", name, err)
+	}
+	return nil
+}

@@ -1,0 +1,531 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bits"
+	"repro/internal/permute"
+)
+
+// fill loads node index i with payload i into every machine register.
+func fill(m Machine[int]) {
+	for i := range m.Values() {
+		m.Values()[i] = i
+	}
+}
+
+// checkRouted verifies that after Route(p), node p[i] holds the value
+// that started at node i.
+func checkRouted(t *testing.T, m Machine[int], p permute.Permutation) {
+	t.Helper()
+	for i, dst := range p {
+		if m.Values()[dst] != i {
+			t.Fatalf("%s: node %d holds %d after routing, want %d", m.Name(), dst, m.Values()[dst], i)
+		}
+	}
+}
+
+func machinesN16(t *testing.T) []Machine[int] {
+	t.Helper()
+	mesh, err := NewMesh[int](4, true, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cube, err := NewHypercube[int](4, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hm, err := NewHypermesh[int](4, 2, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Machine[int]{mesh, cube, hm}
+}
+
+func TestConstructorsValidate(t *testing.T) {
+	if _, err := NewMesh[int](3, false, Config{}); err == nil {
+		t.Fatal("mesh side 3 accepted")
+	}
+	if _, err := NewHypercube[int](-1, Config{}); err == nil {
+		t.Fatal("negative dims accepted")
+	}
+	if _, err := NewHypermesh[int](1, 2, Config{}); err == nil {
+		t.Fatal("base 1 accepted")
+	}
+	if _, err := NewHypermesh[int](4, 0, Config{}); err == nil {
+		t.Fatal("dims 0 accepted")
+	}
+}
+
+func TestExchangeComputeSwapsValues(t *testing.T) {
+	// With f returning the partner's value, ExchangeCompute applies the
+	// Butterfly-exchange permutation of that bit.
+	for _, m := range machinesN16(t) {
+		for bit := 0; bit < 4; bit++ {
+			fill(m)
+			if err := m.ExchangeCompute(bit, func(self, partner int, node int) int {
+				return partner
+			}); err != nil {
+				t.Fatalf("%s: %v", m.Name(), err)
+			}
+			for i, v := range m.Values() {
+				if v != bits.FlipBit(i, bit) {
+					t.Fatalf("%s bit %d: node %d holds %d", m.Name(), bit, i, v)
+				}
+			}
+		}
+	}
+}
+
+func TestExchangeComputeStepCosts(t *testing.T) {
+	// Table 2A accounting: per butterfly stage the hypercube and
+	// hypermesh pay 1 step; the mesh pays the physical distance
+	// 2^(bit mod log2 side).
+	mesh, _ := NewMesh[int](8, false, Config{Workers: 1})
+	cube, _ := NewHypercube[int](6, Config{Workers: 1})
+	hm, _ := NewHypermesh[int](8, 2, Config{Workers: 1})
+	id := func(self, partner int, node int) int { return self }
+	for bit := 0; bit < 6; bit++ {
+		for _, m := range []Machine[int]{mesh, cube, hm} {
+			m.ResetStats()
+			if err := m.ExchangeCompute(bit, id); err != nil {
+				t.Fatalf("%s: %v", m.Name(), err)
+			}
+		}
+		if got := cube.Stats().Steps; got != 1 {
+			t.Fatalf("hypercube stage cost %d", got)
+		}
+		if got := hm.Stats().Steps; got != 1 {
+			t.Fatalf("hypermesh stage cost %d", got)
+		}
+		want := 1 << uint(bit%3)
+		if got := mesh.Stats().Steps; got != want {
+			t.Fatalf("mesh stage %d cost %d, want %d", bit, got, want)
+		}
+	}
+}
+
+func TestMeshFullButterflySweepCost(t *testing.T) {
+	// All 2*log2(side) stages on a side^2 mesh cost 2*(side-1) steps —
+	// the paper's §III.B count.
+	side := 16
+	mesh, _ := NewMesh[int](side, false, Config{Workers: 1})
+	id := func(self, partner int, node int) int { return self }
+	for bit := 0; bit < 8; bit++ {
+		if err := mesh.ExchangeCompute(bit, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := mesh.Stats().Steps, 2*(side-1); got != want {
+		t.Fatalf("full sweep cost %d, want %d", got, want)
+	}
+	if got := mesh.Stats().ComputeSteps; got != 8 {
+		t.Fatalf("compute steps %d, want 8", got)
+	}
+}
+
+func TestExchangeComputeRejectsBadBit(t *testing.T) {
+	for _, m := range machinesN16(t) {
+		id := func(self, partner int, node int) int { return self }
+		if err := m.ExchangeCompute(-1, id); err == nil {
+			t.Fatalf("%s accepted bit -1", m.Name())
+		}
+		if err := m.ExchangeCompute(4, id); err == nil {
+			t.Fatalf("%s accepted bit 4 on 16 nodes", m.Name())
+		}
+	}
+}
+
+func TestRouteIdentityIsFree(t *testing.T) {
+	for _, m := range machinesN16(t) {
+		fill(m)
+		steps, err := m.Route(permute.Identity(16))
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if steps != 0 {
+			t.Fatalf("%s: identity cost %d steps", m.Name(), steps)
+		}
+		checkRouted(t, m, permute.Identity(16))
+	}
+}
+
+func TestRouteRandomPermutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 10; trial++ {
+		p := permute.Random(16, rng)
+		for _, m := range machinesN16(t) {
+			fill(m)
+			if _, err := m.Route(p); err != nil {
+				t.Fatalf("%s: %v", m.Name(), err)
+			}
+			checkRouted(t, m, p)
+		}
+	}
+}
+
+func TestRouteBitReversalAllMachines(t *testing.T) {
+	p := permute.BitReversal(16)
+	for _, m := range machinesN16(t) {
+		fill(m)
+		if _, err := m.Route(p); err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		checkRouted(t, m, p)
+	}
+}
+
+func TestRouteValidatesPermutation(t *testing.T) {
+	for _, m := range machinesN16(t) {
+		if _, err := m.Route(permute.Identity(8)); err == nil {
+			t.Fatalf("%s accepted wrong-size permutation", m.Name())
+		}
+		bad := permute.Permutation{0, 0, 1, 2, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}
+		if _, err := m.Route(bad); err == nil {
+			t.Fatalf("%s accepted invalid permutation", m.Name())
+		}
+	}
+}
+
+func TestHypermeshRouteAtMostThreeSteps(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	hm, _ := NewHypermesh[int](8, 2, Config{Workers: 1})
+	for trial := 0; trial < 20; trial++ {
+		p := permute.Random(64, rng)
+		fill(hm)
+		steps, err := hm.Route(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if steps > 3 {
+			t.Fatalf("hypermesh route took %d steps", steps)
+		}
+		checkRouted(t, hm, p)
+	}
+}
+
+func TestHypermeshBitReversal4096InThreeSteps(t *testing.T) {
+	// The paper's headline: bit reversal of 4096 samples on the 64^2
+	// hypermesh in at most 3 data-transfer steps.
+	hm, _ := NewHypermesh[int](64, 2, Config{})
+	fill(hm)
+	p := permute.BitReversal(4096)
+	steps, err := hm.Route(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps > 3 {
+		t.Fatalf("bit reversal took %d steps, want <= 3", steps)
+	}
+	checkRouted(t, hm, p)
+}
+
+func TestHypercubeRouteBitReversalWithinLogSteps(t *testing.T) {
+	for _, dims := range []int{2, 4, 6, 8, 10, 12} {
+		h, _ := NewHypercube[int](dims, Config{})
+		fill(h)
+		steps, err := h.RouteBitReversal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if steps > dims {
+			t.Fatalf("dims=%d: RouteBitReversal took %d steps, want <= log N", dims, steps)
+		}
+		if steps != 2*(dims/2) {
+			t.Fatalf("dims=%d: RouteBitReversal took %d steps, want %d", dims, steps, 2*(dims/2))
+		}
+		checkRouted(t, h, permute.BitReversal(h.Nodes()))
+	}
+}
+
+func TestHypercubeGreedyRouteMatchesSpecializedResult(t *testing.T) {
+	// Greedy e-cube routing also delivers the bit reversal, possibly in
+	// more steps; the final register contents must agree.
+	h1, _ := NewHypercube[int](6, Config{})
+	h2, _ := NewHypercube[int](6, Config{})
+	fill(h1)
+	fill(h2)
+	p := permute.BitReversal(64)
+	greedySteps, err := h1.Route(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fastSteps, err := h2.RouteBitReversal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range h1.Values() {
+		if h1.Values()[i] != h2.Values()[i] {
+			t.Fatalf("greedy and specialized bit reversal disagree at node %d", i)
+		}
+	}
+	if fastSteps > greedySteps {
+		t.Fatalf("specialized (%d steps) slower than greedy (%d steps)", fastSteps, greedySteps)
+	}
+}
+
+func TestMeshRouteDistanceLowerBound(t *testing.T) {
+	// Routing the corner exchange on a mesh without wraparound costs at
+	// least the diameter 2(side-1).
+	side := 8
+	m, _ := NewMesh[int](side, false, Config{})
+	fill(m)
+	p := permute.Identity(side * side)
+	p[0], p[side*side-1] = side*side-1, 0
+	steps, err := m.Route(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps < 2*(side-1) {
+		t.Fatalf("corner exchange in %d steps, below diameter %d", steps, 2*(side-1))
+	}
+	checkRouted(t, m, p)
+}
+
+func TestTorusRouteUsesWraparound(t *testing.T) {
+	side := 8
+	m, _ := NewMesh[int](side, true, Config{})
+	fill(m)
+	// send every node one column left; with wrap each packet travels 1 hop
+	p := make(permute.Permutation, side*side)
+	for i := range p {
+		r, c := i/side, i%side
+		p[i] = r*side + (c+side-1)%side
+	}
+	steps, err := m.Route(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != 1 {
+		t.Fatalf("unit shift took %d steps on torus", steps)
+	}
+	checkRouted(t, m, p)
+}
+
+func TestMeshShiftRows(t *testing.T) {
+	m, _ := NewMesh[int](4, true, Config{})
+	fill(m)
+	if err := m.ShiftRows(1); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range m.Values() {
+		r, c := i/4, i%4
+		if v != r*4+(c+3)%4 {
+			t.Fatalf("node %d holds %d after shift", i, v)
+		}
+	}
+	if m.Stats().Steps != 1 {
+		t.Fatalf("unit shift cost %d steps", m.Stats().Steps)
+	}
+	noWrap, _ := NewMesh[int](4, false, Config{})
+	if err := noWrap.ShiftRows(1); err == nil {
+		t.Fatal("ShiftRows on plain mesh accepted")
+	}
+	if err := m.ShiftRows(0); err != nil {
+		t.Fatal("zero shift should be a no-op")
+	}
+}
+
+func TestHypermeshPermuteNets(t *testing.T) {
+	hm, _ := NewHypermesh[int](4, 2, Config{})
+	fill(hm)
+	// Rotate every row (dimension 0) by one.
+	perms := make([][]int, 4)
+	for r := range perms {
+		perms[r] = []int{1, 2, 3, 0}
+	}
+	if err := hm.PermuteNets(0, perms); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range hm.Values() {
+		r, c := i/4, i%4
+		want := r*4 + (c+3)%4
+		if v != want {
+			t.Fatalf("node %d holds %d, want %d", i, v, want)
+		}
+	}
+	if hm.Stats().Steps != 1 {
+		t.Fatalf("net permutation cost %d steps", hm.Stats().Steps)
+	}
+}
+
+func TestHypermeshPermuteNetsValidation(t *testing.T) {
+	hm, _ := NewHypermesh[int](4, 2, Config{})
+	if err := hm.PermuteNets(2, nil); err == nil {
+		t.Fatal("bad dimension accepted")
+	}
+	if err := hm.PermuteNets(0, make([][]int, 3)); err == nil {
+		t.Fatal("wrong perm count accepted")
+	}
+	perms := [][]int{{0, 0, 1, 2}, {0, 1, 2, 3}, {0, 1, 2, 3}, {0, 1, 2, 3}}
+	if err := hm.PermuteNets(0, perms); err == nil {
+		t.Fatal("invalid per-net permutation accepted")
+	}
+}
+
+func TestHypermeshNonPow2BaseExchangeFails(t *testing.T) {
+	hm, _ := NewHypermesh[int](6, 2, Config{})
+	err := hm.ExchangeCompute(0, func(s, p int, n int) int { return s })
+	if err == nil {
+		t.Fatal("exchange on base-6 hypermesh accepted")
+	}
+}
+
+func TestHypermesh3DRouteWithinBound(t *testing.T) {
+	// Routing generalizes beyond 2D: any permutation of a base-b
+	// dims-dimensional hypermesh takes at most 2*dims-1 net steps.
+	rng := rand.New(rand.NewSource(29))
+	hm, _ := NewHypermesh[int](4, 3, Config{})
+	for trial := 0; trial < 5; trial++ {
+		p := permute.Random(64, rng)
+		fill(hm)
+		steps, err := hm.Route(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if steps > 5 {
+			t.Fatalf("3D hypermesh route took %d steps, want <= 5", steps)
+		}
+		checkRouted(t, hm, p)
+	}
+}
+
+func TestHypermesh4KShapesBitReversal(t *testing.T) {
+	// §IV's alternative shapes: the 4K bit reversal routes within the
+	// 2*dims-1 bound on 8^4, 16^3 and 64^2 machines.
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	p := permute.BitReversal(4096)
+	for _, c := range []struct{ b, n int }{{8, 4}, {16, 3}, {64, 2}} {
+		hm, err := NewHypermesh[int](c.b, c.n, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fill(hm)
+		steps, err := hm.Route(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if steps > 2*c.n-1 {
+			t.Fatalf("%d^%d: bit reversal took %d steps, want <= %d", c.b, c.n, steps, 2*c.n-1)
+		}
+		checkRouted(t, hm, p)
+	}
+}
+
+func TestParallelWorkersMatchSequential(t *testing.T) {
+	// The goroutine-pool compute must be bit-identical to sequential.
+	build := func(workers int) Machine[int] {
+		m, err := NewMesh[int](16, true, Config{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	seq, par := build(1), build(8)
+	fill(seq)
+	fill(par)
+	f := func(self, partner int, node int) int { return self*31 + partner }
+	for bit := 0; bit < 8; bit++ {
+		if err := seq.ExchangeCompute(bit, f); err != nil {
+			t.Fatal(err)
+		}
+		if err := par.ExchangeCompute(bit, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range seq.Values() {
+		if seq.Values()[i] != par.Values()[i] {
+			t.Fatalf("parallel and sequential diverge at node %d", i)
+		}
+	}
+}
+
+func TestStatsAccumulateAndReset(t *testing.T) {
+	h, _ := NewHypercube[int](4, Config{})
+	fill(h)
+	id := func(self, partner int, node int) int { return self }
+	for bit := 0; bit < 4; bit++ {
+		if err := h.ExchangeCompute(bit, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := h.Stats()
+	if s.Steps != 4 || s.ComputeSteps != 4 || s.LinkTraversals != 64 {
+		t.Fatalf("stats = %+v", s)
+	}
+	h.ResetStats()
+	if h.Stats() != (Stats{}) {
+		t.Fatal("ResetStats did not zero")
+	}
+}
+
+func TestMachineNames(t *testing.T) {
+	ms := machinesN16(t)
+	wants := []string{"2D Torus", "Hypercube", "2D Hypermesh"}
+	for i, m := range ms {
+		if m.Name() != wants[i] {
+			t.Fatalf("machine %d name %q, want %q", i, m.Name(), wants[i])
+		}
+	}
+}
+
+func TestRouteLargeRandomOnAllMachines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rng := rand.New(rand.NewSource(31))
+	p := permute.Random(4096, rng)
+	mesh, _ := NewMesh[int](64, true, Config{})
+	cube, _ := NewHypercube[int](12, Config{})
+	hm, _ := NewHypermesh[int](64, 2, Config{})
+	for _, m := range []Machine[int]{mesh, cube, hm} {
+		fill(m)
+		steps, err := m.Route(p)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if steps <= 0 {
+			t.Fatalf("%s: nonpositive steps", m.Name())
+		}
+		checkRouted(t, m, p)
+	}
+}
+
+func BenchmarkMeshRouteRandom4096(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	p := permute.Random(4096, rng)
+	for i := 0; i < b.N; i++ {
+		m, _ := NewMesh[int](64, true, Config{})
+		fill(m)
+		if _, err := m.Route(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHypermeshRouteRandom4096(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	p := permute.Random(4096, rng)
+	for i := 0; i < b.N; i++ {
+		m, _ := NewHypermesh[int](64, 2, Config{})
+		fill(m)
+		if _, err := m.Route(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHypercubeExchange4096(b *testing.B) {
+	h, _ := NewHypercube[int](12, Config{})
+	fill(h)
+	f := func(self, partner int, node int) int { return self + partner }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := h.ExchangeCompute(i%12, f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

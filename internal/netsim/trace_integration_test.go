@@ -1,0 +1,108 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/permute"
+	"repro/internal/trace"
+)
+
+func TestTraceRecordsHypermeshFFTSchedule(t *testing.T) {
+	rec := trace.NewRecorder()
+	hm, _ := NewHypermesh[int](8, 2, Config{Trace: rec})
+	fill(hm)
+	id := func(self, partner int, node int) int { return self }
+	for bit := 0; bit < 6; bit++ {
+		if err := hm.ExchangeCompute(bit, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec.Marker("begin bit reversal")
+	if _, err := hm.Route(permute.BitReversal(64)); err != nil {
+		t.Fatal(err)
+	}
+	events := rec.Events()
+	exchanges, netPermutes, markers := 0, 0, 0
+	for _, e := range events {
+		switch e.Op {
+		case trace.OpExchange:
+			exchanges++
+		case trace.OpNetPermute:
+			netPermutes++
+		case trace.OpUserMarker:
+			markers++
+		}
+	}
+	if exchanges != 6 {
+		t.Fatalf("recorded %d exchanges, want 6", exchanges)
+	}
+	if netPermutes < 1 || netPermutes > 3 {
+		t.Fatalf("recorded %d net permutations, want 1..3", netPermutes)
+	}
+	if markers != 1 {
+		t.Fatalf("recorded %d markers", markers)
+	}
+	// Trace step total must match machine stats.
+	if rec.TotalSteps() != hm.Stats().Steps {
+		t.Fatalf("trace steps %d != machine steps %d", rec.TotalSteps(), hm.Stats().Steps)
+	}
+}
+
+func TestTraceRecordsMeshDistancesAndRoutes(t *testing.T) {
+	rec := trace.NewRecorder()
+	m, _ := NewMesh[int](8, true, Config{Trace: rec})
+	fill(m)
+	id := func(self, partner int, node int) int { return self }
+	if err := m.ExchangeCompute(2, id); err != nil { // distance 4 in rows
+		t.Fatal(err)
+	}
+	if _, err := m.Route(permute.ReverseAll(64)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ShiftRows(2); err != nil {
+		t.Fatal(err)
+	}
+	events := rec.Events()
+	if len(events) != 3 {
+		t.Fatalf("recorded %d events", len(events))
+	}
+	if events[0].Op != trace.OpExchange || events[0].Steps != 4 {
+		t.Fatalf("exchange event %+v", events[0])
+	}
+	if events[1].Op != trace.OpRoute || events[1].Steps < 1 {
+		t.Fatalf("route event %+v", events[1])
+	}
+	if events[2].Op != trace.OpShift || events[2].Steps != 2 {
+		t.Fatalf("shift event %+v", events[2])
+	}
+}
+
+func TestTraceRecordsHypercubeBitSwaps(t *testing.T) {
+	rec := trace.NewRecorder()
+	h, _ := NewHypercube[int](8, Config{Trace: rec})
+	fill(h)
+	if _, err := h.RouteBitReversal(); err != nil {
+		t.Fatal(err)
+	}
+	swaps := 0
+	for _, e := range rec.Events() {
+		if e.Op == trace.OpBitSwap {
+			swaps++
+			if e.Steps != 2 {
+				t.Fatalf("bit swap costs %d steps", e.Steps)
+			}
+		}
+	}
+	if swaps != 4 { // (0,7),(1,6),(2,5),(3,4)
+		t.Fatalf("recorded %d bit swaps, want 4", swaps)
+	}
+}
+
+func TestUntracedMachinesStillWork(t *testing.T) {
+	// The default Config carries a nil recorder; everything must run.
+	hm, _ := NewHypermesh[int](4, 2, Config{})
+	fill(hm)
+	if _, err := hm.Route(permute.BitReversal(16)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,391 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bits"
+	"repro/internal/topology"
+)
+
+// TrafficResult reports a uniform-random-traffic simulation — the
+// workload of Dally's comparison that the paper's §I discusses
+// (assumption 4: "the traffic is randomly distributed over all nodes").
+// All quantities are measured at the word level in data-transfer steps,
+// before the hardware normalization (which multiplies each network's
+// step time by the Table 1B link bandwidths).
+type TrafficResult struct {
+	// OfferedRate is the injection probability per node per step.
+	OfferedRate float64
+	// DeliveredRate is delivered packets per node per step over the
+	// measurement window.
+	DeliveredRate float64
+	// AvgLatency is the mean injection-to-delivery time in steps of the
+	// packets delivered during the measurement window.
+	AvgLatency float64
+	// MaxQueue is the largest queue observed anywhere.
+	MaxQueue int
+	// InFlight is the number of packets still in the network at the end
+	// (steady growth indicates saturation).
+	InFlight int
+}
+
+// trafficPacket is one random-traffic packet.
+type trafficPacket struct {
+	dst      int
+	injected int
+}
+
+// TrafficOptions parameterizes a run.
+type TrafficOptions struct {
+	Rate    float64 // injection probability per node per step
+	Warmup  int     // steps before measurement starts
+	Measure int     // measurement steps
+	Seed    int64
+}
+
+func (o TrafficOptions) validate() error {
+	if o.Rate < 0 || o.Rate > 1 {
+		return fmt.Errorf("netsim: traffic rate %v out of [0,1]", o.Rate)
+	}
+	if o.Warmup < 0 || o.Measure <= 0 {
+		return fmt.Errorf("netsim: bad traffic window (warmup %d, measure %d)", o.Warmup, o.Measure)
+	}
+	return nil
+}
+
+// trafficEngine abstracts one step of packet movement for a network.
+type trafficEngine interface {
+	nodes() int
+	// inject places a fresh packet at node src.
+	inject(src int, pkt trafficPacket)
+	// step advances one data-transfer step, returning the latencies of
+	// packets delivered this step (now - injected).
+	step(now int) []int
+	inFlight() int
+	maxQueue() int
+}
+
+// runTraffic drives any engine through the warmup + measurement cycle.
+func runTraffic(e trafficEngine, o TrafficOptions) (*TrafficResult, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(o.Seed))
+	n := e.nodes()
+	delivered := 0
+	latencySum := 0
+	total := o.Warmup + o.Measure
+	for now := 0; now < total; now++ {
+		for src := 0; src < n; src++ {
+			if rng.Float64() < o.Rate {
+				dst := rng.Intn(n - 1)
+				if dst >= src {
+					dst++ // uniform over the other nodes
+				}
+				e.inject(src, trafficPacket{dst: dst, injected: now})
+			}
+		}
+		lats := e.step(now)
+		if now >= o.Warmup {
+			for _, l := range lats {
+				delivered++
+				latencySum += l
+			}
+		}
+	}
+	res := &TrafficResult{
+		OfferedRate:   o.Rate,
+		DeliveredRate: float64(delivered) / float64(n) / float64(o.Measure),
+		MaxQueue:      e.maxQueue(),
+		InFlight:      e.inFlight(),
+	}
+	if delivered > 0 {
+		res.AvgLatency = float64(latencySum) / float64(delivered)
+	}
+	return res, nil
+}
+
+// ---- mesh/torus engine ----
+
+type meshTraffic struct {
+	topo    *topology.Mesh2D
+	queues  [][numDirs][]trafficPacket
+	flight  int
+	maxQ    int
+	side    int
+	latency []int
+}
+
+// NewMeshTraffic simulates uniform random traffic on a torus with
+// dimension-order store-and-forward routing.
+func NewMeshTraffic(side int, o TrafficOptions) (*TrafficResult, error) {
+	if side < 2 {
+		return nil, fmt.Errorf("netsim: traffic mesh side %d < 2", side)
+	}
+	t := topology.NewMesh2D(side, true)
+	e := &meshTraffic{
+		topo:   t,
+		queues: make([][numDirs][]trafficPacket, t.Nodes()),
+		side:   side,
+	}
+	return runTraffic(e, o)
+}
+
+func (m *meshTraffic) nodes() int    { return m.topo.Nodes() }
+func (m *meshTraffic) inFlight() int { return m.flight }
+func (m *meshTraffic) maxQueue() int { return m.maxQ }
+
+// dir picks the next dimension-order port at cur toward dst.
+func (m *meshTraffic) dir(cur, dst int) int {
+	side := m.side
+	cr, cc := cur/side, cur%side
+	dr, dc := dst/side, dst%side
+	if cc != dc {
+		fwd := ((dc-cc)%side + side) % side
+		if fwd <= side-fwd {
+			return dirE
+		}
+		return dirW
+	}
+	fwd := ((dr-cr)%side + side) % side
+	if fwd <= side-fwd {
+		return dirS
+	}
+	return dirN
+}
+
+func (m *meshTraffic) enqueue(node int, pkt trafficPacket) {
+	d := m.dir(node, pkt.dst)
+	m.queues[node][d] = append(m.queues[node][d], pkt)
+	if l := len(m.queues[node][d]); l > m.maxQ {
+		m.maxQ = l
+	}
+}
+
+func (m *meshTraffic) inject(src int, pkt trafficPacket) {
+	m.flight++
+	m.enqueue(src, pkt)
+}
+
+func (m *meshTraffic) step(now int) []int {
+	m.latency = m.latency[:0]
+	side := m.side
+	type arrival struct {
+		node int
+		pkt  trafficPacket
+	}
+	var arrivals []arrival
+	for node := range m.queues {
+		for d := 0; d < numDirs; d++ {
+			q := m.queues[node][d]
+			if len(q) == 0 {
+				continue
+			}
+			pkt := q[0]
+			m.queues[node][d] = q[1:]
+			r, c := node/side, node%side
+			switch d {
+			case dirE:
+				c = (c + 1) % side
+			case dirW:
+				c = (c - 1 + side) % side
+			case dirS:
+				r = (r + 1) % side
+			case dirN:
+				r = (r - 1 + side) % side
+			}
+			arrivals = append(arrivals, arrival{node: r*side + c, pkt: pkt})
+		}
+	}
+	for _, a := range arrivals {
+		if a.node == a.pkt.dst {
+			m.flight--
+			m.latency = append(m.latency, now-a.pkt.injected+1)
+			continue
+		}
+		m.enqueue(a.node, a.pkt)
+	}
+	return m.latency
+}
+
+// ---- hypercube engine ----
+
+type cubeTraffic struct {
+	dims    int
+	queues  [][][]trafficPacket // [node][dim]
+	flight  int
+	maxQ    int
+	latency []int
+}
+
+// NewHypercubeTraffic simulates uniform random traffic on a hypercube
+// with greedy e-cube store-and-forward routing.
+func NewHypercubeTraffic(dims int, o TrafficOptions) (*TrafficResult, error) {
+	if dims < 1 {
+		return nil, fmt.Errorf("netsim: traffic hypercube dims %d < 1", dims)
+	}
+	n := 1 << uint(dims)
+	e := &cubeTraffic{dims: dims, queues: make([][][]trafficPacket, n)}
+	for i := range e.queues {
+		e.queues[i] = make([][]trafficPacket, dims)
+	}
+	return runTraffic(e, o)
+}
+
+func (h *cubeTraffic) nodes() int    { return 1 << uint(h.dims) }
+func (h *cubeTraffic) inFlight() int { return h.flight }
+func (h *cubeTraffic) maxQueue() int { return h.maxQ }
+
+func (h *cubeTraffic) enqueue(node int, pkt trafficPacket) {
+	diff := node ^ pkt.dst
+	d := 0
+	for diff>>uint(d)&1 == 0 {
+		d++
+	}
+	h.queues[node][d] = append(h.queues[node][d], pkt)
+	if l := len(h.queues[node][d]); l > h.maxQ {
+		h.maxQ = l
+	}
+}
+
+func (h *cubeTraffic) inject(src int, pkt trafficPacket) {
+	h.flight++
+	h.enqueue(src, pkt)
+}
+
+func (h *cubeTraffic) step(now int) []int {
+	h.latency = h.latency[:0]
+	type arrival struct {
+		node int
+		pkt  trafficPacket
+	}
+	var arrivals []arrival
+	for node := range h.queues {
+		for d := 0; d < h.dims; d++ {
+			q := h.queues[node][d]
+			if len(q) == 0 {
+				continue
+			}
+			pkt := q[0]
+			h.queues[node][d] = q[1:]
+			arrivals = append(arrivals, arrival{node: bits.FlipBit(node, d), pkt: pkt})
+		}
+	}
+	for _, a := range arrivals {
+		if a.node == a.pkt.dst {
+			h.flight--
+			h.latency = append(h.latency, now-a.pkt.injected+1)
+			continue
+		}
+		h.enqueue(a.node, a.pkt)
+	}
+	return h.latency
+}
+
+// ---- 2D hypermesh engine ----
+
+type hypermeshTraffic struct {
+	topo    *topology.Hypermesh
+	queues  [][]trafficPacket // one FIFO per node
+	flight  int
+	maxQ    int
+	latency []int
+}
+
+// NewHypermeshTraffic simulates uniform random traffic on a 2D
+// hypermesh: on alternating steps the row nets and column nets each
+// realize one greedy partial permutation (every member sends at most
+// one packet, every member receives at most one), so a packet needs at
+// most one row and one column traversal.
+func NewHypermeshTraffic(base int, o TrafficOptions) (*TrafficResult, error) {
+	if base < 2 {
+		return nil, fmt.Errorf("netsim: traffic hypermesh base %d < 2", base)
+	}
+	t := topology.NewHypermesh(base, 2)
+	e := &hypermeshTraffic{topo: t, queues: make([][]trafficPacket, t.Nodes())}
+	return runTraffic(e, o)
+}
+
+func (h *hypermeshTraffic) nodes() int    { return h.topo.Nodes() }
+func (h *hypermeshTraffic) inFlight() int { return h.flight }
+func (h *hypermeshTraffic) maxQueue() int { return h.maxQ }
+
+func (h *hypermeshTraffic) inject(src int, pkt trafficPacket) {
+	h.flight++
+	h.queues[src] = append(h.queues[src], pkt)
+	if l := len(h.queues[src]); l > h.maxQ {
+		h.maxQ = l
+	}
+}
+
+func (h *hypermeshTraffic) step(now int) []int {
+	h.latency = h.latency[:0]
+	b := h.topo.Base
+	dim := now % 2
+	perDim := b // 2D: base^(dims-1) = base nets per dimension
+	type move struct {
+		fromNode, fromIdx int
+		to                int
+	}
+	var moves []move
+	for rest := 0; rest < perDim; rest++ {
+		members := h.topo.NetMembers(dim*perDim + rest)
+		taken := make(map[int]bool, b) // receiving members this step
+		for _, node := range members {
+			// Oldest packet at this node that wants to move along `dim`
+			// to a free member.
+			for qi, pkt := range h.queues[node] {
+				want := bits.Digit(pkt.dst, b, dim)
+				if want == bits.Digit(node, b, dim) {
+					continue // no correction needed in this dimension
+				}
+				target := bits.SetDigit(node, b, dim, want)
+				if taken[target] {
+					continue
+				}
+				taken[target] = true
+				moves = append(moves, move{fromNode: node, fromIdx: qi, to: target})
+				break
+			}
+		}
+	}
+	// Apply moves: removal by index (collect per node, descending).
+	removed := map[int][]int{}
+	for _, mv := range moves {
+		removed[mv.fromNode] = append(removed[mv.fromNode], mv.fromIdx)
+	}
+	pending := make([]trafficPacket, 0, len(moves))
+	targets := make([]int, 0, len(moves))
+	for _, mv := range moves {
+		pending = append(pending, h.queues[mv.fromNode][mv.fromIdx])
+		targets = append(targets, mv.to)
+	}
+	for node, idxs := range removed {
+		q := h.queues[node]
+		kept := q[:0]
+		skip := map[int]bool{}
+		for _, i := range idxs {
+			skip[i] = true
+		}
+		for i, pkt := range q {
+			if !skip[i] {
+				kept = append(kept, pkt)
+			}
+		}
+		h.queues[node] = kept
+	}
+	for i, pkt := range pending {
+		node := targets[i]
+		if node == pkt.dst {
+			h.flight--
+			h.latency = append(h.latency, now-pkt.injected+1)
+			continue
+		}
+		h.queues[node] = append(h.queues[node], pkt)
+		if l := len(h.queues[node]); l > h.maxQ {
+			h.maxQ = l
+		}
+	}
+	return h.latency
+}

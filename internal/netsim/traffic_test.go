@@ -1,0 +1,125 @@
+package netsim
+
+import "testing"
+
+func TestTrafficLowRateDeliversEverything(t *testing.T) {
+	// Far below saturation, delivered rate tracks offered rate and the
+	// network drains (small residual in-flight population).
+	opts := TrafficOptions{Rate: 0.02, Warmup: 200, Measure: 800, Seed: 1}
+	mesh, err := NewMeshTraffic(8, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cube, err := NewHypercubeTraffic(6, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hm, err := NewHypermeshTraffic(8, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []*TrafficResult{mesh, cube, hm} {
+		if r.DeliveredRate < 0.015 || r.DeliveredRate > 0.025 {
+			t.Fatalf("delivered rate %v far from offered %v", r.DeliveredRate, r.OfferedRate)
+		}
+		if r.AvgLatency <= 0 {
+			t.Fatalf("latency %v", r.AvgLatency)
+		}
+	}
+}
+
+func TestTrafficHypermeshLatencyBeatsMesh(t *testing.T) {
+	// At word level the hypermesh needs at most 2 traversals while the
+	// torus averages ~side/2 hops, so its latency is far lower.
+	opts := TrafficOptions{Rate: 0.05, Warmup: 200, Measure: 800, Seed: 2}
+	mesh, err := NewMeshTraffic(16, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hm, err := NewHypermeshTraffic(16, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hm.AvgLatency >= mesh.AvgLatency {
+		t.Fatalf("hypermesh latency %v >= mesh %v", hm.AvgLatency, mesh.AvgLatency)
+	}
+	if hm.AvgLatency > 6 {
+		t.Fatalf("hypermesh latency %v too high for 2-traversal routing", hm.AvgLatency)
+	}
+}
+
+func TestTrafficMeshSaturatesFirst(t *testing.T) {
+	// Push the offered rate beyond the torus's uniform-traffic capacity
+	// (~4 links / avg distance): the mesh leaves a growing backlog while
+	// the hypermesh still delivers.
+	opts := TrafficOptions{Rate: 0.6, Warmup: 300, Measure: 700, Seed: 3}
+	mesh, err := NewMeshTraffic(16, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hm, err := NewHypermeshTraffic(16, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mesh.DeliveredRate >= opts.Rate*0.95 {
+		t.Fatalf("mesh delivered %v at offered %v; expected saturation", mesh.DeliveredRate, opts.Rate)
+	}
+	if hm.DeliveredRate <= mesh.DeliveredRate {
+		t.Fatalf("hypermesh delivered %v <= mesh %v", hm.DeliveredRate, mesh.DeliveredRate)
+	}
+	if mesh.InFlight <= hm.InFlight {
+		t.Fatalf("mesh backlog %d <= hypermesh %d", mesh.InFlight, hm.InFlight)
+	}
+}
+
+func TestTrafficValidation(t *testing.T) {
+	if _, err := NewMeshTraffic(1, TrafficOptions{Rate: 0.1, Measure: 10}); err == nil {
+		t.Fatal("side 1 accepted")
+	}
+	if _, err := NewHypercubeTraffic(0, TrafficOptions{Rate: 0.1, Measure: 10}); err == nil {
+		t.Fatal("dims 0 accepted")
+	}
+	if _, err := NewHypermeshTraffic(1, TrafficOptions{Rate: 0.1, Measure: 10}); err == nil {
+		t.Fatal("base 1 accepted")
+	}
+	if _, err := NewMeshTraffic(8, TrafficOptions{Rate: 1.5, Measure: 10}); err == nil {
+		t.Fatal("rate > 1 accepted")
+	}
+	if _, err := NewMeshTraffic(8, TrafficOptions{Rate: 0.1, Measure: 0}); err == nil {
+		t.Fatal("measure 0 accepted")
+	}
+}
+
+func TestTrafficZeroRate(t *testing.T) {
+	res, err := NewHypercubeTraffic(4, TrafficOptions{Rate: 0, Warmup: 10, Measure: 50, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeliveredRate != 0 || res.InFlight != 0 || res.MaxQueue != 0 {
+		t.Fatalf("zero-rate run produced %+v", res)
+	}
+}
+
+func TestTrafficDeterministicAcrossRuns(t *testing.T) {
+	opts := TrafficOptions{Rate: 0.1, Warmup: 100, Measure: 400, Seed: 5}
+	a, err := NewHypermeshTraffic(8, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewHypermeshTraffic(8, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Fatalf("same seed produced %+v vs %+v", a, b)
+	}
+}
+
+func BenchmarkTrafficHypermesh16(b *testing.B) {
+	opts := TrafficOptions{Rate: 0.2, Warmup: 100, Measure: 400, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		if _, err := NewHypermeshTraffic(16, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

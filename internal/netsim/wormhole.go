@@ -1,0 +1,216 @@
+package netsim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/permute"
+)
+
+// Wormhole is a flit-level model of wormhole (cut-through) routing on a
+// 2D mesh or torus, used to test the paper's §III.E claim that "the use
+// of virtual channels or the wormhole routing technique described in [4]
+// cannot improve this bound in a 2D mesh" for FFT traffic.
+//
+// Each packet is FlitsPerPacket flits long and follows the same
+// dimension-order (column-first) path as the store-and-forward router.
+// A worm occupies a contiguous run of directed channels from tail to
+// head; the head advances one hop per cycle when the next channel is
+// free, the body pipelines behind it, and blocked worms hold their
+// channels (the defining behaviour of wormhole switching). Channel
+// arbitration is deterministic: the packet that entered the network
+// first wins; ties break on source id.
+type Wormhole struct {
+	Side           int
+	Wrap           bool
+	FlitsPerPacket int
+
+	maxCycles int
+}
+
+// NewWormhole creates a wormhole-routed mesh model. flits must be >= 1.
+func NewWormhole(side int, wrap bool, flits int) (*Wormhole, error) {
+	if side < 2 {
+		return nil, fmt.Errorf("netsim: wormhole side %d < 2", side)
+	}
+	if flits < 1 {
+		return nil, fmt.Errorf("netsim: wormhole flits %d < 1", flits)
+	}
+	return &Wormhole{Side: side, Wrap: wrap, FlitsPerPacket: flits, maxCycles: 1000 * side * side * flits}, nil
+}
+
+// channel identifies a directed link: the source node and direction.
+type channel struct {
+	node int
+	dir  int
+}
+
+// path returns the sequence of directed channels from src to dst under
+// column-first dimension-order routing.
+func (w *Wormhole) path(src, dst int) []channel {
+	side := w.Side
+	var out []channel
+	cur := src
+	for cur != dst {
+		cr, cc := cur/side, cur%side
+		dr, dc := dst/side, dst%side
+		var dir int
+		if cc != dc {
+			if !w.Wrap {
+				if dc > cc {
+					dir = dirE
+				} else {
+					dir = dirW
+				}
+			} else {
+				fwd := ((dc-cc)%side + side) % side
+				if fwd <= side-fwd {
+					dir = dirE
+				} else {
+					dir = dirW
+				}
+			}
+		} else {
+			if !w.Wrap {
+				if dr > cr {
+					dir = dirS
+				} else {
+					dir = dirN
+				}
+			} else {
+				fwd := ((dr-cr)%side + side) % side
+				if fwd <= side-fwd {
+					dir = dirS
+				} else {
+					dir = dirN
+				}
+			}
+		}
+		out = append(out, channel{node: cur, dir: dir})
+		r, c := cur/side, cur%side
+		switch dir {
+		case dirE:
+			c = (c + 1) % side
+		case dirW:
+			c = (c - 1 + side) % side
+		case dirS:
+			r = (r + 1) % side
+		case dirN:
+			r = (r - 1 + side) % side
+		}
+		cur = r*side + c
+	}
+	return out
+}
+
+// worm is the dynamic state of one packet.
+type worm struct {
+	id      int
+	path    []channel
+	headHop int // channels acquired so far
+	ejected int // flits delivered at the destination
+	done    bool
+}
+
+// RoutePermutation simulates delivering one packet per node according
+// to permutation p and returns the completion time in flit cycles —
+// the makespan from first injection to last tail-flit ejection.
+//
+// For comparison, a store-and-forward router needs (steps *
+// FlitsPerPacket) flit cycles for the same permutation, since each
+// data-transfer step transmits a whole packet over a link.
+func (w *Wormhole) RoutePermutation(p permute.Permutation) (int, error) {
+	n := w.Side * w.Side
+	if err := validateRoute("wormhole mesh", n, p); err != nil {
+		return 0, err
+	}
+	var worms []*worm
+	for src, dst := range p {
+		if src == dst {
+			continue
+		}
+		worms = append(worms, &worm{id: src, path: w.path(src, dst)})
+	}
+	if len(worms) == 0 {
+		return 0, nil
+	}
+	// Deterministic priority: source id (all packets inject at cycle 0).
+	sort.Slice(worms, func(i, j int) bool { return worms[i].id < worms[j].id })
+
+	owner := make(map[channel]*worm)
+	remaining := len(worms)
+	F := w.FlitsPerPacket
+	cycles := 0
+	for remaining > 0 {
+		if cycles > w.maxCycles {
+			return cycles, fmt.Errorf("netsim: wormhole simulation exceeded %d cycles", w.maxCycles)
+		}
+		progressed := false
+		for _, wm := range worms {
+			if wm.done {
+				continue
+			}
+			if wm.headHop < len(wm.path) {
+				// Head wants the next channel.
+				ch := wm.path[wm.headHop]
+				if cur, busy := owner[ch]; !busy || cur == wm {
+					owner[ch] = wm
+					wm.headHop++
+					// The tail advances once the worm is fully stretched:
+					// a worm spans at most F channels.
+					if wm.headHop > F {
+						delete(owner, wm.path[wm.headHop-F-1])
+					}
+					progressed = true
+				}
+				continue
+			}
+			// Head at destination: eject one flit per cycle; each
+			// ejection lets the tail advance and release a channel.
+			wm.ejected++
+			tail := wm.headHop - F + wm.ejected - 1
+			if tail >= 0 && tail < len(wm.path) {
+				delete(owner, wm.path[tail])
+			}
+			if wm.ejected >= F {
+				// Release anything still held (short paths).
+				for i := maxInt(0, wm.headHop-F); i < wm.headHop; i++ {
+					if owner[wm.path[i]] == wm {
+						delete(owner, wm.path[i])
+					}
+				}
+				wm.done = true
+				remaining--
+			}
+			progressed = true
+		}
+		cycles++
+		if !progressed {
+			return cycles, fmt.Errorf("netsim: wormhole deadlock with %d worms left", remaining)
+		}
+	}
+	return cycles, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// StoreAndForwardCycles routes the same permutation on a store-and-
+// forward mesh and converts its step count to flit cycles (one step =
+// FlitsPerPacket cycles), so that the two switching techniques can be
+// compared in the same unit.
+func (w *Wormhole) StoreAndForwardCycles(p permute.Permutation) (int, error) {
+	m, err := NewMesh[int](w.Side, w.Wrap, Config{})
+	if err != nil {
+		return 0, err
+	}
+	steps, err := m.Route(p)
+	if err != nil {
+		return 0, err
+	}
+	return steps * w.FlitsPerPacket, nil
+}

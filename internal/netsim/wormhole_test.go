@@ -1,0 +1,129 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/permute"
+)
+
+func TestWormholeConstructorValidates(t *testing.T) {
+	if _, err := NewWormhole(1, false, 4); err == nil {
+		t.Fatal("side 1 accepted")
+	}
+	if _, err := NewWormhole(8, false, 0); err == nil {
+		t.Fatal("0 flits accepted")
+	}
+}
+
+func TestWormholeIdentityIsFree(t *testing.T) {
+	w, _ := NewWormhole(8, false, 4)
+	cycles, err := w.RoutePermutation(permute.Identity(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles != 0 {
+		t.Fatalf("identity cost %d cycles", cycles)
+	}
+}
+
+func TestWormholeSinglePacketPipelines(t *testing.T) {
+	// One lonely packet crossing distance d: wormhole needs about
+	// d + F cycles, store-and-forward needs d*F — the classic win.
+	side, flits := 16, 8
+	w, _ := NewWormhole(side, false, flits)
+	p := permute.Identity(side * side)
+	p[0] = side - 1 // move node 0's packet along its row
+	p[side-1] = 0   // and the reverse packet (keep p a permutation)
+	cycles, err := w.RoutePermutation(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := side - 1
+	if cycles > d+flits+2 {
+		t.Fatalf("single packet took %d cycles, want ~%d", cycles, d+flits)
+	}
+	saf, err := w.StoreAndForwardCycles(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles >= saf {
+		t.Fatalf("wormhole (%d) not faster than store-and-forward (%d) for isolated traffic", cycles, saf)
+	}
+}
+
+func TestWormholeCannotBeatStoreAndForwardOnButterflyTraffic(t *testing.T) {
+	// §III.E: the FFT's butterfly-exchange traffic saturates every link
+	// on the path, so wormhole pipelining buys (almost) nothing: each
+	// channel must still carry d packets of F flits.
+	side, flits := 16, 8
+	w, _ := NewWormhole(side, false, flits)
+	for _, bit := range []int{1, 2, 3} { // distances 2, 4, 8 within rows
+		p := permute.ButterflyExchange(side*side, bit)
+		worm, err := w.RoutePermutation(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := 1 << uint(bit)
+		// Lower bound: the most loaded channel carries d packets x F
+		// flits.
+		if worm < d*flits {
+			t.Fatalf("bit %d: wormhole %d cycles below the channel-load bound %d", bit, worm, d*flits)
+		}
+	}
+}
+
+func TestWormholeFullButterflySweepComparable(t *testing.T) {
+	// Across a full sweep of row stages, total wormhole cycles must be
+	// at least the store-and-forward ideal (side-1 steps * F cycles),
+	// demonstrating the paper's claim that wormhole does not improve
+	// the FFT bound on a mesh.
+	side, flits := 16, 8
+	w, _ := NewWormhole(side, false, flits)
+	totalWorm := 0
+	for bit := 0; bit < 4; bit++ {
+		cycles, err := w.RoutePermutation(permute.ButterflyExchange(side*side, bit))
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalWorm += cycles
+	}
+	ideal := (side - 1) * flits
+	if totalWorm < ideal {
+		t.Fatalf("wormhole sweep %d cycles beats the store-and-forward ideal %d", totalWorm, ideal)
+	}
+}
+
+func TestWormholeDeliversArbitraryPermutation(t *testing.T) {
+	// Wormhole routing of bit reversal on a plain mesh must terminate
+	// (XY routing is deadlock-free without wraparound).
+	w, _ := NewWormhole(8, false, 4)
+	cycles, err := w.RoutePermutation(permute.BitReversal(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles <= 0 {
+		t.Fatal("no cycles consumed")
+	}
+}
+
+func TestWormholePathMatchesDistances(t *testing.T) {
+	w, _ := NewWormhole(8, false, 3)
+	if got := len(w.path(0, 63)); got != 14 {
+		t.Fatalf("corner path length %d, want 14", got)
+	}
+	ww, _ := NewWormhole(8, true, 3)
+	if got := len(ww.path(0, 7)); got != 1 {
+		t.Fatalf("torus wrap path length %d, want 1", got)
+	}
+}
+
+func BenchmarkWormholeButterfly256(b *testing.B) {
+	w, _ := NewWormhole(16, false, 8)
+	p := permute.ButterflyExchange(256, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.RoutePermutation(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package parfft
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/bits"
+	"repro/internal/fft"
+	"repro/internal/netsim"
+	"repro/internal/permute"
+)
+
+// RunActor executes the N-point distributed FFT in the goroutine-per-PE
+// (bulk-synchronous) style: one goroutine models each processing
+// element, and every butterfly stage is a superstep — publish the
+// register, cross the barrier, read the partner, compute, cross the
+// barrier again. The terminal bit reversal is a final permutation
+// superstep.
+//
+// This is the CSP-flavoured execution mode of the same schedule that
+// Run executes on the array-based machines; the two produce identical
+// spectra (pinned by tests) and the array machines remain the
+// step-accounting oracle. N is capped to keep goroutine counts sane.
+func RunActor(x []complex128, workersCap int) ([]complex128, error) {
+	n := len(x)
+	if !bits.IsPow2(n) {
+		return nil, fmt.Errorf("parfft: actor FFT length %d is not a power of two", n)
+	}
+	if workersCap > 0 && n > workersCap {
+		return nil, fmt.Errorf("parfft: %d PEs exceeds the goroutine cap %d", n, workersCap)
+	}
+	logn := bits.Log2(n)
+	plan, err := fft.NewPlan(n)
+	if err != nil {
+		return nil, err
+	}
+
+	// Two ping-pong register files; the barrier separates the publish
+	// and consume halves of each superstep.
+	cur := append([]complex128(nil), x...)
+	next := make([]complex128, n)
+	bar := netsim.NewBarrier(n)
+	rev := permute.BitReversal(n)
+
+	var wg sync.WaitGroup
+	var firstErr error
+	var errOnce sync.Once
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			bar.Break()
+		})
+	}
+
+	wg.Add(n)
+	for node := 0; node < n; node++ {
+		go func(node int) {
+			defer wg.Done()
+			for stage := logn - 1; stage >= 0; stage-- {
+				// Superstep half 1: everyone's value is already
+				// published in cur; wait so nobody reads next while
+				// others still write it.
+				partner := bits.FlipBit(node, stage)
+				self, other := cur[node], cur[partner]
+				var v complex128
+				if bits.Bit(node, stage) == 0 {
+					v, _ = fft.Butterfly(self, other, 1)
+				} else {
+					j := bits.SetBit(node, stage, 0)
+					w := plan.Twiddle(plan.DIFTwiddleExponent(stage, j))
+					_, v = fft.Butterfly(other, self, w)
+				}
+				next[node] = v
+				if !bar.Await() {
+					fail(fmt.Errorf("parfft: actor barrier broken"))
+					return
+				}
+				// Superstep half 2: flip the register files in lock
+				// step. Node 0 performs the swap; everyone else waits
+				// for it at the next barrier.
+				if node == 0 {
+					cur, next = next, cur
+				}
+				if !bar.Await() {
+					fail(fmt.Errorf("parfft: actor barrier broken"))
+					return
+				}
+			}
+			// Bit-reversal superstep.
+			next[rev[node]] = cur[node]
+			if !bar.Await() {
+				fail(fmt.Errorf("parfft: actor barrier broken"))
+				return
+			}
+			if node == 0 {
+				cur, next = next, cur
+			}
+			if !bar.Await() {
+				fail(fmt.Errorf("parfft: actor barrier broken"))
+			}
+		}(node)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	out := make([]complex128, n)
+	copy(out, cur)
+	return out, nil
+}

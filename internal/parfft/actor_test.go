@@ -1,0 +1,66 @@
+package parfft
+
+import (
+	"testing"
+
+	"repro/internal/fft"
+	"repro/internal/netsim"
+)
+
+func newCube(dims int) (netsim.Machine[complex128], error) {
+	return netsim.NewHypercube[complex128](dims, netsim.Config{})
+}
+
+func TestRunActorMatchesSerialFFT(t *testing.T) {
+	for _, n := range []int{2, 16, 64, 256, 1024} {
+		x := randomSignal(n, int64(n)+90)
+		want := fft.MustPlan(n).Forward(x)
+		got, err := RunActor(x, 0)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if d := fft.MaxAbsDiff(got, want); d > tol(n) {
+			t.Fatalf("n=%d: actor FFT differs by %g", n, d)
+		}
+	}
+}
+
+func TestRunActorMatchesMachineRun(t *testing.T) {
+	// The BSP actor engine and the array machine execute the same
+	// schedule and must agree bit for bit.
+	n := 256
+	x := randomSignal(n, 91)
+	actor, err := RunActor(x, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cube, err := newCube(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine, err := Run(cube, x, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := fft.MaxAbsDiff(actor, machine.Output); d != 0 {
+		t.Fatalf("actor and machine engines differ by %g", d)
+	}
+}
+
+func TestRunActorValidates(t *testing.T) {
+	if _, err := RunActor(make([]complex128, 100), 0); err == nil {
+		t.Fatal("non power of two accepted")
+	}
+	if _, err := RunActor(make([]complex128, 4096), 1024); err == nil {
+		t.Fatal("goroutine cap ignored")
+	}
+}
+
+func BenchmarkActorFFT1024(b *testing.B) {
+	x := randomSignal(1024, 1)
+	for i := 0; i < b.N; i++ {
+		if _, err := RunActor(x, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package parfft
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+	"repro/internal/clos"
+	"repro/internal/fft"
+	"repro/internal/netsim"
+)
+
+// BlockedResult reports a blocked-layout distributed FFT execution.
+type BlockedResult struct {
+	// Output is the spectrum in natural order.
+	Output []complex128
+	// LocalStages is the number of communication-free butterfly stages
+	// (log2 of the block size).
+	LocalStages int
+	// ButterflySteps is the measured data-transfer steps of the remote
+	// stages (each remote stage streams the whole block, one word per
+	// step, to the partner).
+	ButterflySteps int
+	// BitReversalSteps is the measured data-transfer steps of the output
+	// permutation, routed as B one-word-per-node permutation passes
+	// (Birkhoff–von Neumann matching rounds).
+	BitReversalSteps int
+}
+
+// TotalSteps returns all data-transfer steps.
+func (r *BlockedResult) TotalSteps() int { return r.ButterflySteps + r.BitReversalSteps }
+
+// RunBlocked executes an N-point FFT on a machine of P < N processing
+// elements with the block layout: PE p holds samples p*B .. p*B+B-1
+// (B = N/P). The high log2(P) DIF stages pair samples in different PEs
+// at equal block offsets; each such stage performs B word exchanges
+// (B data-transfer steps). The low log2(B) stages are PE-local and cost
+// no communication. The terminal bit reversal is an all-to-all word
+// redistribution scheduled as B one-word-per-node permutations via
+// Birkhoff–von Neumann matching, so on a 2D hypermesh it measures at
+// most 3*B steps — the blocked generalization of Table 2A that
+// perfmodel.BlockedFFTSteps prices in closed form.
+func RunBlocked(m netsim.Machine[complex128], x []complex128) (*BlockedResult, error) {
+	p := m.Nodes()
+	n := len(x)
+	if !bits.IsPow2(n) || !bits.IsPow2(p) {
+		return nil, fmt.Errorf("parfft: blocked FFT needs power-of-two sizes (N=%d, P=%d)", n, p)
+	}
+	if n < p {
+		return nil, fmt.Errorf("parfft: fewer samples (%d) than processors (%d)", n, p)
+	}
+	b := n / p
+	logN, logB := bits.Log2(n), bits.Log2(b)
+	plan, err := fft.NewPlan(n)
+	if err != nil {
+		return nil, err
+	}
+
+	// blocks[pe][off] = sample pe*B + off.
+	blocks := make([][]complex128, p)
+	for pe := range blocks {
+		blocks[pe] = append([]complex128(nil), x[pe*b:(pe+1)*b]...)
+	}
+	m.ResetStats()
+
+	// Remote stages: element bit `stage` >= logB lies in the PE index;
+	// pairs share a block offset. One word exchange per offset.
+	for stage := logN - 1; stage >= logB; stage-- {
+		peBit := stage - logB
+		for off := 0; off < b; off++ {
+			vals := m.Values()
+			for pe := 0; pe < p; pe++ {
+				vals[pe] = blocks[pe][off]
+			}
+			st, o := stage, off
+			err := m.ExchangeCompute(peBit, func(self, partner complex128, node int) complex128 {
+				e := node*b + o
+				if bits.Bit(e, st) == 0 {
+					up, _ := fft.Butterfly(self, partner, 1)
+					return up
+				}
+				j := bits.SetBit(e, st, 0)
+				w := plan.Twiddle(plan.DIFTwiddleExponent(st, j))
+				_, lo := fft.Butterfly(partner, self, w)
+				return lo
+			})
+			if err != nil {
+				return nil, err
+			}
+			vals = m.Values()
+			for pe := 0; pe < p; pe++ {
+				blocks[pe][off] = vals[pe]
+			}
+		}
+	}
+	butterflySteps := m.Stats().Steps
+
+	// Local stages: element bit < logB; both butterfly operands live in
+	// the same block. No communication.
+	for stage := logB - 1; stage >= 0; stage-- {
+		half := 1 << uint(stage)
+		for pe := 0; pe < p; pe++ {
+			blk := blocks[pe]
+			for start := 0; start < b; start += 2 * half {
+				for jo := start; jo < start+half; jo++ {
+					e := pe*b + jo
+					w := plan.Twiddle(plan.DIFTwiddleExponent(stage, e))
+					blk[jo], blk[jo+half] = fft.Butterfly(blk[jo], blk[jo+half], w)
+				}
+			}
+		}
+	}
+
+	// Bit reversal: element (pe, off) moves to global position
+	// rev(pe*B + off). Every PE sends B words and receives B words, so
+	// the word-movement multigraph (source PE -> destination PE, one
+	// edge per word) is B-regular bipartite; Birkhoff–von Neumann splits
+	// it into B perfect matchings, each routed as a one-word-per-node
+	// permutation (<= 3 steps each on a 2D hypermesh).
+	preRev := m.Stats().Steps
+	out := make([]complex128, n)
+	mult := make([][]int, p)
+	wordsByPair := make(map[[2]int][]int) // (srcPE, dstPE) -> source offsets
+	for pe := range mult {
+		mult[pe] = make([]int, p)
+	}
+	for pe := 0; pe < p; pe++ {
+		for off := 0; off < b; off++ {
+			re := bits.Reverse(pe*b+off, logN)
+			dst := re / b
+			mult[pe][dst]++
+			key := [2]int{pe, dst}
+			wordsByPair[key] = append(wordsByPair[key], off)
+		}
+	}
+	rounds, err := clos.DecomposeMultigraph(mult, b)
+	if err != nil {
+		return nil, fmt.Errorf("parfft: blocked reversal schedule: %w", err)
+	}
+	for _, round := range rounds {
+		vals := m.Values()
+		srcOff := make([]int, p)
+		for pe := 0; pe < p; pe++ {
+			key := [2]int{pe, round[pe]}
+			offs := wordsByPair[key]
+			off := offs[len(offs)-1]
+			wordsByPair[key] = offs[:len(offs)-1]
+			srcOff[pe] = off
+			vals[pe] = blocks[pe][off]
+		}
+		if _, err := m.Route(round); err != nil {
+			return nil, err
+		}
+		vals = m.Values()
+		for pe := 0; pe < p; pe++ {
+			re := bits.Reverse(pe*b+srcOff[pe], logN)
+			out[re] = vals[round[pe]]
+		}
+	}
+	reversalSteps := m.Stats().Steps - preRev
+
+	return &BlockedResult{
+		Output:           out,
+		LocalStages:      logB,
+		ButterflySteps:   butterflySteps,
+		BitReversalSteps: reversalSteps,
+	}, nil
+}

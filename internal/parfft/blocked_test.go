@@ -1,0 +1,145 @@
+package parfft
+
+import (
+	"testing"
+
+	"repro/internal/fft"
+	"repro/internal/netsim"
+)
+
+func TestRunBlockedMatchesSerialFFT(t *testing.T) {
+	// 1024 samples on 64 PEs (B = 16) across all three networks.
+	n := 1024
+	x := randomSignal(n, 70)
+	want := fft.MustPlan(n).Forward(x)
+	mesh, _ := netsim.NewMesh[complex128](8, true, netsim.Config{})
+	cube, _ := netsim.NewHypercube[complex128](6, netsim.Config{})
+	hm, _ := netsim.NewHypermesh[complex128](8, 2, netsim.Config{})
+	for _, m := range []netsim.Machine[complex128]{mesh, cube, hm} {
+		res, err := RunBlocked(m, x)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if d := fft.MaxAbsDiff(res.Output, want); d > tol(n) {
+			t.Fatalf("%s: blocked FFT differs by %g", m.Name(), d)
+		}
+		if res.LocalStages != 4 {
+			t.Fatalf("%s: local stages = %d, want 4", m.Name(), res.LocalStages)
+		}
+	}
+}
+
+func TestRunBlockedStepCountsMatchClosedForm(t *testing.T) {
+	// Hypercube: remote stages = B * log P butterfly steps; reversal is
+	// B greedy-routed permutations. Hypermesh: same butterfly count and
+	// reversal <= 3B.
+	n, p := 1024, 64
+	b := n / p
+	x := randomSignal(n, 71)
+
+	cube, _ := netsim.NewHypercube[complex128](6, netsim.Config{})
+	cr, err := RunBlocked(cube, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.ButterflySteps != b*6 {
+		t.Fatalf("hypercube butterfly steps = %d, want %d", cr.ButterflySteps, b*6)
+	}
+
+	hm, _ := netsim.NewHypermesh[complex128](8, 2, netsim.Config{})
+	hr, err := RunBlocked(hm, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hr.ButterflySteps != b*6 {
+		t.Fatalf("hypermesh butterfly steps = %d, want %d", hr.ButterflySteps, b*6)
+	}
+	if hr.BitReversalSteps > 3*b {
+		t.Fatalf("hypermesh blocked reversal = %d steps, want <= %d", hr.BitReversalSteps, 3*b)
+	}
+	if hr.TotalSteps() >= cr.TotalSteps() {
+		t.Fatalf("hypermesh blocked total %d not below hypercube %d", hr.TotalSteps(), cr.TotalSteps())
+	}
+}
+
+func TestRunBlockedSmallBlockBelowP(t *testing.T) {
+	// B < P regime (the common one in the paper's scaling discussion):
+	// 256 samples on 64 PEs, B = 4.
+	n := 256
+	x := randomSignal(n, 72)
+	want := fft.MustPlan(n).Forward(x)
+	hm, _ := netsim.NewHypermesh[complex128](8, 2, netsim.Config{})
+	res, err := RunBlocked(hm, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := fft.MaxAbsDiff(res.Output, want); d > tol(n) {
+		t.Fatalf("blocked FFT differs by %g", d)
+	}
+	if res.BitReversalSteps > 3*4 {
+		t.Fatalf("reversal steps = %d", res.BitReversalSteps)
+	}
+}
+
+func TestRunBlockedDegeneratesToOneSamplePerPE(t *testing.T) {
+	// B = 1 must match the plain distributed FFT step counts.
+	n := 64
+	x := randomSignal(n, 73)
+	want := fft.MustPlan(n).Forward(x)
+	hm, _ := netsim.NewHypermesh[complex128](8, 2, netsim.Config{})
+	res, err := RunBlocked(hm, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := fft.MaxAbsDiff(res.Output, want); d > tol(n) {
+		t.Fatalf("differs by %g", d)
+	}
+	if res.LocalStages != 0 || res.ButterflySteps != 6 || res.BitReversalSteps > 3 {
+		t.Fatalf("B=1 steps: %+v", res)
+	}
+}
+
+func TestRunBlockedLargeCase(t *testing.T) {
+	// 16K samples on 256 PEs (B = 64) on the hypermesh.
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	n := 16384
+	x := randomSignal(n, 74)
+	want := fft.MustPlan(n).Forward(x)
+	hm, _ := netsim.NewHypermesh[complex128](16, 2, netsim.Config{})
+	res, err := RunBlocked(hm, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := fft.MaxAbsDiff(res.Output, want); d > tol(n) {
+		t.Fatalf("differs by %g", d)
+	}
+	b := n / 256
+	if res.ButterflySteps != b*8 {
+		t.Fatalf("butterfly steps = %d, want %d", res.ButterflySteps, b*8)
+	}
+	if res.BitReversalSteps > 3*b {
+		t.Fatalf("reversal steps = %d, want <= %d", res.BitReversalSteps, 3*b)
+	}
+}
+
+func TestRunBlockedValidates(t *testing.T) {
+	hm, _ := netsim.NewHypermesh[complex128](8, 2, netsim.Config{})
+	if _, err := RunBlocked(hm, make([]complex128, 100)); err == nil {
+		t.Fatal("non power of two accepted")
+	}
+	if _, err := RunBlocked(hm, make([]complex128, 32)); err == nil {
+		t.Fatal("N < P accepted")
+	}
+}
+
+func BenchmarkBlockedFFT16KOn256(b *testing.B) {
+	x := randomSignal(16384, 1)
+	for i := 0; i < b.N; i++ {
+		hm, _ := netsim.NewHypermesh[complex128](16, 2, netsim.Config{})
+		if _, err := RunBlocked(hm, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package parfft
+
+import (
+	"testing"
+
+	"repro/internal/fft"
+	"repro/internal/netsim"
+)
+
+func TestRun2DMatchesSerial2DFFT(t *testing.T) {
+	rows, cols := 16, 16
+	n := rows * cols
+	x := randomSignal(n, 80)
+	plan2d, err := fft.NewPlan2D(rows, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]complex128, n)
+	plan2d.Transform(want, x)
+
+	mesh, _ := netsim.NewMesh[complex128](16, true, netsim.Config{})
+	cube, _ := netsim.NewHypercube[complex128](8, netsim.Config{})
+	hm, _ := netsim.NewHypermesh[complex128](16, 2, netsim.Config{})
+	for _, m := range []netsim.Machine[complex128]{mesh, cube, hm} {
+		res, err := Run2D(m, x, rows, cols)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if d := fft.MaxAbsDiff(res.Output, want); d > tol(n) {
+			t.Fatalf("%s: 2D FFT differs by %g", m.Name(), d)
+		}
+	}
+}
+
+func TestRun2DNonSquareImage(t *testing.T) {
+	rows, cols := 8, 32
+	n := rows * cols
+	x := randomSignal(n, 81)
+	plan2d, err := fft.NewPlan2D(rows, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]complex128, n)
+	plan2d.Transform(want, x)
+	cube, _ := netsim.NewHypercube[complex128](8, netsim.Config{})
+	res, err := Run2D(cube, x, rows, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := fft.MaxAbsDiff(res.Output, want); d > tol(n) {
+		t.Fatalf("non-square 2D FFT differs by %g", d)
+	}
+}
+
+func TestRun2DHypermeshStepCounts(t *testing.T) {
+	// On the b^2 hypermesh: log N butterfly steps and exactly 1 step per
+	// axis reversal (each reversal is dimension-local) = log N + 2.
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rows, cols := 64, 64
+	n := rows * cols
+	x := randomSignal(n, 82)
+	hm, _ := netsim.NewHypermesh[complex128](64, 2, netsim.Config{})
+	res, err := Run2D(hm, x, rows, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ButterflySteps != 12 {
+		t.Fatalf("butterfly steps = %d, want 12", res.ButterflySteps)
+	}
+	if res.ReorderSteps != 2 {
+		t.Fatalf("reorder steps = %d, want 2 (one per axis)", res.ReorderSteps)
+	}
+	plan2d, _ := fft.NewPlan2D(rows, cols)
+	want := make([]complex128, n)
+	plan2d.Transform(want, x)
+	if d := fft.MaxAbsDiff(res.Output, want); d > tol(n) {
+		t.Fatalf("4K-pixel 2D FFT differs by %g", d)
+	}
+}
+
+func TestRun2DValidates(t *testing.T) {
+	cube, _ := netsim.NewHypercube[complex128](6, netsim.Config{})
+	if _, err := Run2D(cube, make([]complex128, 64), 7, 9); err == nil {
+		t.Fatal("bad tiling accepted")
+	}
+	if _, err := Run2D(cube, make([]complex128, 32), 8, 8); err == nil {
+		t.Fatal("wrong input length accepted")
+	}
+	if _, err := Run2D(cube, make([]complex128, 64), 4, 8); err == nil {
+		t.Fatal("mismatched tiling accepted")
+	}
+}
+
+func BenchmarkRun2DHypermesh4096(b *testing.B) {
+	x := randomSignal(4096, 1)
+	for i := 0; i < b.N; i++ {
+		hm, _ := netsim.NewHypermesh[complex128](64, 2, netsim.Config{})
+		if _, err := Run2D(hm, x, 64, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package parfft
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+	"repro/internal/fft"
+	"repro/internal/netsim"
+	"repro/internal/permute"
+)
+
+// FourStepResult reports one four-step FFT execution.
+type FourStepResult struct {
+	// Output is the spectrum in natural order.
+	Output []complex128
+	// ButterflySteps counts the data-transfer steps of both FFT passes.
+	ButterflySteps int
+	// ReorderSteps counts the column reversal, row reversal and final
+	// transpose permutations.
+	ReorderSteps int
+	// ComputeSteps counts exchange-compute operations (log N) plus one
+	// local twiddle scaling pass is free.
+	ComputeSteps int
+}
+
+// TotalSteps returns all data-transfer steps.
+func (r *FourStepResult) TotalSteps() int { return r.ButterflySteps + r.ReorderSteps }
+
+// FourStep computes the N-point FFT with the transpose ("four-step",
+// Bailey-style) algorithm on a machine of N = R*C processing elements
+// arranged row-major with C columns: R-point FFTs down the columns, a
+// pointwise twiddle scaling by W_N^(n2*k1), C-point FFTs along the rows,
+// and a final R x C transpose permutation.
+//
+// It is the "matrix algorithm" counterpoint to the binary-exchange
+// schedule of Run: on a 2D hypermesh with R = C = sqrt(N), every
+// butterfly stage and every within-row/column reversal is a single net
+// permutation and the final transpose takes at most 3 steps, for a
+// total of log N + 5 data-transfer steps versus log N + 3 — the ablation
+// that shows the binary-exchange mapping is the better hypermesh
+// schedule, while on the mesh the two are comparable.
+func FourStep(m netsim.Machine[complex128], x []complex128, rows, cols int) (*FourStepResult, error) {
+	n := m.Nodes()
+	if rows*cols != n {
+		return nil, fmt.Errorf("parfft: %d x %d does not tile %d nodes", rows, cols, n)
+	}
+	if len(x) != n {
+		return nil, fmt.Errorf("parfft: input length %d != %d nodes", len(x), n)
+	}
+	if !bits.IsPow2(rows) || !bits.IsPow2(cols) {
+		return nil, fmt.Errorf("parfft: four-step needs power-of-two tile sides, got %dx%d", rows, cols)
+	}
+	logR, logC := bits.Log2(rows), bits.Log2(cols)
+	planR, err := fft.NewPlan(rows)
+	if err != nil {
+		return nil, err
+	}
+	planC, err := fft.NewPlan(cols)
+	if err != nil {
+		return nil, err
+	}
+	planN, err := fft.NewPlan(n)
+	if err != nil {
+		return nil, err
+	}
+
+	vals := m.Values()
+	copy(vals, x)
+	m.ResetStats()
+
+	// Step 1: R-point DIF FFT down every column (index n1 = node/cols),
+	// exchanging node bits logC .. logC+logR-1, high stage first.
+	for s := logR - 1; s >= 0; s-- {
+		stage := s
+		err := m.ExchangeCompute(logC+stage, func(self, partner complex128, node int) complex128 {
+			n1 := node / cols
+			if bits.Bit(n1, stage) == 0 {
+				up, _ := fft.Butterfly(self, partner, 1)
+				return up
+			}
+			j1 := bits.SetBit(n1, stage, 0)
+			w := planR.Twiddle(planR.DIFTwiddleExponent(stage, j1))
+			_, lo := fft.Butterfly(partner, self, w)
+			return lo
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	butterflySteps := m.Stats().Steps
+
+	// Column-local bit reversal: node (n1, n2) -> (rev(n1), n2).
+	colRev := make(permute.Permutation, n)
+	for node := range colRev {
+		n1, n2 := node/cols, node%cols
+		colRev[node] = bits.Reverse(n1, logR)*cols + n2
+	}
+	reorder1, err := m.Route(colRev)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 2: local twiddle scaling B[k1][n2] = A[k1][n2] * W_N^(n2*k1).
+	vals = m.Values()
+	for node := 0; node < n; node++ {
+		k1, n2 := node/cols, node%cols
+		vals[node] *= planN.Twiddle(n2 * k1)
+	}
+
+	// Step 3: C-point DIF FFT along every row (index n2 = node%cols),
+	// exchanging node bits 0 .. logC-1.
+	preRow := m.Stats().Steps
+	for s := logC - 1; s >= 0; s-- {
+		stage := s
+		err := m.ExchangeCompute(stage, func(self, partner complex128, node int) complex128 {
+			n2 := node % cols
+			if bits.Bit(n2, stage) == 0 {
+				up, _ := fft.Butterfly(self, partner, 1)
+				return up
+			}
+			j2 := bits.SetBit(n2, stage, 0)
+			w := planC.Twiddle(planC.DIFTwiddleExponent(stage, j2))
+			_, lo := fft.Butterfly(partner, self, w)
+			return lo
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	butterflySteps += m.Stats().Steps - preRow
+
+	// Row-local bit reversal: node (k1, n2) -> (k1, rev(n2)).
+	rowRev := make(permute.Permutation, n)
+	for node := range rowRev {
+		k1, n2 := node/cols, node%cols
+		rowRev[node] = k1*cols + bits.Reverse(n2, logC)
+	}
+	reorder2, err := m.Route(rowRev)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 4: final transpose. Node (k1, k2) holds X[k1 + R*k2]; move it
+	// to node k1 + R*k2 so the unload is natural-order.
+	trans := make(permute.Permutation, n)
+	for node := range trans {
+		k1, k2 := node/cols, node%cols
+		trans[node] = k1 + rows*k2
+	}
+	reorder3, err := m.Route(trans)
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]complex128, n)
+	copy(out, m.Values())
+	return &FourStepResult{
+		Output:         out,
+		ButterflySteps: butterflySteps,
+		ReorderSteps:   reorder1 + reorder2 + reorder3,
+		ComputeSteps:   m.Stats().ComputeSteps,
+	}, nil
+}

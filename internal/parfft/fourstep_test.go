@@ -1,0 +1,128 @@
+package parfft
+
+import (
+	"testing"
+
+	"repro/internal/fft"
+	"repro/internal/netsim"
+)
+
+func TestFourStepMatchesSerialFFTAllMachines(t *testing.T) {
+	n := 256
+	x := randomSignal(n, 60)
+	want := fft.MustPlan(n).Forward(x)
+	mesh, _ := netsim.NewMesh[complex128](16, true, netsim.Config{})
+	cube, _ := netsim.NewHypercube[complex128](8, netsim.Config{})
+	hm, _ := netsim.NewHypermesh[complex128](16, 2, netsim.Config{})
+	for _, m := range []netsim.Machine[complex128]{mesh, cube, hm} {
+		res, err := FourStep(m, x, 16, 16)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if d := fft.MaxAbsDiff(res.Output, want); d > tol(n) {
+			t.Fatalf("%s: four-step FFT differs by %g", m.Name(), d)
+		}
+	}
+}
+
+func TestFourStepHypermeshStepCounts(t *testing.T) {
+	// On the 64^2 hypermesh: 12 butterfly steps (each stage one net
+	// permutation), reorders = 1 (column reversal) + 1 (row reversal)
+	// + <= 3 (transpose) <= 5: total <= log N + 5 — two steps worse
+	// than the binary-exchange schedule's log N + 3.
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	n := 4096
+	x := randomSignal(n, 61)
+	want := fft.MustPlan(n).Forward(x)
+	hm, _ := netsim.NewHypermesh[complex128](64, 2, netsim.Config{})
+	res, err := FourStep(hm, x, 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := fft.MaxAbsDiff(res.Output, want); d > tol(n) {
+		t.Fatalf("output differs by %g", d)
+	}
+	if res.ButterflySteps != 12 {
+		t.Fatalf("butterfly steps = %d, want 12", res.ButterflySteps)
+	}
+	if res.ReorderSteps > 5 {
+		t.Fatalf("reorder steps = %d, want <= 5", res.ReorderSteps)
+	}
+
+	// Binary exchange remains the better hypermesh schedule.
+	hm2, _ := netsim.NewHypermesh[complex128](64, 2, netsim.Config{})
+	be, err := Run(hm2, x, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if be.TotalSteps() > res.TotalSteps() {
+		t.Fatalf("binary exchange (%d) should not exceed four-step (%d)",
+			be.TotalSteps(), res.TotalSteps())
+	}
+}
+
+func TestFourStepNonSquareTile(t *testing.T) {
+	// 8 x 32 tiling of a 256-node hypercube.
+	n := 256
+	x := randomSignal(n, 62)
+	want := fft.MustPlan(n).Forward(x)
+	cube, _ := netsim.NewHypercube[complex128](8, netsim.Config{})
+	res, err := FourStep(cube, x, 8, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := fft.MaxAbsDiff(res.Output, want); d > tol(n) {
+		t.Fatalf("non-square four-step differs by %g", d)
+	}
+}
+
+func TestFourStepValidates(t *testing.T) {
+	cube, _ := netsim.NewHypercube[complex128](6, netsim.Config{})
+	if _, err := FourStep(cube, make([]complex128, 64), 7, 9); err == nil {
+		t.Fatal("non power-of-two tile accepted")
+	}
+	if _, err := FourStep(cube, make([]complex128, 64), 4, 8); err == nil {
+		t.Fatal("mismatched tiling accepted")
+	}
+	if _, err := FourStep(cube, make([]complex128, 32), 8, 8); err == nil {
+		t.Fatal("wrong input length accepted")
+	}
+}
+
+func TestHypermeshDimensionLocalFastPath(t *testing.T) {
+	// A within-column permutation must cost exactly one step via Route.
+	hm, _ := netsim.NewHypermesh[complex128](8, 2, netsim.Config{})
+	n := 64
+	p := make([]int, n)
+	for node := range p {
+		r, c := node/8, node%8
+		p[node] = ((r+3)%8)*8 + c // rotate every column by 3
+	}
+	for i := range hm.Values() {
+		hm.Values()[i] = complex(float64(i), 0)
+	}
+	steps, err := hm.Route(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != 1 {
+		t.Fatalf("column-local permutation took %d steps, want 1", steps)
+	}
+	for src, dst := range p {
+		if real(hm.Values()[dst]) != float64(src) {
+			t.Fatalf("misrouted at %d", dst)
+		}
+	}
+}
+
+func BenchmarkFourStepHypermesh4096(b *testing.B) {
+	x := randomSignal(4096, 1)
+	for i := 0; i < b.N; i++ {
+		hm, _ := netsim.NewHypermesh[complex128](64, 2, netsim.Config{})
+		if _, err := FourStep(hm, x, 64, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package parfft
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+	"repro/internal/fft"
+	"repro/internal/layout"
+	"repro/internal/netsim"
+	"repro/internal/permute"
+)
+
+// Result reports one distributed FFT execution.
+type Result struct {
+	// Output is the spectrum in natural order, one bin per element.
+	Output []complex128
+	// ButterflySteps is the number of data-transfer steps consumed by
+	// the log2(N) butterfly stages (the SW-banyan part of Fig. 3).
+	ButterflySteps int
+	// BitReversalSteps is the number of data-transfer steps consumed by
+	// the terminal bit-reversal permutation.
+	BitReversalSteps int
+	// ComputeSteps is the number of parallel computation steps (log N).
+	ComputeSteps int
+}
+
+// TotalSteps returns butterfly plus bit-reversal data-transfer steps —
+// the "total" column of Table 2A.
+func (r *Result) TotalSteps() int { return r.ButterflySteps + r.BitReversalSteps }
+
+// Options controls a distributed FFT run.
+type Options struct {
+	// Layout maps element indices to nodes; nil means RowMajor.
+	Layout layout.Layout
+	// SkipBitReversal leaves the output in bit-reversed order, modelling
+	// the applications of §IV.A for which the reversal is unnecessary.
+	SkipBitReversal bool
+}
+
+// Run executes the N-point FFT of x (N = m.Nodes(), one sample per
+// node) on the simulated machine m and returns the spectrum and step
+// counts. The schedule is the decimation-in-frequency butterfly network
+// of package fft — stage bits descend from log2(N)-1 to 0 — followed by
+// the machine's native bit-reversal routing.
+func Run(m netsim.Machine[complex128], x []complex128, opts Options) (*Result, error) {
+	n := m.Nodes()
+	if len(x) != n {
+		return nil, fmt.Errorf("parfft: input length %d != %d nodes", len(x), n)
+	}
+	if !bits.IsPow2(n) {
+		return nil, fmt.Errorf("parfft: node count %d is not a power of two", n)
+	}
+	logn := bits.Log2(n)
+	lay := opts.Layout
+	if lay == nil {
+		lay = layout.RowMajor(n)
+	}
+	plan, err := fft.NewPlan(n)
+	if err != nil {
+		return nil, err
+	}
+
+	// Load: element e lives at node layout.NodeOf(e). elemAt inverts the
+	// layout so butterfly callbacks can recover their element index.
+	lp := layout.Permutation(lay, n)
+	if err := lp.Validate(); err != nil {
+		return nil, fmt.Errorf("parfft: layout is not a bijection: %w", err)
+	}
+	elemAt := lp.Inverse()
+	vals := m.Values()
+	for e := 0; e < n; e++ {
+		vals[lp[e]] = x[e]
+	}
+	m.ResetStats()
+
+	// Butterfly ranks: DIF pairs element bit `stage` descending.
+	for stage := logn - 1; stage >= 0; stage-- {
+		nodeBit := lay.NodeBit(stage)
+		st := stage
+		err := m.ExchangeCompute(nodeBit, func(self, partner complex128, node int) complex128 {
+			e := elemAt[node]
+			if bits.Bit(e, st) == 0 {
+				upper, _ := fft.Butterfly(self, partner, 1)
+				return upper
+			}
+			j := bits.SetBit(e, st, 0)
+			w := plan.Twiddle(plan.DIFTwiddleExponent(st, j))
+			_, lower := fft.Butterfly(partner, self, w)
+			return lower
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	butterflySteps := m.Stats().Steps
+
+	// The spectrum for element e now sits (bit-reversed) at node lp[e].
+	// Bit-reverse in element space, then unload.
+	reversalSteps := 0
+	if !opts.SkipBitReversal {
+		// Node-space permutation realizing the element-space reversal:
+		// node lp[e] sends to node lp[rev(e)].
+		target := make(permute.Permutation, n)
+		for e := 0; e < n; e++ {
+			target[lp[e]] = lp[bits.Reverse(e, logn)]
+		}
+		switch mm := m.(type) {
+		case *netsim.Hypercube[complex128]:
+			if layout.IsIdentity(lay, n) {
+				reversalSteps, err = mm.RouteBitReversal()
+			} else {
+				reversalSteps, err = mm.Route(target)
+			}
+		default:
+			reversalSteps, err = m.Route(target)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	out := make([]complex128, n)
+	vals = m.Values()
+	if opts.SkipBitReversal {
+		for e := 0; e < n; e++ {
+			out[bits.Reverse(e, logn)] = vals[lp[e]]
+		}
+	} else {
+		for e := 0; e < n; e++ {
+			out[e] = vals[lp[e]]
+		}
+	}
+	return &Result{
+		Output:           out,
+		ButterflySteps:   butterflySteps,
+		BitReversalSteps: reversalSteps,
+		ComputeSteps:     m.Stats().ComputeSteps,
+	}, nil
+}
+
+// Inverse executes the distributed inverse FFT by conjugating on the way
+// in and out and scaling by 1/N, reusing the forward machine schedule —
+// the communication cost is identical to Run's.
+func Inverse(m netsim.Machine[complex128], x []complex128, opts Options) (*Result, error) {
+	n := m.Nodes()
+	if len(x) != n {
+		return nil, fmt.Errorf("parfft: input length %d != %d nodes", len(x), n)
+	}
+	conj := make([]complex128, n)
+	for i, v := range x {
+		conj[i] = complex(real(v), -imag(v))
+	}
+	res, err := Run(m, conj, opts)
+	if err != nil {
+		return nil, err
+	}
+	scale := 1 / float64(n)
+	for i, v := range res.Output {
+		res.Output[i] = complex(real(v)*scale, -imag(v)*scale)
+	}
+	return res, nil
+}

@@ -1,0 +1,313 @@
+package parfft
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fft"
+	"repro/internal/layout"
+	"repro/internal/netsim"
+)
+
+func randomSignal(n int, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func tol(n int) float64 { return 1e-9 * float64(n) }
+
+// machines16 builds the three 16-node machines with complex registers.
+func machines16(t *testing.T) []netsim.Machine[complex128] {
+	t.Helper()
+	mesh, err := netsim.NewMesh[complex128](4, true, netsim.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cube, err := netsim.NewHypercube[complex128](4, netsim.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hm, err := netsim.NewHypermesh[complex128](4, 2, netsim.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []netsim.Machine[complex128]{mesh, cube, hm}
+}
+
+func TestRunMatchesSerialFFTAllMachines(t *testing.T) {
+	x := randomSignal(16, 1)
+	want := fft.MustPlan(16).Forward(x)
+	for _, m := range machines16(t) {
+		res, err := Run(m, x, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if d := fft.MaxAbsDiff(res.Output, want); d > tol(16) {
+			t.Fatalf("%s: distributed FFT differs from serial by %g", m.Name(), d)
+		}
+	}
+}
+
+func TestRunMatchesSerialFFT256(t *testing.T) {
+	n := 256
+	x := randomSignal(n, 2)
+	want := fft.MustPlan(n).Forward(x)
+	mesh, _ := netsim.NewMesh[complex128](16, true, netsim.Config{})
+	cube, _ := netsim.NewHypercube[complex128](8, netsim.Config{})
+	hm, _ := netsim.NewHypermesh[complex128](16, 2, netsim.Config{})
+	for _, m := range []netsim.Machine[complex128]{mesh, cube, hm} {
+		res, err := Run(m, x, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if d := fft.MaxAbsDiff(res.Output, want); d > tol(n) {
+			t.Fatalf("%s: distributed FFT differs by %g", m.Name(), d)
+		}
+	}
+}
+
+func TestRun4096AllMachines(t *testing.T) {
+	// The paper's case-study size: 4K samples on 4K PEs. Verifies both
+	// numerics and the step counts of Table 2A.
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	n := 4096
+	x := randomSignal(n, 3)
+	want := fft.MustPlan(n).Forward(x)
+
+	mesh, _ := netsim.NewMesh[complex128](64, true, netsim.Config{})
+	cube, _ := netsim.NewHypercube[complex128](12, netsim.Config{})
+	hm, _ := netsim.NewHypermesh[complex128](64, 2, netsim.Config{})
+
+	meshRes, err := Run(mesh, x, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := fft.MaxAbsDiff(meshRes.Output, want); d > tol(n) {
+		t.Fatalf("mesh output differs by %g", d)
+	}
+	// §III.B: butterflies cost exactly 2*(sqrt(N)-1) steps.
+	if meshRes.ButterflySteps != 2*63 {
+		t.Fatalf("mesh butterfly steps = %d, want 126", meshRes.ButterflySteps)
+	}
+	// Bit reversal on the torus costs at least sqrt(N)/2 steps (the
+	// paper's optimistic bound).
+	if meshRes.BitReversalSteps < 32 {
+		t.Fatalf("mesh bit-reversal steps = %d, below sqrt(N)/2", meshRes.BitReversalSteps)
+	}
+
+	cubeRes, err := Run(cube, x, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := fft.MaxAbsDiff(cubeRes.Output, want); d > tol(n) {
+		t.Fatalf("hypercube output differs by %g", d)
+	}
+	// §III.A: log N butterfly steps + log N reversal steps.
+	if cubeRes.ButterflySteps != 12 {
+		t.Fatalf("hypercube butterfly steps = %d, want 12", cubeRes.ButterflySteps)
+	}
+	if cubeRes.BitReversalSteps != 12 {
+		t.Fatalf("hypercube bit-reversal steps = %d, want 12", cubeRes.BitReversalSteps)
+	}
+	if cubeRes.TotalSteps() != 24 {
+		t.Fatalf("hypercube total = %d, want 2 log N = 24", cubeRes.TotalSteps())
+	}
+
+	hmRes, err := Run(hm, x, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := fft.MaxAbsDiff(hmRes.Output, want); d > tol(n) {
+		t.Fatalf("hypermesh output differs by %g", d)
+	}
+	// §III.C: log N butterfly steps + at most 3 reversal steps.
+	if hmRes.ButterflySteps != 12 {
+		t.Fatalf("hypermesh butterfly steps = %d, want 12", hmRes.ButterflySteps)
+	}
+	if hmRes.BitReversalSteps > 3 {
+		t.Fatalf("hypermesh bit-reversal steps = %d, want <= 3", hmRes.BitReversalSteps)
+	}
+	if hmRes.TotalSteps() > 15 {
+		t.Fatalf("hypermesh total = %d, want <= log N + 3", hmRes.TotalSteps())
+	}
+
+	// All machines perform the same log N compute steps.
+	for _, r := range []*Result{meshRes, cubeRes, hmRes} {
+		if r.ComputeSteps != 12 {
+			t.Fatalf("compute steps = %d, want 12", r.ComputeSteps)
+		}
+	}
+}
+
+func TestSkipBitReversal(t *testing.T) {
+	n := 64
+	x := randomSignal(n, 4)
+	want := fft.MustPlan(n).Forward(x)
+	hm, _ := netsim.NewHypermesh[complex128](8, 2, netsim.Config{})
+	res, err := Run(hm, x, Options{SkipBitReversal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BitReversalSteps != 0 {
+		t.Fatalf("skip variant spent %d reversal steps", res.BitReversalSteps)
+	}
+	if res.ButterflySteps != 6 {
+		t.Fatalf("butterfly steps = %d, want 6", res.ButterflySteps)
+	}
+	if d := fft.MaxAbsDiff(res.Output, want); d > tol(n) {
+		t.Fatalf("skip variant output differs by %g (host-side unload should reorder)", d)
+	}
+}
+
+func TestShuffledLayoutOnMesh(t *testing.T) {
+	n := 256
+	x := randomSignal(n, 5)
+	want := fft.MustPlan(n).Forward(x)
+	mesh, _ := netsim.NewMesh[complex128](16, true, netsim.Config{})
+	res, err := Run(mesh, x, Options{Layout: layout.ShuffledRowMajor(n)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := fft.MaxAbsDiff(res.Output, want); d > tol(n) {
+		t.Fatalf("shuffled layout output differs by %g", d)
+	}
+	// The shuffled layout also sums to 2*(side-1) butterfly steps:
+	// each axis bit distance 2^t appears twice.
+	if res.ButterflySteps != 2*15 {
+		t.Fatalf("shuffled butterfly steps = %d, want 30", res.ButterflySteps)
+	}
+}
+
+func TestShuffledLayoutBitMapping(t *testing.T) {
+	l := layout.ShuffledRowMajor(64) // 8x8 mesh, 3 axis bits
+	wants := map[int]int{0: 0, 1: 3, 2: 1, 3: 4, 4: 2, 5: 5}
+	for b, want := range wants {
+		if got := l.NodeBit(b); got != want {
+			t.Fatalf("NodeBit(%d) = %d, want %d", b, got, want)
+		}
+	}
+	// NodeOf must be consistent with NodeBit: flipping element bit b
+	// flips node bit NodeBit(b).
+	for e := 0; e < 64; e++ {
+		for b := 0; b < 6; b++ {
+			if l.NodeOf(e^(1<<b)) != l.NodeOf(e)^(1<<l.NodeBit(b)) {
+				t.Fatalf("layout not a bit permutation at e=%d b=%d", e, b)
+			}
+		}
+	}
+}
+
+func TestLayoutPermutationValid(t *testing.T) {
+	for _, l := range []layout.Layout{layout.RowMajor(64), layout.ShuffledRowMajor(64)} {
+		if err := layout.Permutation(l, 64).Validate(); err != nil {
+			t.Fatalf("%s: %v", l.Name(), err)
+		}
+	}
+}
+
+func TestShuffledLayoutRejectsOddLog(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ShuffledRowMajor(32) did not panic")
+		}
+	}()
+	layout.ShuffledRowMajor(32)
+}
+
+func TestInverseRoundTripOnHypermesh(t *testing.T) {
+	n := 256
+	x := randomSignal(n, 6)
+	hm, _ := netsim.NewHypermesh[complex128](16, 2, netsim.Config{})
+	fwd, err := Run(hm, x, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hm2, _ := netsim.NewHypermesh[complex128](16, 2, netsim.Config{})
+	back, err := Inverse(hm2, fwd.Output, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := fft.MaxAbsDiff(back.Output, x); d > tol(n) {
+		t.Fatalf("distributed inverse round trip differs by %g", d)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	hm, _ := netsim.NewHypermesh[complex128](4, 2, netsim.Config{})
+	if _, err := Run(hm, make([]complex128, 8), Options{}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := Inverse(hm, make([]complex128, 8), Options{}); err == nil {
+		t.Fatal("inverse length mismatch accepted")
+	}
+}
+
+func TestImpulseOnAllMachines(t *testing.T) {
+	x := make([]complex128, 16)
+	x[0] = 1
+	for _, m := range machines16(t) {
+		res, err := Run(m, x, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, v := range res.Output {
+			if d := real(v) - 1; d > 1e-12 || d < -1e-12 || imag(v) > 1e-12 || imag(v) < -1e-12 {
+				t.Fatalf("%s: impulse bin %d = %v", m.Name(), k, v)
+			}
+		}
+	}
+}
+
+func TestParallelWorkersProduceSameSpectrum(t *testing.T) {
+	n := 1024
+	x := randomSignal(n, 7)
+	seqM, _ := netsim.NewHypercube[complex128](10, netsim.Config{Workers: 1})
+	parM, _ := netsim.NewHypercube[complex128](10, netsim.Config{Workers: 8})
+	seq, err := Run(seqM, x, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(parM, x, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := fft.MaxAbsDiff(seq.Output, par.Output); d != 0 {
+		t.Fatalf("worker pool changed results by %g", d)
+	}
+}
+
+func BenchmarkDistributedFFTHypermesh4096(b *testing.B) {
+	x := randomSignal(4096, 1)
+	for i := 0; i < b.N; i++ {
+		hm, _ := netsim.NewHypermesh[complex128](64, 2, netsim.Config{})
+		if _, err := Run(hm, x, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDistributedFFTHypercube4096(b *testing.B) {
+	x := randomSignal(4096, 1)
+	for i := 0; i < b.N; i++ {
+		c, _ := netsim.NewHypercube[complex128](12, netsim.Config{})
+		if _, err := Run(c, x, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDistributedFFTMesh4096(b *testing.B) {
+	x := randomSignal(4096, 1)
+	for i := 0; i < b.N; i++ {
+		m, _ := netsim.NewMesh[complex128](64, true, netsim.Config{})
+		if _, err := Run(m, x, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package parfft
+
+import (
+	"testing"
+
+	"repro/internal/fft"
+	"repro/internal/netsim"
+)
+
+// TestFFTOnAlternative4KHypermeshShapes runs the 4096-point FFT on the
+// three hypermesh shapes §IV lists (8^4, 16^3, 64^2). The butterfly
+// stages cost log N = 12 steps on every shape (each address bit lies in
+// some digit, so each exchange is one net permutation), and the bit
+// reversal costs at most 2*dims - 1 steps via the generalized Clos
+// routing — so deeper shapes trade diameter for reversal steps.
+func TestFFTOnAlternative4KHypermeshShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	n := 4096
+	x := randomSignal(n, 40)
+	want := fft.MustPlan(n).Forward(x)
+	for _, c := range []struct{ base, dims int }{{8, 4}, {16, 3}, {64, 2}} {
+		hm, err := netsim.NewHypermesh[complex128](c.base, c.dims, netsim.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(hm, x, Options{})
+		if err != nil {
+			t.Fatalf("%d^%d: %v", c.base, c.dims, err)
+		}
+		if d := fft.MaxAbsDiff(res.Output, want); d > tol(n) {
+			t.Fatalf("%d^%d: output differs by %g", c.base, c.dims, d)
+		}
+		if res.ButterflySteps != 12 {
+			t.Fatalf("%d^%d: butterfly steps = %d, want 12", c.base, c.dims, res.ButterflySteps)
+		}
+		if res.BitReversalSteps > 2*c.dims-1 {
+			t.Fatalf("%d^%d: bit-reversal steps = %d, want <= %d",
+				c.base, c.dims, res.BitReversalSteps, 2*c.dims-1)
+		}
+	}
+}
+
+// TestFFTSmall3DHypermesh exercises the non-square path at a size where
+// no 2D hypermesh exists (N = 2^9): a 8^3 machine.
+func TestFFTSmall3DHypermesh(t *testing.T) {
+	n := 512
+	x := randomSignal(n, 41)
+	want := fft.MustPlan(n).Forward(x)
+	hm, err := netsim.NewHypermesh[complex128](8, 3, netsim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(hm, x, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := fft.MaxAbsDiff(res.Output, want); d > tol(n) {
+		t.Fatalf("output differs by %g", d)
+	}
+	if res.ButterflySteps != 9 || res.BitReversalSteps > 5 {
+		t.Fatalf("steps = %d + %d", res.ButterflySteps, res.BitReversalSteps)
+	}
+}
+
+// TestFFTOnKAryNCubes runs the 4096-point FFT on k-ary n-cube machines
+// — the Dally family between the paper's two extremes. Butterfly steps:
+// dims*(radix-1); the bit reversal is routed (measured).
+func TestFFTOnKAryNCubes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	n := 4096
+	x := randomSignal(n, 45)
+	want := fft.MustPlan(n).Forward(x)
+	for _, c := range []struct {
+		radix, dims   int
+		wantButterfly int
+	}{
+		{2, 12, 12},  // binary hypercube costs
+		{8, 4, 28},   // 8-ary 4-cube
+		{16, 3, 45},  // 16-ary 3-cube
+		{64, 2, 126}, // 64-ary 2-cube = 2D torus costs
+	} {
+		k, err := netsim.NewKAryNCube[complex128](c.radix, c.dims, netsim.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(k, x, Options{})
+		if err != nil {
+			t.Fatalf("%d-ary %d-cube: %v", c.radix, c.dims, err)
+		}
+		if d := fft.MaxAbsDiff(res.Output, want); d > tol(n) {
+			t.Fatalf("%d-ary %d-cube: output differs by %g", c.radix, c.dims, d)
+		}
+		if res.ButterflySteps != c.wantButterfly {
+			t.Fatalf("%d-ary %d-cube: butterfly steps = %d, want %d",
+				c.radix, c.dims, res.ButterflySteps, c.wantButterfly)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bits"
+	"repro/internal/hardware"
+	"repro/internal/topology"
+)
+
+// BitLevelOptions parameterizes the §I bit-level ablation: "Repeating
+// the complexity analysis at the Bit-level ... will yield different
+// results. At the bit-level, O(log N) bits are required just to encode
+// the destination of a packet, and hence the packet transmission time
+// must be O(log N). The propagation delay must be O(L), where L is the
+// length of the transmission line."
+type BitLevelOptions struct {
+	N int
+	// PayloadBits is the data portion of a packet (128 in the paper's
+	// word-level analysis).
+	PayloadBits int
+	// HeaderBitsPerAddressBit scales the O(log N) destination-encoding
+	// overhead; 1 means exactly log2(N) header bits.
+	HeaderBitsPerAddressBit float64
+	// WireDelayPerUnit is the propagation delay, in seconds, per unit of
+	// physical wire length, where one unit is the spacing between
+	// adjacent mesh nodes.
+	WireDelayPerUnit float64
+	Crossbar         hardware.Crossbar
+}
+
+// BitLevelTimes is the per-network communication time under the
+// bit-level model.
+type BitLevelTimes struct {
+	Mesh, Hypercube, Hypermesh float64
+	SpeedupVsMesh              float64
+	SpeedupVsHypercube         float64
+}
+
+// wireLength returns the longest physical wire, in mesh-node units, for
+// each network laid out in the plane: mesh wires are unit length;
+// hypercube dimension-d wires span ~2^(d/2) node spacings (the standard
+// planar embedding); a hypermesh net spans a whole row, sqrt(N) units.
+func wireLength(t topology.Topology, n int) float64 {
+	switch t.(type) {
+	case *topology.Mesh2D:
+		return 1
+	case *topology.Hypercube:
+		return math.Sqrt(float64(n)) / 2
+	case *topology.Hypermesh:
+		return math.Sqrt(float64(n))
+	default:
+		return 1
+	}
+}
+
+// RunBitLevel evaluates the FFT comparison under the bit-level cost
+// model. Packets are (PayloadBits + header) bits long, and every step
+// pays a propagation delay proportional to the longest wire traversed.
+// The point of the ablation is that the hypermesh's advantage shrinks as
+// the address header and wire delays grow, but the networks must be
+// "extremely and unrealistically large before the effects would be
+// noticeable" (§I).
+func RunBitLevel(o BitLevelOptions) (*BitLevelTimes, error) {
+	if o.N == 0 {
+		o.N = 4096
+	}
+	if o.PayloadBits == 0 {
+		o.PayloadBits = hardware.DefaultPacketBits
+	}
+	if o.Crossbar == (hardware.Crossbar{}) {
+		o.Crossbar = hardware.GaAs64
+	}
+	if !bits.IsPow2(o.N) {
+		return nil, fmt.Errorf("perfmodel: bit-level N %d not a power of two", o.N)
+	}
+	side, err := Sqrt(o.N)
+	if err != nil {
+		return nil, err
+	}
+	header := o.HeaderBitsPerAddressBit * float64(bits.Log2(o.N))
+	packetBits := float64(o.PayloadBits) + header
+
+	eval := func(t topology.Topology, steps int) (float64, error) {
+		m := hardware.NewModel(t)
+		m.Xbar = o.Crossbar
+		bw, err := m.LinkBandwidth()
+		if err != nil {
+			return 0, err
+		}
+		step := packetBits/bw + o.WireDelayPerUnit*wireLength(t, o.N)
+		return float64(steps) * step, nil
+	}
+
+	meshSteps, err := MeshFFTStepsPaper(o.N)
+	if err != nil {
+		return nil, err
+	}
+	cubeSteps, _ := HypercubeFFTSteps(o.N)
+	hmSteps, _ := HypermeshFFTSteps(o.N)
+
+	out := &BitLevelTimes{}
+	if out.Mesh, err = eval(topology.NewMesh2D(side, true), meshSteps.Total()); err != nil {
+		return nil, err
+	}
+	if out.Hypercube, err = eval(topology.NewHypercubeForNodes(o.N), cubeSteps.Total()); err != nil {
+		return nil, err
+	}
+	if out.Hypermesh, err = eval(topology.NewHypermesh(side, 2), hmSteps.Total()); err != nil {
+		return nil, err
+	}
+	out.SpeedupVsMesh = out.Mesh / out.Hypermesh
+	out.SpeedupVsHypercube = out.Hypercube / out.Hypermesh
+	return out, nil
+}

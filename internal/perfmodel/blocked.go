@@ -1,0 +1,142 @@
+package perfmodel
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+)
+
+// BlockedFFTSteps extends the paper's one-sample-per-PE analysis to the
+// practical regime N > P: an N-point FFT on P processors with the block
+// layout (PE p holds samples p*B .. p*B+B-1, B = N/P). The low
+// log2(B) butterfly stages are then PE-local (no communication); each of
+// the high log2(P) stages exchanges every PE's whole block with its
+// partner across one PE-address bit.
+//
+// Per-network accounting at the word level:
+//
+//   - hypercube: each remote stage streams B packets over one link
+//     (B steps); the bit reversal reuses the bit-transposition schedule
+//     with B packets per swap: ~B*log P more. Total ~2*B*log P.
+//   - 2D hypermesh: each remote stage is B consecutive net permutations
+//     (B steps); the reversal is <= 3 phases of B net permutations each:
+//     total <= B*(log P + 3) — the Table 2A shape scaled by B.
+//   - 2D mesh: a remote stage at PE distance d pipelines B packets over
+//     d links in d + B - 1 steps; summed over both axes the butterfly
+//     costs 2*(sqrt(P)-1) + 2*(log2(sqrt P))*(B-1), and the optimistic
+//     wraparound reversal adds sqrt(P)/2 + B - 1.
+type BlockedFFTSteps struct {
+	Network string
+	// LocalStages is the number of communication-free butterfly stages.
+	LocalStages int
+	// Butterfly is the data-transfer steps of the remote stages.
+	Butterfly int
+	// BitReversal is the data-transfer steps of the output permutation.
+	BitReversal int
+}
+
+// Total returns Butterfly + BitReversal.
+func (s BlockedFFTSteps) Total() int { return s.Butterfly + s.BitReversal }
+
+// blockedParams validates and splits the problem sizes.
+func blockedParams(n, p int) (blockSize int, err error) {
+	if !bits.IsPow2(n) || !bits.IsPow2(p) {
+		return 0, fmt.Errorf("perfmodel: blocked FFT needs power-of-two N and P, got %d, %d", n, p)
+	}
+	if p > n {
+		return 0, fmt.Errorf("perfmodel: more processors (%d) than samples (%d)", p, n)
+	}
+	return n / p, nil
+}
+
+// BlockedHypercubeFFTSteps returns the blocked-layout cost on a
+// hypercube of P nodes.
+func BlockedHypercubeFFTSteps(n, p int) (BlockedFFTSteps, error) {
+	b, err := blockedParams(n, p)
+	if err != nil {
+		return BlockedFFTSteps{}, err
+	}
+	logP := bits.Log2(p)
+	return BlockedFFTSteps{
+		Network:     "Hypercube",
+		LocalStages: bits.Log2(b),
+		Butterfly:   b * logP,
+		BitReversal: b * logP,
+	}, nil
+}
+
+// BlockedHypermeshFFTSteps returns the blocked-layout cost on a 2D
+// hypermesh of P nodes (P a perfect square).
+func BlockedHypermeshFFTSteps(n, p int) (BlockedFFTSteps, error) {
+	b, err := blockedParams(n, p)
+	if err != nil {
+		return BlockedFFTSteps{}, err
+	}
+	if _, err := Sqrt(p); err != nil {
+		return BlockedFFTSteps{}, err
+	}
+	logP := bits.Log2(p)
+	return BlockedFFTSteps{
+		Network:     "2D Hypermesh",
+		LocalStages: bits.Log2(b),
+		Butterfly:   b * logP,
+		BitReversal: 3 * b,
+	}, nil
+}
+
+// BlockedMeshFFTSteps returns the blocked-layout cost on a 2D torus of
+// P nodes (P a perfect square) with pipelined block streaming.
+func BlockedMeshFFTSteps(n, p int) (BlockedFFTSteps, error) {
+	b, err := blockedParams(n, p)
+	if err != nil {
+		return BlockedFFTSteps{}, err
+	}
+	side, err := Sqrt(p)
+	if err != nil {
+		return BlockedFFTSteps{}, err
+	}
+	axBits := bits.Log2(side)
+	butterfly := 0
+	for bit := 0; bit < 2*axBits; bit++ {
+		d := 1 << uint(bit%axBits)
+		butterfly += d + b - 1 // pipeline B packets over d links
+	}
+	return BlockedFFTSteps{
+		Network:     "2D Mesh",
+		LocalStages: bits.Log2(b),
+		Butterfly:   butterfly,
+		BitReversal: side/2 + b - 1,
+	}, nil
+}
+
+// BlockedComparison evaluates all three networks at (n, p) and returns
+// the hypermesh's step-count advantages; the hardware normalization of
+// RunCaseStudy applies on top unchanged, so step ratios scaled by the
+// per-network step times give the time speedups.
+type BlockedComparison struct {
+	Mesh, Hypercube, Hypermesh BlockedFFTSteps
+	StepRatioVsMesh            float64
+	StepRatioVsHypercube       float64
+}
+
+// RunBlockedComparison computes the blocked comparison for an N-point
+// FFT on P processors.
+func RunBlockedComparison(n, p int) (*BlockedComparison, error) {
+	mesh, err := BlockedMeshFFTSteps(n, p)
+	if err != nil {
+		return nil, err
+	}
+	cube, err := BlockedHypercubeFFTSteps(n, p)
+	if err != nil {
+		return nil, err
+	}
+	hm, err := BlockedHypermeshFFTSteps(n, p)
+	if err != nil {
+		return nil, err
+	}
+	return &BlockedComparison{
+		Mesh: mesh, Hypercube: cube, Hypermesh: hm,
+		StepRatioVsMesh:      float64(mesh.Total()) / float64(hm.Total()),
+		StepRatioVsHypercube: float64(cube.Total()) / float64(hm.Total()),
+	}, nil
+}

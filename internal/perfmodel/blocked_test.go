@@ -1,0 +1,181 @@
+package perfmodel
+
+import "testing"
+
+func TestBlockedDegeneratesToOneSamplePerPE(t *testing.T) {
+	// With P = N the blocked model must coincide with Table 2A.
+	cube, err := BlockedHypercubeFFTSteps(4096, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cube.LocalStages != 0 || cube.Butterfly != 12 || cube.BitReversal != 12 {
+		t.Fatalf("hypercube blocked at P=N: %+v", cube)
+	}
+	hm, _ := BlockedHypermeshFFTSteps(4096, 4096)
+	if hm.Butterfly != 12 || hm.BitReversal != 3 {
+		t.Fatalf("hypermesh blocked at P=N: %+v", hm)
+	}
+	mesh, _ := BlockedMeshFFTSteps(4096, 4096)
+	if mesh.Butterfly != 2*63 {
+		t.Fatalf("mesh blocked at P=N butterfly: %+v", mesh)
+	}
+	if mesh.BitReversal != 32 {
+		t.Fatalf("mesh blocked at P=N reversal: %+v", mesh)
+	}
+}
+
+func TestBlockedScalesWithBlockSize(t *testing.T) {
+	// 64K samples on 4K PEs: block size 16.
+	cmp, err := RunBlockedComparison(65536, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Hypercube.LocalStages != 4 {
+		t.Fatalf("local stages = %d, want 4", cmp.Hypercube.LocalStages)
+	}
+	if cmp.Hypercube.Butterfly != 16*12 {
+		t.Fatalf("hypercube butterfly = %d", cmp.Hypercube.Butterfly)
+	}
+	if cmp.Hypermesh.Total() != 16*12+48 {
+		t.Fatalf("hypermesh total = %d", cmp.Hypermesh.Total())
+	}
+	// The hypermesh's step advantage persists in the blocked regime.
+	if cmp.StepRatioVsHypercube < 1.5 {
+		t.Fatalf("blocked step ratio vs hypercube = %v", cmp.StepRatioVsHypercube)
+	}
+	if cmp.StepRatioVsMesh < 1 {
+		t.Fatalf("blocked step ratio vs mesh = %v", cmp.StepRatioVsMesh)
+	}
+}
+
+func TestBlockedPipeliningHelpsMesh(t *testing.T) {
+	// The mesh amortizes its distances over the block stream, so its
+	// step ratio versus the hypermesh shrinks as blocks grow — the mesh
+	// is relatively better at large N/P (bandwidth-bound), which is the
+	// honest flip side of the paper's latency-bound comparison.
+	small, err := RunBlockedComparison(4096, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := RunBlockedComparison(1<<20, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.StepRatioVsMesh >= small.StepRatioVsMesh {
+		t.Fatalf("mesh ratio did not shrink: %v -> %v", small.StepRatioVsMesh, big.StepRatioVsMesh)
+	}
+	// Versus the hypercube the advantage approaches (2 log P)/(log P + 3)
+	// from above as B grows.
+	want := 24.0 / 15.0
+	if big.StepRatioVsHypercube < want-0.05 || big.StepRatioVsHypercube > 2 {
+		t.Fatalf("big-block ratio vs hypercube = %v", big.StepRatioVsHypercube)
+	}
+}
+
+func TestBlockedValidation(t *testing.T) {
+	if _, err := BlockedHypercubeFFTSteps(100, 10); err == nil {
+		t.Fatal("non power of two accepted")
+	}
+	if _, err := BlockedHypercubeFFTSteps(1024, 4096); err == nil {
+		t.Fatal("P > N accepted")
+	}
+	if _, err := BlockedHypermeshFFTSteps(4096, 2048); err == nil {
+		t.Fatal("non-square P accepted for hypermesh")
+	}
+	if _, err := BlockedMeshFFTSteps(4096, 2048); err == nil {
+		t.Fatal("non-square P accepted for mesh")
+	}
+	if _, err := RunBlockedComparison(4096, 2048); err == nil {
+		t.Fatal("comparison with non-square P accepted")
+	}
+}
+
+func TestCrossoverVsMesh(t *testing.T) {
+	// The hypermesh passes 10x over the mesh somewhere below the 4K
+	// case-study size and 26x at 4K itself.
+	c, err := FindCrossoverVsMesh(10, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N == 0 || c.N > 4096 {
+		t.Fatalf("10x crossover at N = %d", c.N)
+	}
+	c26, err := FindCrossoverVsMesh(26, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c26.N != 4096 {
+		t.Fatalf("26x crossover at N = %d, want 4096", c26.N)
+	}
+}
+
+func TestCrossoverVsHypercube(t *testing.T) {
+	c, err := FindCrossoverVsHypercube(10, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N != 4096 {
+		t.Fatalf("10x hypercube crossover at N = %d, want 4096", c.N)
+	}
+	// An absurd threshold is never met within the sweep.
+	never, err := FindCrossoverVsHypercube(1000, 6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if never.N != 0 {
+		t.Fatalf("impossible threshold met at N = %d", never.N)
+	}
+}
+
+func TestCrossoverValidates(t *testing.T) {
+	if _, err := FindCrossoverVsMesh(0, 8, 0); err == nil {
+		t.Fatal("zero threshold accepted")
+	}
+	if _, err := FindCrossoverVsMesh(2, 99, 0); err == nil {
+		t.Fatal("huge maxK accepted")
+	}
+}
+
+func TestKAryNCubeFFTStepsEndpoints(t *testing.T) {
+	// Radix 2 = hypercube butterfly cost; radix sqrt(N), dims 2 = torus.
+	cube, err := KAryNCubeFFTSteps(2, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cube.Butterfly != 12 || cube.BitReversal != 12 {
+		t.Fatalf("binary endpoint %+v", cube)
+	}
+	torus, _ := KAryNCubeFFTSteps(64, 2)
+	if torus.Butterfly != 126 || torus.BitReversal != 64 {
+		t.Fatalf("torus endpoint %+v", torus)
+	}
+	mid, _ := KAryNCubeFFTSteps(8, 4)
+	if mid.Butterfly != 28 || mid.BitReversal != 16 {
+		t.Fatalf("8^4 %+v", mid)
+	}
+	if _, err := KAryNCubeFFTSteps(1, 2); err == nil {
+		t.Fatal("radix 1 accepted")
+	}
+}
+
+func TestKAryNCubeCaseStudyInterpolates(t *testing.T) {
+	// At N = 4096 the Dally-family times sit between (or near) the
+	// paper's torus and hypercube endpoints, and the hypermesh beats
+	// every member.
+	var prevTime float64
+	for _, c := range []struct{ radix, dims int }{{2, 12}, {8, 4}, {64, 2}} {
+		cube, hmTime, err := KAryNCubeCaseStudy(c.radix, c.dims, CaseStudyOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cube.CommTime <= hmTime {
+			t.Fatalf("%d^%d: k-ary cube (%v) not slower than hypermesh (%v)",
+				c.radix, c.dims, cube.CommTime, hmTime)
+		}
+		if cube.CommTime < prevTime {
+			t.Fatalf("%d^%d: time %v decreased below previous %v — expected higher-radix members to slow down",
+				c.radix, c.dims, cube.CommTime, prevTime)
+		}
+		prevTime = cube.CommTime
+	}
+}

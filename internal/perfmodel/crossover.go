@@ -1,0 +1,59 @@
+package perfmodel
+
+import (
+	"fmt"
+
+	"repro/internal/hardware"
+)
+
+// Crossover reports where, as N grows, the hypermesh's advantage over a
+// rival network first exceeds a threshold — the "where crossovers fall"
+// view of the comparison. The sweep walks square power-of-two sizes
+// (4^k), scaling the crossbar degree with sqrt(N) where the GaAs part is
+// too small, which preserves the paper's equal-aggregate-bandwidth
+// normalization.
+type Crossover struct {
+	// N is the first swept size at which the speedup meets the
+	// threshold; 0 if the threshold is never met within the sweep.
+	N int
+	// Speedup is the hypermesh speedup at that size.
+	Speedup float64
+}
+
+// FindCrossoverVsMesh sweeps N = 4^k for k in [2, maxK] and returns the
+// first size where the hypermesh beats the mesh by at least the
+// threshold factor.
+func FindCrossoverVsMesh(threshold float64, maxK int, prop float64) (*Crossover, error) {
+	return findCrossover(threshold, maxK, prop, func(cs *CaseStudy) float64 { return cs.SpeedupVsMesh })
+}
+
+// FindCrossoverVsHypercube sweeps N = 4^k and returns the first size
+// where the hypermesh beats the hypercube by at least the threshold.
+func FindCrossoverVsHypercube(threshold float64, maxK int, prop float64) (*Crossover, error) {
+	return findCrossover(threshold, maxK, prop, func(cs *CaseStudy) float64 { return cs.SpeedupVsHypercube })
+}
+
+func findCrossover(threshold float64, maxK int, prop float64, pick func(*CaseStudy) float64) (*Crossover, error) {
+	if threshold <= 0 {
+		return nil, fmt.Errorf("perfmodel: threshold %v must be positive", threshold)
+	}
+	if maxK < 2 || maxK > 15 {
+		return nil, fmt.Errorf("perfmodel: maxK %d out of [2,15]", maxK)
+	}
+	for k := 2; k <= maxK; k++ {
+		n := 1 << uint(2*k)
+		side := 1 << uint(k)
+		xbar := hardware.GaAs64
+		if side > xbar.Degree {
+			xbar = hardware.Crossbar{Degree: side, PinBandwidth: hardware.GaAs64.PinBandwidth}
+		}
+		cs, err := RunCaseStudy(CaseStudyOptions{N: n, Crossbar: xbar, PropDelay: prop})
+		if err != nil {
+			return nil, err
+		}
+		if s := pick(cs); s >= threshold {
+			return &Crossover{N: n, Speedup: s}, nil
+		}
+	}
+	return &Crossover{}, nil
+}

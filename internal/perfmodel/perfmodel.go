@@ -1,0 +1,304 @@
+// Package perfmodel is the closed-form analytical model of the paper:
+// it reproduces every table (1A, 1B, 2A, 2B), the §IV 4K-processor case
+// study with and without propagation delays, the §V bisection-bandwidth
+// comparison, and the §I bit-level ablation. The netsim/parfft packages
+// measure the same quantities by simulation; the test suites pin the two
+// against each other.
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bits"
+	"repro/internal/hardware"
+	"repro/internal/topology"
+)
+
+// Sqrt returns sqrt(n) for a perfect square n, erroring otherwise; the
+// paper's mesh and 2D-hypermesh formulas are all in terms of sqrt(N).
+func Sqrt(n int) (int, error) {
+	r := int(math.Round(math.Sqrt(float64(n))))
+	if r*r != n {
+		return 0, fmt.Errorf("perfmodel: %d is not a perfect square", n)
+	}
+	return r, nil
+}
+
+// FFTSteps is the Table 2A row for one network: data-transfer steps of
+// the N-point FFT with one sample per PE.
+type FFTSteps struct {
+	Network string
+	// Butterfly is the steps for the log N butterfly ranks.
+	Butterfly int
+	// BitReversal is the steps for the terminal bit-reversal.
+	BitReversal int
+}
+
+// Total returns Butterfly + BitReversal.
+func (s FFTSteps) Total() int { return s.Butterfly + s.BitReversal }
+
+// MeshFFTSteps returns the 2D-mesh row of Table 2A: 2(sqrt(N)-1)
+// butterfly steps plus the optimistic sqrt(N)/2 bit-reversal the paper
+// grants the mesh when wraparound links are available.
+func MeshFFTSteps(n int) (FFTSteps, error) {
+	s, err := Sqrt(n)
+	if err != nil {
+		return FFTSteps{}, err
+	}
+	return FFTSteps{Network: "2D Mesh", Butterfly: 2 * (s - 1), BitReversal: s / 2}, nil
+}
+
+// MeshFFTStepsPaper returns the step count the paper actually plugs into
+// eq. (2): a flat 5/2*sqrt(N), i.e. 2*sqrt(N) butterfly steps (dropping
+// the -2) plus sqrt(N)/2 reversal steps.
+func MeshFFTStepsPaper(n int) (FFTSteps, error) {
+	s, err := Sqrt(n)
+	if err != nil {
+		return FFTSteps{}, err
+	}
+	return FFTSteps{Network: "2D Mesh", Butterfly: 2 * s, BitReversal: s / 2}, nil
+}
+
+// HypercubeFFTSteps returns the hypercube row of Table 2A: log N
+// butterfly steps plus log N bit-reversal steps.
+func HypercubeFFTSteps(n int) (FFTSteps, error) {
+	if !bits.IsPow2(n) {
+		return FFTSteps{}, fmt.Errorf("perfmodel: %d is not a power of two", n)
+	}
+	k := bits.Log2(n)
+	return FFTSteps{Network: "Hypercube", Butterfly: k, BitReversal: k}, nil
+}
+
+// HypermeshFFTSteps returns the 2D-hypermesh row of Table 2A: log N
+// butterfly steps plus at most 3 bit-reversal steps.
+func HypermeshFFTSteps(n int) (FFTSteps, error) {
+	if !bits.IsPow2(n) {
+		return FFTSteps{}, fmt.Errorf("perfmodel: %d is not a power of two", n)
+	}
+	return FFTSteps{Network: "2D Hypermesh", Butterfly: bits.Log2(n), BitReversal: 3}, nil
+}
+
+// NetworkTimes is one network's entry in the §IV comparison.
+type NetworkTimes struct {
+	Network     string
+	Steps       int
+	StepTime    float64 // seconds per data-transfer step (incl. prop delay)
+	CommTime    float64 // Steps * StepTime
+	LinkBW      float64 // bits/second per inter-PE link
+	PinsPerLink float64
+}
+
+// CaseStudyOptions parameterizes the §IV comparison.
+type CaseStudyOptions struct {
+	// N is the transform and machine size (the paper uses 4096).
+	N int
+	// Crossbar is the switch IC; zero value means hardware.GaAs64.
+	Crossbar hardware.Crossbar
+	// PacketBits is the packet size; 0 means 128.
+	PacketBits int
+	// PropDelay, when positive, is added to every hypermesh and
+	// hypercube step (§IV.B: their wires are long); the mesh's
+	// nearest-neighbour wires are assumed short.
+	PropDelay float64
+	// SkipBitReversal drops the reversal steps on every network (the
+	// "if the bit-reversal is not needed" variant of §IV.A).
+	SkipBitReversal bool
+	// ExactMeshSteps uses 2(sqrt N -1) butterfly steps instead of the
+	// paper's rounded 2 sqrt N.
+	ExactMeshSteps bool
+}
+
+func (o CaseStudyOptions) normalize() CaseStudyOptions {
+	if o.N == 0 {
+		o.N = 4096
+	}
+	if o.Crossbar == (hardware.Crossbar{}) {
+		o.Crossbar = hardware.GaAs64
+	}
+	if o.PacketBits == 0 {
+		o.PacketBits = hardware.DefaultPacketBits
+	}
+	return o
+}
+
+// CaseStudy reports the §IV comparison.
+type CaseStudy struct {
+	Mesh, Hypercube, Hypermesh NetworkTimes
+	// SpeedupVsMesh and SpeedupVsHypercube are the hypermesh's ratios —
+	// the paper's headline 26.6 and 10.4 (13.3 and 6 with propagation
+	// delay).
+	SpeedupVsMesh      float64
+	SpeedupVsHypercube float64
+}
+
+// RunCaseStudy evaluates the §IV FFT comparison analytically.
+func RunCaseStudy(o CaseStudyOptions) (*CaseStudy, error) {
+	o = o.normalize()
+	side, err := Sqrt(o.N)
+	if err != nil {
+		return nil, err
+	}
+
+	var meshSteps FFTSteps
+	if o.ExactMeshSteps {
+		meshSteps, err = MeshFFTSteps(o.N)
+	} else {
+		meshSteps, err = MeshFFTStepsPaper(o.N)
+	}
+	if err != nil {
+		return nil, err
+	}
+	cubeSteps, err := HypercubeFFTSteps(o.N)
+	if err != nil {
+		return nil, err
+	}
+	hmSteps, err := HypermeshFFTSteps(o.N)
+	if err != nil {
+		return nil, err
+	}
+	if o.SkipBitReversal {
+		meshSteps.BitReversal = 0
+		cubeSteps.BitReversal = 0
+		hmSteps.BitReversal = 0
+	}
+
+	eval := func(t topology.Topology, steps FFTSteps, prop float64) (NetworkTimes, error) {
+		m := hardware.NewModel(t)
+		m.Xbar = o.Crossbar
+		m.PacketBits = o.PacketBits
+		m.PropDelay = prop
+		st, err := m.StepTime()
+		if err != nil {
+			return NetworkTimes{}, err
+		}
+		bw, err := m.LinkBandwidth()
+		if err != nil {
+			return NetworkTimes{}, err
+		}
+		pins, err := m.PinsPerLink()
+		if err != nil {
+			return NetworkTimes{}, err
+		}
+		return NetworkTimes{
+			Network:     steps.Network,
+			Steps:       steps.Total(),
+			StepTime:    st,
+			CommTime:    float64(steps.Total()) * st,
+			LinkBW:      bw,
+			PinsPerLink: pins,
+		}, nil
+	}
+
+	cs := &CaseStudy{}
+	if cs.Mesh, err = eval(topology.NewMesh2D(side, true), meshSteps, 0); err != nil {
+		return nil, err
+	}
+	if cs.Hypercube, err = eval(topology.NewHypercubeForNodes(o.N), cubeSteps, o.PropDelay); err != nil {
+		return nil, err
+	}
+	if cs.Hypermesh, err = eval(topology.NewHypermesh(side, 2), hmSteps, o.PropDelay); err != nil {
+		return nil, err
+	}
+	cs.SpeedupVsMesh = cs.Mesh.CommTime / cs.Hypermesh.CommTime
+	cs.SpeedupVsHypercube = cs.Hypercube.CommTime / cs.Hypermesh.CommTime
+	return cs, nil
+}
+
+// BitonicCaseStudy evaluates the §IV.A aside: the bitonic sort on the
+// same three 4K machines. steps per network are supplied by the caller
+// (package bitonic computes them from its schedule); this function only
+// applies the hardware normalization.
+func BitonicCaseStudy(n, meshSteps, cubeSteps, hmSteps int, o CaseStudyOptions) (*CaseStudy, error) {
+	o = o.normalize()
+	o.N = n
+	side, err := Sqrt(n)
+	if err != nil {
+		return nil, err
+	}
+	eval := func(t topology.Topology, steps int, name string, prop float64) (NetworkTimes, error) {
+		m := hardware.NewModel(t)
+		m.Xbar = o.Crossbar
+		m.PacketBits = o.PacketBits
+		m.PropDelay = prop
+		st, err := m.StepTime()
+		if err != nil {
+			return NetworkTimes{}, err
+		}
+		bw, _ := m.LinkBandwidth()
+		pins, _ := m.PinsPerLink()
+		return NetworkTimes{Network: name, Steps: steps, StepTime: st,
+			CommTime: float64(steps) * st, LinkBW: bw, PinsPerLink: pins}, nil
+	}
+	cs := &CaseStudy{}
+	if cs.Mesh, err = eval(topology.NewMesh2D(side, true), meshSteps, "2D Mesh", 0); err != nil {
+		return nil, err
+	}
+	if cs.Hypercube, err = eval(topology.NewHypercubeForNodes(n), cubeSteps, "Hypercube", o.PropDelay); err != nil {
+		return nil, err
+	}
+	if cs.Hypermesh, err = eval(topology.NewHypermesh(side, 2), hmSteps, "2D Hypermesh", o.PropDelay); err != nil {
+		return nil, err
+	}
+	cs.SpeedupVsMesh = cs.Mesh.CommTime / cs.Hypermesh.CommTime
+	cs.SpeedupVsHypercube = cs.Hypercube.CommTime / cs.Hypermesh.CommTime
+	return cs, nil
+}
+
+// KAryNCubeFFTSteps returns the FFT step accounting for a radix^dims
+// k-ary n-cube (Dally's family, paper §I): each digit's butterfly bits
+// cost ring distances summing to radix-1, so the butterfly half costs
+// dims*(radix-1) steps; the terminal bit reversal is lower-bounded by
+// the torus diameter dims*(radix/2). Radix 2 reproduces the hypercube
+// row and radix sqrt(N), dims 2 the torus row.
+func KAryNCubeFFTSteps(radix, dims int) (FFTSteps, error) {
+	if radix < 2 || dims < 1 {
+		return FFTSteps{}, fmt.Errorf("perfmodel: invalid k-ary n-cube shape %d^%d", radix, dims)
+	}
+	return FFTSteps{
+		Network:     fmt.Sprintf("%d-ary %d-cube", radix, dims),
+		Butterfly:   dims * (radix - 1),
+		BitReversal: dims * (radix / 2),
+	}, nil
+}
+
+// KAryNCubeCaseStudy prices the k-ary n-cube FFT under the §IV
+// normalization and returns its communication time alongside the
+// hypermesh's for the same N, giving the Dally-family interpolation
+// between the paper's mesh and hypercube endpoints.
+func KAryNCubeCaseStudy(radix, dims int, o CaseStudyOptions) (cube NetworkTimes, hypermeshTime float64, err error) {
+	o = o.normalize()
+	n := bits.Pow(radix, dims)
+	steps, err := KAryNCubeFFTSteps(radix, dims)
+	if err != nil {
+		return NetworkTimes{}, 0, err
+	}
+	m := hardware.NewModel(topology.NewKAryNCube(radix, dims))
+	m.Xbar = o.Crossbar
+	m.PacketBits = o.PacketBits
+	m.PropDelay = o.PropDelay
+	st, err := m.StepTime()
+	if err != nil {
+		return NetworkTimes{}, 0, err
+	}
+	bw, _ := m.LinkBandwidth()
+	pins, _ := m.PinsPerLink()
+	cube = NetworkTimes{
+		Network: steps.Network, Steps: steps.Total(), StepTime: st,
+		CommTime: float64(steps.Total()) * st, LinkBW: bw, PinsPerLink: pins,
+	}
+	side, err := Sqrt(n)
+	if err != nil {
+		return NetworkTimes{}, 0, err
+	}
+	hm := hardware.NewModel(topology.NewHypermesh(side, 2))
+	hm.Xbar = o.Crossbar
+	hm.PacketBits = o.PacketBits
+	hm.PropDelay = o.PropDelay
+	hmStep, err := hm.StepTime()
+	if err != nil {
+		return NetworkTimes{}, 0, err
+	}
+	hmSteps, _ := HypermeshFFTSteps(n)
+	return cube, float64(hmSteps.Total()) * hmStep, nil
+}

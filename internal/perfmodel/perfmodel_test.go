@@ -1,0 +1,395 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bitonic"
+	"repro/internal/hardware"
+	"repro/internal/layout"
+)
+
+func approx(got, want, relTol float64) bool {
+	return math.Abs(got-want) <= relTol*math.Abs(want)
+}
+
+func TestSqrt(t *testing.T) {
+	if s, err := Sqrt(4096); err != nil || s != 64 {
+		t.Fatalf("Sqrt(4096) = %d, %v", s, err)
+	}
+	if _, err := Sqrt(48); err == nil {
+		t.Fatal("Sqrt(48) accepted")
+	}
+}
+
+func TestTable2AStepCounts(t *testing.T) {
+	// Table 2A at N = 4096: mesh >= 5/2 sqrt(N) = 160 (paper variant),
+	// hypercube 2 log N = 24, hypermesh <= log N + 3 = 15.
+	mesh, err := MeshFFTStepsPaper(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mesh.Total() != 160 {
+		t.Fatalf("mesh paper steps = %d, want 160", mesh.Total())
+	}
+	exact, _ := MeshFFTSteps(4096)
+	if exact.Butterfly != 126 || exact.BitReversal != 32 {
+		t.Fatalf("mesh exact steps = %+v", exact)
+	}
+	cube, _ := HypercubeFFTSteps(4096)
+	if cube.Total() != 24 || cube.Butterfly != 12 || cube.BitReversal != 12 {
+		t.Fatalf("hypercube steps = %+v", cube)
+	}
+	hm, _ := HypermeshFFTSteps(4096)
+	if hm.Total() != 15 || hm.BitReversal != 3 {
+		t.Fatalf("hypermesh steps = %+v", hm)
+	}
+}
+
+func TestCaseStudyNoPropagationDelayMatchesPaper(t *testing.T) {
+	// §IV.A: mesh 8 µs, hypercube 3.12 µs, hypermesh 0.3 µs;
+	// speedups 26.6 and 10.4.
+	cs, err := RunCaseStudy(CaseStudyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(cs.Mesh.CommTime, 8e-6, 1e-9) {
+		t.Fatalf("mesh comm time = %v, want 8 µs", cs.Mesh.CommTime)
+	}
+	if !approx(cs.Hypercube.CommTime, 3.12e-6, 1e-3) {
+		t.Fatalf("hypercube comm time = %v, want 3.12 µs", cs.Hypercube.CommTime)
+	}
+	if !approx(cs.Hypermesh.CommTime, 0.3e-6, 1e-9) {
+		t.Fatalf("hypermesh comm time = %v, want 0.3 µs", cs.Hypermesh.CommTime)
+	}
+	if !approx(cs.SpeedupVsMesh, 26.6, 0.01) {
+		t.Fatalf("speedup vs mesh = %v, want ~26.6", cs.SpeedupVsMesh)
+	}
+	if !approx(cs.SpeedupVsHypercube, 10.4, 0.01) {
+		t.Fatalf("speedup vs hypercube = %v, want ~10.4", cs.SpeedupVsHypercube)
+	}
+	// Step times quoted in §IV: 50 ns, 130 ns, 20 ns.
+	if !approx(cs.Mesh.StepTime, 50e-9, 1e-9) {
+		t.Fatalf("mesh step time = %v", cs.Mesh.StepTime)
+	}
+	if !approx(cs.Hypercube.StepTime, 130e-9, 1e-3) {
+		t.Fatalf("hypercube step time = %v", cs.Hypercube.StepTime)
+	}
+	if !approx(cs.Hypermesh.StepTime, 20e-9, 1e-9) {
+		t.Fatalf("hypermesh step time = %v", cs.Hypermesh.StepTime)
+	}
+}
+
+func TestCaseStudyWithPropagationDelayMatchesPaper(t *testing.T) {
+	// §IV.B: with a 20 ns propagation delay on hypermesh and hypercube,
+	// speedups become 13.3 and 6.
+	cs, err := RunCaseStudy(CaseStudyOptions{PropDelay: hardware.DefaultPropDelay})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(cs.SpeedupVsMesh, 13.3, 0.01) {
+		t.Fatalf("speedup vs mesh = %v, want ~13.3", cs.SpeedupVsMesh)
+	}
+	if !approx(cs.SpeedupVsHypercube, 6.0, 0.01) {
+		t.Fatalf("speedup vs hypercube = %v, want ~6", cs.SpeedupVsHypercube)
+	}
+	// Hypermesh: 15 steps at 40 ns = 0.6 µs.
+	if !approx(cs.Hypermesh.CommTime, 0.6e-6, 1e-9) {
+		t.Fatalf("hypermesh comm time with delay = %v", cs.Hypermesh.CommTime)
+	}
+}
+
+func TestCaseStudySkipBitReversal(t *testing.T) {
+	// §IV.A aside: without the bit-reversal "the figures become 26.6 and
+	// 6.5 respectively".
+	cs, err := RunCaseStudy(CaseStudyOptions{SkipBitReversal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(cs.SpeedupVsMesh, 26.6, 0.01) {
+		t.Fatalf("no-reversal speedup vs mesh = %v, want ~26.6", cs.SpeedupVsMesh)
+	}
+	if !approx(cs.SpeedupVsHypercube, 6.5, 0.01) {
+		t.Fatalf("no-reversal speedup vs hypercube = %v, want ~6.5", cs.SpeedupVsHypercube)
+	}
+}
+
+func TestCaseStudyExactMeshStepsSlightlyFaster(t *testing.T) {
+	paper, _ := RunCaseStudy(CaseStudyOptions{})
+	exact, err := RunCaseStudy(CaseStudyOptions{ExactMeshSteps: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Mesh.CommTime >= paper.Mesh.CommTime {
+		t.Fatal("exact mesh steps should be slightly below the paper's rounding")
+	}
+}
+
+func TestTable1A(t *testing.T) {
+	rows, err := Table1A(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[0].Crossbars != 4096 || rows[0].Degree != 4 || rows[0].Diameter != 126 {
+		t.Fatalf("mesh row %+v", rows[0])
+	}
+	if rows[1].Crossbars != 128 || rows[1].Degree != 2 || rows[1].Diameter != 2 {
+		t.Fatalf("hypermesh row %+v", rows[1])
+	}
+	if rows[2].Crossbars != 4096 || rows[2].Degree != 12 || rows[2].Diameter != 12 {
+		t.Fatalf("hypercube row %+v", rows[2])
+	}
+}
+
+func TestTable1ADegreeLogHypermeshRow(t *testing.T) {
+	// At N = 4096, log N = 12 and log N/loglog N ~ 3.35, so the nearest
+	// realizable machine would be 12^3 = 1728 != 4096 and the row is
+	// omitted; at N = 64K with base 16 dims 4 = 65536 the row appears.
+	rows, err := Table1A(65536)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range rows {
+		if r.Network == "Degree-log Hypermesh" {
+			found = true
+			if r.Degree != 4 || r.Diameter != 4 {
+				t.Fatalf("degree-log row %+v", r)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("degree-log hypermesh row missing at N=64K")
+	}
+}
+
+func TestTable1B(t *testing.T) {
+	rows, err := Table1B(4096, hardware.GaAs64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// D/BW ordering: hypermesh < hypercube < mesh.
+	if !(rows[1].DOverBW < rows[2].DOverBW && rows[2].DOverBW < rows[0].DOverBW) {
+		t.Fatalf("D/BW ordering violated: %+v", rows)
+	}
+	if !approx(rows[1].LinkBW, 6.4e9, 1e-9) {
+		t.Fatalf("hypermesh link bw = %v", rows[1].LinkBW)
+	}
+}
+
+func TestTable2A(t *testing.T) {
+	rows, err := Table2A(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Steps.Total() >= 5*64/2 {
+		// exact steps are slightly below the paper's 5 sqrt(N)/2 bound
+		t.Fatalf("mesh exact total %d should be < 160", rows[0].Steps.Total())
+	}
+	if rows[1].Steps.Total() != 24 || rows[2].Steps.Total() != 15 {
+		t.Fatalf("rows %+v", rows)
+	}
+}
+
+func TestTable2BOrdering(t *testing.T) {
+	rows, err := Table2B(4096, hardware.GaAs64, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// hypermesh fastest, mesh slowest at practical sizes
+	if !(rows[2].CommTime < rows[1].CommTime && rows[1].CommTime < rows[0].CommTime) {
+		t.Fatalf("T_comm ordering violated: %+v", rows)
+	}
+}
+
+func TestBisectionTableMatchesSection5(t *testing.T) {
+	rows, err := BisectionTable(4096, hardware.GaAs64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kl := 64.0 * 200e6
+	if !approx(rows[0].Bandwidth, 64*kl/5, 1e-9) {
+		t.Fatalf("mesh bisection %v", rows[0].Bandwidth)
+	}
+	if !approx(rows[1].Bandwidth, 2048*kl/13, 1e-9) {
+		t.Fatalf("hypercube bisection %v", rows[1].Bandwidth)
+	}
+	if !approx(rows[2].Bandwidth, 4096*kl/2, 1e-9) {
+		t.Fatalf("hypermesh bisection %v", rows[2].Bandwidth)
+	}
+}
+
+func TestBitonicCaseStudyRatios(t *testing.T) {
+	// §IV.A cites [13]: hypermesh faster than mesh and hypercube by 12.3
+	// and 6.47 for the bitonic sort. With our shuffled-row-major mesh
+	// schedule the measured ratios land close: ~13.4 and 6.5.
+	n := 4096
+	meshSteps, err := bitonic.MeshSteps(n, layout.ShuffledRowMajor(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := BitonicCaseStudy(n, meshSteps, bitonic.DirectSteps(n), bitonic.DirectSteps(n), CaseStudyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(cs.SpeedupVsHypercube, 6.5, 0.01) {
+		t.Fatalf("bitonic speedup vs hypercube = %v, want ~6.5", cs.SpeedupVsHypercube)
+	}
+	if cs.SpeedupVsMesh < 11 || cs.SpeedupVsMesh > 15 {
+		t.Fatalf("bitonic speedup vs mesh = %v, want in [11,15] (paper: 12.3)", cs.SpeedupVsMesh)
+	}
+	// Hypermesh bitonic time: 78 steps * 20 ns = 1.56 µs.
+	if !approx(cs.Hypermesh.CommTime, 1.56e-6, 1e-9) {
+		t.Fatalf("hypermesh bitonic time = %v", cs.Hypermesh.CommTime)
+	}
+}
+
+func TestAsymptoticSpeedupGrowth(t *testing.T) {
+	// The speedups grow with N like O(sqrt(N)/log N) and O(log N). The
+	// 2D hypermesh needs K >= sqrt(N), so a larger (hypothetical)
+	// crossbar part is used to sweep beyond 4K processors.
+	bigXbar := hardware.Crossbar{Degree: 512, PinBandwidth: 200e6}
+	var prevMesh, prevCube float64
+	for _, n := range []int{256, 1024, 4096, 16384, 65536} {
+		cs, err := RunCaseStudy(CaseStudyOptions{N: n, Crossbar: bigXbar})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cs.SpeedupVsMesh <= prevMesh {
+			t.Fatalf("speedup vs mesh not increasing at N=%d", n)
+		}
+		if cs.SpeedupVsHypercube <= prevCube {
+			t.Fatalf("speedup vs hypercube not increasing at N=%d", n)
+		}
+		prevMesh, prevCube = cs.SpeedupVsMesh, cs.SpeedupVsHypercube
+	}
+}
+
+func TestRunBitLevelWordLevelLimit(t *testing.T) {
+	// With no header overhead and no wire delay the bit-level model
+	// degenerates to the word-level case study.
+	bl, err := RunBitLevel(BitLevelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, _ := RunCaseStudy(CaseStudyOptions{})
+	if !approx(bl.SpeedupVsMesh, cs.SpeedupVsMesh, 1e-9) {
+		t.Fatalf("degenerate bit-level speedup %v != word-level %v", bl.SpeedupVsMesh, cs.SpeedupVsMesh)
+	}
+}
+
+func TestRunBitLevelWireDelayErodesSpeedup(t *testing.T) {
+	// Long-wire propagation delays hurt the hypermesh (whose nets span
+	// sqrt(N) node spacings) more than the mesh; the speedup must shrink
+	// monotonically with the wire delay.
+	var prev = math.Inf(1)
+	for _, wd := range []float64{0, 1e-11, 1e-10, 1e-9} {
+		bl, err := RunBitLevel(BitLevelOptions{WireDelayPerUnit: wd, HeaderBitsPerAddressBit: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bl.SpeedupVsMesh > prev {
+			t.Fatalf("speedup increased with wire delay %v", wd)
+		}
+		prev = bl.SpeedupVsMesh
+	}
+}
+
+func TestRunBitLevelHeaderOverheadSmallAtPracticalSizes(t *testing.T) {
+	// §I: at practical sizes the O(log N) header barely moves the
+	// result: 12 extra bits on a 128-bit packet.
+	plain, _ := RunBitLevel(BitLevelOptions{})
+	withHeader, err := RunBitLevel(BitLevelOptions{HeaderBitsPerAddressBit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := withHeader.Hypermesh / plain.Hypermesh
+	if ratio < 1.0 || ratio > 1.15 {
+		t.Fatalf("header overhead ratio = %v, want ~1.09", ratio)
+	}
+}
+
+func TestBitonicCaseStudyRejectsBadN(t *testing.T) {
+	if _, err := BitonicCaseStudy(48, 1, 1, 1, CaseStudyOptions{}); err == nil {
+		t.Fatal("non-square N accepted")
+	}
+}
+
+func TestCaseStudyRejectsBadN(t *testing.T) {
+	if _, err := RunCaseStudy(CaseStudyOptions{N: 48}); err == nil {
+		t.Fatal("non-square N accepted")
+	}
+}
+
+func TestWaferNormalizationFlipsTheConclusion(t *testing.T) {
+	// Under Dally's equal-bisection wafer assumptions, the low-
+	// dimensional mesh beats both the hypercube and the hypermesh at
+	// N = 4096 — the §I concession, quantified.
+	w, err := RunWaferComparison(WaferOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.MeshSpeedupVsHypermesh <= 1 {
+		t.Fatalf("mesh/hypermesh ratio %v under wafer rules; expected mesh to win", w.MeshSpeedupVsHypermesh)
+	}
+	if w.MeshSpeedupVsHypercube <= 1 {
+		t.Fatalf("mesh/hypercube ratio %v under wafer rules", w.MeshSpeedupVsHypercube)
+	}
+	// Exact values with W = 1: mesh 5N, hypercube N log N, hypermesh
+	// (log N + 3) N / 2.
+	if !approx(w.Mesh, 5*4096, 1e-9) {
+		t.Fatalf("mesh wafer time %v", w.Mesh)
+	}
+	if !approx(w.Hypercube, 4096*12, 1e-9) {
+		t.Fatalf("hypercube wafer time %v", w.Hypercube)
+	}
+	if !approx(w.Hypermesh, 15*2048, 1e-9) {
+		t.Fatalf("hypermesh wafer time %v", w.Hypermesh)
+	}
+}
+
+func TestWaferWireDelayWidensMeshLead(t *testing.T) {
+	base, err := RunWaferComparison(WaferOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wired, err := RunWaferComparison(WaferOptions{WireDelayWeight: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wired.MeshSpeedupVsHypermesh <= base.MeshSpeedupVsHypermesh {
+		t.Fatalf("wire delay did not widen the mesh lead: %v vs %v",
+			wired.MeshSpeedupVsHypermesh, base.MeshSpeedupVsHypermesh)
+	}
+}
+
+func TestWaferValidates(t *testing.T) {
+	if _, err := RunWaferComparison(WaferOptions{N: 100}); err == nil {
+		t.Fatal("non power of two accepted")
+	}
+}
+
+func TestNormalizationChoiceDecidesTheWinner(t *testing.T) {
+	// The repository's central methodological point: the SAME step
+	// counts produce opposite winners under the two normalizations.
+	discrete, err := RunCaseStudy(CaseStudyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wafer, err := RunWaferComparison(WaferOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if discrete.SpeedupVsMesh <= 1 {
+		t.Fatal("discrete normalization should favour the hypermesh")
+	}
+	if wafer.MeshSpeedupVsHypermesh <= 1 {
+		t.Fatal("wafer normalization should favour the mesh")
+	}
+}

@@ -1,0 +1,220 @@
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bits"
+	"repro/internal/hardware"
+	"repro/internal/topology"
+)
+
+// Table1ARow is one row of Table 1A: hardware complexity before cost
+// normalization. Symbolic columns carry the paper's formulas; numeric
+// columns evaluate them at a concrete N.
+type Table1ARow struct {
+	Network           string
+	CrossbarsFormula  string
+	DegreeFormula     string
+	DiameterFormula   string
+	Crossbars, Degree int
+	Diameter          int
+}
+
+// Table1A evaluates the four rows of Table 1A at network size n (a
+// power of two and, for the 2D rows, a perfect square). The degree-log
+// hypermesh row follows the paper's asymptotic shape b = log N,
+// dims = log N / log log N, rounded to the nearest realizable machine.
+func Table1A(n int) ([]Table1ARow, error) {
+	s, err := Sqrt(n)
+	if err != nil {
+		return nil, err
+	}
+	if !bits.IsPow2(n) {
+		return nil, fmt.Errorf("perfmodel: %d is not a power of two", n)
+	}
+	k := bits.Log2(n)
+	mesh := topology.NewMesh2D(s, false)
+	hm2 := topology.NewHypermesh(s, 2)
+	cube := topology.NewHypercube(k)
+
+	rows := []Table1ARow{
+		{
+			Network:          "2D Mesh",
+			CrossbarsFormula: "N", DegreeFormula: "4", DiameterFormula: "2 sqrt(N)",
+			Crossbars: mesh.Crossbars(), Degree: mesh.LinkDegree(), Diameter: mesh.Diameter(),
+		},
+		{
+			Network:          "2D Hypermesh",
+			CrossbarsFormula: "2 sqrt(N)", DegreeFormula: "2", DiameterFormula: "2",
+			Crossbars: hm2.Crossbars(), Degree: hm2.LinkDegree(), Diameter: hm2.Diameter(),
+		},
+		{
+			Network:          "Hypercube",
+			CrossbarsFormula: "N", DegreeFormula: "log N", DiameterFormula: "log N",
+			Crossbars: cube.Crossbars(), Degree: cube.LinkDegree(), Diameter: cube.Diameter(),
+		},
+	}
+	// Degree-log hypermesh: base log N, dims = log N / log log N (the
+	// paper's asymptotic row); only include when it is realizable as an
+	// integral shape.
+	loglog := math.Log2(float64(k))
+	dims := int(math.Round(float64(k) / loglog))
+	if dims >= 1 && bits.Pow(k, dims) == n {
+		hml := topology.NewHypermesh(k, dims)
+		rows = append(rows, Table1ARow{
+			Network:          "Degree-log Hypermesh",
+			CrossbarsFormula: "N/loglog N", DegreeFormula: "log N/loglog N", DiameterFormula: "log N/loglog N",
+			Crossbars: hml.Crossbars(), Degree: hml.LinkDegree(), Diameter: hml.Diameter(),
+		})
+	}
+	return rows, nil
+}
+
+// Table1BRow is one row of Table 1B: the comparison after equal-cost
+// normalization. LinkBWFormula follows the paper's table (which divides
+// by the link count without the PE port for the mesh); LinkBW evaluates
+// the §IV engineering convention (PE port included) used by the case
+// study.
+type Table1BRow struct {
+	Network       string
+	LinkBWFormula string
+	DiameterForm  string
+	DOverBWForm   string
+	LinkBW        float64 // bits/s, §IV convention
+	Diameter      int
+	DOverBW       float64 // seconds/bit
+}
+
+// Table1B evaluates Table 1B at network size n with the given crossbar.
+func Table1B(n int, xbar hardware.Crossbar) ([]Table1BRow, error) {
+	s, err := Sqrt(n)
+	if err != nil {
+		return nil, err
+	}
+	mk := func(t topology.Topology, bwForm, dForm, dbwForm string) (Table1BRow, error) {
+		m := hardware.NewModel(t)
+		m.Xbar = xbar
+		bw, err := m.LinkBandwidth()
+		if err != nil {
+			return Table1BRow{}, err
+		}
+		dbw, err := m.DiameterOverBandwidth()
+		if err != nil {
+			return Table1BRow{}, err
+		}
+		return Table1BRow{
+			Network: t.Name(), LinkBWFormula: bwForm, DiameterForm: dForm, DOverBWForm: dbwForm,
+			LinkBW: bw, Diameter: t.Diameter(), DOverBW: dbw,
+		}, nil
+	}
+	var rows []Table1BRow
+	r, err := mk(topology.NewMesh2D(s, true), "KL/4", "2 sqrt(N)", "O(sqrt(N)/KL)")
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, r)
+	r, err = mk(topology.NewHypermesh(s, 2), "KL/2", "2", "O(1/KL)")
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, r)
+	r, err = mk(topology.NewHypercubeForNodes(n), "KL/log N", "log N", "O(log^2 N/KL)")
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, r)
+	return rows, nil
+}
+
+// Table2ARow is one row of Table 2A: FFT step counts.
+type Table2ARow struct {
+	Network            string
+	BitReversalFormula string
+	TotalFormula       string
+	Steps              FFTSteps
+}
+
+// Table2A evaluates Table 2A at transform size n.
+func Table2A(n int) ([]Table2ARow, error) {
+	mesh, err := MeshFFTSteps(n)
+	if err != nil {
+		return nil, err
+	}
+	cube, err := HypercubeFFTSteps(n)
+	if err != nil {
+		return nil, err
+	}
+	hm, err := HypermeshFFTSteps(n)
+	if err != nil {
+		return nil, err
+	}
+	return []Table2ARow{
+		{Network: "2D Mesh", BitReversalFormula: ">= sqrt(N)/2", TotalFormula: ">= 5 sqrt(N)/2", Steps: mesh},
+		{Network: "Hypercube", BitReversalFormula: ">= log N", TotalFormula: ">= 2 log N", Steps: cube},
+		{Network: "2D Hypermesh", BitReversalFormula: "<= 3", TotalFormula: "<= log N + 3", Steps: hm},
+	}, nil
+}
+
+// Table2BRow is one row of Table 2B: normalized FFT execution time.
+type Table2BRow struct {
+	Network      string
+	StepsFormula string
+	TCommFormula string
+	CommTime     float64 // seconds at the given n and crossbar
+}
+
+// Table2B evaluates Table 2B at transform size n with the given
+// crossbar and packet size.
+func Table2B(n int, xbar hardware.Crossbar, packetBits int) ([]Table2BRow, error) {
+	cs, err := RunCaseStudy(CaseStudyOptions{N: n, Crossbar: xbar, PacketBits: packetBits, ExactMeshSteps: true})
+	if err != nil {
+		return nil, err
+	}
+	return []Table2BRow{
+		{Network: "2D Mesh", StepsFormula: "O(sqrt N)", TCommFormula: "O(sqrt(N)/KL)", CommTime: cs.Mesh.CommTime},
+		{Network: "Hypercube", StepsFormula: "O(log N)", TCommFormula: "O(log^2 N/KL)", CommTime: cs.Hypercube.CommTime},
+		{Network: "2D Hypermesh", StepsFormula: "O(log N)", TCommFormula: "O(log N/KL)", CommTime: cs.Hypermesh.CommTime},
+	}, nil
+}
+
+// BisectionRow is one network's §V bisection bandwidth.
+type BisectionRow struct {
+	Network   string
+	Formula   string
+	Bandwidth float64 // bits/s
+}
+
+// BisectionTable evaluates the §V comparison at size n.
+func BisectionTable(n int, xbar hardware.Crossbar) ([]BisectionRow, error) {
+	s, err := Sqrt(n)
+	if err != nil {
+		return nil, err
+	}
+	mk := func(t topology.Topology, formula string) (BisectionRow, error) {
+		m := hardware.NewModel(t)
+		m.Xbar = xbar
+		bw, err := m.BisectionBandwidth()
+		if err != nil {
+			return BisectionRow{}, err
+		}
+		return BisectionRow{Network: t.Name(), Formula: formula, Bandwidth: bw}, nil
+	}
+	var rows []BisectionRow
+	r, err := mk(topology.NewMesh2D(s, false), "sqrt(N) * KL/5")
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, r)
+	r, err = mk(topology.NewHypercubeForNodes(n), "(N/2) * KL/(log N + 1)")
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, r)
+	r, err = mk(topology.NewHypermesh(s, 2), "N * KL/2")
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, r)
+	return rows, nil
+}

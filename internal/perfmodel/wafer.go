@@ -1,0 +1,96 @@
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bits"
+)
+
+// WaferComparison evaluates the FFT comparison under Dally's wafer-scale
+// assumptions instead of the paper's discrete-component assumptions —
+// the §I concession: "these conclusions may not hold when the network is
+// implemented entirely on a single wafer".
+//
+// Dally's normalization holds the *bisection wire count* constant
+// rather than the aggregate crossbar bandwidth: wires are the scarce
+// wafer resource, so a network with a wider bisection must use
+// proportionally narrower channels. With W total bisection wires:
+//
+//	torus:        sqrt(N) channel pairs cross  -> width W/(2*sqrt N)
+//	hypercube:    N/2 channels cross           -> width 2W/N
+//	2D hypermesh: N/2 member ports cross       -> width 2W/N
+//
+// Optionally, per-hop wire delay proportional to physical length is
+// added (assumption 3: wire delay dominates switch delay).
+type WaferComparison struct {
+	// Times are in units of packetBits/W (relative; only ratios matter).
+	Mesh, Hypercube, Hypermesh float64
+	// MeshSpeedupVsHypermesh > 1 means the mesh wins under these
+	// assumptions — Dally's conclusion, the reverse of the paper's.
+	MeshSpeedupVsHypermesh float64
+	MeshSpeedupVsHypercube float64
+}
+
+// WaferOptions parameterizes RunWaferComparison.
+type WaferOptions struct {
+	N int
+	// WireDelayWeight adds wire-length-proportional per-step delay,
+	// expressed as a multiple of the mesh's per-step transmission time;
+	// 0 disables it. Long hypercube/hypermesh wires (~sqrt N node
+	// spacings on a wafer) then pay proportionally.
+	WireDelayWeight float64
+}
+
+// RunWaferComparison evaluates the FFT communication times under
+// equal-bisection (wafer) normalization.
+func RunWaferComparison(o WaferOptions) (*WaferComparison, error) {
+	if o.N == 0 {
+		o.N = 4096
+	}
+	if !bits.IsPow2(o.N) {
+		return nil, fmt.Errorf("perfmodel: wafer N %d not a power of two", o.N)
+	}
+	side, err := Sqrt(o.N)
+	if err != nil {
+		return nil, err
+	}
+	n := float64(o.N)
+	rootN := float64(side)
+
+	// Channel widths under W = 1 bisection wires.
+	wMesh := 1 / (2 * rootN)
+	wCube := 2 / n
+	wHM := 2 / n
+
+	// Per-step transmission times ~ 1/width.
+	tMesh := 1 / wMesh
+	tCube := 1 / wCube
+	tHM := 1 / wHM
+
+	// Wire-delay surcharge: mesh wires are unit length; hypercube and
+	// hypermesh wires span ~sqrt(N) node spacings when laid out in the
+	// plane. The weight scales the surcharge relative to tMesh.
+	if o.WireDelayWeight > 0 {
+		unit := o.WireDelayWeight * tMesh
+		tMesh += unit
+		tCube += unit * math.Sqrt(n) / 2
+		tHM += unit * math.Sqrt(n)
+	}
+
+	meshSteps, err := MeshFFTStepsPaper(o.N)
+	if err != nil {
+		return nil, err
+	}
+	cubeSteps, _ := HypercubeFFTSteps(o.N)
+	hmSteps, _ := HypermeshFFTSteps(o.N)
+
+	out := &WaferComparison{
+		Mesh:      float64(meshSteps.Total()) * tMesh,
+		Hypercube: float64(cubeSteps.Total()) * tCube,
+		Hypermesh: float64(hmSteps.Total()) * tHM,
+	}
+	out.MeshSpeedupVsHypermesh = out.Hypermesh / out.Mesh
+	out.MeshSpeedupVsHypercube = out.Hypercube / out.Mesh
+	return out, nil
+}

@@ -1,0 +1,227 @@
+// Package permute provides a permutation type and the standard
+// interconnection-network permutations used by butterfly algorithms:
+// bit reversal, perfect shuffle, Omega, butterfly exchange (the ASCEND /
+// DESCEND communication pattern) and matrix transpose.
+//
+// A Permutation maps source index -> destination index. The paper treats
+// each parallel data-transfer step as the network realizing one such
+// permutation of packets, so this package is the vocabulary shared by the
+// flow-graph builder, the routers and the simulator.
+package permute
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bits"
+)
+
+// Permutation maps each source index i to destination p[i]. A valid
+// Permutation of size n contains each value in [0,n) exactly once.
+type Permutation []int
+
+// Identity returns the identity permutation on n elements.
+func Identity(n int) Permutation {
+	p := make(Permutation, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// Validate returns an error unless p is a bijection on [0, len(p)).
+func (p Permutation) Validate() error {
+	seen := make([]bool, len(p))
+	for i, v := range p {
+		if v < 0 || v >= len(p) {
+			return fmt.Errorf("permute: value %d at index %d out of range [0,%d)", v, i, len(p))
+		}
+		if seen[v] {
+			return fmt.Errorf("permute: value %d appears more than once", v)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+// IsIdentity reports whether p maps every index to itself.
+func (p Permutation) IsIdentity() bool {
+	for i, v := range p {
+		if v != i {
+			return false
+		}
+	}
+	return true
+}
+
+// Inverse returns q with q[p[i]] = i. It panics if p is not a valid
+// permutation.
+func (p Permutation) Inverse() Permutation {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	q := make(Permutation, len(p))
+	for i, v := range p {
+		q[v] = i
+	}
+	return q
+}
+
+// Compose returns the permutation "q after p": (q∘p)[i] = q[p[i]].
+// Applying the result is equivalent to applying p first, then q.
+func (p Permutation) Compose(q Permutation) Permutation {
+	if len(p) != len(q) {
+		panic(fmt.Sprintf("permute: composing permutations of sizes %d and %d", len(p), len(q)))
+	}
+	r := make(Permutation, len(p))
+	for i, v := range p {
+		r[i] = q[v]
+	}
+	return r
+}
+
+// Apply permutes data so that result[p[i]] = data[i] — the network view:
+// the packet at node i is delivered to node p[i].
+func Apply[T any](p Permutation, data []T) []T {
+	if len(p) != len(data) {
+		panic(fmt.Sprintf("permute: Apply with %d-permutation on %d elements", len(p), len(data)))
+	}
+	out := make([]T, len(data))
+	for i, v := range p {
+		out[v] = data[i]
+	}
+	return out
+}
+
+// Equal reports whether p and q are the same mapping.
+func (p Permutation) Equal(q Permutation) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FixedPoints returns the number of indices i with p[i] == i.
+func (p Permutation) FixedPoints() int {
+	n := 0
+	for i, v := range p {
+		if v == i {
+			n++
+		}
+	}
+	return n
+}
+
+// Random returns a uniformly random permutation of n elements drawn from
+// rng. Simulations use seeded sources for reproducibility.
+func Random(n int, rng *rand.Rand) Permutation {
+	p := Permutation(rng.Perm(n))
+	return p
+}
+
+// BitReversal returns the bit-reversal permutation on n = 2^k elements:
+// the output reordering required at the end of the Cooley–Tukey FFT flow
+// graph (paper Fig. 3). It panics unless n is a power of two.
+func BitReversal(n int) Permutation {
+	if !bits.IsPow2(n) {
+		panic(fmt.Sprintf("permute: BitReversal size %d is not a power of two", n))
+	}
+	k := bits.Log2(n)
+	p := make(Permutation, n)
+	for i := range p {
+		p[i] = bits.Reverse(i, k)
+	}
+	return p
+}
+
+// DigitReversal returns the base-b digit-reversal permutation on n = b^d
+// elements, the radix-b generalization of BitReversal.
+func DigitReversal(b, d int) Permutation {
+	n := bits.Pow(b, d)
+	p := make(Permutation, n)
+	for i := range p {
+		p[i] = bits.DigitReverse(i, b, d)
+	}
+	return p
+}
+
+// PerfectShuffle returns the perfect-shuffle permutation on n = 2^k
+// elements (a left rotation of the address bits).
+func PerfectShuffle(n int) Permutation {
+	if !bits.IsPow2(n) {
+		panic(fmt.Sprintf("permute: PerfectShuffle size %d is not a power of two", n))
+	}
+	k := bits.Log2(n)
+	p := make(Permutation, n)
+	for i := range p {
+		p[i] = bits.PerfectShuffle(i, k)
+	}
+	return p
+}
+
+// ButterflyExchange returns the exchange permutation of stage s: each
+// element is paired with the element whose address differs in bit s.
+// A full ASCEND (or DESCEND) algorithm applies stages 0..log2(n)-1 in
+// increasing (decreasing) order; each stage is one Butterfly permutation
+// in the paper's terminology.
+func ButterflyExchange(n, s int) Permutation {
+	if !bits.IsPow2(n) {
+		panic(fmt.Sprintf("permute: ButterflyExchange size %d is not a power of two", n))
+	}
+	if s < 0 || s >= bits.Log2(n) {
+		panic(fmt.Sprintf("permute: ButterflyExchange stage %d out of range for n=%d", s, n))
+	}
+	p := make(Permutation, n)
+	for i := range p {
+		p[i] = bits.FlipBit(i, s)
+	}
+	return p
+}
+
+// Omega returns the single-pass Omega-network permutation (shuffle
+// followed by optional exchange is realized inside switches; the network
+// wiring itself is the perfect shuffle). This is provided because the
+// paper notes the hypermesh realizes all Omega and Omega-inverse
+// permutations in one pass.
+func Omega(n int) Permutation { return PerfectShuffle(n) }
+
+// OmegaInverse returns the inverse-Omega wiring (inverse shuffle).
+func OmegaInverse(n int) Permutation { return PerfectShuffle(n).Inverse() }
+
+// Transpose returns the matrix-transpose permutation of an r x c
+// row-major array (n = r*c elements): element (i,j) moves to (j,i).
+func Transpose(r, c int) Permutation {
+	p := make(Permutation, r*c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			p[i*c+j] = j*r + i
+		}
+	}
+	return p
+}
+
+// CyclicShift returns the permutation mapping i -> (i+k) mod n.
+func CyclicShift(n, k int) Permutation {
+	p := make(Permutation, n)
+	k = ((k % n) + n) % n
+	for i := range p {
+		p[i] = (i + k) % n
+	}
+	return p
+}
+
+// ReverseAll returns the permutation mapping i -> n-1-i. On a 2D mesh it
+// exchanges diagonally opposite corners, the worst case of the paper's
+// bit-reversal routing argument; exposed for longest-path routing tests.
+func ReverseAll(n int) Permutation {
+	p := make(Permutation, n)
+	for i := range p {
+		p[i] = n - 1 - i
+	}
+	return p
+}

@@ -1,0 +1,250 @@
+package permute
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bits"
+)
+
+func TestIdentity(t *testing.T) {
+	p := Identity(16)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !p.IsIdentity() {
+		t.Fatal("Identity is not the identity")
+	}
+	if p.FixedPoints() != 16 {
+		t.Fatal("Identity has wrong fixed point count")
+	}
+}
+
+func TestValidateRejectsBadPermutations(t *testing.T) {
+	cases := []Permutation{
+		{0, 0},       // duplicate
+		{0, 2},       // out of range
+		{-1, 0},      // negative
+		{1, 2, 3, 3}, // duplicate at end
+	}
+	for _, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate(%v) accepted an invalid permutation", p)
+		}
+	}
+}
+
+func TestInverseComposesToIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(64)
+		p := Random(n, rng)
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if !p.Compose(p.Inverse()).IsIdentity() {
+			t.Fatalf("p∘p⁻¹ is not identity for %v", p)
+		}
+		if !p.Inverse().Compose(p).IsIdentity() {
+			t.Fatalf("p⁻¹∘p is not identity for %v", p)
+		}
+	}
+}
+
+func TestComposeOrder(t *testing.T) {
+	// p: 0->1->2->0 cycle; q: swap 0,1.
+	p := Permutation{1, 2, 0}
+	q := Permutation{1, 0, 2}
+	r := p.Compose(q) // apply p, then q
+	want := Permutation{0, 2, 1}
+	if !r.Equal(want) {
+		t.Fatalf("Compose = %v, want %v", r, want)
+	}
+}
+
+func TestApply(t *testing.T) {
+	p := Permutation{2, 0, 1}
+	data := []string{"a", "b", "c"}
+	out := Apply(p, data)
+	// element at source i lands at p[i]
+	if out[2] != "a" || out[0] != "b" || out[1] != "c" {
+		t.Fatalf("Apply = %v", out)
+	}
+}
+
+func TestApplyComposeConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(32)
+		p, q := Random(n, rng), Random(n, rng)
+		data := rng.Perm(n)
+		viaCompose := Apply(p.Compose(q), data)
+		viaSteps := Apply(q, Apply(p, data))
+		for i := range viaCompose {
+			if viaCompose[i] != viaSteps[i] {
+				t.Fatalf("Apply/Compose mismatch at trial %d", trial)
+			}
+		}
+	}
+}
+
+func TestBitReversalKnown(t *testing.T) {
+	p := BitReversal(8)
+	want := Permutation{0, 4, 2, 6, 1, 5, 3, 7}
+	if !p.Equal(want) {
+		t.Fatalf("BitReversal(8) = %v, want %v", p, want)
+	}
+}
+
+func TestBitReversalInvolution(t *testing.T) {
+	for _, n := range []int{2, 4, 16, 256, 4096} {
+		p := BitReversal(n)
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if !p.Compose(p).IsIdentity() {
+			t.Fatalf("BitReversal(%d) is not an involution", n)
+		}
+	}
+}
+
+func TestDigitReversalMatchesBitReversalForBase2(t *testing.T) {
+	if !DigitReversal(2, 6).Equal(BitReversal(64)) {
+		t.Fatal("DigitReversal(2,6) != BitReversal(64)")
+	}
+}
+
+func TestDigitReversalBase64(t *testing.T) {
+	// The 4K-PE case study: N=4096 = 64^2; digit reversal swaps the two
+	// base-64 digits, i.e. it is exactly the 64x64 matrix transpose.
+	p := DigitReversal(64, 2)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Equal(Transpose(64, 64)) {
+		t.Fatal("base-64 digit reversal on 4096 elements is not the 64x64 transpose")
+	}
+}
+
+func TestPerfectShufflePowersToIdentity(t *testing.T) {
+	n := 64
+	k := bits.Log2(n)
+	p := PerfectShuffle(n)
+	acc := Identity(n)
+	for i := 0; i < k; i++ {
+		acc = acc.Compose(p)
+	}
+	if !acc.IsIdentity() {
+		t.Fatalf("shuffle^log2(n) != identity")
+	}
+}
+
+func TestOmegaInverse(t *testing.T) {
+	n := 128
+	if !Omega(n).Compose(OmegaInverse(n)).IsIdentity() {
+		t.Fatal("Omega ∘ OmegaInverse != identity")
+	}
+}
+
+func TestButterflyExchangeProperties(t *testing.T) {
+	n := 64
+	for s := 0; s < bits.Log2(n); s++ {
+		p := ButterflyExchange(n, s)
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if !p.Compose(p).IsIdentity() {
+			t.Fatalf("stage-%d exchange not an involution", s)
+		}
+		if p.FixedPoints() != 0 {
+			t.Fatalf("stage-%d exchange has fixed points", s)
+		}
+		for i, v := range p {
+			if bits.HammingDistance(i, v) != 1 {
+				t.Fatalf("exchange partner not at Hamming distance 1")
+			}
+		}
+	}
+}
+
+func TestAllButterflyStagesComposeToReverseAllComplement(t *testing.T) {
+	// Applying every exchange stage complements every bit: i -> ^i & (n-1).
+	n := 32
+	acc := Identity(n)
+	for s := 0; s < bits.Log2(n); s++ {
+		acc = acc.Compose(ButterflyExchange(n, s))
+	}
+	for i, v := range acc {
+		if v != (n-1)^i {
+			t.Fatalf("composition of all stages maps %d -> %d, want %d", i, v, (n-1)^i)
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	p := Transpose(2, 3)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// (0,1) at index 1 goes to (1,0) = index 1*2+0 = 2 in the 3x2 result.
+	if p[1] != 2 {
+		t.Fatalf("Transpose(2,3)[1] = %d", p[1])
+	}
+	// transpose of the transpose is identity
+	if !p.Compose(Transpose(3, 2)).IsIdentity() {
+		t.Fatal("transpose ∘ transpose != identity")
+	}
+}
+
+func TestCyclicShift(t *testing.T) {
+	p := CyclicShift(10, 3)
+	if p[0] != 3 || p[9] != 2 {
+		t.Fatalf("CyclicShift wrong: %v", p)
+	}
+	if !CyclicShift(10, 3).Compose(CyclicShift(10, -3)).IsIdentity() {
+		t.Fatal("shift and unshift not inverse")
+	}
+	if !CyclicShift(10, 13).Equal(CyclicShift(10, 3)) {
+		t.Fatal("shift not reduced mod n")
+	}
+}
+
+func TestReverseAll(t *testing.T) {
+	p := ReverseAll(16)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Compose(p).IsIdentity() {
+		t.Fatal("ReverseAll not an involution")
+	}
+	if p[0] != 15 || p[15] != 0 {
+		t.Fatal("ReverseAll endpoints wrong")
+	}
+}
+
+func TestRandomIsValidQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	f := func(seed int64) bool {
+		n := 1 + int(seed&63)
+		return Random(n, rng).Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBitReversal4096(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		BitReversal(4096)
+	}
+}
+
+func BenchmarkComposeRandom4096(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	p, q := Random(4096, rng), Random(4096, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Compose(q)
+	}
+}

@@ -1,0 +1,143 @@
+// Package report renders the repository's experiment results as aligned
+// plain-text tables, in the spirit of the paper's Tables 1A–2B, and
+// provides unit formatting for times and bandwidths.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"unicode/utf8"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// New creates a table with the given title and column headers.
+func New(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// AddRow appends one row; missing cells render empty, extra cells are
+// rejected.
+func (t *Table) AddRow(cells ...string) error {
+	if len(cells) > len(t.headers) {
+		return fmt.Errorf("report: row has %d cells, table has %d columns", len(cells), len(t.headers))
+	}
+	row := make([]string, len(t.headers))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+	return nil
+}
+
+// MustAddRow is AddRow panicking on misuse.
+func (t *Table) MustAddRow(cells ...string) {
+	if err := t.AddRow(cells...); err != nil {
+		panic(err)
+	}
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// width measures a cell in runes so that multi-byte characters (µ)
+// align correctly.
+func width(s string) int { return utf8.RuneCountInString(s) }
+
+// formatRow renders one row with the given column widths, trimming
+// trailing spaces.
+func formatRow(cells []string, widths []int) string {
+	var b strings.Builder
+	for i, c := range cells {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(c)
+		b.WriteString(strings.Repeat(" ", widths[i]-width(c)))
+	}
+	return strings.TrimRight(b.String(), " ") + "\n"
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = width(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if w := width(c); w > widths[i] {
+				widths[i] = w
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	b.WriteString(formatRow(t.headers, widths))
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	b.WriteString(formatRow(sep, widths))
+	for _, row := range t.rows {
+		b.WriteString(formatRow(row, widths))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	if err := t.Render(&b); err != nil {
+		return fmt.Sprintf("report: %v", err)
+	}
+	return b.String()
+}
+
+// Seconds formats a duration given in seconds with an engineering unit
+// (ns, µs, ms, s).
+func Seconds(s float64) string {
+	abs := s
+	if abs < 0 {
+		abs = -abs
+	}
+	switch {
+	case abs == 0:
+		return "0 s"
+	case abs < 1e-6:
+		return fmt.Sprintf("%.4g ns", s*1e9)
+	case abs < 1e-3:
+		return fmt.Sprintf("%.4g µs", s*1e6)
+	case abs < 1:
+		return fmt.Sprintf("%.4g ms", s*1e3)
+	default:
+		return fmt.Sprintf("%.4g s", s)
+	}
+}
+
+// Bandwidth formats a bandwidth in bits/second with an engineering unit.
+func Bandwidth(b float64) string {
+	switch {
+	case b >= 1e12:
+		return fmt.Sprintf("%.4g Tbit/s", b/1e12)
+	case b >= 1e9:
+		return fmt.Sprintf("%.4g Gbit/s", b/1e9)
+	case b >= 1e6:
+		return fmt.Sprintf("%.4g Mbit/s", b/1e6)
+	case b >= 1e3:
+		return fmt.Sprintf("%.4g kbit/s", b/1e3)
+	default:
+		return fmt.Sprintf("%.4g bit/s", b)
+	}
+}
+
+// Ratio formats a speedup factor.
+func Ratio(r float64) string { return fmt.Sprintf("%.1fx", r) }

@@ -1,0 +1,120 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := New("Table X", "network", "steps")
+	tb.MustAddRow("2D Mesh", "160")
+	tb.MustAddRow("Hypercube", "24")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("rendered %d lines: %q", len(lines), out)
+	}
+	if lines[0] != "Table X" {
+		t.Fatalf("title line %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "network") || !strings.Contains(lines[1], "steps") {
+		t.Fatalf("header line %q", lines[1])
+	}
+	if !strings.Contains(lines[4], "Hypercube") || !strings.Contains(lines[4], "24") {
+		t.Fatalf("data line %q", lines[4])
+	}
+	if tb.Rows() != 2 {
+		t.Fatalf("Rows = %d", tb.Rows())
+	}
+}
+
+func TestTableColumnsAligned(t *testing.T) {
+	tb := New("", "a", "b")
+	tb.MustAddRow("x", "1")
+	tb.MustAddRow("longer", "2")
+	lines := strings.Split(strings.TrimRight(tb.String(), "\n"), "\n")
+	// column b must start at the same offset on every data line
+	idx1 := strings.Index(lines[2], "1")
+	idx2 := strings.Index(lines[3], "2")
+	if idx1 != idx2 {
+		t.Fatalf("columns misaligned: %q vs %q", lines[2], lines[3])
+	}
+}
+
+func TestAddRowRejectsTooManyCells(t *testing.T) {
+	tb := New("", "only")
+	if err := tb.AddRow("a", "b"); err == nil {
+		t.Fatal("extra cell accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAddRow did not panic")
+		}
+	}()
+	tb.MustAddRow("a", "b")
+}
+
+func TestShortRowPads(t *testing.T) {
+	tb := New("", "a", "b", "c")
+	if err := tb.AddRow("x"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tb.String(), "x") {
+		t.Fatal("short row lost")
+	}
+}
+
+func TestSecondsFormatting(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0 s",
+		50e-9:   "50 ns",
+		0.3e-6:  "300 ns",
+		3.12e-6: "3.12 µs",
+		8e-6:    "8 µs",
+		1.5e-3:  "1.5 ms",
+		2.5:     "2.5 s",
+	}
+	for in, want := range cases {
+		if got := Seconds(in); got != want {
+			t.Errorf("Seconds(%g) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestBandwidthFormatting(t *testing.T) {
+	cases := map[float64]string{
+		200e6:  "200 Mbit/s",
+		2.56e9: "2.56 Gbit/s",
+		6.4e9:  "6.4 Gbit/s",
+		4.2e12: "4.2 Tbit/s",
+		500:    "500 bit/s",
+		5e3:    "5 kbit/s",
+	}
+	for in, want := range cases {
+		if got := Bandwidth(in); got != want {
+			t.Errorf("Bandwidth(%g) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(26.6466); got != "26.6x" {
+		t.Fatalf("Ratio = %q", got)
+	}
+}
+
+func TestTableAlignsMultibyteCells(t *testing.T) {
+	tb := New("", "time", "x")
+	tb.MustAddRow("3.12 µs", "a")
+	tb.MustAddRow("50 ns", "b")
+	lines := strings.Split(strings.TrimRight(tb.String(), "\n"), "\n")
+	// The second column must start at the same rune offset on both rows.
+	offA := strings.Index(lines[2], "a")
+	offB := strings.Index(lines[3], "b")
+	// Convert byte offsets to rune offsets.
+	ra := len([]rune(lines[2][:offA]))
+	rb := len([]rune(lines[3][:offB]))
+	if ra != rb {
+		t.Fatalf("misaligned µ column: %q vs %q", lines[2], lines[3])
+	}
+}

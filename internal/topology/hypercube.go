@@ -1,0 +1,95 @@
+package topology
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+)
+
+// Hypercube is a binary hypercube of N = 2^Dims processing elements.
+// Node addresses are Dims-bit integers; two nodes are adjacent when their
+// addresses differ in exactly one bit.
+//
+// Each node's routing crossbar has switch degree Dims+1: one port per
+// dimension plus the PE port (paper §III.D: "each node in the hypercube
+// has degree log N + 1").
+type Hypercube struct {
+	Dims int
+}
+
+// NewHypercube constructs a hypercube with the given dimension (>= 0).
+func NewHypercube(dims int) *Hypercube {
+	if dims < 0 {
+		panic(fmt.Sprintf("topology: hypercube dims %d < 0", dims))
+	}
+	return &Hypercube{Dims: dims}
+}
+
+// NewHypercubeForNodes constructs a hypercube with n = 2^d nodes.
+// It panics unless n is a power of two.
+func NewHypercubeForNodes(n int) *Hypercube {
+	if !bits.IsPow2(n) {
+		panic(fmt.Sprintf("topology: hypercube node count %d is not a power of two", n))
+	}
+	return NewHypercube(bits.Log2(n))
+}
+
+// Name implements Topology.
+func (h *Hypercube) Name() string { return "Hypercube" }
+
+// Nodes implements Topology.
+func (h *Hypercube) Nodes() int { return 1 << uint(h.Dims) }
+
+// LinkDegree implements Topology: one link per dimension.
+func (h *Hypercube) LinkDegree() int { return h.Dims }
+
+// SwitchDegree implements Topology: log N links plus the PE port.
+func (h *Hypercube) SwitchDegree() int { return h.Dims + 1 }
+
+// Diameter implements Topology: log N.
+func (h *Hypercube) Diameter() int { return h.Dims }
+
+// Distance implements Topology: the Hamming distance between addresses.
+func (h *Hypercube) Distance(a, b int) int {
+	checkNode(h.Name(), a, h.Nodes())
+	checkNode(h.Name(), b, h.Nodes())
+	return bits.HammingDistance(a, b)
+}
+
+// Neighbors implements Topology, in dimension order 0..Dims-1.
+func (h *Hypercube) Neighbors(a int) []int {
+	checkNode(h.Name(), a, h.Nodes())
+	out := make([]int, h.Dims)
+	for d := 0; d < h.Dims; d++ {
+		out[d] = bits.FlipBit(a, d)
+	}
+	return out
+}
+
+// Crossbars implements Topology: one routing crossbar per node.
+func (h *Hypercube) Crossbars() int { return h.Nodes() }
+
+// BisectionLinks implements Topology: cutting on the top address bit
+// severs N/2 dimension-(Dims-1) links.
+func (h *Hypercube) BisectionLinks() int {
+	if h.Dims == 0 {
+		return 0
+	}
+	return h.Nodes() / 2
+}
+
+// RoutePath returns the e-cube (dimension-order, ascending) path from a
+// to b, inclusive of both endpoints.
+func (h *Hypercube) RoutePath(a, b int) []int {
+	checkNode(h.Name(), a, h.Nodes())
+	checkNode(h.Name(), b, h.Nodes())
+	path := []int{a}
+	cur := a
+	for d := 0; d < h.Dims; d++ {
+		if bits.Bit(cur, d) != bits.Bit(b, d) {
+			cur = bits.FlipBit(cur, d)
+			path = append(path, cur)
+		}
+	}
+	return path
+}

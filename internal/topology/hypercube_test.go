@@ -1,0 +1,129 @@
+package topology
+
+import (
+	"testing"
+
+	"repro/internal/bits"
+)
+
+func TestHypercubeBasicProperties(t *testing.T) {
+	h := NewHypercube(12) // the paper's 4K-PE machine
+	if h.Nodes() != 4096 {
+		t.Fatalf("Nodes = %d", h.Nodes())
+	}
+	if h.LinkDegree() != 12 {
+		t.Fatalf("LinkDegree = %d", h.LinkDegree())
+	}
+	if h.SwitchDegree() != 13 {
+		// §IV: "each processor requires a degree 13 node"
+		t.Fatalf("SwitchDegree = %d, want 13", h.SwitchDegree())
+	}
+	if h.Diameter() != 12 {
+		t.Fatalf("Diameter = %d", h.Diameter())
+	}
+	if h.Crossbars() != 4096 {
+		t.Fatalf("Crossbars = %d", h.Crossbars())
+	}
+	if h.BisectionLinks() != 2048 {
+		t.Fatalf("BisectionLinks = %d", h.BisectionLinks())
+	}
+}
+
+func TestHypercubeForNodes(t *testing.T) {
+	h := NewHypercubeForNodes(1024)
+	if h.Dims != 10 {
+		t.Fatalf("Dims = %d", h.Dims)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two node count did not panic")
+		}
+	}()
+	NewHypercubeForNodes(100)
+}
+
+func TestHypercubeDistanceMatchesBFS(t *testing.T) {
+	h := NewHypercube(6)
+	for a := 0; a < h.Nodes(); a += 7 {
+		for b := 0; b < h.Nodes(); b += 5 {
+			if got, want := h.Distance(a, b), BFSDistance(h, a, b); got != want {
+				t.Fatalf("Distance(%d,%d) = %d, BFS = %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestHypercubeNeighbors(t *testing.T) {
+	h := NewHypercube(5)
+	for a := 0; a < h.Nodes(); a++ {
+		ns := h.Neighbors(a)
+		if len(ns) != 5 {
+			t.Fatalf("node %d has %d neighbours", a, len(ns))
+		}
+		for d, b := range ns {
+			if bits.HammingDistance(a, b) != 1 {
+				t.Fatalf("neighbour %d of %d at Hamming distance != 1", b, a)
+			}
+			if bits.Bit(a, d) == bits.Bit(b, d) {
+				t.Fatalf("neighbour %d of dimension %d does not differ in that bit", b, d)
+			}
+		}
+	}
+}
+
+func TestHypercubeRoutePath(t *testing.T) {
+	h := NewHypercube(8)
+	cases := []struct{ a, b int }{{0, 255}, {0b00000001, 0b10000000}, {37, 37}, {1, 254}}
+	for _, c := range cases {
+		path := h.RoutePath(c.a, c.b)
+		if len(path)-1 != h.Distance(c.a, c.b) {
+			t.Fatalf("e-cube path %d->%d has %d hops, distance %d",
+				c.a, c.b, len(path)-1, h.Distance(c.a, c.b))
+		}
+		if path[0] != c.a || path[len(path)-1] != c.b {
+			t.Fatal("path endpoints wrong")
+		}
+		for i := 1; i < len(path); i++ {
+			if bits.HammingDistance(path[i-1], path[i]) != 1 {
+				t.Fatal("path step is not a single dimension crossing")
+			}
+		}
+	}
+}
+
+func TestHypercubeBitReversalWorstCase(t *testing.T) {
+	// §III.A: "the node at 0...01 will have to send its data to the node
+	// 10...0, requiring a traversal over all log N hypercube dimensions"
+	// — that pair differs in 2 bits, but the worst case over the whole
+	// bit-reversal permutation is the full diameter log N: any node whose
+	// address is the complement of its reversal.
+	h := NewHypercube(12)
+	n := h.Nodes()
+	worst := 0
+	for a := 0; a < n; a++ {
+		d := h.Distance(a, bits.Reverse(a, 12))
+		if d > worst {
+			worst = d
+		}
+	}
+	if worst != 12 {
+		t.Fatalf("worst-case bit-reversal distance = %d, want log N = 12", worst)
+	}
+}
+
+func TestHypercubeDiameterMatchesEccentricity(t *testing.T) {
+	h := NewHypercube(7)
+	if e := Eccentricity(h, 0); e != h.Diameter() {
+		t.Fatalf("eccentricity %d != diameter %d", e, h.Diameter())
+	}
+}
+
+func TestDegenerateHypercube(t *testing.T) {
+	h := NewHypercube(0)
+	if h.Nodes() != 1 || h.Diameter() != 0 || h.BisectionLinks() != 0 {
+		t.Fatal("0-dimensional hypercube misbehaves")
+	}
+	if len(h.Neighbors(0)) != 0 {
+		t.Fatal("0-dimensional hypercube has neighbours")
+	}
+}

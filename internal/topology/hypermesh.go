@@ -1,0 +1,186 @@
+package topology
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+)
+
+// Hypermesh is a base-b, n-dimensional hypermesh of N = Base^Dims
+// processing elements (Szymanski, Supercomputing'90). Node addresses are
+// Dims base-Base digits. All nodes whose addresses differ in exactly one
+// digit belong to one hypergraph net, and every net can realize an
+// arbitrary permutation of the packets held by its Base members in a
+// single data-transfer step — the property that distinguishes a hypermesh
+// net from a shared bus.
+//
+// A 2D hypermesh (Dims = 2) is a Base x Base array in which every row and
+// every column is a net: paper Fig. 1.
+type Hypermesh struct {
+	Base int // b: nodes per net
+	Dims int // n: digits per address
+}
+
+// NewHypermesh constructs a base-b n-dimensional hypermesh. Base must be
+// at least 2 and Dims at least 1.
+func NewHypermesh(base, dims int) *Hypermesh {
+	if base < 2 {
+		panic(fmt.Sprintf("topology: hypermesh base %d < 2", base))
+	}
+	if dims < 1 {
+		panic(fmt.Sprintf("topology: hypermesh dims %d < 1", dims))
+	}
+	return &Hypermesh{Base: base, Dims: dims}
+}
+
+// NewHypermesh2DForNodes constructs the 2D hypermesh with n = side^2
+// nodes used throughout the paper's comparison. It panics unless n is a
+// perfect square.
+func NewHypermesh2DForNodes(n int) *Hypermesh {
+	side := isqrt(n)
+	if side*side != n {
+		panic(fmt.Sprintf("topology: hypermesh node count %d is not a perfect square", n))
+	}
+	return NewHypermesh(side, 2)
+}
+
+// Name implements Topology.
+func (h *Hypermesh) Name() string {
+	if h.Dims == 2 {
+		return "2D Hypermesh"
+	}
+	return fmt.Sprintf("%dD Hypermesh", h.Dims)
+}
+
+// Nodes implements Topology.
+func (h *Hypermesh) Nodes() int { return bits.Pow(h.Base, h.Dims) }
+
+// LinkDegree implements Topology: each node belongs to one net per
+// dimension.
+func (h *Hypermesh) LinkDegree() int { return h.Dims }
+
+// SwitchDegree implements Topology. The paper's SIMD hypermesh node needs
+// no private routing crossbar at all (§II: eliminating the n x n crossbar
+// does not impede any permutation); the switching happens inside the
+// per-net crossbars, each of port count Base. SwitchDegree reports the
+// net crossbar's degree.
+func (h *Hypermesh) SwitchDegree() int { return h.Base }
+
+// Diameter implements Topology: every digit can be corrected in one net
+// traversal, so the diameter equals the dimension count (2 for the 2D
+// hypermesh of Table 1A).
+func (h *Hypermesh) Diameter() int { return h.Dims }
+
+// Distance implements Topology: the number of differing base-b digits
+// (generalized Hamming distance).
+func (h *Hypermesh) Distance(a, b int) int {
+	n := h.Nodes()
+	checkNode(h.Name(), a, n)
+	checkNode(h.Name(), b, n)
+	d := 0
+	for i := 0; i < h.Dims; i++ {
+		if bits.Digit(a, h.Base, i) != bits.Digit(b, h.Base, i) {
+			d++
+		}
+	}
+	return d
+}
+
+// Neighbors implements Topology: all nodes reachable in one net
+// traversal, i.e. all addresses differing from a in exactly one digit,
+// ordered by dimension then digit value.
+func (h *Hypermesh) Neighbors(a int) []int {
+	checkNode(h.Name(), a, h.Nodes())
+	out := make([]int, 0, h.Dims*(h.Base-1))
+	for d := 0; d < h.Dims; d++ {
+		own := bits.Digit(a, h.Base, d)
+		for v := 0; v < h.Base; v++ {
+			if v != own {
+				out = append(out, bits.SetDigit(a, h.Base, d, v))
+			}
+		}
+	}
+	return out
+}
+
+// Nets returns the total number of hypergraph nets: Dims * Base^(Dims-1).
+// The 2D hypermesh has 2*sqrt(N) nets (one per row plus one per column).
+func (h *Hypermesh) Nets() int {
+	return h.Dims * bits.Pow(h.Base, h.Dims-1)
+}
+
+// Crossbars implements Topology: before cost normalization each net is
+// realized by a single Base x Base crossbar, giving the Table 1A entry of
+// 2*sqrt(N) crossbars for the 2D hypermesh.
+func (h *Hypermesh) Crossbars() int { return h.Nets() }
+
+// BisectionLinks implements Topology: bisecting on the most significant
+// digit cuts every net of that dimension — Base^(Dims-1) nets, each with
+// its full crossbar bandwidth crossing the bisector (paper §V).
+func (h *Hypermesh) BisectionLinks() int {
+	return bits.Pow(h.Base, h.Dims-1)
+}
+
+// NetOf returns the id of the net that node a belongs to along dimension
+// dim. Net ids pack the dimension and the node's remaining digits:
+// nets of dimension d occupy ids [d*Base^(Dims-1), (d+1)*Base^(Dims-1)).
+func (h *Hypermesh) NetOf(a, dim int) int {
+	checkNode(h.Name(), a, h.Nodes())
+	if dim < 0 || dim >= h.Dims {
+		panic(fmt.Sprintf("topology: hypermesh dimension %d out of range", dim))
+	}
+	rest := 0
+	mul := 1
+	for i := 0; i < h.Dims; i++ {
+		if i == dim {
+			continue
+		}
+		rest += bits.Digit(a, h.Base, i) * mul
+		mul *= h.Base
+	}
+	return dim*bits.Pow(h.Base, h.Dims-1) + rest
+}
+
+// NetDimension returns which dimension the given net id varies.
+func (h *Hypermesh) NetDimension(net int) int {
+	perDim := bits.Pow(h.Base, h.Dims-1)
+	d := net / perDim
+	if d < 0 || d >= h.Dims {
+		panic(fmt.Sprintf("topology: net id %d out of range", net))
+	}
+	return d
+}
+
+// NetMembers returns the Base node ids belonging to the given net, in
+// increasing digit order along the net's dimension. For every member m
+// and the net's dimension d, NetOf(m, d) == net.
+func (h *Hypermesh) NetMembers(net int) []int {
+	perDim := bits.Pow(h.Base, h.Dims-1)
+	dim := net / perDim
+	if dim < 0 || dim >= h.Dims {
+		panic(fmt.Sprintf("topology: net id %d out of range", net))
+	}
+	rest := net % perDim
+	// unpack rest into the digits of every dimension except dim
+	base := make([]int, h.Dims)
+	for i := 0; i < h.Dims; i++ {
+		if i == dim {
+			continue
+		}
+		base[i] = rest % h.Base
+		rest /= h.Base
+	}
+	out := make([]int, h.Base)
+	for v := 0; v < h.Base; v++ {
+		base[dim] = v
+		out[v] = bits.FromDigits(base, h.Base)
+	}
+	return out
+}
+
+// MemberIndex returns the position of node a within its dimension-dim
+// net, which is simply digit dim of its address.
+func (h *Hypermesh) MemberIndex(a, dim int) int {
+	checkNode(h.Name(), a, h.Nodes())
+	return bits.Digit(a, h.Base, dim)
+}

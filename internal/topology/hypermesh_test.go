@@ -1,0 +1,283 @@
+package topology
+
+import (
+	"testing"
+
+	"repro/internal/bits"
+)
+
+func TestHypermesh2DBasicProperties(t *testing.T) {
+	h := NewHypermesh(64, 2) // the 64^2 hypermesh of the 4K case study
+	if h.Nodes() != 4096 {
+		t.Fatalf("Nodes = %d", h.Nodes())
+	}
+	if h.LinkDegree() != 2 {
+		t.Fatalf("LinkDegree = %d", h.LinkDegree())
+	}
+	if h.Diameter() != 2 {
+		// Table 1A: 2D hypermesh diameter 2
+		t.Fatalf("Diameter = %d, want 2", h.Diameter())
+	}
+	if h.Nets() != 128 {
+		// §IV: "64 rows and 64 columns ... a total of 128 nets"
+		t.Fatalf("Nets = %d, want 128", h.Nets())
+	}
+	if h.Crossbars() != 128 {
+		// Table 1A: 2 sqrt(N) crossbars before normalization
+		t.Fatalf("Crossbars = %d, want 128", h.Crossbars())
+	}
+	if h.BisectionLinks() != 64 {
+		t.Fatalf("BisectionLinks = %d, want 64", h.BisectionLinks())
+	}
+	if h.Name() != "2D Hypermesh" {
+		t.Fatalf("Name = %q", h.Name())
+	}
+}
+
+func TestHypermeshAlternative4KShapes(t *testing.T) {
+	// §IV: "a 8^4, 16^3 and 64^2 hypermesh can all interconnect 4K
+	// Processors."
+	for _, c := range []struct{ b, n int }{{8, 4}, {16, 3}, {64, 2}} {
+		h := NewHypermesh(c.b, c.n)
+		if h.Nodes() != 4096 {
+			t.Fatalf("%d^%d hypermesh has %d nodes", c.b, c.n, h.Nodes())
+		}
+		if h.Diameter() != c.n {
+			t.Fatalf("%d^%d hypermesh diameter = %d", c.b, c.n, h.Diameter())
+		}
+	}
+}
+
+func TestHypermeshForNodes(t *testing.T) {
+	h := NewHypermesh2DForNodes(4096)
+	if h.Base != 64 || h.Dims != 2 {
+		t.Fatalf("got %d^%d", h.Base, h.Dims)
+	}
+}
+
+func TestHypermeshDistanceMatchesBFS(t *testing.T) {
+	h := NewHypermesh(4, 3)
+	for a := 0; a < h.Nodes(); a += 3 {
+		for b := 0; b < h.Nodes(); b += 5 {
+			if got, want := h.Distance(a, b), BFSDistance(h, a, b); got != want {
+				t.Fatalf("Distance(%d,%d) = %d, BFS = %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestHypermeshNeighbors(t *testing.T) {
+	h := NewHypermesh(5, 2)
+	for a := 0; a < h.Nodes(); a++ {
+		ns := h.Neighbors(a)
+		if len(ns) != 2*(5-1) {
+			t.Fatalf("node %d has %d neighbours, want 8", a, len(ns))
+		}
+		seen := map[int]bool{}
+		for _, b := range ns {
+			if h.Distance(a, b) != 1 {
+				t.Fatalf("neighbour %d of %d not at distance 1", b, a)
+			}
+			if seen[b] {
+				t.Fatalf("duplicate neighbour %d of %d", b, a)
+			}
+			seen[b] = true
+		}
+	}
+}
+
+func TestHypermeshNetsPartitionEveryDimension(t *testing.T) {
+	// Every node belongs to exactly one net per dimension, and the nets
+	// of one dimension partition the node set — the Fig. 1 invariant
+	// (every row is a net, every column is a net).
+	h := NewHypermesh(4, 3)
+	for dim := 0; dim < h.Dims; dim++ {
+		covered := make([]bool, h.Nodes())
+		perDim := bits.Pow(h.Base, h.Dims-1)
+		for r := 0; r < perDim; r++ {
+			net := dim*perDim + r
+			if h.NetDimension(net) != dim {
+				t.Fatalf("NetDimension(%d) = %d, want %d", net, h.NetDimension(net), dim)
+			}
+			members := h.NetMembers(net)
+			if len(members) != h.Base {
+				t.Fatalf("net %d has %d members", net, len(members))
+			}
+			for idx, m := range members {
+				if covered[m] {
+					t.Fatalf("node %d in two dimension-%d nets", m, dim)
+				}
+				covered[m] = true
+				if h.NetOf(m, dim) != net {
+					t.Fatalf("NetOf(%d,%d) = %d, want %d", m, dim, h.NetOf(m, dim), net)
+				}
+				if h.MemberIndex(m, dim) != idx {
+					t.Fatalf("MemberIndex(%d,%d) = %d, want %d", m, dim, h.MemberIndex(m, dim), idx)
+				}
+			}
+		}
+		for a, ok := range covered {
+			if !ok {
+				t.Fatalf("node %d not covered by dimension-%d nets", a, dim)
+			}
+		}
+	}
+}
+
+func TestHypermeshNetMembersDifferInOneDigit(t *testing.T) {
+	h := NewHypermesh(8, 2)
+	for net := 0; net < h.Nets(); net++ {
+		members := h.NetMembers(net)
+		dim := h.NetDimension(net)
+		for i := 1; i < len(members); i++ {
+			a, b := members[0], members[i]
+			diff := 0
+			for d := 0; d < h.Dims; d++ {
+				if bits.Digit(a, h.Base, d) != bits.Digit(b, h.Base, d) {
+					diff++
+					if d != dim {
+						t.Fatalf("net %d members differ in dimension %d, net dimension is %d", net, d, dim)
+					}
+				}
+			}
+			if diff != 1 {
+				t.Fatalf("net %d members %d,%d differ in %d digits", net, a, b, diff)
+			}
+		}
+	}
+}
+
+func TestHypermesh2DRowColumnInterpretation(t *testing.T) {
+	// In a 2D hypermesh, dimension 0 nets hold nodes with equal high
+	// digit (rows of the row-major layout), dimension 1 nets hold nodes
+	// with equal low digit (columns).
+	h := NewHypermesh(4, 2)
+	rowNet := h.NetOf(5, 0) // node (1,1): row digit = high digit
+	members := h.NetMembers(rowNet)
+	for _, m := range members {
+		if m/4 != 5/4 {
+			t.Fatalf("dimension-0 net of node 5 contains %d, which is in a different row", m)
+		}
+	}
+	colNet := h.NetOf(5, 1)
+	for _, m := range h.NetMembers(colNet) {
+		if m%4 != 5%4 {
+			t.Fatalf("dimension-1 net of node 5 contains %d, which is in a different column", m)
+		}
+	}
+}
+
+func TestHypermeshDiameterMatchesEccentricity(t *testing.T) {
+	h := NewHypermesh(3, 4)
+	if e := Eccentricity(h, 0); e != h.Diameter() {
+		t.Fatalf("eccentricity %d != diameter %d", e, h.Diameter())
+	}
+}
+
+func TestHypermeshBase2IsHypercubeGraph(t *testing.T) {
+	// A base-2 hypermesh is graph-isomorphic to the binary hypercube:
+	// same adjacency structure.
+	hm := NewHypermesh(2, 6)
+	hc := NewHypercube(6)
+	if hm.Nodes() != hc.Nodes() {
+		t.Fatal("node counts differ")
+	}
+	for a := 0; a < hm.Nodes(); a++ {
+		ma := map[int]bool{}
+		for _, b := range hm.Neighbors(a) {
+			ma[b] = true
+		}
+		for _, b := range hc.Neighbors(a) {
+			if !ma[b] {
+				t.Fatalf("hypercube neighbour %d of %d missing from base-2 hypermesh", b, a)
+			}
+		}
+		if len(ma) != len(hc.Neighbors(a)) {
+			t.Fatalf("neighbour sets of %d differ in size", a)
+		}
+	}
+}
+
+func TestKAryNCubeProperties(t *testing.T) {
+	k := NewKAryNCube(4, 3)
+	if k.Nodes() != 64 {
+		t.Fatalf("Nodes = %d", k.Nodes())
+	}
+	if k.LinkDegree() != 6 || k.SwitchDegree() != 7 {
+		t.Fatal("degrees wrong")
+	}
+	if k.Diameter() != 6 {
+		t.Fatalf("Diameter = %d", k.Diameter())
+	}
+	if k.BisectionLinks() != 32 {
+		t.Fatalf("BisectionLinks = %d", k.BisectionLinks())
+	}
+}
+
+func TestKAryNCubeDistanceMatchesBFS(t *testing.T) {
+	k := NewKAryNCube(5, 2)
+	for a := 0; a < k.Nodes(); a++ {
+		for b := 0; b < k.Nodes(); b++ {
+			if got, want := k.Distance(a, b), BFSDistance(k, a, b); got != want {
+				t.Fatalf("Distance(%d,%d) = %d, BFS = %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestKAry2CubeIsHypercube(t *testing.T) {
+	k := NewKAryNCube(2, 5)
+	h := NewHypercube(5)
+	if k.Nodes() != h.Nodes() || k.Diameter() != h.Diameter() || k.LinkDegree() != h.LinkDegree() {
+		t.Fatal("2-ary n-cube does not match hypercube")
+	}
+	for a := 0; a < k.Nodes(); a++ {
+		if len(k.Neighbors(a)) != len(h.Neighbors(a)) {
+			t.Fatalf("neighbour counts differ at node %d: %d vs %d", a, len(k.Neighbors(a)), len(h.Neighbors(a)))
+		}
+	}
+}
+
+func TestKAryNCubeNeighborsSymmetric(t *testing.T) {
+	k := NewKAryNCube(3, 3)
+	for a := 0; a < k.Nodes(); a++ {
+		for _, b := range k.Neighbors(a) {
+			found := false
+			for _, c := range k.Neighbors(b) {
+				if c == a {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("adjacency not symmetric between %d and %d", a, b)
+			}
+		}
+	}
+}
+
+func TestTopologyInterfaceCompliance(t *testing.T) {
+	// Compile-time checks plus a smoke test that every implementation
+	// returns consistent sizes.
+	var tops = []Topology{
+		NewMesh2D(4, false),
+		NewMesh2D(4, true),
+		NewHypercube(4),
+		NewHypermesh(4, 2),
+		NewKAryNCube(4, 2),
+	}
+	for _, tp := range tops {
+		if tp.Nodes() != 16 {
+			t.Fatalf("%s: Nodes = %d", tp.Name(), tp.Nodes())
+		}
+		if tp.Diameter() < 1 {
+			t.Fatalf("%s: Diameter = %d", tp.Name(), tp.Diameter())
+		}
+		for a := 0; a < tp.Nodes(); a++ {
+			for _, b := range tp.Neighbors(a) {
+				if tp.Distance(a, b) != 1 {
+					t.Fatalf("%s: neighbour at distance != 1", tp.Name())
+				}
+			}
+		}
+	}
+}

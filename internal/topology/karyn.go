@@ -1,0 +1,105 @@
+package topology
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+)
+
+// KAryNCube is the k-ary n-cube family of Dally's comparison (paper's
+// reference [4]): N = Radix^Dims nodes on an n-dimensional torus with
+// Radix nodes per ring. Radix = 2 degenerates to the binary hypercube;
+// Dims = 2 is the 2D torus. It is included so that the repository can
+// reproduce the paper's discussion of when low-dimensional tori win
+// (single-wafer, bisection-normalized) versus when they lose (discrete
+// components, aggregate-bandwidth-normalized).
+type KAryNCube struct {
+	Radix int // k: nodes per ring
+	Dims  int // n: number of dimensions
+}
+
+// NewKAryNCube constructs a k-ary n-cube. Radix must be >= 2 and Dims
+// >= 1.
+func NewKAryNCube(radix, dims int) *KAryNCube {
+	if radix < 2 {
+		panic(fmt.Sprintf("topology: k-ary n-cube radix %d < 2", radix))
+	}
+	if dims < 1 {
+		panic(fmt.Sprintf("topology: k-ary n-cube dims %d < 1", dims))
+	}
+	return &KAryNCube{Radix: radix, Dims: dims}
+}
+
+// Name implements Topology.
+func (k *KAryNCube) Name() string {
+	return fmt.Sprintf("%d-ary %d-cube", k.Radix, k.Dims)
+}
+
+// Nodes implements Topology.
+func (k *KAryNCube) Nodes() int { return bits.Pow(k.Radix, k.Dims) }
+
+// LinkDegree implements Topology: two links per dimension (radix 2 has a
+// single shared link per dimension).
+func (k *KAryNCube) LinkDegree() int {
+	if k.Radix == 2 {
+		return k.Dims
+	}
+	return 2 * k.Dims
+}
+
+// SwitchDegree implements Topology: links plus the PE port.
+func (k *KAryNCube) SwitchDegree() int { return k.LinkDegree() + 1 }
+
+// Diameter implements Topology: n * floor(k/2).
+func (k *KAryNCube) Diameter() int { return k.Dims * (k.Radix / 2) }
+
+// Distance implements Topology: sum of ring distances per dimension.
+func (k *KAryNCube) Distance(a, b int) int {
+	n := k.Nodes()
+	checkNode(k.Name(), a, n)
+	checkNode(k.Name(), b, n)
+	total := 0
+	for i := 0; i < k.Dims; i++ {
+		da, db := bits.Digit(a, k.Radix, i), bits.Digit(b, k.Radix, i)
+		d := da - db
+		if d < 0 {
+			d = -d
+		}
+		if k.Radix-d < d {
+			d = k.Radix - d
+		}
+		total += d
+	}
+	return total
+}
+
+// Neighbors implements Topology: the +1 and -1 ring neighbours per
+// dimension.
+func (k *KAryNCube) Neighbors(a int) []int {
+	checkNode(k.Name(), a, k.Nodes())
+	out := make([]int, 0, 2*k.Dims)
+	for d := 0; d < k.Dims; d++ {
+		v := bits.Digit(a, k.Radix, d)
+		up := bits.SetDigit(a, k.Radix, d, (v+1)%k.Radix)
+		down := bits.SetDigit(a, k.Radix, d, (v-1+k.Radix)%k.Radix)
+		out = append(out, up)
+		if down != up {
+			out = append(out, down)
+		}
+	}
+	return out
+}
+
+// Crossbars implements Topology: one routing crossbar per node.
+func (k *KAryNCube) Crossbars() int { return k.Nodes() }
+
+// BisectionLinks implements Topology: cutting the highest dimension's
+// rings in half severs 2 links per ring (1 for radix 2), and there are
+// N/Radix rings in that dimension.
+func (k *KAryNCube) BisectionLinks() int {
+	rings := k.Nodes() / k.Radix
+	if k.Radix == 2 {
+		return rings
+	}
+	return 2 * rings
+}

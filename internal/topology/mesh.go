@@ -1,0 +1,210 @@
+package topology
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+)
+
+// Mesh2D is a side x side two-dimensional mesh of N = side^2 processing
+// elements in row-major order. With Wrap set the mesh becomes a 2D torus
+// (wraparound links), which the paper invokes when it grants the mesh an
+// optimistic sqrt(N)/2-step bit-reversal.
+//
+// Each node carries one routing crossbar of switch degree 5: four
+// neighbour ports plus the PE port (paper §III.D). Boundary nodes of a
+// non-wrapped mesh leave the unused ports idle; the crossbar inventory is
+// unchanged.
+type Mesh2D struct {
+	Side int
+	Wrap bool
+}
+
+// NewMesh2D constructs a mesh with the given side length (>= 1).
+func NewMesh2D(side int, wrap bool) *Mesh2D {
+	if side < 1 {
+		panic(fmt.Sprintf("topology: mesh side %d < 1", side))
+	}
+	return &Mesh2D{Side: side, Wrap: wrap}
+}
+
+// NewMesh2DForNodes constructs a square mesh with n = side^2 nodes.
+// It panics unless n is a perfect square.
+func NewMesh2DForNodes(n int, wrap bool) *Mesh2D {
+	side := isqrt(n)
+	if side*side != n {
+		panic(fmt.Sprintf("topology: mesh node count %d is not a perfect square", n))
+	}
+	return NewMesh2D(side, wrap)
+}
+
+func isqrt(n int) int {
+	if n < 0 {
+		panic("topology: isqrt of negative value")
+	}
+	r := 0
+	for (r+1)*(r+1) <= n {
+		r++
+	}
+	return r
+}
+
+// Name implements Topology.
+func (m *Mesh2D) Name() string {
+	if m.Wrap {
+		return "2D Torus"
+	}
+	return "2D Mesh"
+}
+
+// Nodes implements Topology.
+func (m *Mesh2D) Nodes() int { return m.Side * m.Side }
+
+// LinkDegree implements Topology: four neighbour links.
+func (m *Mesh2D) LinkDegree() int { return 4 }
+
+// SwitchDegree implements Topology: four neighbours plus the PE port,
+// the paper's "degree 5" mesh node.
+func (m *Mesh2D) SwitchDegree() int { return 5 }
+
+// Diameter implements Topology.
+func (m *Mesh2D) Diameter() int {
+	if m.Side == 1 {
+		return 0
+	}
+	if m.Wrap {
+		return 2 * (m.Side / 2)
+	}
+	return 2 * (m.Side - 1)
+}
+
+// Coord converts a node id to (row, col).
+func (m *Mesh2D) Coord(a int) (row, col int) {
+	checkNode(m.Name(), a, m.Nodes())
+	return a / m.Side, a % m.Side
+}
+
+// NodeAt converts (row, col) to a node id.
+func (m *Mesh2D) NodeAt(row, col int) int {
+	if row < 0 || row >= m.Side || col < 0 || col >= m.Side {
+		panic(fmt.Sprintf("topology: mesh coordinate (%d,%d) out of range for side %d", row, col, m.Side))
+	}
+	return row*m.Side + col
+}
+
+// ringDist is the distance between x and y along one dimension.
+func (m *Mesh2D) ringDist(x, y int) int {
+	d := x - y
+	if d < 0 {
+		d = -d
+	}
+	if m.Wrap && m.Side-d < d {
+		d = m.Side - d
+	}
+	return d
+}
+
+// Distance implements Topology (Manhattan distance, with per-dimension
+// wraparound on a torus).
+func (m *Mesh2D) Distance(a, b int) int {
+	ar, ac := m.Coord(a)
+	br, bc := m.Coord(b)
+	return m.ringDist(ar, br) + m.ringDist(ac, bc)
+}
+
+// Neighbors implements Topology. Order: up, down, left, right (omitting
+// absent links on a non-wrapped boundary).
+func (m *Mesh2D) Neighbors(a int) []int {
+	r, c := m.Coord(a)
+	out := make([]int, 0, 4)
+	add := func(nr, nc int) {
+		out = append(out, m.NodeAt(nr, nc))
+	}
+	s := m.Side
+	if s == 1 {
+		return out
+	}
+	if r > 0 {
+		add(r-1, c)
+	} else if m.Wrap && s > 2 {
+		add(s-1, c)
+	}
+	if r < s-1 {
+		add(r+1, c)
+	} else if m.Wrap && s > 2 {
+		add(0, c)
+	}
+	if c > 0 {
+		add(r, c-1)
+	} else if m.Wrap && s > 2 {
+		add(r, s-1)
+	}
+	if c < s-1 {
+		add(r, c+1)
+	} else if m.Wrap && s > 2 {
+		add(r, 0)
+	}
+	return out
+}
+
+// Crossbars implements Topology: one routing crossbar per node.
+func (m *Mesh2D) Crossbars() int { return m.Nodes() }
+
+// BisectionLinks implements Topology: cutting between two middle columns
+// severs Side links (2*Side on a torus, which has wrap links crossing
+// every vertical cut).
+func (m *Mesh2D) BisectionLinks() int {
+	if m.Wrap {
+		return 2 * m.Side
+	}
+	return m.Side
+}
+
+// RoutePath returns the sequence of nodes visited by dimension-order
+// (row-first, then column) routing from a to b, inclusive of both
+// endpoints. On a torus each dimension takes the shorter way around.
+func (m *Mesh2D) RoutePath(a, b int) []int {
+	ar, ac := m.Coord(a)
+	br, bc := m.Coord(b)
+	path := []int{a}
+	stepToward := func(x, target int) int {
+		if x == target {
+			return x
+		}
+		fwd := target - x
+		if !m.Wrap {
+			if fwd > 0 {
+				return x + 1
+			}
+			return x - 1
+		}
+		// choose the shorter ring direction, ties broken toward +1
+		d := ((fwd % m.Side) + m.Side) % m.Side
+		if d <= m.Side-d {
+			return (x + 1) % m.Side
+		}
+		return (x - 1 + m.Side) % m.Side
+	}
+	r, c := ar, ac
+	for r != br {
+		r = stepToward(r, br)
+		path = append(path, m.NodeAt(r, c))
+	}
+	for c != bc {
+		c = stepToward(c, bc)
+		path = append(path, m.NodeAt(r, c))
+	}
+	return path
+}
+
+// RowButterflySteps returns the number of nearest-neighbour data-transfer
+// steps needed to perform all log2(Side) butterfly exchange stages within
+// one row (or column) of the mesh, which the paper states is exactly
+// Side - 1: stage s pairs nodes 2^s apart, and the sum over stages of the
+// per-stage distances is 1 + 2 + ... + Side/2 = Side - 1.
+func (m *Mesh2D) RowButterflySteps() int {
+	if !bits.IsPow2(m.Side) {
+		panic(fmt.Sprintf("topology: row butterfly needs power-of-two side, got %d", m.Side))
+	}
+	return m.Side - 1
+}

@@ -1,0 +1,196 @@
+package topology
+
+import "testing"
+
+func TestMeshBasicProperties(t *testing.T) {
+	m := NewMesh2D(8, false)
+	if m.Nodes() != 64 {
+		t.Fatalf("Nodes = %d", m.Nodes())
+	}
+	if m.LinkDegree() != 4 || m.SwitchDegree() != 5 {
+		t.Fatal("mesh degrees wrong")
+	}
+	if m.Diameter() != 14 {
+		t.Fatalf("Diameter = %d, want 14", m.Diameter())
+	}
+	if m.Crossbars() != 64 {
+		t.Fatalf("Crossbars = %d", m.Crossbars())
+	}
+	if m.BisectionLinks() != 8 {
+		t.Fatalf("BisectionLinks = %d", m.BisectionLinks())
+	}
+	if m.Name() != "2D Mesh" {
+		t.Fatalf("Name = %q", m.Name())
+	}
+}
+
+func TestTorusProperties(t *testing.T) {
+	m := NewMesh2D(8, true)
+	if m.Diameter() != 8 {
+		t.Fatalf("torus Diameter = %d, want 8", m.Diameter())
+	}
+	if m.BisectionLinks() != 16 {
+		t.Fatalf("torus BisectionLinks = %d, want 16", m.BisectionLinks())
+	}
+	if m.Name() != "2D Torus" {
+		t.Fatalf("Name = %q", m.Name())
+	}
+}
+
+func TestMeshForNodes(t *testing.T) {
+	m := NewMesh2DForNodes(4096, false)
+	if m.Side != 64 {
+		t.Fatalf("Side = %d", m.Side)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-square node count did not panic")
+		}
+	}()
+	NewMesh2DForNodes(48, false)
+}
+
+func TestMeshCoordRoundTrip(t *testing.T) {
+	m := NewMesh2D(5, false)
+	for a := 0; a < m.Nodes(); a++ {
+		r, c := m.Coord(a)
+		if m.NodeAt(r, c) != a {
+			t.Fatalf("coord round trip failed for %d", a)
+		}
+	}
+}
+
+func TestMeshNeighborsInterior(t *testing.T) {
+	m := NewMesh2D(4, false)
+	n := m.Neighbors(m.NodeAt(1, 1))
+	if len(n) != 4 {
+		t.Fatalf("interior node has %d neighbours", len(n))
+	}
+	corner := m.Neighbors(m.NodeAt(0, 0))
+	if len(corner) != 2 {
+		t.Fatalf("corner node has %d neighbours", len(corner))
+	}
+	edge := m.Neighbors(m.NodeAt(0, 1))
+	if len(edge) != 3 {
+		t.Fatalf("edge node has %d neighbours", len(edge))
+	}
+}
+
+func TestTorusNeighborsAlwaysFour(t *testing.T) {
+	m := NewMesh2D(4, true)
+	for a := 0; a < m.Nodes(); a++ {
+		if got := len(m.Neighbors(a)); got != 4 {
+			t.Fatalf("torus node %d has %d neighbours", a, got)
+		}
+	}
+}
+
+func TestMeshNeighborsSymmetric(t *testing.T) {
+	for _, wrap := range []bool{false, true} {
+		m := NewMesh2D(6, wrap)
+		for a := 0; a < m.Nodes(); a++ {
+			for _, b := range m.Neighbors(a) {
+				found := false
+				for _, c := range m.Neighbors(b) {
+					if c == a {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("wrap=%v: adjacency not symmetric between %d and %d", wrap, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestMeshDistanceMatchesBFS(t *testing.T) {
+	for _, wrap := range []bool{false, true} {
+		m := NewMesh2D(5, wrap)
+		for a := 0; a < m.Nodes(); a++ {
+			for b := 0; b < m.Nodes(); b++ {
+				if got, want := m.Distance(a, b), BFSDistance(m, a, b); got != want {
+					t.Fatalf("wrap=%v Distance(%d,%d) = %d, BFS = %d", wrap, a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestMeshDiameterMatchesEccentricity(t *testing.T) {
+	for _, wrap := range []bool{false, true} {
+		m := NewMesh2D(6, wrap)
+		max := 0
+		for a := 0; a < m.Nodes(); a++ {
+			if e := Eccentricity(m, a); e > max {
+				max = e
+			}
+		}
+		if max != m.Diameter() {
+			t.Fatalf("wrap=%v eccentricity max %d != Diameter %d", wrap, max, m.Diameter())
+		}
+	}
+}
+
+func TestMeshRoutePath(t *testing.T) {
+	m := NewMesh2D(8, false)
+	a, b := m.NodeAt(0, 0), m.NodeAt(7, 7)
+	path := m.RoutePath(a, b)
+	if len(path) != m.Distance(a, b)+1 {
+		t.Fatalf("path length %d, want distance+1 = %d", len(path), m.Distance(a, b)+1)
+	}
+	if path[0] != a || path[len(path)-1] != b {
+		t.Fatal("path endpoints wrong")
+	}
+	for i := 1; i < len(path); i++ {
+		if m.Distance(path[i-1], path[i]) != 1 {
+			t.Fatalf("path step %d not a single hop", i)
+		}
+	}
+}
+
+func TestTorusRoutePathTakesShortWay(t *testing.T) {
+	m := NewMesh2D(8, true)
+	a, b := m.NodeAt(0, 0), m.NodeAt(0, 7)
+	path := m.RoutePath(a, b)
+	if len(path) != 2 {
+		t.Fatalf("torus path 0->7 has %d hops, want 1 (wraparound)", len(path)-1)
+	}
+}
+
+func TestMeshRoutePathAllPairsLengths(t *testing.T) {
+	m := NewMesh2D(4, true)
+	for a := 0; a < m.Nodes(); a++ {
+		for b := 0; b < m.Nodes(); b++ {
+			path := m.RoutePath(a, b)
+			if len(path)-1 != m.Distance(a, b) {
+				t.Fatalf("path %d->%d has %d hops, distance %d", a, b, len(path)-1, m.Distance(a, b))
+			}
+		}
+	}
+}
+
+func TestRowButterflySteps(t *testing.T) {
+	// Paper: butterflies on a row of sqrt(N) elements require exactly
+	// sqrt(N)-1 data transfer steps.
+	m := NewMesh2D(64, false)
+	if got := m.RowButterflySteps(); got != 63 {
+		t.Fatalf("RowButterflySteps = %d, want 63", got)
+	}
+	// Verify the closed form against the explicit sum of per-stage hop
+	// distances 2^s for s = 0..log2(side)-1.
+	sum := 0
+	for s := 1; s < 64; s <<= 1 {
+		sum += s
+	}
+	if sum != 63 {
+		t.Fatalf("stage distance sum = %d", sum)
+	}
+}
+
+func TestSingleNodeMesh(t *testing.T) {
+	m := NewMesh2D(1, false)
+	if m.Diameter() != 0 || len(m.Neighbors(0)) != 0 || m.Distance(0, 0) != 0 {
+		t.Fatal("degenerate 1x1 mesh misbehaves")
+	}
+}

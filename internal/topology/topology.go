@@ -1,0 +1,107 @@
+// Package topology models the interconnection networks compared in the
+// paper: the 2D mesh (with or without wraparound), the binary hypercube,
+// the base-b n-dimensional hypermesh, and the general k-ary n-cube.
+//
+// A Topology describes the static structure only — node addressing,
+// adjacency, distances, diameter and the crossbar-switch inventory of
+// Table 1A. Dynamic behaviour (routing packets step by step) lives in
+// package netsim, and the bandwidth normalization of Table 1B lives in
+// package hardware.
+package topology
+
+import "fmt"
+
+// Topology is the static description of an interconnection network.
+//
+// Degree conventions follow the paper: SwitchDegree counts every port of
+// the per-node crossbar including the port that connects the Processing
+// Element itself (the paper's mesh node has degree 5 = 4 neighbours + 1
+// PE port), while LinkDegree counts only inter-node connections.
+type Topology interface {
+	// Name identifies the topology family, e.g. "2D Mesh".
+	Name() string
+
+	// Nodes returns N, the number of processing elements.
+	Nodes() int
+
+	// LinkDegree returns the number of distinct inter-node links (for
+	// point-to-point networks) or hypergraph nets (for hypermeshes)
+	// incident to one node.
+	LinkDegree() int
+
+	// SwitchDegree returns the port count of the per-node routing
+	// crossbar, including the PE injection/ejection port.
+	SwitchDegree() int
+
+	// Diameter returns the maximum over node pairs of Distance.
+	Diameter() int
+
+	// Distance returns the minimum number of data-transfer steps needed
+	// to move a packet from node a to node b. For a hypermesh one step
+	// traverses one hypergraph net (any permutation within the net).
+	Distance(a, b int) int
+
+	// Neighbors returns the nodes reachable from a in one data-transfer
+	// step, in a deterministic order.
+	Neighbors(a int) []int
+
+	// Crossbars returns the number of crossbar switch ICs the network is
+	// built from (Table 1A's "# crossbars" column).
+	Crossbars() int
+
+	// BisectionLinks returns the number of inter-node links (or, for the
+	// hypermesh, full crossbar switches) whose removal splits the network
+	// into two halves of N/2 nodes, minimized over bisectors. Package
+	// hardware converts this to bandwidth.
+	BisectionLinks() int
+}
+
+// checkNode panics with a descriptive message when a node id is outside
+// [0, n). All Topology implementations use it so misuse fails loudly.
+func checkNode(name string, a, n int) {
+	if a < 0 || a >= n {
+		panic(fmt.Sprintf("topology: %s node %d out of range [0,%d)", name, a, n))
+	}
+}
+
+// Eccentricity returns the maximum distance from node a to any other
+// node — a brute-force helper used by tests to validate Diameter.
+func Eccentricity(t Topology, a int) int {
+	max := 0
+	for b := 0; b < t.Nodes(); b++ {
+		if d := t.Distance(a, b); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// BFSDistance computes the distance from a to b by breadth-first search
+// over Neighbors. Tests use it as an oracle for the closed-form Distance
+// implementations.
+func BFSDistance(t Topology, a, b int) int {
+	if a == b {
+		return 0
+	}
+	n := t.Nodes()
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[a] = 0
+	queue := []int{a}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range t.Neighbors(u) {
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				if v == b {
+					return dist[v]
+				}
+				queue = append(queue, v)
+			}
+		}
+	}
+	return -1
+}

@@ -1,0 +1,140 @@
+// Package trace records the operation-level history of a simulated
+// machine run: every exchange, net permutation and routing phase, with
+// its data-transfer step cost. Experiments use it to audit where an
+// algorithm's steps go (butterfly ranks versus reorder permutations) and
+// tools print it as a schedule listing.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+)
+
+// Op classifies a recorded event.
+type Op string
+
+// The event kinds machines emit.
+const (
+	OpExchange    Op = "exchange"     // pairwise butterfly exchange on one address bit
+	OpNetPermute  Op = "net-permute"  // one hypermesh net-permutation step
+	OpRoute       Op = "route"        // a full routing operation (possibly many steps)
+	OpRoutePhase  Op = "route-phase"  // one phase of a multi-phase route
+	OpBitSwap     Op = "bit-swap"     // hypercube address-bit transposition (2 steps)
+	OpShift       Op = "shift"        // mesh row/column shift
+	OpUserMarker  Op = "marker"       // caller-inserted annotation
+	OpComputeOnly Op = "compute-only" // local computation, no transfer steps
+)
+
+// Event is one recorded machine operation.
+type Event struct {
+	Seq     int    // monotonically increasing sequence number
+	Machine string // machine name
+	Op      Op
+	Detail  string // e.g. "bit 7", "dim 1", "bit-reversal"
+	Steps   int    // data-transfer steps consumed by this event
+}
+
+// Recorder accumulates events. It is safe for concurrent use; machines
+// running compute workers never record concurrently, but callers may
+// share one recorder across machines.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+	seq    int
+}
+
+// NewRecorder creates an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Record appends an event; nil recorders drop it, so machines can call
+// unconditionally.
+func (r *Recorder) Record(machine string, op Op, detail string, steps int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, Event{Seq: r.seq, Machine: machine, Op: op, Detail: detail, Steps: steps})
+	r.seq++
+}
+
+// Marker inserts a caller annotation (e.g. "begin bit reversal").
+func (r *Recorder) Marker(text string) {
+	r.Record("", OpUserMarker, text, 0)
+}
+
+// Events returns a copy of the recorded events.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Reset clears the recorder.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = r.events[:0]
+	r.seq = 0
+}
+
+// TotalSteps sums the step costs of all recorded events.
+func (r *Recorder) TotalSteps() int {
+	total := 0
+	for _, e := range r.Events() {
+		total += e.Steps
+	}
+	return total
+}
+
+// StepsByOp aggregates step costs per operation kind.
+func (r *Recorder) StepsByOp() map[Op]int {
+	out := map[Op]int{}
+	for _, e := range r.Events() {
+		out[e.Op] += e.Steps
+	}
+	return out
+}
+
+// WriteTo renders the trace as an indented schedule listing.
+func (r *Recorder) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	for _, e := range r.Events() {
+		if e.Op == OpUserMarker {
+			fmt.Fprintf(&b, "-- %s\n", e.Detail)
+			continue
+		}
+		fmt.Fprintf(&b, "%4d  %-14s %-12s %-24s %d step(s)\n", e.Seq, e.Machine, e.Op, e.Detail, e.Steps)
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// String renders the trace as text.
+func (r *Recorder) String() string {
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		return fmt.Sprintf("trace: %v", err)
+	}
+	return b.String()
+}

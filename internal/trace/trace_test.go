@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecorderCollectsEvents(t *testing.T) {
+	r := NewRecorder()
+	r.Record("Hypercube", OpExchange, "bit 3", 1)
+	r.Record("Hypercube", OpBitSwap, "bits 0<->11", 2)
+	r.Marker("begin bit reversal")
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	events := r.Events()
+	if events[0].Op != OpExchange || events[0].Steps != 1 || events[0].Seq != 0 {
+		t.Fatalf("event 0 = %+v", events[0])
+	}
+	if events[2].Op != OpUserMarker {
+		t.Fatalf("event 2 = %+v", events[2])
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Record("x", OpExchange, "bit 0", 1) // must not panic
+	r.Marker("noop")
+	r.Reset()
+	if r.Len() != 0 || r.Events() != nil {
+		t.Fatal("nil recorder misbehaves")
+	}
+}
+
+func TestTotalStepsAndByOp(t *testing.T) {
+	r := NewRecorder()
+	r.Record("m", OpExchange, "bit 0", 1)
+	r.Record("m", OpExchange, "bit 1", 2)
+	r.Record("m", OpRoute, "saf", 10)
+	if r.TotalSteps() != 13 {
+		t.Fatalf("TotalSteps = %d", r.TotalSteps())
+	}
+	by := r.StepsByOp()
+	if by[OpExchange] != 3 || by[OpRoute] != 10 {
+		t.Fatalf("StepsByOp = %v", by)
+	}
+}
+
+func TestResetClears(t *testing.T) {
+	r := NewRecorder()
+	r.Record("m", OpExchange, "bit 0", 1)
+	r.Reset()
+	if r.Len() != 0 || r.TotalSteps() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+	r.Record("m", OpExchange, "bit 0", 1)
+	if r.Events()[0].Seq != 0 {
+		t.Fatal("sequence not reset")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	r := NewRecorder()
+	r.Marker("phase one")
+	r.Record("2D Hypermesh", OpNetPermute, "dimension 1", 1)
+	out := r.String()
+	if !strings.Contains(out, "-- phase one") {
+		t.Fatalf("marker missing: %q", out)
+	}
+	if !strings.Contains(out, "net-permute") || !strings.Contains(out, "dimension 1") {
+		t.Fatalf("event line missing: %q", out)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRecorder()
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			for i := 0; i < 100; i++ {
+				r.Record("m", OpExchange, "bit", 1)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if r.Len() != 800 {
+		t.Fatalf("Len = %d, want 800", r.Len())
+	}
+	if r.TotalSteps() != 800 {
+		t.Fatalf("TotalSteps = %d", r.TotalSteps())
+	}
+}

@@ -1,0 +1,200 @@
+package hypermeshfft
+
+// Property-based tests (testing/quick) over the repository's core
+// invariants, complementing the per-package unit suites.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bits"
+	"repro/internal/clos"
+	"repro/internal/fft"
+	"repro/internal/netsim"
+	"repro/internal/permute"
+	"repro/internal/topology"
+)
+
+// qc runs a quick.Check with a fixed count.
+func qc(t *testing.T, f any) {
+	t.Helper()
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyFFTLinearityRandomSizes(t *testing.T) {
+	qc(t, func(seed int64, kRaw uint8) bool {
+		k := 1 + int(kRaw)%8
+		n := 1 << uint(k)
+		rng := rand.New(rand.NewSource(seed))
+		p := fft.MustPlan(n)
+		x := make([]complex128, n)
+		y := make([]complex128, n)
+		sum := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			y[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			sum[i] = x[i] + y[i]
+		}
+		fx, fy, fs := p.Forward(x), p.Forward(y), p.Forward(sum)
+		for i := range fs {
+			d := fs[i] - fx[i] - fy[i]
+			if real(d)*real(d)+imag(d)*imag(d) > 1e-16*float64(n*n) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func TestPropertyClosDecomposesArbitraryPermutations(t *testing.T) {
+	qc(t, func(seed int64, bRaw uint8) bool {
+		b := 2 + int(bRaw)%9
+		rng := rand.New(rand.NewSource(seed))
+		p := permute.Random(b*b, rng)
+		ph, err := clos.Decompose(b, p)
+		if err != nil {
+			return false
+		}
+		return ph.Steps() <= 3 && ph.Compose().Equal(p)
+	})
+}
+
+func TestPropertyHypermeshRouteAlwaysWithinThreeSteps(t *testing.T) {
+	qc(t, func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		hm, err := netsim.NewHypermesh[int](8, 2, netsim.Config{})
+		if err != nil {
+			return false
+		}
+		for i := range hm.Values() {
+			hm.Values()[i] = i
+		}
+		p := permute.Random(64, rng)
+		steps, err := hm.Route(p)
+		if err != nil || steps > 3 {
+			return false
+		}
+		for src, dst := range p {
+			if hm.Values()[dst] != src {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func TestPropertyTopologyDistanceIsMetric(t *testing.T) {
+	tops := []topology.Topology{
+		topology.NewMesh2D(6, true),
+		topology.NewMesh2D(5, false),
+		topology.NewHypercube(5),
+		topology.NewHypermesh(6, 2),
+		topology.NewKAryNCube(3, 3),
+	}
+	qc(t, func(seedA, seedB, seedC uint16, which uint8) bool {
+		tp := tops[int(which)%len(tops)]
+		n := tp.Nodes()
+		a, b, c := int(seedA)%n, int(seedB)%n, int(seedC)%n
+		dab, dba := tp.Distance(a, b), tp.Distance(b, a)
+		if dab != dba {
+			return false // symmetry
+		}
+		if tp.Distance(a, a) != 0 {
+			return false // identity
+		}
+		if a != b && dab == 0 {
+			return false // separation
+		}
+		return tp.Distance(a, c) <= dab+tp.Distance(b, c) // triangle
+	})
+}
+
+func TestPropertyBitReversalRoutesExactlyOnHypercube(t *testing.T) {
+	qc(t, func(dimsRaw uint8) bool {
+		dims := 1 + int(dimsRaw)%9
+		h, err := netsim.NewHypercube[int](dims, netsim.Config{})
+		if err != nil {
+			return false
+		}
+		for i := range h.Values() {
+			h.Values()[i] = i
+		}
+		steps, err := h.RouteBitReversal()
+		if err != nil {
+			return false
+		}
+		if steps != 2*(dims/2) {
+			return false
+		}
+		rev := permute.BitReversal(1 << uint(dims))
+		for src, dst := range rev {
+			if h.Values()[dst] != src {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func TestPropertyExchangeComputeIsInvolutionWithSwap(t *testing.T) {
+	// Swapping twice across the same bit restores the registers on every
+	// machine type.
+	qc(t, func(seed int64, bitRaw uint8) bool {
+		bit := int(bitRaw) % 4
+		rng := rand.New(rand.NewSource(seed))
+		mesh, _ := netsim.NewMesh[int](4, true, netsim.Config{Workers: 1})
+		cube, _ := netsim.NewHypercube[int](4, netsim.Config{Workers: 1})
+		hm, _ := netsim.NewHypermesh[int](4, 2, netsim.Config{Workers: 1})
+		swap := func(self, partner int, node int) int { return partner }
+		for _, m := range []netsim.Machine[int]{mesh, cube, hm} {
+			orig := make([]int, 16)
+			for i := range orig {
+				orig[i] = rng.Int()
+			}
+			copy(m.Values(), orig)
+			if err := m.ExchangeCompute(bit, swap); err != nil {
+				return false
+			}
+			if err := m.ExchangeCompute(bit, swap); err != nil {
+				return false
+			}
+			for i := range orig {
+				if m.Values()[i] != orig[i] {
+					return false
+				}
+			}
+		}
+		return true
+	})
+}
+
+func TestPropertyDigitReversalInvolution(t *testing.T) {
+	qc(t, func(x uint16, bRaw, nRaw uint8) bool {
+		b := 2 + int(bRaw)%9
+		n := 1 + int(nRaw)%4
+		v := int(x) % bits.Pow(b, n)
+		return bits.DigitReverse(bits.DigitReverse(v, b, n), b, n) == v
+	})
+}
+
+func TestPropertyHardwareSpeedupScalesWithPacketSize(t *testing.T) {
+	// The §IV speedups are packet-size invariant (every network's step
+	// time scales identically) — a structural property of the
+	// normalization.
+	base, err := RunCaseStudy(CaseStudyOptions{PacketBits: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qc(t, func(bitsRaw uint8) bool {
+		pb := 32 * (1 + int(bitsRaw)%32)
+		cs, err := RunCaseStudy(CaseStudyOptions{PacketBits: pb})
+		if err != nil {
+			return false
+		}
+		d := cs.SpeedupVsMesh - base.SpeedupVsMesh
+		return d < 1e-9 && d > -1e-9
+	})
+}
