@@ -2,9 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race cover bench repro examples clean
+.PHONY: all verify build vet test race test-race cover bench repro serve examples clean
 
-all: build vet test
+all: verify
+
+# verify is the tier-1 gate: build + vet + tests, then the race detector
+# over the concurrency-heavy packages' tests (worker pool, sharded plan
+# cache, barrier, netsim engines).
+verify: build vet test race
 
 build:
 	$(GO) build ./...
@@ -15,11 +20,18 @@ vet:
 test:
 	$(GO) test ./...
 
-test-race:
+race:
 	$(GO) test -race ./...
+
+# Backwards-compatible alias for the race target.
+test-race: race
 
 cover:
 	$(GO) test -cover ./...
+
+# Run the fftd service daemon (see docs/SERVICE.md for the endpoints).
+serve:
+	$(GO) run ./cmd/fftd
 
 # Regenerate every paper table/figure and the recorded outputs.
 repro:
@@ -38,6 +50,7 @@ examples:
 	$(GO) run ./examples/spectral-filter
 	$(GO) run ./examples/parallel-primitives
 	$(GO) run ./examples/matrix-algorithms
+	$(GO) run ./examples/service-client
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,88 @@
+// Command fftd is the repository's long-lived FFT/simulation daemon:
+// JSON-over-HTTP transforms served from a shared plan cache, network
+// simulations and the paper's comparison tables on demand, with
+// built-in metrics and graceful shutdown.
+//
+// Endpoints:
+//
+//	POST /v1/fft       single or batch complex/real transforms
+//	POST /v1/simulate  run a netsim scenario (fft, bitreversal, random, traffic)
+//	GET  /v1/compare   the paper's Table 1A/1B/2A/2B and bisection numbers
+//	GET  /healthz      liveness
+//	GET  /metrics      expvar-style counters (requests, cache hits, latency)
+//
+// On SIGTERM/SIGINT the daemon stops accepting connections, lets
+// in-flight requests finish (bounded by -drain-timeout), then drains
+// the worker pool. See docs/SERVICE.md for the endpoint reference.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 256, "bounded job queue depth")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	cacheSize := flag.Int("cache", 64, "plan cache capacity (plans)")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown deadline")
+	flag.Parse()
+
+	if err := run(*addr, server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		RequestTimeout: *timeout,
+		PlanCacheSize:  *cacheSize,
+	}, *drainTimeout); err != nil {
+		fmt.Fprintf(os.Stderr, "fftd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, cfg server.Config, drainTimeout time.Duration) error {
+	s := server.New(cfg)
+	httpSrv := &http.Server{Addr: addr, Handler: s.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("fftd: listening on %s\n", addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		// The listener failed before any shutdown was requested.
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Println("fftd: shutdown requested, draining")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	// Shutdown stops accepting and waits for in-flight handlers; only
+	// then is the worker pool closed, so no accepted request is dropped.
+	err := httpSrv.Shutdown(shutdownCtx)
+	s.Close()
+	if err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if serveErr := <-errc; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
+		return serveErr
+	}
+	fmt.Println("fftd: drained cleanly")
+	return nil
+}

@@ -1,0 +1,109 @@
+// Service client: exercise the fftd service layer end-to-end without a
+// network — the daemon's handler is mounted on an in-process httptest
+// server, a 64-transform batch flows through POST /v1/fft, and the
+// results are verified against the serial library before the /metrics
+// counters are printed. Point the same code at a real `make serve`
+// daemon by replacing the base URL.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+
+	"repro/internal/fft"
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "service-client:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// In-process daemon: the same Server cmd/fftd mounts.
+	svc := server.New(server.Config{PlanCacheSize: 16})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	defer svc.Close()
+
+	// Build a 64-transform batch over a handful of sizes, so the plan
+	// cache gets both misses (first of a size) and hits (the rest).
+	rng := rand.New(rand.NewSource(2026))
+	sizes := []int{256, 512, 1024, 2048}
+	const batch = 64
+	specs := make([]server.TransformSpec, batch)
+	inputs := make([][]complex128, batch)
+	for i := range specs {
+		n := sizes[i%len(sizes)]
+		in := make([]server.Complex, n)
+		x := make([]complex128, n)
+		for j := range in {
+			re, im := rng.NormFloat64(), rng.NormFloat64()
+			in[j] = server.Complex{re, im}
+			x[j] = complex(re, im)
+		}
+		specs[i] = server.TransformSpec{Input: in}
+		inputs[i] = x
+	}
+
+	body, err := json.Marshal(server.FFTRequest{Transforms: specs})
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(ts.URL+"/v1/fft", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST /v1/fft: status %d", resp.StatusCode)
+	}
+	var fftResp server.FFTResponse
+	if err := json.NewDecoder(resp.Body).Decode(&fftResp); err != nil {
+		return err
+	}
+
+	// Verify every transform against the serial library.
+	worst := 0.0
+	for i, res := range fftResp.Results {
+		if res.Error != "" {
+			return fmt.Errorf("transform %d: %s", i, res.Error)
+		}
+		got := make([]complex128, len(res.Output))
+		for j, c := range res.Output {
+			got[j] = complex(c[0], c[1])
+		}
+		want := fft.MustPlan(len(inputs[i])).Forward(inputs[i])
+		if d := fft.MaxAbsDiff(got, want); d > worst {
+			worst = d
+		}
+	}
+	fmt.Printf("batch of %d transforms served; max |error| vs serial FFT: %.3g\n",
+		fftResp.Batch, worst)
+
+	// Read back the daemon's own accounting.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer mresp.Body.Close()
+	var snap server.Snapshot
+	if err := json.NewDecoder(mresp.Body).Decode(&snap); err != nil {
+		return err
+	}
+	fmt.Printf("plan cache: %d hits, %d misses (%d plans resident)\n",
+		snap.PlanCache.Hits, snap.PlanCache.Misses, snap.PlanCache.Size)
+	fmt.Printf("transforms served: %d; request latency p50 %.2f ms, p99 %.2f ms\n",
+		snap.Transforms, snap.Latency.P50MS, snap.Latency.P99MS)
+	if snap.PlanCache.Hits == 0 {
+		return fmt.Errorf("expected plan-cache hits across a %d-transform batch", batch)
+	}
+	return nil
+}

@@ -1,0 +1,21 @@
+package fft
+
+// Source supplies transform plans. It is the plan-reuse hook for
+// long-lived callers (servers, pipelines): a Source may hand out the
+// same *Plan for repeated requests of one length, amortizing twiddle
+// construction across transforms. Plans are read-only after creation,
+// so sharing one Plan between goroutines is safe.
+type Source interface {
+	// Plan returns a plan for length n (a power of two).
+	Plan(n int) (*Plan, error)
+}
+
+// SourceFunc adapts a function to the Source interface.
+type SourceFunc func(n int) (*Plan, error)
+
+// Plan calls f.
+func (f SourceFunc) Plan(n int) (*Plan, error) { return f(n) }
+
+// FreshSource returns a Source that builds a new Plan on every call —
+// the no-reuse default used when no cache is configured.
+func FreshSource() Source { return SourceFunc(NewPlan) }

@@ -25,6 +25,13 @@ func NewBarrier(n int) *Barrier {
 
 // Await blocks until all n parties have called Await for this
 // generation. It returns false if the barrier was broken by Break.
+//
+// Once broken, the barrier stays broken: Await returns false
+// immediately — without blocking and without counting toward any
+// generation — for every later call, across all later generations,
+// until Reset is called. This lets a party that errored Break the
+// barrier once and guarantees every other party's current and future
+// Await calls fail fast instead of deadlocking.
 func (b *Barrier) Await() bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -46,10 +53,29 @@ func (b *Barrier) Await() bool {
 }
 
 // Break releases all waiters with a failure indication; used to abort a
-// parallel run when one party errors.
+// parallel run when one party errors. The barrier remains unusable (all
+// later Await calls return false immediately) until Reset.
 func (b *Barrier) Break() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.broken = true
 	b.cond.Broadcast()
+}
+
+// Reset returns a broken barrier to service with a fresh generation and
+// zero arrivals, so long-lived callers (the service layer) can reuse
+// one barrier across simulations instead of allocating per run. It is
+// the caller's responsibility to ensure no party is blocked in Await
+// and no party will call Await concurrently with Reset; the intended
+// pattern is: all parties observe Await() == false (or the run
+// finishes), then one coordinator calls Reset before the next run.
+func (b *Barrier) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.broken = false
+	b.count = 0
+	// Advance the generation so any stale waiter from before the Break
+	// (already released with false) cannot be confused with a waiter of
+	// the new era.
+	b.gen++
 }

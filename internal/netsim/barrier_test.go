@@ -62,6 +62,82 @@ func TestBarrierBreakReleasesWaiters(t *testing.T) {
 	}
 }
 
+// TestBarrierBrokenAcrossGenerations pins the reuse-after-Break
+// contract: once broken, Await returns false immediately for all later
+// generations — even calls that would have completed whole generations
+// had the barrier been healthy.
+func TestBarrierBrokenAcrossGenerations(t *testing.T) {
+	b := NewBarrier(2)
+	// Complete one healthy generation first.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		b.Await()
+	}()
+	if !b.Await() {
+		t.Fatal("healthy generation failed")
+	}
+	wg.Wait()
+
+	b.Break()
+	// Enough calls for two full generations of a 2-party barrier: every
+	// one must return false without blocking (the test would deadlock
+	// otherwise) and without accumulating arrivals.
+	for i := 0; i < 4; i++ {
+		if b.Await() {
+			t.Fatalf("Await %d after Break succeeded", i)
+		}
+	}
+	b.mu.Lock()
+	count := b.count
+	b.mu.Unlock()
+	if count != 0 {
+		t.Fatalf("broken barrier accumulated %d arrivals", count)
+	}
+}
+
+func TestBarrierResetRestoresService(t *testing.T) {
+	const parties = 4
+	b := NewBarrier(parties)
+	b.Break()
+	if b.Await() {
+		t.Fatal("Await on broken barrier succeeded")
+	}
+	b.Reset()
+	// The barrier must work for several full rounds after Reset.
+	for round := 0; round < 3; round++ {
+		results := make(chan bool, parties)
+		for p := 0; p < parties; p++ {
+			go func() {
+				results <- b.Await()
+			}()
+		}
+		for p := 0; p < parties; p++ {
+			if !<-results {
+				t.Fatalf("round %d: Await failed after Reset", round)
+			}
+		}
+	}
+	// Break/Reset cycles keep working.
+	b.Break()
+	if b.Await() {
+		t.Fatal("Await after second Break succeeded")
+	}
+	b.Reset()
+	done := make(chan bool, parties)
+	for p := 0; p < parties; p++ {
+		go func() {
+			done <- b.Await()
+		}()
+	}
+	for p := 0; p < parties; p++ {
+		if !<-done {
+			t.Fatal("Await failed after second Reset")
+		}
+	}
+}
+
 func TestBarrierSingleParty(t *testing.T) {
 	b := NewBarrier(1)
 	for i := 0; i < 10; i++ {

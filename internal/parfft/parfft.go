@@ -35,6 +35,11 @@ type Options struct {
 	// SkipBitReversal leaves the output in bit-reversed order, modelling
 	// the applications of §IV.A for which the reversal is unnecessary.
 	SkipBitReversal bool
+	// Plans supplies the serial FFT plan (twiddle table) the schedule
+	// reads; nil builds a fresh plan per run. Long-lived callers pass a
+	// shared cache (internal/plancache) so repeated simulations of one
+	// size reuse the table.
+	Plans fft.Source
 }
 
 // Run executes the N-point FFT of x (N = m.Nodes(), one sample per
@@ -55,7 +60,11 @@ func Run(m netsim.Machine[complex128], x []complex128, opts Options) (*Result, e
 	if lay == nil {
 		lay = layout.RowMajor(n)
 	}
-	plan, err := fft.NewPlan(n)
+	plans := opts.Plans
+	if plans == nil {
+		plans = fft.FreshSource()
+	}
+	plan, err := plans.Plan(n)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,234 @@
+package plancache
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/fft"
+)
+
+func TestGetPutRoundTrip(t *testing.T) {
+	c := New(16)
+	if _, ok := c.Get(Key{KindComplex, 64}); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	p := fft.MustPlan(64)
+	c.Put(Key{KindComplex, 64}, p)
+	v, ok := c.Get(Key{KindComplex, 64})
+	if !ok || v.(*fft.Plan) != p {
+		t.Fatal("cached plan not returned")
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Size != 1 {
+		t.Fatalf("stats = %+v, want 1 hit, 1 miss, size 1", s)
+	}
+}
+
+func TestKindsDoNotCollide(t *testing.T) {
+	c := New(16)
+	c.Put(Key{KindComplex, 64}, fft.MustPlan(64))
+	if _, ok := c.Get(Key{KindReal, 64}); ok {
+		t.Fatal("real lookup hit a complex entry of the same size")
+	}
+}
+
+func TestComplexPlanReuse(t *testing.T) {
+	c := New(8)
+	p1, err := c.ComplexPlan(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := c.ComplexPlan(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatal("second ComplexPlan call built a fresh plan")
+	}
+	if _, err := c.ComplexPlan(3); err == nil {
+		t.Fatal("non-power-of-two length did not error")
+	}
+	if got := c.Stats().Hits; got < 1 {
+		t.Fatalf("hits = %d, want >= 1", got)
+	}
+}
+
+func TestSourceServesCachedPlans(t *testing.T) {
+	c := New(8)
+	src := c.Source()
+	p1, err := src.Plan(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := src.Plan(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatal("Source did not reuse the cached plan")
+	}
+}
+
+// TestEvictionOrderProperty drives a random Get/Put trace against a
+// reference per-shard LRU model and checks the cache's contents match
+// the model exactly after every operation batch.
+func TestEvictionOrderProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	c := New(numShards * 4) // 4 entries per shard
+	type model struct{ order []Key }
+	models := make([]*model, numShards)
+	for i := range models {
+		models[i] = &model{}
+	}
+	shardIndex := func(k Key) int {
+		s := c.shardFor(k)
+		for i := range c.shards {
+			if c.shards[i] == s {
+				return i
+			}
+		}
+		t.Fatal("shard not found")
+		return -1
+	}
+	touch := func(m *model, k Key, insert bool) {
+		for i, have := range m.order {
+			if have == k {
+				m.order = append(m.order[:i], m.order[i+1:]...)
+				m.order = append([]Key{k}, m.order...)
+				return
+			}
+		}
+		if insert {
+			m.order = append([]Key{k}, m.order...)
+			if len(m.order) > 4 {
+				m.order = m.order[:4]
+			}
+		}
+	}
+	keys := make([]Key, 40)
+	for i := range keys {
+		keys[i] = Key{KindComplex, 1 << uint(i%20)}
+		if i >= 20 {
+			keys[i].Kind = KindReal
+		}
+	}
+	for step := 0; step < 2000; step++ {
+		k := keys[rng.Intn(len(keys))]
+		m := models[shardIndex(k)]
+		if rng.Intn(2) == 0 {
+			c.Put(k, k.N)
+			touch(m, k, true)
+		} else {
+			_, hit := c.Get(k)
+			wantHit := false
+			for _, have := range m.order {
+				if have == k {
+					wantHit = true
+				}
+			}
+			if hit != wantHit {
+				t.Fatalf("step %d: Get(%v) hit=%v, model says %v", step, k, hit, wantHit)
+			}
+			touch(m, k, false)
+		}
+	}
+	// Final contents must match the union of the models.
+	want := map[Key]bool{}
+	for _, m := range models {
+		for _, k := range m.order {
+			want[k] = true
+		}
+	}
+	got := c.Keys()
+	if len(got) != len(want) {
+		t.Fatalf("cache holds %d keys, model holds %d", len(got), len(want))
+	}
+	for _, k := range got {
+		if !want[k] {
+			t.Fatalf("cache holds %v which the LRU model evicted", k)
+		}
+	}
+}
+
+// TestConcurrentChurn hammers the cache with parallel Get/Put/GetOrCreate
+// from many goroutines; run under -race this is the shard-locking test.
+func TestConcurrentChurn(t *testing.T) {
+	c := New(32)
+	var wg sync.WaitGroup
+	const workers = 8
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 500; i++ {
+				n := 1 << uint(1+rng.Intn(10))
+				switch rng.Intn(3) {
+				case 0:
+					if _, err := c.ComplexPlan(n); err != nil {
+						t.Errorf("ComplexPlan(%d): %v", n, err)
+						return
+					}
+				case 1:
+					if _, err := c.RealPlan(n * 2); err != nil {
+						t.Errorf("RealPlan(%d): %v", n*2, err)
+						return
+					}
+				case 2:
+					c.Get(Key{KindComplex, n})
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	s := c.Stats()
+	if s.Size > c.Capacity() {
+		t.Fatalf("size %d exceeds capacity %d", s.Size, c.Capacity())
+	}
+	if s.Hits+s.Misses == 0 {
+		t.Fatal("no lookups recorded")
+	}
+}
+
+func TestEvictionKeepsShardBounded(t *testing.T) {
+	c := New(numShards) // one entry per shard
+	for n := 1; n <= 1<<12; n <<= 1 {
+		c.Put(Key{KindComplex, n}, n)
+	}
+	for _, s := range c.shards {
+		if s.order.Len() > s.cap {
+			t.Fatalf("shard holds %d entries, cap %d", s.order.Len(), s.cap)
+		}
+	}
+	if c.Stats().Evictions == 0 {
+		t.Fatal("no evictions recorded despite overflow")
+	}
+}
+
+// BenchmarkPlanCacheHit proves the point of the cache: serving a plan
+// from the cache is far cheaper than constructing one.
+func BenchmarkPlanCacheHit(b *testing.B) {
+	c := New(8)
+	const n = 4096
+	if _, err := c.ComplexPlan(n); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.ComplexPlan(n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanCacheMiss is the fresh-construction baseline for
+// BenchmarkPlanCacheHit.
+func BenchmarkPlanCacheMiss(b *testing.B) {
+	const n = 4096
+	for i := 0; i < b.N; i++ {
+		if _, err := fft.NewPlan(n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package report
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// tableJSON is the wire form of a Table: the service layer returns the
+// same tables cmd/* print, but machine-readable.
+type tableJSON struct {
+	Title   string     `json:"title,omitempty"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+}
+
+// MarshalJSON renders the table as {"title", "headers", "rows"}.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	rows := t.rows
+	if rows == nil {
+		rows = [][]string{}
+	}
+	return json.Marshal(tableJSON{Title: t.Title, Headers: t.headers, Rows: rows})
+}
+
+// UnmarshalJSON restores a table from its wire form, so service clients
+// can re-render responses with Render.
+func (t *Table) UnmarshalJSON(data []byte) error {
+	var w tableJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	t.Title = w.Title
+	t.headers = w.Headers
+	t.rows = w.Rows
+	return nil
+}
+
+// RenderJSON writes the table to w as indented JSON.
+func (t *Table) RenderJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}

@@ -1,0 +1,70 @@
+package report
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTableJSONRoundTrip(t *testing.T) {
+	tab := New("speeds", "network", "steps")
+	tab.MustAddRow("mesh", "158")
+	tab.MustAddRow("hypermesh", "15")
+	data, err := json.Marshal(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Table
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != tab.String() {
+		t.Fatalf("round trip changed rendering:\n%s\nvs\n%s", back.String(), tab.String())
+	}
+}
+
+func TestTableJSONShape(t *testing.T) {
+	tab := New("", "a", "b")
+	tab.MustAddRow("1") // short row: second cell renders empty
+	data, err := json.Marshal(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m["title"]; ok {
+		t.Fatal("empty title should be omitted")
+	}
+	rows, ok := m["rows"].([]any)
+	if !ok || len(rows) != 1 {
+		t.Fatalf("rows = %v, want one row", m["rows"])
+	}
+	if cells := rows[0].([]any); len(cells) != 2 || cells[1] != "" {
+		t.Fatalf("cells = %v, want padded to 2 columns", rows[0])
+	}
+}
+
+func TestTableJSONEmptyRows(t *testing.T) {
+	tab := New("empty", "x")
+	data, err := json.Marshal(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"rows":[]`) {
+		t.Fatalf("empty table must marshal rows as [], got %s", data)
+	}
+}
+
+func TestRenderJSON(t *testing.T) {
+	tab := New("t", "h")
+	tab.MustAddRow("v")
+	var b strings.Builder
+	if err := tab.RenderJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"headers"`) {
+		t.Fatalf("unexpected output: %s", b.String())
+	}
+}

@@ -1,0 +1,44 @@
+package server
+
+import "sync"
+
+// flightGroup coalesces concurrent identical requests: the first caller
+// of a key executes the function, every concurrent duplicate waits and
+// shares the leader's result. Simulations and table evaluations are
+// deterministic functions of their request, so identical in-flight
+// queries would only repeat work. (A deliberately tiny singleflight;
+// results are not cached once the flight lands.)
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// do returns the result of fn for key, with shared=true if this caller
+// piggybacked on another caller's execution.
+func (g *flightGroup) do(key string, fn func() (any, error)) (val any, shared bool, err error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall)
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.val, true, c.err
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, false, c.err
+}

@@ -1,0 +1,555 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"repro/internal/bits"
+	"repro/internal/fft"
+	"repro/internal/hardware"
+	"repro/internal/netsim"
+	"repro/internal/parfft"
+	"repro/internal/perfmodel"
+	"repro/internal/permute"
+	"repro/internal/report"
+)
+
+// ---- /v1/fft ----
+
+// Complex is the wire form of one complex sample: [re, im].
+type Complex [2]float64
+
+func toComplex(pairs []Complex) []complex128 {
+	out := make([]complex128, len(pairs))
+	for i, p := range pairs {
+		out[i] = complex(p[0], p[1])
+	}
+	return out
+}
+
+func fromComplex(xs []complex128) []Complex {
+	out := make([]Complex, len(xs))
+	for i, x := range xs {
+		out[i] = Complex{real(x), imag(x)}
+	}
+	return out
+}
+
+// TransformSpec is one transform of a /v1/fft request. Exactly one of
+// Input (complex samples) or RealInput must be set.
+type TransformSpec struct {
+	// Input holds complex samples as [re, im] pairs.
+	Input []Complex `json:"input,omitempty"`
+	// RealInput holds real samples; the response carries the n/2+1
+	// non-redundant spectrum bins.
+	RealInput []float64 `json:"real_input,omitempty"`
+	// Inverse requests the inverse transform (complex input only).
+	Inverse bool `json:"inverse,omitempty"`
+	// NoReorder skips the terminal bit-reversal, leaving the spectrum
+	// in bit-reversed order (§IV.A's "if the bit-reversal is not
+	// needed" pipeline; forward complex only).
+	NoReorder bool `json:"no_reorder,omitempty"`
+}
+
+// FFTRequest is the /v1/fft body: either a single transform (inline
+// fields) or a batch (Transforms).
+type FFTRequest struct {
+	TransformSpec
+	Transforms []TransformSpec `json:"transforms,omitempty"`
+}
+
+// TransformResult is one transform's response. A per-transform failure
+// sets Error and leaves Output empty; the batch itself still succeeds.
+type TransformResult struct {
+	N      int       `json:"n"`
+	Output []Complex `json:"output,omitempty"`
+	Error  string    `json:"error,omitempty"`
+}
+
+// FFTResponse is the /v1/fft response.
+type FFTResponse struct {
+	Batch   int               `json:"batch"`
+	Results []TransformResult `json:"results"`
+}
+
+// runTransform executes one transform against the shared plan cache.
+func (s *Server) runTransform(spec TransformSpec) (TransformResult, error) {
+	switch {
+	case len(spec.Input) > 0 && len(spec.RealInput) > 0:
+		return TransformResult{}, badRequest("transform sets both input and real_input")
+	case len(spec.RealInput) > 0:
+		n := len(spec.RealInput)
+		if err := s.checkLen(n); err != nil {
+			return TransformResult{}, err
+		}
+		if spec.Inverse || spec.NoReorder {
+			return TransformResult{}, badRequest("inverse/no_reorder apply to complex input only")
+		}
+		p, err := s.cache.RealPlan(n)
+		if err != nil {
+			return TransformResult{}, badRequest("real plan: %v", err)
+		}
+		return TransformResult{N: n, Output: fromComplex(p.Forward(spec.RealInput))}, nil
+	case len(spec.Input) > 0:
+		n := len(spec.Input)
+		if err := s.checkLen(n); err != nil {
+			return TransformResult{}, err
+		}
+		p, err := s.cache.ComplexPlan(n)
+		if err != nil {
+			return TransformResult{}, badRequest("plan: %v", err)
+		}
+		x := toComplex(spec.Input)
+		dst := make([]complex128, n)
+		switch {
+		case spec.Inverse && spec.NoReorder:
+			return TransformResult{}, badRequest("inverse and no_reorder are mutually exclusive")
+		case spec.Inverse:
+			p.Inverse(dst, x)
+		case spec.NoReorder:
+			p.TransformNoReorder(dst, x)
+		default:
+			p.Transform(dst, x)
+		}
+		return TransformResult{N: n, Output: fromComplex(dst)}, nil
+	default:
+		return TransformResult{}, badRequest("transform has no input or real_input")
+	}
+}
+
+// checkLen validates a transform length against the configured bound
+// (power-of-two validation is the plan constructor's job).
+func (s *Server) checkLen(n int) error {
+	if n > s.cfg.MaxTransformLen {
+		return badRequest("transform length %d exceeds limit %d", n, s.cfg.MaxTransformLen)
+	}
+	return nil
+}
+
+// handleFFT serves single and batch transforms. Each transform of a
+// batch is an independent worker-pool job, so a batch fans out across
+// the pool and large batches get the pool's backpressure.
+func (s *Server) handleFFT(w http.ResponseWriter, r *http.Request) {
+	var req FFTRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, badRequest("decode: %v", err))
+		return
+	}
+	specs := req.Transforms
+	single := len(specs) == 0
+	if single {
+		specs = []TransformSpec{req.TransformSpec}
+	}
+	if len(specs) > s.cfg.MaxBatch {
+		writeError(w, badRequest("batch of %d exceeds limit %d", len(specs), s.cfg.MaxBatch))
+		return
+	}
+
+	results := make([]TransformResult, len(specs))
+	errs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	for i := range specs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			spec := specs[i]
+			errs[i] = s.pool.do(r.Context(), func() {
+				res, err := s.runTransform(spec)
+				if err != nil {
+					res = TransformResult{Error: err.Error()}
+				} else {
+					s.metrics.transforms.Add(1)
+				}
+				results[i] = res
+			})
+		}(i)
+	}
+	wg.Wait()
+
+	// Pool-level failures (drain, timeout, worker panic) fail the whole
+	// request: the batch result would otherwise silently hold holes.
+	for _, err := range errs {
+		if err != nil {
+			if errors.Is(err, ErrDraining) {
+				s.metrics.drained.Add(1)
+			}
+			writeError(w, err)
+			return
+		}
+	}
+	writeJSON(w, FFTResponse{Batch: len(specs), Results: results})
+}
+
+// ---- /v1/simulate ----
+
+// SimulateRequest selects one word-level simulation scenario, the
+// service form of `cmd/netsim`.
+type SimulateRequest struct {
+	// Network is mesh, hypercube or hypermesh.
+	Network string `json:"network"`
+	// N is the node (and element) count; a power of two, and a perfect
+	// square for mesh/hypermesh.
+	N int `json:"n"`
+	// Wrap selects torus links on the mesh; nil means true.
+	Wrap *bool `json:"wrap,omitempty"`
+	// Scenario is fft, bitreversal, random or traffic.
+	Scenario string `json:"scenario"`
+	// Seed drives the scenario's RNG; same seed, same result.
+	Seed int64 `json:"seed,omitempty"`
+	// SkipBitReversal drops the FFT's terminal reversal (fft only).
+	SkipBitReversal bool `json:"skip_bit_reversal,omitempty"`
+}
+
+// normalize fills defaults and returns the coalescing key: simulations
+// are deterministic functions of the normalized request, so identical
+// concurrent queries share one execution.
+func (r SimulateRequest) normalize() (SimulateRequest, string) {
+	if r.Network == "" {
+		r.Network = "hypermesh"
+	}
+	if r.Scenario == "" {
+		r.Scenario = "fft"
+	}
+	if r.Wrap == nil {
+		t := true
+		r.Wrap = &t
+	}
+	key := fmt.Sprintf("simulate|%s|%d|%v|%s|%d|%v",
+		r.Network, r.N, *r.Wrap, r.Scenario, r.Seed, r.SkipBitReversal)
+	return r, key
+}
+
+// SimulateResponse reports one simulation run.
+type SimulateResponse struct {
+	Network  string `json:"network"`
+	Machine  string `json:"machine"`
+	N        int    `json:"n"`
+	Scenario string `json:"scenario"`
+	Seed     int64  `json:"seed"`
+
+	// FFT scenario fields.
+	ButterflySteps   int     `json:"butterfly_steps,omitempty"`
+	BitReversalSteps int     `json:"bit_reversal_steps,omitempty"`
+	ComputeSteps     int     `json:"compute_steps,omitempty"`
+	MaxError         float64 `json:"max_error,omitempty"`
+
+	// Routing scenario fields.
+	RouteSteps int `json:"route_steps,omitempty"`
+
+	// Traffic scenario fields.
+	DeliveredRate float64 `json:"delivered_rate,omitempty"`
+	AvgLatency    float64 `json:"avg_latency,omitempty"`
+
+	TotalSteps int          `json:"total_steps"`
+	Stats      netsim.Stats `json:"stats"`
+
+	// Table is the same report rendered by the CLI, machine-readable.
+	Table *report.Table `json:"table,omitempty"`
+
+	// Coalesced is true when this response was produced by another
+	// identical in-flight request.
+	Coalesced bool `json:"coalesced,omitempty"`
+}
+
+// buildMachine constructs the simulated machine for a request.
+func buildMachine(network string, n int, wrap bool) (netsim.Machine[complex128], error) {
+	if !bits.IsPow2(n) || n < 4 {
+		return nil, badRequest("n = %d must be a power of two >= 4", n)
+	}
+	switch network {
+	case "mesh", "hypermesh":
+		side := 1
+		for side*side < n {
+			side++
+		}
+		if side*side != n {
+			return nil, badRequest("%s needs a square n, got %d", network, n)
+		}
+		if network == "mesh" {
+			return netsim.NewMesh[complex128](side, wrap, netsim.Config{})
+		}
+		return netsim.NewHypermesh[complex128](side, 2, netsim.Config{})
+	case "hypercube":
+		return netsim.NewHypercube[complex128](bits.Log2(n), netsim.Config{})
+	default:
+		return nil, badRequest("unknown network %q", network)
+	}
+}
+
+// runSimulation executes one scenario; it is the flight-group leader's
+// workload and runs on the worker pool.
+func (s *Server) runSimulation(req SimulateRequest) (*SimulateResponse, error) {
+	if req.N > s.cfg.MaxSimNodes {
+		return nil, badRequest("n = %d exceeds simulation limit %d", req.N, s.cfg.MaxSimNodes)
+	}
+	rng := rand.New(rand.NewSource(req.Seed))
+	resp := &SimulateResponse{
+		Network: req.Network, N: req.N, Scenario: req.Scenario, Seed: req.Seed,
+	}
+	switch req.Scenario {
+	case "fft":
+		m, err := buildMachine(req.Network, req.N, *req.Wrap)
+		if err != nil {
+			return nil, err
+		}
+		x := make([]complex128, req.N)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		res, err := parfft.Run(m, x, parfft.Options{
+			SkipBitReversal: req.SkipBitReversal,
+			Plans:           s.cache.Source(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		want := make([]complex128, req.N)
+		plan, err := s.cache.ComplexPlan(req.N)
+		if err != nil {
+			return nil, err
+		}
+		if req.SkipBitReversal {
+			plan.TransformNoReorder(want, x)
+		} else {
+			plan.Transform(want, x)
+		}
+		resp.Machine = m.Name()
+		resp.ButterflySteps = res.ButterflySteps
+		resp.BitReversalSteps = res.BitReversalSteps
+		resp.ComputeSteps = res.ComputeSteps
+		resp.TotalSteps = res.TotalSteps()
+		resp.MaxError = fft.MaxAbsDiff(res.Output, want)
+		resp.Stats = m.Stats()
+		t := report.New(fmt.Sprintf("%d-point distributed FFT on %s", req.N, m.Name()),
+			"quantity", "value")
+		t.MustAddRow("butterfly data-transfer steps", strconv.Itoa(res.ButterflySteps))
+		t.MustAddRow("bit-reversal data-transfer steps", strconv.Itoa(res.BitReversalSteps))
+		t.MustAddRow("total data-transfer steps", strconv.Itoa(res.TotalSteps()))
+		t.MustAddRow("compute steps", strconv.Itoa(res.ComputeSteps))
+		t.MustAddRow("max |error| vs serial FFT", fmt.Sprintf("%.3g", resp.MaxError))
+		resp.Table = t
+		return resp, nil
+
+	case "bitreversal", "random":
+		m, err := buildMachine(req.Network, req.N, *req.Wrap)
+		if err != nil {
+			return nil, err
+		}
+		var p permute.Permutation
+		if req.Scenario == "bitreversal" {
+			p = permute.BitReversal(req.N)
+		} else {
+			p = permute.Random(req.N, rng)
+		}
+		steps, err := m.Route(p)
+		if err != nil {
+			return nil, err
+		}
+		resp.Machine = m.Name()
+		resp.RouteSteps = steps
+		resp.TotalSteps = steps
+		resp.Stats = m.Stats()
+		t := report.New(fmt.Sprintf("%s permutation on %s (N = %d)", req.Scenario, m.Name(), req.N),
+			"quantity", "value")
+		t.MustAddRow("data-transfer steps (makespan)", strconv.Itoa(steps))
+		t.MustAddRow("total link traversals", strconv.Itoa(resp.Stats.LinkTraversals))
+		t.MustAddRow("max queue length", strconv.Itoa(resp.Stats.MaxQueue))
+		resp.Table = t
+		return resp, nil
+
+	case "traffic":
+		opts := netsim.TrafficOptions{Rate: 0.2, Warmup: 200, Measure: 800, Seed: req.Seed}
+		var res *netsim.TrafficResult
+		var err error
+		side := 1
+		for side*side < req.N {
+			side++
+		}
+		switch req.Network {
+		case "mesh":
+			res, err = netsim.NewMeshTraffic(side, opts)
+		case "hypercube":
+			res, err = netsim.NewHypercubeTraffic(bits.Log2(req.N), opts)
+		case "hypermesh":
+			res, err = netsim.NewHypermeshTraffic(side, opts)
+		default:
+			return nil, badRequest("unknown network %q", req.Network)
+		}
+		if err != nil {
+			return nil, badRequest("traffic: %v", err)
+		}
+		resp.Machine = req.Network
+		resp.DeliveredRate = res.DeliveredRate
+		resp.AvgLatency = res.AvgLatency
+		resp.Stats = netsim.Stats{MaxQueue: res.MaxQueue}
+		t := report.New(fmt.Sprintf("uniform random traffic on %s (N = %d)", req.Network, req.N),
+			"quantity", "value")
+		t.MustAddRow("delivered rate (pkts/node/step)", fmt.Sprintf("%.3f", res.DeliveredRate))
+		t.MustAddRow("average latency (steps)", fmt.Sprintf("%.2f", res.AvgLatency))
+		t.MustAddRow("max queue", strconv.Itoa(res.MaxQueue))
+		resp.Table = t
+		return resp, nil
+
+	default:
+		return nil, badRequest("unknown scenario %q", req.Scenario)
+	}
+}
+
+// handleSimulate coalesces identical queries, then runs the simulation
+// on the worker pool under the request deadline.
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, badRequest("decode: %v", err))
+		return
+	}
+	req, key := req.normalize()
+	v, shared, err := s.flights.do(key, func() (any, error) {
+		var resp *SimulateResponse
+		var runErr error
+		if poolErr := s.pool.do(r.Context(), func() {
+			resp, runErr = s.runSimulation(req)
+		}); poolErr != nil {
+			return nil, poolErr
+		}
+		if runErr == nil {
+			s.metrics.simulations.Add(1)
+		}
+		return resp, runErr
+	})
+	if err != nil {
+		if errors.Is(err, ErrDraining) {
+			s.metrics.drained.Add(1)
+		}
+		writeError(w, err)
+		return
+	}
+	if shared {
+		s.metrics.coalesced.Add(1)
+	}
+	resp := *v.(*SimulateResponse)
+	resp.Coalesced = shared
+	writeJSON(w, resp)
+}
+
+// ---- /v1/compare ----
+
+// CompareResponse carries the paper's comparison tables evaluated at
+// one size: the JSON form of cmd/fftrepro's Table 1A/1B/2A/2B and §V
+// bisection output.
+type CompareResponse struct {
+	N         int                      `json:"n"`
+	Table1A   []perfmodel.Table1ARow   `json:"table_1a,omitempty"`
+	Table1B   []perfmodel.Table1BRow   `json:"table_1b,omitempty"`
+	Table2A   []perfmodel.Table2ARow   `json:"table_2a,omitempty"`
+	Table2B   []perfmodel.Table2BRow   `json:"table_2b,omitempty"`
+	Bisection []perfmodel.BisectionRow `json:"bisection,omitempty"`
+	Coalesced bool                     `json:"coalesced,omitempty"`
+}
+
+// handleCompare serves GET /v1/compare?n=4096&table=2a (table defaults
+// to all). Identical concurrent queries are coalesced.
+func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	n := 4096
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil {
+			writeError(w, badRequest("n: %v", err))
+			return
+		}
+		n = v
+	}
+	which := r.URL.Query().Get("table")
+	if which == "" {
+		which = "all"
+	}
+	key := fmt.Sprintf("compare|%d|%s", n, which)
+	v, shared, err := s.flights.do(key, func() (any, error) {
+		var resp *CompareResponse
+		var runErr error
+		if poolErr := s.pool.do(r.Context(), func() {
+			resp, runErr = buildCompare(n, which)
+		}); poolErr != nil {
+			return nil, poolErr
+		}
+		return resp, runErr
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if shared {
+		s.metrics.coalesced.Add(1)
+	}
+	resp := *v.(*CompareResponse)
+	resp.Coalesced = shared
+	writeJSON(w, resp)
+}
+
+// buildCompare evaluates the requested tables at size n.
+func buildCompare(n int, which string) (*CompareResponse, error) {
+	resp := &CompareResponse{N: n}
+	want := func(t string) bool { return which == "all" || which == t }
+	var err error
+	wrap := func(table string, e error) error {
+		if e == nil {
+			return nil
+		}
+		return badRequest("table %s at n=%d: %v", table, n, e)
+	}
+	matched := false
+	if want("1a") {
+		matched = true
+		if resp.Table1A, err = perfmodel.Table1A(n); err != nil {
+			return nil, wrap("1a", err)
+		}
+	}
+	if want("1b") {
+		matched = true
+		if resp.Table1B, err = perfmodel.Table1B(n, hardware.GaAs64); err != nil {
+			return nil, wrap("1b", err)
+		}
+	}
+	if want("2a") {
+		matched = true
+		if resp.Table2A, err = perfmodel.Table2A(n); err != nil {
+			return nil, wrap("2a", err)
+		}
+	}
+	if want("2b") {
+		matched = true
+		if resp.Table2B, err = perfmodel.Table2B(n, hardware.GaAs64, hardware.DefaultPacketBits); err != nil {
+			return nil, wrap("2b", err)
+		}
+	}
+	if want("bisection") {
+		matched = true
+		if resp.Bisection, err = perfmodel.BisectionTable(n, hardware.GaAs64); err != nil {
+			return nil, wrap("bisection", err)
+		}
+	}
+	if !matched {
+		return nil, badRequest("unknown table %q (want 1a, 1b, 2a, 2b, bisection or all)", which)
+	}
+	return resp, nil
+}
+
+// ---- /healthz and /metrics ----
+
+// HealthResponse is the /healthz body.
+type HealthResponse struct {
+	Status string `json:"status"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, HealthResponse{Status: "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.metrics.snapshot(s.cache, s.pool))
+}

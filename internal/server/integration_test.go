@@ -1,0 +1,204 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/fft"
+)
+
+// TestIntegrationBatchThroughDaemon is the acceptance test of the
+// service tentpole: a batch of >= 64 mixed transforms flows through the
+// daemon; every result must match direct internal/fft output and the
+// plan cache must report hits (64 transforms over 6 distinct plans).
+func TestIntegrationBatchThroughDaemon(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	rng := rand.New(rand.NewSource(99))
+
+	const batch = 64
+	sizes := []int{64, 128, 256, 512}
+	specs := make([]TransformSpec, batch)
+	type expectation struct {
+		want []complex128
+	}
+	expect := make([]expectation, batch)
+	for i := range specs {
+		n := sizes[i%len(sizes)]
+		switch i % 3 {
+		case 0: // forward complex
+			in := make([]Complex, n)
+			x := make([]complex128, n)
+			for j := range in {
+				re, im := rng.NormFloat64(), rng.NormFloat64()
+				in[j] = Complex{re, im}
+				x[j] = complex(re, im)
+			}
+			specs[i] = TransformSpec{Input: in}
+			expect[i].want = fft.MustPlan(n).Forward(x)
+		case 1: // inverse complex
+			in := make([]Complex, n)
+			x := make([]complex128, n)
+			for j := range in {
+				re, im := rng.NormFloat64(), rng.NormFloat64()
+				in[j] = Complex{re, im}
+				x[j] = complex(re, im)
+			}
+			specs[i] = TransformSpec{Input: in, Inverse: true}
+			expect[i].want = fft.MustPlan(n).Backward(x)
+		case 2: // real input
+			in := make([]float64, n)
+			for j := range in {
+				in[j] = rng.NormFloat64()
+			}
+			specs[i] = TransformSpec{RealInput: in}
+			rp, err := fft.NewRealPlan(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			expect[i].want = rp.Forward(in)
+		}
+	}
+
+	resp := postJSON(t, ts.URL+"/v1/fft", FFTRequest{Transforms: specs})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	body := decode[FFTResponse](t, resp)
+	if body.Batch != batch || len(body.Results) != batch {
+		t.Fatalf("batch = %d, results = %d, want %d", body.Batch, len(body.Results), batch)
+	}
+	for i, res := range body.Results {
+		if res.Error != "" {
+			t.Fatalf("transform %d failed: %s", i, res.Error)
+		}
+		got := toComplex(res.Output)
+		if d := fft.MaxAbsDiff(got, expect[i].want); d > 1e-12 {
+			t.Fatalf("transform %d differs from direct fft by %g", i, d)
+		}
+	}
+
+	snap := s.MetricsSnapshot()
+	if snap.PlanCache.Hits == 0 {
+		t.Fatal("plan cache recorded no hits across a 64-transform batch")
+	}
+	if snap.Transforms != batch {
+		t.Fatalf("transforms counter = %d, want %d", snap.Transforms, batch)
+	}
+}
+
+// TestIntegrationGracefulDrain exercises the SIGTERM path the same way
+// cmd/fftd does: a real http.Server is shut down while requests are in
+// flight; every accepted request must complete successfully — none may
+// be dropped — and the worker pool must drain afterwards.
+func TestIntegrationGracefulDrain(t *testing.T) {
+	s := New(Config{Workers: 4, QueueDepth: 512})
+	// Count handler entries so the test can initiate shutdown only once
+	// every request is genuinely in flight (accepted and being served);
+	// a connection still transmitting its body when Shutdown fires is
+	// legitimately closed and would flake the test.
+	var entered atomic.Int64
+	counting := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		entered.Add(1)
+		s.Handler().ServeHTTP(w, r)
+	})
+	httpSrv := &http.Server{Handler: counting}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go httpSrv.Serve(ln) //nolint:errcheck
+	base := "http://" + ln.Addr().String()
+
+	// A moderately heavy batch so requests are genuinely in flight when
+	// shutdown begins.
+	const clients = 16
+	mkBody := func(seed int64) []byte {
+		rng := rand.New(rand.NewSource(seed))
+		specs := make([]TransformSpec, 8)
+		for i := range specs {
+			in := make([]Complex, 4096)
+			for j := range in {
+				in[j] = Complex{rng.NormFloat64(), rng.NormFloat64()}
+			}
+			specs[i] = TransformSpec{Input: in}
+		}
+		data, err := json.Marshal(FFTRequest{Transforms: specs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+
+	var wg sync.WaitGroup
+	statuses := make([]int, clients)
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := mkBody(int64(i))
+			resp, err := http.Post(base+"/v1/fft", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			statuses[i] = resp.StatusCode
+			var fr FFTResponse
+			if err := json.NewDecoder(resp.Body).Decode(&fr); err != nil {
+				errs[i] = err
+				return
+			}
+			if len(fr.Results) != 8 {
+				errs[i] = fmt.Errorf("dropped results: got %d of 8", len(fr.Results))
+			}
+		}(i)
+	}
+	// Wait until every request is in flight, then shut down exactly as
+	// cmd/fftd's SIGTERM path does.
+	deadline := time.Now().Add(30 * time.Second)
+	for entered.Load() < clients {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d requests reached the server", entered.Load(), clients)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		t.Fatalf("shutdown did not drain: %v", err)
+	}
+	s.Close()
+	wg.Wait()
+
+	for i := 0; i < clients; i++ {
+		if errs[i] != nil {
+			t.Fatalf("client %d dropped: %v", i, errs[i])
+		}
+		if statuses[i] != http.StatusOK {
+			t.Fatalf("client %d status = %d, want 200 (in-flight requests must finish)", i, statuses[i])
+		}
+	}
+
+	// After drain the pool rejects new work with 503.
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", "/v1/fft",
+		bytes.NewReader([]byte(`{"input":[[1,0],[2,0]]}`)))
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain request status = %d, want 503", rec.Code)
+	}
+	if s.MetricsSnapshot().Drained == 0 {
+		t.Fatal("drained counter not incremented")
+	}
+}

@@ -1,0 +1,115 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/plancache"
+	"repro/internal/trace"
+)
+
+// Metrics holds the daemon's expvar-style counters: request counts per
+// route, response classes, work counters, plan-cache statistics, queue
+// depth and a latency histogram. GET /metrics renders a Snapshot.
+type Metrics struct {
+	start time.Time
+
+	mu       sync.Mutex
+	requests map[string]*atomic.Int64 // by route pattern
+
+	ok2xx, client4xx, server5xx atomic.Int64
+
+	transforms  atomic.Int64 // individual transforms served by /v1/fft
+	simulations atomic.Int64 // simulate runs actually executed
+	coalesced   atomic.Int64 // requests that shared another's flight
+	drained     atomic.Int64 // requests rejected during drain
+
+	latency *trace.Histogram
+}
+
+func newMetrics(latencyWindow int) *Metrics {
+	return &Metrics{
+		start:    time.Now(),
+		requests: make(map[string]*atomic.Int64),
+		latency:  trace.NewHistogram(latencyWindow),
+	}
+}
+
+// counter returns the per-route request counter, creating it on first
+// use.
+func (m *Metrics) counter(route string) *atomic.Int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.requests[route]
+	if !ok {
+		c = &atomic.Int64{}
+		m.requests[route] = c
+	}
+	return c
+}
+
+// observe records one finished request: its route, response status
+// class and wall time.
+func (m *Metrics) observe(route string, status int, elapsed time.Duration) {
+	m.counter(route).Add(1)
+	switch {
+	case status >= 500:
+		m.server5xx.Add(1)
+	case status >= 400:
+		m.client4xx.Add(1)
+	default:
+		m.ok2xx.Add(1)
+	}
+	m.latency.Observe(elapsed)
+}
+
+// Snapshot is the JSON body of GET /metrics.
+type Snapshot struct {
+	UptimeSeconds float64                 `json:"uptime_seconds"`
+	Requests      map[string]int64        `json:"requests"`
+	Responses     map[string]int64        `json:"responses"`
+	Transforms    int64                   `json:"transforms"`
+	Simulations   int64                   `json:"simulations"`
+	Coalesced     int64                   `json:"coalesced"`
+	Drained       int64                   `json:"drained"`
+	PlanCache     plancache.Stats         `json:"plan_cache"`
+	Queue         poolStats               `json:"queue"`
+	Latency       trace.HistogramSnapshot `json:"latency"`
+	RouteOrder    []string                `json:"-"`
+}
+
+// snapshot gathers every counter consistently enough for monitoring.
+func (m *Metrics) snapshot(cache *plancache.Cache, pool *workerPool) Snapshot {
+	s := Snapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		Requests:      map[string]int64{},
+		Responses: map[string]int64{
+			"2xx": m.ok2xx.Load(),
+			"4xx": m.client4xx.Load(),
+			"5xx": m.server5xx.Load(),
+		},
+		Transforms:  m.transforms.Load(),
+		Simulations: m.simulations.Load(),
+		Coalesced:   m.coalesced.Load(),
+		Drained:     m.drained.Load(),
+		Latency:     m.latency.Snapshot(),
+	}
+	m.mu.Lock()
+	for route, c := range m.requests {
+		s.Requests[route] = c.Load()
+	}
+	m.mu.Unlock()
+	for route := range s.Requests {
+		s.RouteOrder = append(s.RouteOrder, route)
+	}
+	sort.Strings(s.RouteOrder)
+	if cache != nil {
+		s.PlanCache = cache.Stats()
+	}
+	if pool != nil {
+		s.Queue = pool.stats()
+	}
+	return s
+}

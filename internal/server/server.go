@@ -1,0 +1,220 @@
+// Package server is the HTTP service layer of the repository: the
+// long-lived counterpart to the one-shot cmd/ tools. It serves FFT
+// transforms (single and batch) from a shared plan cache, runs network
+// simulations and the paper's comparison tables on demand, and exposes
+// health and metrics endpoints.
+//
+// Architecture: every compute-bearing request is dispatched to a
+// bounded worker pool (backpressure instead of unbounded goroutines),
+// carries a per-request context timeout, and is wrapped in
+// panic-recovery middleware so a worker panic becomes one 500 response
+// rather than a dead daemon. Identical concurrent simulate/compare
+// queries are coalesced into a single execution. Shutdown is graceful:
+// the HTTP listener stops accepting, in-flight requests finish, then
+// the pool drains.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+
+	"repro/internal/plancache"
+)
+
+// Config tunes the service; zero values mean the documented defaults.
+type Config struct {
+	// Workers is the worker-pool size; 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// QueueDepth bounds jobs waiting for a worker; 0 means 256.
+	QueueDepth int
+	// RequestTimeout is the per-request context deadline; 0 means 30s.
+	RequestTimeout time.Duration
+	// PlanCacheSize is the plan-cache capacity in plans; 0 means 64.
+	PlanCacheSize int
+	// MaxTransformLen rejects transforms longer than this; 0 means 2^22.
+	MaxTransformLen int
+	// MaxBatch rejects /v1/fft batches larger than this; 0 means 4096.
+	MaxBatch int
+	// MaxSimNodes rejects simulations larger than this; 0 means 2^14.
+	MaxSimNodes int
+	// LatencyWindow is the latency histogram's sample window; 0 means
+	// trace.DefaultHistogramWindow.
+	LatencyWindow int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.PlanCacheSize <= 0 {
+		c.PlanCacheSize = 64
+	}
+	if c.MaxTransformLen <= 0 {
+		c.MaxTransformLen = 1 << 22
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 4096
+	}
+	if c.MaxSimNodes <= 0 {
+		c.MaxSimNodes = 1 << 14
+	}
+	return c
+}
+
+// Server is the fftd service: handlers plus the shared plan cache,
+// worker pool, coalescing group and metrics.
+type Server struct {
+	cfg     Config
+	cache   *plancache.Cache
+	pool    *workerPool
+	metrics *Metrics
+	flights flightGroup
+	mux     *http.ServeMux
+}
+
+// New creates a ready-to-serve Server.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		cache:   plancache.New(cfg.PlanCacheSize),
+		pool:    newWorkerPool(cfg.Workers, cfg.QueueDepth),
+		metrics: newMetrics(cfg.LatencyWindow),
+	}
+	s.mux = http.NewServeMux()
+	s.route("POST /v1/fft", s.handleFFT)
+	s.route("POST /v1/simulate", s.handleSimulate)
+	s.route("GET /v1/compare", s.handleCompare)
+	s.route("GET /healthz", s.handleHealthz)
+	s.route("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the root handler; cmd/fftd mounts it on an
+// http.Server and tests mount it on httptest.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// PlanCache exposes the shared plan cache (tests assert hit counters).
+func (s *Server) PlanCache() *plancache.Cache { return s.cache }
+
+// MetricsSnapshot returns the current counters, as served by /metrics.
+func (s *Server) MetricsSnapshot() Snapshot {
+	return s.metrics.snapshot(s.cache, s.pool)
+}
+
+// Close drains the worker pool: queued jobs finish, workers exit. Call
+// it after the HTTP listener has stopped accepting requests (e.g. after
+// http.Server.Shutdown returns); requests arriving afterwards fail with
+// 503.
+func (s *Server) Close() { s.pool.close() }
+
+// statusError carries an HTTP status through the handler plumbing.
+type statusError struct {
+	status int
+	msg    string
+}
+
+func (e *statusError) Error() string { return e.msg }
+
+// badRequest builds a 400-class statusError.
+func badRequest(format string, args ...any) error {
+	return &statusError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// httpStatus maps a handler error onto a response code: explicit
+// statusErrors pass through, pool drain and worker panics become 503
+// and 500, timeouts 504, everything else 500.
+func httpStatus(err error) int {
+	switch e := err.(type) {
+	case *statusError:
+		return e.status
+	case *panicError:
+		return http.StatusInternalServerError
+	}
+	if err == nil {
+		return http.StatusOK
+	}
+	if errors.Is(err, ErrDraining) {
+		return http.StatusServiceUnavailable
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusGatewayTimeout
+	}
+	if errors.Is(err, context.Canceled) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+// statusRecorder captures the status a handler wrote, for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// route mounts a handler wrapped in the service middleware: request
+// counting, latency observation, per-request timeout, and panic
+// recovery (a handler panic — as opposed to a worker panic, which the
+// pool converts — also becomes a 500, not a dead connection without a
+// response line).
+func (s *Server) route(pattern string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+		defer func() {
+			if p := recover(); p != nil {
+				if rec.status == http.StatusOK {
+					writeError(rec, fmt.Errorf("handler panic: %v", p))
+				}
+			}
+			s.metrics.observe(pattern, rec.status, time.Since(start))
+		}()
+		h(rec, r)
+	})
+}
+
+// writeJSON renders v with status 200.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		// Headers are already out; nothing useful left to do.
+		return
+	}
+}
+
+// errorBody is the uniform error response shape.
+type errorBody struct {
+	Error  string `json:"error"`
+	Status int    `json:"status"`
+}
+
+// writeError renders err with its mapped status code.
+func writeError(w http.ResponseWriter, err error) {
+	status := httpStatus(err)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(errorBody{Error: err.Error(), Status: status})
+}

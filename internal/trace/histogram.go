@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Histogram accumulates latency samples and reports order statistics
+// (p50/p99) over a sliding window of the most recent observations. The
+// service layer feeds it per-request wall time and /metrics renders the
+// snapshot; experiments can use it for any duration-valued series.
+//
+// It keeps the raw samples of the last `window` observations in a ring,
+// so quantiles are exact over that window rather than approximated by
+// fixed buckets. A Histogram is safe for concurrent use.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []time.Duration // ring buffer
+	next    int             // next write position
+	filled  bool            // ring has wrapped at least once
+	count   int64           // total observations ever
+	sum     time.Duration   // total of all observations ever
+	max     time.Duration
+}
+
+// DefaultHistogramWindow is the sample window when NewHistogram is
+// given a non-positive size.
+const DefaultHistogramWindow = 4096
+
+// NewHistogram creates a histogram windowing the last `window` samples.
+func NewHistogram(window int) *Histogram {
+	if window <= 0 {
+		window = DefaultHistogramWindow
+	}
+	return &Histogram{samples: make([]time.Duration, window)}
+}
+
+// Observe records one duration sample.
+func (h *Histogram) Observe(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.samples[h.next] = d
+	h.next++
+	if h.next == len(h.samples) {
+		h.next = 0
+		h.filled = true
+	}
+	h.count++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count returns the total number of observations ever made.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// window returns a copy of the live samples; caller holds h.mu.
+func (h *Histogram) window() []time.Duration {
+	n := h.next
+	if h.filled {
+		n = len(h.samples)
+	}
+	out := make([]time.Duration, n)
+	copy(out, h.samples[:n])
+	return out
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of the windowed
+// samples using the nearest-rank method, or 0 if nothing was observed.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	w := h.window()
+	h.mu.Unlock()
+	if len(w) == 0 {
+		return 0
+	}
+	sort.Slice(w, func(i, j int) bool { return w[i] < w[j] })
+	if q <= 0 {
+		return w[0]
+	}
+	if q >= 1 {
+		return w[len(w)-1]
+	}
+	idx := int(q * float64(len(w)))
+	if idx >= len(w) {
+		idx = len(w) - 1
+	}
+	return w[idx]
+}
+
+// HistogramSnapshot is a consistent read of a histogram's statistics.
+type HistogramSnapshot struct {
+	Count int64         `json:"count"`
+	Mean  time.Duration `json:"-"`
+	P50   time.Duration `json:"-"`
+	P90   time.Duration `json:"-"`
+	P99   time.Duration `json:"-"`
+	Max   time.Duration `json:"-"`
+
+	// Millisecond views of the fields above, for JSON consumers.
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P90MS  float64 `json:"p90_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+// Snapshot computes count, mean (over all observations) and windowed
+// quantiles in one consistent pass.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	w := h.window()
+	count, sum, max := h.count, h.sum, h.max
+	h.mu.Unlock()
+
+	s := HistogramSnapshot{Count: count, Max: max}
+	if count > 0 {
+		s.Mean = sum / time.Duration(count)
+	}
+	if len(w) > 0 {
+		sort.Slice(w, func(i, j int) bool { return w[i] < w[j] })
+		at := func(q float64) time.Duration {
+			idx := int(q * float64(len(w)))
+			if idx >= len(w) {
+				idx = len(w) - 1
+			}
+			return w[idx]
+		}
+		s.P50, s.P90, s.P99 = at(0.50), at(0.90), at(0.99)
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	s.MeanMS, s.P50MS, s.P90MS, s.P99MS, s.MaxMS = ms(s.Mean), ms(s.P50), ms(s.P90), ms(s.P99), ms(s.Max)
+	return s
+}

@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram(1000)
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if got := h.Count(); got != 100 {
+		t.Fatalf("count = %d, want 100", got)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 45*time.Millisecond || p50 > 55*time.Millisecond {
+		t.Fatalf("p50 = %v, want ~50ms", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 95*time.Millisecond || p99 > 100*time.Millisecond {
+		t.Fatalf("p99 = %v, want ~99ms", p99)
+	}
+	if got := h.Quantile(0); got != 1*time.Millisecond {
+		t.Fatalf("min = %v, want 1ms", got)
+	}
+	if got := h.Quantile(1); got != 100*time.Millisecond {
+		t.Fatalf("max quantile = %v, want 100ms", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(0) // default window
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %v, want 0", got)
+	}
+	s := h.Snapshot()
+	if s.Count != 0 || s.Mean != 0 || s.P99 != 0 {
+		t.Fatalf("empty snapshot = %+v", s)
+	}
+}
+
+func TestHistogramWindowWraps(t *testing.T) {
+	h := NewHistogram(10)
+	// First 90 slow samples scroll out of the 10-sample window...
+	for i := 0; i < 90; i++ {
+		h.Observe(time.Second)
+	}
+	// ...displaced by 10 fast ones.
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Millisecond)
+	}
+	if got := h.Quantile(0.99); got != time.Millisecond {
+		t.Fatalf("windowed p99 = %v, want 1ms (old samples must scroll out)", got)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100 (count is lifetime, not window)", s.Count)
+	}
+	if s.Max != time.Second {
+		t.Fatalf("max = %v, want 1s (max is lifetime)", s.Max)
+	}
+}
+
+func TestHistogramSnapshotMillis(t *testing.T) {
+	h := NewHistogram(16)
+	h.Observe(2 * time.Millisecond)
+	h.Observe(4 * time.Millisecond)
+	s := h.Snapshot()
+	if s.MeanMS != 3 {
+		t.Fatalf("mean_ms = %v, want 3", s.MeanMS)
+	}
+	if s.MaxMS != 4 {
+		t.Fatalf("max_ms = %v, want 4", s.MaxMS)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				h.Observe(time.Duration(i) * time.Microsecond)
+				_ = h.Quantile(0.5)
+				_ = h.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != 1600 {
+		t.Fatalf("count = %d, want 1600", got)
+	}
+}
