@@ -2,20 +2,27 @@
 
 GO ?= go
 
-.PHONY: all verify build vet test race test-race cover bench repro serve examples clean
+.PHONY: all verify build vet lint test race test-race cover bench fuzz vuln repro serve examples clean
 
 all: verify
 
-# verify is the tier-1 gate: build + vet + tests, then the race detector
-# over the concurrency-heavy packages' tests (worker pool, sharded plan
-# cache, barrier, netsim engines).
-verify: build vet test race
+# verify is the tier-1 gate: build + vet + the repo's own analyzers,
+# then tests, then the race detector over the concurrency-heavy
+# packages' tests (worker pool, sharded plan cache, barrier, netsim
+# engines).
+verify: build vet lint test race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the repo's own fftlint analyzers (see docs/LINTING.md).
+# It fails on any finding; suppress intentional sites with
+# //fftlint:ignore <analyzer> <reason>.
+lint:
+	$(GO) run ./cmd/fftlint ./...
 
 test:
 	$(GO) test ./...
@@ -41,6 +48,24 @@ repro:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# fuzz gives each fuzz target a short smoke budget — enough to catch
+# regressions in the pinned properties without stalling CI. Override
+# with FUZZTIME=60s for a deeper run.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -fuzz=FuzzBitReverse -fuzztime=$(FUZZTIME) ./internal/bits
+	$(GO) test -fuzz=FuzzPermuteCompose -fuzztime=$(FUZZTIME) ./internal/permute
+	$(GO) test -fuzz=FuzzFFTInverse -fuzztime=$(FUZZTIME) ./internal/fft
+
+# vuln scans the module with govulncheck when it is installed; the tool
+# is optional so offline environments are not broken.
+vuln:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -1,0 +1,123 @@
+// Command fftlint runs this repository's custom static-analysis suite
+// (internal/analysis) over the module: repo-specific invariants that
+// `go vet` and the race detector cannot express — exact float
+// comparisons, unvalidated permutations, locks copied or held across
+// blocking operations, per-iteration allocations on hot paths, and
+// dropped errors from the netsim/server APIs.
+//
+// Usage:
+//
+//	fftlint [flags] [packages]
+//
+//	fftlint ./...                 lint the whole module (the default)
+//	fftlint -only floatcmp ./...  run a subset of analyzers
+//	fftlint -list                 print the analyzer catalogue
+//	fftlint -debug ./...          also print loader/type-check notes
+//
+// The exit status is 1 when findings are reported, 2 on internal error.
+// In an environment with golang.org/x/tools available these analyzers
+// are API-compatible with a go/analysis multichecker vettool; this
+// offline build ships its own driver instead (see docs/LINTING.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/ctxflow"
+	"repro/internal/analysis/errdrop"
+	"repro/internal/analysis/floatcmp"
+	"repro/internal/analysis/hotalloc"
+	"repro/internal/analysis/lockcopy"
+	"repro/internal/analysis/permcheck"
+)
+
+var all = []*analysis.Analyzer{
+	ctxflow.Analyzer,
+	errdrop.Analyzer,
+	floatcmp.Analyzer,
+	hotalloc.Analyzer,
+	lockcopy.Analyzer,
+	permcheck.Analyzer,
+}
+
+func main() {
+	var (
+		only  = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		list  = flag.Bool("list", false, "list analyzers and exit")
+		debug = flag.Bool("debug", false, "print loader and type-check diagnostics")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := all
+	if *only != "" {
+		byName := make(map[string]*analysis.Analyzer)
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fatalf("fftlint: unknown analyzer %q", name)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatalf("fftlint: %v", err)
+	}
+	root, err := analysis.ModuleRoot(cwd)
+	if err != nil {
+		fatalf("fftlint: %v", err)
+	}
+	loader, err := analysis.NewLoader(root, patterns)
+	if err != nil {
+		fatalf("fftlint: %v", err)
+	}
+	units, err := loader.Packages()
+	if err != nil {
+		fatalf("fftlint: %v", err)
+	}
+	if *debug {
+		for _, u := range units {
+			for _, e := range u.Errs {
+				fmt.Fprintf(os.Stderr, "fftlint: note: %s: %v\n", u.PkgPath, e)
+			}
+		}
+	}
+
+	diags, err := analysis.Run(units, analyzers)
+	if err != nil {
+		fatalf("fftlint: %v", err)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "fftlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}

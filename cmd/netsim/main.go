@@ -153,7 +153,9 @@ func run(network string, n int, wrap bool, scenario string, seed int64, workers 
 			return err
 		}
 		for i, dst := range p {
-			if real(m.Values()[dst]) != float64(i) {
+			// Routing copies payloads verbatim, so the integer-valued
+			// floats compare exactly; go through int to say so.
+			if int(real(m.Values()[dst])) != i {
 				return fmt.Errorf("misrouted packet: node %d", dst)
 			}
 		}

@@ -48,6 +48,7 @@ func main() {
 		ok := true
 		for r := 0; r < side && ok; r++ {
 			for c := 0; c < side; c++ {
+				//fftlint:ignore floatcmp transpose moves values verbatim; bitwise equality is the routed-correctly property
 				if m.Values()[c*side+r] != a[r*side+c] {
 					ok = false
 					break

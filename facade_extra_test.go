@@ -204,7 +204,7 @@ func TestFacadeDCT(t *testing.T) {
 	}
 	y := make([]float64, 64)
 	d.Transform(y, x)
-	if y[0] != 128 {
+	if math.Abs(y[0]-128) > 1e-9 {
 		t.Fatalf("DC bin = %v", y[0])
 	}
 }
@@ -341,7 +341,7 @@ func TestFacadeDSPToolkit(t *testing.T) {
 	if p <= 0 {
 		t.Fatal("Goertzel power not positive")
 	}
-	if RectangularWindow(4)[0] != 1 {
+	if math.Abs(RectangularWindow(4)[0]-1) > 1e-12 {
 		t.Fatal("rectangular window wrong")
 	}
 }

@@ -38,6 +38,7 @@ func TestEndToEndModelMatchesSimulation(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		//fftlint:ignore floatcmp the simulated machine executes the host plan's exact butterfly/twiddle schedule; bit-equality pins schedule fidelity
 		if d := fft.MaxAbsDiff(cr.Output, want); d != 0 {
 			t.Fatalf("N=%d: hypercube output differs by %g", n, d)
 		}
@@ -54,6 +55,7 @@ func TestEndToEndModelMatchesSimulation(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		//fftlint:ignore floatcmp the simulated machine executes the host plan's exact butterfly/twiddle schedule; bit-equality pins schedule fidelity
 		if d := fft.MaxAbsDiff(hr.Output, want); d != 0 {
 			t.Fatalf("N=%d: hypermesh output differs by %g", n, d)
 		}
@@ -70,6 +72,7 @@ func TestEndToEndModelMatchesSimulation(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		//fftlint:ignore floatcmp the simulated machine executes the host plan's exact butterfly/twiddle schedule; bit-equality pins schedule fidelity
 		if d := fft.MaxAbsDiff(mr.Output, want); d != 0 {
 			t.Fatalf("N=%d: mesh output differs by %g", n, d)
 		}

@@ -1,0 +1,99 @@
+// Package analysis is a self-contained static-analysis framework for this
+// repository, mirroring the golang.org/x/tools/go/analysis API shape on
+// top of the standard library only (go/ast, go/types, go/importer). The
+// build environment for this repository is fully offline with an empty
+// module cache, so the x/tools multichecker cannot be vendored; fftlint
+// (cmd/fftlint) therefore ships its own driver with the same Analyzer /
+// Pass / Diagnostic vocabulary so analyzers could be ported to a real
+// go/analysis vettool verbatim if x/tools ever becomes available.
+//
+// See docs/LINTING.md for the analyzer catalogue, the //fftlint:hot
+// package directive and the //fftlint:ignore suppression syntax.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer describes one fftlint check. It is the stdlib-only analogue
+// of golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //fftlint:ignore directives. It must be a valid Go identifier.
+	Name string
+
+	// Doc is a one-paragraph description: first line is a summary.
+	Doc string
+
+	// Run applies the analyzer to one package. Diagnostics are emitted
+	// through pass.Reportf; the returned error aborts the whole lint
+	// run and is reserved for internal failures, not findings.
+	Run func(pass *Pass) error
+}
+
+// A Pass provides one analyzer with the parsed, type-checked view of a
+// single package (one type-checking unit: either a package together with
+// its in-package test files, or an external _test package).
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset  *token.FileSet
+	Files []*ast.File
+
+	// Pkg and TypesInfo hold the (possibly partial) type-check result.
+	// The loader tolerates type errors — analyzers must treat nil types
+	// from TypesInfo as "unknown" and skip, never crash.
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// PkgPath is the import path of the unit ("repro/internal/fft",
+	// "repro/internal/fft_test" for the external test unit).
+	PkgPath string
+
+	// Hot reports whether any file of the package carries the
+	// //fftlint:hot directive, marking it a hot-path package.
+	Hot bool
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, already resolved to a file position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// sortDiagnostics orders findings by file, line, column, analyzer.
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

@@ -1,0 +1,144 @@
+// Package analysistest runs an analyzer over a golden testdata package
+// and checks its diagnostics against `// want "regexp"` comments, in the
+// style of golang.org/x/tools/go/analysis/analysistest (rebuilt on the
+// standard library because this environment has no module cache).
+//
+// Layout: the analyzer package keeps golden sources under
+// testdata/src/<pkg>/. Each line expecting diagnostics carries a
+// trailing comment `// want "re"` (several quoted regexps for several
+// diagnostics). Lines without a want comment must stay clean, and
+// //fftlint:ignore directives in the golden source are honoured, so
+// suppression behaviour is testable.
+package analysistest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run loads testdata/src/<pkg> (relative to the calling test's package
+// directory) and checks analyzer a against its want comments.
+func Run(t *testing.T, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", pkg))
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	loader, err := analysis.SharedLoader(".")
+	if err != nil {
+		t.Fatalf("analysistest: building loader: %v", err)
+	}
+	unit, err := loader.Dir(dir, pkg)
+	if err != nil {
+		t.Fatalf("analysistest: loading %s: %v", dir, err)
+	}
+	for _, e := range unit.Errs {
+		// Golden packages must type-check cleanly: a broken fixture
+		// silently weakens every assertion below.
+		t.Errorf("analysistest: %s: %v", pkg, e)
+	}
+	diags, err := analysis.Run([]*analysis.Unit{unit}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analysistest: running %s: %v", a.Name, err)
+	}
+	wants := collectWants(t, unit)
+
+	type key struct {
+		file string
+		line int
+	}
+	unmatched := make(map[key][]analysis.Diagnostic)
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		unmatched[k] = append(unmatched[k], d)
+	}
+	for _, w := range wants {
+		k := key{w.file, w.line}
+		ds := unmatched[k]
+		found := -1
+		for i, d := range ds {
+			if w.re.MatchString(d.Message) {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+			continue
+		}
+		unmatched[k] = append(ds[:found], ds[found+1:]...)
+	}
+	for _, ds := range unmatched {
+		for _, d := range ds {
+			t.Errorf("%s: unexpected diagnostic: %s", d.Pos, d.Message)
+		}
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+func collectWants(t *testing.T, unit *analysis.Unit) []want {
+	t.Helper()
+	var wants []want
+	for _, f := range unit.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := unit.Fset.Position(c.Pos())
+				for _, q := range splitQuoted(text[len("want "):]) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: malformed want pattern %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, want{pos.Filename, pos.Line, re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitQuoted returns the double-quoted Go string literals in s,
+// honouring backslash escapes. An unterminated literal is dropped.
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		i := strings.IndexByte(s, '"')
+		if i < 0 {
+			return out
+		}
+		s = s[i:]
+		end := -1
+		for j := 1; j < len(s); j++ {
+			if s[j] == '\\' {
+				j++
+				continue
+			}
+			if s[j] == '"' {
+				end = j
+				break
+			}
+		}
+		if end < 0 {
+			return out
+		}
+		out = append(out, s[:end+1])
+		s = s[end+1:]
+	}
+}

@@ -1,0 +1,110 @@
+// Package a is the ctxflow golden package.
+package a
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+)
+
+var mu sync.Mutex
+var ch = make(chan int)
+
+// Positive: the request parameter is named but never used, so the
+// handler cannot observe cancellation.
+func deadHandler(w http.ResponseWriter, r *http.Request) { // want "handler ignores its \\*http.Request \"r\""
+	w.WriteHeader(http.StatusOK)
+}
+
+// Positive: a fresh root context severs cancellation.
+func freshRoot(ctx context.Context) context.Context {
+	return context.Background() // want "context.Background\\(\\) inside a function that already has a request/context"
+}
+
+// Positive: fresh context minted inside a handler that has a request.
+func mintingHandler(w http.ResponseWriter, r *http.Request) {
+	ctx := context.TODO() // want "context.TODO\\(\\) inside a function that already has a request/context"
+	_ = ctx
+	_ = r.Header
+}
+
+// Positive: channel receive while holding the mutex.
+func recvUnderLock() int {
+	mu.Lock()
+	v := <-ch // want "channel receive while holding mu"
+	mu.Unlock()
+	return v
+}
+
+// Positive: deferred unlock keeps the lock held across the send.
+func sendUnderDeferredLock() {
+	mu.Lock()
+	defer mu.Unlock()
+	ch <- 1 // want "channel send while holding mu"
+}
+
+// Positive: sleeping while locked.
+func sleepUnderLock() {
+	mu.Lock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while holding mu"
+	mu.Unlock()
+}
+
+// Positive: waiting on a WaitGroup while holding the mutex.
+func waitGroupUnderLock(wg *sync.WaitGroup) {
+	mu.Lock()
+	defer mu.Unlock()
+	wg.Wait() // want "sync.WaitGroup.Wait while holding mu"
+}
+
+// Negative: Cond.Wait atomically releases its mutex — that is the
+// condition-variable protocol, not a lock held across a block.
+var cond = sync.NewCond(&mu)
+
+func condWaitUnderLock(ready func() bool) {
+	mu.Lock()
+	defer mu.Unlock()
+	for !ready() {
+		cond.Wait()
+	}
+}
+
+// Negative: handler that uses its request context.
+func goodHandler(w http.ResponseWriter, r *http.Request) {
+	select {
+	case <-r.Context().Done():
+	default:
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+// Negative: explicitly anonymous request parameter.
+func staticHandler(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// Negative: the lock is released before blocking.
+func unlockThenRecv() int {
+	mu.Lock()
+	x := 1
+	mu.Unlock()
+	return x + <-ch
+}
+
+// Negative: select with a default clause does not block.
+func nonBlockingSelect() int {
+	mu.Lock()
+	defer mu.Unlock()
+	select {
+	case v := <-ch:
+		return v
+	default:
+		return 0
+	}
+}
+
+// Negative: root contexts are fine where no request or context exists.
+func setup() context.Context {
+	return context.Background()
+}

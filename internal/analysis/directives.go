@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// fftlint recognises two comment directives, documented in
+// docs/LINTING.md:
+//
+//	//fftlint:hot
+//	    File-level marker: the enclosing package is a hot path and the
+//	    hotalloc analyzer applies to it.
+//
+//	//fftlint:ignore <analyzer> <reason>
+//	    Suppresses findings of the named analyzer (or "all") reported on
+//	    the same line or the line directly below the comment. The reason
+//	    is mandatory: a directive without one does not suppress.
+
+const (
+	hotDirective    = "//fftlint:hot"
+	ignoreDirective = "//fftlint:ignore"
+)
+
+// hasHotDirective reports whether any comment in files is the hot marker.
+func hasHotDirective(files []*ast.File) bool {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if text == hotDirective || strings.HasPrefix(text, hotDirective+" ") {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// An ignore is one parsed //fftlint:ignore directive.
+type ignore struct {
+	analyzer string // analyzer name or "all"
+	line     int    // line the directive appears on
+}
+
+// ignoresByFile collects well-formed ignore directives, keyed by filename.
+func ignoresByFile(fset *token.FileSet, files []*ast.File) map[string][]ignore {
+	out := make(map[string][]ignore)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, ignoreDirective) {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, ignoreDirective))
+				if len(fields) < 2 {
+					continue // no reason given: directive is inert
+				}
+				pos := fset.Position(c.Pos())
+				out[pos.Filename] = append(out[pos.Filename], ignore{
+					analyzer: fields[0],
+					line:     pos.Line,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// suppressed reports whether d is covered by an ignore directive on the
+// same line or the line above it.
+func suppressed(d Diagnostic, ignores map[string][]ignore) bool {
+	for _, ig := range ignores[d.Pos.Filename] {
+		if ig.analyzer != d.Analyzer && ig.analyzer != "all" {
+			continue
+		}
+		if ig.line == d.Pos.Line || ig.line == d.Pos.Line-1 {
+			return true
+		}
+	}
+	return false
+}

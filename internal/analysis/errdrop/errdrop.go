@@ -1,0 +1,102 @@
+// Package errdrop flags discarded errors from the netsim and server
+// APIs. Those errors are load-bearing: a dropped ExchangeCompute or
+// Route error means a simulation silently produced garbage routing
+// statistics, and a dropped pool error means a request vanished without
+// a response. A call is "dropped" when its results are discarded
+// entirely — used as a bare expression statement, or launched via go or
+// defer. Explicitly assigning the error to _ is accepted as a visible,
+// reviewable decision.
+package errdrop
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errdrop",
+	Doc:  "flags discarded errors from netsim and server APIs",
+	Run:  run,
+}
+
+// targetSuffixes are the package-path suffixes whose APIs must not have
+// errors dropped.
+var targetSuffixes = []string{
+	"internal/netsim",
+	"internal/server",
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					report(pass, call)
+				}
+			case *ast.GoStmt:
+				report(pass, n.Call)
+			case *ast.DeferStmt:
+				report(pass, n.Call)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// report emits a diagnostic if call targets a netsim/server function
+// whose last result is an error.
+func report(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := callee(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	path := fn.Pkg().Path()
+	target := false
+	for _, suf := range targetSuffixes {
+		if strings.HasSuffix(path, suf) {
+			target = true
+		}
+	}
+	if !target {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	if !isErrorType(last) {
+		return
+	}
+	pass.Reportf(call.Pos(), "error returned by %s.%s is dropped; handle it or assign it to _ explicitly", fn.Pkg().Name(), fn.Name())
+}
+
+// callee resolves the called *types.Func, unwrapping parenthesised and
+// generic-instantiated callees.
+func callee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	switch fe := fun.(type) {
+	case *ast.IndexExpr:
+		fun = fe.X
+	case *ast.IndexListExpr:
+		fun = fe.X
+	}
+	switch fe := fun.(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fe].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[fe.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

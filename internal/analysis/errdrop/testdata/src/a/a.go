@@ -1,0 +1,50 @@
+// Package a is the errdrop golden package.
+package a
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/permute"
+)
+
+func add(self, partner int, node int) int { return self + partner }
+
+// Positive: bare expression statement drops the error.
+func dropExpr(m *netsim.Mesh[int]) {
+	m.ExchangeCompute(0, add) // want "error returned by netsim.ExchangeCompute is dropped"
+}
+
+// Positive: goroutine launch drops the error.
+func dropGo(m *netsim.Mesh[int]) {
+	go m.ExchangeCompute(0, add) // want "error returned by netsim.ExchangeCompute is dropped"
+}
+
+// Positive: defer drops the error.
+func dropDefer(m *netsim.Mesh[int]) {
+	defer m.ExchangeCompute(0, add) // want "error returned by netsim.ExchangeCompute is dropped"
+}
+
+// Positive: a multi-result constructor used as a statement drops both
+// the handle and the error.
+func dropCtor() {
+	netsim.NewMesh[int](4, false, netsim.Config{}) // want "error returned by netsim.NewMesh is dropped"
+}
+
+// Negative: handled error.
+func handled(m *netsim.Mesh[int]) error {
+	if err := m.ExchangeCompute(0, add); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Negative: explicit blank assignment is a visible decision.
+func blanked(m *netsim.Mesh[int], p permute.Permutation) {
+	_, _ = m.Route(p)
+}
+
+// Negative: dropped errors from non-target packages are out of scope.
+func localError() error { return nil }
+
+func dropLocal() {
+	localError()
+}

@@ -1,0 +1,66 @@
+// Package floatcmp flags exact == / != comparisons of floating-point or
+// complex values. FFT outputs accumulate rounding error, so exact
+// equality silently encodes "these two code paths are bitwise identical"
+// — a much stronger (and usually unintended) claim than numerical
+// agreement. Compare with a tolerance helper instead (fft.MaxAbsDiff
+// against an epsilon, or math.Abs(a-b) <= eps), or suppress with
+// //fftlint:ignore floatcmp <reason> where bitwise determinism really is
+// the property under test.
+package floatcmp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "floatcmp",
+	Doc:  "flags exact ==/!= comparisons of float or complex values",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			tx := pass.TypesInfo.Types[be.X]
+			ty := pass.TypesInfo.Types[be.Y]
+			if tx.Value != nil && ty.Value != nil {
+				return true // constant folding: compile-time comparison
+			}
+			t := floaty(tx.Type)
+			if t == "" {
+				t = floaty(ty.Type)
+			}
+			if t != "" {
+				pass.Reportf(be.OpPos, "exact %s comparison of %s values; use a tolerance helper (MaxAbsDiff / math.Abs(a-b) <= eps)", be.Op, t)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// floaty names the float/complex kind of t, or returns "".
+func floaty(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return ""
+	}
+	switch {
+	case b.Info()&types.IsFloat != 0:
+		return "float"
+	case b.Info()&types.IsComplex != 0:
+		return "complex"
+	}
+	return ""
+}

@@ -1,0 +1,54 @@
+// Package a is the floatcmp golden package: positive cases carry want
+// comments, negative cases must stay silent.
+package a
+
+import "math"
+
+type decibel float64
+
+// Positive cases.
+
+func eqFloat(a, b float64) bool {
+	return a == b // want "exact == comparison of float values"
+}
+
+func neqFloatZero(d float64) bool {
+	return d != 0 // want "exact != comparison of float values"
+}
+
+func eqComplex(a, b complex128) bool {
+	return a == b // want "exact == comparison of complex values"
+}
+
+func eqNamedFloat(a, b decibel) bool {
+	return a == b // want "exact == comparison of float values"
+}
+
+func neqFloat32(a float32) bool {
+	return a != 1.5 // want "exact != comparison of float values"
+}
+
+// Negative cases.
+
+func eqInt(a, b int) bool {
+	return a == b
+}
+
+func constFold() bool {
+	const x = 1.5
+	const y = 3.0
+	return x == y/2 // both operands constant: folded at compile time
+}
+
+func tolerance(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-12
+}
+
+func ignored(a, b float64) bool {
+	//fftlint:ignore floatcmp golden test of the suppression directive
+	return a == b
+}
+
+func eqString(a, b string) bool {
+	return a == b
+}

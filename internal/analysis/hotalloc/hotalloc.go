@@ -1,0 +1,183 @@
+// Package hotalloc flags per-iteration allocations inside loops of
+// packages marked hot with the //fftlint:hot file directive (the FFT
+// kernels, the parallel drivers and the plan cache). It reports
+//
+//   - make(...) inside a loop — per-iteration slice/map/channel
+//     allocation that should be hoisted or replaced by a reused buffer;
+//   - append inside a loop growing a slice that was declared without
+//     capacity (var s []T, s := []T{} or s := T(nil)) — each growth
+//     reallocates and copies; pre-size with make(len/cap); and
+//   - closures created per iteration that escape: function literals
+//     launched with go, deferred, or stored into a variable, field,
+//     slice or channel. A literal passed directly as a call argument is
+//     not flagged — those callbacks typically do not escape the call.
+//
+// The directive marks whole packages because hot-path status is an
+// architectural fact, not a per-line one; cold setup code inside a hot
+// package suppresses individual findings with
+// //fftlint:ignore hotalloc <reason>. Test files are exempt: benchmark
+// and test loops allocate freely without sitting on the serving path.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "flags per-iteration allocations in loops of //fftlint:hot packages",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !pass.Hot {
+		return nil
+	}
+	var files []*ast.File
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Pos()).Filename
+		if !strings.HasSuffix(name, "_test.go") {
+			files = append(files, f)
+		}
+	}
+	uncapped := uncappedSlices(pass)
+	analysis.WithStack(files, func(n ast.Node, stack []ast.Node) bool {
+		if !inLoop(stack) {
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch builtinName(pass, n) {
+			case "make":
+				pass.Reportf(n.Pos(), "make inside a loop in a hot-path package; hoist the allocation or reuse a buffer")
+			case "append":
+				if len(n.Args) > 0 {
+					if id, ok := n.Args[0].(*ast.Ident); ok {
+						if obj := pass.TypesInfo.Uses[id]; obj != nil && uncapped[obj] {
+							pass.Reportf(n.Pos(), "append grows %s inside a hot loop but it was declared without capacity; pre-size it with make", id.Name)
+						}
+					}
+				}
+			}
+		case *ast.FuncLit:
+			if kind := escapingLit(n, stack); kind != "" {
+				pass.Reportf(n.Pos(), "closure %s per loop iteration in a hot-path package; hoist it out of the loop", kind)
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+// inLoop reports whether the innermost function boundary in stack is
+// inside a for or range statement: allocations in a nested function
+// literal belong to that literal's own loops, not the enclosing ones.
+func inLoop(stack []ast.Node) bool {
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		case *ast.FuncLit, *ast.FuncDecl:
+			return false
+		}
+	}
+	return false
+}
+
+// escapingLit classifies how a loop-local function literal escapes, or
+// returns "" for non-escaping uses (direct call argument, immediate
+// invocation).
+func escapingLit(lit *ast.FuncLit, stack []ast.Node) string {
+	if len(stack) < 2 {
+		return ""
+	}
+	switch parent := stack[len(stack)-2].(type) {
+	case *ast.CallExpr:
+		if parent.Fun == lit {
+			// immediately invoked: the closure may still be allocated,
+			// but go/defer classification happens one level up
+			if len(stack) >= 3 {
+				switch stack[len(stack)-3].(type) {
+				case *ast.GoStmt:
+					return "launched as a goroutine"
+				case *ast.DeferStmt:
+					return "deferred"
+				}
+			}
+			return ""
+		}
+		return "" // callback argument: assumed non-escaping
+	case *ast.AssignStmt, *ast.ValueSpec, *ast.CompositeLit, *ast.SendStmt, *ast.ReturnStmt, *ast.KeyValueExpr:
+		return "stored"
+	}
+	return ""
+}
+
+// uncappedSlices collects local slice variables declared with no backing
+// capacity: `var s []T`, `s := []T{}` and `s := []T(nil)`.
+func uncappedSlices(pass *analysis.Pass) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	record := func(id *ast.Ident, value ast.Expr) {
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			return
+		}
+		if _, ok := obj.Type().Underlying().(*types.Slice); !ok {
+			return
+		}
+		switch v := value.(type) {
+		case nil:
+			out[obj] = true // var s []T
+		case *ast.CompositeLit:
+			if len(v.Elts) == 0 {
+				out[obj] = true // s := []T{}
+			}
+		case *ast.CallExpr: // conversion []T(nil)
+			if len(v.Args) == 1 {
+				if lit, ok := v.Args[0].(*ast.Ident); ok && lit.Name == "nil" {
+					out[obj] = true
+				}
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ValueSpec:
+				for i, id := range n.Names {
+					var v ast.Expr
+					if i < len(n.Values) {
+						v = n.Values[i]
+					}
+					record(id, v)
+				}
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i, lhs := range n.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok {
+							record(id, n.Rhs[i])
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// builtinName returns the builtin a call invokes ("make", "append"), or "".
+func builtinName(pass *analysis.Pass, call *ast.CallExpr) string {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if _, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok {
+		return ""
+	}
+	return id.Name
+}

@@ -1,0 +1,85 @@
+// Package a is the hotalloc golden package; the directive below marks
+// it hot.
+//
+//fftlint:hot
+package a
+
+// Positive: per-iteration make.
+func makeInLoop(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		buf := make([]int, n) // want "make inside a loop in a hot-path package"
+		buf[0] = i
+		total += buf[0]
+	}
+	return total
+}
+
+// Positive: append growing an uncapped slice in a loop.
+func appendUncapped(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i) // want "append grows out inside a hot loop"
+	}
+	return out
+}
+
+// Positive: goroutine launched per iteration.
+func goPerIteration(n int, done chan int) {
+	for i := 0; i < n; i++ {
+		go func() { // want "closure launched as a goroutine per loop iteration"
+			done <- 1
+		}()
+	}
+}
+
+// Positive: closure stored per iteration.
+func storedClosure(n int) []func() int {
+	fns := make([]func() int, n)
+	for i := range fns {
+		i := i
+		fns[i] = func() int { return i } // want "closure stored per loop iteration"
+	}
+	return fns
+}
+
+// Negative: allocation hoisted out of the loop and reused.
+func hoisted(n int) int {
+	buf := make([]int, n)
+	total := 0
+	for i := 0; i < n; i++ {
+		buf[0] = i
+		total += buf[0]
+	}
+	return total
+}
+
+// Negative: append into a pre-sized slice.
+func appendPreSized(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// Negative: callback passed directly to a call does not escape.
+func callbackArg(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		apply(func(v int) { total += v }, i)
+	}
+	return total
+}
+
+func apply(f func(int), v int) { f(v) }
+
+// Negative: a justified per-iteration allocation can be suppressed.
+func suppressed(n int) [][]int {
+	rows := make([][]int, n)
+	for i := range rows {
+		//fftlint:ignore hotalloc golden test of the suppression directive
+		rows[i] = make([]int, n)
+	}
+	return rows
+}

@@ -1,0 +1,13 @@
+// Package b is not marked //fftlint:hot: hotalloc must stay silent even
+// on allocation-heavy loops.
+package b
+
+func makeInLoop(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		buf := make([]int, n)
+		buf[0] = i
+		total += buf[0]
+	}
+	return total
+}

@@ -1,0 +1,28 @@
+package analysis
+
+import "go/ast"
+
+// WithStack walks every node of every file, passing the path of ancestor
+// nodes (outermost first, ending with n itself). Returning false from fn
+// skips n's children. This replaces x/tools' inspector.WithStack for the
+// handful of analyzers that need parent context.
+//
+// ast.Inspect only delivers the closing nil callback for nodes whose
+// visit returned true, so a pruned node is popped immediately.
+func WithStack(files []*ast.File, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			if !fn(n, stack) {
+				stack = stack[:len(stack)-1]
+				return false
+			}
+			return true
+		})
+	}
+}

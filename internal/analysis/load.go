@@ -1,0 +1,311 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+)
+
+// The loader resolves types from the gc compiler's export data, located
+// via `go list -deps -export -json -test`. This keeps fftlint fully
+// offline (no module downloads) and exactly in sync with the toolchain
+// that builds the repository: the same export data the compiler writes is
+// the data we import. Type errors are collected, not fatal — analyzers
+// receive partial information and must degrade gracefully.
+
+// A Unit is one type-checking unit: a package together with its
+// in-package test files, or an external _test package.
+type Unit struct {
+	PkgPath string // import path; external test units get a "_test" suffix
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Pkg     *types.Package
+	Info    *types.Info
+	Hot     bool    // any file carries //fftlint:hot
+	Errs    []error // non-fatal parse/type errors
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath   string
+	Dir          string
+	Export       string
+	ForTest      string
+	Name         string
+	GoFiles      []string
+	CgoFiles     []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Module       *struct{ Path string }
+	Standard     bool
+}
+
+// An exportIndex maps import paths to gc export-data files, with
+// test-variant entries ("q [p.test]") kept per tested package so a unit's
+// imports resolve exactly the way `go test` would compile them.
+type exportIndex struct {
+	plain    map[string]string            // path -> export file
+	variants map[string]map[string]string // tested pkg -> path -> export file
+	pkgs     []*listPkg                   // module packages matching the patterns
+}
+
+func runGoList(moduleRoot string, patterns []string) (*exportIndex, error) {
+	args := []string{
+		"list", "-e", "-deps", "-test", "-export",
+		"-json=ImportPath,Dir,Export,ForTest,Name,GoFiles,CgoFiles,TestGoFiles,XTestGoFiles,Module,Standard",
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = moduleRoot
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	idx := &exportIndex{
+		plain:    make(map[string]string),
+		variants: make(map[string]map[string]string),
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		path := p.ImportPath
+		if i := strings.Index(path, " ["); i >= 0 {
+			path = path[:i]
+		}
+		if p.Export != "" {
+			if p.ForTest != "" {
+				m := idx.variants[p.ForTest]
+				if m == nil {
+					m = make(map[string]string)
+					idx.variants[p.ForTest] = m
+				}
+				m[path] = p.Export
+			} else {
+				idx.plain[path] = p.Export
+			}
+		}
+		if p.Module != nil && !p.Standard && p.ForTest == "" && !strings.HasSuffix(path, ".test") {
+			idx.pkgs = append(idx.pkgs, p)
+		}
+	}
+	return idx, nil
+}
+
+// expImporter resolves imports through gc export data. currentFor selects
+// the test-variant view while units of one package are being checked;
+// overrides let an external _test unit import the freshly checked
+// in-package unit (so shared test helpers resolve).
+type expImporter struct {
+	idx        *exportIndex
+	gc         types.Importer
+	currentFor string
+	overrides  map[string]*types.Package
+}
+
+func newExpImporter(fset *token.FileSet, idx *exportIndex) *expImporter {
+	e := &expImporter{idx: idx, overrides: make(map[string]*types.Package)}
+	e.gc = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if m := idx.variants[e.currentFor]; m != nil {
+			if f, ok := m[path]; ok {
+				return os.Open(f)
+			}
+		}
+		if f, ok := idx.plain[path]; ok {
+			return os.Open(f)
+		}
+		return nil, fmt.Errorf("no export data for %q", path)
+	})
+	return e
+}
+
+func (e *expImporter) Import(path string) (*types.Package, error) {
+	if p, ok := e.overrides[path]; ok {
+		return p, nil
+	}
+	return e.gc.Import(path)
+}
+
+// A Loader parses and type-checks module packages (or standalone testdata
+// directories) into Units ready for analyzers.
+type Loader struct {
+	Fset *token.FileSet
+	idx  *exportIndex
+	imp  *expImporter
+}
+
+// NewLoader builds a loader for the module rooted at moduleRoot, with the
+// export index computed over the given `go list` patterns.
+func NewLoader(moduleRoot string, patterns []string) (*Loader, error) {
+	idx, err := runGoList(moduleRoot, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{Fset: fset, idx: idx, imp: newExpImporter(fset, idx)}, nil
+}
+
+// Packages returns the units for every module package matched by the
+// loader's patterns: one unit per package including its in-package test
+// files, plus one per external _test package.
+func (l *Loader) Packages() ([]*Unit, error) {
+	var units []*Unit
+	for _, p := range l.idx.pkgs {
+		l.imp.currentFor = p.ImportPath
+		base := l.check(p.ImportPath, p.Dir, p.Name, concat(p.GoFiles, p.CgoFiles, p.TestGoFiles))
+		if base != nil {
+			units = append(units, base)
+		}
+		if len(p.XTestGoFiles) > 0 {
+			if base != nil && base.Pkg != nil {
+				l.imp.overrides[p.ImportPath] = base.Pkg
+			}
+			x := l.check(p.ImportPath+"_test", p.Dir, p.Name+"_test", p.XTestGoFiles)
+			if x != nil {
+				units = append(units, x)
+			}
+			delete(l.imp.overrides, p.ImportPath)
+		}
+		l.imp.currentFor = ""
+	}
+	return units, nil
+}
+
+// Dir type-checks a standalone directory (an analysistest golden package)
+// as a single unit with import path pkgPath. Imports must be resolvable
+// from the loader's export index, i.e. limited to the standard library
+// and packages of this module.
+func (l *Loader) Dir(dir, pkgPath string) (*Unit, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, e.Name())
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	u := l.check(pkgPath, dir, "", files)
+	if u == nil {
+		return nil, fmt.Errorf("analysis: no parseable Go files in %s", dir)
+	}
+	return u, nil
+}
+
+// check parses and type-checks one unit. Parse and type errors are
+// recorded in Unit.Errs; a unit is returned whenever at least one file
+// parses.
+func (l *Loader) check(pkgPath, dir, name string, fileNames []string) *Unit {
+	u := &Unit{PkgPath: pkgPath, Dir: dir, Fset: l.Fset}
+	for _, fn := range fileNames {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, fn), nil, parser.ParseComments)
+		if err != nil {
+			u.Errs = append(u.Errs, err)
+		}
+		if f != nil {
+			u.Files = append(u.Files, f)
+		}
+	}
+	if len(u.Files) == 0 {
+		return nil
+	}
+	if name == "" {
+		name = u.Files[0].Name.Name
+	}
+	u.Hot = hasHotDirective(u.Files)
+	u.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{
+		Importer:    l.imp,
+		FakeImportC: true,
+		Sizes:       types.SizesFor("gc", runtime.GOARCH),
+		Error:       func(err error) { u.Errs = append(u.Errs, err) },
+	}
+	pkg, _ := conf.Check(pkgPath, l.Fset, u.Files, u.Info) // errors already collected
+	u.Pkg = pkg
+	if u.Pkg == nil {
+		u.Pkg = types.NewPackage(pkgPath, name)
+	}
+	return u
+}
+
+func concat(ss ...[]string) []string {
+	var out []string
+	for _, s := range ss {
+		out = append(out, s...)
+	}
+	return out
+}
+
+// ModuleRoot walks upward from dir to the enclosing go.mod directory.
+func ModuleRoot(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// sharedLoader caches one full-module loader per module root for test
+// harness use, so every analyzer test does not re-run `go list`.
+var (
+	sharedMu      sync.Mutex
+	sharedLoaders = make(map[string]*Loader)
+)
+
+// SharedLoader returns a module-wide loader (patterns ./...) rooted at
+// the module containing dir, building it on first use.
+func SharedLoader(dir string) (*Loader, error) {
+	root, err := ModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	if l, ok := sharedLoaders[root]; ok {
+		return l, nil
+	}
+	l, err := NewLoader(root, []string{"./..."})
+	if err != nil {
+		return nil, err
+	}
+	sharedLoaders[root] = l
+	return l, nil
+}

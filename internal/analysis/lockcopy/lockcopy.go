@@ -1,0 +1,147 @@
+// Package lockcopy flags values containing sync primitives (Mutex,
+// RWMutex, WaitGroup, Once, Cond) that are copied: by-value receivers,
+// by-value parameters, plain assignments from existing variables, and
+// by-value range iteration. A copied lock guards nothing — goroutines
+// synchronising through the copy and the original silently race. This is
+// a stricter, repo-local cousin of `go vet -copylocks` that also covers
+// the by-value range case and runs in the same fftlint pass as the other
+// invariants.
+package lockcopy
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockcopy",
+	Doc:  "flags sync.Mutex/WaitGroup (and friends) copied by value",
+	Run:  run,
+}
+
+var syncLockTypes = map[string]bool{
+	"Mutex":     true,
+	"RWMutex":   true,
+	"WaitGroup": true,
+	"Once":      true,
+	"Cond":      true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkFuncType(pass, n.Type)
+				if n.Recv != nil {
+					checkFieldList(pass, n.Recv, "receiver")
+				}
+			case *ast.FuncLit:
+				checkFuncType(pass, n.Type)
+			case *ast.AssignStmt:
+				checkAssign(pass, n)
+			case *ast.RangeStmt:
+				checkRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkFuncType(pass *analysis.Pass, ft *ast.FuncType) {
+	checkFieldList(pass, ft.Params, "parameter")
+}
+
+func checkFieldList(pass *analysis.Pass, fl *ast.FieldList, kind string) {
+	if fl == nil {
+		return
+	}
+	for _, field := range fl.List {
+		t := pass.TypesInfo.Types[field.Type].Type
+		if lock := containsLock(t); lock != "" {
+			pass.Reportf(field.Type.Pos(),
+				"%s passes %s by value, copying sync.%s; use a pointer", kind, typeName(t), lock)
+		}
+	}
+}
+
+// checkAssign flags `dst = src` / `dst := src` where src is an existing
+// addressable value (not a freshly constructed literal or call result)
+// whose type contains a lock.
+func checkAssign(pass *analysis.Pass, as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		switch rhs.(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		default:
+			continue // composite literal, call, conversion: construction, not copy
+		}
+		t := pass.TypesInfo.Types[rhs].Type
+		if lock := containsLock(t); lock != "" {
+			pass.Reportf(as.Lhs[i].Pos(),
+				"assignment copies %s, which contains sync.%s; use a pointer", typeName(t), lock)
+		}
+	}
+}
+
+func checkRange(pass *analysis.Pass, rng *ast.RangeStmt) {
+	if rng.Value == nil {
+		return
+	}
+	t := pass.TypesInfo.Types[rng.Value].Type
+	if t == nil {
+		// `for _, v := range ...` defines v rather than using it, so its
+		// type lives in Defs.
+		if id, ok := rng.Value.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				t = obj.Type()
+			}
+		}
+	}
+	if lock := containsLock(t); lock != "" {
+		pass.Reportf(rng.Value.Pos(),
+			"range copies %s elements, which contain sync.%s; iterate by index or use pointers", typeName(t), lock)
+	}
+}
+
+// containsLock returns the sync type name embedded (transitively, by
+// value) in t, or "".
+func containsLock(t types.Type) string {
+	return findLock(t, make(map[types.Type]bool))
+}
+
+func findLock(t types.Type, seen map[types.Type]bool) string {
+	if t == nil || seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && syncLockTypes[obj.Name()] {
+			return obj.Name()
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if lock := findLock(u.Field(i).Type(), seen); lock != "" {
+				return lock
+			}
+		}
+	case *types.Array:
+		return findLock(u.Elem(), seen)
+	}
+	return ""
+}
+
+func typeName(t types.Type) string {
+	if t == nil {
+		return "value"
+	}
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}

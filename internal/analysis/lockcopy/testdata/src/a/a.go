@@ -1,0 +1,62 @@
+// Package a is the lockcopy golden package.
+package a
+
+import "sync"
+
+type guarded struct {
+	mu    sync.Mutex
+	count int
+}
+
+// Positive: sync.Mutex passed by value.
+func byValueMutex(mu sync.Mutex) { // want "parameter passes sync.Mutex by value, copying sync.Mutex"
+	mu.Lock()
+	defer mu.Unlock()
+}
+
+// Positive: by-value receiver on a lock-carrying struct.
+func (g guarded) byValueReceiver() int { // want "receiver passes a.guarded by value, copying sync.Mutex"
+	return g.count
+}
+
+// Positive: assignment copies an existing lock-carrying value.
+func copyAssign(g guarded) int { // want "parameter passes a.guarded by value, copying sync.Mutex"
+	cp := g // want "assignment copies a.guarded, which contains sync.Mutex"
+	return cp.count
+}
+
+// Positive: range copies lock-carrying elements by value.
+func rangeCopy(gs []guarded) int {
+	total := 0
+	for _, g := range gs { // want "range copies a.guarded elements, which contain sync.Mutex"
+		total += g.count
+	}
+	return total
+}
+
+// Positive: WaitGroup by value.
+func byValueWaitGroup(wg sync.WaitGroup) { // want "parameter passes sync.WaitGroup by value, copying sync.WaitGroup"
+	wg.Wait()
+}
+
+// Negative: pointers are fine.
+func byPointer(g *guarded, mu *sync.Mutex) int {
+	mu.Lock()
+	defer mu.Unlock()
+	return g.count
+}
+
+// Negative: constructing a fresh value is not a copy.
+func construct() *guarded {
+	g := guarded{count: 1}
+	return &g
+}
+
+// Negative: iterating by index avoids the copy.
+func rangeByIndex(gs []guarded) int {
+	total := 0
+	for i := range gs {
+		total += gs[i].count
+	}
+	return total
+}

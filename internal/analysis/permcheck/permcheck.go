@@ -1,0 +1,214 @@
+// Package permcheck enforces the paper's central structural invariant:
+// every routing step must be a true permutation. It reports
+//
+//  1. constructors that return a permute.Permutation (or are annotated
+//     //fftlint:permutation and return []int) without validating the
+//     result — a silently wrong permutation turns a butterfly exchange
+//     into data loss, which no unit test of the caller will attribute to
+//     the constructor; and
+//  2. call sites that pass a compile-time constant, non-power-of-two
+//     size to the power-of-two permutation constructors (BitReversal,
+//     PerfectShuffle, ButterflyExchange, Omega, OmegaInverse), which
+//     otherwise only fail at run time by panicking.
+//
+// A constructor validates by calling one of Validate, MustValid,
+// mustValid, IsPermutation or validatePermutation on its result, or by
+// delegating: returning the call of another Permutation-returning
+// function directly.
+package permcheck
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "permcheck",
+	Doc:  "flags unvalidated permutation constructors and constant non-power-of-two sizes",
+	Run:  run,
+}
+
+// validators are the call names accepted as proof of validation.
+var validators = map[string]bool{
+	"Validate":            true,
+	"MustValid":           true,
+	"mustValid":           true,
+	"IsPermutation":       true,
+	"validatePermutation": true,
+}
+
+// pow2Ctors maps permute-package constructors to the index of their
+// power-of-two size argument.
+var pow2Ctors = map[string]int{
+	"BitReversal":       0,
+	"PerfectShuffle":    0,
+	"ButterflyExchange": 0,
+	"Omega":             0,
+	"OmegaInverse":      0,
+}
+
+const permuteDirective = "//fftlint:permutation"
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok {
+				checkConstructor(pass, fd)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				checkPow2Call(pass, call)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkConstructor reports fd if it builds a permutation without
+// validating or delegating.
+func checkConstructor(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if fd.Body == nil || !isPermCtor(pass, fd) {
+		return
+	}
+	validated := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if validators[calleeName(call)] {
+			validated = true
+		}
+		return true
+	})
+	if validated {
+		return
+	}
+	// Delegation: every return value is directly the result of another
+	// Permutation-returning call, which is responsible for validation.
+	delegates := true
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			call, ok := res.(*ast.CallExpr)
+			if !ok || !isPermType(pass.TypesInfo.Types[call].Type) {
+				delegates = false
+			}
+		}
+		return true
+	})
+	if delegates {
+		return
+	}
+	pass.Reportf(fd.Name.Pos(),
+		"%s returns a permutation but never validates it; call Validate (or MustValid) on the result, or delegate to a validated constructor", fd.Name.Name)
+}
+
+// isPermCtor reports whether fd declares a permutation constructor:
+// a result of type permute.Permutation, or the //fftlint:permutation
+// annotation together with a []int result.
+func isPermCtor(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Results == nil {
+		return false
+	}
+	annotated := false
+	if fd.Doc != nil {
+		for _, c := range fd.Doc.List {
+			t := strings.TrimSpace(c.Text)
+			if t == permuteDirective || strings.HasPrefix(t, permuteDirective+" ") {
+				annotated = true
+			}
+		}
+	}
+	for _, res := range fd.Type.Results.List {
+		t := pass.TypesInfo.Types[res.Type].Type
+		if t == nil {
+			continue
+		}
+		if isPermType(t) {
+			return true
+		}
+		if annotated && isIntSlice(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// isPermType reports whether t is (a pointer to) the named type
+// Permutation of an internal/permute package.
+func isPermType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Permutation" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/permute")
+}
+
+func isIntSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Int
+}
+
+// checkPow2Call reports permute constructors invoked with a constant
+// size that is not a power of two.
+func checkPow2Call(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	argIdx, ok := pow2Ctors[sel.Sel.Name]
+	if !ok || argIdx >= len(call.Args) {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || !strings.HasSuffix(fn.Pkg().Path(), "internal/permute") {
+		return
+	}
+	tv := pass.TypesInfo.Types[call.Args[argIdx]]
+	if tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return
+	}
+	n, ok := constant.Int64Val(tv.Value)
+	if !ok {
+		return
+	}
+	if n <= 0 || n&(n-1) != 0 {
+		pass.Reportf(call.Args[argIdx].Pos(),
+			"permute.%s requires a power-of-two size; constant %d is not", sel.Sel.Name, n)
+	}
+}
+
+// calleeName returns the identifier a call resolves through ("Validate"
+// for p.Validate(...) and for Validate(...)).
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}

@@ -1,0 +1,12 @@
+package permcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/permcheck"
+)
+
+func TestPermcheck(t *testing.T) {
+	analysistest.Run(t, permcheck.Analyzer, "a")
+}

@@ -1,0 +1,71 @@
+// Package a is the permcheck golden package.
+package a
+
+import "repro/internal/permute"
+
+// Positive: builds a Permutation in a loop and returns it unvalidated.
+func badShuffle(n int) permute.Permutation { // want "badShuffle returns a permutation but never validates it"
+	p := make(permute.Permutation, n)
+	for i := range p {
+		p[i] = (i + 1) % n
+	}
+	return p
+}
+
+// Positive: annotated constructor returning a raw []int, unvalidated.
+//
+//fftlint:permutation
+func badRawPerm(n int) []int { // want "badRawPerm returns a permutation but never validates it"
+	p := make([]int, n)
+	for i := range p {
+		p[i] = n - 1 - i
+	}
+	return p
+}
+
+// Positive: partially delegating — one return is a bare ident.
+func badMixed(n int, fallback bool) permute.Permutation { // want "badMixed returns a permutation but never validates it"
+	if fallback {
+		return permute.Identity(n)
+	}
+	p := make(permute.Permutation, n)
+	return p
+}
+
+// Positive: constant non-power-of-two sizes at call sites.
+func badSizes() {
+	_ = permute.BitReversal(12)            // want "permute.BitReversal requires a power-of-two size; constant 12 is not"
+	_ = permute.ButterflyExchange(6, 1)    // want "permute.ButterflyExchange requires a power-of-two size; constant 6 is not"
+	_ = permute.PerfectShuffle(3 * region) // want "permute.PerfectShuffle requires a power-of-two size; constant 12 is not"
+}
+
+const region = 4
+
+// Negative: validates its result before returning.
+func goodValidated(n int) permute.Permutation {
+	p := make(permute.Permutation, n)
+	for i := range p {
+		p[i] = (i + 2) % n
+	}
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Negative: pure delegation to a validated constructor.
+func goodDelegating(n int) permute.Permutation {
+	return permute.BitReversal(n)
+}
+
+// Negative: power-of-two constant and non-constant sizes.
+func goodSizes(n int) {
+	_ = permute.BitReversal(16)
+	_ = permute.BitReversal(n)
+}
+
+// Negative: returns []int without the annotation — not a permutation.
+func plainSlice(n int) []int {
+	s := make([]int, n)
+	return s
+}

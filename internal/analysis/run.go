@@ -1,0 +1,35 @@
+package analysis
+
+import "fmt"
+
+// Run applies every analyzer to every unit, filters findings through the
+// //fftlint:ignore directives, and returns them sorted by position.
+func Run(units []*Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, u := range units {
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      u.Fset,
+				Files:     u.Files,
+				Pkg:       u.Pkg,
+				TypesInfo: u.Info,
+				PkgPath:   u.PkgPath,
+				Hot:       u.Hot,
+				diags:     &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %v", u.PkgPath, a.Name, err)
+			}
+		}
+		ignores := ignoresByFile(u.Fset, u.Files)
+		for _, d := range diags {
+			if !suppressed(d, ignores) {
+				all = append(all, d)
+			}
+		}
+	}
+	sortDiagnostics(all)
+	return all, nil
+}

@@ -133,6 +133,7 @@ type MaxIndex struct {
 // CombineMaxIndex is the AllReduce operator for MaxIndex; ties break
 // toward the lower index, making the result deterministic.
 func CombineMaxIndex(a, b MaxIndex) MaxIndex {
+	//fftlint:ignore floatcmp argmax tie-break needs exact equality: a tolerance would make the reduction order-dependent
 	if b.Value > a.Value || (b.Value == a.Value && b.Index < a.Index) {
 		return b
 	}

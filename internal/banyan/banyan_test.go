@@ -140,6 +140,7 @@ func TestRandomPermutationsMostlyBlock(t *testing.T) {
 	}
 	// Admissible settings are 2^(N/2*logN) = 2^1024 out of 256! ~ 2^1684:
 	// a random permutation passes with probability ~ 2^-660.
+	//fftlint:ignore floatcmp frac is a count divided by a count; zero passes means exactly zero
 	if frac != 0 {
 		t.Fatalf("%.2f of random permutations passed; expected none", frac)
 	}

@@ -53,6 +53,7 @@ func TestSortRandom(t *testing.T) {
 			t.Fatal(err)
 		}
 		for i := range data {
+			//fftlint:ignore floatcmp sorting only permutes values, so the output must equal the reference bitwise
 			if data[i] != want[i] {
 				t.Fatalf("n=%d: mismatch at %d", n, i)
 			}
@@ -170,6 +171,7 @@ func TestRunSortsOnAllMachines(t *testing.T) {
 			t.Fatalf("%s: %v", m.Name(), err)
 		}
 		for i := range out {
+			//fftlint:ignore floatcmp sorting only permutes values, so the output must equal the reference bitwise
 			if out[i] != want[i] {
 				t.Fatalf("%s: unsorted at %d", m.Name(), i)
 			}
@@ -258,6 +260,7 @@ func TestRunWithShuffledLayoutStillSorts(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range out {
+		//fftlint:ignore floatcmp sorting only permutes values, so the output must equal the reference bitwise
 		if out[i] != want[i] {
 			t.Fatalf("unsorted at %d", i)
 		}

@@ -1,0 +1,35 @@
+package bits
+
+import "testing"
+
+// FuzzBitReverse pins the algebra of Reverse: it is an involution on the
+// low `width` bits, its output stays inside the width, and it agrees
+// with a naive per-bit reference.
+func FuzzBitReverse(f *testing.F) {
+	f.Add(uint32(0), uint8(0))
+	f.Add(uint32(1), uint8(1))
+	f.Add(uint32(0b1011), uint8(4))
+	f.Add(uint32(0xffff), uint8(16))
+	f.Add(uint32(0x12345), uint8(20))
+	f.Fuzz(func(t *testing.T, raw uint32, rawWidth uint8) {
+		width := int(rawWidth) % 31
+		x := int(raw) & (1<<uint(width) - 1)
+
+		r := Reverse(x, width)
+		if r < 0 || r >= 1<<uint(width) {
+			t.Fatalf("Reverse(%#x, %d) = %#x escapes the width", x, width, r)
+		}
+		if rr := Reverse(r, width); rr != x {
+			t.Fatalf("Reverse is not an involution: %#x -> %#x -> %#x (width %d)", x, r, rr, width)
+		}
+		ref := 0
+		for i := 0; i < width; i++ {
+			if Bit(x, i) == 1 {
+				ref |= 1 << uint(width-1-i)
+			}
+		}
+		if r != ref {
+			t.Fatalf("Reverse(%#x, %d) = %#x, reference says %#x", x, width, r, ref)
+		}
+	})
+}

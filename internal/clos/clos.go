@@ -205,6 +205,13 @@ func (ph *Phases) GlobalPermutations() (row1, col, row2 permute.Permutation) {
 			col[r*b+c] = ph.Col[c][r]*b + c
 		}
 	}
+	// Each lifted phase must itself be a bijection of the n node ids, or
+	// the Clos routing argument collapses.
+	for _, p := range []permute.Permutation{row1, col, row2} {
+		if err := p.Validate(); err != nil {
+			panic(err)
+		}
+	}
 	return row1, col, row2
 }
 

@@ -196,7 +196,7 @@ func LowPassFIR(taps int, cutoff float64, win Window) ([]float64, error) {
 	for i := range h {
 		t := float64(i - mid)
 		var v float64
-		if t == 0 {
+		if i == mid { // t == 0 exactly when i == mid; compare the integers
 			v = cutoff
 		} else {
 			v = math.Sin(math.Pi*cutoff*t) / (math.Pi * t)

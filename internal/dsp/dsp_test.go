@@ -22,7 +22,7 @@ func TestWindowsShapeAndSymmetry(t *testing.T) {
 				t.Fatalf("%s: not symmetric at %d", name, i)
 			}
 		}
-		if win(1)[0] != 1 {
+		if math.Abs(win(1)[0]-1) > 1e-12 {
 			t.Fatalf("%s: degenerate window", name)
 		}
 	}
@@ -36,13 +36,13 @@ func TestWindowsShapeAndSymmetry(t *testing.T) {
 }
 
 func TestDB(t *testing.T) {
-	if DB(1) != 0 {
+	if math.Abs(DB(1)) > 1e-12 {
 		t.Fatal("DB(1) != 0")
 	}
 	if math.Abs(DB(100)-20) > 1e-12 {
 		t.Fatal("DB(100) != 20")
 	}
-	if DB(0) != -300 {
+	if math.Abs(DB(0)+300) > 1e-9 {
 		t.Fatal("DB floor missing")
 	}
 }

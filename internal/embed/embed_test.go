@@ -1,6 +1,7 @@
 package embed
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 
@@ -31,7 +32,7 @@ func TestGrayRingIntoHypercubeDilationOne(t *testing.T) {
 		if max != 1 {
 			t.Fatalf("k=%d: Gray ring dilation %d, want 1", k, max)
 		}
-		if avg != 1 {
+		if math.Abs(avg-1) > 1e-12 {
 			t.Fatalf("k=%d: avg dilation %v", k, avg)
 		}
 	}
@@ -90,7 +91,7 @@ func TestButterflyStageDilationOnMesh(t *testing.T) {
 		if max != want {
 			t.Fatalf("bit %d: dilation %d, want %d", b, max, want)
 		}
-		if avg != float64(want) {
+		if math.Abs(avg-float64(want)) > 1e-12 {
 			t.Fatalf("bit %d: avg %v, want %d (all pairs equidistant)", b, avg, want)
 		}
 	}

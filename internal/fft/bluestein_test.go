@@ -45,6 +45,7 @@ func TestAnyPlanPow2Delegates(t *testing.T) {
 		t.Fatal(err)
 	}
 	x := randomSignal(64, 700)
+	//fftlint:ignore floatcmp AnyPlan must dispatch to the radix-2 plan at powers of two; bit-equality pins the dispatch
 	if d := MaxAbsDiff(p.Forward(x), MustPlan(64).Forward(x)); d != 0 {
 		t.Fatalf("power-of-two AnyPlan differs from Plan by %g", d)
 	}

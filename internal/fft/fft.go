@@ -8,6 +8,8 @@
 // natural-order input followed by a bit-reversal permutation of the
 // output — and it is the schedule the distributed FFT in package parfft
 // executes across processing elements.
+//
+//fftlint:hot
 package fft
 
 import (

@@ -214,9 +214,11 @@ func TestButterflyAlgebra(t *testing.T) {
 	a, b := complex(1.0, 2.0), complex(-3.0, 0.5)
 	w := complex(0, 1)
 	up, lo := Butterfly(a, b, w)
+	//fftlint:ignore floatcmp Butterfly is defined as exactly this expression; bit-equality pins the algebra
 	if up != a+b {
 		t.Fatal("upper output wrong")
 	}
+	//fftlint:ignore floatcmp Butterfly is defined as exactly this expression; bit-equality pins the algebra
 	if lo != (a-b)*w {
 		t.Fatal("lower output wrong")
 	}

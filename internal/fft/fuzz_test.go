@@ -1,0 +1,62 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+// FuzzFFTInverse pins the round-trip identity Inverse(Forward(x)) ≈ x
+// for arbitrary finite signals built from raw fuzz bytes. The tolerance
+// scales with the signal magnitude because the forward transform sums n
+// terms before the inverse divides them back out.
+func FuzzFFTInverse(f *testing.F) {
+	f.Add(uint8(3), []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(uint8(0), []byte{0xff})
+	f.Add(uint8(6), []byte{0x80, 0x01, 0x7f, 0xfe, 0x40, 0xc0})
+	f.Fuzz(func(t *testing.T, rawLog uint8, raw []byte) {
+		logn := int(rawLog) % 11 // n = 1 .. 1024
+		n := 1 << uint(logn)
+		x := make([]complex128, n)
+		// Two bytes per sample, centred so signals have both signs;
+		// missing bytes leave trailing zeros, which is fine.
+		for i := 0; i < n; i++ {
+			var re, im float64
+			if 2*i < len(raw) {
+				re = float64(raw[2*i]) - 127.5
+			}
+			if 2*i+1 < len(raw) {
+				im = float64(raw[2*i+1]) - 127.5
+			}
+			x[i] = complex(re, im)
+		}
+
+		p := MustPlan(n)
+		spec := p.Forward(x)
+		back := p.Backward(spec)
+
+		maxAbs := 1.0
+		for _, v := range x {
+			if a := cmplx.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		if d := MaxAbsDiff(back, x); d > 1e-9*maxAbs*float64(n) || math.IsNaN(d) {
+			t.Fatalf("n=%d: inverse round trip differs by %g (signal magnitude %g)", n, d, maxAbs)
+		}
+
+		// Parseval: sum |x|^2 == (1/n) sum |X|^2 for the unscaled
+		// forward transform.
+		var et, ef float64
+		for _, v := range x {
+			et += real(v)*real(v) + imag(v)*imag(v)
+		}
+		for _, v := range spec {
+			ef += real(v)*real(v) + imag(v)*imag(v)
+		}
+		ef /= float64(n)
+		if diff := math.Abs(et - ef); diff > 1e-6*(1+et) {
+			t.Fatalf("n=%d: Parseval violated: time energy %g, freq energy %g", n, et, ef)
+		}
+	})
+}

@@ -64,6 +64,10 @@ func parallelRange(n, workers int, fn func(lo, hi int)) {
 	}
 	var wg sync.WaitGroup
 	chunk := (n + workers - 1) / workers
+	work := func(lo, hi int) {
+		defer wg.Done()
+		fn(lo, hi)
+	}
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
 		hi := lo + chunk
@@ -74,10 +78,7 @@ func parallelRange(n, workers int, fn func(lo, hi int)) {
 			break
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
+		go work(lo, hi)
 	}
 	wg.Wait()
 }

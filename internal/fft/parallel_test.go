@@ -10,6 +10,7 @@ func TestTransformParallelMatchesSerial(t *testing.T) {
 		for _, workers := range []int{0, 1, 2, 7, 16} {
 			dst := make([]complex128, n)
 			p.TransformParallel(dst, x, workers)
+			//fftlint:ignore floatcmp TransformParallel documents bit-identical results to Transform; bit-equality is the contract
 			if d := MaxAbsDiff(dst, want); d != 0 {
 				t.Fatalf("n=%d workers=%d: parallel differs by %g", n, workers, d)
 			}
@@ -24,6 +25,7 @@ func TestTransformParallelInPlace(t *testing.T) {
 	want := p.Forward(x)
 	buf := append([]complex128(nil), x...)
 	p.TransformParallel(buf, buf, 8)
+	//fftlint:ignore floatcmp TransformParallel documents bit-identical results to Transform; bit-equality is the contract
 	if d := MaxAbsDiff(buf, want); d != 0 {
 		t.Fatalf("in-place parallel differs by %g", d)
 	}

@@ -42,6 +42,7 @@ func TestRadix4InPlace(t *testing.T) {
 	want := p.Forward(x)
 	buf := append([]complex128(nil), x...)
 	p.Transform(buf, buf)
+	//fftlint:ignore floatcmp in-place and out-of-place runs of one plan execute identical arithmetic
 	if d := MaxAbsDiff(buf, want); d != 0 {
 		t.Fatalf("in-place differs by %g", d)
 	}

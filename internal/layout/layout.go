@@ -97,6 +97,11 @@ func Permutation(l Layout, n int) permute.Permutation {
 	for e := range p {
 		p[e] = l.NodeOf(e)
 	}
+	// A layout that maps two elements to one node would silently lose
+	// data at load time; fail here, at the layout, instead.
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
 	return p
 }
 

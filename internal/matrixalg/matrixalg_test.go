@@ -35,6 +35,7 @@ func TestTransposeOnAllMachines(t *testing.T) {
 		}
 		for r := 0; r < b; r++ {
 			for c := 0; c < b; c++ {
+				//fftlint:ignore floatcmp transpose moves values verbatim; bitwise equality is the routed-correctly property
 				if m.Values()[c*b+r] != a[r*b+c] {
 					t.Fatalf("%s: transpose wrong at (%d,%d)", m.Name(), r, c)
 				}

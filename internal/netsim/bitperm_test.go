@@ -19,6 +19,9 @@ func nodePermOfBitPerm(dims int, bp []int) permute.Permutation {
 		}
 		p[a] = b
 	}
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
 	return p
 }
 

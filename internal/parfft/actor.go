@@ -54,6 +54,7 @@ func RunActor(x []complex128, workersCap int) ([]complex128, error) {
 
 	wg.Add(n)
 	for node := 0; node < n; node++ {
+		//fftlint:ignore hotalloc goroutine-per-PE mode spawns each actor exactly once per run by design
 		go func(node int) {
 			defer wg.Done()
 			for stage := logn - 1; stage >= 0; stage-- {

@@ -120,8 +120,9 @@ func RunBlocked(m netsim.Machine[complex128], x []complex128) (*BlockedResult, e
 	out := make([]complex128, n)
 	mult := make([][]int, p)
 	wordsByPair := make(map[[2]int][]int) // (srcPE, dstPE) -> source offsets
+	multBacking := make([]int, p*p)       // one allocation backs all p rows
 	for pe := range mult {
-		mult[pe] = make([]int, p)
+		mult[pe] = multBacking[pe*p : (pe+1)*p]
 	}
 	for pe := 0; pe < p; pe++ {
 		for off := 0; off < b; off++ {
@@ -136,9 +137,9 @@ func RunBlocked(m netsim.Machine[complex128], x []complex128) (*BlockedResult, e
 	if err != nil {
 		return nil, fmt.Errorf("parfft: blocked reversal schedule: %w", err)
 	}
+	srcOff := make([]int, p) // reused across rounds; fully rewritten each round
 	for _, round := range rounds {
 		vals := m.Values()
-		srcOff := make([]int, p)
 		for pe := 0; pe < p; pe++ {
 			key := [2]int{pe, round[pe]}
 			offs := wordsByPair[key]

@@ -111,7 +111,8 @@ func TestHypermeshDimensionLocalFastPath(t *testing.T) {
 		t.Fatalf("column-local permutation took %d steps, want 1", steps)
 	}
 	for src, dst := range p {
-		if real(hm.Values()[dst]) != float64(src) {
+		// Routing copies the integer-valued payloads verbatim; compare as ints.
+		if int(real(hm.Values()[dst])) != src {
 			t.Fatalf("misrouted at %d", dst)
 		}
 	}

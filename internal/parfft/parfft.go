@@ -1,3 +1,4 @@
+//fftlint:hot
 package parfft
 
 import (

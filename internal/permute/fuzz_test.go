@@ -1,0 +1,50 @@
+package permute
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzPermuteCompose pins the group algebra of Permutation: Compose
+// always yields a valid permutation, composing with the identity is a
+// no-op, composing with the inverse cancels, composition is
+// associative, and Apply distributes over Compose.
+func FuzzPermuteCompose(f *testing.F) {
+	f.Add(uint8(1), int64(0), int64(1))
+	f.Add(uint8(4), int64(2), int64(3))
+	f.Add(uint8(16), int64(42), int64(7))
+	f.Add(uint8(64), int64(99), int64(100))
+	f.Fuzz(func(t *testing.T, rawN uint8, seedP, seedQ int64) {
+		n := int(rawN)%64 + 1
+		p := Random(n, rand.New(rand.NewSource(seedP)))
+		q := Random(n, rand.New(rand.NewSource(seedQ)))
+
+		pq := p.Compose(q)
+		if err := pq.Validate(); err != nil {
+			t.Fatalf("Compose produced an invalid permutation: %v", err)
+		}
+		if !p.Compose(Identity(n)).Equal(p) || !Identity(n).Compose(p).Equal(p) {
+			t.Fatal("identity is not neutral under Compose")
+		}
+		if !p.Compose(p.Inverse()).IsIdentity() || !p.Inverse().Compose(p).IsIdentity() {
+			t.Fatal("inverse does not cancel under Compose")
+		}
+		r := Random(n, rand.New(rand.NewSource(seedP^seedQ)))
+		if !p.Compose(q).Compose(r).Equal(p.Compose(q.Compose(r))) {
+			t.Fatal("Compose is not associative")
+		}
+
+		// Apply(p.Compose(q), data) must equal applying p then q.
+		data := make([]int, n)
+		for i := range data {
+			data[i] = i
+		}
+		oneShot := Apply(pq, data)
+		twoStep := Apply(q, Apply(p, data))
+		for i := range oneShot {
+			if oneShot[i] != twoStep[i] {
+				t.Fatalf("Apply(p∘q) differs from Apply(q)∘Apply(p) at %d", i)
+			}
+		}
+	})
+}

@@ -20,13 +20,25 @@ import (
 // Permutation of size n contains each value in [0,n) exactly once.
 type Permutation []int
 
+// mustValid returns p after asserting it is a bijection. Every
+// constructor in this package funnels its result through it (the
+// permcheck analyzer enforces this), so a buggy construction panics at
+// the source instead of silently corrupting a routing schedule
+// downstream.
+func mustValid(p Permutation) Permutation {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return p
+}
+
 // Identity returns the identity permutation on n elements.
 func Identity(n int) Permutation {
 	p := make(Permutation, n)
 	for i := range p {
 		p[i] = i
 	}
-	return p
+	return mustValid(p)
 }
 
 // Validate returns an error unless p is a bijection on [0, len(p)).
@@ -77,7 +89,7 @@ func (p Permutation) Compose(q Permutation) Permutation {
 	for i, v := range p {
 		r[i] = q[v]
 	}
-	return r
+	return mustValid(r)
 }
 
 // Apply permutes data so that result[p[i]] = data[i] — the network view:
@@ -121,7 +133,7 @@ func (p Permutation) FixedPoints() int {
 // rng. Simulations use seeded sources for reproducibility.
 func Random(n int, rng *rand.Rand) Permutation {
 	p := Permutation(rng.Perm(n))
-	return p
+	return mustValid(p)
 }
 
 // BitReversal returns the bit-reversal permutation on n = 2^k elements:
@@ -136,7 +148,7 @@ func BitReversal(n int) Permutation {
 	for i := range p {
 		p[i] = bits.Reverse(i, k)
 	}
-	return p
+	return mustValid(p)
 }
 
 // DigitReversal returns the base-b digit-reversal permutation on n = b^d
@@ -147,7 +159,7 @@ func DigitReversal(b, d int) Permutation {
 	for i := range p {
 		p[i] = bits.DigitReverse(i, b, d)
 	}
-	return p
+	return mustValid(p)
 }
 
 // PerfectShuffle returns the perfect-shuffle permutation on n = 2^k
@@ -161,7 +173,7 @@ func PerfectShuffle(n int) Permutation {
 	for i := range p {
 		p[i] = bits.PerfectShuffle(i, k)
 	}
-	return p
+	return mustValid(p)
 }
 
 // ButterflyExchange returns the exchange permutation of stage s: each
@@ -180,7 +192,7 @@ func ButterflyExchange(n, s int) Permutation {
 	for i := range p {
 		p[i] = bits.FlipBit(i, s)
 	}
-	return p
+	return mustValid(p)
 }
 
 // Omega returns the single-pass Omega-network permutation (shuffle
@@ -202,7 +214,7 @@ func Transpose(r, c int) Permutation {
 			p[i*c+j] = j*r + i
 		}
 	}
-	return p
+	return mustValid(p)
 }
 
 // CyclicShift returns the permutation mapping i -> (i+k) mod n.
@@ -212,7 +224,7 @@ func CyclicShift(n, k int) Permutation {
 	for i := range p {
 		p[i] = (i + k) % n
 	}
-	return p
+	return mustValid(p)
 }
 
 // ReverseAll returns the permutation mapping i -> n-1-i. On a 2D mesh it
@@ -223,5 +235,5 @@ func ReverseAll(n int) Permutation {
 	for i := range p {
 		p[i] = n - 1 - i
 	}
-	return p
+	return mustValid(p)
 }

@@ -9,6 +9,8 @@
 // independently locked shards, so parallel Get/Put churn on different
 // sizes rarely contends on one mutex. Capacity is enforced per shard
 // with least-recently-used eviction.
+//
+//fftlint:hot
 package plancache
 
 import (
@@ -84,7 +86,8 @@ func New(capacity int) *Cache {
 	c := &Cache{shards: make([]*shard, numShards)}
 	for i := range c.shards {
 		c.shards[i] = &shard{
-			cap:   perShard,
+			cap: perShard,
+			//fftlint:ignore hotalloc cache construction runs once at process start, not on the serving path
 			items: make(map[Key]*list.Element),
 			order: list.New(),
 		}
@@ -191,7 +194,13 @@ func (c *Cache) Stats() Stats {
 
 // Keys returns every cached key in no particular order (for tests).
 func (c *Cache) Keys() []Key {
-	var out []Key
+	total := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		total += s.order.Len()
+		s.mu.Unlock()
+	}
+	out := make([]Key, 0, total)
 	for _, s := range c.shards {
 		s.mu.Lock()
 		for el := s.order.Front(); el != nil; el = el.Next() {

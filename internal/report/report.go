@@ -110,6 +110,7 @@ func Seconds(s float64) string {
 		abs = -abs
 	}
 	switch {
+	//fftlint:ignore floatcmp exact zero formats as "0 s"; a tolerance would misprint genuinely tiny durations
 	case abs == 0:
 		return "0 s"
 	case abs < 1e-6:

@@ -1,0 +1,125 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestFlightGroupCoalescesConcurrentIdenticalRequests hammers one
+// flightGroup with many goroutines issuing identical keys. Run under
+// the race detector (make race) this exercises the leader/waiter
+// publication protocol; the assertions pin that every caller observes
+// the leader's result and that exactly the non-shared callers executed
+// the function.
+func TestFlightGroupCoalescesConcurrentIdenticalRequests(t *testing.T) {
+	const (
+		callers = 64
+		keys    = 4
+	)
+	var g flightGroup
+	var execs [keys]atomic.Int64
+
+	start := make(chan struct{})
+	release := make(chan struct{})
+	var ready, done sync.WaitGroup
+	var nonShared atomic.Int64
+	ready.Add(callers)
+	done.Add(callers)
+	for i := 0; i < callers; i++ {
+		k := i % keys
+		go func(k int) {
+			defer done.Done()
+			ready.Done()
+			<-start
+			key := fmt.Sprintf("req-%d", k)
+			v, shared, err := g.do(key, func() (any, error) {
+				execs[k].Add(1)
+				<-release // hold the flight open so duplicates pile up
+				return fmt.Sprintf("result-%d", k), nil
+			})
+			if err != nil {
+				t.Errorf("key %s: unexpected error %v", key, err)
+			}
+			if v != fmt.Sprintf("result-%d", k) {
+				t.Errorf("key %s: got %v", key, v)
+			}
+			if !shared {
+				nonShared.Add(1)
+			}
+		}(k)
+	}
+	ready.Wait()
+	close(start)
+	// Leaders are now blocked in fn; give the duplicates a generous
+	// window to register as waiters before the flights land.
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	done.Wait()
+
+	var totalExecs int64
+	for k := range execs {
+		n := execs[k].Load()
+		if n < 1 {
+			t.Errorf("key %d: function never executed", k)
+		}
+		totalExecs += n
+	}
+	// Exactly the callers reporting shared=false ran the function.
+	if got := nonShared.Load(); got != totalExecs {
+		t.Errorf("%d non-shared callers but %d executions", got, totalExecs)
+	}
+	// With all flights held open until every goroutine launched, the
+	// vast majority of callers must have coalesced.
+	if totalExecs >= callers {
+		t.Errorf("no coalescing: %d executions for %d callers", totalExecs, callers)
+	}
+}
+
+// TestFlightGroupErrorSharing pins that a leader's error is delivered
+// to every waiter of the same flight.
+func TestFlightGroupErrorSharing(t *testing.T) {
+	var g flightGroup
+	release := make(chan struct{})
+	wantErr := fmt.Errorf("deterministic failure")
+
+	var done sync.WaitGroup
+	const callers = 8
+	done.Add(callers)
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		go func(i int) {
+			defer done.Done()
+			_, _, err := g.do("failing", func() (any, error) {
+				<-release
+				return nil, wantErr
+			})
+			errs[i] = err
+		}(i)
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	done.Wait()
+	for i, err := range errs {
+		if err == nil || err.Error() != wantErr.Error() {
+			t.Errorf("caller %d: error = %v, want %v", i, err, wantErr)
+		}
+	}
+}
+
+// TestFlightGroupSequentialCallsDoNotShare pins that the group is a
+// coalescer, not a cache: once a flight lands, the next call for the
+// same key executes again.
+func TestFlightGroupSequentialCallsDoNotShare(t *testing.T) {
+	var g flightGroup
+	var execs int
+	fn := func() (any, error) { execs++; return execs, nil }
+	for i := 1; i <= 3; i++ {
+		v, shared, err := g.do("seq", fn)
+		if err != nil || shared || v != i {
+			t.Fatalf("call %d: v=%v shared=%v err=%v", i, v, shared, err)
+		}
+	}
+}

@@ -81,12 +81,12 @@ func TestPoolBackpressureTimeout(t *testing.T) {
 	p := newWorkerPool(1, 1)
 	defer p.close()
 	block := make(chan struct{})
-	go p.do(context.Background(), func() { <-block }) //nolint:errcheck
+	go func() { _ = p.do(context.Background(), func() { <-block }) }()
 	// Wait until the blocker occupies the worker.
 	for p.stats().Active == 0 {
 		time.Sleep(time.Millisecond)
 	}
-	go p.do(context.Background(), func() { <-block }) //nolint:errcheck
+	go func() { _ = p.do(context.Background(), func() { <-block }) }()
 	for p.stats().Queued == 0 {
 		time.Sleep(time.Millisecond)
 	}
@@ -457,7 +457,7 @@ func TestHealthzAndMetrics(t *testing.T) {
 func TestHandlerPanicBecomes500(t *testing.T) {
 	s := New(Config{})
 	defer s.Close()
-	s.route("GET /test/panic", func(w http.ResponseWriter, r *http.Request) {
+	s.route("GET /test/panic", func(w http.ResponseWriter, _ *http.Request) {
 		panic("handler exploded")
 	})
 	ts := httptest.NewServer(s.Handler())

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"math"
 	"sync"
 	"testing"
 	"time"
@@ -68,10 +69,10 @@ func TestHistogramSnapshotMillis(t *testing.T) {
 	h.Observe(2 * time.Millisecond)
 	h.Observe(4 * time.Millisecond)
 	s := h.Snapshot()
-	if s.MeanMS != 3 {
+	if math.Abs(s.MeanMS-3) > 1e-9 {
 		t.Fatalf("mean_ms = %v, want 3", s.MeanMS)
 	}
-	if s.MaxMS != 4 {
+	if math.Abs(s.MaxMS-4) > 1e-9 {
 		t.Fatalf("max_ms = %v, want 4", s.MaxMS)
 	}
 }
