@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all verify build vet lint test race test-race cover bench fuzz vuln repro serve examples clean
+.PHONY: all verify build vet lint test race test-race cover bench bench-compare bench-baseline gobench fuzz vuln repro serve examples clean
 
 all: verify
 
@@ -46,7 +46,28 @@ repro:
 	$(GO) test ./... 2>&1 | tee test_output.txt
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
 
+# bench runs the fftbench perf-regression suites (docs/BENCHMARKS.md),
+# writing the report to a throwaway path. Narrow with SUITES=fft,netsim.
+SUITES ?=
+BENCH_OUT ?= /tmp/fftbench-local.json
 bench:
+	$(GO) run ./cmd/fftbench run -out $(BENCH_OUT) $(if $(SUITES),-suites $(SUITES))
+
+# bench-baseline writes the next versioned BENCH_<seq>.json at the repo
+# root — commit it to refresh the regression baseline.
+bench-baseline:
+	$(GO) run ./cmd/fftbench run -dir .
+
+# bench-compare reruns the suites and fails if any suite regressed past
+# its threshold relative to the committed baseline (highest BENCH_*.json
+# by default; override with BASELINE=BENCH_2.json THRESHOLD=1.5).
+BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
+THRESHOLD ?=
+bench-compare:
+	$(GO) run ./cmd/fftbench run -out $(BENCH_OUT) -compare $(BASELINE) $(if $(THRESHOLD),-threshold $(THRESHOLD))
+
+# gobench runs the ordinary `go test` microbenchmarks.
+gobench:
 	$(GO) test -bench=. -benchmem ./...
 
 # fuzz gives each fuzz target a short smoke budget — enough to catch

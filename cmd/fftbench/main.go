@@ -1,0 +1,201 @@
+// Command fftbench is the repository's performance-regression harness:
+// it runs the named benchmark suites of internal/bench in-process,
+// writes a versioned BENCH_<seq>.json report, and can gate on a
+// previous report with per-suite slowdown thresholds.
+//
+// Usage:
+//
+//	fftbench run [flags]        measure and write BENCH_<seq>.json
+//	fftbench compare OLD NEW    diff two existing reports
+//	fftbench list               print the suite names
+//
+// `run` flags:
+//
+//	-suites s1,s2   only suites whose name contains one of the substrings
+//	-samples N      timed samples per suite (default 9)
+//	-mintime d      minimum wall time per sample (default 2ms)
+//	-quick          CI preset: fewer, shorter samples
+//	-dir path       directory for BENCH_<seq>.json (default ".")
+//	-out path       explicit output path (overrides -dir/auto sequence)
+//	-compare path   after measuring, diff against this report and exit 1
+//	                on any regression
+//	-threshold r    default allowed slowdown ratio for -compare
+//
+// Exit status: 0 on success, 1 when -compare (or the compare
+// subcommand) finds a regression, 2 on usage or execution errors.
+//
+// See docs/BENCHMARKS.md for the report schema and workflow.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "run":
+		os.Exit(cmdRun(os.Args[2:]))
+	case "compare":
+		os.Exit(cmdCompare(os.Args[2:]))
+	case "list":
+		for _, s := range bench.All() {
+			fmt.Println(s.Name)
+		}
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "fftbench: unknown command %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `fftbench — in-process benchmark suites with regression gating
+
+  fftbench run [-suites s1,s2] [-samples N] [-mintime d] [-quick]
+               [-dir path] [-out path] [-compare old.json] [-threshold r]
+  fftbench compare OLD.json NEW.json [-threshold r]
+  fftbench list
+`)
+}
+
+func cmdRun(args []string) int {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	var (
+		suites    = fs.String("suites", "", "comma-separated substrings selecting suites")
+		samples   = fs.Int("samples", 0, "timed samples per suite")
+		minTime   = fs.Duration("mintime", 0, "minimum wall time per sample")
+		quick     = fs.Bool("quick", false, "CI preset: fewer, shorter samples")
+		dir       = fs.String("dir", ".", "directory receiving BENCH_<seq>.json")
+		out       = fs.String("out", "", "explicit output path (overrides -dir)")
+		compareTo = fs.String("compare", "", "gate against this prior report")
+		threshold = fs.Float64("threshold", 0, "default allowed slowdown ratio for -compare")
+	)
+	fs.Parse(args)
+
+	opt := bench.DefaultOptions()
+	if *quick {
+		opt = bench.QuickOptions()
+	}
+	if *samples > 0 {
+		opt.Samples = *samples
+	}
+	if *minTime > 0 {
+		opt.MinSampleTime = *minTime
+	}
+
+	selected, err := bench.Select(*suites)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	results := make([]bench.Result, 0, len(selected))
+	start := time.Now()
+	for _, s := range selected {
+		res, err := bench.RunSuite(s, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fftbench: %v\n", err)
+			return 2
+		}
+		fmt.Printf("%-28s median %12.1f ns/op  min %12.1f  mad %8.1f  %8.1f allocs/op\n",
+			res.Suite, res.MedianNsPerOp, res.MinNsPerOp, res.MADNsPerOp, res.AllocsPerOp)
+		results = append(results, res)
+	}
+	fmt.Printf("%d suites in %v\n", len(results), time.Since(start).Round(time.Millisecond))
+
+	path := *out
+	seq := 0
+	if path == "" {
+		seq, err = bench.NextSeq(*dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		path = bench.ReportPath(*dir, seq)
+	}
+	report := bench.NewReport(seq, *quick, results)
+	if err := bench.WriteReport(path, report); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	fmt.Printf("wrote %s\n", path)
+
+	if *compareTo != "" {
+		old, err := bench.LoadReport(*compareTo)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		return printComparison(old, report, *threshold)
+	}
+	return 0
+}
+
+func cmdCompare(args []string) int {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	threshold := fs.Float64("threshold", 0, "default allowed slowdown ratio")
+	// Accept flags before or after the two positional report paths.
+	var paths []string
+	for len(args) > 0 {
+		if args[0] != "" && args[0][0] == '-' {
+			fs.Parse(args)
+			args = fs.Args()
+			continue
+		}
+		paths = append(paths, args[0])
+		args = args[1:]
+	}
+	if len(paths) != 2 {
+		fmt.Fprintln(os.Stderr, "fftbench compare: want exactly two report paths")
+		return 2
+	}
+	old, err := bench.LoadReport(paths[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	cur, err := bench.LoadReport(paths[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	return printComparison(old, cur, *threshold)
+}
+
+// printComparison renders the per-suite deltas and returns the process
+// exit code: 1 when any suite regressed past its threshold.
+func printComparison(old, cur *bench.Report, threshold float64) int {
+	deltas := bench.Compare(old, cur, bench.DefaultThresholds(), threshold)
+	if len(deltas) == 0 {
+		fmt.Println("no common suites to compare")
+		return 0
+	}
+	fmt.Printf("\n%-28s %14s %14s %8s\n", "suite", "old ns/op", "new ns/op", "ratio")
+	for _, d := range deltas {
+		mark := ""
+		if d.Regressed {
+			mark = fmt.Sprintf("  REGRESSION (> %.2fx)", d.Threshold)
+		} else if d.Ratio < 0.90 {
+			mark = "  improved"
+		}
+		fmt.Printf("%-28s %14.1f %14.1f %7.2fx%s\n",
+			d.Suite, d.OldMedian, d.NewMedian, d.Ratio, mark)
+	}
+	if regs := bench.Regressions(deltas); len(regs) > 0 {
+		fmt.Printf("\n%d suite(s) regressed past threshold\n", len(regs))
+		return 1
+	}
+	fmt.Println("\nno regressions")
+	return 0
+}

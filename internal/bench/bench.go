@@ -1,0 +1,170 @@
+// Package bench is the repository's in-process performance-regression
+// harness. It runs named suites covering the hot paths the paper's cost
+// accounting cares about — serial FFT kernels, the distributed FFT on
+// all three simulated topologies, the plan-cache hit path, netsim
+// routing, and end-to-end fftd request latency — and reduces repeated
+// timed runs to robust statistics (min / median / MAD) that survive
+// scheduler noise far better than a single mean.
+//
+// Reports are written as versioned BENCH_<seq>.json files at the repo
+// root (see docs/BENCHMARKS.md for the schema) so the performance
+// trajectory of the tree is machine-readable; Compare diffs two reports
+// with per-suite slowdown thresholds, which is what `fftbench run
+// --compare` and the CI bench-smoke gate are built on.
+//
+//fftlint:hot
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// Suite is one named benchmark. Setup builds all state the measured
+// operation needs (plans, machines, servers) and returns the operation
+// plus an optional cleanup; nothing Setup does is timed.
+type Suite struct {
+	Name  string
+	Setup func() (op func() error, cleanup func(), err error)
+}
+
+// Options tunes how a suite is measured.
+type Options struct {
+	// Samples is the number of timed samples taken per suite; the
+	// reported statistics are computed over these. 0 means 9.
+	Samples int
+	// MinSampleTime is the target wall time of one sample; the harness
+	// calibrates an iteration count so each sample runs at least this
+	// long (short samples quantize badly against timer resolution).
+	// 0 means 2ms.
+	MinSampleTime time.Duration
+	// MaxIters caps the calibrated per-sample iteration count.
+	// 0 means 1<<20.
+	MaxIters int
+	// Warmup is the number of un-timed calibration-sized batches run
+	// before sampling starts (cache warming, lazy init, JIT-ish effects
+	// like branch predictors). 0 means 1.
+	Warmup int
+}
+
+// DefaultOptions is the full-fidelity configuration used by `fftbench
+// run` without flags.
+func DefaultOptions() Options {
+	return Options{Samples: 9, MinSampleTime: 2 * time.Millisecond, MaxIters: 1 << 20, Warmup: 1}
+}
+
+// QuickOptions is the CI smoke configuration: fast enough for a gate,
+// still multi-sample so the median is meaningful.
+func QuickOptions() Options {
+	return Options{Samples: 5, MinSampleTime: 500 * time.Microsecond, MaxIters: 1 << 16, Warmup: 1}
+}
+
+func (o Options) withDefaults() Options {
+	d := DefaultOptions()
+	if o.Samples <= 0 {
+		o.Samples = d.Samples
+	}
+	if o.MinSampleTime <= 0 {
+		o.MinSampleTime = d.MinSampleTime
+	}
+	if o.MaxIters <= 0 {
+		o.MaxIters = d.MaxIters
+	}
+	if o.Warmup <= 0 {
+		o.Warmup = d.Warmup
+	}
+	return o
+}
+
+// Result is the measured outcome of one suite, the unit of the
+// BENCH_*.json schema (schema_version 1).
+type Result struct {
+	Suite          string  `json:"suite"`
+	Samples        int     `json:"samples"`
+	ItersPerSample int     `json:"iters_per_sample"`
+	MinNsPerOp     float64 `json:"min_ns_per_op"`
+	MedianNsPerOp  float64 `json:"median_ns_per_op"`
+	MADNsPerOp     float64 `json:"mad_ns_per_op"`
+	MeanNsPerOp    float64 `json:"mean_ns_per_op"`
+	AllocsPerOp    float64 `json:"allocs_per_op"`
+	BytesPerOp     float64 `json:"bytes_per_op"`
+}
+
+// RunSuite measures one suite: calibrate an iteration count against
+// MinSampleTime, warm up, then take Samples timed samples and reduce
+// them to order statistics. Allocation counters are read around the
+// whole sampling phase, so AllocsPerOp includes everything the
+// operation does, worker goroutines included.
+func RunSuite(s Suite, opt Options) (Result, error) {
+	opt = opt.withDefaults()
+	op, cleanup, err := s.Setup()
+	if err != nil {
+		return Result{}, fmt.Errorf("bench: %s: setup: %w", s.Name, err)
+	}
+	if cleanup != nil {
+		defer cleanup()
+	}
+
+	// Calibrate: double the batch size until one batch meets the target
+	// sample time, testing.B style.
+	iters := 1
+	for {
+		elapsed, err := timeBatch(op, iters)
+		if err != nil {
+			return Result{}, fmt.Errorf("bench: %s: %w", s.Name, err)
+		}
+		if elapsed >= opt.MinSampleTime || iters >= opt.MaxIters {
+			break
+		}
+		iters *= 2
+		if iters > opt.MaxIters {
+			iters = opt.MaxIters
+		}
+	}
+
+	for w := 0; w < opt.Warmup; w++ {
+		if _, err := timeBatch(op, iters); err != nil {
+			return Result{}, fmt.Errorf("bench: %s: warmup: %w", s.Name, err)
+		}
+	}
+
+	samples := make([]float64, opt.Samples)
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := range samples {
+		elapsed, err := timeBatch(op, iters)
+		if err != nil {
+			return Result{}, fmt.Errorf("bench: %s: sample %d: %w", s.Name, i, err)
+		}
+		samples[i] = float64(elapsed.Nanoseconds()) / float64(iters)
+	}
+	runtime.ReadMemStats(&after)
+
+	totalOps := float64(iters * opt.Samples)
+	res := Result{
+		Suite:          s.Name,
+		Samples:        opt.Samples,
+		ItersPerSample: iters,
+		MinNsPerOp:     minOf(samples),
+		MedianNsPerOp:  median(samples),
+		MADNsPerOp:     mad(samples),
+		MeanNsPerOp:    mean(samples),
+		AllocsPerOp:    float64(after.Mallocs-before.Mallocs) / totalOps,
+		BytesPerOp:     float64(after.TotalAlloc-before.TotalAlloc) / totalOps,
+	}
+	return res, nil
+}
+
+// timeBatch runs op iters times and returns the wall time of the batch.
+// This is the measurement loop proper: it must stay allocation-free so
+// the AllocsPerOp counters attribute every malloc to the operation.
+func timeBatch(op func() error, iters int) (time.Duration, error) {
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := op(); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start), nil
+}

@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"time"
+)
+
+// SchemaVersion identifies the BENCH_*.json layout; bump it on any
+// incompatible change to Report or Result (documented in
+// docs/BENCHMARKS.md).
+const SchemaVersion = 1
+
+// Report is one full harness run: environment fingerprint plus the
+// per-suite results, serialized as BENCH_<seq>.json.
+type Report struct {
+	SchemaVersion int      `json:"schema_version"`
+	Seq           int      `json:"seq"`
+	CreatedAt     string   `json:"created_at"` // RFC 3339
+	GoVersion     string   `json:"go_version"`
+	GOOS          string   `json:"goos"`
+	GOARCH        string   `json:"goarch"`
+	NumCPU        int      `json:"num_cpu"`
+	Quick         bool     `json:"quick,omitempty"` // measured with QuickOptions
+	Results       []Result `json:"results"`
+}
+
+// NewReport stamps a report with the runtime environment and sequence
+// number.
+func NewReport(seq int, quick bool, results []Result) *Report {
+	return &Report{
+		SchemaVersion: SchemaVersion,
+		Seq:           seq,
+		CreatedAt:     time.Now().UTC().Format(time.RFC3339),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+		Quick:         quick,
+		Results:       results,
+	}
+}
+
+// benchFileRE matches the versioned report files at the repo root.
+var benchFileRE = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// NextSeq scans dir for BENCH_<n>.json files and returns max(n)+1, or 1
+// when none exist.
+func NextSeq(dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, fmt.Errorf("bench: scanning %s: %w", dir, err)
+	}
+	maxSeq := 0
+	for _, e := range entries {
+		m := benchFileRE.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		n, err := strconv.Atoi(m[1])
+		if err == nil && n > maxSeq {
+			maxSeq = n
+		}
+	}
+	return maxSeq + 1, nil
+}
+
+// ReportPath names the report file for a sequence number inside dir.
+func ReportPath(dir string, seq int) string {
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", seq))
+}
+
+// WriteReport serializes r to path (indented JSON, trailing newline).
+func WriteReport(path string, r *Report) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: marshal report: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("bench: write report: %w", err)
+	}
+	return nil
+}
+
+// LoadReport reads and validates a report file.
+func LoadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("bench: read report: %w", err)
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	if r.SchemaVersion != SchemaVersion {
+		return nil, fmt.Errorf("bench: %s has schema_version %d, this binary speaks %d",
+			path, r.SchemaVersion, SchemaVersion)
+	}
+	return &r, nil
+}

@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"math"
+	"slices"
+)
+
+// median returns the middle element of xs (mean of the two middle
+// elements for even length). xs is not modified.
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := slices.Clone(xs)
+	slices.Sort(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return (s[mid-1] + s[mid]) / 2
+}
+
+// mad returns the median absolute deviation from the median — the
+// robust spread estimate the harness reports instead of a standard
+// deviation, because timing samples are contaminated by occasional
+// scheduler stalls that would dominate a variance.
+func mad(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := median(xs)
+	dev := make([]float64, len(xs))
+	for i, x := range xs {
+		dev[i] = math.Abs(x - m)
+	}
+	return median(dev)
+}
+
+func minOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return slices.Min(xs)
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

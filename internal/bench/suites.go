@@ -1,0 +1,271 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	"repro/internal/bits"
+	"repro/internal/fft"
+	"repro/internal/netsim"
+	"repro/internal/parfft"
+	"repro/internal/permute"
+	"repro/internal/plancache"
+	"repro/internal/server"
+)
+
+// Suite sizes. Serial kernels run at the paper's flagship N = 4096;
+// the simulated machines run at N = 256 (a 16x16 mesh/hypermesh, an
+// 8-cube) so one distributed FFT stays in the hundreds of microseconds
+// and a sample holds several full runs.
+const (
+	serialN  = 4096
+	dctN     = 1024
+	machineN = 256
+	httpN    = 1024
+)
+
+// randComplex fills a deterministic pseudo-random input; every suite
+// uses a fixed seed so runs are comparable across processes.
+func randComplex(n int, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func randFloats(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+// All returns every registered suite, in display order.
+func All() []Suite {
+	return []Suite{
+		{Name: fmt.Sprintf("fft/transform/n%d", serialN), Setup: setupFFTTransform},
+		{Name: fmt.Sprintf("fft/bitreverse/n%d", serialN), Setup: setupBitReverse},
+		{Name: fmt.Sprintf("fft/radix4/n%d", serialN), Setup: setupRadix4},
+		{Name: fmt.Sprintf("fft/real/n%d", serialN), Setup: setupReal},
+		{Name: fmt.Sprintf("fft/dct/n%d", dctN), Setup: setupDCT},
+		{Name: fmt.Sprintf("parfft/mesh/n%d", machineN), Setup: setupParfft("mesh")},
+		{Name: fmt.Sprintf("parfft/hypercube/n%d", machineN), Setup: setupParfft("hypercube")},
+		{Name: fmt.Sprintf("parfft/hypermesh/n%d", machineN), Setup: setupParfft("hypermesh")},
+		{Name: "plancache/hit", Setup: setupPlanCacheHit},
+		{Name: fmt.Sprintf("netsim/route/mesh/n%d", machineN), Setup: setupRoute("mesh")},
+		{Name: fmt.Sprintf("netsim/route/hypercube/n%d", machineN), Setup: setupRoute("hypercube")},
+		{Name: fmt.Sprintf("netsim/route/hypermesh/n%d", machineN), Setup: setupRoute("hypermesh")},
+		{Name: fmt.Sprintf("fftd/http/fft/n%d", httpN), Setup: setupHTTPFFT},
+	}
+}
+
+// Select filters All() down to suites whose name contains any of the
+// comma-separated substrings in pattern ("" selects everything).
+func Select(pattern string) ([]Suite, error) {
+	all := All()
+	if pattern == "" {
+		return all, nil
+	}
+	parts := strings.Split(pattern, ",")
+	out := make([]Suite, 0, len(all))
+	for _, s := range all {
+		for _, p := range parts {
+			if p != "" && strings.Contains(s.Name, p) {
+				out = append(out, s)
+				break
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("bench: no suite matches %q", pattern)
+	}
+	return out, nil
+}
+
+// ---- serial kernels ----
+
+func setupFFTTransform() (func() error, func(), error) {
+	p, err := fft.NewPlan(serialN)
+	if err != nil {
+		return nil, nil, err
+	}
+	src := randComplex(serialN, 1)
+	dst := make([]complex128, serialN)
+	return func() error {
+		p.Transform(dst, src)
+		return nil
+	}, nil, nil
+}
+
+func setupBitReverse() (func() error, func(), error) {
+	p, err := fft.NewPlan(serialN)
+	if err != nil {
+		return nil, nil, err
+	}
+	buf := randComplex(serialN, 2)
+	return func() error {
+		// The permutation is an involution, so repeated application
+		// keeps the buffer well-defined.
+		p.BitReverseInPlace(buf)
+		return nil
+	}, nil, nil
+}
+
+func setupRadix4() (func() error, func(), error) {
+	p, err := fft.NewRadix4Plan(serialN)
+	if err != nil {
+		return nil, nil, err
+	}
+	src := randComplex(serialN, 3)
+	dst := make([]complex128, serialN)
+	return func() error {
+		p.Transform(dst, src)
+		return nil
+	}, nil, nil
+}
+
+func setupReal() (func() error, func(), error) {
+	p, err := fft.NewRealPlan(serialN)
+	if err != nil {
+		return nil, nil, err
+	}
+	src := randFloats(serialN, 4)
+	return func() error {
+		_ = p.Forward(src)
+		return nil
+	}, nil, nil
+}
+
+func setupDCT() (func() error, func(), error) {
+	p, err := fft.NewDCTPlan(dctN)
+	if err != nil {
+		return nil, nil, err
+	}
+	src := randFloats(dctN, 5)
+	dst := make([]float64, dctN)
+	return func() error {
+		p.Transform(dst, src)
+		return nil
+	}, nil, nil
+}
+
+// ---- simulated machines ----
+
+// buildMachine constructs the word-level machine for a topology name.
+// Workers: 1 keeps the simulation single-threaded, so the measured
+// signal is the schedule's work, not goroutine fan-out jitter.
+func buildMachine(topo string, n int) (netsim.Machine[complex128], error) {
+	cfg := netsim.Config{Workers: 1}
+	switch topo {
+	case "mesh":
+		side := 1
+		for side*side < n {
+			side++
+		}
+		return netsim.NewMesh[complex128](side, true, cfg)
+	case "hypercube":
+		return netsim.NewHypercube[complex128](bits.Log2(n), cfg)
+	case "hypermesh":
+		side := 1
+		for side*side < n {
+			side++
+		}
+		return netsim.NewHypermesh[complex128](side, 2, cfg)
+	default:
+		return nil, fmt.Errorf("bench: unknown topology %q", topo)
+	}
+}
+
+func setupParfft(topo string) func() (func() error, func(), error) {
+	return func() (func() error, func(), error) {
+		m, err := buildMachine(topo, machineN)
+		if err != nil {
+			return nil, nil, err
+		}
+		cache := plancache.New(8)
+		x := randComplex(machineN, 6)
+		runner, err := parfft.NewRunner(m, parfft.Options{Plans: cache.Source()})
+		if err != nil {
+			return nil, nil, err
+		}
+		return func() error {
+			_, err := runner.Run(x)
+			return err
+		}, nil, nil
+	}
+}
+
+func setupPlanCacheHit() (func() error, func(), error) {
+	c := plancache.New(8)
+	if _, err := c.ComplexPlan(httpN); err != nil {
+		return nil, nil, err
+	}
+	return func() error {
+		_, err := c.ComplexPlan(httpN)
+		return err
+	}, nil, nil
+}
+
+func setupRoute(topo string) func() (func() error, func(), error) {
+	return func() (func() error, func(), error) {
+		m, err := buildMachine(topo, machineN)
+		if err != nil {
+			return nil, nil, err
+		}
+		// A fixed random permutation: the adversarial case for queued
+		// store-and-forward routing and the general case for the
+		// hypermesh's Clos decomposition. Routing cost does not depend
+		// on register values, so the permutation is reused as-is.
+		p := permute.Random(machineN, rand.New(rand.NewSource(7)))
+		return func() error {
+			_, err := m.Route(p)
+			return err
+		}, nil, nil
+	}
+}
+
+// ---- end-to-end service ----
+
+func setupHTTPFFT() (func() error, func(), error) {
+	srv := server.New(server.Config{Workers: 2, QueueDepth: 64})
+	ts := httptest.NewServer(srv.Handler())
+	cleanup := func() {
+		ts.Close()
+		srv.Close()
+	}
+
+	input := make([]server.Complex, httpN)
+	rng := rand.New(rand.NewSource(8))
+	for i := range input {
+		input[i] = server.Complex{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	body, err := json.Marshal(server.FFTRequest{TransformSpec: server.TransformSpec{Input: input}})
+	if err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	client := ts.Client()
+	url := ts.URL + "/v1/fft"
+	return func() error {
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("bench: /v1/fft returned %d", resp.StatusCode)
+		}
+		return nil
+	}, cleanup, nil
+}

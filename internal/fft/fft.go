@@ -28,6 +28,12 @@ type Plan struct {
 	log2n int
 	// tw[k] = exp(-2*pi*i*k/n) for k in [0, n/2)
 	tw []complex128
+	// revPairs holds the flattened (i, j) index pairs with
+	// j = reverse(i) > i, so BitReverseInPlace is a linear sweep over
+	// precomputed swaps instead of recomputing log2(n) bit reversals per
+	// element on every transform. Plans are shared through plancache, so
+	// the table is built once per size per process, not once per run.
+	revPairs []int32
 }
 
 // NewPlan creates a transform plan for length n, which must be a power
@@ -41,6 +47,12 @@ func NewPlan(n int) (*Plan, error) {
 	for k := range p.tw {
 		angle := -2 * math.Pi * float64(k) / float64(n)
 		p.tw[k] = cmplx.Exp(complex(0, angle))
+	}
+	p.revPairs = make([]int32, 0, n)
+	for i := 0; i < n; i++ {
+		if j := bits.Reverse(i, p.log2n); j > i {
+			p.revPairs = append(p.revPairs, int32(i), int32(j))
+		}
 	}
 	return p, nil
 }
@@ -120,14 +132,14 @@ func (p *Plan) forwardDIF(x []complex128) {
 }
 
 // BitReverseInPlace permutes x into bit-reversed index order — the
-// terminal permutation of the paper's FFT flow graph.
+// terminal permutation of the paper's FFT flow graph — by sweeping the
+// plan's precomputed swap table.
 func (p *Plan) BitReverseInPlace(x []complex128) {
 	p.checkLen(x)
-	for i := 0; i < p.n; i++ {
-		j := bits.Reverse(i, p.log2n)
-		if j > i {
-			x[i], x[j] = x[j], x[i]
-		}
+	pairs := p.revPairs
+	for k := 0; k+1 < len(pairs); k += 2 {
+		i, j := pairs[k], pairs[k+1]
+		x[i], x[j] = x[j], x[i]
 	}
 }
 

@@ -3,8 +3,6 @@ package fft
 import (
 	"runtime"
 	"sync"
-
-	"repro/internal/bits"
 )
 
 // TransformParallel computes the same forward DFT as Transform but
@@ -42,13 +40,13 @@ func (p *Plan) TransformParallel(dst, src []complex128, workers int) {
 			}
 		})
 	}
-	// Parallel-safe bit reversal: each swap pair touched once.
-	parallelRange(n, workers, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			j := bits.Reverse(i, p.log2n)
-			if j > i {
-				dst[i], dst[j] = dst[j], dst[i]
-			}
+	// Parallel-safe bit reversal over the plan's precomputed swap table:
+	// the pairs are disjoint, so chunking them is race-free.
+	pairs := p.revPairs
+	parallelRange(len(pairs)/2, workers, func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			i, j := pairs[2*k], pairs[2*k+1]
+			dst[i], dst[j] = dst[j], dst[i]
 		}
 	})
 }

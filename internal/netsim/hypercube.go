@@ -19,6 +19,17 @@ type Hypercube[T any] struct {
 	maxStep int
 	// failed marks links disabled by FailLink (nil = fully healthy).
 	failed map[cubeLink]bool
+
+	// Reusable scratch (a machine is single-goroutine by contract):
+	// exOld backs ExchangeCompute's snapshot, the r* slabs back Route,
+	// and the sw* slabs back swapAddressBits' transit schedule.
+	exOld   []T
+	rq      []pktQueue[cubePacket[T]] // node*dims + dim
+	rout    []T
+	rarr    []cubeArrival[T]
+	swapBuf []T
+	transit []T
+	hasTr   []bool
 }
 
 // NewHypercube creates a hypercube machine with 2^dims nodes.
@@ -32,6 +43,7 @@ func NewHypercube[T any](dims int, cfg Config) (*Hypercube[T], error) {
 		cfg:     cfg,
 		vals:    make([]T, t.Nodes()),
 		maxStep: 100 * (dims + 1) * t.Nodes(),
+		exOld:   make([]T, t.Nodes()),
 	}, nil
 }
 
@@ -66,7 +78,7 @@ func (h *Hypercube[T]) ExchangeCompute(bit int, f func(self, partner T, node int
 			return fmt.Errorf("netsim: exchange on dimension %d blocked by failed link at node %d", bit, link.low)
 		}
 	}
-	exchangeCompute(h.vals, h.cfg.workers(), func(i int) int {
+	exchangeCompute(h.vals, h.exOld, h.cfg.workers(), func(i int) int {
 		return bits.FlipBit(i, bit)
 	}, f)
 	h.stats.Steps++
@@ -80,6 +92,12 @@ func (h *Hypercube[T]) ExchangeCompute(bit int, f func(self, partner T, node int
 type cubePacket[T any] struct {
 	dst int
 	val T
+}
+
+// cubeArrival is a packet crossing a link within the current step.
+type cubeArrival[T any] struct {
+	node int
+	pkt  cubePacket[T]
 }
 
 // Route implements Machine using queued e-cube (ascending dimension-
@@ -107,11 +125,17 @@ func (h *Hypercube[T]) Route(p permute.Permutation) (int, error) {
 		return -1
 	}
 
-	queues := make([][][]cubePacket[T], n)
-	for i := range queues {
-		queues[i] = make([][]cubePacket[T], dims)
+	// Reuse the routing slabs across calls; every destination receives
+	// exactly one packet, so out needs no clearing between permutations.
+	if h.rq == nil {
+		h.rq = make([]pktQueue[cubePacket[T]], n*dims)
+		h.rout = make([]T, n)
 	}
-	out := make([]T, n)
+	for i := range h.rq {
+		h.rq[i].reset()
+	}
+	queues := h.rq
+	out := h.rout
 	remaining := 0
 	for i, dst := range p {
 		if dst == i {
@@ -119,30 +143,25 @@ func (h *Hypercube[T]) Route(p permute.Permutation) (int, error) {
 			continue
 		}
 		d := nextDim(i, dst)
-		queues[i][d] = append(queues[i][d], cubePacket[T]{dst: dst, val: h.vals[i]})
+		queues[i*dims+d].push(cubePacket[T]{dst: dst, val: h.vals[i]})
 		remaining++
 	}
 
 	steps := 0
+	arrivals := h.rarr
 	for remaining > 0 {
 		if steps > h.maxStep {
 			return steps, fmt.Errorf("netsim: hypercube routing exceeded %d steps", h.maxStep)
 		}
-		type arrival struct {
-			node int
-			pkt  cubePacket[T]
-		}
-		var arrivals []arrival
+		arrivals = arrivals[:0]
 		moved := false
 		for node := 0; node < n; node++ {
 			for d := 0; d < dims; d++ {
-				q := queues[node][d]
-				if len(q) == 0 {
+				q := &queues[node*dims+d]
+				if q.len() == 0 {
 					continue
 				}
-				pkt := q[0]
-				queues[node][d] = q[1:]
-				arrivals = append(arrivals, arrival{node: bits.FlipBit(node, d), pkt: pkt})
+				arrivals = append(arrivals, cubeArrival[T]{node: bits.FlipBit(node, d), pkt: q.pop()})
 				h.stats.LinkTraversals++
 				moved = true
 			}
@@ -157,13 +176,15 @@ func (h *Hypercube[T]) Route(p permute.Permutation) (int, error) {
 				continue
 			}
 			d := nextDim(a.node, a.pkt.dst)
-			queues[a.node][d] = append(queues[a.node][d], a.pkt)
-			if l := len(queues[a.node][d]); l > h.stats.MaxQueue {
+			q := &queues[a.node*dims+d]
+			q.push(a.pkt)
+			if l := q.len(); l > h.stats.MaxQueue {
 				h.stats.MaxQueue = l
 			}
 		}
 		steps++
 	}
+	h.rarr = arrivals // keep the grown capacity for the next call
 	copy(h.vals, out)
 	h.stats.Steps += steps
 	h.cfg.Trace.Record(h.Name(), trace.OpRoute, "greedy e-cube", steps)
@@ -247,8 +268,16 @@ func (h *Hypercube[T]) swapAddressBits(lo, hi int) error {
 	n := h.Nodes()
 	// Step 1: movers (bit lo != bit hi) send their register across
 	// dimension lo; each receiver is a stayer and buffers one packet.
-	transit := make([]T, n)
-	hasTransit := make([]bool, n)
+	// The transit schedule reuses the machine's sw* slabs: log N-step
+	// bit-permutation routes would otherwise allocate three slices per
+	// transposition.
+	if h.transit == nil {
+		h.transit = make([]T, n)
+		h.hasTr = make([]bool, n)
+		h.swapBuf = make([]T, n)
+	}
+	transit, hasTransit := h.transit, h.hasTr
+	clear(hasTransit)
 	for u := 0; u < n; u++ {
 		if bits.Bit(u, lo) != bits.Bit(u, hi) {
 			v := bits.FlipBit(u, lo)
@@ -262,7 +291,7 @@ func (h *Hypercube[T]) swapAddressBits(lo, hi int) error {
 	}
 	// Step 2: buffered packets cross dimension hi into the register
 	// vacated by the symmetric mover.
-	next := make([]T, n)
+	next := h.swapBuf
 	copy(next, h.vals)
 	for v := 0; v < n; v++ {
 		if hasTransit[v] {
@@ -271,6 +300,6 @@ func (h *Hypercube[T]) swapAddressBits(lo, hi int) error {
 			h.stats.LinkTraversals++
 		}
 	}
-	h.vals = next
+	h.vals, h.swapBuf = next, h.vals
 	return nil
 }

@@ -23,6 +23,12 @@ type Hypermesh[T any] struct {
 	// ExchangeCompute); -1 otherwise.
 	digitBits int
 	stats     Stats
+
+	// Reusable scratch (a machine is single-goroutine by contract):
+	// exOld backs ExchangeCompute's snapshot, pmBuf the next-register
+	// image each PermuteNets phase builds.
+	exOld []T
+	pmBuf []T
 }
 
 // NewHypermesh creates a base^dims hypermesh machine.
@@ -40,6 +46,7 @@ func NewHypermesh[T any](base, dims int, cfg Config) (*Hypermesh[T], error) {
 		cfg:       cfg,
 		vals:      make([]T, t.Nodes()),
 		digitBits: db,
+		exOld:     make([]T, t.Nodes()),
 	}, nil
 }
 
@@ -74,7 +81,7 @@ func (h *Hypermesh[T]) ExchangeCompute(bit int, f func(self, partner T, node int
 	if bit < 0 || bit >= total {
 		return fmt.Errorf("netsim: hypermesh exchange bit %d out of range [0,%d)", bit, total)
 	}
-	exchangeCompute(h.vals, h.cfg.workers(), func(i int) int {
+	exchangeCompute(h.vals, h.exOld, h.cfg.workers(), func(i int) int {
 		return bits.FlipBit(i, bit)
 	}, f)
 	h.stats.Steps++
@@ -134,7 +141,10 @@ func (h *Hypermesh[T]) PermuteNets(dim int, perms [][]int) error {
 	if len(perms) != perDim {
 		return fmt.Errorf("netsim: PermuteNets wants %d per-net permutations, got %d", perDim, len(perms))
 	}
-	next := make([]T, h.Nodes())
+	if h.pmBuf == nil {
+		h.pmBuf = make([]T, h.Nodes())
+	}
+	next := h.pmBuf
 	copy(next, h.vals)
 	for rest, perm := range perms {
 		if err := permute.Permutation(perm).Validate(); err != nil {
@@ -151,7 +161,7 @@ func (h *Hypermesh[T]) PermuteNets(dim int, perms [][]int) error {
 			}
 		}
 	}
-	h.vals = next
+	h.vals, h.pmBuf = next, h.vals
 	h.stats.Steps++
 	h.cfg.Trace.Record(h.Name(), trace.OpNetPermute, fmt.Sprintf("dimension %d", dim), 1)
 	return nil

@@ -23,6 +23,13 @@ type KAryNCube[T any] struct {
 	radixBits int
 	stats     Stats
 	maxStep   int
+
+	// Reusable scratch (a machine is single-goroutine by contract):
+	// exOld backs ExchangeCompute's snapshot; the r* slabs back Route.
+	exOld []T
+	rq    []pktQueue[karyPacket[T]] // node*numPorts + port
+	rout  []T
+	rarr  []karyArrival[T]
 }
 
 // NewKAryNCube creates a radix^dims machine.
@@ -41,6 +48,7 @@ func NewKAryNCube[T any](radix, dims int, cfg Config) (*KAryNCube[T], error) {
 		vals:      make([]T, t.Nodes()),
 		radixBits: rb,
 		maxStep:   100 * t.Nodes(),
+		exOld:     make([]T, t.Nodes()),
 	}, nil
 }
 
@@ -80,7 +88,7 @@ func (k *KAryNCube[T]) ExchangeCompute(bit int, f func(self, partner T, node int
 	if w := k.topo.Radix - d; w < d {
 		d = w
 	}
-	exchangeCompute(k.vals, k.cfg.workers(), func(i int) int {
+	exchangeCompute(k.vals, k.exOld, k.cfg.workers(), func(i int) int {
 		return bits.FlipBit(i, bit)
 	}, f)
 	k.stats.Steps += d
@@ -94,6 +102,12 @@ func (k *KAryNCube[T]) ExchangeCompute(bit int, f func(self, partner T, node int
 type karyPacket[T any] struct {
 	dst int
 	val T
+}
+
+// karyArrival is a packet crossing a link within the current step.
+type karyArrival[T any] struct {
+	node int
+	pkt  karyPacket[T]
 }
 
 // Route implements Machine with queued dimension-order store-and-forward
@@ -138,11 +152,17 @@ func (k *KAryNCube[T]) Route(p permute.Permutation) (int, error) {
 		return bits.SetDigit(cur, radix, d, v)
 	}
 
-	queues := make([][][]karyPacket[T], n)
-	for i := range queues {
-		queues[i] = make([][]karyPacket[T], numPorts)
+	// Reuse the routing slabs across calls; every destination receives
+	// exactly one packet, so out needs no clearing between permutations.
+	if k.rq == nil {
+		k.rq = make([]pktQueue[karyPacket[T]], n*numPorts)
+		k.rout = make([]T, n)
 	}
-	out := make([]T, n)
+	for i := range k.rq {
+		k.rq[i].reset()
+	}
+	queues := k.rq
+	out := k.rout
 	remaining := 0
 	for i, dst := range p {
 		if dst == i {
@@ -150,30 +170,25 @@ func (k *KAryNCube[T]) Route(p permute.Permutation) (int, error) {
 			continue
 		}
 		port := nextPort(i, dst)
-		queues[i][port] = append(queues[i][port], karyPacket[T]{dst: dst, val: k.vals[i]})
+		queues[i*numPorts+port].push(karyPacket[T]{dst: dst, val: k.vals[i]})
 		remaining++
 	}
 
 	steps := 0
+	arrivals := k.rarr
 	for remaining > 0 {
 		if steps > k.maxStep {
 			return steps, fmt.Errorf("netsim: k-ary n-cube routing exceeded %d steps", k.maxStep)
 		}
-		type arrival struct {
-			node int
-			pkt  karyPacket[T]
-		}
-		var arrivals []arrival
+		arrivals = arrivals[:0]
 		moved := false
 		for node := 0; node < n; node++ {
 			for port := 0; port < numPorts; port++ {
-				q := queues[node][port]
-				if len(q) == 0 {
+				q := &queues[node*numPorts+port]
+				if q.len() == 0 {
 					continue
 				}
-				pkt := q[0]
-				queues[node][port] = q[1:]
-				arrivals = append(arrivals, arrival{node: neighbor(node, port), pkt: pkt})
+				arrivals = append(arrivals, karyArrival[T]{node: neighbor(node, port), pkt: q.pop()})
 				k.stats.LinkTraversals++
 				moved = true
 			}
@@ -188,13 +203,15 @@ func (k *KAryNCube[T]) Route(p permute.Permutation) (int, error) {
 				continue
 			}
 			port := nextPort(a.node, a.pkt.dst)
-			queues[a.node][port] = append(queues[a.node][port], a.pkt)
-			if l := len(queues[a.node][port]); l > k.stats.MaxQueue {
+			q := &queues[a.node*numPorts+port]
+			q.push(a.pkt)
+			if l := q.len(); l > k.stats.MaxQueue {
 				k.stats.MaxQueue = l
 			}
 		}
 		steps++
 	}
+	k.rarr = arrivals // keep the grown capacity for the next call
 	copy(k.vals, out)
 	k.stats.Steps += steps
 	k.cfg.Trace.Record(k.Name(), trace.OpRoute, "dimension-order torus", steps)

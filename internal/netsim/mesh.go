@@ -21,6 +21,14 @@ type Mesh[T any] struct {
 	stats   Stats
 	axBits  int // log2(side)
 	maxStep int // safety cap for Route
+
+	// Reusable scratch (a machine is single-goroutine by contract):
+	// exOld backs ExchangeCompute's pre-exchange snapshot; the r* slabs
+	// back Route's queues, output registers and per-step arrivals.
+	exOld []T
+	rq    []pktQueue[meshPacket[T]] // node*numDirs + dir
+	rout  []T
+	rarr  []meshArrival[T]
 }
 
 // NewMesh creates a mesh machine with n = side^2 nodes; side must be a
@@ -36,6 +44,7 @@ func NewMesh[T any](side int, wrap bool, cfg Config) (*Mesh[T], error) {
 		vals:    make([]T, t.Nodes()),
 		axBits:  bits.Log2(side),
 		maxStep: 100 * t.Nodes(),
+		exOld:   make([]T, t.Nodes()),
 	}, nil
 }
 
@@ -77,7 +86,7 @@ func (m *Mesh[T]) ExchangeCompute(bit int, f func(self, partner T, node int) T) 
 		return err
 	}
 
-	exchangeCompute(m.vals, m.cfg.workers(), func(i int) int {
+	exchangeCompute(m.vals, m.exOld, m.cfg.workers(), func(i int) int {
 		return bits.FlipBit(i, bit)
 	}, f)
 	m.stats.Steps += d
@@ -150,6 +159,12 @@ type meshPacket[T any] struct {
 	seq int // injection order, for deterministic FIFO tie-breaking
 }
 
+// meshArrival is a packet crossing a link within the current step.
+type meshArrival[T any] struct {
+	node int
+	pkt  meshPacket[T]
+}
+
 // direction indices for the four mesh ports.
 const (
 	dirE = iota // +column
@@ -219,8 +234,17 @@ func (m *Mesh[T]) Route(p permute.Permutation) (int, error) {
 		return r*side + c
 	}
 
-	queues := make([][numDirs][]meshPacket[T], n)
-	out := make([]T, n)
+	// Reuse the routing slabs across calls; every destination receives
+	// exactly one packet, so out needs no clearing between permutations.
+	if m.rq == nil {
+		m.rq = make([]pktQueue[meshPacket[T]], n*numDirs)
+		m.rout = make([]T, n)
+	}
+	for i := range m.rq {
+		m.rq[i].reset()
+	}
+	queues := m.rq
+	out := m.rout
 	remaining := 0
 	for i, dst := range p {
 		if dst == i {
@@ -228,25 +252,22 @@ func (m *Mesh[T]) Route(p permute.Permutation) (int, error) {
 			continue
 		}
 		d := nextDir(i, dst)
-		queues[i][d] = append(queues[i][d], meshPacket[T]{dst: dst, val: m.vals[i], seq: i})
+		queues[i*numDirs+d].push(meshPacket[T]{dst: dst, val: m.vals[i], seq: i})
 		remaining++
 	}
 
 	steps := 0
+	arrivals := m.rarr
 	for remaining > 0 {
 		if steps > m.maxStep {
 			return steps, fmt.Errorf("netsim: mesh routing exceeded %d steps (livelock?)", m.maxStep)
 		}
-		type arrival struct {
-			node int
-			pkt  meshPacket[T]
-		}
-		var arrivals []arrival
+		arrivals = arrivals[:0]
 		moved := false
 		for node := 0; node < n; node++ {
 			for dir := 0; dir < numDirs; dir++ {
-				q := queues[node][dir]
-				if len(q) == 0 {
+				q := &queues[node*numDirs+dir]
+				if q.len() == 0 {
 					continue
 				}
 				if !m.topo.Wrap {
@@ -257,9 +278,7 @@ func (m *Mesh[T]) Route(p permute.Permutation) (int, error) {
 						return steps, fmt.Errorf("netsim: packet queued on nonexistent boundary port")
 					}
 				}
-				pkt := q[0]
-				queues[node][dir] = q[1:]
-				arrivals = append(arrivals, arrival{node: neighbor(node, dir), pkt: pkt})
+				arrivals = append(arrivals, meshArrival[T]{node: neighbor(node, dir), pkt: q.pop()})
 				m.stats.LinkTraversals++
 				moved = true
 			}
@@ -274,13 +293,15 @@ func (m *Mesh[T]) Route(p permute.Permutation) (int, error) {
 				continue
 			}
 			d := nextDir(a.node, a.pkt.dst)
-			queues[a.node][d] = append(queues[a.node][d], a.pkt)
-			if l := len(queues[a.node][d]); l > m.stats.MaxQueue {
+			q := &queues[a.node*numDirs+d]
+			q.push(a.pkt)
+			if l := q.len(); l > m.stats.MaxQueue {
 				m.stats.MaxQueue = l
 			}
 		}
 		steps++
 	}
+	m.rarr = arrivals // keep the grown capacity for the next call
 	copy(m.vals, out)
 	m.stats.Steps += steps
 	m.cfg.Trace.Record(m.Name(), trace.OpRoute, "store-and-forward", steps)

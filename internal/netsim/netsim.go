@@ -132,13 +132,28 @@ func parallelFor(n, workers int, fn func(i int)) {
 
 // exchangeCompute applies the register update for a conflict-free
 // pairwise exchange given a partner function; shared by all machines.
-func exchangeCompute[T any](vals []T, workers int, partner func(i int) int, f func(self, partner T, node int) T) {
-	old := make([]T, len(vals))
+// old is caller-owned scratch of len(vals) (machines keep one and reuse
+// it across exchanges, so the log N butterfly stages of an FFT perform
+// no per-stage allocation).
+func exchangeCompute[T any](vals, old []T, workers int, partner func(i int) int, f func(self, partner T, node int) T) {
 	copy(old, vals)
 	parallelFor(len(vals), workers, func(i int) {
 		vals[i] = f(old[i], old[partner(i)], i)
 	})
 }
+
+// pktQueue is a reusable FIFO for the store-and-forward routing
+// engines. reset keeps the backing array, so a machine's repeated Route
+// calls reuse one packet slab instead of reallocating per call.
+type pktQueue[P any] struct {
+	buf  []P
+	head int
+}
+
+func (q *pktQueue[P]) push(p P) { q.buf = append(q.buf, p) }
+func (q *pktQueue[P]) pop() P   { p := q.buf[q.head]; q.head++; return p }
+func (q *pktQueue[P]) len() int { return len(q.buf) - q.head }
+func (q *pktQueue[P]) reset()   { q.buf = q.buf[:0]; q.head = 0 }
 
 // validateRoute rejects permutations whose size does not match a
 // machine.

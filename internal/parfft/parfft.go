@@ -4,11 +4,9 @@ package parfft
 import (
 	"fmt"
 
-	"repro/internal/bits"
 	"repro/internal/fft"
 	"repro/internal/layout"
 	"repro/internal/netsim"
-	"repro/internal/permute"
 )
 
 // Result reports one distributed FFT execution.
@@ -47,105 +45,18 @@ type Options struct {
 // node) on the simulated machine m and returns the spectrum and step
 // counts. The schedule is the decimation-in-frequency butterfly network
 // of package fft — stage bits descend from log2(N)-1 to 0 — followed by
-// the machine's native bit-reversal routing.
+// the machine's native bit-reversal routing. Run builds the schedule
+// state fresh each call; see Runner for the amortized form.
 func Run(m netsim.Machine[complex128], x []complex128, opts Options) (*Result, error) {
-	n := m.Nodes()
-	if len(x) != n {
+	if n := m.Nodes(); len(x) != n {
 		return nil, fmt.Errorf("parfft: input length %d != %d nodes", len(x), n)
 	}
-	if !bits.IsPow2(n) {
-		return nil, fmt.Errorf("parfft: node count %d is not a power of two", n)
-	}
-	logn := bits.Log2(n)
-	lay := opts.Layout
-	if lay == nil {
-		lay = layout.RowMajor(n)
-	}
-	plans := opts.Plans
-	if plans == nil {
-		plans = fft.FreshSource()
-	}
-	plan, err := plans.Plan(n)
+	r, err := NewRunner(m, opts)
 	if err != nil {
 		return nil, err
 	}
-
-	// Load: element e lives at node layout.NodeOf(e). elemAt inverts the
-	// layout so butterfly callbacks can recover their element index.
-	lp := layout.Permutation(lay, n)
-	if err := lp.Validate(); err != nil {
-		return nil, fmt.Errorf("parfft: layout is not a bijection: %w", err)
-	}
-	elemAt := lp.Inverse()
-	vals := m.Values()
-	for e := 0; e < n; e++ {
-		vals[lp[e]] = x[e]
-	}
-	m.ResetStats()
-
-	// Butterfly ranks: DIF pairs element bit `stage` descending.
-	for stage := logn - 1; stage >= 0; stage-- {
-		nodeBit := lay.NodeBit(stage)
-		st := stage
-		err := m.ExchangeCompute(nodeBit, func(self, partner complex128, node int) complex128 {
-			e := elemAt[node]
-			if bits.Bit(e, st) == 0 {
-				upper, _ := fft.Butterfly(self, partner, 1)
-				return upper
-			}
-			j := bits.SetBit(e, st, 0)
-			w := plan.Twiddle(plan.DIFTwiddleExponent(st, j))
-			_, lower := fft.Butterfly(partner, self, w)
-			return lower
-		})
-		if err != nil {
-			return nil, err
-		}
-	}
-	butterflySteps := m.Stats().Steps
-
-	// The spectrum for element e now sits (bit-reversed) at node lp[e].
-	// Bit-reverse in element space, then unload.
-	reversalSteps := 0
-	if !opts.SkipBitReversal {
-		// Node-space permutation realizing the element-space reversal:
-		// node lp[e] sends to node lp[rev(e)].
-		target := make(permute.Permutation, n)
-		for e := 0; e < n; e++ {
-			target[lp[e]] = lp[bits.Reverse(e, logn)]
-		}
-		switch mm := m.(type) {
-		case *netsim.Hypercube[complex128]:
-			if layout.IsIdentity(lay, n) {
-				reversalSteps, err = mm.RouteBitReversal()
-			} else {
-				reversalSteps, err = mm.Route(target)
-			}
-		default:
-			reversalSteps, err = m.Route(target)
-		}
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	out := make([]complex128, n)
-	vals = m.Values()
-	if opts.SkipBitReversal {
-		for e := 0; e < n; e++ {
-			out[bits.Reverse(e, logn)] = vals[lp[e]]
-		}
-	} else {
-		for e := 0; e < n; e++ {
-			out[e] = vals[lp[e]]
-		}
-	}
-	return &Result{
-		Output:           out,
-		ButterflySteps:   butterflySteps,
-		BitReversalSteps: reversalSteps,
-		ComputeSteps:     m.Stats().ComputeSteps,
-	}, nil
+	// A fresh output slice: one-shot callers own their Result.
+	return r.runInto(make([]complex128, r.n), x)
 }
 
 // Inverse executes the distributed inverse FFT by conjugating on the way

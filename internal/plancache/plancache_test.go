@@ -206,6 +206,28 @@ func TestEvictionKeepsShardBounded(t *testing.T) {
 	}
 }
 
+// TestPlanCacheHitPathAllocationFree pins that serving a cached plan
+// performs zero heap allocations: the hit path is on every request of
+// the service hot path, so an allocation here would show up as GC
+// pressure at scale (and the benchmark-backed fftbench suite
+// `plancache/hit` would see it as a regression).
+func TestPlanCacheHitPathAllocationFree(t *testing.T) {
+	c := New(8)
+	const n = 1024
+	if _, err := c.ComplexPlan(n); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := c.ComplexPlan(n); err != nil {
+			t.Fatal(err)
+		}
+	})
+	//fftlint:ignore floatcmp AllocsPerRun counts whole objects; the assertion is exactly zero
+	if allocs != 0 {
+		t.Fatalf("plan-cache hit allocates %v objects per op, want 0", allocs)
+	}
+}
+
 // BenchmarkPlanCacheHit proves the point of the cache: serving a plan
 // from the cache is far cheaper than constructing one.
 func BenchmarkPlanCacheHit(b *testing.B) {

@@ -1,6 +1,9 @@
 package server
 
-import "sync"
+import (
+	"runtime/debug"
+	"sync"
+)
 
 // flightGroup coalesces concurrent identical requests: the first caller
 // of a key executes the function, every concurrent duplicate waits and
@@ -35,10 +38,24 @@ func (g *flightGroup) do(key string, fn func() (any, error)) (val any, shared bo
 	g.calls[key] = c
 	g.mu.Unlock()
 
-	c.val, c.err = fn()
-	g.mu.Lock()
-	delete(g.calls, key)
-	g.mu.Unlock()
-	close(c.done)
+	// The cleanup (remove the flight, wake the waiters) must run even if
+	// fn panics: otherwise every follower of this flight — and every
+	// future caller of the key, which would find the stale entry and wait
+	// on a channel nobody will close — blocks forever. The panic itself
+	// becomes a panicError delivered to leader and followers alike, the
+	// same conversion the worker pool applies, so the middleware turns it
+	// into a 500 instead of a dead daemon.
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				c.val, c.err = nil, &panicError{value: r, stack: debug.Stack()}
+			}
+			g.mu.Lock()
+			delete(g.calls, key)
+			g.mu.Unlock()
+			close(c.done)
+		}()
+		c.val, c.err = fn()
+	}()
 	return c.val, false, c.err
 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -106,6 +107,54 @@ func TestFlightGroupErrorSharing(t *testing.T) {
 		if err == nil || err.Error() != wantErr.Error() {
 			t.Errorf("caller %d: error = %v, want %v", i, err, wantErr)
 		}
+	}
+}
+
+// TestFlightGroupPanickingLeaderDoesNotDeadlock is the regression test
+// for the panic-cleanup bug: before the fix, a leader whose fn panicked
+// left its map entry in place and never closed done, so every follower
+// and every future caller of the key blocked forever. Now the panic is
+// converted into a panicError shared by leader and followers, and the
+// key is usable again afterwards.
+func TestFlightGroupPanickingLeaderDoesNotDeadlock(t *testing.T) {
+	var g flightGroup
+	release := make(chan struct{})
+
+	const followers = 7
+	results := make(chan error, followers+1)
+	fn := func() (any, error) {
+		<-release // hold the flight open so followers pile up
+		panic("leader exploded")
+	}
+	go func() {
+		_, _, err := g.do("boom", fn)
+		results <- err
+	}()
+	for i := 0; i < followers; i++ {
+		go func() {
+			_, _, err := g.do("boom", fn)
+			results <- err
+		}()
+	}
+	time.Sleep(20 * time.Millisecond) // let followers register as waiters
+	close(release)
+
+	for i := 0; i < followers+1; i++ {
+		select {
+		case err := <-results:
+			var pe *panicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("caller %d: err = %v, want panicError", i, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("deadlock: only %d of %d callers returned after the leader panicked", i, followers+1)
+		}
+	}
+
+	// The stale entry must be gone: a fresh call for the same key runs.
+	v, shared, err := g.do("boom", func() (any, error) { return "recovered", nil })
+	if err != nil || shared || v != "recovered" {
+		t.Fatalf("post-panic call: v=%v shared=%v err=%v, want fresh execution", v, shared, err)
 	}
 }
 

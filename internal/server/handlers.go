@@ -26,10 +26,14 @@ type Complex [2]float64
 
 func toComplex(pairs []Complex) []complex128 {
 	out := make([]complex128, len(pairs))
-	for i, p := range pairs {
-		out[i] = complex(p[0], p[1])
-	}
+	toComplexInto(out, pairs)
 	return out
+}
+
+func toComplexInto(dst []complex128, pairs []Complex) {
+	for i, p := range pairs {
+		dst[i] = complex(p[0], p[1])
+	}
 }
 
 func fromComplex(xs []complex128) []Complex {
@@ -104,19 +108,23 @@ func (s *Server) runTransform(spec TransformSpec) (TransformResult, error) {
 		if err != nil {
 			return TransformResult{}, badRequest("plan: %v", err)
 		}
-		x := toComplex(spec.Input)
-		dst := make([]complex128, n)
-		switch {
-		case spec.Inverse && spec.NoReorder:
+		if spec.Inverse && spec.NoReorder {
 			return TransformResult{}, badRequest("inverse and no_reorder are mutually exclusive")
-		case spec.Inverse:
-			p.Inverse(dst, x)
-		case spec.NoReorder:
-			p.TransformNoReorder(dst, x)
-		default:
-			p.Transform(dst, x)
 		}
-		return TransformResult{N: n, Output: fromComplex(dst)}, nil
+		// Pooled scratch: the wire-format conversions own the only
+		// per-request allocations left on this path.
+		b := getXBuf(n)
+		defer putXBuf(b)
+		toComplexInto(b.in, spec.Input)
+		switch {
+		case spec.Inverse:
+			p.Inverse(b.out, b.in)
+		case spec.NoReorder:
+			p.TransformNoReorder(b.out, b.in)
+		default:
+			p.Transform(b.out, b.in)
+		}
+		return TransformResult{N: n, Output: fromComplex(b.out)}, nil
 	default:
 		return TransformResult{}, badRequest("transform has no input or real_input")
 	}

@@ -1,0 +1,61 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestWorkerPoolSubmitCloseRace hammers do() from many goroutines while
+// close() drains the pool mid-flight. Run under the race detector (make
+// race) this exercises the closed-flag/RWMutex protocol that keeps a
+// late submit from sending on the closed jobs channel. Every submit must
+// resolve to success, a context error, or ErrDraining — never a panic or
+// a hang.
+func TestWorkerPoolSubmitCloseRace(t *testing.T) {
+	p := newWorkerPool(4, 8)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
+				err := p.do(ctx, func() { time.Sleep(50 * time.Microsecond) })
+				cancel()
+				switch {
+				case err == nil:
+				case errors.Is(err, ErrDraining):
+					return // pool closed under us: the expected drain outcome
+				case errors.Is(err, context.DeadlineExceeded):
+				case errors.Is(err, context.Canceled):
+				default:
+					t.Errorf("unexpected submit error: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	// Let submits build up, then drain while they are still racing in.
+	time.Sleep(5 * time.Millisecond)
+	p.close()
+	close(stop)
+	wg.Wait()
+
+	// close is documented idempotent; a second drain must not panic.
+	p.close()
+
+	if err := p.do(context.Background(), func() {}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-close submit: err = %v, want ErrDraining", err)
+	}
+}

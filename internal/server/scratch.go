@@ -1,0 +1,32 @@
+package server
+
+import "sync"
+
+// xbuf is a pooled pair of complex scratch buffers sized for one
+// transform: in receives the decoded samples and out the spectrum. The
+// transform handlers are the service's hot path — every request used to
+// allocate (and garbage-collect) two n-element complex slices; pooling
+// them keeps steady-state request processing off the allocator for the
+// common case of repeated transform sizes.
+type xbuf struct {
+	in, out []complex128
+}
+
+var xbufPool = sync.Pool{New: func() any { return new(xbuf) }}
+
+// getXBuf returns a scratch pair with both buffers sized to n. The
+// contents are stale; callers must overwrite in before reading out.
+func getXBuf(n int) *xbuf {
+	b := xbufPool.Get().(*xbuf)
+	if cap(b.in) < n {
+		b.in = make([]complex128, n)
+		b.out = make([]complex128, n)
+	}
+	b.in = b.in[:n]
+	b.out = b.out[:n]
+	return b
+}
+
+// putXBuf returns a scratch pair to the pool. The caller must not keep
+// references to b.in or b.out past this call.
+func putXBuf(b *xbuf) { xbufPool.Put(b) }

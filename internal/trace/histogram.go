@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -81,17 +82,29 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 		return 0
 	}
 	sort.Slice(w, func(i, j int) bool { return w[i] < w[j] })
+	return w[nearestRankIndex(q, len(w))]
+}
+
+// nearestRankIndex maps quantile q onto a sorted slice of n samples with
+// the nearest-rank method: the q-th quantile is the sample of rank
+// ceil(q*n), i.e. index ceil(q*n)-1. A plain floor int(q*n) is one rank
+// high whenever q*n is an exact integer (p50 of 4 samples must be the
+// 2nd, not the 3rd).
+func nearestRankIndex(q float64, n int) int {
 	if q <= 0 {
-		return w[0]
+		return 0
 	}
 	if q >= 1 {
-		return w[len(w)-1]
+		return n - 1
 	}
-	idx := int(q * float64(len(w)))
-	if idx >= len(w) {
-		idx = len(w) - 1
+	idx := int(math.Ceil(q*float64(n))) - 1
+	if idx < 0 {
+		idx = 0
 	}
-	return w[idx]
+	if idx >= n {
+		idx = n - 1
+	}
+	return idx
 }
 
 // HistogramSnapshot is a consistent read of a histogram's statistics.
@@ -126,11 +139,7 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	if len(w) > 0 {
 		sort.Slice(w, func(i, j int) bool { return w[i] < w[j] })
 		at := func(q float64) time.Duration {
-			idx := int(q * float64(len(w)))
-			if idx >= len(w) {
-				idx = len(w) - 1
-			}
-			return w[idx]
+			return w[nearestRankIndex(q, len(w))]
 		}
 		s.P50, s.P90, s.P99 = at(0.50), at(0.90), at(0.99)
 	}

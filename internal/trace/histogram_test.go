@@ -31,6 +31,43 @@ func TestHistogramQuantiles(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileNearestRank pins the nearest-rank definition
+// (rank ceil(q*n), i.e. index ceil(q*n)-1) for every window size 1..5.
+// The old floor indexing int(q*n) returned one rank high whenever q*n
+// was an exact integer — p50 of [1,2,3,4] came back 3 instead of 2 —
+// so the n=2 and n=4 rows at q=0.5 fail on that code.
+func TestHistogramQuantileNearestRank(t *testing.T) {
+	qs := []float64{0, 0.5, 0.9, 0.99, 1}
+	// want[n-1][i] is the expected sample (in ms) for n samples 1..n at qs[i].
+	want := [][]int{
+		{1, 1, 1, 1, 1},
+		{1, 1, 2, 2, 2},
+		{1, 2, 3, 3, 3},
+		{1, 2, 4, 4, 4},
+		{1, 3, 5, 5, 5},
+	}
+	for n := 1; n <= 5; n++ {
+		h := NewHistogram(8)
+		for i := 1; i <= n; i++ {
+			h.Observe(time.Duration(i) * time.Millisecond)
+		}
+		for qi, q := range qs {
+			got := h.Quantile(q)
+			if exp := time.Duration(want[n-1][qi]) * time.Millisecond; got != exp {
+				t.Errorf("n=%d q=%v: got %v, want %v", n, q, got, exp)
+			}
+		}
+	}
+	// Snapshot must agree with Quantile on the same definition.
+	h := NewHistogram(8)
+	for i := 1; i <= 4; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if s := h.Snapshot(); s.P50 != 2*time.Millisecond {
+		t.Errorf("snapshot p50 = %v, want 2ms (nearest rank)", s.P50)
+	}
+}
+
 func TestHistogramEmpty(t *testing.T) {
 	h := NewHistogram(0) // default window
 	if got := h.Quantile(0.5); got != 0 {
