@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all verify build vet lint test race test-race cover bench bench-compare bench-baseline gobench fuzz vuln repro serve examples clean
+.PHONY: all verify build vet lint test race test-race cover bench bench-compare bench-baseline gobench fuzz vuln repro serve profile trace metrics-lint examples clean
 
 all: verify
 
@@ -39,6 +39,40 @@ cover:
 # Run the fftd service daemon (see docs/SERVICE.md for the endpoints).
 serve:
 	$(GO) run ./cmd/fftd
+
+# profile captures CPU and heap profiles of a standard netsim FFT run
+# (docs/OBSERVABILITY.md). Inspect with `go tool pprof $(PROFILE_DIR)/cpu.prof`.
+# Tune the workload with PROFILE_ARGS='-net hypermesh -n 16384'.
+PROFILE_DIR ?= /tmp/fftprofile
+PROFILE_ARGS ?= -net hypercube -n 4096 -scenario fft
+profile:
+	mkdir -p $(PROFILE_DIR)
+	$(GO) run ./cmd/netsim $(PROFILE_ARGS) \
+		-cpuprofile $(PROFILE_DIR)/cpu.prof -memprofile $(PROFILE_DIR)/mem.prof
+	@echo "profiles in $(PROFILE_DIR); view with: go tool pprof $(PROFILE_DIR)/cpu.prof"
+
+# trace writes a Chrome trace_event span trace of the paper's Table 2A
+# verification simulations — load it in chrome://tracing or Perfetto.
+TRACE_OUT ?= /tmp/fftrepro-trace.json
+trace:
+	$(GO) run ./cmd/fftrepro -only 2a -trace $(TRACE_OUT)
+
+# metrics-lint starts fftd, scrapes GET /metrics with Accept: text/plain
+# and validates the Prometheus exposition with the repo's parser-based
+# lint (cmd/promlint). Mirrors the CI metrics-scrape job.
+METRICS_ADDR ?= 127.0.0.1:18080
+metrics-lint:
+	$(GO) build -o /tmp/fftd-lint ./cmd/fftd
+	$(GO) build -o /tmp/promlint ./cmd/promlint
+	/tmp/fftd-lint -addr $(METRICS_ADDR) & \
+	FFTD_PID=$$!; \
+	trap 'kill $$FFTD_PID 2>/dev/null' EXIT; \
+	for i in $$(seq 1 50); do \
+		curl -sf http://$(METRICS_ADDR)/healthz >/dev/null 2>&1 && break; sleep 0.1; \
+	done; \
+	curl -s -X POST -d '{"input": [[1,0],[0,0],[0,0],[0,0]]}' http://$(METRICS_ADDR)/v1/fft >/dev/null; \
+	curl -s -H 'Accept: text/plain' http://$(METRICS_ADDR)/metrics | /tmp/promlint
+	@echo "metrics exposition is clean"
 
 # Regenerate every paper table/figure and the recorded outputs.
 repro:

@@ -5,23 +5,35 @@
 //
 // Endpoints:
 //
-//	POST /v1/fft       single or batch complex/real transforms
-//	POST /v1/simulate  run a netsim scenario (fft, bitreversal, random, traffic)
-//	GET  /v1/compare   the paper's Table 1A/1B/2A/2B and bisection numbers
-//	GET  /healthz      liveness
-//	GET  /metrics      expvar-style counters (requests, cache hits, latency)
+//	POST /v1/fft        single or batch complex/real transforms
+//	POST /v1/simulate   run a netsim scenario (fft, bitreversal, random, traffic)
+//	GET  /v1/compare    the paper's Table 1A/1B/2A/2B and bisection numbers
+//	GET  /v1/debug/slow recently captured slow-request span trees
+//	GET  /healthz       liveness
+//	GET  /metrics       counters; JSON by default, Prometheus text
+//	                    exposition under Accept: text/plain
+//
+// Observability: every request gets an X-Request-ID and (with -log) a
+// structured log line; -slow-threshold and -trace-sample capture span
+// trees of slow or sampled requests; -debug-addr serves net/http/pprof
+// and expvar on a separate listener, so profiling endpoints never share
+// a port with the public API.
 //
 // On SIGTERM/SIGINT the daemon stops accepting connections, lets
 // in-flight requests finish (bounded by -drain-timeout), then drains
-// the worker pool. See docs/SERVICE.md for the endpoint reference.
+// the worker pool. See docs/SERVICE.md for the endpoint reference and
+// docs/OBSERVABILITY.md for the telemetry workflow.
 package main
 
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -37,20 +49,44 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
 	cacheSize := flag.Int("cache", 64, "plan cache capacity (plans)")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown deadline")
+	debugAddr := flag.String("debug-addr", "", "separate listener for pprof and expvar (empty = disabled)")
+	slowThreshold := flag.Duration("slow-threshold", 0, "capture span traces of requests slower than this (0 = off)")
+	traceSample := flag.Int("trace-sample", 0, "capture span traces of every Nth request (0 = off)")
+	logRequests := flag.Bool("log", true, "emit one structured (JSON) log line per request on stdout")
 	flag.Parse()
 
-	if err := run(*addr, server.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		RequestTimeout: *timeout,
-		PlanCacheSize:  *cacheSize,
-	}, *drainTimeout); err != nil {
+	cfg := server.Config{
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		RequestTimeout:   *timeout,
+		PlanCacheSize:    *cacheSize,
+		SlowThreshold:    *slowThreshold,
+		TraceSampleEvery: *traceSample,
+	}
+	if *logRequests {
+		cfg.Logger = slog.New(slog.NewJSONHandler(os.Stdout, nil))
+	}
+	if err := run(*addr, *debugAddr, cfg, *drainTimeout); err != nil {
 		fmt.Fprintf(os.Stderr, "fftd: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, cfg server.Config, drainTimeout time.Duration) error {
+// debugMux builds the -debug-addr handler: the full net/http/pprof
+// surface plus expvar, mounted explicitly (no dependence on
+// http.DefaultServeMux, which the public listener never uses either).
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
+func run(addr, debugAddr string, cfg server.Config, drainTimeout time.Duration) error {
 	s := server.New(cfg)
 	httpSrv := &http.Server{Addr: addr, Handler: s.Handler()}
 
@@ -62,6 +98,17 @@ func run(addr string, cfg server.Config, drainTimeout time.Duration) error {
 		fmt.Printf("fftd: listening on %s\n", addr)
 		errc <- httpSrv.ListenAndServe()
 	}()
+
+	var debugSrv *http.Server
+	if debugAddr != "" {
+		debugSrv = &http.Server{Addr: debugAddr, Handler: debugMux()}
+		go func() {
+			fmt.Printf("fftd: debug listener (pprof, expvar) on %s\n", debugAddr)
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(os.Stderr, "fftd: debug listener: %v\n", err)
+			}
+		}()
+	}
 
 	select {
 	case err := <-errc:
@@ -76,6 +123,9 @@ func run(addr string, cfg server.Config, drainTimeout time.Duration) error {
 	// Shutdown stops accepting and waits for in-flight handlers; only
 	// then is the worker pool closed, so no accepted request is dropped.
 	err := httpSrv.Shutdown(shutdownCtx)
+	if debugSrv != nil {
+		_ = debugSrv.Shutdown(shutdownCtx)
+	}
 	s.Close()
 	if err != nil {
 		return fmt.Errorf("drain: %w", err)

@@ -28,6 +28,7 @@ import (
 	"repro/internal/hardware"
 	"repro/internal/layout"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/parfft"
 	"repro/internal/perfmodel"
 	"repro/internal/permute"
@@ -39,7 +40,14 @@ func main() {
 	n := flag.Int("n", 4096, "transform and machine size (power of two, perfect square)")
 	only := flag.String("only", "", "print a single artifact (1a,1b,2a,2b,case,caseprop,bitonic,bisection,fig1,fig3,wormhole,bitlevel,shapes,wafer,blocked,traffic,omega,crossover)")
 	verify := flag.Bool("verify", false, "run the word-level simulations and check measured steps against the model")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON span trace of the Table 2A verification simulations (implies -verify)")
 	flag.Parse()
+
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.New()
+		*verify = true // the trace records the verification simulations
+	}
 
 	sel := strings.ToLower(*only)
 	want := func(key string) bool { return sel == "" || sel == key }
@@ -59,7 +67,7 @@ func main() {
 
 	run("1a", func() error { return printTable1A(*n) })
 	run("1b", func() error { return printTable1B(*n) })
-	run("2a", func() error { return printTable2A(*n, *verify) })
+	run("2a", func() error { return printTable2A(*n, *verify, tracer) })
 	run("2b", func() error { return printTable2B(*n) })
 	run("case", func() error { return printCaseStudy(*n, 0) })
 	run("caseprop", func() error { return printCaseStudy(*n, hardware.DefaultPropDelay) })
@@ -80,6 +88,28 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fftrepro: unknown artifact %q\n", sel)
 		os.Exit(2)
 	}
+
+	if tracer != nil {
+		if err := writeChromeTrace(tracer, *traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "fftrepro: trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote span trace to %s (load in chrome://tracing or Perfetto)\n", *traceOut)
+	}
+}
+
+// writeChromeTrace exports the tracer's spans as Chrome trace_event
+// JSON.
+func writeChromeTrace(tr *obs.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func printTable1A(n int) error {
@@ -114,7 +144,7 @@ func printTable1B(n int) error {
 	return t.Render(os.Stdout)
 }
 
-func printTable2A(n int, verify bool) error {
+func printTable2A(n int, verify bool, tr *obs.Tracer) error {
 	rows, err := perfmodel.Table2A(n)
 	if err != nil {
 		return err
@@ -140,21 +170,22 @@ func printTable2A(n int, verify bool) error {
 	}
 	x := randomSignal(n)
 	want := fft.MustPlan(n).Forward(x)
-	mesh, err := netsim.NewMesh[complex128](side, true, netsim.Config{})
+	simCfg := netsim.Config{Obs: tr}
+	mesh, err := netsim.NewMesh[complex128](side, true, simCfg)
 	if err != nil {
 		return err
 	}
-	cube, err := netsim.NewHypercube[complex128](log2(n), netsim.Config{})
+	cube, err := netsim.NewHypercube[complex128](log2(n), simCfg)
 	if err != nil {
 		return err
 	}
-	hm, err := netsim.NewHypermesh[complex128](side, 2, netsim.Config{})
+	hm, err := netsim.NewHypermesh[complex128](side, 2, simCfg)
 	if err != nil {
 		return err
 	}
 	vt := report.New("", "network", "butterfly steps", "bit-reversal steps", "total", "max |err| vs serial FFT")
 	for _, m := range []netsim.Machine[complex128]{mesh, cube, hm} {
-		res, err := parfft.Run(m, x, parfft.Options{})
+		res, err := parfft.Run(m, x, parfft.Options{Tracer: tr})
 		if err != nil {
 			return err
 		}

@@ -17,10 +17,13 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/bitonic"
 	"repro/internal/fft"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/parfft"
 	"repro/internal/permute"
 	"repro/internal/report"
@@ -34,13 +37,63 @@ func main() {
 	scenario := flag.String("scenario", "fft", "scenario: fft, fft2d, fourstep, blocked, bitreversal, random, valiant, deflect, bitonic, traffic")
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 0, "compute worker pool size (0 = GOMAXPROCS)")
-	showTrace := flag.Bool("trace", false, "print the operation-level schedule trace")
+	showSchedule := flag.Bool("schedule", false, "print the operation-level schedule trace")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON span trace to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
 
-	if err := run(*network, *n, *wrap, *scenario, *seed, *workers, *showTrace); err != nil {
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "netsim: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "netsim: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+
+	err := run(*network, *n, *wrap, *scenario, *seed, *workers, *showSchedule, *traceOut)
+
+	if *memProfile != "" {
+		f, ferr := os.Create(*memProfile)
+		if ferr != nil {
+			fmt.Fprintf(os.Stderr, "netsim: memprofile: %v\n", ferr)
+		} else {
+			runtime.GC()
+			if werr := pprof.WriteHeapProfile(f); werr != nil {
+				fmt.Fprintf(os.Stderr, "netsim: memprofile: %v\n", werr)
+			}
+			f.Close()
+		}
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "netsim: %v\n", err)
+		if *cpuProfile != "" {
+			pprof.StopCPUProfile()
+		}
 		os.Exit(1)
 	}
+}
+
+// writeChromeTrace exports the tracer's spans as Chrome trace_event
+// JSON.
+func writeChromeTrace(tr *obs.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func isqrt(n int) int {
@@ -94,18 +147,29 @@ func buildFloat(network string, n int, wrap bool, cfg netsim.Config) (netsim.Mac
 	}
 }
 
-func run(network string, n int, wrap bool, scenario string, seed int64, workers int, showTrace bool) error {
+func run(network string, n int, wrap bool, scenario string, seed int64, workers int, showSchedule bool, traceOut string) error {
 	rng := rand.New(rand.NewSource(seed))
 	var rec *trace.Recorder
-	if showTrace {
+	if showSchedule {
 		rec = trace.NewRecorder()
 	}
-	cfg := netsim.Config{Workers: workers, Trace: rec}
+	var tr *obs.Tracer
+	if traceOut != "" {
+		tr = obs.New()
+	}
+	cfg := netsim.Config{Workers: workers, Trace: rec, Obs: tr}
 	defer func() {
 		if rec != nil {
 			fmt.Println("\nschedule trace:")
 			if _, err := rec.WriteTo(os.Stdout); err != nil {
 				fmt.Fprintf(os.Stderr, "netsim: trace: %v\n", err)
+			}
+		}
+		if tr != nil {
+			if err := writeChromeTrace(tr, traceOut); err != nil {
+				fmt.Fprintf(os.Stderr, "netsim: trace: %v\n", err)
+			} else {
+				fmt.Printf("wrote span trace to %s (load in chrome://tracing or Perfetto)\n", traceOut)
 			}
 		}
 	}()
@@ -119,7 +183,7 @@ func run(network string, n int, wrap bool, scenario string, seed int64, workers 
 		for i := range x {
 			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
 		}
-		res, err := parfft.Run(m, x, parfft.Options{})
+		res, err := parfft.Run(m, x, parfft.Options{Tracer: tr})
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,54 @@
+// Command promlint validates a Prometheus text exposition (format
+// 0.0.4) read from stdin or a file, using the repository's own
+// parser-based lint (internal/obs.LintExposition). CI pipes fftd's
+// GET /metrics output through it to catch exposition regressions:
+//
+//	curl -s -H 'Accept: text/plain' localhost:8080/metrics | promlint
+//
+// Exit status is 0 when the exposition is clean, 1 when any lint
+// error is found (each is printed to stderr), 2 on usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: promlint [file]\n\nreads a Prometheus text exposition from file (or stdin) and lints it\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	name := "<stdin>"
+	switch flag.NArg() {
+	case 0:
+	case 1:
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "promlint: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in = f
+		name = flag.Arg(0)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	errs := obs.LintExposition(in)
+	for _, e := range errs {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", name, e)
+	}
+	if len(errs) > 0 {
+		fmt.Fprintf(os.Stderr, "promlint: %d problem(s)\n", len(errs))
+		os.Exit(1)
+	}
+}

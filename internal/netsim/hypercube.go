@@ -78,13 +78,19 @@ func (h *Hypercube[T]) ExchangeCompute(bit int, f func(self, partner T, node int
 			return fmt.Errorf("netsim: exchange on dimension %d blocked by failed link at node %d", bit, link.low)
 		}
 	}
+	sp := h.cfg.opSpan("exchange")
 	exchangeCompute(h.vals, h.exOld, h.cfg.workers(), func(i int) int {
 		return bits.FlipBit(i, bit)
 	}, f)
 	h.stats.Steps++
 	h.stats.ComputeSteps++
 	h.stats.LinkTraversals += h.Nodes()
-	h.cfg.Trace.Record(h.Name(), trace.OpExchange, fmt.Sprintf("bit %d", bit), 1)
+	if h.cfg.traceEnabled() {
+		detail := fmt.Sprintf("bit %d", bit)
+		h.cfg.Trace.Record(h.Name(), trace.OpExchange, detail, 1)
+		sp.SetDetail(detail).AddSteps(1)
+	}
+	sp.End()
 	return nil
 }
 
@@ -112,6 +118,7 @@ func (h *Hypercube[T]) Route(p permute.Permutation) (int, error) {
 	}
 	n := h.Nodes()
 	dims := h.topo.Dims
+	sp := h.cfg.opSpan("route")
 
 	// nextDim returns the lowest dimension in which cur and dst differ,
 	// or -1 when cur == dst.
@@ -188,6 +195,7 @@ func (h *Hypercube[T]) Route(p permute.Permutation) (int, error) {
 	copy(h.vals, out)
 	h.stats.Steps += steps
 	h.cfg.Trace.Record(h.Name(), trace.OpRoute, "greedy e-cube", steps)
+	sp.SetDetail("greedy e-cube").AddSteps(steps).End()
 	return steps, nil
 }
 
@@ -244,10 +252,16 @@ func (h *Hypercube[T]) RouteBitPermutation(bp []int) (int, error) {
 		// receive bit value target; repeating left to right settles one
 		// position per transposition.
 		p := pos[target]
+		sp := h.cfg.opSpan("bit-swap")
 		if err := h.swapAddressBits(target, p); err != nil {
 			return steps, err
 		}
-		h.cfg.Trace.Record(h.Name(), trace.OpBitSwap, fmt.Sprintf("bits %d<->%d", target, p), 2)
+		if h.cfg.traceEnabled() {
+			detail := fmt.Sprintf("bits %d<->%d", target, p)
+			h.cfg.Trace.Record(h.Name(), trace.OpBitSwap, detail, 2)
+			sp.SetDetail(detail).AddSteps(2)
+		}
+		sp.End()
 		steps += 2
 		// Update bookkeeping: values at positions target and p swap.
 		cur[target], cur[p] = cur[p], cur[target]

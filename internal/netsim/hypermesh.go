@@ -81,13 +81,19 @@ func (h *Hypermesh[T]) ExchangeCompute(bit int, f func(self, partner T, node int
 	if bit < 0 || bit >= total {
 		return fmt.Errorf("netsim: hypermesh exchange bit %d out of range [0,%d)", bit, total)
 	}
+	sp := h.cfg.opSpan("exchange")
 	exchangeCompute(h.vals, h.exOld, h.cfg.workers(), func(i int) int {
 		return bits.FlipBit(i, bit)
 	}, f)
 	h.stats.Steps++
 	h.stats.ComputeSteps++
 	h.stats.LinkTraversals += h.Nodes()
-	h.cfg.Trace.Record(h.Name(), trace.OpExchange, fmt.Sprintf("bit %d", bit), 1)
+	if h.cfg.traceEnabled() {
+		detail := fmt.Sprintf("bit %d", bit)
+		h.cfg.Trace.Record(h.Name(), trace.OpExchange, detail, 1)
+		sp.SetDetail(detail).AddSteps(1)
+	}
+	sp.End()
 	return nil
 }
 
@@ -141,6 +147,7 @@ func (h *Hypermesh[T]) PermuteNets(dim int, perms [][]int) error {
 	if len(perms) != perDim {
 		return fmt.Errorf("netsim: PermuteNets wants %d per-net permutations, got %d", perDim, len(perms))
 	}
+	sp := h.cfg.opSpan("net-permute")
 	if h.pmBuf == nil {
 		h.pmBuf = make([]T, h.Nodes())
 	}
@@ -163,7 +170,12 @@ func (h *Hypermesh[T]) PermuteNets(dim int, perms [][]int) error {
 	}
 	h.vals, h.pmBuf = next, h.vals
 	h.stats.Steps++
-	h.cfg.Trace.Record(h.Name(), trace.OpNetPermute, fmt.Sprintf("dimension %d", dim), 1)
+	if h.cfg.traceEnabled() {
+		detail := fmt.Sprintf("dimension %d", dim)
+		h.cfg.Trace.Record(h.Name(), trace.OpNetPermute, detail, 1)
+		sp.SetDetail(detail).AddSteps(1)
+	}
+	sp.End()
 	return nil
 }
 
@@ -184,6 +196,13 @@ func (h *Hypermesh[T]) Route(p permute.Permutation) (int, error) {
 		}
 		return 1, h.PermuteNets(dim, perms)
 	}
+	// The route span carries no step cost of its own: the per-phase
+	// net-permute spans it encloses own the steps, so summing step costs
+	// over spans never double-counts.
+	sp := h.cfg.opSpan("route").SetDetail("rearrangeable decomposition")
+	defer sp.End()
+	prev := h.cfg.Obs.SetParent(sp)
+	defer h.cfg.Obs.SetParent(prev)
 	phases, err := clos.DecomposeND(h.topo.Base, h.topo.Dims, p)
 	if err != nil {
 		return 0, err

@@ -88,13 +88,19 @@ func (k *KAryNCube[T]) ExchangeCompute(bit int, f func(self, partner T, node int
 	if w := k.topo.Radix - d; w < d {
 		d = w
 	}
+	sp := k.cfg.opSpan("exchange")
 	exchangeCompute(k.vals, k.exOld, k.cfg.workers(), func(i int) int {
 		return bits.FlipBit(i, bit)
 	}, f)
 	k.stats.Steps += d
 	k.stats.ComputeSteps++
 	k.stats.LinkTraversals += d * k.Nodes()
-	k.cfg.Trace.Record(k.Name(), trace.OpExchange, fmt.Sprintf("bit %d (ring distance %d)", bit, d), d)
+	if k.cfg.traceEnabled() {
+		detail := fmt.Sprintf("bit %d (ring distance %d)", bit, d)
+		k.cfg.Trace.Record(k.Name(), trace.OpExchange, detail, d)
+		sp.SetDetail(detail).AddSteps(d)
+	}
+	sp.End()
 	return nil
 }
 
@@ -121,6 +127,7 @@ func (k *KAryNCube[T]) Route(p permute.Permutation) (int, error) {
 	n := k.Nodes()
 	dims := k.topo.Dims
 	radix := k.topo.Radix
+	sp := k.cfg.opSpan("route")
 	// Ports: 2 per dimension (+ and - ring directions).
 	numPorts := 2 * dims
 
@@ -215,5 +222,6 @@ func (k *KAryNCube[T]) Route(p permute.Permutation) (int, error) {
 	copy(k.vals, out)
 	k.stats.Steps += steps
 	k.cfg.Trace.Record(k.Name(), trace.OpRoute, "dimension-order torus", steps)
+	sp.SetDetail("dimension-order torus").AddSteps(steps).End()
 	return steps, nil
 }

@@ -86,13 +86,19 @@ func (m *Mesh[T]) ExchangeCompute(bit int, f func(self, partner T, node int) T) 
 		return err
 	}
 
+	sp := m.cfg.opSpan("exchange")
 	exchangeCompute(m.vals, m.exOld, m.cfg.workers(), func(i int) int {
 		return bits.FlipBit(i, bit)
 	}, f)
 	m.stats.Steps += d
 	m.stats.ComputeSteps++
 	m.stats.LinkTraversals += d * m.Nodes()
-	m.cfg.Trace.Record(m.Name(), trace.OpExchange, fmt.Sprintf("bit %d (distance %d)", bit, d), d)
+	if m.cfg.traceEnabled() {
+		detail := fmt.Sprintf("bit %d (distance %d)", bit, d)
+		m.cfg.Trace.Record(m.Name(), trace.OpExchange, detail, d)
+		sp.SetDetail(detail).AddSteps(d)
+	}
+	sp.End()
 	return nil
 }
 
@@ -234,6 +240,8 @@ func (m *Mesh[T]) Route(p permute.Permutation) (int, error) {
 		return r*side + c
 	}
 
+	sp := m.cfg.opSpan("route")
+
 	// Reuse the routing slabs across calls; every destination receives
 	// exactly one packet, so out needs no clearing between permutations.
 	if m.rq == nil {
@@ -305,6 +313,7 @@ func (m *Mesh[T]) Route(p permute.Permutation) (int, error) {
 	copy(m.vals, out)
 	m.stats.Steps += steps
 	m.cfg.Trace.Record(m.Name(), trace.OpRoute, "store-and-forward", steps)
+	sp.SetDetail("store-and-forward").AddSteps(steps).End()
 	return steps, nil
 }
 
@@ -319,6 +328,7 @@ func (m *Mesh[T]) ShiftRows(delta int) error {
 	if !m.topo.Wrap {
 		return fmt.Errorf("netsim: ShiftRows requires wraparound links")
 	}
+	sp := m.cfg.opSpan("shift")
 	side := m.topo.Side
 	p := make(permute.Permutation, m.Nodes())
 	for i := range p {
@@ -336,6 +346,11 @@ func (m *Mesh[T]) ShiftRows(delta int) error {
 	}
 	m.stats.Steps += d
 	m.stats.LinkTraversals += d * m.Nodes()
-	m.cfg.Trace.Record(m.Name(), trace.OpShift, fmt.Sprintf("rows by %d", delta), d)
+	if m.cfg.traceEnabled() {
+		detail := fmt.Sprintf("rows by %d", delta)
+		m.cfg.Trace.Record(m.Name(), trace.OpShift, detail, d)
+		sp.SetDetail(detail).AddSteps(d)
+	}
+	sp.End()
 	return nil
 }

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// WriteJSON renders the tracer's spans as a plain JSON document:
+//
+//	{"spans": [{"id":1,"name":"...","start":...,"duration_ns":...}, ...]}
+//
+// The format is the direct serialization of Snapshot, intended for
+// programmatic consumers (the /v1/debug/slow endpoint, test
+// assertions); chrome://tracing consumers want WriteChromeTrace.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Spans []SpanData `json:"spans"`
+	}{Spans: t.Snapshot()})
+}
+
+// chromeEvent is one trace_event entry. Only "X" (complete) events are
+// emitted: every span carries its own duration, which both
+// chrome://tracing and Perfetto nest by time containment.
+type chromeEvent struct {
+	Name string     `json:"name"`
+	Cat  string     `json:"cat,omitempty"`
+	Ph   string     `json:"ph"`
+	TS   float64    `json:"ts"`  // microseconds since trace epoch
+	Dur  float64    `json:"dur"` // microseconds
+	PID  int        `json:"pid"`
+	TID  int        `json:"tid"`
+	Args chromeArgs `json:"args"`
+}
+
+type chromeArgs struct {
+	ID     int    `json:"id"`
+	Parent int    `json:"parent,omitempty"`
+	Detail string `json:"detail,omitempty"`
+	Steps  int    `json:"steps,omitempty"`
+}
+
+// chromeTrace is the JSON object form of the trace_event format.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders the tracer's spans in Chrome trace_event
+// JSON (the object form, with a traceEvents array), loadable directly
+// in chrome://tracing or https://ui.perfetto.dev. Timestamps are
+// microseconds relative to the tracer's creation. Each span tree gets
+// its own tid (the root span's id), so concurrent request trees render
+// as separate tracks instead of interleaving on one.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	spans := t.Snapshot()
+
+	// root[id] = id of the tree root each span belongs to.
+	parent := make(map[int]int, len(spans))
+	for _, s := range spans {
+		parent[s.ID] = s.Parent
+	}
+	rootOf := func(id int) int {
+		for parent[id] != 0 {
+			id = parent[id]
+		}
+		return id
+	}
+
+	epoch := t.epochTime()
+	events := make([]chromeEvent, 0, len(spans))
+	for _, s := range spans {
+		events = append(events, chromeEvent{
+			Name: s.Name,
+			Cat:  s.Cat,
+			Ph:   "X",
+			TS:   float64(s.Start.Sub(epoch).Nanoseconds()) / 1e3,
+			Dur:  float64(s.Duration.Nanoseconds()) / 1e3,
+			PID:  1,
+			TID:  rootOf(s.ID),
+			Args: chromeArgs{ID: s.ID, Parent: s.Parent, Detail: s.Detail, Steps: s.Steps},
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"}); err != nil {
+		return fmt.Errorf("obs: chrome trace: %w", err)
+	}
+	return nil
+}
+
+// epochTime returns the tracer's time origin (nil-safe).
+func (t *Tracer) epochTime() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.epoch
+}

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testClock advances a fixed step per reading, so spans get
+// deterministic times without sleeping.
+func testClock(step time.Duration) func() time.Time {
+	base := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	n := 0
+	return func() time.Time {
+		t := base.Add(time.Duration(n) * step)
+		n++
+		return t
+	}
+}
+
+func TestSpanTree(t *testing.T) {
+	tr := NewWithClock(testClock(time.Millisecond))
+	root := tr.Start("request")
+	plan := root.Child("plan").SetCat(CatPlan)
+	plan.End()
+	rank := root.Child("rank 0").SetCat(CatNetsim).SetDetail("bit 0").AddSteps(3)
+	rank.End()
+	root.End()
+
+	spans := tr.Snapshot()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	if spans[0].Name != "request" || spans[0].Parent != 0 {
+		t.Errorf("root = %+v", spans[0])
+	}
+	if spans[1].Parent != spans[0].ID || spans[2].Parent != spans[0].ID {
+		t.Errorf("children not parented under root: %+v", spans)
+	}
+	if spans[2].Steps != 3 || spans[2].Detail != "bit 0" || spans[2].Cat != CatNetsim {
+		t.Errorf("rank span = %+v", spans[2])
+	}
+	for i, s := range spans {
+		if s.Duration <= 0 {
+			t.Errorf("span %d has nonpositive duration %v", i, s.Duration)
+		}
+	}
+	if got := tr.StepsByCat()[CatNetsim]; got != 3 {
+		t.Errorf("StepsByCat[netsim] = %d, want 3", got)
+	}
+}
+
+// TestConcurrentSpans hammers one shared tracer from many goroutines —
+// the batch-transform shape — and is meaningful under -race.
+func TestConcurrentSpans(t *testing.T) {
+	tr := New()
+	root := tr.Start("batch")
+	const workers = 16
+	const perWorker = 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				s := root.Child("transform").SetCat(CatServer).AddSteps(1)
+				s.Child("plan").SetCat(CatPlan).End()
+				s.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	root.End()
+	want := 1 + workers*perWorker*2
+	if got := tr.Len(); got != want {
+		t.Fatalf("got %d spans, want %d", got, want)
+	}
+	if got := tr.StepsByCat()[CatServer]; got != workers*perWorker {
+		t.Fatalf("StepsByCat[server] = %d, want %d", got, workers*perWorker)
+	}
+	// Snapshot while another goroutine keeps tracing: no race, no panic.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			root.Child("late").End()
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		_ = tr.Snapshot()
+	}
+	<-done
+}
+
+// TestNilTracerFastPath pins the disabled-tracing contract: every call
+// is a no-op and the whole instrumented path allocates nothing.
+func TestNilTracerFastPath(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(100, func() {
+		s := tr.Start("root")
+		c := s.Child("child").SetCat(CatNetsim).SetDetail("bit 3").AddSteps(2)
+		c.End()
+		s.End()
+		if tr.Len() != 0 || len(tr.Snapshot()) != 0 {
+			t.Fatal("nil tracer recorded spans")
+		}
+	})
+	//fftlint:ignore floatcmp AllocsPerRun returns an exact integer count; zero means zero
+	if allocs != 0 {
+		t.Fatalf("nil-tracer path allocates %.0f times per op, want 0", allocs)
+	}
+}
+
+func TestContextCarry(t *testing.T) {
+	ctx := context.Background()
+	if FromContext(ctx) != nil {
+		t.Fatal("empty context returned a tracer")
+	}
+	if StartChild(ctx, "x") != nil {
+		t.Fatal("StartChild on empty context returned a span")
+	}
+
+	tr := New()
+	ctx = WithTracer(ctx, tr)
+	if FromContext(ctx) != tr {
+		t.Fatal("tracer did not round-trip through context")
+	}
+	root := StartChild(ctx, "root")
+	if root == nil {
+		t.Fatal("StartChild with tracer returned nil")
+	}
+	ctx = WithSpan(ctx, root)
+	child := StartChild(ctx, "child")
+	child.End()
+	root.End()
+	spans := tr.Snapshot()
+	if len(spans) != 2 || spans[1].Parent != spans[0].ID {
+		t.Fatalf("context-parented spans = %+v", spans)
+	}
+}
+
+func TestSnapshotUnfinishedSpan(t *testing.T) {
+	tr := NewWithClock(testClock(time.Millisecond))
+	tr.Start("open-ended")
+	spans := tr.Snapshot()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	if spans[0].Duration < 0 {
+		t.Fatalf("unfinished span has negative duration %v", spans[0].Duration)
+	}
+}
+
+func TestDoubleEndKeepsFirst(t *testing.T) {
+	tr := NewWithClock(testClock(time.Millisecond))
+	s := tr.Start("once")
+	s.End()
+	d1 := tr.Snapshot()[0].Duration
+	s.End()
+	if d2 := tr.Snapshot()[0].Duration; d2 != d1 {
+		t.Fatalf("second End moved duration from %v to %v", d1, d2)
+	}
+}

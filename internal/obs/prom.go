@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// PromWriter renders metrics in the Prometheus text exposition format
+// (version 0.0.4): "# HELP"/"# TYPE" headers followed by sample lines.
+// The writer is deliberately minimal — the service has a fixed, known
+// metric set — but it gets the fiddly parts right: label-value
+// escaping, float formatting (including +Inf bucket bounds), and one
+// header per family.
+//
+// Errors are sticky: the first write error is retained and returned by
+// Flush, so call sites stay linear.
+type PromWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewPromWriter wraps w.
+func NewPromWriter(w io.Writer) *PromWriter {
+	return &PromWriter{w: bufio.NewWriter(w)}
+}
+
+// Label is one name="value" pair on a sample line.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Header emits the HELP and TYPE lines of a metric family. typ is one
+// of "counter", "gauge", "histogram", "summary" or "untyped".
+func (p *PromWriter) Header(name, typ, help string) {
+	if p.err != nil {
+		return
+	}
+	var b strings.Builder
+	b.WriteString("# HELP ")
+	b.WriteString(name)
+	b.WriteByte(' ')
+	b.WriteString(escapeHelp(help))
+	b.WriteString("\n# TYPE ")
+	b.WriteString(name)
+	b.WriteByte(' ')
+	b.WriteString(typ)
+	b.WriteByte('\n')
+	_, p.err = p.w.WriteString(b.String())
+}
+
+// Sample emits one sample line: name{labels} value.
+func (p *PromWriter) Sample(name string, labels []Label, value float64) {
+	if p.err != nil {
+		return
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	if len(labels) > 0 {
+		b.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(l.Name)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(l.Value))
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(FormatValue(value))
+	b.WriteByte('\n')
+	_, p.err = p.w.WriteString(b.String())
+}
+
+// Flush writes buffered output and returns the first error encountered.
+func (p *PromWriter) Flush() error {
+	if p.err != nil {
+		return p.err
+	}
+	return p.w.Flush()
+}
+
+// FormatValue renders a sample value or bucket bound the way Prometheus
+// expects: shortest round-trip float, with infinities as +Inf/-Inf.
+func FormatValue(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format:
+// backslash, double-quote and newline.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// escapeHelp escapes HELP text: backslash and newline only (quotes are
+// legal there).
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}

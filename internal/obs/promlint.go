@@ -1,0 +1,285 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LintExposition parses a Prometheus text-format payload and returns
+// every format violation found. It is the validating half of PromWriter
+// and the engine behind cmd/promlint and the /metrics format tests.
+//
+// Checks, in the spirit of promtool's lint:
+//
+//   - every line is a comment, blank, or a well-formed sample line;
+//   - metric and label names match the Prometheus grammar;
+//   - sample values parse as floats (Inf/NaN included);
+//   - every sampled family has a preceding # TYPE (and # HELP) header,
+//     declared at most once;
+//   - no duplicate sample (same name and label set) appears twice;
+//   - histogram families are complete: _bucket samples carry an le
+//     label, cumulative bucket counts are nondecreasing within one
+//     label set, the +Inf bucket exists, and _count equals it.
+func LintExposition(r io.Reader) []error {
+	l := &promLinter{
+		typeOf:  map[string]string{},
+		helped:  map[string]bool{},
+		seen:    map[string]bool{},
+		buckets: map[string][]bucketSample{},
+		counts:  map[string]float64{},
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		l.lintLine(line, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		l.errs = append(l.errs, fmt.Errorf("read: %w", err))
+	}
+	l.finish()
+	return l.errs
+}
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// bucketSample is one _bucket line, grouped by its non-le label set.
+type bucketSample struct {
+	line  int
+	le    float64
+	count float64
+}
+
+type promLinter struct {
+	errs   []error
+	typeOf map[string]string // family -> declared TYPE
+	helped map[string]bool   // family -> saw HELP
+	seen   map[string]bool   // name+labels -> duplicate detection
+	// histogram bookkeeping, keyed by family|labels-without-le
+	buckets map[string][]bucketSample
+	counts  map[string]float64 // family|labels -> _count value
+}
+
+func (l *promLinter) errf(line int, format string, args ...any) {
+	l.errs = append(l.errs, fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...)))
+}
+
+// family maps a sample name onto its metric family: histogram and
+// summary series (_bucket, _sum, _count) belong to the base name.
+func family(name string, typeOf map[string]string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name {
+			if t, ok := typeOf[base]; ok && (t == "histogram" || t == "summary") {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+func (l *promLinter) lintLine(line int, text string) {
+	if text == "" {
+		return
+	}
+	if strings.HasPrefix(text, "#") {
+		l.lintComment(line, text)
+		return
+	}
+	name, labels, valueText, ok := splitSample(text)
+	if !ok {
+		l.errf(line, "malformed sample line %q", text)
+		return
+	}
+	if !metricNameRe.MatchString(name) {
+		l.errf(line, "invalid metric name %q", name)
+		return
+	}
+	value, err := strconv.ParseFloat(valueText, 64)
+	if err != nil {
+		l.errf(line, "metric %s: value %q is not a float", name, valueText)
+		return
+	}
+	var le string
+	rest := make([]string, 0, len(labels))
+	for _, lb := range labels {
+		if !labelNameRe.MatchString(lb.Name) {
+			l.errf(line, "metric %s: invalid label name %q", name, lb.Name)
+		}
+		if lb.Name == "le" {
+			le = lb.Value
+			continue
+		}
+		rest = append(rest, lb.Name+"="+lb.Value)
+	}
+	sort.Strings(rest)
+
+	fam := family(name, l.typeOf)
+	if _, ok := l.typeOf[fam]; !ok {
+		l.errf(line, "metric %s has no preceding # TYPE %s line", name, fam)
+	} else if !l.helped[fam] {
+		l.errf(line, "metric %s has no preceding # HELP %s line", name, fam)
+	}
+
+	dupKey := name + "{" + strings.Join(rest, ",") + ",le=" + le + "}"
+	if l.seen[dupKey] {
+		l.errf(line, "duplicate sample %s", dupKey)
+	}
+	l.seen[dupKey] = true
+
+	if l.typeOf[fam] == "histogram" {
+		key := fam + "|" + strings.Join(rest, ",")
+		switch {
+		case strings.HasSuffix(name, "_bucket"):
+			if le == "" {
+				l.errf(line, "histogram bucket %s has no le label", name)
+				return
+			}
+			bound, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				l.errf(line, "histogram bucket %s: le %q is not a float", name, le)
+				return
+			}
+			l.buckets[key] = append(l.buckets[key], bucketSample{line: line, le: bound, count: value})
+		case strings.HasSuffix(name, "_count"):
+			l.counts[key] = value
+		}
+	}
+}
+
+func (l *promLinter) lintComment(line int, text string) {
+	fields := strings.SplitN(text, " ", 4)
+	if len(fields) < 2 {
+		return // bare comment, legal
+	}
+	switch fields[1] {
+	case "TYPE":
+		if len(fields) < 4 {
+			l.errf(line, "malformed TYPE comment %q", text)
+			return
+		}
+		name, typ := fields[2], strings.TrimSpace(fields[3])
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			l.errf(line, "unknown metric type %q for %s", typ, name)
+		}
+		if _, dup := l.typeOf[name]; dup {
+			l.errf(line, "duplicate # TYPE for %s", name)
+		}
+		l.typeOf[name] = typ
+	case "HELP":
+		if len(fields) < 3 {
+			l.errf(line, "malformed HELP comment %q", text)
+			return
+		}
+		name := fields[2]
+		if l.helped[name] {
+			l.errf(line, "duplicate # HELP for %s", name)
+		}
+		l.helped[name] = true
+	}
+}
+
+// finish runs the whole-payload checks that need every line first:
+// bucket monotonicity, +Inf presence, and _count consistency.
+func (l *promLinter) finish() {
+	keys := make([]string, 0, len(l.buckets))
+	for k := range l.buckets {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		bs := l.buckets[key]
+		sort.Slice(bs, func(i, j int) bool { return bs[i].le < bs[j].le })
+		hasInf := false
+		for i, b := range bs {
+			if i > 0 && b.count < bs[i-1].count {
+				l.errf(b.line, "histogram %s: bucket le=%s count %s < previous bucket's %s (buckets must be cumulative)",
+					key, FormatValue(b.le), FormatValue(b.count), FormatValue(bs[i-1].count))
+			}
+			if math.IsInf(b.le, 1) {
+				hasInf = true
+			}
+		}
+		if !hasInf {
+			l.errs = append(l.errs, fmt.Errorf("histogram %s: missing le=\"+Inf\" bucket", key))
+			continue
+		}
+		//fftlint:ignore floatcmp _count and the +Inf bucket are integer counters parsed from the same exposition; any difference is a real error
+		if count, ok := l.counts[key]; ok && count != bs[len(bs)-1].count {
+			l.errs = append(l.errs, fmt.Errorf("histogram %s: _count %s != +Inf bucket %s",
+				key, FormatValue(count), FormatValue(bs[len(bs)-1].count)))
+		}
+	}
+}
+
+// splitSample parses `name{l1="v1",...} value` into its parts. It
+// handles escaped quotes and backslashes inside label values.
+func splitSample(text string) (name string, labels []Label, value string, ok bool) {
+	i := strings.IndexAny(text, "{ ")
+	if i < 0 {
+		return "", nil, "", false
+	}
+	name = text[:i]
+	rest := text[i:]
+	if rest[0] == '{' {
+		rest = rest[1:]
+		for {
+			rest = strings.TrimLeft(rest, ", ")
+			if rest == "" {
+				return "", nil, "", false
+			}
+			if rest[0] == '}' {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.Index(rest, "=")
+			if eq < 0 || len(rest) < eq+2 || rest[eq+1] != '"' {
+				return "", nil, "", false
+			}
+			lname := rest[:eq]
+			rest = rest[eq+2:]
+			var val strings.Builder
+			closed := false
+			for j := 0; j < len(rest); j++ {
+				c := rest[j]
+				if c == '\\' && j+1 < len(rest) {
+					j++
+					switch rest[j] {
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						val.WriteByte(rest[j])
+					}
+					continue
+				}
+				if c == '"' {
+					rest = rest[j+1:]
+					closed = true
+					break
+				}
+				val.WriteByte(c)
+			}
+			if !closed {
+				return "", nil, "", false
+			}
+			labels = append(labels, Label{Name: lname, Value: val.String()})
+		}
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional timestamp
+		return "", nil, "", false
+	}
+	return name, labels, fields[0], true
+}

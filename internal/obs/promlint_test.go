@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// lintString is a test shorthand.
+func lintString(s string) []error {
+	return LintExposition(strings.NewReader(s))
+}
+
+func TestLintAcceptsWellFormedExposition(t *testing.T) {
+	const good = `# HELP fftd_uptime_seconds Seconds since the daemon started.
+# TYPE fftd_uptime_seconds gauge
+fftd_uptime_seconds 12.5
+# HELP fftd_requests_total Requests served, by route.
+# TYPE fftd_requests_total counter
+fftd_requests_total{route="GET /metrics"} 3
+fftd_requests_total{route="POST /v1/fft"} 10
+# HELP fftd_request_duration_seconds Request latency.
+# TYPE fftd_request_duration_seconds histogram
+fftd_request_duration_seconds_bucket{route="POST /v1/fft",le="0.001"} 4
+fftd_request_duration_seconds_bucket{route="POST /v1/fft",le="0.01"} 9
+fftd_request_duration_seconds_bucket{route="POST /v1/fft",le="+Inf"} 10
+fftd_request_duration_seconds_sum{route="POST /v1/fft"} 0.042
+fftd_request_duration_seconds_count{route="POST /v1/fft"} 10
+`
+	if errs := lintString(good); len(errs) != 0 {
+		t.Fatalf("well-formed exposition flagged: %v", errs)
+	}
+}
+
+func TestLintFindsViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string // substring of some reported error
+	}{
+		{"missing type", "foo_total 1\n", "no preceding # TYPE"},
+		{"missing help", "# TYPE foo_total counter\nfoo_total 1\n", "no preceding # HELP"},
+		{"bad metric name", "# HELP 1bad x\n# TYPE 1bad gauge\n1bad 1\n", "invalid metric name"},
+		{"bad value", "# HELP foo x\n# TYPE foo gauge\nfoo twelve\n", "not a float"},
+		{"duplicate sample", "# HELP foo x\n# TYPE foo gauge\nfoo 1\nfoo 2\n", "duplicate sample"},
+		{"unknown type", "# HELP foo x\n# TYPE foo banana\nfoo 1\n", "unknown metric type"},
+		{"bad label name", "# HELP foo x\n# TYPE foo gauge\nfoo{0l=\"v\"} 1\n", "invalid label name"},
+		{"unterminated label", "# HELP foo x\n# TYPE foo gauge\nfoo{l=\"v} 1\n", "malformed sample line"},
+		{
+			"non-cumulative buckets",
+			"# HELP h x\n# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\n",
+			"must be cumulative",
+		},
+		{
+			"missing inf bucket",
+			"# HELP h x\n# TYPE h histogram\nh_bucket{le=\"1\"} 5\n",
+			"missing le=\"+Inf\"",
+		},
+		{
+			"count mismatch",
+			"# HELP h x\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_count 7\n",
+			"_count 7 != +Inf bucket 5",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			errs := lintString(c.in)
+			for _, err := range errs {
+				if strings.Contains(err.Error(), c.want) {
+					return
+				}
+			}
+			t.Fatalf("no error containing %q; got %v", c.want, errs)
+		})
+	}
+}
+
+// TestWriterLintsClean closes the loop: anything PromWriter emits must
+// pass LintExposition, including escapes and infinite bucket bounds.
+func TestWriterLintsClean(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewPromWriter(&buf)
+	p.Header("svc_uptime_seconds", "gauge", "Uptime.")
+	p.Sample("svc_uptime_seconds", nil, 42.25)
+	p.Header("svc_requests_total", "counter", `Requests, with "quotes" and a \ slash.`)
+	p.Sample("svc_requests_total", []Label{{Name: "route", Value: `weird"value\with` + "\nnewline"}}, 7)
+	p.Header("svc_latency_seconds", "histogram", "Latency.")
+	cum := []float64{3, 8, 12}
+	bounds := []float64{0.001, 0.1, math.Inf(1)}
+	for i, b := range bounds {
+		p.Sample("svc_latency_seconds_bucket", []Label{{Name: "le", Value: FormatValue(b)}}, cum[i])
+	}
+	p.Sample("svc_latency_seconds_sum", nil, 0.5)
+	p.Sample("svc_latency_seconds_count", nil, 12)
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if errs := LintExposition(&buf); len(errs) != 0 {
+		t.Fatalf("PromWriter output failed its own lint: %v", errs)
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := map[float64]string{
+		0:            "0",
+		10:           "10",
+		0.25:         "0.25",
+		math.Inf(1):  "+Inf",
+		math.Inf(-1): "-Inf",
+	}
+	for in, want := range cases {
+		if got := FormatValue(in); got != want {
+			t.Errorf("FormatValue(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/fft"
 	"repro/internal/layout"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 )
 
 // Result reports one distributed FFT execution.
@@ -39,6 +40,12 @@ type Options struct {
 	// shared cache (internal/plancache) so repeated simulations of one
 	// size reuse the table.
 	Plans fft.Source
+	// Tracer, when non-nil, attaches timed spans to every schedule phase:
+	// plan build, load, each butterfly rank, the bit-reversal route and
+	// unload. Pass the same tracer in the machine's netsim.Config.Obs and
+	// the machine-level operation spans nest under the rank spans. The
+	// nil default keeps the hot path allocation-free.
+	Tracer *obs.Tracer
 }
 
 // Run executes the N-point FFT of x (N = m.Nodes(), one sample per

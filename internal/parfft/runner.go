@@ -7,6 +7,7 @@ import (
 	"repro/internal/fft"
 	"repro/internal/layout"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/permute"
 )
 
@@ -59,10 +60,16 @@ func NewRunner(m netsim.Machine[complex128], opts Options) (*Runner, error) {
 	if plans == nil {
 		plans = fft.FreshSource()
 	}
+	psp := opts.Tracer.StartUnder("plan build").SetCat(obs.CatPlan)
 	plan, err := plans.Plan(n)
 	if err != nil {
+		psp.End()
 		return nil, err
 	}
+	if opts.Tracer != nil {
+		psp.SetDetail(fmt.Sprintf("n=%d", n))
+	}
+	psp.End()
 
 	lp := layout.Permutation(lay, n)
 	if err := lp.Validate(); err != nil {
@@ -121,17 +128,48 @@ func (r *Runner) runInto(dst, x []complex128) (*Result, error) {
 	m := r.m
 	lp := r.lp
 
+	// The span skeleton of one run: a root span, a child per schedule
+	// phase, and — via the tracer's implicit parent — the machine-level
+	// netsim spans nested under the phase that triggered them. Every
+	// tracer call no-ops on the nil default, so the untraced path costs
+	// one pointer comparison per phase and allocates nothing.
+	tr := r.opts.Tracer
+	run := tr.StartUnder("fft run").SetCat(obs.CatParfft)
+	if tr != nil {
+		run.SetDetail(fmt.Sprintf("n=%d on %s", n, m.Name()))
+	}
+	defer run.End()
+	prevParent := tr.SetParent(run)
+	defer tr.SetParent(prevParent)
+
 	// Load: element e lives at node lp[e].
+	lsp := tr.StartUnder("load").SetCat(obs.CatParfft)
 	vals := m.Values()
 	for e := 0; e < n; e++ {
 		vals[lp[e]] = x[e]
 	}
 	m.ResetStats()
+	lsp.End()
 
-	// Butterfly ranks: DIF pairs element bit `stage` descending.
+	// Butterfly ranks: DIF pairs element bit `stage` descending. Each
+	// rank span carries the machine's step delta for that rank, so the
+	// CatParfft step sum equals the CatNetsim one (and the trace.Recorder
+	// total) even on machines whose exchange cost varies by bit.
 	for stage := r.logn - 1; stage >= 0; stage-- {
 		r.stage = stage
-		if err := m.ExchangeCompute(r.lay.NodeBit(stage), r.cb); err != nil {
+		var rsp *obs.Span
+		var before int
+		if tr != nil {
+			before = m.Stats().Steps
+			rsp = run.Child(fmt.Sprintf("butterfly rank %d", stage)).SetCat(obs.CatParfft)
+			tr.SetParent(rsp)
+		}
+		err := m.ExchangeCompute(r.lay.NodeBit(stage), r.cb)
+		if tr != nil {
+			rsp.AddSteps(m.Stats().Steps - before).End()
+			tr.SetParent(run)
+		}
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -141,6 +179,11 @@ func (r *Runner) runInto(dst, x []complex128) (*Result, error) {
 	// Bit-reverse in element space, then unload.
 	reversalSteps := 0
 	if !r.opts.SkipBitReversal {
+		var bsp *obs.Span
+		if tr != nil {
+			bsp = run.Child("bit-reversal").SetCat(obs.CatParfft)
+			tr.SetParent(bsp)
+		}
 		var err error
 		switch mm := m.(type) {
 		case *netsim.Hypercube[complex128]:
@@ -152,11 +195,16 @@ func (r *Runner) runInto(dst, x []complex128) (*Result, error) {
 		default:
 			reversalSteps, err = m.Route(r.target)
 		}
+		if tr != nil {
+			bsp.AddSteps(reversalSteps).End()
+			tr.SetParent(run)
+		}
 		if err != nil {
 			return nil, err
 		}
 	}
 
+	usp := tr.StartUnder("unload").SetCat(obs.CatParfft)
 	vals = m.Values()
 	if r.opts.SkipBitReversal {
 		for e := 0; e < n; e++ {
@@ -167,6 +215,7 @@ func (r *Runner) runInto(dst, x []complex128) (*Result, error) {
 			dst[e] = vals[lp[e]]
 		}
 	}
+	usp.End()
 	return &Result{
 		Output:           dst,
 		ButterflySteps:   butterflySteps,

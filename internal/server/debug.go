@@ -1,0 +1,87 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// CapturedTrace is one request's span tree as held by the slow-trace
+// ring and served at GET /v1/debug/slow: enough to see where a slow
+// request spent its time without re-running it under a profiler.
+type CapturedTrace struct {
+	RequestID  string         `json:"request_id"`
+	Route      string         `json:"route"`
+	Status     int            `json:"status"`
+	Start      time.Time      `json:"start"`
+	DurationMS float64        `json:"duration_ms"`
+	Sampled    bool           `json:"sampled,omitempty"` // captured by sampling, not slowness
+	Spans      []obs.SpanData `json:"spans"`
+}
+
+// SlowTraces is the GET /v1/debug/slow body.
+type SlowTraces struct {
+	// Captured counts every capture since start; the ring holds only the
+	// most recent ones.
+	Captured int64           `json:"captured"`
+	Traces   []CapturedTrace `json:"traces"`
+}
+
+// slowRing is a fixed-size ring of captured request traces, newest
+// winning. Captures happen off the request's critical path (after the
+// response is written), so a mutex is plenty.
+type slowRing struct {
+	mu   sync.Mutex
+	buf  []CapturedTrace
+	next int
+	n    int // live entries, <= len(buf)
+}
+
+func newSlowRing(size int) *slowRing {
+	return &slowRing{buf: make([]CapturedTrace, size)}
+}
+
+func (r *slowRing) add(t CapturedTrace) {
+	r.mu.Lock()
+	r.buf[r.next] = t
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// list returns the captured traces, newest first.
+func (r *slowRing) list() []CapturedTrace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]CapturedTrace, 0, r.n)
+	for i := 1; i <= r.n; i++ {
+		out = append(out, r.buf[(r.next-i+len(r.buf))%len(r.buf)])
+	}
+	return out
+}
+
+// requestIDs hands out process-unique request IDs: a random per-process
+// prefix (so IDs from successive daemon runs never collide in logs)
+// plus a sequence number.
+type requestIDs struct {
+	prefix string
+	mu     sync.Mutex
+	seq    uint64
+}
+
+func newRequestIDs() *requestIDs {
+	return &requestIDs{prefix: fmt.Sprintf("%08x", rand.Uint32())}
+}
+
+func (g *requestIDs) next() string {
+	g.mu.Lock()
+	g.seq++
+	seq := g.seq
+	g.mu.Unlock()
+	return fmt.Sprintf("%s-%06d", g.prefix, seq)
+}

@@ -1,18 +1,21 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"math/rand"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 
 	"repro/internal/bits"
 	"repro/internal/fft"
 	"repro/internal/hardware"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/parfft"
 	"repro/internal/perfmodel"
 	"repro/internal/permute"
@@ -82,7 +85,12 @@ type FFTResponse struct {
 }
 
 // runTransform executes one transform against the shared plan cache.
-func (s *Server) runTransform(spec TransformSpec) (TransformResult, error) {
+// The span (traced requests only) carries the transform kind and size;
+// untraced requests get the nil-span no-op path, keeping the
+// plancache-hit serving path allocation-free.
+func (s *Server) runTransform(ctx context.Context, spec TransformSpec) (TransformResult, error) {
+	sp := obs.StartChild(ctx, "transform").SetCat(obs.CatCompute)
+	defer sp.End()
 	switch {
 	case len(spec.Input) > 0 && len(spec.RealInput) > 0:
 		return TransformResult{}, badRequest("transform sets both input and real_input")
@@ -98,6 +106,9 @@ func (s *Server) runTransform(spec TransformSpec) (TransformResult, error) {
 		if err != nil {
 			return TransformResult{}, badRequest("real plan: %v", err)
 		}
+		if sp != nil {
+			sp.SetDetail(fmt.Sprintf("real n=%d", n))
+		}
 		return TransformResult{N: n, Output: fromComplex(p.Forward(spec.RealInput))}, nil
 	case len(spec.Input) > 0:
 		n := len(spec.Input)
@@ -110,6 +121,9 @@ func (s *Server) runTransform(spec TransformSpec) (TransformResult, error) {
 		}
 		if spec.Inverse && spec.NoReorder {
 			return TransformResult{}, badRequest("inverse and no_reorder are mutually exclusive")
+		}
+		if sp != nil {
+			sp.SetDetail(fmt.Sprintf("complex n=%d inverse=%v", n, spec.Inverse))
 		}
 		// Pooled scratch: the wire-format conversions own the only
 		// per-request allocations left on this path.
@@ -167,7 +181,7 @@ func (s *Server) handleFFT(w http.ResponseWriter, r *http.Request) {
 			defer wg.Done()
 			spec := specs[i]
 			errs[i] = s.pool.do(r.Context(), func() {
-				res, err := s.runTransform(spec)
+				res, err := s.runTransform(r.Context(), spec)
 				if err != nil {
 					res = TransformResult{Error: err.Error()}
 				} else {
@@ -264,11 +278,14 @@ type SimulateResponse struct {
 	Coalesced bool `json:"coalesced,omitempty"`
 }
 
-// buildMachine constructs the simulated machine for a request.
-func buildMachine(network string, n int, wrap bool) (netsim.Machine[complex128], error) {
+// buildMachine constructs the simulated machine for a request. A
+// non-nil tracer attaches machine-operation spans to the request's
+// span tree.
+func buildMachine(network string, n int, wrap bool, tr *obs.Tracer) (netsim.Machine[complex128], error) {
 	if !bits.IsPow2(n) || n < 4 {
 		return nil, badRequest("n = %d must be a power of two >= 4", n)
 	}
+	cfg := netsim.Config{Obs: tr}
 	switch network {
 	case "mesh", "hypermesh":
 		side := 1
@@ -279,29 +296,32 @@ func buildMachine(network string, n int, wrap bool) (netsim.Machine[complex128],
 			return nil, badRequest("%s needs a square n, got %d", network, n)
 		}
 		if network == "mesh" {
-			return netsim.NewMesh[complex128](side, wrap, netsim.Config{})
+			return netsim.NewMesh[complex128](side, wrap, cfg)
 		}
-		return netsim.NewHypermesh[complex128](side, 2, netsim.Config{})
+		return netsim.NewHypermesh[complex128](side, 2, cfg)
 	case "hypercube":
-		return netsim.NewHypercube[complex128](bits.Log2(n), netsim.Config{})
+		return netsim.NewHypercube[complex128](bits.Log2(n), cfg)
 	default:
 		return nil, badRequest("unknown network %q", network)
 	}
 }
 
 // runSimulation executes one scenario; it is the flight-group leader's
-// workload and runs on the worker pool.
-func (s *Server) runSimulation(req SimulateRequest) (*SimulateResponse, error) {
+// workload and runs on the worker pool. The leader's tracer (when the
+// request is traced) follows the machine down into netsim and parfft,
+// so a slow simulation's capture shows per-rank and per-route spans.
+func (s *Server) runSimulation(ctx context.Context, req SimulateRequest) (*SimulateResponse, error) {
 	if req.N > s.cfg.MaxSimNodes {
 		return nil, badRequest("n = %d exceeds simulation limit %d", req.N, s.cfg.MaxSimNodes)
 	}
+	tr := obs.FromContext(ctx)
 	rng := rand.New(rand.NewSource(req.Seed))
 	resp := &SimulateResponse{
 		Network: req.Network, N: req.N, Scenario: req.Scenario, Seed: req.Seed,
 	}
 	switch req.Scenario {
 	case "fft":
-		m, err := buildMachine(req.Network, req.N, *req.Wrap)
+		m, err := buildMachine(req.Network, req.N, *req.Wrap, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -312,6 +332,7 @@ func (s *Server) runSimulation(req SimulateRequest) (*SimulateResponse, error) {
 		res, err := parfft.Run(m, x, parfft.Options{
 			SkipBitReversal: req.SkipBitReversal,
 			Plans:           s.cache.Source(),
+			Tracer:          tr,
 		})
 		if err != nil {
 			return nil, err
@@ -344,7 +365,7 @@ func (s *Server) runSimulation(req SimulateRequest) (*SimulateResponse, error) {
 		return resp, nil
 
 	case "bitreversal", "random":
-		m, err := buildMachine(req.Network, req.N, *req.Wrap)
+		m, err := buildMachine(req.Network, req.N, *req.Wrap, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -421,7 +442,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		var resp *SimulateResponse
 		var runErr error
 		if poolErr := s.pool.do(r.Context(), func() {
-			resp, runErr = s.runSimulation(req)
+			resp, runErr = s.runSimulation(r.Context(), req)
 		}); poolErr != nil {
 			return nil, poolErr
 		}
@@ -558,6 +579,29 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, HealthResponse{Status: "ok"})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// wantsPromText decides the /metrics representation from the Accept
+// header: any explicit preference for a text or OpenMetrics form gets
+// the Prometheus exposition; everything else (including no header and
+// */*) keeps the original JSON body.
+func wantsPromText(accept string) bool {
+	return strings.Contains(accept, "text/plain") ||
+		strings.Contains(accept, "application/openmetrics-text")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if wantsPromText(r.Header.Get("Accept")) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.metrics.writePrometheus(w, s.metrics.snapshot(s.cache, s.pool))
+		return
+	}
 	writeJSON(w, s.metrics.snapshot(s.cache, s.pool))
+}
+
+// handleSlow serves the slow-trace ring: the most recent captured
+// request span trees, newest first.
+func (s *Server) handleSlow(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, SlowTraces{
+		Captured: s.metrics.slowCaptured.Load(),
+		Traces:   s.slow.list(),
+	})
 }

@@ -10,14 +10,74 @@ import (
 	"repro/internal/trace"
 )
 
-// Metrics holds the daemon's expvar-style counters: request counts per
-// route, response classes, work counters, plan-cache statistics, queue
-// depth and a latency histogram. GET /metrics renders a Snapshot.
+// latencyBounds are the cumulative upper bounds (seconds) of the
+// per-route Prometheus latency histogram, spanning 100µs to 10s — the
+// range between a plancache-hit transform and a near-timeout
+// simulation. The implicit +Inf bucket is added at exposition time.
+var latencyBounds = [numLatencyBounds]float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+const numLatencyBounds = 16
+
+// bucketHist is a fixed-bound cumulative histogram in the Prometheus
+// style: counts[i] counts observations <= latencyBounds[i]; the
+// overflow slot counts the rest. All fields are atomics so observation
+// never takes a lock.
+type bucketHist struct {
+	counts [numLatencyBounds + 1]atomic.Int64
+	sumNs  atomic.Int64
+	count  atomic.Int64
+}
+
+func (h *bucketHist) observe(d time.Duration) {
+	sec := d.Seconds()
+	i := sort.SearchFloat64s(latencyBounds[:], sec)
+	// SearchFloat64s returns the first i with bounds[i] >= sec, which is
+	// exactly the Prometheus le-bucket; equality lands in the bucket.
+	h.counts[i].Add(1)
+	h.sumNs.Add(int64(d))
+	h.count.Add(1)
+}
+
+// bucketSnapshot is a consistent-enough read for exposition: cumulative
+// counts per bound plus the +Inf total.
+type bucketSnapshot struct {
+	cumulative [numLatencyBounds + 1]int64
+	sumSeconds float64
+	count      int64
+}
+
+func (h *bucketHist) snapshot() bucketSnapshot {
+	var s bucketSnapshot
+	running := int64(0)
+	for i := range h.counts {
+		running += h.counts[i].Load()
+		s.cumulative[i] = running
+	}
+	s.sumSeconds = float64(h.sumNs.Load()) / 1e9
+	s.count = h.count.Load()
+	return s
+}
+
+// routeMetrics is the per-route slice of the metrics: a request counter
+// and a latency bucket histogram.
+type routeMetrics struct {
+	count   atomic.Int64
+	latency bucketHist
+}
+
+// Metrics holds the daemon's expvar-style counters: request counts and
+// latency buckets per route, response classes, work counters,
+// plan-cache statistics, queue depth and a windowed latency histogram
+// for quantiles. GET /metrics renders a Snapshot (JSON) or a Prometheus
+// text exposition, depending on the Accept header.
 type Metrics struct {
 	start time.Time
 
-	mu       sync.Mutex
-	requests map[string]*atomic.Int64 // by route pattern
+	mu     sync.Mutex
+	routes map[string]*routeMetrics // by route pattern
 
 	ok2xx, client4xx, server5xx atomic.Int64
 
@@ -26,34 +86,37 @@ type Metrics struct {
 	coalesced   atomic.Int64 // requests that shared another's flight
 	drained     atomic.Int64 // requests rejected during drain
 
+	slowCaptured atomic.Int64 // requests captured into the slow-trace ring
+
 	latency *trace.Histogram
 }
 
 func newMetrics(latencyWindow int) *Metrics {
 	return &Metrics{
-		start:    time.Now(),
-		requests: make(map[string]*atomic.Int64),
-		latency:  trace.NewHistogram(latencyWindow),
+		start:   time.Now(),
+		routes:  make(map[string]*routeMetrics),
+		latency: trace.NewHistogram(latencyWindow),
 	}
 }
 
-// counter returns the per-route request counter, creating it on first
-// use.
-func (m *Metrics) counter(route string) *atomic.Int64 {
+// route returns the per-route metrics, creating them on first use.
+func (m *Metrics) route(route string) *routeMetrics {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	c, ok := m.requests[route]
+	rm, ok := m.routes[route]
 	if !ok {
-		c = &atomic.Int64{}
-		m.requests[route] = c
+		rm = &routeMetrics{}
+		m.routes[route] = rm
 	}
-	return c
+	return rm
 }
 
 // observe records one finished request: its route, response status
 // class and wall time.
 func (m *Metrics) observe(route string, status int, elapsed time.Duration) {
-	m.counter(route).Add(1)
+	rm := m.route(route)
+	rm.count.Add(1)
+	rm.latency.observe(elapsed)
 	switch {
 	case status >= 500:
 		m.server5xx.Add(1)
@@ -74,6 +137,7 @@ type Snapshot struct {
 	Simulations   int64                   `json:"simulations"`
 	Coalesced     int64                   `json:"coalesced"`
 	Drained       int64                   `json:"drained"`
+	SlowCaptured  int64                   `json:"slow_captured"`
 	PlanCache     plancache.Stats         `json:"plan_cache"`
 	Queue         poolStats               `json:"queue"`
 	Latency       trace.HistogramSnapshot `json:"latency"`
@@ -81,6 +145,10 @@ type Snapshot struct {
 }
 
 // snapshot gathers every counter consistently enough for monitoring.
+// RouteOrder is derived inside the same critical section that reads the
+// route map, so the sorted order always matches the Requests keys even
+// if a first-seen route is racing in (the map read and the key listing
+// cannot interleave with an insertion).
 func (m *Metrics) snapshot(cache *plancache.Cache, pool *workerPool) Snapshot {
 	s := Snapshot{
 		UptimeSeconds: time.Since(m.start).Seconds(),
@@ -90,20 +158,19 @@ func (m *Metrics) snapshot(cache *plancache.Cache, pool *workerPool) Snapshot {
 			"4xx": m.client4xx.Load(),
 			"5xx": m.server5xx.Load(),
 		},
-		Transforms:  m.transforms.Load(),
-		Simulations: m.simulations.Load(),
-		Coalesced:   m.coalesced.Load(),
-		Drained:     m.drained.Load(),
-		Latency:     m.latency.Snapshot(),
+		Transforms:   m.transforms.Load(),
+		Simulations:  m.simulations.Load(),
+		Coalesced:    m.coalesced.Load(),
+		Drained:      m.drained.Load(),
+		SlowCaptured: m.slowCaptured.Load(),
+		Latency:      m.latency.Snapshot(),
 	}
 	m.mu.Lock()
-	for route, c := range m.requests {
-		s.Requests[route] = c.Load()
-	}
-	m.mu.Unlock()
-	for route := range s.Requests {
+	for route, rm := range m.routes {
+		s.Requests[route] = rm.count.Load()
 		s.RouteOrder = append(s.RouteOrder, route)
 	}
+	m.mu.Unlock()
 	sort.Strings(s.RouteOrder)
 	if cache != nil {
 		s.PlanCache = cache.Stats()
@@ -112,4 +179,18 @@ func (m *Metrics) snapshot(cache *plancache.Cache, pool *workerPool) Snapshot {
 		s.Queue = pool.stats()
 	}
 	return s
+}
+
+// routeLatencies returns each route's bucket snapshot in sorted route
+// order, for deterministic Prometheus exposition.
+func (m *Metrics) routeLatencies() (order []string, hists map[string]bucketSnapshot) {
+	hists = map[string]bucketSnapshot{}
+	m.mu.Lock()
+	for route, rm := range m.routes {
+		order = append(order, route)
+		hists[route] = rm.latency.snapshot()
+	}
+	m.mu.Unlock()
+	sort.Strings(order)
+	return order, hists
 }

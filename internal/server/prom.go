@@ -1,0 +1,107 @@
+package server
+
+import (
+	"io"
+	"runtime"
+
+	"repro/internal/obs"
+)
+
+// writePrometheus renders the full metrics surface in Prometheus text
+// exposition format 0.0.4: the daemon counters of Snapshot, per-route
+// latency histograms with cumulative le buckets, plan-cache and
+// worker-pool gauges, and the Go runtime gauges (goroutines, heap, GC
+// pause) a dashboard needs next to service latency. Families and label
+// sets are emitted in sorted route order, so consecutive scrapes of an
+// idle daemon are byte-identical.
+func (m *Metrics) writePrometheus(w io.Writer, s Snapshot) error {
+	pw := obs.NewPromWriter(w)
+
+	pw.Header("fftd_uptime_seconds", "gauge", "Seconds since the daemon started.")
+	pw.Sample("fftd_uptime_seconds", nil, s.UptimeSeconds)
+
+	pw.Header("fftd_requests_total", "counter", "HTTP requests served, by route pattern.")
+	for _, route := range s.RouteOrder {
+		pw.Sample("fftd_requests_total", []obs.Label{{Name: "route", Value: route}}, float64(s.Requests[route]))
+	}
+
+	pw.Header("fftd_responses_total", "counter", "HTTP responses, by status class.")
+	for _, class := range []string{"2xx", "4xx", "5xx"} {
+		pw.Sample("fftd_responses_total", []obs.Label{{Name: "class", Value: class}}, float64(s.Responses[class]))
+	}
+
+	pw.Header("fftd_transforms_total", "counter", "Individual FFT transforms served.")
+	pw.Sample("fftd_transforms_total", nil, float64(s.Transforms))
+	pw.Header("fftd_simulations_total", "counter", "Simulation runs executed (coalesced followers excluded).")
+	pw.Sample("fftd_simulations_total", nil, float64(s.Simulations))
+	pw.Header("fftd_coalesced_total", "counter", "Requests served by another identical in-flight execution.")
+	pw.Sample("fftd_coalesced_total", nil, float64(s.Coalesced))
+	pw.Header("fftd_drained_total", "counter", "Requests rejected because the server was draining.")
+	pw.Sample("fftd_drained_total", nil, float64(s.Drained))
+	pw.Header("fftd_slow_traces_total", "counter", "Requests captured into the slow-trace ring.")
+	pw.Sample("fftd_slow_traces_total", nil, float64(s.SlowCaptured))
+
+	pw.Header("fftd_plan_cache_hits_total", "counter", "Plan cache hits.")
+	pw.Sample("fftd_plan_cache_hits_total", nil, float64(s.PlanCache.Hits))
+	pw.Header("fftd_plan_cache_misses_total", "counter", "Plan cache misses.")
+	pw.Sample("fftd_plan_cache_misses_total", nil, float64(s.PlanCache.Misses))
+	pw.Header("fftd_plan_cache_evictions_total", "counter", "Plans evicted from the cache.")
+	pw.Sample("fftd_plan_cache_evictions_total", nil, float64(s.PlanCache.Evictions))
+	pw.Header("fftd_plan_cache_size", "gauge", "Plans currently cached.")
+	pw.Sample("fftd_plan_cache_size", nil, float64(s.PlanCache.Size))
+	pw.Header("fftd_plan_cache_capacity", "gauge", "Plan cache capacity.")
+	pw.Sample("fftd_plan_cache_capacity", nil, float64(s.PlanCache.Capacity))
+	pw.Header("fftd_plan_cache_hit_ratio", "gauge", "Hits / lookups since start (0 when no lookups).")
+	ratio := 0.0
+	if lookups := s.PlanCache.Hits + s.PlanCache.Misses; lookups > 0 {
+		ratio = float64(s.PlanCache.Hits) / float64(lookups)
+	}
+	pw.Sample("fftd_plan_cache_hit_ratio", nil, ratio)
+
+	pw.Header("fftd_pool_workers", "gauge", "Worker pool size.")
+	pw.Sample("fftd_pool_workers", nil, float64(s.Queue.Workers))
+	pw.Header("fftd_pool_queue_capacity", "gauge", "Worker pool queue capacity.")
+	pw.Sample("fftd_pool_queue_capacity", nil, float64(s.Queue.Capacity))
+	pw.Header("fftd_pool_queue_depth", "gauge", "Jobs waiting for a worker.")
+	pw.Sample("fftd_pool_queue_depth", nil, float64(s.Queue.Queued))
+	pw.Header("fftd_pool_active", "gauge", "Jobs currently executing.")
+	pw.Sample("fftd_pool_active", nil, float64(s.Queue.Active))
+
+	// Per-route latency histogram with the fixed cumulative bounds of
+	// latencyBounds plus the mandatory +Inf bucket.
+	order, hists := m.routeLatencies()
+	pw.Header("fftd_request_duration_seconds", "histogram", "Request wall time by route.")
+	for _, route := range order {
+		h := hists[route]
+		rl := obs.Label{Name: "route", Value: route}
+		for i, le := range latencyBounds {
+			pw.Sample("fftd_request_duration_seconds_bucket",
+				[]obs.Label{rl, {Name: "le", Value: obs.FormatValue(le)}}, float64(h.cumulative[i]))
+		}
+		pw.Sample("fftd_request_duration_seconds_bucket",
+			[]obs.Label{rl, {Name: "le", Value: "+Inf"}}, float64(h.cumulative[len(latencyBounds)]))
+		pw.Sample("fftd_request_duration_seconds_sum", []obs.Label{rl}, h.sumSeconds)
+		pw.Sample("fftd_request_duration_seconds_count", []obs.Label{rl}, float64(h.count))
+	}
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	pw.Header("go_goroutines", "gauge", "Number of live goroutines.")
+	pw.Sample("go_goroutines", nil, float64(runtime.NumGoroutine()))
+	pw.Header("go_memstats_heap_alloc_bytes", "gauge", "Bytes of allocated heap objects.")
+	pw.Sample("go_memstats_heap_alloc_bytes", nil, float64(ms.HeapAlloc))
+	pw.Header("go_memstats_heap_objects", "gauge", "Number of allocated heap objects.")
+	pw.Sample("go_memstats_heap_objects", nil, float64(ms.HeapObjects))
+	pw.Header("go_gc_cycles_total", "counter", "Completed GC cycles.")
+	pw.Sample("go_gc_cycles_total", nil, float64(ms.NumGC))
+	pw.Header("go_gc_pause_seconds_total", "counter", "Cumulative GC stop-the-world pause time.")
+	pw.Sample("go_gc_pause_seconds_total", nil, float64(ms.PauseTotalNs)/1e9)
+	pw.Header("go_gc_pause_last_seconds", "gauge", "Duration of the most recent GC pause.")
+	last := 0.0
+	if ms.NumGC > 0 {
+		last = float64(ms.PauseNs[(ms.NumGC+255)%256]) / 1e9
+	}
+	pw.Sample("go_gc_pause_last_seconds", nil, last)
+
+	return pw.Flush()
+}

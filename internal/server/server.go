@@ -19,10 +19,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/plancache"
 )
 
@@ -45,6 +48,21 @@ type Config struct {
 	// LatencyWindow is the latency histogram's sample window; 0 means
 	// trace.DefaultHistogramWindow.
 	LatencyWindow int
+	// Logger, when non-nil, receives one structured record per finished
+	// request (id, route, status, elapsed). Nil disables request logging.
+	Logger *slog.Logger
+	// SlowThreshold enables span tracing on compute-bearing routes:
+	// requests slower than the threshold have their span tree captured
+	// into the slow-trace ring served at GET /v1/debug/slow. Zero
+	// disables both tracing and capture (the default; benchmarks and
+	// tests see the untraced fast path).
+	SlowThreshold time.Duration
+	// TraceSampleEvery, when > 0, traces and captures every Nth
+	// compute-bearing request regardless of speed — a low-cost way to
+	// keep example traces flowing on a healthy service.
+	TraceSampleEvery int
+	// SlowRingSize bounds the slow-trace ring; 0 means 32.
+	SlowRingSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -69,6 +87,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxSimNodes <= 0 {
 		c.MaxSimNodes = 1 << 14
 	}
+	if c.SlowRingSize <= 0 {
+		c.SlowRingSize = 32
+	}
 	return c
 }
 
@@ -81,6 +102,9 @@ type Server struct {
 	metrics *Metrics
 	flights flightGroup
 	mux     *http.ServeMux
+	slow    *slowRing
+	rids    *requestIDs
+	reqSeq  atomic.Int64 // drives TraceSampleEvery
 }
 
 // New creates a ready-to-serve Server.
@@ -91,13 +115,19 @@ func New(cfg Config) *Server {
 		cache:   plancache.New(cfg.PlanCacheSize),
 		pool:    newWorkerPool(cfg.Workers, cfg.QueueDepth),
 		metrics: newMetrics(cfg.LatencyWindow),
+		slow:    newSlowRing(cfg.SlowRingSize),
+		rids:    newRequestIDs(),
 	}
 	s.mux = http.NewServeMux()
-	s.route("POST /v1/fft", s.handleFFT)
-	s.route("POST /v1/simulate", s.handleSimulate)
-	s.route("GET /v1/compare", s.handleCompare)
-	s.route("GET /healthz", s.handleHealthz)
-	s.route("GET /metrics", s.handleMetrics)
+	// Compute-bearing routes are traceable; the cheap read-only
+	// endpoints are not (tracing a metrics scrape tells nobody
+	// anything, and sampling would fill the ring with them).
+	s.route("POST /v1/fft", s.handleFFT, true)
+	s.route("POST /v1/simulate", s.handleSimulate, true)
+	s.route("GET /v1/compare", s.handleCompare, true)
+	s.route("GET /healthz", s.handleHealthz, false)
+	s.route("GET /metrics", s.handleMetrics, false)
+	s.route("GET /v1/debug/slow", s.handleSlow, false)
 	return s
 }
 
@@ -169,16 +199,39 @@ func (r *statusRecorder) WriteHeader(code int) {
 }
 
 // route mounts a handler wrapped in the service middleware: request
-// counting, latency observation, per-request timeout, and panic
-// recovery (a handler panic — as opposed to a worker panic, which the
-// pool converts — also becomes a 500, not a dead connection without a
-// response line).
-func (s *Server) route(pattern string, h http.HandlerFunc) {
+// IDs, request counting, latency observation, per-request timeout,
+// structured logging, span tracing with slow-trace capture (traceable
+// routes only), and panic recovery (a handler panic — as opposed to a
+// worker panic, which the pool converts — also becomes a 500, not a
+// dead connection without a response line).
+func (s *Server) route(pattern string, h http.HandlerFunc, traceable bool) {
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		id := s.rids.next()
+		w.Header().Set("X-Request-ID", id)
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
+
+		// A request is traced when slow-capture is armed (we cannot know
+		// up front that it will be fast) or the sampler picks it. The
+		// common untraced configuration pays one branch here and nil
+		// tracer no-ops below.
+		var tr *obs.Tracer
+		var root *obs.Span
+		sampled := false
+		if traceable {
+			if n := s.cfg.TraceSampleEvery; n > 0 && s.reqSeq.Add(1)%int64(n) == 0 {
+				sampled = true
+			}
+			if sampled || s.cfg.SlowThreshold > 0 {
+				tr = obs.New()
+				root = tr.Start(pattern).SetCat(obs.CatServer).SetDetail("request " + id)
+				tr.SetParent(root)
+				ctx = obs.WithTracer(ctx, tr)
+				ctx = obs.WithSpan(ctx, root)
+			}
+		}
 		r = r.WithContext(ctx)
 		defer func() {
 			if p := recover(); p != nil {
@@ -186,7 +239,31 @@ func (s *Server) route(pattern string, h http.HandlerFunc) {
 					writeError(rec, fmt.Errorf("handler panic: %v", p))
 				}
 			}
-			s.metrics.observe(pattern, rec.status, time.Since(start))
+			elapsed := time.Since(start)
+			s.metrics.observe(pattern, rec.status, elapsed)
+			if tr != nil {
+				root.End()
+				if sampled || (s.cfg.SlowThreshold > 0 && elapsed >= s.cfg.SlowThreshold) {
+					s.slow.add(CapturedTrace{
+						RequestID:  id,
+						Route:      pattern,
+						Status:     rec.status,
+						Start:      start,
+						DurationMS: float64(elapsed) / float64(time.Millisecond),
+						Sampled:    sampled,
+						Spans:      tr.Snapshot(),
+					})
+					s.metrics.slowCaptured.Add(1)
+				}
+			}
+			if l := s.cfg.Logger; l != nil {
+				l.LogAttrs(context.Background(), slog.LevelInfo, "request",
+					slog.String("id", id),
+					slog.String("route", pattern),
+					slog.Int("status", rec.status),
+					slog.Duration("elapsed", elapsed),
+				)
+			}
 		}()
 		h(rec, r)
 	})

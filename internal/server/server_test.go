@@ -459,7 +459,7 @@ func TestHandlerPanicBecomes500(t *testing.T) {
 	defer s.Close()
 	s.route("GET /test/panic", func(w http.ResponseWriter, _ *http.Request) {
 		panic("handler exploded")
-	})
+	}, false)
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	resp, err := http.Get(ts.URL + "/test/panic")
@@ -496,7 +496,7 @@ func TestWorkerPanicBecomes500(t *testing.T) {
 			return
 		}
 		writeJSON(w, HealthResponse{Status: "unreachable"})
-	})
+	}, false)
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	for i := 0; i < 3; i++ {

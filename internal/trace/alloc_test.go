@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"fmt"
+	"testing"
+)
+
+// recorderWithEvents builds a recorder holding n events across several
+// op kinds.
+func recorderWithEvents(n int) *Recorder {
+	r := NewRecorder()
+	ops := []Op{OpExchange, OpRoutePhase, OpNetPermute, OpBitSwap}
+	for i := 0; i < n; i++ {
+		r.Record("machine", ops[i%len(ops)], fmt.Sprintf("event %d", i), i%7)
+	}
+	return r
+}
+
+// TestTotalStepsAllocFree pins the aggregation fix: TotalSteps must not
+// copy the event slice per call. Before the fix it went through
+// Events(), allocating a full copy of every recorded event each time.
+func TestTotalStepsAllocFree(t *testing.T) {
+	r := recorderWithEvents(2048)
+	want := r.TotalSteps()
+	allocs := testing.AllocsPerRun(100, func() {
+		if got := r.TotalSteps(); got != want {
+			t.Fatalf("TotalSteps = %d, want %d", got, want)
+		}
+	})
+	//fftlint:ignore floatcmp AllocsPerRun returns an exact integer count; zero means zero
+	if allocs != 0 {
+		t.Fatalf("TotalSteps allocates %.0f times per call, want 0", allocs)
+	}
+}
+
+// TestStepsByOpAllocBound allows only the result map itself (and its
+// buckets), independent of the number of recorded events.
+func TestStepsByOpAllocBound(t *testing.T) {
+	small := recorderWithEvents(8)
+	big := recorderWithEvents(4096)
+	measure := func(r *Recorder) float64 {
+		return testing.AllocsPerRun(100, func() { _ = r.StepsByOp() })
+	}
+	smallAllocs, bigAllocs := measure(small), measure(big)
+	if bigAllocs > smallAllocs {
+		t.Fatalf("StepsByOp allocations grow with event count: %.0f (8 events) vs %.0f (4096 events)",
+			smallAllocs, bigAllocs)
+	}
+	// The absolute bound: a map with 4 keys. Give the runtime headroom
+	// for bucket internals but rule out any per-event copying.
+	if bigAllocs > 8 {
+		t.Fatalf("StepsByOp allocates %.0f times per call; want a small constant", bigAllocs)
+	}
+}
+
+// TestAggregationMatchesEvents cross-checks the in-place aggregation
+// against the copying Events() path it replaced.
+func TestAggregationMatchesEvents(t *testing.T) {
+	r := recorderWithEvents(513)
+	total := 0
+	byOp := map[Op]int{}
+	for _, e := range r.Events() {
+		total += e.Steps
+		byOp[e.Op] += e.Steps
+	}
+	if got := r.TotalSteps(); got != total {
+		t.Fatalf("TotalSteps = %d, Events sum = %d", got, total)
+	}
+	gotByOp := r.StepsByOp()
+	if len(gotByOp) != len(byOp) {
+		t.Fatalf("StepsByOp keys = %v, want %v", gotByOp, byOp)
+	}
+	for op, steps := range byOp {
+		if gotByOp[op] != steps {
+			t.Fatalf("StepsByOp[%s] = %d, want %d", op, gotByOp[op], steps)
+		}
+	}
+}
+
+// TestAggregationNilRecorder keeps the nil-recorder contract.
+func TestAggregationNilRecorder(t *testing.T) {
+	var r *Recorder
+	if r.TotalSteps() != 0 {
+		t.Fatal("nil recorder TotalSteps != 0")
+	}
+	if m := r.StepsByOp(); len(m) != 0 {
+		t.Fatalf("nil recorder StepsByOp = %v", m)
+	}
+}

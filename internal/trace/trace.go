@@ -98,20 +98,35 @@ func (r *Recorder) Reset() {
 	r.seq = 0
 }
 
-// TotalSteps sums the step costs of all recorded events.
+// TotalSteps sums the step costs of all recorded events. It iterates
+// under the lock rather than going through Events(), which would copy
+// the entire event slice per call — aggregation is read-only and cheap,
+// the copy was the whole cost.
 func (r *Recorder) TotalSteps() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	total := 0
-	for _, e := range r.Events() {
-		total += e.Steps
+	for i := range r.events {
+		total += r.events[i].Steps
 	}
 	return total
 }
 
-// StepsByOp aggregates step costs per operation kind.
+// StepsByOp aggregates step costs per operation kind. Like TotalSteps
+// it iterates in place under the lock; the returned map is the only
+// allocation.
 func (r *Recorder) StepsByOp() map[Op]int {
 	out := map[Op]int{}
-	for _, e := range r.Events() {
-		out[e.Op] += e.Steps
+	if r == nil {
+		return out
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.events {
+		out[r.events[i].Op] += r.events[i].Steps
 	}
 	return out
 }
