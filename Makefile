@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all verify build vet lint test race test-race cover bench bench-compare bench-baseline gobench fuzz vuln repro serve profile trace metrics-lint examples clean
+.PHONY: all verify build vet lint test race test-race cover bench bench-compare bench-baseline gobench fuzz vuln repro serve profile trace metrics-lint cluster-test cluster-demo examples clean
 
 all: verify
 
@@ -50,6 +50,18 @@ profile:
 	$(GO) run ./cmd/netsim $(PROFILE_ARGS) \
 		-cpuprofile $(PROFILE_DIR)/cpu.prof -memprofile $(PROFILE_DIR)/mem.prof
 	@echo "profiles in $(PROFILE_DIR); view with: go tool pprof $(PROFILE_DIR)/cpu.prof"
+
+# cluster-test runs the multi-node integration tests (3 in-process
+# nodes, mid-batch node kill, drain and heartbeat membership) under the
+# race detector. Mirrors the CI cluster job.
+cluster-test:
+	$(GO) test -race -run 'Cluster|Ring|Breaker|Registry|Readyz' -count=1 ./internal/cluster/... ./internal/server/
+
+# cluster-demo runs the in-process 3-node ring walkthrough: a
+# 64-transform batch with one node killed mid-batch and zero failed
+# requests (see docs/CLUSTER.md).
+cluster-demo:
+	$(GO) run ./examples/cluster-demo
 
 # trace writes a Chrome trace_event span trace of the paper's Table 2A
 # verification simulations — load it in chrome://tracing or Perfetto.
@@ -131,6 +143,7 @@ examples:
 	$(GO) run ./examples/parallel-primitives
 	$(GO) run ./examples/matrix-algorithms
 	$(GO) run ./examples/service-client
+	$(GO) run ./examples/cluster-demo
 
 clean:
 	$(GO) clean ./...

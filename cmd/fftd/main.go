@@ -10,8 +10,15 @@
 //	GET  /v1/compare    the paper's Table 1A/1B/2A/2B and bisection numbers
 //	GET  /v1/debug/slow recently captured slow-request span trees
 //	GET  /healthz       liveness
+//	GET  /readyz        readiness; 503 while draining
 //	GET  /metrics       counters; JSON by default, Prometheus text
 //	                    exposition under Accept: text/plain
+//
+// Cluster mode: -cluster opens a second, binary-protocol listener and
+// -peers names the other nodes' cluster addresses. Transforms are then
+// sharded across the ring by plan shape (consistent hashing keeps each
+// shape's plan hot on one node's cache), with hedged retries and
+// failover on peer death. See docs/CLUSTER.md.
 //
 // Observability: every request gets an X-Request-ID and (with -log) a
 // structured log line; -slow-threshold and -trace-sample capture span
@@ -19,10 +26,12 @@
 // and expvar on a separate listener, so profiling endpoints never share
 // a port with the public API.
 //
-// On SIGTERM/SIGINT the daemon stops accepting connections, lets
-// in-flight requests finish (bounded by -drain-timeout), then drains
-// the worker pool. See docs/SERVICE.md for the endpoint reference and
-// docs/OBSERVABILITY.md for the telemetry workflow.
+// On SIGTERM/SIGINT the daemon marks itself not-ready (/readyz answers
+// 503, cluster pings answer ready=false so peers route away), stops
+// accepting connections, lets in-flight requests finish (bounded by
+// -drain-timeout), then drains the worker pool. See docs/SERVICE.md for
+// the endpoint reference and docs/OBSERVABILITY.md for the telemetry
+// workflow.
 package main
 
 import (
@@ -36,9 +45,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/server"
 )
 
@@ -53,6 +64,10 @@ func main() {
 	slowThreshold := flag.Duration("slow-threshold", 0, "capture span traces of requests slower than this (0 = off)")
 	traceSample := flag.Int("trace-sample", 0, "capture span traces of every Nth request (0 = off)")
 	logRequests := flag.Bool("log", true, "emit one structured (JSON) log line per request on stdout")
+	clusterAddr := flag.String("cluster", "", "cluster listen address for the binary node-to-node protocol (empty = single-node)")
+	peers := flag.String("peers", "", "comma-separated peer cluster addresses")
+	nodeID := flag.String("node-id", "", "cluster identity; must be the address peers dial (default: the bound -cluster address)")
+	heartbeat := flag.Duration("heartbeat", time.Second, "cluster heartbeat probe interval")
 	flag.Parse()
 
 	cfg := server.Config{
@@ -66,10 +81,83 @@ func main() {
 	if *logRequests {
 		cfg.Logger = slog.New(slog.NewJSONHandler(os.Stdout, nil))
 	}
-	if err := run(*addr, *debugAddr, cfg, *drainTimeout); err != nil {
+	cc := clusterConfig{
+		Addr:      *clusterAddr,
+		NodeID:    *nodeID,
+		Peers:     splitPeers(*peers),
+		Heartbeat: *heartbeat,
+	}
+	if cc.Addr == "" && len(cc.Peers) > 0 {
+		fmt.Fprintln(os.Stderr, "fftd: -peers requires -cluster")
+		os.Exit(2)
+	}
+	if err := run(*addr, *debugAddr, cfg, cc, *drainTimeout); err != nil {
 		fmt.Fprintf(os.Stderr, "fftd: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// splitPeers parses the -peers flag: comma-separated, blanks ignored.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// clusterConfig is the parsed cluster flag set.
+type clusterConfig struct {
+	Addr      string
+	NodeID    string
+	Peers     []string
+	Heartbeat time.Duration
+}
+
+// clusterRuntime bundles the three cluster moving parts for shutdown.
+type clusterRuntime struct {
+	node   *cluster.Node
+	reg    *cluster.Registry
+	client *cluster.Client
+}
+
+func (cr *clusterRuntime) close() {
+	cr.reg.Stop()
+	cr.client.Close()
+	_ = cr.node.Close()
+}
+
+// startCluster opens the cluster listener, joins the ring and installs
+// the routing client on the server. The node executes forwarded RPCs
+// through the server's own plan-cache path, readiness tracks the
+// server's drain state, and the status RPC carries plan-cache stats.
+func startCluster(s *server.Server, cc clusterConfig) (*clusterRuntime, error) {
+	node, err := cluster.Listen(cc.Addr, cluster.NodeConfig{
+		ID:    cc.NodeID,
+		Exec:  s.ClusterExecutor(),
+		Ready: func() bool { return !s.Draining() },
+		StatusExtra: func(st *cluster.NodeStatus) {
+			stats := s.PlanCache().Stats()
+			st.PlanCache = &stats
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	reg := cluster.NewRegistry(node.ID(), cc.Peers, cluster.RegistryConfig{})
+	client, err := cluster.NewClient(reg, cluster.ClientConfig{
+		Self:  node.ID(),
+		Local: s.ClusterExecutor(),
+	})
+	if err != nil {
+		_ = node.Close()
+		return nil, err
+	}
+	reg.Start(cc.Heartbeat, client.Ping)
+	s.SetCluster(client)
+	return &clusterRuntime{node: node, reg: reg, client: client}, nil
 }
 
 // debugMux builds the -debug-addr handler: the full net/http/pprof
@@ -86,8 +174,19 @@ func debugMux() *http.ServeMux {
 	return mux
 }
 
-func run(addr, debugAddr string, cfg server.Config, drainTimeout time.Duration) error {
+func run(addr, debugAddr string, cfg server.Config, cc clusterConfig, drainTimeout time.Duration) error {
 	s := server.New(cfg)
+
+	var clu *clusterRuntime
+	if cc.Addr != "" {
+		var err error
+		if clu, err = startCluster(s, cc); err != nil {
+			return fmt.Errorf("cluster: %w", err)
+		}
+		fmt.Printf("fftd: cluster node %s listening on %s (%d peers)\n",
+			clu.node.ID(), clu.node.Addr(), len(cc.Peers))
+	}
+
 	httpSrv := &http.Server{Addr: addr, Handler: s.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -118,6 +217,10 @@ func run(addr, debugAddr string, cfg server.Config, drainTimeout time.Duration) 
 	}
 
 	fmt.Println("fftd: shutdown requested, draining")
+	// Flip readiness first: /readyz answers 503 and cluster peers see
+	// ready=false on their next heartbeat, steering new traffic away
+	// before the listener stops accepting.
+	s.StartDrain()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	// Shutdown stops accepting and waits for in-flight handlers; only
@@ -125,6 +228,9 @@ func run(addr, debugAddr string, cfg server.Config, drainTimeout time.Duration) 
 	err := httpSrv.Shutdown(shutdownCtx)
 	if debugSrv != nil {
 		_ = debugSrv.Shutdown(shutdownCtx)
+	}
+	if clu != nil {
+		clu.close()
 	}
 	s.Close()
 	if err != nil {

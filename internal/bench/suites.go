@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -11,6 +12,8 @@ import (
 	"strings"
 
 	"repro/internal/bits"
+	"repro/internal/cluster"
+	"repro/internal/cluster/wire"
 	"repro/internal/fft"
 	"repro/internal/netsim"
 	"repro/internal/parfft"
@@ -66,6 +69,7 @@ func All() []Suite {
 		{Name: fmt.Sprintf("netsim/route/hypercube/n%d", machineN), Setup: setupRoute("hypercube")},
 		{Name: fmt.Sprintf("netsim/route/hypermesh/n%d", machineN), Setup: setupRoute("hypermesh")},
 		{Name: fmt.Sprintf("fftd/http/fft/n%d", httpN), Setup: setupHTTPFFT},
+		{Name: fmt.Sprintf("cluster/route/n%d", httpN), Setup: setupClusterRoute},
 	}
 }
 
@@ -235,6 +239,71 @@ func setupRoute(topo string) func() (func() error, func(), error) {
 }
 
 // ---- end-to-end service ----
+
+// setupClusterRoute measures one transform routed through a two-node
+// ring over real loopback TCP: shape hashing, preference-list lookup,
+// the binary wire round-trip and remote plan-cache execution. The op's
+// size is chosen so the remote peer owns its shard — the suite tracks
+// the forwarding path, not the local shortcut (which plancache/hit and
+// fft/transform already cover).
+func setupClusterRoute() (func() error, func(), error) {
+	exec := func(cache *plancache.Cache) cluster.Executor {
+		return func(_ context.Context, op *wire.TransformOp) ([]complex128, error) {
+			p, err := cache.ComplexPlan(op.N())
+			if err != nil {
+				return nil, err
+			}
+			out := make([]complex128, op.N())
+			p.Transform(out, op.Input)
+			return out, nil
+		}
+	}
+	a, err := cluster.Listen("127.0.0.1:0", cluster.NodeConfig{Exec: exec(plancache.New(8))})
+	if err != nil {
+		return nil, nil, err
+	}
+	b, err := cluster.Listen("127.0.0.1:0", cluster.NodeConfig{Exec: exec(plancache.New(8))})
+	if err != nil {
+		_ = a.Close()
+		return nil, nil, err
+	}
+	reg := cluster.NewRegistry(a.Addr(), []string{b.Addr()}, cluster.RegistryConfig{})
+	client, err := cluster.NewClient(reg, cluster.ClientConfig{
+		Self:  a.Addr(),
+		Local: exec(plancache.New(8)),
+	})
+	if err != nil {
+		_ = a.Close()
+		_ = b.Close()
+		return nil, nil, err
+	}
+	cleanup := func() {
+		client.Close()
+		_ = a.Close()
+		_ = b.Close()
+	}
+
+	// Find a size the peer owns, so every measured op takes the wire.
+	ring := reg.Ring()
+	n := httpN
+	for ; n <= httpN<<4; n <<= 1 {
+		if ring.Lookup(cluster.ShapeKey{N: n}.Hash()) == b.Addr() {
+			break
+		}
+	}
+	op := wire.TransformOp{Input: randComplex(n, 9)}
+	ctx := context.Background()
+	// Warm the remote plan cache and the connection pool outside the
+	// measurement.
+	if _, err := client.Transform(ctx, &op); err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	return func() error {
+		_, err := client.Transform(ctx, &op)
+		return err
+	}, cleanup, nil
+}
 
 func setupHTTPFFT() (func() error, func(), error) {
 	srv := server.New(server.Config{Workers: 2, QueueDepth: 64})

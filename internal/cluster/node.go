@@ -1,0 +1,253 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster/wire"
+	"repro/internal/obs"
+)
+
+// NodeConfig configures the server side of the cluster port.
+type NodeConfig struct {
+	// ID is the node's cluster identity: the address peers dial, so
+	// every node derives the same ring membership.
+	ID string
+	// Exec runs forwarded transforms (internal/server's plan-cache
+	// executor in fftd; a test executor in tests). Required.
+	Exec Executor
+	// Ready reports drain-aware readiness for ping responses; nil means
+	// always ready. A draining fftd answers pings with ready=false so
+	// peers stop routing to it while its in-flight work finishes.
+	Ready func() bool
+	// StatusExtra, when non-nil, enriches the status RPC's NodeStatus
+	// (fftd attaches plan-cache statistics).
+	StatusExtra func(*NodeStatus)
+	// Obs, when non-nil, receives one span per transform RPC, carrying
+	// the wire request ID — the receiving half of cross-node span
+	// propagation. Nil keeps the RPC loop Sprintf-free.
+	Obs *obs.Tracer
+	// RPCTimeout bounds one forwarded transform's execution; 0 means
+	// 30s.
+	RPCTimeout time.Duration
+}
+
+// Node is a running cluster listener: it accepts peer connections and
+// serves transform, ping and status RPCs over the wire protocol.
+type Node struct {
+	cfg    NodeConfig
+	ln     net.Listener
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	start  time.Time
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
+	transformRPCs atomic.Int64
+	rpcErrors     atomic.Int64
+	pings         atomic.Int64
+}
+
+// Listen starts a node on addr (use "127.0.0.1:0" in tests and read
+// Addr for the bound port).
+func Listen(addr string, cfg NodeConfig) (*Node, error) {
+	if cfg.Exec == nil {
+		return nil, errors.New("cluster: NodeConfig.Exec is required")
+	}
+	if cfg.RPCTimeout <= 0 {
+		cfg.RPCTimeout = 30 * time.Second
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: listen %s: %w", addr, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	n := &Node{
+		cfg:    cfg,
+		ln:     ln,
+		ctx:    ctx,
+		cancel: cancel,
+		start:  time.Now(),
+		conns:  make(map[net.Conn]struct{}),
+	}
+	if n.cfg.ID == "" {
+		n.cfg.ID = ln.Addr().String()
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Addr returns the node's bound listen address.
+func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// ID returns the node's cluster identity.
+func (n *Node) ID() string { return n.cfg.ID }
+
+// ready evaluates the drain-aware readiness hook.
+func (n *Node) ready() bool {
+	if n.cfg.Ready == nil {
+		return true
+	}
+	return n.cfg.Ready()
+}
+
+// Status builds the node's current NodeStatus.
+func (n *Node) Status() NodeStatus {
+	s := NodeStatus{
+		ID:            n.cfg.ID,
+		Addr:          n.Addr(),
+		Ready:         n.ready(),
+		UptimeSeconds: time.Since(n.start).Seconds(),
+		TransformRPCs: n.transformRPCs.Load(),
+		RPCErrors:     n.rpcErrors.Load(),
+		Pings:         n.pings.Load(),
+	}
+	if n.cfg.StatusExtra != nil {
+		n.cfg.StatusExtra(&s)
+	}
+	return s
+}
+
+// Close stops accepting, severs open peer connections and waits for
+// the connection handlers to exit. In-flight RPCs on severed
+// connections fail on the peer side and are retried there — killing a
+// node mid-batch is the failure the client's hedging exists for.
+func (n *Node) Close() error {
+	n.cancel()
+	err := n.ln.Close()
+	// Snapshot under the lock, close outside it: conn.Close can block,
+	// and handlers removing themselves from the map need the mutex.
+	n.connMu.Lock()
+	open := make([]net.Conn, 0, len(n.conns))
+	for c := range n.conns {
+		open = append(open, c)
+	}
+	n.connMu.Unlock()
+	for _, c := range open {
+		_ = c.Close()
+	}
+	n.wg.Wait()
+	return err
+}
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		c, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.connMu.Lock()
+		n.conns[c] = struct{}{}
+		n.connMu.Unlock()
+		n.wg.Add(1)
+		go n.handleConn(c)
+	}
+}
+
+// connScratch is the per-connection reusable state: one header buffer,
+// one payload buffer, one decoded op and one response buffer. A
+// long-lived peer connection serves every RPC allocation-free at the
+// wire layer once these reach steady-state capacity.
+type connScratch struct {
+	hdr     [wire.HeaderSize]byte
+	payload []byte
+	op      wire.TransformOp
+	resp    []byte
+}
+
+func (n *Node) handleConn(c net.Conn) {
+	defer n.wg.Done()
+	defer func() {
+		n.connMu.Lock()
+		delete(n.conns, c)
+		n.connMu.Unlock()
+		_ = c.Close()
+	}()
+	var sc connScratch
+	for {
+		if n.ctx.Err() != nil {
+			return
+		}
+		if _, err := io.ReadFull(c, sc.hdr[:]); err != nil {
+			return // peer closed or node shutting down
+		}
+		h, err := wire.ParseHeader(sc.hdr[:])
+		if err != nil {
+			return // protocol desync: drop the connection
+		}
+		if cap(sc.payload) < int(h.Len) {
+			sc.payload = make([]byte, h.Len)
+		}
+		sc.payload = sc.payload[:h.Len]
+		if _, err := io.ReadFull(c, sc.payload); err != nil {
+			return
+		}
+		if !n.serveFrame(c, h, &sc) {
+			return
+		}
+	}
+}
+
+// serveFrame dispatches one decoded frame; false drops the connection.
+func (n *Node) serveFrame(c net.Conn, h wire.Header, sc *connScratch) bool {
+	switch h.Type {
+	case wire.TypePing:
+		n.pings.Add(1)
+		sc.resp = wire.AppendPong(sc.resp[:0], h.ID, n.ready())
+	case wire.TypeStatusReq:
+		body, err := json.Marshal(n.Status())
+		if err != nil {
+			return false
+		}
+		sc.resp = wire.AppendStatusResp(sc.resp[:0], h.ID, body)
+	case wire.TypeTransformReq:
+		n.serveTransform(h, sc)
+	default:
+		return false
+	}
+	_, err := c.Write(sc.resp)
+	return err == nil
+}
+
+// serveTransform executes one forwarded transform into sc.resp. The
+// wire request ID is threaded into the obs span (when the node traces)
+// and into the executor's context, so cross-node traces correlate.
+func (n *Node) serveTransform(h wire.Header, sc *connScratch) {
+	n.transformRPCs.Add(1)
+	ctx, cancel := context.WithTimeout(n.ctx, n.cfg.RPCTimeout)
+	defer cancel()
+	ctx = obs.WithRequestID(ctx, h.ID)
+
+	var sp *obs.Span
+	if n.cfg.Obs != nil {
+		sp = n.cfg.Obs.Start("cluster.rpc").SetCat(obs.CatCluster).
+			SetDetail(fmt.Sprintf("rid=%016x %s", h.ID, wire.TypeName(h.Type)))
+		ctx = obs.WithTracer(ctx, n.cfg.Obs)
+		ctx = obs.WithSpan(ctx, sp)
+	}
+	defer sp.End()
+
+	if err := wire.ParseTransformReq(h, sc.payload, &sc.op); err != nil {
+		n.rpcErrors.Add(1)
+		sc.resp = wire.AppendTransformErr(sc.resp[:0], h.ID, err.Error())
+		return
+	}
+	out, err := n.cfg.Exec(ctx, &sc.op)
+	if err != nil {
+		n.rpcErrors.Add(1)
+		sc.resp = wire.AppendTransformErr(sc.resp[:0], h.ID, err.Error())
+		return
+	}
+	sc.resp = wire.AppendTransformOK(sc.resp[:0], h.ID, out)
+}

@@ -1,0 +1,268 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RegistryConfig tunes membership tracking; zero values mean defaults.
+type RegistryConfig struct {
+	// Replicas is the ring's virtual-node count per member; 0 means 64.
+	Replicas int
+	// FailThreshold is the number of consecutive failed heartbeats after
+	// which a peer is removed from the ring; 0 means 3.
+	FailThreshold int
+	// ProbeTimeout bounds one heartbeat probe; 0 means 1s.
+	ProbeTimeout time.Duration
+}
+
+func (c RegistryConfig) withDefaults() RegistryConfig {
+	if c.Replicas <= 0 {
+		c.Replicas = defaultReplicas
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 3
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
+	}
+	return c
+}
+
+// PeerInfo is one peer's externally visible health state.
+type PeerInfo struct {
+	ID          string    `json:"id"`
+	Addr        string    `json:"addr"`
+	Alive       bool      `json:"alive"`
+	Ready       bool      `json:"ready"`
+	InRing      bool      `json:"in_ring"`
+	ConsecFails int       `json:"consecutive_failures"`
+	LastSeen    time.Time `json:"last_seen,omitempty"`
+	LastError   string    `json:"last_error,omitempty"`
+}
+
+// peerState is the registry's mutable record of one peer.
+type peerState struct {
+	id, addr    string
+	alive       bool
+	ready       bool
+	consecFails int
+	lastSeen    time.Time
+	lastErr     string
+}
+
+// ProbeFunc checks one peer: it returns the peer's drain-aware
+// readiness (a live node answering "not ready" is draining, not dead)
+// or an error when the peer is unreachable.
+type ProbeFunc func(ctx context.Context, addr string) (ready bool, err error)
+
+// Registry tracks cluster membership: the local node plus the
+// configured peers, each with heartbeat-driven health. Peers start
+// optimistically alive (so a fresh cluster routes immediately); a peer
+// that fails FailThreshold consecutive probes is removed from the ring,
+// and one successful probe re-adds it. Draining peers (alive, not
+// ready) leave the ring too — readiness, not liveness, gates routing.
+type Registry struct {
+	cfg  RegistryConfig
+	self string
+	ring *Ring
+
+	mu    sync.Mutex
+	peers map[string]*peerState
+
+	// onRecover, when non-nil, runs after a dead or unready peer rejoins
+	// the ring (the client resets the peer's circuit breaker).
+	onRecover func(id string)
+
+	started  atomic.Bool
+	stopOnce sync.Once
+	stopc    chan struct{}
+	done     chan struct{}
+}
+
+// NewRegistry builds a registry for the local node self (its cluster
+// address as peers dial it) and the given peer addresses. Peer IDs are
+// their addresses, so every node derives the same ring membership.
+func NewRegistry(self string, peerAddrs []string, cfg RegistryConfig) *Registry {
+	cfg = cfg.withDefaults()
+	r := &Registry{
+		cfg:   cfg,
+		self:  self,
+		ring:  NewRing(cfg.Replicas),
+		peers: make(map[string]*peerState, len(peerAddrs)),
+		stopc: make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	for _, addr := range peerAddrs {
+		if addr == "" || addr == self {
+			continue
+		}
+		r.peers[addr] = &peerState{id: addr, addr: addr, alive: true, ready: true}
+	}
+	r.rebuildRing()
+	return r
+}
+
+// Self returns the local node's ID.
+func (r *Registry) Self() string { return r.self }
+
+// Ring returns the live ring; lookups always see current membership.
+func (r *Registry) Ring() *Ring { return r.ring }
+
+// SetOnRecover installs the peer-recovery hook (breaker reset).
+func (r *Registry) SetOnRecover(fn func(id string)) {
+	r.mu.Lock()
+	r.onRecover = fn
+	r.mu.Unlock()
+}
+
+// rebuildRing recomputes ring membership from current peer health.
+// Callers must not hold r.mu.
+func (r *Registry) rebuildRing() {
+	r.mu.Lock()
+	members := make([]string, 0, len(r.peers)+1)
+	members = append(members, r.self)
+	for _, p := range r.peers {
+		if p.alive && p.ready {
+			members = append(members, p.id)
+		}
+	}
+	r.mu.Unlock()
+	r.ring.SetMembers(members)
+}
+
+// Observe records one probe outcome for a peer and rebalances the ring
+// when the peer's routability changed. The heartbeat loop is the usual
+// caller; tests drive it directly.
+func (r *Registry) Observe(id string, ready bool, err error) {
+	r.mu.Lock()
+	p, ok := r.peers[id]
+	if !ok {
+		r.mu.Unlock()
+		return
+	}
+	wasRoutable := p.alive && p.ready
+	if err != nil {
+		p.consecFails++
+		p.lastErr = err.Error()
+		if p.consecFails >= r.cfg.FailThreshold {
+			p.alive = false
+		}
+	} else {
+		p.consecFails = 0
+		p.lastErr = ""
+		p.alive = true
+		p.ready = ready
+		p.lastSeen = time.Now()
+	}
+	isRoutable := p.alive && p.ready
+	recover := r.onRecover
+	r.mu.Unlock()
+
+	if wasRoutable != isRoutable {
+		r.rebuildRing()
+		if isRoutable && recover != nil {
+			recover(id)
+		}
+	}
+}
+
+// ReportFailure is the data path's fast feedback: a transform RPC that
+// failed at the transport level counts like a failed heartbeat, so a
+// crashed peer leaves the ring after FailThreshold in-flight errors
+// instead of waiting out heartbeat intervals.
+func (r *Registry) ReportFailure(id string, err error) {
+	r.Observe(id, false, err)
+}
+
+// Peers snapshots every peer's health, sorted by ID.
+func (r *Registry) Peers() []PeerInfo {
+	r.mu.Lock()
+	out := make([]PeerInfo, 0, len(r.peers))
+	for _, p := range r.peers {
+		out = append(out, PeerInfo{
+			ID:          p.id,
+			Addr:        p.addr,
+			Alive:       p.alive,
+			Ready:       p.ready,
+			ConsecFails: p.consecFails,
+			LastSeen:    p.lastSeen,
+			LastError:   p.lastErr,
+		})
+	}
+	r.mu.Unlock()
+	members := r.ring.Members()
+	for i := range out {
+		out[i].InRing = containsStr(members, out[i].ID)
+	}
+	sortPeerInfo(out)
+	return out
+}
+
+func sortPeerInfo(xs []PeerInfo) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j].ID < xs[j-1].ID; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// Start launches the heartbeat loop: every interval, each peer is
+// probed concurrently and the outcomes feed Observe. Stop ends it.
+// Start is idempotent; only the first call launches the loop.
+func (r *Registry) Start(interval time.Duration, probe ProbeFunc) {
+	if !r.started.CompareAndSwap(false, true) {
+		return
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	go func() {
+		defer close(r.done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-r.stopc:
+				return
+			case <-ticker.C:
+				r.probeAll(probe)
+			}
+		}
+	}()
+}
+
+// probeAll heartbeats every peer concurrently; one slow or dead peer
+// does not delay the others' probes.
+func (r *Registry) probeAll(probe ProbeFunc) {
+	r.mu.Lock()
+	targets := make([]*peerState, 0, len(r.peers))
+	for _, p := range r.peers {
+		targets = append(targets, p)
+	}
+	r.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for _, p := range targets {
+		wg.Add(1)
+		go func(id, addr string) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), r.cfg.ProbeTimeout)
+			defer cancel()
+			ready, err := probe(ctx, addr)
+			r.Observe(id, ready, err)
+		}(p.id, p.addr)
+	}
+	wg.Wait()
+}
+
+// Stop ends the heartbeat loop and waits for it to exit. Safe to call
+// more than once, and without a prior Start.
+func (r *Registry) Stop() {
+	r.stopOnce.Do(func() { close(r.stopc) })
+	if r.started.Load() {
+		<-r.done
+	}
+}

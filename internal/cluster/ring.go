@@ -1,0 +1,176 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+)
+
+// defaultReplicas is the virtual-node count per member. 64 vnodes keep
+// the load spread within a few percent of uniform for small clusters
+// while membership changes move only ~1/members of the keyspace.
+const defaultReplicas = 64
+
+// Ring is a consistent-hash ring over node IDs. Lookup walks clockwise
+// from a key's hash to the owning member; LookupN continues walking to
+// produce the distinct-member preference list the client hedges and
+// fails over across. Membership changes (SetMembers) remap only the
+// keyspace adjacent to the changed member, so a node failure reshuffles
+// ~1/members of the plan shapes instead of all of them — the plan
+// caches of surviving nodes stay mostly hot.
+type Ring struct {
+	mu       sync.RWMutex
+	replicas int
+	keys     []uint64 // sorted vnode hashes
+	owner    []int    // keys[i] belongs to members[owner[i]]
+	members  []string // sorted, distinct
+}
+
+// NewRing creates an empty ring; replicas <= 0 means the default.
+func NewRing(replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = defaultReplicas
+	}
+	return &Ring{replicas: replicas}
+}
+
+// fnv64 hashes a string (FNV-1a).
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// vnodeHash hashes one member's i-th virtual node.
+func vnodeHash(member string, i int) uint64 {
+	h := fnv64(member)
+	h ^= uint64(i)
+	h *= 1099511628211
+	// Final avalanche (splitmix64 tail) so consecutive vnode indices of
+	// one member land far apart on the ring.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// SetMembers replaces the ring's membership. Duplicates are collapsed;
+// order is irrelevant — two nodes given the same member set build
+// byte-identical rings.
+func (r *Ring) SetMembers(members []string) {
+	seen := make(map[string]bool, len(members))
+	distinct := make([]string, 0, len(members))
+	for _, m := range members {
+		if m != "" && !seen[m] {
+			seen[m] = true
+			distinct = append(distinct, m)
+		}
+	}
+	sort.Strings(distinct)
+
+	keys := make([]uint64, 0, len(distinct)*r.replicas)
+	owner := make([]int, 0, len(distinct)*r.replicas)
+	for mi, m := range distinct {
+		for i := 0; i < r.replicas; i++ {
+			keys = append(keys, vnodeHash(m, i))
+			owner = append(owner, mi)
+		}
+	}
+	idx := make([]int, len(keys))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if keys[idx[a]] != keys[idx[b]] {
+			return keys[idx[a]] < keys[idx[b]]
+		}
+		// Hash ties between members resolve by member order so every
+		// node agrees on the owner.
+		return owner[idx[a]] < owner[idx[b]]
+	})
+	sortedKeys := make([]uint64, len(keys))
+	sortedOwner := make([]int, len(keys))
+	for i, j := range idx {
+		sortedKeys[i] = keys[j]
+		sortedOwner[i] = owner[j]
+	}
+
+	r.mu.Lock()
+	r.keys = sortedKeys
+	r.owner = sortedOwner
+	r.members = distinct
+	r.mu.Unlock()
+}
+
+// Members returns the current membership, sorted.
+func (r *Ring) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, len(r.members))
+	copy(out, r.members)
+	return out
+}
+
+// Size returns the member count.
+func (r *Ring) Size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.members)
+}
+
+// Lookup returns the member owning hash h, or "" on an empty ring.
+func (r *Ring) Lookup(h uint64) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.keys) == 0 {
+		return ""
+	}
+	i := sort.Search(len(r.keys), func(i int) bool { return r.keys[i] >= h })
+	if i == len(r.keys) {
+		i = 0 // wrap: the ring is circular
+	}
+	return r.members[r.owner[i]]
+}
+
+// LookupN returns up to n distinct members in clockwise preference
+// order starting at hash h: the owner first, then the members whose
+// vnodes follow. The client uses this as its hedging/failover order, so
+// a key's traffic spills to the same successor on every node.
+func (r *Ring) LookupN(h uint64, n int) []string {
+	return r.LookupNInto(nil, h, n)
+}
+
+// LookupNInto is LookupN appending into dst, for callers that reuse the
+// preference-list slice across requests.
+func (r *Ring) LookupNInto(dst []string, h uint64, n int) []string {
+	dst = dst[:0]
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.keys) == 0 || n <= 0 {
+		return dst
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	start := sort.Search(len(r.keys), func(i int) bool { return r.keys[i] >= h })
+	for i := 0; len(dst) < n && i < len(r.keys); i++ {
+		m := r.members[r.owner[(start+i)%len(r.keys)]]
+		if !containsStr(dst, m) {
+			dst = append(dst, m)
+		}
+	}
+	return dst
+}
+
+func containsStr(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,393 @@
+// Package wire is the cluster's length-prefixed binary protocol: the
+// node-to-node framing that lets several fftd processes serve as one
+// system. Every frame is a fixed 16-byte header — payload length,
+// protocol version, message type, flags and a 64-bit request ID —
+// followed by the payload. The request ID travels with the frame so a
+// forwarded transform can be correlated across nodes: the sender mints
+// it, the receiver threads it into its internal/obs span tree.
+//
+// Encoding and decoding are the cluster's hot path: a forwarded
+// transform serializes its samples on one node and deserializes them on
+// another for every request that hashes to a remote shard. Both
+// directions are therefore allocation-free in steady state — encoders
+// append into a caller-reused buffer, decoders fill caller-reused
+// slices — pinned by AllocsPerRun tests. Integers and floats are
+// little-endian; complex samples are (re, im) float64 pairs.
+//
+//fftlint:hot
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Version is the protocol version carried by every header. A receiver
+// rejects frames from a different version rather than guessing.
+const Version = 1
+
+// HeaderSize is the fixed frame-header length in bytes.
+const HeaderSize = 16
+
+// MaxPayload bounds a frame's payload so a corrupt or hostile length
+// prefix cannot make a node allocate gigabytes. 2^26 bytes holds a
+// 2^22-sample complex transform, the service's MaxTransformLen default.
+const MaxPayload = 1 << 26
+
+// Message types.
+const (
+	// TypeTransformReq asks the receiver to execute one FFT transform.
+	TypeTransformReq = uint8(1)
+	// TypeTransformResp answers a TypeTransformReq.
+	TypeTransformResp = uint8(2)
+	// TypePing probes the receiver's readiness (heartbeats).
+	TypePing = uint8(3)
+	// TypePong answers a ping; the payload is one readiness byte.
+	TypePong = uint8(4)
+	// TypeStatusReq asks for the receiver's NodeStatus JSON.
+	TypeStatusReq = uint8(5)
+	// TypeStatusResp answers with a JSON payload (not a hot path).
+	TypeStatusResp = uint8(6)
+)
+
+// Transform-op flag bits (Header.Flags).
+const (
+	// FlagReal marks a real-input transform; samples are bare float64s.
+	FlagReal = uint16(1 << 0)
+	// FlagInverse requests the inverse transform (complex only).
+	FlagInverse = uint16(1 << 1)
+	// FlagNoReorder skips the terminal bit-reversal (forward complex
+	// only), leaving the spectrum in bit-reversed order.
+	FlagNoReorder = uint16(1 << 2)
+	// FlagError marks a TypeTransformResp whose payload is an error
+	// message instead of samples.
+	FlagError = uint16(1 << 3)
+	// FlagReady marks a TypePong from a node that is ready to serve
+	// (alive but draining nodes answer pings without this flag).
+	FlagReady = uint16(1 << 4)
+)
+
+// Header is the fixed frame prefix. Len counts payload bytes only; the
+// full frame is HeaderSize+Len bytes.
+type Header struct {
+	Len     uint32
+	Version uint8
+	Type    uint8
+	Flags   uint16
+	ID      uint64
+}
+
+// Wire-format errors.
+var (
+	ErrShortHeader = errors.New("wire: buffer shorter than header")
+	ErrVersion     = errors.New("wire: protocol version mismatch")
+	ErrTooLarge    = errors.New("wire: payload exceeds MaxPayload")
+	ErrTruncated   = errors.New("wire: truncated payload")
+)
+
+// PutHeader writes h into b, which must hold at least HeaderSize bytes.
+func PutHeader(b []byte, h Header) {
+	_ = b[HeaderSize-1]
+	binary.LittleEndian.PutUint32(b[0:4], h.Len)
+	b[4] = h.Version
+	b[5] = h.Type
+	binary.LittleEndian.PutUint16(b[6:8], h.Flags)
+	binary.LittleEndian.PutUint64(b[8:16], h.ID)
+}
+
+// ParseHeader decodes and validates a frame header.
+func ParseHeader(b []byte) (Header, error) {
+	if len(b) < HeaderSize {
+		return Header{}, ErrShortHeader
+	}
+	h := Header{
+		Len:     binary.LittleEndian.Uint32(b[0:4]),
+		Version: b[4],
+		Type:    b[5],
+		Flags:   binary.LittleEndian.Uint16(b[6:8]),
+		ID:      binary.LittleEndian.Uint64(b[8:16]),
+	}
+	if h.Version != Version {
+		return Header{}, ErrVersion
+	}
+	if h.Len > MaxPayload {
+		return Header{}, ErrTooLarge
+	}
+	return h, nil
+}
+
+// TransformOp is one transform RPC's operation: what to compute and on
+// which samples. Exactly one of Input (complex) or RealInput (real) is
+// populated, selected by Real. Decoders reuse the slices' capacity, so
+// one TransformOp per connection serves every request on it.
+type TransformOp struct {
+	Real      bool
+	Inverse   bool
+	NoReorder bool
+	Input     []complex128
+	RealInput []float64
+}
+
+// N returns the operation's sample count.
+func (op *TransformOp) N() int {
+	if op.Real {
+		return len(op.RealInput)
+	}
+	return len(op.Input)
+}
+
+// flags packs the op's option bits.
+func (op *TransformOp) flags() uint16 {
+	var f uint16
+	if op.Real {
+		f |= FlagReal
+	}
+	if op.Inverse {
+		f |= FlagInverse
+	}
+	if op.NoReorder {
+		f |= FlagNoReorder
+	}
+	return f
+}
+
+// AppendTransformReq appends a complete transform-request frame
+// (header plus samples) to dst and returns the extended slice. Callers
+// reuse dst across requests (dst = AppendTransformReq(dst[:0], ...)),
+// keeping steady-state encoding allocation-free.
+func AppendTransformReq(dst []byte, id uint64, op *TransformOp) []byte {
+	var payload int
+	if op.Real {
+		payload = 8 * len(op.RealInput)
+	} else {
+		payload = 16 * len(op.Input)
+	}
+	dst = grow(dst, HeaderSize+payload)
+	base := len(dst)
+	dst = dst[:base+HeaderSize+payload]
+	PutHeader(dst[base:], Header{
+		Len:     uint32(payload),
+		Version: Version,
+		Type:    TypeTransformReq,
+		Flags:   op.flags(),
+		ID:      id,
+	})
+	b := dst[base+HeaderSize:]
+	if op.Real {
+		putFloats(b, op.RealInput)
+	} else {
+		putComplex(b, op.Input)
+	}
+	return dst
+}
+
+// ParseTransformReq decodes a transform-request payload (everything
+// after the header) into op, reusing op's slice capacity. h must be the
+// frame's parsed header.
+func ParseTransformReq(h Header, payload []byte, op *TransformOp) error {
+	if int(h.Len) != len(payload) {
+		return ErrTruncated
+	}
+	op.Real = h.Flags&FlagReal != 0
+	op.Inverse = h.Flags&FlagInverse != 0
+	op.NoReorder = h.Flags&FlagNoReorder != 0
+	if op.Real {
+		if len(payload)%8 != 0 {
+			return ErrTruncated
+		}
+		op.Input = op.Input[:0]
+		op.RealInput = growFloats(op.RealInput, len(payload)/8)
+		getFloats(op.RealInput, payload)
+		return nil
+	}
+	if len(payload)%16 != 0 {
+		return ErrTruncated
+	}
+	op.RealInput = op.RealInput[:0]
+	op.Input = growComplex(op.Input, len(payload)/16)
+	getComplex(op.Input, payload)
+	return nil
+}
+
+// AppendTransformOK appends a successful transform-response frame
+// carrying out to dst.
+func AppendTransformOK(dst []byte, id uint64, out []complex128) []byte {
+	payload := 16 * len(out)
+	dst = grow(dst, HeaderSize+payload)
+	base := len(dst)
+	dst = dst[:base+HeaderSize+payload]
+	PutHeader(dst[base:], Header{
+		Len:     uint32(payload),
+		Version: Version,
+		Type:    TypeTransformResp,
+		ID:      id,
+	})
+	putComplex(dst[base+HeaderSize:], out)
+	return dst
+}
+
+// AppendTransformErr appends an error transform-response frame whose
+// payload is the message text.
+func AppendTransformErr(dst []byte, id uint64, msg string) []byte {
+	payload := len(msg)
+	dst = grow(dst, HeaderSize+payload)
+	base := len(dst)
+	dst = dst[:base+HeaderSize+payload]
+	PutHeader(dst[base:], Header{
+		Len:     uint32(payload),
+		Version: Version,
+		Type:    TypeTransformResp,
+		Flags:   FlagError,
+		ID:      id,
+	})
+	copy(dst[base+HeaderSize:], msg)
+	return dst
+}
+
+// ParseTransformResp decodes a transform-response payload. On success
+// it returns the output samples decoded into out's reused capacity and
+// remoteErr == "". A response carrying FlagError yields the remote
+// error text (one allocation — the error path only). A malformed
+// payload returns a non-nil error.
+func ParseTransformResp(h Header, payload []byte, out []complex128) (result []complex128, remoteErr string, err error) {
+	if int(h.Len) != len(payload) {
+		return out[:0], "", ErrTruncated
+	}
+	if h.Flags&FlagError != 0 {
+		return out[:0], string(payload), nil
+	}
+	if len(payload)%16 != 0 {
+		return out[:0], "", ErrTruncated
+	}
+	out = growComplex(out, len(payload)/16)
+	getComplex(out, payload)
+	return out, "", nil
+}
+
+// AppendPing appends a readiness-probe frame.
+func AppendPing(dst []byte, id uint64) []byte {
+	dst = grow(dst, HeaderSize)
+	base := len(dst)
+	dst = dst[:base+HeaderSize]
+	PutHeader(dst[base:], Header{Version: Version, Type: TypePing, ID: id})
+	return dst
+}
+
+// AppendPong appends a ping response; ready is carried in FlagReady.
+func AppendPong(dst []byte, id uint64, ready bool) []byte {
+	dst = grow(dst, HeaderSize)
+	base := len(dst)
+	dst = dst[:base+HeaderSize]
+	var flags uint16
+	if ready {
+		flags = FlagReady
+	}
+	PutHeader(dst[base:], Header{Version: Version, Type: TypePong, Flags: flags, ID: id})
+	return dst
+}
+
+// AppendStatusReq appends a status-query frame.
+func AppendStatusReq(dst []byte, id uint64) []byte {
+	dst = grow(dst, HeaderSize)
+	base := len(dst)
+	dst = dst[:base+HeaderSize]
+	PutHeader(dst[base:], Header{Version: Version, Type: TypeStatusReq, ID: id})
+	return dst
+}
+
+// AppendStatusResp appends a status response whose payload is opaque
+// bytes (JSON by convention; status is not a hot path).
+func AppendStatusResp(dst []byte, id uint64, body []byte) []byte {
+	dst = grow(dst, HeaderSize+len(body))
+	base := len(dst)
+	dst = dst[:base+HeaderSize+len(body)]
+	PutHeader(dst[base:], Header{
+		Len:     uint32(len(body)),
+		Version: Version,
+		Type:    TypeStatusResp,
+		ID:      id,
+	})
+	copy(dst[base+HeaderSize:], body)
+	return dst
+}
+
+// TypeName names a message type for diagnostics.
+func TypeName(t uint8) string {
+	switch t {
+	case TypeTransformReq:
+		return "transform-req"
+	case TypeTransformResp:
+		return "transform-resp"
+	case TypePing:
+		return "ping"
+	case TypePong:
+		return "pong"
+	case TypeStatusReq:
+		return "status-req"
+	case TypeStatusResp:
+		return "status-resp"
+	default:
+		return fmt.Sprintf("unknown(%d)", t)
+	}
+}
+
+// ---- raw sample packing ----
+
+func putComplex(b []byte, xs []complex128) {
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(b[16*i:], math.Float64bits(real(x)))
+		binary.LittleEndian.PutUint64(b[16*i+8:], math.Float64bits(imag(x)))
+	}
+}
+
+func getComplex(dst []complex128, b []byte) {
+	for i := range dst {
+		re := math.Float64frombits(binary.LittleEndian.Uint64(b[16*i:]))
+		im := math.Float64frombits(binary.LittleEndian.Uint64(b[16*i+8:]))
+		dst[i] = complex(re, im)
+	}
+}
+
+func putFloats(b []byte, xs []float64) {
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(x))
+	}
+}
+
+func getFloats(dst []float64, b []byte) {
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+}
+
+// grow ensures dst has room for n more bytes without reallocating per
+// frame: reused buffers reach steady-state capacity after one request.
+func grow(dst []byte, n int) []byte {
+	if cap(dst)-len(dst) >= n {
+		return dst
+	}
+	//fftlint:ignore hotalloc one-time buffer growth; reused buffers hit steady-state capacity after the first frame
+	out := make([]byte, len(dst), len(dst)+n)
+	copy(out, dst)
+	return out
+}
+
+// growComplex resizes dst to n elements, reusing capacity.
+func growComplex(dst []complex128, n int) []complex128 {
+	if cap(dst) >= n {
+		return dst[:n]
+	}
+	//fftlint:ignore hotalloc one-time buffer growth; reused buffers hit steady-state capacity after the first frame
+	return make([]complex128, n)
+}
+
+// growFloats resizes dst to n elements, reusing capacity.
+func growFloats(dst []float64, n int) []float64 {
+	if cap(dst) >= n {
+		return dst[:n]
+	}
+	//fftlint:ignore hotalloc one-time buffer growth; reused buffers hit steady-state capacity after the first frame
+	return make([]float64, n)
+}

@@ -1,0 +1,255 @@
+package wire
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func randComplex(n int, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]complex128, n)
+	for i := range xs {
+		xs[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return xs
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := Header{Len: 12345, Version: Version, Type: TypeTransformReq, Flags: FlagInverse | FlagError, ID: 0xdeadbeefcafe}
+	var b [HeaderSize]byte
+	PutHeader(b[:], h)
+	got, err := ParseHeader(b[:])
+	if err != nil {
+		t.Fatalf("ParseHeader: %v", err)
+	}
+	if got != h {
+		t.Fatalf("header round trip: got %+v want %+v", got, h)
+	}
+}
+
+func TestParseHeaderRejects(t *testing.T) {
+	var b [HeaderSize]byte
+	PutHeader(b[:], Header{Version: Version, Type: TypePing})
+	if _, err := ParseHeader(b[:HeaderSize-1]); err != ErrShortHeader {
+		t.Errorf("short header: got %v want %v", err, ErrShortHeader)
+	}
+	PutHeader(b[:], Header{Version: Version + 1, Type: TypePing})
+	if _, err := ParseHeader(b[:]); err != ErrVersion {
+		t.Errorf("version mismatch: got %v want %v", err, ErrVersion)
+	}
+	PutHeader(b[:], Header{Version: Version, Type: TypePing, Len: MaxPayload + 1})
+	if _, err := ParseHeader(b[:]); err != ErrTooLarge {
+		t.Errorf("oversized payload: got %v want %v", err, ErrTooLarge)
+	}
+}
+
+func TestTransformReqRoundTripComplex(t *testing.T) {
+	op := &TransformOp{Inverse: true, Input: randComplex(64, 1)}
+	frame := AppendTransformReq(nil, 7, op)
+	h, err := ParseHeader(frame)
+	if err != nil {
+		t.Fatalf("ParseHeader: %v", err)
+	}
+	if h.Type != TypeTransformReq || h.ID != 7 {
+		t.Fatalf("header: %+v", h)
+	}
+	var got TransformOp
+	if err := ParseTransformReq(h, frame[HeaderSize:], &got); err != nil {
+		t.Fatalf("ParseTransformReq: %v", err)
+	}
+	if got.Real || !got.Inverse || got.NoReorder {
+		t.Fatalf("flags: %+v", got)
+	}
+	if len(got.Input) != len(op.Input) {
+		t.Fatalf("len: got %d want %d", len(got.Input), len(op.Input))
+	}
+	for i := range got.Input {
+		//fftlint:ignore floatcmp codec round-trip must be bit-exact, not approximately equal
+		if got.Input[i] != op.Input[i] {
+			t.Fatalf("sample %d: got %v want %v", i, got.Input[i], op.Input[i])
+		}
+	}
+}
+
+func TestTransformReqRoundTripReal(t *testing.T) {
+	op := &TransformOp{Real: true, RealInput: []float64{1, -2.5, math.Pi, 0, math.Inf(1)}}
+	frame := AppendTransformReq(nil, 9, op)
+	h, err := ParseHeader(frame)
+	if err != nil {
+		t.Fatalf("ParseHeader: %v", err)
+	}
+	var got TransformOp
+	// Stale complex data from a previous decode must be cleared.
+	got.Input = randComplex(4, 2)
+	if err := ParseTransformReq(h, frame[HeaderSize:], &got); err != nil {
+		t.Fatalf("ParseTransformReq: %v", err)
+	}
+	if !got.Real || len(got.Input) != 0 {
+		t.Fatalf("real decode left complex residue: %+v", got)
+	}
+	for i := range got.RealInput {
+		//fftlint:ignore floatcmp codec round-trip must be bit-exact, not approximately equal
+		if got.RealInput[i] != op.RealInput[i] && !(math.IsNaN(got.RealInput[i]) && math.IsNaN(op.RealInput[i])) {
+			t.Fatalf("sample %d: got %v want %v", i, got.RealInput[i], op.RealInput[i])
+		}
+	}
+	if got.N() != 5 {
+		t.Fatalf("N: got %d want 5", got.N())
+	}
+}
+
+func TestTransformRespRoundTrip(t *testing.T) {
+	out := randComplex(32, 3)
+	frame := AppendTransformOK(nil, 11, out)
+	h, err := ParseHeader(frame)
+	if err != nil {
+		t.Fatalf("ParseHeader: %v", err)
+	}
+	got, remoteErr, err := ParseTransformResp(h, frame[HeaderSize:], nil)
+	if err != nil || remoteErr != "" {
+		t.Fatalf("ParseTransformResp: %v %q", err, remoteErr)
+	}
+	for i := range got {
+		//fftlint:ignore floatcmp codec round-trip must be bit-exact, not approximately equal
+		if got[i] != out[i] {
+			t.Fatalf("sample %d: got %v want %v", i, got[i], out[i])
+		}
+	}
+}
+
+func TestTransformRespError(t *testing.T) {
+	frame := AppendTransformErr(nil, 13, "plan: length must be a power of two")
+	h, err := ParseHeader(frame)
+	if err != nil {
+		t.Fatalf("ParseHeader: %v", err)
+	}
+	got, remoteErr, err := ParseTransformResp(h, frame[HeaderSize:], nil)
+	if err != nil {
+		t.Fatalf("ParseTransformResp: %v", err)
+	}
+	if len(got) != 0 || !strings.Contains(remoteErr, "power of two") {
+		t.Fatalf("error response: got %v %q", got, remoteErr)
+	}
+}
+
+func TestTruncatedPayloads(t *testing.T) {
+	op := &TransformOp{Input: randComplex(8, 4)}
+	frame := AppendTransformReq(nil, 1, op)
+	h, _ := ParseHeader(frame)
+	var got TransformOp
+	if err := ParseTransformReq(h, frame[HeaderSize:len(frame)-1], &got); err != ErrTruncated {
+		t.Errorf("short req payload: got %v want %v", err, ErrTruncated)
+	}
+	resp := AppendTransformOK(nil, 1, op.Input)
+	rh, _ := ParseHeader(resp)
+	if _, _, err := ParseTransformResp(rh, resp[HeaderSize:len(resp)-1], nil); err != ErrTruncated {
+		t.Errorf("short resp payload: got %v want %v", err, ErrTruncated)
+	}
+}
+
+func TestPingPong(t *testing.T) {
+	for _, ready := range []bool{true, false} {
+		frame := AppendPong(nil, 5, ready)
+		h, err := ParseHeader(frame)
+		if err != nil {
+			t.Fatalf("ParseHeader: %v", err)
+		}
+		if h.Type != TypePong || (h.Flags&FlagReady != 0) != ready {
+			t.Fatalf("pong ready=%v: header %+v", ready, h)
+		}
+	}
+	frame := AppendPing(nil, 6)
+	if h, _ := ParseHeader(frame); h.Type != TypePing || h.ID != 6 {
+		t.Fatalf("ping header wrong")
+	}
+}
+
+func TestStatusRoundTrip(t *testing.T) {
+	body := []byte(`{"id":"n0","ready":true}`)
+	frame := AppendStatusResp(AppendStatusReq(nil, 1), 2, body)
+	h, err := ParseHeader(frame)
+	if err != nil {
+		t.Fatalf("ParseHeader: %v", err)
+	}
+	if h.Type != TypeStatusReq {
+		t.Fatalf("first frame type: %s", TypeName(h.Type))
+	}
+	rest := frame[HeaderSize+h.Len:]
+	h2, err := ParseHeader(rest)
+	if err != nil {
+		t.Fatalf("second ParseHeader: %v", err)
+	}
+	if h2.Type != TypeStatusResp || string(rest[HeaderSize:HeaderSize+h2.Len]) != string(body) {
+		t.Fatalf("status payload: %q", rest[HeaderSize:])
+	}
+}
+
+// TestEncodeDecodeAllocFree pins the acceptance criterion: the wire
+// encode/decode hot path — request out, request in, response out,
+// response in, with reused buffers — performs zero allocations per
+// round trip in steady state.
+func TestEncodeDecodeAllocFree(t *testing.T) {
+	const n = 1024
+	in := randComplex(n, 5)
+	op := &TransformOp{Input: in}
+
+	// Reused buffers, warmed to steady-state capacity by the first run.
+	var reqBuf, respBuf []byte
+	var decoded TransformOp
+	var out []complex128
+
+	roundTrip := func() {
+		reqBuf = AppendTransformReq(reqBuf[:0], 42, op)
+		h, err := ParseHeader(reqBuf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ParseTransformReq(h, reqBuf[HeaderSize:], &decoded); err != nil {
+			t.Fatal(err)
+		}
+		respBuf = AppendTransformOK(respBuf[:0], h.ID, decoded.Input)
+		rh, err := ParseHeader(respBuf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var remoteErr string
+		out, remoteErr, err = ParseTransformResp(rh, respBuf[HeaderSize:], out)
+		if err != nil || remoteErr != "" {
+			t.Fatal(err, remoteErr)
+		}
+	}
+	roundTrip() // warm buffers
+
+	//fftlint:ignore floatcmp AllocsPerRun counts whole objects; the assertion is exactly zero
+	if allocs := testing.AllocsPerRun(100, roundTrip); allocs != 0 {
+		t.Fatalf("wire encode/decode round trip allocates %.1f/op; want 0", allocs)
+	}
+	//fftlint:ignore floatcmp codec round-trip must be bit-exact, not approximately equal
+	if len(out) != n || out[0] != in[0] || out[n-1] != in[n-1] {
+		t.Fatalf("round-tripped data corrupted")
+	}
+}
+
+func FuzzParseTransformReq(f *testing.F) {
+	op := &TransformOp{Input: randComplex(4, 6)}
+	f.Add(AppendTransformReq(nil, 1, op))
+	f.Add([]byte{})
+	f.Add(make([]byte, HeaderSize))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := ParseHeader(data)
+		if err != nil {
+			return
+		}
+		payload := data[HeaderSize:]
+		if int(h.Len) > len(payload) {
+			return
+		}
+		var op TransformOp
+		// Must never panic, whatever the bytes.
+		_ = ParseTransformReq(h, payload[:h.Len], &op)
+		var out []complex128
+		_, _, _ = ParseTransformResp(h, payload[:h.Len], out)
+	})
+}

@@ -35,6 +35,7 @@ const (
 	CatParfft  = "parfft"  // distributed-FFT schedule phases
 	CatNetsim  = "netsim"  // machine-level operations (exchanges, routes)
 	CatCompute = "compute" // local computation phases
+	CatCluster = "cluster" // cross-node RPCs (forwarding, remote execution)
 )
 
 // Tracer collects the spans of one traced unit of work (one HTTP
@@ -260,7 +261,23 @@ type ctxKey int
 const (
 	tracerKey ctxKey = iota
 	spanKey
+	requestIDKey
 )
+
+// WithRequestID returns a context carrying a cross-node request ID —
+// the 64-bit ID from a cluster wire-frame header. A node handling a
+// forwarded RPC stores the sender's ID here so spans opened anywhere
+// below the RPC handler can correlate with the sender's span tree.
+func WithRequestID(ctx context.Context, id uint64) context.Context {
+	return context.WithValue(ctx, requestIDKey, id)
+}
+
+// RequestIDFrom returns the cross-node request ID carried by ctx, or 0
+// when the work did not arrive over the cluster wire protocol.
+func RequestIDFrom(ctx context.Context) uint64 {
+	id, _ := ctx.Value(requestIDKey).(uint64)
+	return id
+}
 
 // WithTracer returns a context carrying t.
 func WithTracer(ctx context.Context, t *Tracer) context.Context {

@@ -39,13 +39,25 @@ type Key struct {
 	N    int
 }
 
-// Stats is a snapshot of the cache counters.
+// Stats is a snapshot of the cache counters. Shards carries per-shard
+// occupancy and eviction breakdowns (index = shard number): a single
+// hot shard evicting while the rest sit empty means the key
+// distribution — not the capacity — is the problem, which the global
+// counters alone cannot distinguish.
 type Stats struct {
-	Hits      int64 `json:"hits"`
-	Misses    int64 `json:"misses"`
-	Evictions int64 `json:"evictions"`
+	Hits      int64        `json:"hits"`
+	Misses    int64        `json:"misses"`
+	Evictions int64        `json:"evictions"`
+	Size      int          `json:"size"`
+	Capacity  int          `json:"capacity"`
+	Shards    []ShardStats `json:"shards,omitempty"`
+}
+
+// ShardStats is one shard's occupancy and eviction count.
+type ShardStats struct {
 	Size      int   `json:"size"`
 	Capacity  int   `json:"capacity"`
+	Evictions int64 `json:"evictions"`
 }
 
 // entry is one cached plan inside a shard's LRU list.
@@ -56,10 +68,11 @@ type entry struct {
 
 // shard is one independently locked LRU segment.
 type shard struct {
-	mu    sync.Mutex
-	cap   int
-	items map[Key]*list.Element
-	order *list.List // front = most recently used
+	mu        sync.Mutex
+	cap       int
+	items     map[Key]*list.Element
+	order     *list.List // front = most recently used
+	evictions int64      // guarded by mu; the shard's share of Stats.Evictions
 }
 
 // Cache is a sharded LRU plan cache. The zero value is not usable; use
@@ -141,6 +154,7 @@ func (c *Cache) Put(k Key, v any) {
 		oldest := s.order.Back()
 		s.order.Remove(oldest)
 		delete(s.items, oldest.Value.(*entry).key)
+		s.evictions++
 		c.evictions.Add(1)
 	}
 }
@@ -181,15 +195,32 @@ func (c *Cache) Capacity() int {
 	return total
 }
 
-// Stats snapshots the hit/miss/eviction counters and current size.
+// Stats snapshots the hit/miss/eviction counters, current size and the
+// per-shard breakdown.
 func (c *Cache) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Hits:      c.hits.Load(),
 		Misses:    c.misses.Load(),
 		Evictions: c.evictions.Load(),
-		Size:      c.Len(),
-		Capacity:  c.Capacity(),
+		Shards:    c.ShardStats(),
 	}
+	for _, sh := range st.Shards {
+		st.Size += sh.Size
+		st.Capacity += sh.Capacity
+	}
+	return st
+}
+
+// ShardStats snapshots each shard's occupancy and eviction count,
+// indexed by shard number.
+func (c *Cache) ShardStats() []ShardStats {
+	out := make([]ShardStats, len(c.shards))
+	for i, s := range c.shards {
+		s.mu.Lock()
+		out[i] = ShardStats{Size: s.order.Len(), Capacity: s.cap, Evictions: s.evictions}
+		s.mu.Unlock()
+	}
+	return out
 }
 
 // Keys returns every cached key in no particular order (for tests).

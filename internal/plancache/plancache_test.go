@@ -206,6 +206,39 @@ func TestEvictionKeepsShardBounded(t *testing.T) {
 	}
 }
 
+// TestShardStatsConsistent checks the per-shard breakdown reconciles
+// with the global counters: shard sizes sum to Len, shard evictions sum
+// to Stats.Evictions, and the slice is one entry per shard.
+func TestShardStatsConsistent(t *testing.T) {
+	c := New(numShards) // one entry per shard: every collision evicts
+	for n := 1; n <= 1<<12; n <<= 1 {
+		c.Put(Key{KindComplex, n}, n)
+		c.Put(Key{KindReal, n}, n)
+	}
+	st := c.Stats()
+	if len(st.Shards) != numShards {
+		t.Fatalf("got %d shard entries, want %d", len(st.Shards), numShards)
+	}
+	var size int
+	var evictions int64
+	for i, sh := range st.Shards {
+		if sh.Size > sh.Capacity {
+			t.Fatalf("shard %d over capacity: %d > %d", i, sh.Size, sh.Capacity)
+		}
+		size += sh.Size
+		evictions += sh.Evictions
+	}
+	if size != c.Len() || size != st.Size {
+		t.Fatalf("shard sizes sum to %d; Len() = %d, Stats.Size = %d", size, c.Len(), st.Size)
+	}
+	if evictions != st.Evictions {
+		t.Fatalf("shard evictions sum to %d; global counter = %d", evictions, st.Evictions)
+	}
+	if evictions == 0 {
+		t.Fatal("test churned nothing: no evictions happened")
+	}
+}
+
 // TestPlanCacheHitPathAllocationFree pins that serving a cached plan
 // performs zero heap allocations: the hit path is on every request of
 // the service hot path, so an allocation here would show up as GC

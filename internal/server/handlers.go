@@ -12,6 +12,8 @@ import (
 	"sync"
 
 	"repro/internal/bits"
+	"repro/internal/cluster"
+	"repro/internal/cluster/wire"
 	"repro/internal/fft"
 	"repro/internal/hardware"
 	"repro/internal/netsim"
@@ -84,9 +86,52 @@ type FFTResponse struct {
 	Results []TransformResult `json:"results"`
 }
 
-// runTransform executes one transform against the shared plan cache.
-// The span (traced requests only) carries the transform kind and size;
-// untraced requests get the nil-span no-op path, keeping the
+// executeOp runs one validated transform op against the shared plan
+// cache. It is the single local execution path: runTransform reaches it
+// for single-node serving and self-owned shards, and ClusterExecutor
+// exposes it to peers for forwarded RPCs — which is what makes cluster
+// results bit-identical to single-node results. A non-nil dst with
+// sufficient capacity is reused for complex output (the HTTP path
+// passes pooled scratch); forwarded RPCs pass nil and the result is
+// serialized before the buffer would be reused.
+func (s *Server) executeOp(_ context.Context, op *wire.TransformOp, dst []complex128) ([]complex128, error) {
+	n := op.N()
+	if err := s.checkLen(n); err != nil {
+		return nil, err
+	}
+	if op.Real {
+		p, err := s.cache.RealPlan(n)
+		if err != nil {
+			return nil, badRequest("real plan: %v", err)
+		}
+		return p.Forward(op.RealInput), nil
+	}
+	p, err := s.cache.ComplexPlan(n)
+	if err != nil {
+		return nil, badRequest("plan: %v", err)
+	}
+	var out []complex128
+	if cap(dst) >= n {
+		out = dst[:n]
+	} else {
+		out = make([]complex128, n)
+	}
+	switch {
+	case op.Inverse:
+		p.Inverse(out, op.Input)
+	case op.NoReorder:
+		p.TransformNoReorder(out, op.Input)
+	default:
+		p.Transform(out, op.Input)
+	}
+	return out, nil
+}
+
+// runTransform executes one transform: validation, then either the
+// local plan-cache path or — when a cluster client is installed — the
+// consistent-hash ring, which may forward the op to the peer owning its
+// shape. The span (traced requests only) carries the transform kind and
+// size; untraced requests get the nil-span no-op path, keeping the
 // plancache-hit serving path allocation-free.
 func (s *Server) runTransform(ctx context.Context, spec TransformSpec) (TransformResult, error) {
 	sp := obs.StartChild(ctx, "transform").SetCat(obs.CatCompute)
@@ -95,53 +140,61 @@ func (s *Server) runTransform(ctx context.Context, spec TransformSpec) (Transfor
 	case len(spec.Input) > 0 && len(spec.RealInput) > 0:
 		return TransformResult{}, badRequest("transform sets both input and real_input")
 	case len(spec.RealInput) > 0:
-		n := len(spec.RealInput)
-		if err := s.checkLen(n); err != nil {
-			return TransformResult{}, err
-		}
 		if spec.Inverse || spec.NoReorder {
 			return TransformResult{}, badRequest("inverse/no_reorder apply to complex input only")
 		}
-		p, err := s.cache.RealPlan(n)
-		if err != nil {
-			return TransformResult{}, badRequest("real plan: %v", err)
-		}
+		n := len(spec.RealInput)
 		if sp != nil {
 			sp.SetDetail(fmt.Sprintf("real n=%d", n))
 		}
-		return TransformResult{N: n, Output: fromComplex(p.Forward(spec.RealInput))}, nil
-	case len(spec.Input) > 0:
-		n := len(spec.Input)
-		if err := s.checkLen(n); err != nil {
+		op := wire.TransformOp{Real: true, RealInput: spec.RealInput}
+		out, err := s.dispatchOp(ctx, &op, nil)
+		if err != nil {
 			return TransformResult{}, err
 		}
-		p, err := s.cache.ComplexPlan(n)
-		if err != nil {
-			return TransformResult{}, badRequest("plan: %v", err)
-		}
+		return TransformResult{N: n, Output: fromComplex(out)}, nil
+	case len(spec.Input) > 0:
 		if spec.Inverse && spec.NoReorder {
 			return TransformResult{}, badRequest("inverse and no_reorder are mutually exclusive")
 		}
+		n := len(spec.Input)
 		if sp != nil {
 			sp.SetDetail(fmt.Sprintf("complex n=%d inverse=%v", n, spec.Inverse))
 		}
 		// Pooled scratch: the wire-format conversions own the only
-		// per-request allocations left on this path.
+		// per-request allocations left on the local path.
 		b := getXBuf(n)
 		defer putXBuf(b)
 		toComplexInto(b.in, spec.Input)
-		switch {
-		case spec.Inverse:
-			p.Inverse(b.out, b.in)
-		case spec.NoReorder:
-			p.TransformNoReorder(b.out, b.in)
-		default:
-			p.Transform(b.out, b.in)
+		op := wire.TransformOp{Inverse: spec.Inverse, NoReorder: spec.NoReorder, Input: b.in}
+		out, err := s.dispatchOp(ctx, &op, b.out)
+		if err != nil {
+			return TransformResult{}, err
 		}
-		return TransformResult{N: n, Output: fromComplex(b.out)}, nil
+		return TransformResult{N: n, Output: fromComplex(out)}, nil
 	default:
 		return TransformResult{}, badRequest("transform has no input or real_input")
 	}
+}
+
+// dispatchOp routes one op: through the cluster client when installed
+// (the client short-circuits self-owned shapes back to executeOp via
+// ClusterExecutor), directly to executeOp otherwise. A peer's
+// application-level rejection comes back as a RemoteError and maps to
+// 400 — the peer runs the same validation this node would.
+func (s *Server) dispatchOp(ctx context.Context, op *wire.TransformOp, dst []complex128) ([]complex128, error) {
+	if s.cluster == nil {
+		return s.executeOp(ctx, op, dst)
+	}
+	out, err := s.cluster.Transform(ctx, op)
+	if err != nil {
+		var remote *cluster.RemoteError
+		if errors.As(err, &remote) {
+			return nil, badRequest("%s", remote.Msg)
+		}
+		return nil, err
+	}
+	return out, nil
 }
 
 // checkLen validates a transform length against the configured bound
@@ -579,6 +632,22 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, HealthResponse{Status: "ok"})
 }
 
+// handleReadyz reports readiness, as distinct from liveness: a 200
+// while serving, a 503 once StartDrain has been called. Load balancers
+// and cluster peers route on readiness; orchestrators restart on
+// liveness — a draining process is alive but not ready.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.Draining() {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(HealthResponse{Status: "draining"})
+		return
+	}
+	writeJSON(w, HealthResponse{Status: "ready"})
+}
+
 // wantsPromText decides the /metrics representation from the Accept
 // header: any explicit preference for a text or OpenMetrics form gets
 // the Prometheus exposition; everything else (including no header and
@@ -589,12 +658,13 @@ func wantsPromText(accept string) bool {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.MetricsSnapshot()
 	if wantsPromText(r.Header.Get("Accept")) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = s.metrics.writePrometheus(w, s.metrics.snapshot(s.cache, s.pool))
+		_ = s.metrics.writePrometheus(w, snap)
 		return
 	}
-	writeJSON(w, s.metrics.snapshot(s.cache, s.pool))
+	writeJSON(w, snap)
 }
 
 // handleSlow serves the slow-trace ring: the most recent captured

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/plancache"
 	"repro/internal/trace"
 )
@@ -141,7 +142,10 @@ type Snapshot struct {
 	PlanCache     plancache.Stats         `json:"plan_cache"`
 	Queue         poolStats               `json:"queue"`
 	Latency       trace.HistogramSnapshot `json:"latency"`
-	RouteOrder    []string                `json:"-"`
+	// Cluster carries the routing client's counters; nil when the
+	// server runs single-node.
+	Cluster    *cluster.ClientMetrics `json:"cluster,omitempty"`
+	RouteOrder []string               `json:"-"`
 }
 
 // snapshot gathers every counter consistently enough for monitoring.

@@ -3,6 +3,7 @@ package server
 import (
 	"io"
 	"runtime"
+	"strconv"
 
 	"repro/internal/obs"
 )
@@ -58,6 +59,25 @@ func (m *Metrics) writePrometheus(w io.Writer, s Snapshot) error {
 	}
 	pw.Sample("fftd_plan_cache_hit_ratio", nil, ratio)
 
+	// Per-shard occupancy and evictions, labelled by shard index in
+	// natural order (the snapshot slice is already index-ordered, so the
+	// exposition stays deterministic).
+	pw.Header("fftd_plan_cache_shard_size", "gauge", "Plans cached per LRU shard.")
+	for i, sh := range s.PlanCache.Shards {
+		pw.Sample("fftd_plan_cache_shard_size",
+			[]obs.Label{{Name: "shard", Value: strconv.Itoa(i)}}, float64(sh.Size))
+	}
+	pw.Header("fftd_plan_cache_shard_capacity", "gauge", "Plan capacity per LRU shard.")
+	for i, sh := range s.PlanCache.Shards {
+		pw.Sample("fftd_plan_cache_shard_capacity",
+			[]obs.Label{{Name: "shard", Value: strconv.Itoa(i)}}, float64(sh.Capacity))
+	}
+	pw.Header("fftd_plan_cache_shard_evictions_total", "counter", "Plans evicted per LRU shard.")
+	for i, sh := range s.PlanCache.Shards {
+		pw.Sample("fftd_plan_cache_shard_evictions_total",
+			[]obs.Label{{Name: "shard", Value: strconv.Itoa(i)}}, float64(sh.Evictions))
+	}
+
 	pw.Header("fftd_pool_workers", "gauge", "Worker pool size.")
 	pw.Sample("fftd_pool_workers", nil, float64(s.Queue.Workers))
 	pw.Header("fftd_pool_queue_capacity", "gauge", "Worker pool queue capacity.")
@@ -66,6 +86,25 @@ func (m *Metrics) writePrometheus(w io.Writer, s Snapshot) error {
 	pw.Sample("fftd_pool_queue_depth", nil, float64(s.Queue.Queued))
 	pw.Header("fftd_pool_active", "gauge", "Jobs currently executing.")
 	pw.Sample("fftd_pool_active", nil, float64(s.Queue.Active))
+
+	// Cluster routing counters, present only in cluster mode so
+	// single-node expositions are unchanged.
+	if s.Cluster != nil {
+		pw.Header("fftd_cluster_local_total", "counter", "Transforms executed on the local shard.")
+		pw.Sample("fftd_cluster_local_total", nil, float64(s.Cluster.Local))
+		pw.Header("fftd_cluster_forwarded_total", "counter", "Transforms forwarded to a peer.")
+		pw.Sample("fftd_cluster_forwarded_total", nil, float64(s.Cluster.Forwarded))
+		pw.Header("fftd_cluster_hedged_total", "counter", "Hedged attempts launched by the hedge timer.")
+		pw.Sample("fftd_cluster_hedged_total", nil, float64(s.Cluster.Hedged))
+		pw.Header("fftd_cluster_failovers_total", "counter", "Attempts launched after a hard peer failure.")
+		pw.Sample("fftd_cluster_failovers_total", nil, float64(s.Cluster.Failovers))
+		pw.Header("fftd_cluster_retries_total", "counter", "Full preference-list retry rounds.")
+		pw.Sample("fftd_cluster_retries_total", nil, float64(s.Cluster.Retries))
+		pw.Header("fftd_cluster_breaker_skips_total", "counter", "Peers skipped on an open circuit breaker.")
+		pw.Sample("fftd_cluster_breaker_skips_total", nil, float64(s.Cluster.BreakerSkips))
+		pw.Header("fftd_cluster_remote_errors_total", "counter", "Application errors returned by peers.")
+		pw.Sample("fftd_cluster_remote_errors_total", nil, float64(s.Cluster.RemoteErrors))
+	}
 
 	// Per-route latency histogram with the fixed cumulative bounds of
 	// latencyBounds plus the mandatory +Inf bucket.

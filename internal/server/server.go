@@ -25,6 +25,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
+	"repro/internal/cluster/wire"
 	"repro/internal/obs"
 	"repro/internal/plancache"
 )
@@ -96,15 +98,21 @@ func (c Config) withDefaults() Config {
 // Server is the fftd service: handlers plus the shared plan cache,
 // worker pool, coalescing group and metrics.
 type Server struct {
-	cfg     Config
-	cache   *plancache.Cache
-	pool    *workerPool
-	metrics *Metrics
-	flights flightGroup
-	mux     *http.ServeMux
-	slow    *slowRing
-	rids    *requestIDs
-	reqSeq  atomic.Int64 // drives TraceSampleEvery
+	cfg      Config
+	cache    *plancache.Cache
+	pool     *workerPool
+	metrics  *Metrics
+	flights  flightGroup
+	mux      *http.ServeMux
+	slow     *slowRing
+	rids     *requestIDs
+	reqSeq   atomic.Int64 // drives TraceSampleEvery
+	draining atomic.Bool  // set by StartDrain; read by /readyz and cluster pings
+
+	// cluster, when set, shards transforms across the ring instead of
+	// always executing locally. Written once at startup (SetCluster)
+	// before the listener starts accepting.
+	cluster *cluster.Client
 }
 
 // New creates a ready-to-serve Server.
@@ -126,6 +134,7 @@ func New(cfg Config) *Server {
 	s.route("POST /v1/simulate", s.handleSimulate, true)
 	s.route("GET /v1/compare", s.handleCompare, true)
 	s.route("GET /healthz", s.handleHealthz, false)
+	s.route("GET /readyz", s.handleReadyz, false)
 	s.route("GET /metrics", s.handleMetrics, false)
 	s.route("GET /v1/debug/slow", s.handleSlow, false)
 	return s
@@ -139,8 +148,42 @@ func (s *Server) Handler() http.Handler { return s.mux }
 func (s *Server) PlanCache() *plancache.Cache { return s.cache }
 
 // MetricsSnapshot returns the current counters, as served by /metrics.
+// In cluster mode the snapshot carries the routing client's counters.
 func (s *Server) MetricsSnapshot() Snapshot {
-	return s.metrics.snapshot(s.cache, s.pool)
+	snap := s.metrics.snapshot(s.cache, s.pool)
+	if s.cluster != nil {
+		cm := s.cluster.Metrics()
+		snap.Cluster = &cm
+	}
+	return snap
+}
+
+// StartDrain marks the server draining: /readyz starts answering 503
+// and (in cluster mode) peers see ready=false on their next heartbeat,
+// so new traffic routes away while in-flight requests finish. Call it
+// when shutdown is requested, before http.Server.Shutdown.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether StartDrain has been called — readiness as
+// distinct from liveness (/healthz stays 200 throughout a drain).
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// SetCluster installs the cluster routing client. Call it once during
+// startup, before the HTTP listener accepts requests.
+func (s *Server) SetCluster(c *cluster.Client) { s.cluster = c }
+
+// Cluster returns the installed cluster client, or nil.
+func (s *Server) Cluster() *cluster.Client { return s.cluster }
+
+// ClusterExecutor returns this server's local transform executor: the
+// plan-cache-backed function a cluster.Node runs forwarded transforms
+// through, and the cluster.Client runs self-owned shards through. The
+// results are byte-identical to the single-node serving path because it
+// IS the single-node serving path.
+func (s *Server) ClusterExecutor() cluster.Executor {
+	return func(ctx context.Context, op *wire.TransformOp) ([]complex128, error) {
+		return s.executeOp(ctx, op, nil)
+	}
 }
 
 // Close drains the worker pool: queued jobs finish, workers exit. Call
