@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all verify build vet lint test race test-race cover bench bench-compare bench-baseline gobench fuzz vuln repro serve profile trace metrics-lint cluster-test cluster-demo examples clean
+.PHONY: all verify build vet lint test race test-race cover bench bench-compare bench-baseline gobench fuzz vuln repro serve profile trace metrics-lint cluster-test cluster-demo load-smoke load-baseline load-compare examples clean
 
 all: verify
 
@@ -111,6 +111,34 @@ BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
 THRESHOLD ?=
 bench-compare:
 	$(GO) run ./cmd/fftbench run -out $(BENCH_OUT) -compare $(BASELINE) $(if $(THRESHOLD),-threshold $(THRESHOLD))
+
+# load-smoke runs the hermetic CI saturation sweep (docs/LOADGEN.md):
+# the -quick knee workload on a closed-loop 1..32 ladder against a
+# deliberately tiny in-process fftd (1 worker, 1 queue slot), writing a
+# schema-validated LOAD artifact to a throwaway path. -strict fails on
+# any non-429 error; 429s are the server's own backpressure and are
+# expected at the knee.
+LOAD_OUT ?= /tmp/fftload-local.json
+load-smoke:
+	$(GO) run ./cmd/fftload sweep -quick -inproc -inproc-workers 1 -inproc-queue 1 \
+		-out $(LOAD_OUT) -strict
+
+# load-baseline writes the next versioned LOAD_<seq>.json at the repo
+# root — commit it to refresh the saturation baseline.
+load-baseline:
+	$(GO) run ./cmd/fftload sweep -quick -inproc -inproc-workers 1 -inproc-queue 1 \
+		-dir . -strict
+
+# load-compare reruns the quick sweep and fails if capacity (the knee's
+# sustainable throughput) regressed past the threshold relative to the
+# committed baseline (highest LOAD_*.json by default; override with
+# LOAD_BASELINE=LOAD_2.json LOAD_THRESHOLD=0.5).
+LOAD_BASELINE ?= $(lastword $(sort $(wildcard LOAD_*.json)))
+LOAD_THRESHOLD ?=
+load-compare:
+	$(GO) run ./cmd/fftload sweep -quick -inproc -inproc-workers 1 -inproc-queue 1 \
+		-out $(LOAD_OUT) -strict -compare $(LOAD_BASELINE) \
+		$(if $(LOAD_THRESHOLD),-threshold $(LOAD_THRESHOLD))
 
 # gobench runs the ordinary `go test` microbenchmarks.
 gobench:

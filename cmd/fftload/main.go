@@ -1,0 +1,450 @@
+// Command fftload is the synthetic-workload generator and cluster
+// saturation analyzer: it records seeded, replayable traces, replays
+// them against a live fftd/fftcluster (over HTTP or booted in-process),
+// ramps offered load to find the saturation knee, and writes versioned
+// LOAD_<seq>.json artifacts that CI gates on, the same way fftbench
+// gates on BENCH_<seq>.json.
+//
+// Usage:
+//
+//	fftload record [flags]       generate a trace file from a spec
+//	fftload replay [flags]       replay a trace against a target
+//	fftload sweep  [flags]       ramp a load ladder, detect the knee,
+//	                             write LOAD_<seq>.json
+//	fftload compare OLD NEW      diff two artifacts' capacity
+//
+// Workload selection (record, sweep):
+//
+//	-spec path      full workload spec (JSON; see docs/LOADGEN.md)
+//	-preset name    built-in workload: smoke, knee or default
+//	-seed N         override the spec seed
+//	-requests N     override the request count (record only)
+//
+// Target selection (replay, sweep):
+//
+//	-target URL         drive a live daemon (e.g. http://127.0.0.1:8080)
+//	-inproc             boot a single-node fftd in-process
+//	-inproc-cluster N   boot an N-node fftcluster ring in-process
+//	-inproc-workers N   worker-pool size for in-process nodes
+//	-inproc-queue N     queue depth for in-process nodes
+//
+// Exit status: 0 on success, 1 when a gate fails (-compare regression,
+// or -strict with non-429 errors), 2 on usage or execution errors.
+//
+// See docs/LOADGEN.md for the trace and artifact schemas.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"repro/internal/load"
+	"repro/internal/server"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	switch os.Args[1] {
+	case "record":
+		os.Exit(cmdRecord(os.Args[2:]))
+	case "replay":
+		os.Exit(cmdReplay(ctx, os.Args[2:]))
+	case "sweep":
+		os.Exit(cmdSweep(ctx, os.Args[2:]))
+	case "compare":
+		os.Exit(cmdCompare(os.Args[2:]))
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "fftload: unknown command %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `fftload — seeded workload generation and saturation sweeps
+
+  fftload record [-spec path | -preset name] [-seed N] [-requests N]
+                 [-rate R | -concurrency C] -out trace.json
+  fftload replay -trace trace.json (-target URL | -inproc | -inproc-cluster N)
+                 [-strict]
+  fftload sweep  [-spec path | -preset name] [-quick]
+                 (-target URL | -inproc | -inproc-cluster N)
+                 [-ladder 1,2,4,...] [-per-step N] [-dir path] [-out path]
+                 [-compare baseline.json] [-threshold r] [-strict]
+  fftload compare OLD.json NEW.json [-threshold r]
+`)
+}
+
+// specFlags is the workload selection shared by record and sweep.
+type specFlags struct {
+	spec        *string
+	preset      *string
+	seed        *int64
+	rate        *float64
+	concurrency *int
+}
+
+func addSpecFlags(fs *flag.FlagSet) specFlags {
+	return specFlags{
+		spec:        fs.String("spec", "", "workload spec file (JSON)"),
+		preset:      fs.String("preset", "", "built-in workload: smoke, knee or default"),
+		seed:        fs.Int64("seed", 0, "override the spec seed"),
+		rate:        fs.Float64("rate", 0, "switch to open-loop Poisson arrivals at this rate"),
+		concurrency: fs.Int("concurrency", 0, "switch to closed-loop arrivals at this concurrency"),
+	}
+}
+
+func (f specFlags) build() (load.Spec, error) {
+	var spec load.Spec
+	switch {
+	case *f.spec != "" && *f.preset != "":
+		return spec, fmt.Errorf("fftload: -spec and -preset are mutually exclusive")
+	case *f.spec != "":
+		s, err := load.LoadSpec(*f.spec)
+		if err != nil {
+			return spec, err
+		}
+		spec = s
+	case *f.preset == "smoke" || *f.preset == "":
+		spec = load.SmokeSpec()
+	case *f.preset == "knee":
+		spec = load.KneeSpec()
+	case *f.preset == "default":
+		spec = load.Spec{
+			SchemaVersion: load.SpecSchemaVersion,
+			Name:          "default",
+			Seed:          1,
+			Arrival:       load.ArrivalSpec{Kind: load.ArrivalPoisson, RatePerSec: 100},
+			Cohorts:       load.DefaultCohorts(),
+		}
+	default:
+		return spec, fmt.Errorf("fftload: unknown preset %q (want smoke, knee or default)", *f.preset)
+	}
+	if *f.seed != 0 {
+		spec.Seed = *f.seed
+	}
+	if *f.rate > 0 && *f.concurrency > 0 {
+		return spec, fmt.Errorf("fftload: -rate and -concurrency are mutually exclusive")
+	}
+	if *f.rate > 0 {
+		spec.Arrival = load.ArrivalSpec{Kind: load.ArrivalPoisson, RatePerSec: *f.rate}
+	}
+	if *f.concurrency > 0 {
+		spec.Arrival = load.ArrivalSpec{Kind: load.ArrivalClosed, Concurrency: *f.concurrency}
+	}
+	return spec, nil
+}
+
+// targetFlags is the target selection shared by replay and sweep.
+type targetFlags struct {
+	url     *string
+	inproc  *bool
+	cluster *int
+	workers *int
+	queue   *int
+}
+
+func addTargetFlags(fs *flag.FlagSet) targetFlags {
+	return targetFlags{
+		url:     fs.String("target", "", "base URL of a live daemon"),
+		inproc:  fs.Bool("inproc", false, "boot a single-node fftd in-process"),
+		cluster: fs.Int("inproc-cluster", 0, "boot an N-node fftcluster ring in-process"),
+		workers: fs.Int("inproc-workers", 0, "worker-pool size for in-process nodes (0 = GOMAXPROCS)"),
+		queue:   fs.Int("inproc-queue", 0, "queue depth for in-process nodes (0 = 256)"),
+	}
+}
+
+func (f targetFlags) open() (load.Target, error) {
+	picked := 0
+	if *f.url != "" {
+		picked++
+	}
+	if *f.inproc {
+		picked++
+	}
+	if *f.cluster > 0 {
+		picked++
+	}
+	if picked != 1 {
+		return nil, fmt.Errorf("fftload: pick exactly one of -target, -inproc, -inproc-cluster")
+	}
+	cfg := server.Config{Workers: *f.workers, QueueDepth: *f.queue}
+	switch {
+	case *f.url != "":
+		return load.NewHTTPTarget(*f.url), nil
+	case *f.inproc:
+		return load.StartInproc(cfg)
+	default:
+		return load.StartInprocCluster(*f.cluster, cfg)
+	}
+}
+
+func cmdRecord(args []string) int {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	sf := addSpecFlags(fs)
+	requests := fs.Int("requests", 0, "requests to generate (overrides the spec)")
+	out := fs.String("out", "", "trace output path (required)")
+	fs.Parse(args)
+
+	spec, err := sf.build()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if *requests > 0 {
+		spec.Requests = *requests
+	}
+	if spec.Requests == 0 {
+		spec.Requests = 1000
+	}
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "fftload record: -out is required")
+		return 2
+	}
+	tr, err := load.Generate(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if err := load.WriteTrace(*out, tr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	last := tr.Requests[len(tr.Requests)-1]
+	fmt.Printf("wrote %s: %d requests, seed %d, %s arrivals, %.2fs of trace time\n",
+		*out, len(tr.Requests), spec.Seed, spec.Arrival.Kind, float64(last.AtMicros)/1e6)
+	return 0
+}
+
+func cmdReplay(ctx context.Context, args []string) int {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	tf := addTargetFlags(fs)
+	trace := fs.String("trace", "", "trace file to replay (required)")
+	strict := fs.Bool("strict", false, "exit 1 if any request failed with a non-429 error")
+	fs.Parse(args)
+
+	if *trace == "" {
+		fmt.Fprintln(os.Stderr, "fftload replay: -trace is required")
+		return 2
+	}
+	tr, err := load.LoadTrace(*trace)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	target, err := tf.open()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	defer target.Close()
+
+	res, err := load.Run(ctx, target, tr, load.RunOptions{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	printRun(target.Name(), res)
+	if *strict && res.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "fftload: strict mode: %d non-429 errors\n", res.Errors)
+		return 1
+	}
+	return 0
+}
+
+func printRun(target string, res *load.RunResult) {
+	fmt.Printf("%s: sent %d  ok %d  429 %d  errors %d  in %.2fs  (%.1f req/s, goodput %.1f req/s)\n",
+		target, res.Sent, res.OK, res.Rejected, res.Errors, res.WallSeconds,
+		res.AchievedRPS, res.GoodputRPS)
+	for _, c := range res.Latency.Snapshot() {
+		fmt.Printf("  %-16s n=%-5d p50 %8.3fms  p99 %8.3fms  p99.9 %8.3fms  max %8.3fms\n",
+			c.Cohort, c.Count, c.P50MS, c.P99MS, c.P999MS, c.MaxMS)
+	}
+}
+
+func cmdSweep(ctx context.Context, args []string) int {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	sf := addSpecFlags(fs)
+	tf := addTargetFlags(fs)
+	var (
+		ladder    = fs.String("ladder", "", "comma-separated increasing steps (rps for open-loop, workers for closed-loop)")
+		perStep   = fs.Int("per-step", 0, "requests per step (default 512)")
+		warmup    = fs.Int("warmup", 0, "discarded warmup requests (0 = auto, negative disables)")
+		quick     = fs.Bool("quick", false, "CI preset: knee workload, tiny ladder, few requests")
+		dir       = fs.String("dir", ".", "directory receiving LOAD_<seq>.json")
+		out       = fs.String("out", "", "explicit output path (overrides -dir)")
+		compareTo = fs.String("compare", "", "gate against this prior artifact")
+		threshold = fs.Float64("threshold", 0, "allowed capacity drop for -compare (default 0.25)")
+		strict    = fs.Bool("strict", false, "exit 1 if any request failed with a non-429 error")
+	)
+	fs.Parse(args)
+
+	spec, err := sf.build()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	opts := load.SweepOptions{Spec: spec, RequestsPerStep: *perStep, Warmup: *warmup}
+	if *quick {
+		if *sf.spec == "" && *sf.preset == "" {
+			opts.Spec = load.KneeSpec()
+		}
+		opts.Steps = load.GeometricLadder(1, 2, 6) // 1..32 clients
+		if *perStep == 0 {
+			opts.RequestsPerStep = 64
+		}
+	}
+	if *ladder != "" {
+		opts.Steps, err = parseLadder(*ladder)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	}
+	if len(opts.Steps) == 0 {
+		if opts.Spec.Arrival.Kind == load.ArrivalClosed {
+			opts.Steps = load.GeometricLadder(1, 2, 7) // 1..64 clients
+		} else {
+			opts.Steps = load.GeometricLadder(50, 2, 7) // 50..3200 rps
+		}
+	}
+
+	target, err := tf.open()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	defer target.Close()
+
+	steps, knee, err := load.Sweep(ctx, target, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	mode := "offered rps"
+	if opts.Spec.Arrival.Kind == load.ArrivalClosed {
+		mode = "concurrency"
+	}
+	totalErrors := int64(0)
+	for i, s := range steps {
+		rung := s.OfferedRPS
+		if s.Concurrency > 0 {
+			rung = float64(s.Concurrency)
+		}
+		fmt.Printf("step %d  %s %-7g sent %-5d ok %-5d 429 %-4d err %-3d goodput %8.1f req/s  p50 %8.3fms  p99 %8.3fms  p99.9 %8.3fms\n",
+			i, mode, rung, s.Sent, s.OK, s.Rejected, s.Errors, s.GoodputRPS, s.P50MS, s.P99MS, s.P999MS)
+		totalErrors += s.Errors
+	}
+	if knee.Detected {
+		fmt.Printf("knee: step %d (%s), %.1f req/s sustainable, reason %s\n",
+			knee.StepIndex, mode, knee.SustainableRPS, knee.Reason)
+	} else {
+		fmt.Printf("no knee detected; best goodput %.1f req/s\n", knee.SustainableRPS)
+	}
+
+	path := *out
+	seq := 0
+	if path == "" {
+		seq, err = load.NextSeq(*dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		path = load.ArtifactPath(*dir, seq)
+	}
+	artifact := load.NewArtifact(seq, target, opts.Spec, steps, knee)
+	if err := artifact.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if err := load.WriteArtifact(path, artifact); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	fmt.Printf("wrote %s\n", path)
+
+	if *strict && totalErrors > 0 {
+		fmt.Fprintf(os.Stderr, "fftload: strict mode: %d non-429 errors during sweep\n", totalErrors)
+		return 1
+	}
+	if *compareTo != "" {
+		baseline, err := load.LoadArtifact(*compareTo)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		return printCapacityGate(baseline, artifact, *threshold)
+	}
+	return 0
+}
+
+func cmdCompare(args []string) int {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	threshold := fs.Float64("threshold", 0, "allowed capacity drop (default 0.25)")
+	// Accept flags before or after the two positional artifact paths.
+	var paths []string
+	for len(args) > 0 {
+		if args[0] != "" && args[0][0] == '-' {
+			fs.Parse(args)
+			args = fs.Args()
+			continue
+		}
+		paths = append(paths, args[0])
+		args = args[1:]
+	}
+	if len(paths) != 2 {
+		fmt.Fprintln(os.Stderr, "fftload compare: want exactly two artifact paths")
+		return 2
+	}
+	baseline, err := load.LoadArtifact(paths[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	current, err := load.LoadArtifact(paths[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	return printCapacityGate(baseline, current, *threshold)
+}
+
+// printCapacityGate renders the capacity comparison and returns the
+// process exit code: 1 on regression past the threshold.
+func printCapacityGate(baseline, current *load.Artifact, threshold float64) int {
+	fmt.Printf("\ncapacity: baseline LOAD_%d %.1f req/s, current LOAD_%d %.1f req/s\n",
+		baseline.Seq, baseline.Capacity(), current.Seq, current.Capacity())
+	if err := load.Compare(baseline, current, threshold); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Println("no capacity regression")
+	return 0
+}
+
+// parseLadder parses "1,2,4,8" into a float ladder.
+func parseLadder(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("fftload: bad ladder entry %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

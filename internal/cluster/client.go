@@ -94,6 +94,22 @@ type ClientMetrics struct {
 	RemoteErrors int64 `json:"remote_errors"` // application errors returned by peers
 }
 
+// Sub returns the counter-wise difference m - prev: the routing
+// activity between two snapshots. Load sweeps record one delta per
+// offered-load step, so each step's artifact row shows how much work
+// the ring forwarded, hedged and retried at that intensity.
+func (m ClientMetrics) Sub(prev ClientMetrics) ClientMetrics {
+	return ClientMetrics{
+		Local:        m.Local - prev.Local,
+		Forwarded:    m.Forwarded - prev.Forwarded,
+		Hedged:       m.Hedged - prev.Hedged,
+		Failovers:    m.Failovers - prev.Failovers,
+		Retries:      m.Retries - prev.Retries,
+		BreakerSkips: m.BreakerSkips - prev.BreakerSkips,
+		RemoteErrors: m.RemoteErrors - prev.RemoteErrors,
+	}
+}
+
 // Client routes transforms across the cluster: ring lookup on the plan
 // shape, local execution for self-owned shards, and for remote shards a
 // hedged, breaker-guarded, retried RPC over pooled connections.

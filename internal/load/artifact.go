@@ -1,0 +1,207 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"time"
+)
+
+// ArtifactSchemaVersion identifies the LOAD_*.json layout; bump it on
+// any incompatible change to Artifact, Step or Knee (documented in
+// docs/LOADGEN.md).
+const ArtifactSchemaVersion = 1
+
+// Artifact is one full saturation sweep: environment fingerprint, the
+// workload it ran, every measured step and the detected knee. It lives
+// at the repo root as LOAD_<seq>.json, next to the BENCH_<seq>.json
+// perf baselines, and Compare gates CI on knee regression the same way
+// fftbench gates on suite medians.
+type Artifact struct {
+	SchemaVersion int    `json:"schema_version"`
+	Seq           int    `json:"seq"`
+	CreatedAt     string `json:"created_at"` // RFC 3339
+	GoVersion     string `json:"go_version"`
+	GOOS          string `json:"goos"`
+	GOARCH        string `json:"goarch"`
+	NumCPU        int    `json:"num_cpu"`
+
+	// Target names what was driven (inproc-fftd, inproc-cluster-3, or a
+	// URL).
+	Target string `json:"target"`
+	// Mode is "open" or "closed".
+	Mode string `json:"mode"`
+	// Spec is the base workload; each step overrode only its arrival
+	// intensity.
+	Spec  Spec   `json:"spec"`
+	Steps []Step `json:"steps"`
+	Knee  Knee   `json:"knee"`
+}
+
+// NewArtifact stamps a sweep result with the runtime environment.
+func NewArtifact(seq int, target Target, spec Spec, steps []Step, knee Knee) *Artifact {
+	mode := "open"
+	if spec.Arrival.Kind == ArrivalClosed {
+		mode = "closed"
+	}
+	return &Artifact{
+		SchemaVersion: ArtifactSchemaVersion,
+		Seq:           seq,
+		CreatedAt:     time.Now().UTC().Format(time.RFC3339),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+		Target:        target.Name(),
+		Mode:          mode,
+		Spec:          spec,
+		Steps:         steps,
+		Knee:          knee,
+	}
+}
+
+// Validate checks the artifact's structural contract: schema version,
+// at least one step, the required quantiles present, and — for both
+// modes — a monotone ladder (offered rate for open, concurrency for
+// closed).
+func (a *Artifact) Validate() error {
+	if a.SchemaVersion != ArtifactSchemaVersion {
+		return fmt.Errorf("load: artifact schema_version %d, this binary speaks %d",
+			a.SchemaVersion, ArtifactSchemaVersion)
+	}
+	if len(a.Steps) == 0 {
+		return fmt.Errorf("load: artifact has no steps")
+	}
+	if a.Mode != "open" && a.Mode != "closed" {
+		return fmt.Errorf("load: artifact mode %q (want open or closed)", a.Mode)
+	}
+	for i, s := range a.Steps {
+		if s.Sent <= 0 {
+			return fmt.Errorf("load: step %d sent no requests", i)
+		}
+		if s.OK > 0 && (s.P50MS <= 0 || s.P99MS <= 0 || s.P999MS <= 0) {
+			return fmt.Errorf("load: step %d has successful requests but empty quantiles: %+v", i, s)
+		}
+		if i == 0 {
+			continue
+		}
+		prev := a.Steps[i-1]
+		if a.Mode == "closed" {
+			if s.Concurrency <= prev.Concurrency {
+				return fmt.Errorf("load: closed-loop concurrency not monotone at step %d (%d <= %d)",
+					i, s.Concurrency, prev.Concurrency)
+			}
+		} else if s.OfferedRPS <= prev.OfferedRPS {
+			return fmt.Errorf("load: offered load not monotone at step %d (%g <= %g)",
+				i, s.OfferedRPS, prev.OfferedRPS)
+		}
+	}
+	if a.Knee.Detected {
+		if a.Knee.StepIndex < 0 || a.Knee.StepIndex >= len(a.Steps) {
+			return fmt.Errorf("load: knee step_index %d outside steps [0,%d)", a.Knee.StepIndex, len(a.Steps))
+		}
+		if a.Knee.Reason == "" {
+			return fmt.Errorf("load: detected knee carries no reason")
+		}
+	}
+	return nil
+}
+
+// artifactFileRE matches the versioned artifacts at the repo root.
+var artifactFileRE = regexp.MustCompile(`^LOAD_(\d+)\.json$`)
+
+// NextSeq scans dir for LOAD_<n>.json files and returns max(n)+1, or 1
+// when none exist.
+func NextSeq(dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, fmt.Errorf("load: scanning %s: %w", dir, err)
+	}
+	maxSeq := 0
+	for _, e := range entries {
+		m := artifactFileRE.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		n, err := strconv.Atoi(m[1])
+		if err == nil && n > maxSeq {
+			maxSeq = n
+		}
+	}
+	return maxSeq + 1, nil
+}
+
+// ArtifactPath names the artifact file for a sequence number inside
+// dir.
+func ArtifactPath(dir string, seq int) string {
+	return filepath.Join(dir, fmt.Sprintf("LOAD_%d.json", seq))
+}
+
+// WriteArtifact serializes a to path (indented JSON, trailing newline).
+func WriteArtifact(path string, a *Artifact) error {
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return fmt.Errorf("load: marshal artifact: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("load: write artifact: %w", err)
+	}
+	return nil
+}
+
+// LoadArtifact reads and validates an artifact file.
+func LoadArtifact(path string) (*Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("load: read artifact: %w", err)
+	}
+	var a Artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("load: parse %s: %w", path, err)
+	}
+	if err := a.Validate(); err != nil {
+		return nil, fmt.Errorf("load: %s: %w", path, err)
+	}
+	return &a, nil
+}
+
+// Capacity summarizes an artifact as one number: the sustainable
+// throughput at the knee when one was detected, otherwise the best
+// goodput across all steps.
+func (a *Artifact) Capacity() float64 {
+	if a.Knee.Detected && a.Knee.SustainableRPS > 0 {
+		return a.Knee.SustainableRPS
+	}
+	best := 0.0
+	for _, s := range a.Steps {
+		if s.GoodputRPS > best {
+			best = s.GoodputRPS
+		}
+	}
+	return best
+}
+
+// Compare gates on knee regression: it fails when the current
+// artifact's capacity fell more than threshold (a fraction, e.g. 0.25)
+// below the baseline's. Like the fftbench CI gate, the threshold is
+// deliberately loose for shared-runner noise.
+func Compare(baseline, current *Artifact, threshold float64) error {
+	if threshold <= 0 {
+		threshold = 0.25
+	}
+	base, cur := baseline.Capacity(), current.Capacity()
+	if base <= 0 {
+		return fmt.Errorf("load: baseline LOAD_%d has no measurable capacity", baseline.Seq)
+	}
+	floor := base * (1 - threshold)
+	if cur < floor {
+		return fmt.Errorf("load: capacity regressed: %.1f req/s vs baseline %.1f req/s (floor %.1f at threshold %.0f%%)",
+			cur, base, floor, threshold*100)
+	}
+	return nil
+}

@@ -1,0 +1,156 @@
+package load
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/server"
+)
+
+// InprocTarget is an fftd (single node or an n-node cluster ring)
+// started inside this process on loopback listeners — the hermetic
+// sweep target for CI smoke runs and the in-process acceptance tests,
+// with the same HTTP serving path a remote daemon exercises.
+type InprocTarget struct {
+	*HTTPTarget
+	name     string
+	servers  []*server.Server
+	https    []*http.Server
+	listener []net.Listener
+	nodes    []*cluster.Node
+	clients  []*cluster.Client
+	regs     []*cluster.Registry
+}
+
+func (t *InprocTarget) Name() string { return t.name }
+
+// Server returns the entry node's server (tests read its metrics).
+func (t *InprocTarget) Server() *server.Server { return t.servers[0] }
+
+// ClusterMetrics snapshots the entry node's routing counters, or nil
+// for a single-node target. The sweep driver records per-step deltas.
+func (t *InprocTarget) ClusterMetrics() *cluster.ClientMetrics {
+	if len(t.clients) == 0 {
+		return nil
+	}
+	m := t.clients[0].Metrics()
+	return &m
+}
+
+// Close stops every HTTP listener, cluster node and worker pool.
+func (t *InprocTarget) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for _, reg := range t.regs {
+		reg.Stop()
+	}
+	for _, h := range t.https {
+		_ = h.Shutdown(ctx)
+	}
+	for _, c := range t.clients {
+		c.Close()
+	}
+	for _, n := range t.nodes {
+		_ = n.Close()
+	}
+	for _, s := range t.servers {
+		s.Close()
+	}
+	if t.HTTPTarget != nil {
+		return t.HTTPTarget.Close()
+	}
+	return nil
+}
+
+// serveLoopback starts an http.Server for handler on a fresh loopback
+// port and returns its base URL.
+func serveLoopback(handler http.Handler) (*http.Server, net.Listener, string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, "", fmt.Errorf("load: loopback listen: %w", err)
+	}
+	srv := &http.Server{Handler: handler}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln, "http://" + ln.Addr().String(), nil
+}
+
+// StartInproc boots a single-node fftd in-process and returns a target
+// aimed at it.
+func StartInproc(cfg server.Config) (*InprocTarget, error) {
+	s := server.New(cfg)
+	srv, ln, base, err := serveLoopback(s.Handler())
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	return &InprocTarget{
+		HTTPTarget: NewHTTPTarget(base),
+		name:       "inproc-fftd",
+		servers:    []*server.Server{s},
+		https:      []*http.Server{srv},
+		listener:   []net.Listener{ln},
+	}, nil
+}
+
+// StartInprocCluster boots an n-node fftcluster ring in-process — each
+// node a full fftd with its own HTTP front end, cluster listener,
+// registry and routing client, joined over loopback TCP — and returns a
+// target aimed at node 0. This is the sweep wiring for measuring the
+// cluster's knee without provisioning machines.
+func StartInprocCluster(n int, cfg server.Config) (*InprocTarget, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("load: cluster target needs >= 2 nodes, got %d", n)
+	}
+	t := &InprocTarget{name: fmt.Sprintf("inproc-cluster-%d", n)}
+	fail := func(err error) (*InprocTarget, error) {
+		_ = t.Close()
+		return nil, err
+	}
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		s := server.New(cfg)
+		t.servers = append(t.servers, s)
+		node, err := cluster.Listen("127.0.0.1:0", cluster.NodeConfig{
+			Exec:  s.ClusterExecutor(),
+			Ready: func() bool { return !s.Draining() },
+		})
+		if err != nil {
+			return fail(fmt.Errorf("load: cluster node %d: %w", i, err))
+		}
+		addrs[i] = node.Addr()
+		t.nodes = append(t.nodes, node)
+	}
+	for i, s := range t.servers {
+		var peers []string
+		for j, a := range addrs {
+			if j != i {
+				peers = append(peers, a)
+			}
+		}
+		reg := cluster.NewRegistry(addrs[i], peers, cluster.RegistryConfig{})
+		client, err := cluster.NewClient(reg, cluster.ClientConfig{
+			Self:  addrs[i],
+			Local: s.ClusterExecutor(),
+		})
+		if err != nil {
+			return fail(fmt.Errorf("load: cluster client %d: %w", i, err))
+		}
+		s.SetCluster(client)
+		t.regs = append(t.regs, reg)
+		t.clients = append(t.clients, client)
+		srv, ln, base, err := serveLoopback(s.Handler())
+		if err != nil {
+			return fail(err)
+		}
+		t.https = append(t.https, srv)
+		t.listener = append(t.listener, ln)
+		if i == 0 {
+			t.HTTPTarget = NewHTTPTarget(base)
+		}
+	}
+	return t, nil
+}

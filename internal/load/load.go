@@ -1,0 +1,238 @@
+// Package load is the synthetic-traffic subsystem: seeded workload
+// generation, trace record/replay, and saturation sweeps against a live
+// fftd or fftcluster.
+//
+// The paper bounds FFT throughput per topology analytically; this
+// package supplies the empirical half of that comparison. A Spec
+// describes a workload — an arrival process (open-loop Poisson or
+// deterministic rate, or closed-loop fixed concurrency), optional
+// multi-period diurnal/bursty rate shaping, and a weighted mix of
+// heterogeneous request cohorts (transform kind × size, plus netsim
+// scenarios). Generate expands a Spec into a Trace: a versioned,
+// replayable request sequence that is a pure function of the seed, so
+// any run reproduces bit-for-bit. A Runner replays a trace against a
+// Target (HTTP fftd, in-process fftd, or an in-process 3-node
+// fftcluster), recording per-cohort latency and counting 429
+// backpressure rejections separately from errors. Sweep ramps offered
+// load step by step, detects the saturation knee (p99 blow-up, goodput
+// rollover, or a 429 wave), and emits a versioned LOAD_<seq>.json
+// artifact next to the BENCH_*.json baselines; Compare gates on knee
+// regression. See docs/LOADGEN.md.
+package load
+
+import (
+	"fmt"
+	"math"
+)
+
+// SpecSchemaVersion identifies the workload-spec layout embedded in
+// trace files and artifacts; bump it on any incompatible change
+// (documented in docs/LOADGEN.md).
+const SpecSchemaVersion = 1
+
+// Op names one request kind a cohort can issue.
+type Op string
+
+const (
+	// OpFFT is a forward complex transform (POST /v1/fft).
+	OpFFT Op = "fft"
+	// OpIFFT is an inverse complex transform.
+	OpIFFT Op = "ifft"
+	// OpFFTNoReorder is a forward transform left in bit-reversed order.
+	OpFFTNoReorder Op = "fft_noreorder"
+	// OpReal is a real-input transform.
+	OpReal Op = "real"
+	// OpSimulate is a netsim scenario run (POST /v1/simulate) — the
+	// heavyweight cohort of a realistic mix.
+	OpSimulate Op = "simulate"
+)
+
+// validOps is the closed set of ops a spec may name.
+var validOps = map[Op]bool{
+	OpFFT: true, OpIFFT: true, OpFFTNoReorder: true, OpReal: true, OpSimulate: true,
+}
+
+// Cohort is one request class of a heterogeneous mix: an op, a size,
+// and a sampling weight. Requests are drawn from the cohort set with
+// probability proportional to Weight.
+type Cohort struct {
+	// Name labels the cohort in artifacts and per-cohort latency
+	// snapshots; defaults to "<op>/<n>".
+	Name string `json:"name,omitempty"`
+	// Op is the request kind.
+	Op Op `json:"op"`
+	// N is the transform length (power of two) or simulation node count.
+	N int `json:"n"`
+	// Weight is the sampling weight; must be > 0.
+	Weight float64 `json:"weight"`
+	// Network and Scenario tune OpSimulate cohorts (defaults: hypermesh,
+	// fft). Ignored for transform ops.
+	Network  string `json:"network,omitempty"`
+	Scenario string `json:"scenario,omitempty"`
+}
+
+// label returns the cohort's display name.
+func (c Cohort) label() string {
+	if c.Name != "" {
+		return c.Name
+	}
+	return fmt.Sprintf("%s/%d", c.Op, c.N)
+}
+
+// ArrivalKind selects the arrival process.
+type ArrivalKind string
+
+const (
+	// ArrivalPoisson is an open-loop Poisson process: exponential
+	// inter-arrival times with the configured mean rate.
+	ArrivalPoisson ArrivalKind = "poisson"
+	// ArrivalUniform is an open-loop deterministic-rate process: exactly
+	// 1/rate between arrivals.
+	ArrivalUniform ArrivalKind = "uniform"
+	// ArrivalClosed is a closed-loop process: Concurrency workers each
+	// issue the next request as soon as the previous response returns.
+	// Offered load emerges from service time rather than a clock.
+	ArrivalClosed ArrivalKind = "closed"
+)
+
+// ArrivalSpec configures the arrival process.
+type ArrivalSpec struct {
+	Kind ArrivalKind `json:"kind"`
+	// RatePerSec is the open-loop mean arrival rate (poisson, uniform).
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	// Concurrency is the closed-loop worker count.
+	Concurrency int `json:"concurrency,omitempty"`
+}
+
+// Period is one phase of a multi-period rate shape. Periods cycle for
+// the duration of the trace: a diurnal curve is a few long periods, a
+// bursty trace alternates short high-scale spikes with quiet floors.
+type Period struct {
+	// Seconds is the period length in trace time.
+	Seconds float64 `json:"seconds"`
+	// RateScale multiplies the base open-loop rate while the period is
+	// active; must be > 0.
+	RateScale float64 `json:"rate_scale"`
+}
+
+// Spec is a complete workload description: everything Generate needs to
+// produce a trace, and therefore everything a trace file needs to carry
+// to be self-describing.
+type Spec struct {
+	SchemaVersion int    `json:"schema_version"`
+	Name          string `json:"name,omitempty"`
+	// Seed drives every random choice (inter-arrival draws, cohort
+	// picks, per-request payload seeds). Same seed + same spec = same
+	// trace, byte for byte.
+	Seed     int64       `json:"seed"`
+	Arrival  ArrivalSpec `json:"arrival"`
+	Periods  []Period    `json:"periods,omitempty"`
+	Cohorts  []Cohort    `json:"cohorts"`
+	Requests int         `json:"requests"`
+}
+
+// Validate checks the spec; Generate and the CLI call it first so a bad
+// spec fails before any traffic is built.
+func (s Spec) Validate() error {
+	if s.SchemaVersion != SpecSchemaVersion {
+		return fmt.Errorf("load: spec schema_version %d, this binary speaks %d", s.SchemaVersion, SpecSchemaVersion)
+	}
+	if s.Requests <= 0 {
+		return fmt.Errorf("load: spec needs requests > 0, got %d", s.Requests)
+	}
+	switch s.Arrival.Kind {
+	case ArrivalPoisson, ArrivalUniform:
+		if s.Arrival.RatePerSec <= 0 || math.IsInf(s.Arrival.RatePerSec, 0) || math.IsNaN(s.Arrival.RatePerSec) {
+			return fmt.Errorf("load: open-loop arrival needs rate_per_sec > 0, got %g", s.Arrival.RatePerSec)
+		}
+	case ArrivalClosed:
+		if s.Arrival.Concurrency <= 0 {
+			return fmt.Errorf("load: closed-loop arrival needs concurrency > 0, got %d", s.Arrival.Concurrency)
+		}
+	default:
+		return fmt.Errorf("load: unknown arrival kind %q (want poisson, uniform or closed)", s.Arrival.Kind)
+	}
+	if len(s.Cohorts) == 0 {
+		return fmt.Errorf("load: spec needs at least one cohort")
+	}
+	for i, c := range s.Cohorts {
+		if !validOps[c.Op] {
+			return fmt.Errorf("load: cohort %d has unknown op %q", i, c.Op)
+		}
+		if c.N <= 0 {
+			return fmt.Errorf("load: cohort %d (%s) needs n > 0, got %d", i, c.label(), c.N)
+		}
+		if c.Weight <= 0 || math.IsInf(c.Weight, 0) || math.IsNaN(c.Weight) {
+			return fmt.Errorf("load: cohort %d (%s) needs weight > 0, got %g", i, c.label(), c.Weight)
+		}
+	}
+	for i, p := range s.Periods {
+		if p.Seconds <= 0 {
+			return fmt.Errorf("load: period %d needs seconds > 0, got %g", i, p.Seconds)
+		}
+		if p.RateScale <= 0 {
+			return fmt.Errorf("load: period %d needs rate_scale > 0, got %g", i, p.RateScale)
+		}
+	}
+	return nil
+}
+
+// WithRate returns a copy of the spec with the open-loop rate replaced
+// — the sweep driver's ladder knob.
+func (s Spec) WithRate(rate float64) Spec {
+	s.Arrival.RatePerSec = rate
+	return s
+}
+
+// WithConcurrency returns a copy with the closed-loop concurrency
+// replaced.
+func (s Spec) WithConcurrency(c int) Spec {
+	s.Arrival.Concurrency = c
+	return s
+}
+
+// DefaultCohorts is the standard heterogeneous mix: small transforms
+// dominate (the cache-hit fast path), a tail of larger transforms and
+// real-input work keeps the payload size distribution honest. The mix
+// mirrors the size cohorts the wafer-scale FFT literature argues a
+// realistic trace must contain.
+func DefaultCohorts() []Cohort {
+	return []Cohort{
+		{Op: OpFFT, N: 256, Weight: 4},
+		{Op: OpFFT, N: 1024, Weight: 2},
+		{Op: OpIFFT, N: 256, Weight: 1},
+		{Op: OpFFTNoReorder, N: 512, Weight: 1},
+		{Op: OpReal, N: 2048, Weight: 1},
+		{Op: OpFFT, N: 4096, Weight: 0.5},
+	}
+}
+
+// SmokeSpec is the tiny closed-loop workload the CI smoke sweep and the
+// in-process acceptance tests share: small transforms only, so each
+// sweep step finishes in milliseconds.
+func SmokeSpec() Spec {
+	return Spec{
+		SchemaVersion: SpecSchemaVersion,
+		Name:          "smoke",
+		Seed:          1,
+		Arrival:       ArrivalSpec{Kind: ArrivalClosed, Concurrency: 1},
+		Cohorts: []Cohort{
+			{Op: OpFFT, N: 64, Weight: 3},
+			{Op: OpIFFT, N: 128, Weight: 1},
+			{Op: OpReal, N: 256, Weight: 1},
+		},
+	}
+}
+
+// KneeSpec is SmokeSpec plus a multi-millisecond simulate cohort:
+// against a deliberately tiny server (one worker, one queue slot) the
+// heavy requests hold the pool long enough for a closed-loop ladder to
+// reach the saturation knee within a few dozen requests per step — the
+// quick-preset workload for hermetic knee detection.
+func KneeSpec() Spec {
+	s := SmokeSpec()
+	s.Name = "knee"
+	s.Cohorts = append(s.Cohorts,
+		Cohort{Op: OpSimulate, N: 4096, Network: "hypercube", Scenario: "fft", Weight: 2})
+	return s
+}

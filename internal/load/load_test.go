@@ -1,0 +1,309 @@
+package load
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func testSpec() Spec {
+	return Spec{
+		SchemaVersion: SpecSchemaVersion,
+		Name:          "determinism",
+		Seed:          42,
+		Arrival:       ArrivalSpec{Kind: ArrivalPoisson, RatePerSec: 500},
+		Periods:       []Period{{Seconds: 1, RateScale: 1}, {Seconds: 0.5, RateScale: 3}},
+		Cohorts:       DefaultCohorts(),
+		Requests:      400,
+	}
+}
+
+// TestTraceByteIdentical pins the reproducibility contract: the same
+// seed and spec produce a byte-identical trace file.
+func TestTraceByteIdentical(t *testing.T) {
+	a, err := Generate(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, err := a.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := b.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ab, bb) {
+		t.Fatal("same spec generated different trace bytes")
+	}
+
+	// Round trip through a file: written and reloaded traces regenerate
+	// the same bytes.
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := WriteTrace(path, a); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := loaded.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ab, lb) {
+		t.Fatal("trace changed across a write/load round trip")
+	}
+}
+
+// sequenceHash fingerprints the request sequence (fields that determine
+// the replayed traffic, including payload seeds).
+func sequenceHash(tr *Trace) uint64 {
+	h := fnv.New64a()
+	for _, r := range tr.Requests {
+		fmt.Fprintf(h, "%d|%d|%s|%s|%d|%d\n", r.Index, r.AtMicros, r.Cohort, r.Op, r.N, r.Seed)
+	}
+	return h.Sum64()
+}
+
+// TestTraceSequencePinned pins the seed-42 request sequence to a golden
+// fingerprint: any change to the generation algorithm that silently
+// reshuffles traffic fails here and must bump the trace schema version.
+func TestTraceSequencePinned(t *testing.T) {
+	tr, err := Generate(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const golden = uint64(0x993afe85e2b2b310)
+	if got := sequenceHash(tr); got != golden {
+		t.Fatalf("seed-42 sequence hash = %#x, want %#x (generation changed; if intentional, bump TraceSchemaVersion and regenerate)", got, golden)
+	}
+}
+
+// recordingTarget captures the request sequence it is driven with.
+type recordingTarget struct {
+	mu   sync.Mutex
+	seen []string
+}
+
+func (r *recordingTarget) Name() string { return "recording" }
+func (r *recordingTarget) Do(_ context.Context, p *Prepared) Outcome {
+	r.mu.Lock()
+	r.seen = append(r.seen, fmt.Sprintf("%d|%s|%d|%d|%d", p.Req.Index, p.Req.Op, p.Req.N, p.Req.Seed, len(p.Body)))
+	r.mu.Unlock()
+	return Outcome{Status: 200}
+}
+func (r *recordingTarget) Close() error { return nil }
+
+func (r *recordingTarget) sorted() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := append([]string(nil), r.seen...)
+	// Dispatch order can race across workers; the set of issued
+	// requests (index included) is the determinism contract.
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// TestReplayIdenticalRequestSequence replays one seeded trace twice and
+// asserts the targets saw the identical request sequence — payload
+// bytes included (the prepared body length is part of the fingerprint,
+// and Prepare is itself a pure function of the stored seed).
+func TestReplayIdenticalRequestSequence(t *testing.T) {
+	spec := testSpec()
+	spec.Arrival = ArrivalSpec{Kind: ArrivalClosed, Concurrency: 4}
+	spec.Requests = 128
+	tr, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var runs [2][]string
+	for i := range runs {
+		rec := &recordingTarget{}
+		if _, err := Run(context.Background(), rec, tr, RunOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		runs[i] = rec.sorted()
+	}
+	if len(runs[0]) != 128 {
+		t.Fatalf("replay issued %d requests, want 128", len(runs[0]))
+	}
+	for i := range runs[0] {
+		if runs[0][i] != runs[1][i] {
+			t.Fatalf("replay diverged at %d: %q vs %q", i, runs[0][i], runs[1][i])
+		}
+	}
+
+	// Prepared payloads are bit-identical across replays.
+	p1, err := Prepare(&tr.Requests[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Prepare(&tr.Requests[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p1.Body, p2.Body) {
+		t.Fatal("Prepare produced different payload bytes for the same request")
+	}
+}
+
+// TestInterArrivalRateProperty checks the generated inter-arrival times
+// against the configured rate: deterministic spacing must be exact, and
+// the Poisson mean must land within tolerance (law of large numbers at
+// n=20000, well beyond 5 sigma of the expected relative error).
+func TestInterArrivalRateProperty(t *testing.T) {
+	const rate = 1000.0
+	base := Spec{
+		SchemaVersion: SpecSchemaVersion,
+		Seed:          7,
+		Cohorts:       []Cohort{{Op: OpFFT, N: 64, Weight: 1}},
+		Requests:      20000,
+	}
+
+	uniform := base
+	uniform.Arrival = ArrivalSpec{Kind: ArrivalUniform, RatePerSec: rate}
+	tru, err := Generate(uniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 100; i++ {
+		gap := tru.Requests[i].AtMicros - tru.Requests[i-1].AtMicros
+		if gap != 1000 { // 1/rate = 1ms
+			t.Fatalf("uniform gap[%d] = %dus, want 1000us", i, gap)
+		}
+	}
+
+	poisson := base
+	poisson.Arrival = ArrivalSpec{Kind: ArrivalPoisson, RatePerSec: rate}
+	trp, err := Generate(poisson)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := trp.Requests[len(trp.Requests)-1]
+	meanGap := float64(last.AtMicros) / float64(len(trp.Requests)) / 1e6
+	wantGap := 1.0 / rate
+	if rel := math.Abs(meanGap-wantGap) / wantGap; rel > 0.05 {
+		t.Fatalf("poisson mean inter-arrival %.6fs vs 1/rate %.6fs (rel err %.3f > 0.05)", meanGap, wantGap, rel)
+	}
+	// Exponential inter-arrivals vary: a deterministic sequence in
+	// disguise would pass the mean check, so assert dispersion too.
+	varied := 0
+	for i := 2; i < 1000; i++ {
+		g1 := trp.Requests[i].AtMicros - trp.Requests[i-1].AtMicros
+		g0 := trp.Requests[i-1].AtMicros - trp.Requests[i-2].AtMicros
+		if g1 != g0 {
+			varied++
+		}
+	}
+	if varied < 900 {
+		t.Fatalf("poisson gaps nearly constant (%d/998 varied)", varied)
+	}
+}
+
+// TestPeriodShaping checks multi-period rate shaping: a trace
+// alternating a 1x floor with a 4x burst must pack measurably more
+// arrivals into burst windows.
+func TestPeriodShaping(t *testing.T) {
+	spec := Spec{
+		SchemaVersion: SpecSchemaVersion,
+		Seed:          11,
+		Arrival:       ArrivalSpec{Kind: ArrivalUniform, RatePerSec: 100},
+		Periods:       []Period{{Seconds: 1, RateScale: 1}, {Seconds: 1, RateScale: 4}},
+		Cohorts:       []Cohort{{Op: OpFFT, N: 64, Weight: 1}},
+		Requests:      2000,
+	}
+	tr, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count arrivals in floor vs burst phases of each 2s cycle.
+	floor, burst := 0, 0
+	for _, r := range tr.Requests {
+		tSec := float64(r.AtMicros) / 1e6
+		inCycle := tSec - math.Floor(tSec/2)*2
+		if inCycle < 1 {
+			floor++
+		} else {
+			burst++
+		}
+	}
+	if burst < 3*floor {
+		t.Fatalf("burst periods hold %d arrivals vs floor %d; want ~4x density", burst, floor)
+	}
+}
+
+// TestCohortMixProperty checks the weighted cohort sampler: observed
+// frequencies track the configured weights.
+func TestCohortMixProperty(t *testing.T) {
+	spec := Spec{
+		SchemaVersion: SpecSchemaVersion,
+		Seed:          3,
+		Arrival:       ArrivalSpec{Kind: ArrivalClosed, Concurrency: 1},
+		Cohorts: []Cohort{
+			{Op: OpFFT, N: 256, Weight: 3},
+			{Op: OpReal, N: 512, Weight: 1},
+		},
+		Requests: 8000,
+	}
+	tr, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, r := range tr.Requests {
+		counts[r.Cohort]++
+	}
+	frac := float64(counts["fft/256"]) / float64(spec.Requests)
+	if math.Abs(frac-0.75) > 0.03 {
+		t.Fatalf("fft/256 fraction = %.3f, want ~0.75", frac)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"zero requests", func(s *Spec) { s.Requests = 0 }},
+		{"no cohorts", func(s *Spec) { s.Cohorts = nil }},
+		{"bad op", func(s *Spec) { s.Cohorts[0].Op = "dct" }},
+		{"zero weight", func(s *Spec) { s.Cohorts[0].Weight = 0 }},
+		{"bad kind", func(s *Spec) { s.Arrival.Kind = "burst" }},
+		{"open no rate", func(s *Spec) { s.Arrival = ArrivalSpec{Kind: ArrivalPoisson} }},
+		{"closed no conc", func(s *Spec) { s.Arrival = ArrivalSpec{Kind: ArrivalClosed} }},
+		{"bad period", func(s *Spec) { s.Periods = []Period{{Seconds: 0, RateScale: 1}} }},
+		{"bad schema", func(s *Spec) { s.SchemaVersion = 99 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := testSpec()
+			tc.mutate(&spec)
+			if err := spec.Validate(); err == nil {
+				t.Fatalf("%s validated", tc.name)
+			}
+		})
+	}
+	good := testSpec()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good spec rejected: %v", err)
+	}
+}

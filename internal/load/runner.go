@@ -1,0 +1,152 @@
+package load
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// RunOptions tunes a replay.
+type RunOptions struct {
+	// MaxInFlight bounds concurrent open-loop requests; 0 means 1024.
+	// When the bound is hit the runner blocks before dispatching (the
+	// schedule slips and the achieved rate, which is what the sweep
+	// records, falls below the offered rate — itself a saturation
+	// signal).
+	MaxInFlight int
+	// RequestTimeout is the per-request context deadline; 0 means 30s.
+	RequestTimeout time.Duration
+}
+
+func (o RunOptions) withDefaults() RunOptions {
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 1024
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 30 * time.Second
+	}
+	return o
+}
+
+// RunResult is one trace replay's measurement: counts by outcome class,
+// wall time, throughput, and per-cohort latency of successful requests.
+type RunResult struct {
+	Sent     int64 `json:"sent"`
+	OK       int64 `json:"ok"`
+	Rejected int64 `json:"rejected"` // 429 backpressure, counted apart from errors
+	Errors   int64 `json:"errors"`
+
+	WallSeconds float64 `json:"wall_seconds"`
+	// AchievedRPS is the rate the runner actually offered (sent/wall);
+	// under overload it can fall below the trace's nominal rate.
+	AchievedRPS float64 `json:"achieved_rps"`
+	// GoodputRPS counts only successful responses (ok/wall).
+	GoodputRPS float64 `json:"goodput_rps"`
+
+	// Latency holds per-cohort latency of successful requests.
+	Latency *obs.CohortLatency `json:"-"`
+}
+
+// Run replays a trace against a target. The trace's arrival kind picks
+// the loop: open-loop fires each request at its scheduled offset
+// without waiting for responses; closed-loop runs Concurrency workers
+// that each issue the next request as soon as their previous one
+// returns. Latency is recorded for successful requests only — a 429 is
+// a backpressure observation, not a service time.
+func Run(ctx context.Context, target Target, tr *Trace, opts RunOptions) (*RunResult, error) {
+	if err := tr.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	res := &RunResult{Latency: obs.NewCohortLatency()}
+
+	issue := func(p *Prepared) {
+		reqCtx, cancel := context.WithTimeout(ctx, opts.RequestTimeout)
+		start := time.Now()
+		out := target.Do(reqCtx, p)
+		elapsed := time.Since(start)
+		cancel()
+		switch out.Class() {
+		case ClassOK:
+			atomic.AddInt64(&res.OK, 1)
+			res.Latency.Observe(p.Req.Cohort, elapsed)
+		case ClassRejected:
+			atomic.AddInt64(&res.Rejected, 1)
+		default:
+			atomic.AddInt64(&res.Errors, 1)
+		}
+	}
+
+	start := time.Now()
+	switch tr.Spec.Arrival.Kind {
+	case ArrivalPoisson, ArrivalUniform:
+		sem := make(chan struct{}, opts.MaxInFlight)
+		var wg sync.WaitGroup
+	openLoop:
+		for i := range tr.Requests {
+			r := &tr.Requests[i]
+			p, err := Prepare(r)
+			if err != nil {
+				return nil, err
+			}
+			due := start.Add(time.Duration(r.AtMicros) * time.Microsecond)
+			if d := time.Until(due); d > 0 {
+				select {
+				case <-time.After(d):
+				case <-ctx.Done():
+					break openLoop
+				}
+			}
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				break openLoop
+			}
+			atomic.AddInt64(&res.Sent, 1)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				issue(p)
+			}()
+		}
+		wg.Wait()
+	case ArrivalClosed:
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < tr.Spec.Arrival.Concurrency; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for ctx.Err() == nil {
+					i := int(next.Add(1)) - 1
+					if i >= len(tr.Requests) {
+						return
+					}
+					p, err := Prepare(&tr.Requests[i])
+					if err != nil {
+						atomic.AddInt64(&res.Sent, 1)
+						atomic.AddInt64(&res.Errors, 1)
+						continue
+					}
+					atomic.AddInt64(&res.Sent, 1)
+					issue(p)
+				}
+			}()
+		}
+		wg.Wait()
+	default:
+		return nil, fmt.Errorf("load: unknown arrival kind %q", tr.Spec.Arrival.Kind)
+	}
+
+	res.WallSeconds = time.Since(start).Seconds()
+	if res.WallSeconds > 0 {
+		res.AchievedRPS = float64(res.Sent) / res.WallSeconds
+		res.GoodputRPS = float64(res.OK) / res.WallSeconds
+	}
+	return res, nil
+}

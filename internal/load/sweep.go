@@ -1,0 +1,285 @@
+package load
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+)
+
+// SweepOptions drives a saturation sweep: a ladder of offered-load
+// steps replayed against one target, each step measured independently.
+type SweepOptions struct {
+	// Spec is the base workload (cohorts, seed, arrival kind). The
+	// ladder overrides its rate (open-loop) or concurrency
+	// (closed-loop) per step.
+	Spec Spec
+	// Steps is the monotone increasing ladder: requests/sec for
+	// open-loop sweeps, worker counts for closed-loop sweeps.
+	Steps []float64
+	// RequestsPerStep is the trace length replayed at each step.
+	RequestsPerStep int
+	// Warmup is the number of requests replayed at the first rung and
+	// discarded before measurement starts, so cold plan caches and
+	// connection setup don't inflate the baseline p99 the blow-up
+	// detector compares against. 0 means min(32, RequestsPerStep);
+	// negative disables warmup.
+	Warmup int
+	// Run tunes each step's replay.
+	Run RunOptions
+
+	// KneeLatencyFactor flags the knee when a step's p99 exceeds this
+	// multiple of the first step's p99; 0 means 4.
+	KneeLatencyFactor float64
+	// KneeGoodputDrop flags the knee when a step's goodput falls below
+	// this fraction of the best goodput so far (rollover); 0 means 0.85.
+	KneeGoodputDrop float64
+	// KneeRejectFrac flags the knee when at least this fraction of a
+	// step's requests came back 429; 0 means 0.10.
+	KneeRejectFrac float64
+}
+
+func (o SweepOptions) withDefaults() SweepOptions {
+	if o.KneeLatencyFactor <= 0 {
+		o.KneeLatencyFactor = 4
+	}
+	if o.KneeGoodputDrop <= 0 {
+		o.KneeGoodputDrop = 0.85
+	}
+	if o.KneeRejectFrac <= 0 {
+		o.KneeRejectFrac = 0.10
+	}
+	if o.RequestsPerStep <= 0 {
+		o.RequestsPerStep = 512
+	}
+	if o.Warmup == 0 {
+		o.Warmup = 32
+		if o.RequestsPerStep < o.Warmup {
+			o.Warmup = o.RequestsPerStep
+		}
+	}
+	return o
+}
+
+// validateLadder rejects empty or non-increasing step ladders: the
+// artifact contract promises monotone offered load.
+func validateLadder(steps []float64) error {
+	if len(steps) == 0 {
+		return fmt.Errorf("load: sweep needs at least one step")
+	}
+	for i := 1; i < len(steps); i++ {
+		if steps[i] <= steps[i-1] {
+			return fmt.Errorf("load: step ladder must be strictly increasing, step %d (%g) <= step %d (%g)",
+				i, steps[i], i-1, steps[i-1])
+		}
+	}
+	return nil
+}
+
+// Step is one measured rung of the ladder, as serialized into
+// LOAD_<seq>.json.
+type Step struct {
+	// OfferedRPS is the ladder value for open-loop steps; for
+	// closed-loop steps it reports the emergent throughput (sent/wall).
+	OfferedRPS float64 `json:"offered_rps"`
+	// Concurrency is the ladder value for closed-loop steps; 0 for
+	// open-loop.
+	Concurrency int `json:"concurrency,omitempty"`
+
+	Sent     int64 `json:"sent"`
+	OK       int64 `json:"ok"`
+	Rejected int64 `json:"rejected"`
+	Errors   int64 `json:"errors"`
+
+	WallSeconds float64 `json:"wall_seconds"`
+	AchievedRPS float64 `json:"achieved_rps"`
+	GoodputRPS  float64 `json:"goodput_rps"`
+
+	P50MS  float64 `json:"p50_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	P999MS float64 `json:"p999_ms"`
+	MaxMS  float64 `json:"max_ms"`
+
+	// Cohorts breaks latency down per request class.
+	Cohorts []obs.CohortLatencySnapshot `json:"cohorts,omitempty"`
+	// Cluster carries the per-step delta of the entry node's routing
+	// counters when the target is a cluster; nil otherwise.
+	Cluster *cluster.ClientMetrics `json:"cluster,omitempty"`
+}
+
+// Knee is the detected saturation point.
+type Knee struct {
+	Detected bool `json:"detected"`
+	// StepIndex is the first step past the knee.
+	StepIndex int `json:"step_index,omitempty"`
+	// OfferedRPS is that step's ladder value (or emergent rate).
+	OfferedRPS float64 `json:"offered_rps,omitempty"`
+	// SustainableRPS is the best goodput observed before the knee — the
+	// empirical capacity the analytical ceilings are compared against.
+	SustainableRPS float64 `json:"sustainable_rps,omitempty"`
+	// Reason is which detector fired: backpressure-429, p99-blowup or
+	// goodput-rollover.
+	Reason string `json:"reason,omitempty"`
+}
+
+// clusterMetricser is implemented by targets that can expose routing
+// counters (the in-process cluster target); the sweep records per-step
+// deltas when available.
+type clusterMetricser interface {
+	ClusterMetrics() *cluster.ClientMetrics
+}
+
+// Sweep ramps the ladder against the target and returns the measured
+// steps plus the detected knee. Each step generates its own trace from
+// the base spec (same seed — the request mix is held fixed while only
+// the arrival intensity moves, so latency shifts are attributable to
+// load, not to a different workload).
+func Sweep(ctx context.Context, target Target, opts SweepOptions) ([]Step, Knee, error) {
+	opts = opts.withDefaults()
+	if err := validateLadder(opts.Steps); err != nil {
+		return nil, Knee{}, err
+	}
+	closed := opts.Spec.Arrival.Kind == ArrivalClosed
+
+	if opts.Warmup > 0 {
+		spec := opts.Spec
+		spec.Requests = opts.Warmup
+		if closed {
+			spec = spec.WithConcurrency(int(opts.Steps[0]))
+		} else {
+			spec = spec.WithRate(opts.Steps[0])
+		}
+		tr, err := Generate(spec)
+		if err != nil {
+			return nil, Knee{}, err
+		}
+		if _, err := Run(ctx, target, tr, opts.Run); err != nil {
+			return nil, Knee{}, err
+		}
+	}
+
+	// Snapshot routing counters after warmup so step deltas cover only
+	// measured traffic.
+	var prevCluster *cluster.ClientMetrics
+	if cm, ok := target.(clusterMetricser); ok {
+		prevCluster = cm.ClusterMetrics()
+	}
+
+	steps := make([]Step, 0, len(opts.Steps))
+	for _, rung := range opts.Steps {
+		if ctx.Err() != nil {
+			return nil, Knee{}, ctx.Err()
+		}
+		spec := opts.Spec
+		spec.Requests = opts.RequestsPerStep
+		if closed {
+			spec = spec.WithConcurrency(int(rung))
+		} else {
+			spec = spec.WithRate(rung)
+		}
+		tr, err := Generate(spec)
+		if err != nil {
+			return nil, Knee{}, err
+		}
+		res, err := Run(ctx, target, tr, opts.Run)
+		if err != nil {
+			return nil, Knee{}, err
+		}
+		agg := res.Latency.Aggregate()
+		step := Step{
+			OfferedRPS:  rung,
+			Sent:        res.Sent,
+			OK:          res.OK,
+			Rejected:    res.Rejected,
+			Errors:      res.Errors,
+			WallSeconds: res.WallSeconds,
+			AchievedRPS: res.AchievedRPS,
+			GoodputRPS:  res.GoodputRPS,
+			P50MS:       agg.P50MS,
+			P99MS:       agg.P99MS,
+			P999MS:      agg.P999MS,
+			MaxMS:       agg.MaxMS,
+			Cohorts:     res.Latency.Snapshot(),
+		}
+		if closed {
+			step.Concurrency = int(rung)
+			step.OfferedRPS = res.AchievedRPS
+		}
+		if cm, ok := target.(clusterMetricser); ok {
+			if cur := cm.ClusterMetrics(); cur != nil && prevCluster != nil {
+				delta := cur.Sub(*prevCluster)
+				step.Cluster = &delta
+				prevCluster = cur
+			}
+		}
+		steps = append(steps, step)
+	}
+	return steps, DetectKnee(steps, opts), nil
+}
+
+// DetectKnee finds the saturation knee in a measured step sequence: the
+// first step where the service visibly stops keeping up. Three
+// detectors fire in priority order per step — a 429 wave (the server's
+// own backpressure), p99 blow-up relative to the unloaded baseline, and
+// goodput rollover (throughput falling while offered load rises).
+func DetectKnee(steps []Step, opts SweepOptions) Knee {
+	opts = opts.withDefaults()
+	baselineP99 := 0.0
+	bestGoodput := 0.0
+	for i, s := range steps {
+		//fftlint:ignore floatcmp zero is a not-yet-set sentinel never produced by a measured p99, not an arithmetic result
+		if baselineP99 == 0 && s.OK > 0 {
+			baselineP99 = s.P99MS
+		}
+		knee := Knee{Detected: true, StepIndex: i, OfferedRPS: s.OfferedRPS, SustainableRPS: bestGoodput}
+		if s.Sent > 0 && float64(s.Rejected)/float64(s.Sent) >= opts.KneeRejectFrac {
+			knee.Reason = "backpressure-429"
+			return knee
+		}
+		if i > 0 && baselineP99 > 0 && s.P99MS >= opts.KneeLatencyFactor*baselineP99 {
+			knee.Reason = "p99-blowup"
+			return knee
+		}
+		if i > 0 && bestGoodput > 0 && s.GoodputRPS < opts.KneeGoodputDrop*bestGoodput {
+			knee.Reason = "goodput-rollover"
+			return knee
+		}
+		if s.GoodputRPS > bestGoodput {
+			bestGoodput = s.GoodputRPS
+		}
+	}
+	return Knee{SustainableRPS: bestGoodput}
+}
+
+// GeometricLadder builds a strictly increasing ladder of n rungs
+// starting at base and multiplying by factor — the usual shape for
+// hunting a knee whose position is unknown within an order of
+// magnitude.
+func GeometricLadder(base, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := base
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// EstimateDuration sums the open-loop schedule so the CLI can print
+// how long a sweep will nominally run (closed-loop sweeps have no
+// schedule and return 0).
+func EstimateDuration(opts SweepOptions) time.Duration {
+	opts = opts.withDefaults()
+	if opts.Spec.Arrival.Kind == ArrivalClosed {
+		return 0 // emergent; no schedule to sum
+	}
+	total := 0.0
+	for _, r := range opts.Steps {
+		if r > 0 {
+			total += float64(opts.RequestsPerStep) / r
+		}
+	}
+	return time.Duration(total * float64(time.Second))
+}

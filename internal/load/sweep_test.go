@@ -1,0 +1,357 @@
+package load
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// ---- knee detection on synthetic step sequences ----
+
+func syntheticStep(offered, goodput, p99 float64, sent, rejected int64) Step {
+	return Step{
+		OfferedRPS: offered, GoodputRPS: goodput, P99MS: p99,
+		P50MS: p99 / 2, P999MS: p99 * 1.5, MaxMS: p99 * 2,
+		Sent: sent, OK: sent - rejected, Rejected: rejected,
+		AchievedRPS: offered, WallSeconds: 1,
+	}
+}
+
+func TestDetectKneeP99Blowup(t *testing.T) {
+	steps := []Step{
+		syntheticStep(100, 100, 2, 100, 0),
+		syntheticStep(200, 200, 3, 200, 0),
+		syntheticStep(400, 400, 12, 400, 0), // 6x baseline p99
+	}
+	knee := DetectKnee(steps, SweepOptions{})
+	if !knee.Detected || knee.StepIndex != 2 || knee.Reason != "p99-blowup" {
+		t.Fatalf("knee = %+v, want p99-blowup at step 2", knee)
+	}
+	//fftlint:ignore floatcmp synthetic step goodput is copied verbatim into the knee; bit-equality pins the bookkeeping
+	if knee.SustainableRPS != 200 {
+		t.Fatalf("sustainable = %g, want 200 (best goodput before the knee)", knee.SustainableRPS)
+	}
+}
+
+func TestDetectKneeGoodputRollover(t *testing.T) {
+	steps := []Step{
+		syntheticStep(100, 100, 2, 100, 0),
+		syntheticStep(200, 190, 2.5, 200, 0),
+		syntheticStep(400, 120, 3, 400, 0), // goodput fell under 0.85*190
+	}
+	knee := DetectKnee(steps, SweepOptions{})
+	if !knee.Detected || knee.StepIndex != 2 || knee.Reason != "goodput-rollover" {
+		t.Fatalf("knee = %+v, want goodput-rollover at step 2", knee)
+	}
+}
+
+func TestDetectKneeBackpressure(t *testing.T) {
+	steps := []Step{
+		syntheticStep(100, 100, 2, 100, 0),
+		syntheticStep(200, 150, 2.5, 200, 50), // 25% rejected
+	}
+	knee := DetectKnee(steps, SweepOptions{})
+	if !knee.Detected || knee.StepIndex != 1 || knee.Reason != "backpressure-429" {
+		t.Fatalf("knee = %+v, want backpressure-429 at step 1", knee)
+	}
+}
+
+func TestDetectKneeNone(t *testing.T) {
+	steps := []Step{
+		syntheticStep(100, 100, 2, 100, 0),
+		syntheticStep(200, 200, 2.2, 200, 0),
+	}
+	knee := DetectKnee(steps, SweepOptions{})
+	if knee.Detected {
+		t.Fatalf("knee = %+v, want none", knee)
+	}
+	//fftlint:ignore floatcmp synthetic step goodput is copied verbatim into the knee; bit-equality pins the bookkeeping
+	if knee.SustainableRPS != 200 {
+		t.Fatalf("sustainable = %g, want best goodput 200", knee.SustainableRPS)
+	}
+}
+
+func TestLadderValidation(t *testing.T) {
+	if err := validateLadder(nil); err == nil {
+		t.Fatal("empty ladder validated")
+	}
+	if err := validateLadder([]float64{1, 2, 2}); err == nil {
+		t.Fatal("non-increasing ladder validated")
+	}
+	if err := validateLadder(GeometricLadder(1, 2, 5)); err != nil {
+		t.Fatalf("geometric ladder rejected: %v", err)
+	}
+}
+
+// ---- sweeps against live in-process targets ----
+
+// runSweepAgainst sweeps a target and returns a validated artifact.
+func runSweepAgainst(t *testing.T, target Target, spec Spec, ladder []float64, perStep int) *Artifact {
+	t.Helper()
+	opts := SweepOptions{Spec: spec, Steps: ladder, RequestsPerStep: perStep}
+	steps, knee, err := Sweep(context.Background(), target, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewArtifact(1, target, opts.Spec, steps, knee)
+	if err := a.Validate(); err != nil {
+		t.Fatalf("artifact invalid: %v", err)
+	}
+	return a
+}
+
+// TestSweepInprocFFTD is the single-node acceptance check: a
+// closed-loop sweep against an in-process fftd produces an artifact
+// with monotone steps, the three quantiles per step, and — because the
+// server is deliberately tiny — a detected saturation knee.
+func TestSweepInprocFFTD(t *testing.T) {
+	target, err := StartInproc(server.Config{Workers: 1, QueueDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer target.Close()
+
+	// The ladder tops out at 32 clients: closed-loop p99 grows linearly
+	// with concurrency against one worker, so the top rung sits ~8x above
+	// the c=1 baseline — twice the blow-up threshold, enough margin that
+	// scheduler noise in the baseline cannot mask the knee.
+	a := runSweepAgainst(t, target, KneeSpec(), GeometricLadder(1, 2, 6), 64)
+	if a.Target != "inproc-fftd" || a.Mode != "closed" {
+		t.Fatalf("artifact header: target=%s mode=%s", a.Target, a.Mode)
+	}
+	for i, s := range a.Steps {
+		if s.OK == 0 {
+			t.Fatalf("step %d served nothing: %+v", i, s)
+		}
+		if s.P50MS <= 0 || s.P99MS < s.P50MS || s.P999MS < s.P99MS {
+			t.Fatalf("step %d quantiles disordered: p50=%g p99=%g p999=%g", i, s.P50MS, s.P99MS, s.P999MS)
+		}
+		if len(s.Cohorts) == 0 {
+			t.Fatalf("step %d has no per-cohort breakdown", i)
+		}
+	}
+	// One worker against 16 closed-loop clients must visibly saturate:
+	// the knee is the whole point of the harness. Which detector fires
+	// depends on the host — on multi-core runners the queue overflows
+	// into a 429 wave, on a single core the runtime serializes
+	// submissions and saturation shows up as queueing delay instead — so
+	// accept any of the three reasons but require one.
+	if !a.Knee.Detected {
+		t.Fatalf("no knee detected against a 1-worker server: %+v", a.Steps)
+	}
+	switch a.Knee.Reason {
+	case "backpressure-429", "p99-blowup", "goodput-rollover":
+	default:
+		t.Fatalf("knee reason %q is not a known detector", a.Knee.Reason)
+	}
+	for _, s := range a.Steps {
+		if s.Errors > 0 {
+			t.Fatalf("non-429 errors during sweep: %+v", s)
+		}
+	}
+}
+
+// sheddingHandler imitates fftd's backpressure: every other request is
+// shed with 429 + Retry-After, the rest succeed. It pins the 429
+// accounting path end to end through a real HTTP round trip, which a
+// live single-core server cannot do deterministically (its queue only
+// overflows when submissions genuinely race).
+func sheddingHandler() http.Handler {
+	var n atomic.Int64
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.Copy(io.Discard, r.Body)
+		if n.Add(1)%2 == 0 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			_, _ = w.Write([]byte(`{"error":"worker pool saturated"}`))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{}`))
+	})
+}
+
+// TestRunCounts429Separately drives a shedding HTTP server and checks
+// the satellite contract: 429s are tallied as Rejected, never as
+// Errors, never as latency samples — and a sweep over such steps calls
+// the knee for backpressure.
+func TestRunCounts429Separately(t *testing.T) {
+	srv, ln, base, err := serveLoopback(sheddingHandler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close(); _ = ln.Close() }()
+	target := NewHTTPTarget(base)
+	defer target.Close()
+
+	spec := SmokeSpec()
+	spec.Requests = 64
+	spec.Arrival = ArrivalSpec{Kind: ArrivalClosed, Concurrency: 4}
+	tr, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), target, tr, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent != 64 || res.OK != 32 || res.Rejected != 32 || res.Errors != 0 {
+		t.Fatalf("shedding run miscounted: %+v", res)
+	}
+	if agg := res.Latency.Aggregate(); agg.Count != 32 {
+		t.Fatalf("latency recorded %d samples, want 32 (successes only)", agg.Count)
+	}
+
+	steps, knee, err := Sweep(context.Background(), target,
+		SweepOptions{Spec: spec, Steps: []float64{2, 4}, RequestsPerStep: 32, Warmup: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !knee.Detected || knee.Reason != "backpressure-429" {
+		t.Fatalf("knee = %+v, want backpressure-429 (50%% shed)", knee)
+	}
+	for i, s := range steps {
+		if s.Rejected == 0 {
+			t.Fatalf("step %d recorded no rejections: %+v", i, s)
+		}
+	}
+}
+
+// TestSweepInprocCluster is the 3-node acceptance check: the same
+// sweep through an in-process fftcluster ring validates, records
+// per-step cluster routing deltas, and actually forwarded work.
+func TestSweepInprocCluster(t *testing.T) {
+	target, err := StartInprocCluster(3, server.Config{Workers: 2, QueueDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer target.Close()
+
+	a := runSweepAgainst(t, target, SmokeSpec(), []float64{1, 2, 4}, 48)
+	if a.Target != "inproc-cluster-3" {
+		t.Fatalf("artifact target = %s", a.Target)
+	}
+	var local, forwarded int64
+	for i, s := range a.Steps {
+		if s.Cluster == nil {
+			t.Fatalf("step %d carries no cluster delta", i)
+		}
+		local += s.Cluster.Local
+		forwarded += s.Cluster.Forwarded
+		if s.Errors > 0 {
+			t.Fatalf("non-429 errors during cluster sweep: %+v", s)
+		}
+	}
+	if forwarded == 0 {
+		t.Fatal("cluster sweep forwarded nothing; ring routing is inert")
+	}
+	// With only three plan shapes in the smoke mix, node 0 may own none
+	// of them — but every successful request must have routed somewhere.
+	var ok int64
+	for _, s := range a.Steps {
+		ok += s.OK
+	}
+	if local+forwarded < ok {
+		t.Fatalf("routing deltas (%d local + %d forwarded) cover fewer than %d successes", local, forwarded, ok)
+	}
+}
+
+// ---- artifact round trip and compare gating ----
+
+func TestArtifactRoundTripAndCompare(t *testing.T) {
+	target, err := StartInproc(server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer target.Close()
+	a := runSweepAgainst(t, target, SmokeSpec(), []float64{1, 2}, 32)
+
+	dir := t.TempDir()
+	seq, err := NextSeq(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 1 {
+		t.Fatalf("first seq = %d, want 1", seq)
+	}
+	path := ArtifactPath(dir, seq)
+	if err := WriteArtifact(path, a); err != nil {
+		t.Fatal(err)
+	}
+	if seq, _ = NextSeq(dir); seq != 2 {
+		t.Fatalf("next seq after write = %d, want 2", seq)
+	}
+	loaded, err := LoadArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	//fftlint:ignore floatcmp JSON round trip must reproduce the float64 bit pattern exactly; any drift is a marshalling bug
+	if loaded.Capacity() != a.Capacity() {
+		t.Fatalf("capacity changed across round trip: %g vs %g", loaded.Capacity(), a.Capacity())
+	}
+
+	// Equal artifacts pass the gate.
+	if err := Compare(loaded, a, 0.25); err != nil {
+		t.Fatalf("self-compare failed: %v", err)
+	}
+	// A collapsed knee fails it.
+	bad := *a
+	bad.Steps = append([]Step(nil), a.Steps...)
+	for i := range bad.Steps {
+		bad.Steps[i].GoodputRPS = a.Steps[i].GoodputRPS / 10
+	}
+	bad.Knee = DetectKnee(bad.Steps, SweepOptions{})
+	if err := Compare(loaded, &bad, 0.25); err == nil {
+		t.Fatal("10x capacity regression passed the gate")
+	} else if !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("unexpected gate error: %v", err)
+	}
+}
+
+func TestArtifactValidateRejectsNonMonotone(t *testing.T) {
+	a := &Artifact{
+		SchemaVersion: ArtifactSchemaVersion,
+		Mode:          "open",
+		Steps: []Step{
+			syntheticStep(200, 200, 2, 200, 0),
+			syntheticStep(100, 100, 2, 100, 0),
+		},
+	}
+	if err := a.Validate(); err == nil || !strings.Contains(err.Error(), "monotone") {
+		t.Fatalf("non-monotone artifact validated: %v", err)
+	}
+}
+
+// TestOpenLoopRunAgainstInproc drives the Poisson open loop end to end
+// against a real server: every request lands, latency is recorded, and
+// the wall clock respects the schedule.
+func TestOpenLoopRunAgainstInproc(t *testing.T) {
+	target, err := StartInproc(server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer target.Close()
+
+	spec := SmokeSpec()
+	spec.Arrival = ArrivalSpec{Kind: ArrivalPoisson, RatePerSec: 2000}
+	spec.Requests = 200
+	tr, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), target, tr, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent != 200 || res.OK != 200 || res.Errors != 0 {
+		t.Fatalf("open-loop run: %+v", res)
+	}
+	if agg := res.Latency.Aggregate(); agg.Count != 200 || agg.P99MS <= 0 {
+		t.Fatalf("latency aggregate: %+v", agg)
+	}
+}

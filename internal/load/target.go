@@ -1,0 +1,158 @@
+package load
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"time"
+
+	"repro/internal/server"
+)
+
+// Prepared is one request ready to send: the route and the encoded
+// body. Payload construction (sample generation + JSON encoding) is
+// client-side work and happens before the latency timer starts, so the
+// measured latency is the service's, not the generator's.
+type Prepared struct {
+	Req  *Request
+	Path string
+	Body []byte
+}
+
+// Prepare expands a trace request into its wire form. The payload is a
+// pure function of the request seed: replaying a trace re-creates the
+// exact bytes of the original run.
+func Prepare(r *Request) (*Prepared, error) {
+	rng := rand.New(rand.NewSource(r.Seed))
+	switch r.Op {
+	case OpFFT, OpIFFT, OpFFTNoReorder:
+		in := make([]server.Complex, r.N)
+		for i := range in {
+			in[i] = server.Complex{rng.NormFloat64(), rng.NormFloat64()}
+		}
+		spec := server.TransformSpec{
+			Input:     in,
+			Inverse:   r.Op == OpIFFT,
+			NoReorder: r.Op == OpFFTNoReorder,
+		}
+		body, err := json.Marshal(server.FFTRequest{TransformSpec: spec})
+		if err != nil {
+			return nil, fmt.Errorf("load: encode %s request: %w", r.Op, err)
+		}
+		return &Prepared{Req: r, Path: "/v1/fft", Body: body}, nil
+	case OpReal:
+		in := make([]float64, r.N)
+		for i := range in {
+			in[i] = rng.NormFloat64()
+		}
+		body, err := json.Marshal(server.FFTRequest{TransformSpec: server.TransformSpec{RealInput: in}})
+		if err != nil {
+			return nil, fmt.Errorf("load: encode real request: %w", err)
+		}
+		return &Prepared{Req: r, Path: "/v1/fft", Body: body}, nil
+	case OpSimulate:
+		body, err := json.Marshal(server.SimulateRequest{
+			Network:  r.Network,
+			N:        r.N,
+			Scenario: r.Scenario,
+			Seed:     r.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("load: encode simulate request: %w", err)
+		}
+		return &Prepared{Req: r, Path: "/v1/simulate", Body: body}, nil
+	default:
+		return nil, fmt.Errorf("load: unknown op %q", r.Op)
+	}
+}
+
+// Outcome is one issued request's result as the client saw it.
+type Outcome struct {
+	// Status is the HTTP status code; 0 on transport failure.
+	Status int
+	// Err is the transport error, if the request never got a response.
+	Err error
+}
+
+// Class buckets an outcome for counting: 2xx is ok, 429 is the server's
+// backpressure signal and counted apart from errors (satellite: the
+// knee must be visible, not smeared into a generic error rate),
+// everything else is an error.
+type Class int
+
+const (
+	ClassOK Class = iota
+	ClassRejected
+	ClassError
+)
+
+func (o Outcome) Class() Class {
+	switch {
+	case o.Err != nil:
+		return ClassError
+	case o.Status == http.StatusTooManyRequests:
+		return ClassRejected
+	case o.Status >= 200 && o.Status < 300:
+		return ClassOK
+	default:
+		return ClassError
+	}
+}
+
+// Target is anything the runner can drive: a remote fftd over HTTP, an
+// in-process fftd, or an in-process multi-node fftcluster.
+type Target interface {
+	// Name labels the target in artifacts (e.g. "inproc-fftd",
+	// "inproc-cluster-3", or a URL).
+	Name() string
+	// Do issues one prepared request and reports its outcome.
+	Do(ctx context.Context, p *Prepared) Outcome
+	// Close releases the target's resources.
+	Close() error
+}
+
+// HTTPTarget drives a live fftd over HTTP. The transport keeps a large
+// idle-connection pool per host so a sweep at thousands of requests per
+// second reuses connections instead of exhausting ephemeral ports.
+type HTTPTarget struct {
+	base   string
+	client *http.Client
+}
+
+// NewHTTPTarget builds a target for a base URL like
+// "http://127.0.0.1:8080".
+func NewHTTPTarget(base string) *HTTPTarget {
+	tr := &http.Transport{
+		MaxIdleConns:        1024,
+		MaxIdleConnsPerHost: 1024,
+		IdleConnTimeout:     90 * time.Second,
+	}
+	return &HTTPTarget{base: base, client: &http.Client{Transport: tr}}
+}
+
+func (t *HTTPTarget) Name() string { return t.base }
+
+func (t *HTTPTarget) Do(ctx context.Context, p *Prepared) Outcome {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, t.base+p.Path, bytes.NewReader(p.Body))
+	if err != nil {
+		return Outcome{Err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := t.client.Do(req)
+	if err != nil {
+		return Outcome{Err: err}
+	}
+	// Drain so the connection returns to the pool.
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return Outcome{Status: resp.StatusCode}
+}
+
+func (t *HTTPTarget) Close() error {
+	t.client.CloseIdleConnections()
+	return nil
+}

@@ -1,0 +1,231 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+)
+
+// TraceSchemaVersion identifies the trace-file layout; bump it on any
+// incompatible change to Trace or Request.
+const TraceSchemaVersion = 1
+
+// Request is one generated request of a trace: when to send it, what to
+// send, and the seed its payload is derived from. The payload itself is
+// never stored — it is regenerated from Seed at replay time, which
+// keeps million-request trace files small while staying bit-for-bit
+// reproducible.
+type Request struct {
+	// Index is the request's position in the trace.
+	Index int `json:"i"`
+	// AtMicros is the scheduled send time as an offset from trace start
+	// (open-loop replay fires at this time; closed-loop replay ignores
+	// it and issues in order).
+	AtMicros int64 `json:"at_us"`
+	// Cohort is the label of the cohort this request was drawn from.
+	Cohort string `json:"cohort"`
+	Op     Op     `json:"op"`
+	N      int    `json:"n"`
+	// Seed derives the request payload (input samples or simulation
+	// seed) deterministically.
+	Seed int64 `json:"seed"`
+	// Network and Scenario carry the simulate-cohort knobs.
+	Network  string `json:"network,omitempty"`
+	Scenario string `json:"scenario,omitempty"`
+}
+
+// Trace is a fully expanded workload: the spec it came from plus the
+// request sequence. A trace is a pure function of its spec — Generate
+// called twice with equal specs returns byte-identical traces.
+type Trace struct {
+	SchemaVersion int       `json:"schema_version"`
+	Spec          Spec      `json:"spec"`
+	Requests      []Request `json:"requests"`
+}
+
+// splitmix64 is the per-request seed derivation: a fixed avalanche of
+// the spec seed and the request index. Independent of rand draw order,
+// so inserting a new random choice into Generate can never silently
+// shift every payload.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// requestSeed derives request i's payload seed from the spec seed.
+func requestSeed(specSeed int64, i int) int64 {
+	return int64(splitmix64(uint64(specSeed) ^ splitmix64(uint64(i))))
+}
+
+// periodAt returns the rate scale active at trace time t (seconds).
+// Periods cycle; an empty period list is a flat 1.0.
+func periodAt(periods []Period, t float64) float64 {
+	if len(periods) == 0 {
+		return 1.0
+	}
+	total := 0.0
+	for _, p := range periods {
+		total += p.Seconds
+	}
+	// t mod total, walked period by period.
+	rem := t - float64(int64(t/total))*total
+	for _, p := range periods {
+		if rem < p.Seconds {
+			return p.RateScale
+		}
+		rem -= p.Seconds
+	}
+	return periods[len(periods)-1].RateScale
+}
+
+// Generate expands a spec into its trace. All randomness flows from one
+// rand.Source seeded with spec.Seed, consumed in a fixed order (one
+// inter-arrival draw then one cohort draw per request), so the result
+// is deterministic across runs, platforms and Go versions (math/rand's
+// generator is frozen by the Go 1 compatibility promise).
+func Generate(spec Spec) (*Trace, error) {
+	if spec.SchemaVersion == 0 {
+		spec.SchemaVersion = SpecSchemaVersion
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+
+	totalWeight := 0.0
+	for _, c := range spec.Cohorts {
+		totalWeight += c.Weight
+	}
+
+	tr := &Trace{SchemaVersion: TraceSchemaVersion, Spec: spec}
+	tr.Requests = make([]Request, spec.Requests)
+	t := 0.0 // trace clock, seconds
+	for i := range tr.Requests {
+		// Arrival: advance the clock by one inter-arrival draw. The
+		// period scale modulates the instantaneous rate, so a 2x period
+		// packs arrivals twice as densely. Closed-loop traces draw
+		// nothing (order is the schedule), keeping their rng stream
+		// aligned with the cohort picks.
+		switch spec.Arrival.Kind {
+		case ArrivalPoisson:
+			rate := spec.Arrival.RatePerSec * periodAt(spec.Periods, t)
+			t += rng.ExpFloat64() / rate
+		case ArrivalUniform:
+			rate := spec.Arrival.RatePerSec * periodAt(spec.Periods, t)
+			t += 1.0 / rate
+		case ArrivalClosed:
+			// No clock: requests are issued back to back by the workers.
+		}
+
+		// Cohort: weighted pick.
+		pick := rng.Float64() * totalWeight
+		cohort := spec.Cohorts[len(spec.Cohorts)-1]
+		for _, c := range spec.Cohorts {
+			if pick < c.Weight {
+				cohort = c
+				break
+			}
+			pick -= c.Weight
+		}
+
+		req := Request{
+			Index:    i,
+			AtMicros: int64(t * 1e6),
+			Cohort:   cohort.label(),
+			Op:       cohort.Op,
+			N:        cohort.N,
+			Seed:     requestSeed(spec.Seed, i),
+		}
+		if cohort.Op == OpSimulate {
+			req.Network = cohort.Network
+			if req.Network == "" {
+				req.Network = "hypermesh"
+			}
+			req.Scenario = cohort.Scenario
+			if req.Scenario == "" {
+				req.Scenario = "fft"
+			}
+		}
+		tr.Requests[i] = req
+	}
+	return tr, nil
+}
+
+// Marshal renders the trace in its canonical byte form: indented JSON
+// with a trailing newline. Struct fields (never maps) keep the encoding
+// deterministic, so equal traces are equal bytes.
+func (t *Trace) Marshal() ([]byte, error) {
+	data, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("load: marshal trace: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// WriteTrace serializes t to path in canonical form.
+func WriteTrace(path string, t *Trace) error {
+	data, err := t.Marshal()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("load: write trace: %w", err)
+	}
+	return nil
+}
+
+// LoadTrace reads and validates a trace file.
+func LoadTrace(path string) (*Trace, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("load: read trace: %w", err)
+	}
+	var t Trace
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("load: parse %s: %w", path, err)
+	}
+	if t.SchemaVersion != TraceSchemaVersion {
+		return nil, fmt.Errorf("load: %s has trace schema_version %d, this binary speaks %d",
+			path, t.SchemaVersion, TraceSchemaVersion)
+	}
+	if len(t.Requests) == 0 {
+		return nil, fmt.Errorf("load: %s holds no requests", path)
+	}
+	return &t, nil
+}
+
+// WriteSpec serializes a workload spec to path (indented JSON, trailing
+// newline) so a sweep's exact workload can be committed and rerun.
+func WriteSpec(path string, s Spec) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return fmt.Errorf("load: marshal spec: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("load: write spec: %w", err)
+	}
+	return nil
+}
+
+// LoadSpec reads and validates a workload spec file.
+func LoadSpec(path string) (Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, fmt.Errorf("load: read spec: %w", err)
+	}
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Spec{}, fmt.Errorf("load: parse %s: %w", path, err)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, fmt.Errorf("load: %s: %w", path, err)
+	}
+	return s, nil
+}

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCohortLatencyQuantiles(t *testing.T) {
+	c := NewCohortLatency()
+	// 1000 samples 1ms..1000ms: nearest-rank p50 = 500ms, p99 = 990ms,
+	// p999 = 999ms, max = 1000ms.
+	for i := 1; i <= 1000; i++ {
+		c.Observe("fft/1024", time.Duration(i)*time.Millisecond)
+	}
+	snaps := c.Snapshot()
+	if len(snaps) != 1 {
+		t.Fatalf("snapshot cohorts = %d, want 1", len(snaps))
+	}
+	s := snaps[0]
+	if s.Cohort != "fft/1024" || s.Count != 1000 {
+		t.Fatalf("snapshot header: %+v", s)
+	}
+	for _, tc := range []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"p50", s.P50MS, 500},
+		{"p99", s.P99MS, 990},
+		{"p999", s.P999MS, 999},
+		{"max", s.MaxMS, 1000},
+		{"mean", s.MeanMS, 500.5},
+	} {
+		//fftlint:ignore floatcmp nearest-rank quantiles over integer-millisecond samples are exact by construction
+		if tc.got != tc.want {
+			t.Errorf("%s = %g ms, want %g ms", tc.name, tc.got, tc.want)
+		}
+	}
+}
+
+func TestCohortLatencySnapshotOrderAndAggregate(t *testing.T) {
+	c := NewCohortLatency()
+	c.Observe("real/256", 4*time.Millisecond)
+	c.Observe("fft/64", 2*time.Millisecond)
+	c.Observe("ifft/128", 6*time.Millisecond)
+	snaps := c.Snapshot()
+	want := []string{"fft/64", "ifft/128", "real/256"}
+	if len(snaps) != len(want) {
+		t.Fatalf("cohorts = %d, want %d", len(snaps), len(want))
+	}
+	for i, w := range want {
+		if snaps[i].Cohort != w {
+			t.Fatalf("cohort[%d] = %s, want %s (sorted order)", i, snaps[i].Cohort, w)
+		}
+	}
+	agg := c.Aggregate()
+	if agg.Cohort != "all" || agg.Count != 3 {
+		t.Fatalf("aggregate = %+v", agg)
+	}
+	//fftlint:ignore floatcmp nearest-rank quantiles over integer-millisecond samples are exact by construction
+	if agg.P50MS != 4 || agg.MaxMS != 6 {
+		t.Fatalf("aggregate quantiles: p50=%g max=%g", agg.P50MS, agg.MaxMS)
+	}
+}
+
+func TestCohortLatencyEmpty(t *testing.T) {
+	c := NewCohortLatency()
+	if snaps := c.Snapshot(); len(snaps) != 0 {
+		t.Fatalf("empty snapshot = %+v", snaps)
+	}
+	//fftlint:ignore floatcmp an empty aggregate is the zero value; its quantiles are literal zeros, not computed
+	if agg := c.Aggregate(); agg.Count != 0 || agg.P999MS != 0 {
+		t.Fatalf("empty aggregate = %+v", agg)
+	}
+}
+
+func TestCohortLatencyConcurrent(t *testing.T) {
+	c := NewCohortLatency()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cohort := []string{"a", "b"}[g%2]
+			for i := 0; i < 500; i++ {
+				c.Observe(cohort, time.Duration(i+1)*time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	snaps := c.Snapshot()
+	total := 0
+	for _, s := range snaps {
+		total += s.Count
+	}
+	if total != 8*500 {
+		t.Fatalf("total samples = %d, want %d", total, 8*500)
+	}
+}

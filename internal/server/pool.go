@@ -13,6 +13,12 @@ import (
 // graceful shutdown and no longer accepts new work.
 var ErrDraining = errors.New("server: draining, not accepting new work")
 
+// ErrSaturated is returned by the pool when every worker is busy and
+// the queue is full. Handlers map it to HTTP 429 with a Retry-After
+// header: shedding at the knee keeps saturation visible to load
+// generators instead of hiding it behind unbounded queueing delay.
+var ErrSaturated = errors.New("server: worker pool saturated")
+
 // panicError wraps a recovered worker panic so handlers can convert it
 // into a 500 response instead of letting it kill the daemon.
 type panicError struct {
@@ -31,17 +37,20 @@ type job struct {
 }
 
 // workerPool is a bounded pool: at most `workers` jobs execute at once
-// and at most cap(jobs) wait in the queue. Submission blocks (up to the
-// caller's context deadline) when the queue is full, providing the
-// service's backpressure.
+// and at most cap(jobs) wait in the queue. Submission is non-blocking:
+// when the queue is full the pool rejects with ErrSaturated, providing
+// the service's backpressure as an explicit 429 signal rather than
+// queueing delay.
 type workerPool struct {
-	jobs    chan job
-	wg      sync.WaitGroup
-	mu      sync.RWMutex // guards closed vs. in-flight submits
-	closed  bool
-	workers int
-	queued  atomic.Int64
-	active  atomic.Int64
+	jobs      chan job
+	wg        sync.WaitGroup
+	mu        sync.RWMutex // guards closed vs. in-flight submits
+	closed    bool
+	workers   int
+	queued    atomic.Int64
+	active    atomic.Int64
+	submitted atomic.Int64
+	rejected  atomic.Int64
 }
 
 func newWorkerPool(workers, queue int) *workerPool {
@@ -76,11 +85,13 @@ func runRecovered(fn func()) (err error) {
 }
 
 // do submits fn and waits for it to finish. It returns ErrDraining once
-// the pool is closed, the context error if the queue stays full past
-// the deadline (or the caller gives up waiting for a slow job), and a
-// panicError if fn panicked. When do returns early on context expiry a
-// queued fn may still run later; callers must not touch fn's captures
-// after an error without their own synchronization.
+// the pool is closed, ErrSaturated immediately when every worker is
+// busy and the queue is full (no waiting for a slot: saturation is
+// surfaced, not absorbed), the context error if the caller gives up
+// waiting for a slow job, and a panicError if fn panicked. When do
+// returns early on context expiry a queued fn may still run later;
+// callers must not touch fn's captures after an error without their own
+// synchronization.
 func (p *workerPool) do(ctx context.Context, fn func()) error {
 	j := job{fn: fn, done: make(chan error, 1)}
 	p.mu.RLock()
@@ -91,10 +102,12 @@ func (p *workerPool) do(ctx context.Context, fn func()) error {
 	select {
 	case p.jobs <- j:
 		p.queued.Add(1)
+		p.submitted.Add(1)
 		p.mu.RUnlock()
-	case <-ctx.Done():
+	default:
 		p.mu.RUnlock()
-		return ctx.Err()
+		p.rejected.Add(1)
+		return ErrSaturated
 	}
 	select {
 	case err := <-j.done:
@@ -119,17 +132,21 @@ func (p *workerPool) close() {
 
 // poolStats is the /metrics view of the pool.
 type poolStats struct {
-	Workers  int   `json:"workers"`
-	Capacity int   `json:"queue_capacity"`
-	Queued   int64 `json:"queue_depth"`
-	Active   int64 `json:"active"`
+	Workers   int   `json:"workers"`
+	Capacity  int   `json:"queue_capacity"`
+	Queued    int64 `json:"queue_depth"`
+	Active    int64 `json:"active"`
+	Submitted int64 `json:"submitted"`
+	Rejected  int64 `json:"rejected"`
 }
 
 func (p *workerPool) stats() poolStats {
 	return poolStats{
-		Workers:  p.workers,
-		Capacity: cap(p.jobs),
-		Queued:   p.queued.Load(),
-		Active:   p.active.Load(),
+		Workers:   p.workers,
+		Capacity:  cap(p.jobs),
+		Queued:    p.queued.Load(),
+		Active:    p.active.Load(),
+		Submitted: p.submitted.Load(),
+		Rejected:  p.rejected.Load(),
 	}
 }

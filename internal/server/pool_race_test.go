@@ -12,8 +12,8 @@ import (
 // close() drains the pool mid-flight. Run under the race detector (make
 // race) this exercises the closed-flag/RWMutex protocol that keeps a
 // late submit from sending on the closed jobs channel. Every submit must
-// resolve to success, a context error, or ErrDraining — never a panic or
-// a hang.
+// resolve to success, a context error, ErrSaturated, or ErrDraining —
+// never a panic or a hang.
 func TestWorkerPoolSubmitCloseRace(t *testing.T) {
 	p := newWorkerPool(4, 8)
 
@@ -36,6 +36,7 @@ func TestWorkerPoolSubmitCloseRace(t *testing.T) {
 				case err == nil:
 				case errors.Is(err, ErrDraining):
 					return // pool closed under us: the expected drain outcome
+				case errors.Is(err, ErrSaturated):
 				case errors.Is(err, context.DeadlineExceeded):
 				case errors.Is(err, context.Canceled):
 				default:

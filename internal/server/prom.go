@@ -84,8 +84,12 @@ func (m *Metrics) writePrometheus(w io.Writer, s Snapshot) error {
 	pw.Sample("fftd_pool_queue_capacity", nil, float64(s.Queue.Capacity))
 	pw.Header("fftd_pool_queue_depth", "gauge", "Jobs waiting for a worker.")
 	pw.Sample("fftd_pool_queue_depth", nil, float64(s.Queue.Queued))
-	pw.Header("fftd_pool_active", "gauge", "Jobs currently executing.")
+	pw.Header("fftd_pool_active", "gauge", "Jobs currently executing (in flight).")
 	pw.Sample("fftd_pool_active", nil, float64(s.Queue.Active))
+	pw.Header("fftd_pool_submitted_total", "counter", "Jobs accepted into the pool queue.")
+	pw.Sample("fftd_pool_submitted_total", nil, float64(s.Queue.Submitted))
+	pw.Header("fftd_pool_rejected_total", "counter", "Jobs rejected with 429 because queue and workers were full.")
+	pw.Sample("fftd_pool_rejected_total", nil, float64(s.Queue.Rejected))
 
 	// Cluster routing counters, present only in cluster mode so
 	// single-node expositions are unchanged.

@@ -221,6 +221,9 @@ func httpStatus(err error) int {
 	if errors.Is(err, ErrDraining) {
 		return http.StatusServiceUnavailable
 	}
+	if errors.Is(err, ErrSaturated) {
+		return http.StatusTooManyRequests
+	}
 	if errors.Is(err, context.DeadlineExceeded) {
 		return http.StatusGatewayTimeout
 	}
@@ -329,10 +332,20 @@ type errorBody struct {
 	Status int    `json:"status"`
 }
 
-// writeError renders err with its mapped status code.
+// retryAfterSeconds is the Retry-After hint on 429 responses. The pool
+// drains its bounded queue in well under a second at every measured
+// size, so one second is a safe, cheap-to-compute backoff hint.
+const retryAfterSeconds = "1"
+
+// writeError renders err with its mapped status code. Saturation
+// rejections carry a Retry-After header so well-behaved clients back
+// off instead of hammering a full queue.
 func writeError(w http.ResponseWriter, err error) {
 	status := httpStatus(err)
 	w.Header().Set("Content-Type", "application/json")
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", retryAfterSeconds)
+	}
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -20,7 +20,11 @@ import (
 // ---- worker pool ----
 
 func TestPoolRunsJobs(t *testing.T) {
-	p := newWorkerPool(4, 8)
+	// Queue depth >= submitter count: submit is non-blocking and sheds
+	// with ErrSaturated when the queue is full, so a smaller queue would
+	// make this scheduling-dependent (saturation itself is pinned by
+	// TestHTTPSaturationReturns429).
+	p := newWorkerPool(4, 32)
 	defer p.close()
 	var mu sync.Mutex
 	ran := 0
@@ -77,7 +81,7 @@ func TestPoolDraining(t *testing.T) {
 	p.close() // idempotent
 }
 
-func TestPoolBackpressureTimeout(t *testing.T) {
+func TestPoolSaturationRejects(t *testing.T) {
 	p := newWorkerPool(1, 1)
 	defer p.close()
 	block := make(chan struct{})
@@ -90,16 +94,91 @@ func TestPoolBackpressureTimeout(t *testing.T) {
 	for p.stats().Queued == 0 {
 		time.Sleep(time.Millisecond)
 	}
+	// Worker busy + queue full: submission must fail fast with
+	// ErrSaturated, not wait for a slot — queueing delay would hide the
+	// saturation knee from load generators.
+	err := p.do(context.Background(), func() {})
+	if !errors.Is(err, ErrSaturated) {
+		t.Fatalf("err = %v, want ErrSaturated", err)
+	}
+	if httpStatus(err) != http.StatusTooManyRequests {
+		t.Fatalf("saturation must map to 429, got %d", httpStatus(err))
+	}
+	if got := p.stats().Rejected; got != 1 {
+		t.Fatalf("rejected counter = %d, want 1", got)
+	}
+	close(block)
+}
+
+func TestPoolSlowJobTimeout(t *testing.T) {
+	p := newWorkerPool(1, 1)
+	defer p.close()
+	block := make(chan struct{})
+	defer close(block)
+	// The job is accepted but never finishes within the deadline: the
+	// caller's wait (not the submission) times out and maps to 504.
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
 	defer cancel()
-	err := p.do(ctx, func() {})
+	err := p.do(ctx, func() { <-block })
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("err = %v, want deadline exceeded", err)
 	}
 	if httpStatus(err) != http.StatusGatewayTimeout {
 		t.Fatalf("timeout must map to 504, got %d", httpStatus(err))
 	}
-	close(block)
+}
+
+// TestHTTPSaturationReturns429 drives the full HTTP path into pool
+// saturation: with the one worker and one queue slot pinned by blocking
+// jobs, a transform must come back 429 with a Retry-After header, and
+// the rejection must be visible in both /metrics representations.
+func TestHTTPSaturationReturns429(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	block := make(chan struct{})
+	defer close(block)
+	// Pin the worker, then the queue slot.
+	for i := 0; i < 2; i++ {
+		go func() { _ = s.pool.do(context.Background(), func() { <-block }) }()
+	}
+	for s.pool.stats().Active == 0 || s.pool.stats().Queued == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	resp := postJSON(t, ts.URL+"/v1/fft", FFTRequest{
+		TransformSpec: TransformSpec{Input: []Complex{{1, 0}, {0, 0}, {0, 0}, {0, 0}}},
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated transform status = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 response missing Retry-After header")
+	}
+
+	snap := s.MetricsSnapshot()
+	if snap.Queue.Rejected == 0 {
+		t.Fatalf("pool rejected counter = 0 after a 429: %+v", snap.Queue)
+	}
+
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/plain")
+	r, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r.Body); err != nil {
+		t.Fatal(err)
+	}
+	for _, family := range []string{"fftd_pool_rejected_total", "fftd_pool_submitted_total"} {
+		if !strings.Contains(buf.String(), family) {
+			t.Errorf("exposition missing family %s", family)
+		}
+	}
 }
 
 func TestPoolCloseRunsQueuedJobs(t *testing.T) {
