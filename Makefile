@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all verify build vet lint test race test-race cover bench bench-compare bench-baseline gobench fuzz vuln repro serve profile trace metrics-lint cluster-test cluster-demo load-smoke load-baseline load-compare examples clean
+.PHONY: all verify build vet lint test race test-race cover bench bench-compare bench-baseline alloc-baseline alloc-compare gobench fuzz vuln repro serve profile trace metrics-lint cluster-test cluster-demo load-smoke load-baseline load-compare examples clean
 
 all: verify
 
@@ -139,6 +139,22 @@ load-compare:
 	$(GO) run ./cmd/fftload sweep -quick -inproc -inproc-workers 1 -inproc-queue 1 \
 		-out $(LOAD_OUT) -strict -compare $(LOAD_BASELINE) \
 		$(if $(LOAD_THRESHOLD),-threshold $(LOAD_THRESHOLD))
+
+# alloc-baseline writes the next versioned ALLOC_<seq>.json at the repo
+# root: the compiler's heap-escape verdicts for every //fftlint:hot
+# package, attributed to functions. Commit it to refresh the budget —
+# and re-run it whenever the Go minor version changes, since escape
+# analysis is not stable across minors (fftalloc refuses skewed diffs).
+alloc-baseline:
+	$(GO) run ./cmd/fftalloc record -dir .
+
+# alloc-compare rebuilds the hot packages with -gcflags=-m and fails if
+# any hot function escapes more than the committed baseline allows
+# (highest ALLOC_*.json by default; override with
+# ALLOC_BASELINE=ALLOC_2.json).
+ALLOC_BASELINE ?=
+alloc-compare:
+	$(GO) run ./cmd/fftalloc compare $(if $(ALLOC_BASELINE),-baseline $(ALLOC_BASELINE))
 
 # gobench runs the ordinary `go test` microbenchmarks.
 gobench:

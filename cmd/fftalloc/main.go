@@ -1,0 +1,235 @@
+// Command fftalloc records and gates the hot-path allocation budget:
+// the Go compiler's escape-analysis verdicts for every //fftlint:hot
+// package, attributed to functions and versioned as ALLOC_<seq>.json at
+// the repo root (the same artifact pattern as BENCH_<seq>.json and
+// LOAD_<seq>.json).
+//
+// Usage:
+//
+//	fftalloc record [-dir .]         write the next ALLOC_<seq>.json
+//	fftalloc compare [-baseline F]   rebuild and diff against a baseline
+//	fftalloc show                    print the current budget report
+//
+// `compare` exits 1 when any hot function escapes more than the
+// baseline allows — a value that used to live on the stack now reaches
+// the allocator — and 2 on toolchain version skew: escape analysis is
+// not stable across Go minor versions, so a baseline from another minor
+// must be re-recorded, never silently diffed.
+//
+// fftlint's hotalloc analyzer flags what the AST shows; this command
+// gates what the compiler proves. See docs/LINTING.md.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/escape"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "record":
+		err = record(os.Args[2:])
+	case "compare":
+		err = compare(os.Args[2:])
+	case "show":
+		err = show(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fftalloc:", err)
+		var skew *escape.VersionSkewError
+		if errors.As(err, &skew) {
+			os.Exit(2)
+		}
+		if errors.Is(err, errRegressed) {
+			os.Exit(1)
+		}
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: fftalloc {record [-dir DIR] | compare [-baseline FILE] | show}")
+}
+
+var errRegressed = errors.New("hot-path allocation budget exceeded")
+
+func moduleRoot() (string, error) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	return analysis.ModuleRoot(cwd)
+}
+
+func record(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	dir := fs.String("dir", ".", "directory receiving ALLOC_<seq>.json")
+	out := fs.String("out", "", "explicit output path (overrides -dir/auto sequence)")
+	_ = fs.Parse(args)
+
+	root, err := moduleRoot()
+	if err != nil {
+		return err
+	}
+	rep, err := escape.Collect(root)
+	if err != nil {
+		return err
+	}
+	rep.CreatedAt = time.Now().UTC().Format(time.RFC3339)
+	path := *out
+	if path == "" {
+		seq, err := nextSeq(*dir)
+		if err != nil {
+			return err
+		}
+		rep.Seq = seq
+		path = filepath.Join(*dir, fmt.Sprintf("ALLOC_%d.json", seq))
+	}
+	if err := writeReport(path, rep); err != nil {
+		return err
+	}
+	fmt.Printf("fftalloc: %s: %d heap escapes across %d hot packages (%s)\n",
+		path, rep.Total, len(rep.Packages), rep.GoVersion)
+	return nil
+}
+
+func compare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	baseline := fs.String("baseline", "", "baseline ALLOC_<seq>.json (default: highest seq at module root)")
+	_ = fs.Parse(args)
+
+	root, err := moduleRoot()
+	if err != nil {
+		return err
+	}
+	path := *baseline
+	if path == "" {
+		path, err = latestBaseline(root)
+		if err != nil {
+			return err
+		}
+	}
+	base, err := loadReport(path)
+	if err != nil {
+		return err
+	}
+	cur, err := escape.Collect(root)
+	if err != nil {
+		return err
+	}
+	cmp, err := escape.Compare(base, cur)
+	if err != nil {
+		return err
+	}
+	for _, d := range cmp.Improvements {
+		fmt.Printf("fftalloc: improved: %s %s: %d -> %d heap escapes (consider re-baselining)\n",
+			d.Pkg, d.Func, d.Baseline, d.Current)
+	}
+	if len(cmp.Regressions) == 0 {
+		fmt.Printf("fftalloc: budget held: %d heap escapes vs %s (%s)\n", cur.Total, path, cur.GoVersion)
+		return nil
+	}
+	for _, d := range cmp.Regressions {
+		fmt.Printf("fftalloc: REGRESSION: %s %s: %d -> %d heap escapes\n", d.Pkg, d.Func, d.Baseline, d.Current)
+		for _, s := range d.Sites {
+			fmt.Printf("fftalloc:   %s:%d:%d: %s (%s)\n", s.File, s.Line, s.Col, s.What, s.Kind)
+		}
+	}
+	return fmt.Errorf("%w: %d function(s) over budget vs %s", errRegressed, len(cmp.Regressions), path)
+}
+
+func show(args []string) error {
+	fs := flag.NewFlagSet("show", flag.ExitOnError)
+	_ = fs.Parse(args)
+	root, err := moduleRoot()
+	if err != nil {
+		return err
+	}
+	rep, err := escape.Collect(root)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+var allocFileRE = regexp.MustCompile(`^ALLOC_(\d+)\.json$`)
+
+func nextSeq(dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	maxSeq := 0
+	for _, e := range entries {
+		if m := allocFileRE.FindStringSubmatch(e.Name()); m != nil {
+			if n, err := strconv.Atoi(m[1]); err == nil && n > maxSeq {
+				maxSeq = n
+			}
+		}
+	}
+	return maxSeq + 1, nil
+}
+
+func latestBaseline(root string) (string, error) {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return "", err
+	}
+	var names []string
+	for _, e := range entries {
+		if allocFileRE.MatchString(e.Name()) {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return "", errors.New("no ALLOC_<seq>.json baseline at module root; run `fftalloc record` (make alloc-baseline) and commit it")
+	}
+	sort.Slice(names, func(i, j int) bool {
+		ni, _ := strconv.Atoi(allocFileRE.FindStringSubmatch(names[i])[1])
+		nj, _ := strconv.Atoi(allocFileRE.FindStringSubmatch(names[j])[1])
+		return ni < nj
+	})
+	return filepath.Join(root, names[len(names)-1]), nil
+}
+
+func writeReport(path string, r *escape.Report) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
+}
+
+func loadReport(path string) (*escape.Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r escape.Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}

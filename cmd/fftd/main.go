@@ -201,6 +201,7 @@ func run(addr, debugAddr string, cfg server.Config, cc clusterConfig, drainTimeo
 	var debugSrv *http.Server
 	if debugAddr != "" {
 		debugSrv = &http.Server{Addr: debugAddr, Handler: debugMux()}
+		//fftlint:ignore goleak lifecycle lives in debugSrv: the drain path below calls debugSrv.Shutdown, which unblocks ListenAndServe
 		go func() {
 			fmt.Printf("fftd: debug listener (pprof, expvar) on %s\n", debugAddr)
 			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -2,8 +2,10 @@
 // (internal/analysis) over the module: repo-specific invariants that
 // `go vet` and the race detector cannot express — exact float
 // comparisons, unvalidated permutations, locks copied or held across
-// blocking operations, per-iteration allocations on hot paths, and
-// dropped errors from the netsim/server APIs.
+// blocking operations, per-iteration allocations on hot paths, dropped
+// errors from the netsim/server APIs, goroutines with no join or
+// cancellation path, unbounded network I/O, unbalanced sync.Pool use,
+// and obs spans left open on early returns.
 //
 // Usage:
 //
@@ -11,6 +13,7 @@
 //
 //	fftlint ./...                 lint the whole module (the default)
 //	fftlint -only floatcmp ./...  run a subset of analyzers
+//	fftlint -json ./...           machine-readable findings (one JSON array)
 //	fftlint -list                 print the analyzer catalogue
 //	fftlint -debug ./...          also print loader/type-check notes
 //
@@ -18,9 +21,15 @@
 // In an environment with golang.org/x/tools available these analyzers
 // are API-compatible with a go/analysis multichecker vettool; this
 // offline build ships its own driver instead (see docs/LINTING.md).
+//
+// The hot-path allocation *budget* — escape-analysis facts from the
+// compiler gated against the committed ALLOC_<seq>.json — is the
+// sibling command fftalloc; fftlint covers what the AST shows, fftalloc
+// what the compiler proves.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,27 +37,48 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/ctxflow"
+	"repro/internal/analysis/deadline"
 	"repro/internal/analysis/errdrop"
 	"repro/internal/analysis/floatcmp"
+	"repro/internal/analysis/goleak"
 	"repro/internal/analysis/hotalloc"
 	"repro/internal/analysis/lockcopy"
+	"repro/internal/analysis/lockhold"
 	"repro/internal/analysis/permcheck"
+	"repro/internal/analysis/poolput"
+	"repro/internal/analysis/spanend"
 )
 
 var all = []*analysis.Analyzer{
 	ctxflow.Analyzer,
+	deadline.Analyzer,
 	errdrop.Analyzer,
 	floatcmp.Analyzer,
+	goleak.Analyzer,
 	hotalloc.Analyzer,
 	lockcopy.Analyzer,
+	lockhold.Analyzer,
 	permcheck.Analyzer,
+	poolput.Analyzer,
+	spanend.Analyzer,
+}
+
+// jsonDiagnostic is the -json record shape: one object per finding,
+// stable field names for the CI problem matcher and other tooling.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
 }
 
 func main() {
 	var (
-		only  = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
-		list  = flag.Bool("list", false, "list analyzers and exit")
-		debug = flag.Bool("debug", false, "print loader and type-check diagnostics")
+		only    = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		list    = flag.Bool("list", false, "list analyzers and exit")
+		debug   = flag.Bool("debug", false, "print loader and type-check diagnostics")
+		jsonOut = flag.Bool("json", false, "emit findings as a JSON array of {file,line,column,analyzer,message}")
 	)
 	flag.Parse()
 
@@ -108,8 +138,26 @@ func main() {
 	if err != nil {
 		fatalf("fftlint: %v", err)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if *jsonOut {
+		recs := make([]jsonDiagnostic, len(diags))
+		for i, d := range diags {
+			recs[i] = jsonDiagnostic{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(recs); err != nil {
+			fatalf("fftlint: encoding findings: %v", err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "fftlint: %d finding(s)\n", len(diags))

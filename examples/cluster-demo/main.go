@@ -30,6 +30,10 @@ import (
 	"repro/internal/server"
 )
 
+// httpClient bounds every demo request: hitting an in-process server
+// should never hang, and a real deployment deserves the same courtesy.
+var httpClient = &http.Client{Timeout: 30 * time.Second}
+
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "cluster-demo:", err)
@@ -129,7 +133,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		resp, err := http.Post(nodes[0].http.URL+"/v1/fft", "application/json", bytes.NewReader(body))
+		resp, err := httpClient.Post(nodes[0].http.URL+"/v1/fft", "application/json", bytes.NewReader(body))
 		if err != nil {
 			failures++
 			continue

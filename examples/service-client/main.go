@@ -14,10 +14,16 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"time"
 
 	"repro/internal/fft"
 	"repro/internal/server"
 )
+
+// httpClient bounds every request: the in-process server answers in
+// microseconds, and pointing this client at a real daemon keeps the
+// same safety net.
+var httpClient = &http.Client{Timeout: 30 * time.Second}
 
 func main() {
 	if err := run(); err != nil {
@@ -57,7 +63,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	resp, err := http.Post(ts.URL+"/v1/fft", "application/json", bytes.NewReader(body))
+	resp, err := httpClient.Post(ts.URL+"/v1/fft", "application/json", bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
@@ -89,7 +95,7 @@ func run() error {
 		fftResp.Batch, worst)
 
 	// Read back the daemon's own accounting.
-	mresp, err := http.Get(ts.URL + "/metrics")
+	mresp, err := httpClient.Get(ts.URL + "/metrics")
 	if err != nil {
 		return err
 	}

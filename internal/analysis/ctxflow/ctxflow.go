@@ -1,40 +1,30 @@
-// Package ctxflow checks how cancellation context and locks flow through
+// Package ctxflow checks how cancellation context flows through
 // request-serving code. It reports
 //
 //  1. HTTP handlers (func(w http.ResponseWriter, r *http.Request)) whose
 //     request parameter is named but never used — such handlers cannot
 //     observe r.Context() cancellation; either use the request or rename
-//     the parameter to _ to make the choice explicit;
+//     the parameter to _ to make the choice explicit; and
 //  2. calls to context.Background() or context.TODO() inside functions
 //     that already receive an *http.Request or a context.Context —
 //     minting a fresh root context severs cancellation and deadline
-//     propagation; and
-//  3. blocking operations (channel send/receive, select without default,
-//     WaitGroup.Wait, net/http and net calls, time.Sleep) performed
-//     while a sync.Mutex/RWMutex is held. A lock held across blocking
-//     I/O serialises every other request on that lock behind the
-//     slowest peer — the exact convoy the server's worker pool exists
-//     to avoid.
+//     propagation.
 //
-// The lock analysis is a source-order heuristic within one function
-// body, not a control-flow analysis: an Unlock on any path closes the
-// window, deferred Unlocks leave it open until function end, and nested
-// function literals are analysed independently.
+// The lock-held-across-blocking check that used to live here is its own
+// analyzer now (internal/analysis/lockhold), with a wider notion of
+// blocking: see that package.
 package ctxflow
 
 import (
 	"go/ast"
-	"go/token"
 	"go/types"
-	"sort"
-	"strings"
 
 	"repro/internal/analysis"
 )
 
 var Analyzer = &analysis.Analyzer{
 	Name: "ctxflow",
-	Doc:  "flags handlers ignoring their request, fresh root contexts, and locks held across blocking ops",
+	Doc:  "flags handlers ignoring their request and fresh root contexts minted under an existing one",
 	Run:  run,
 }
 
@@ -56,7 +46,6 @@ func run(pass *analysis.Pass) error {
 			}
 			checkHandlerRequest(pass, ft, body)
 			checkFreshContext(pass, ft, body)
-			checkLockedBlocking(pass, body)
 			return true
 		})
 	}
@@ -121,183 +110,6 @@ func checkFreshContext(pass *analysis.Pass, ft *ast.FuncType, body *ast.BlockStm
 				"context.%s() inside a function that already has a request/context; derive from it instead", sel.Sel.Name)
 		}
 	})
-}
-
-// --- lock-held-across-blocking heuristic ---
-
-type eventKind int
-
-const (
-	evLock eventKind = iota
-	evUnlock
-	evBlocking
-)
-
-type event struct {
-	pos  token.Pos
-	kind eventKind
-	key  string // lock identity: receiver expression + r/w class
-	desc string // blocking-op description
-}
-
-func checkLockedBlocking(pass *analysis.Pass, body *ast.BlockStmt) {
-	// Communication statements of select cases are modelled by the
-	// select itself, not as standalone sends/receives.
-	commStmts := make(map[ast.Node]bool)
-	ast.Inspect(body, func(n ast.Node) bool {
-		if sel, ok := n.(*ast.SelectStmt); ok {
-			for _, cl := range sel.Body.List {
-				if cc, ok := cl.(*ast.CommClause); ok && cc.Comm != nil {
-					commStmts[cc.Comm] = true
-				}
-			}
-		}
-		return true
-	})
-
-	var events []event
-	ast.Inspect(body, func(n ast.Node) bool {
-		if commStmts[n] {
-			return false
-		}
-		switch n := n.(type) {
-		case nil:
-			return true
-		case *ast.FuncLit:
-			return false // analysed independently
-		case *ast.DeferStmt:
-			// A deferred Unlock holds the lock to function end (the
-			// window stays open) and a deferred blocking call runs after
-			// return, outside the window model: skip the whole subtree.
-			return false
-		case *ast.SendStmt:
-			events = append(events, event{n.Pos(), evBlocking, "", "channel send"})
-		case *ast.UnaryExpr:
-			if n.Op == token.ARROW {
-				events = append(events, event{n.Pos(), evBlocking, "", "channel receive"})
-			}
-		case *ast.SelectStmt:
-			blocking := true
-			for _, cl := range n.Body.List {
-				if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
-					blocking = false // has a default clause
-				}
-			}
-			if blocking {
-				events = append(events, event{n.Pos(), evBlocking, "", "select"})
-			}
-		case *ast.CallExpr:
-			if ev, ok := lockEvent(pass, n); ok {
-				events = append(events, ev)
-			} else if desc := blockingCall(pass, n); desc != "" {
-				events = append(events, event{n.Pos(), evBlocking, "", desc})
-			}
-		}
-		return true
-	})
-
-	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
-	type held struct {
-		key string
-		pos token.Pos
-	}
-	var open []held // insertion-ordered so reports are deterministic
-	for _, ev := range events {
-		switch ev.kind {
-		case evLock:
-			open = append(open, held{ev.key, ev.pos})
-		case evUnlock:
-			for i, h := range open {
-				if h.key == ev.key {
-					open = append(open[:i], open[i+1:]...)
-					break
-				}
-			}
-		case evBlocking:
-			if len(open) > 0 {
-				h := open[0]
-				pass.Reportf(ev.pos, "%s while holding %s (locked at line %d); release the lock around blocking operations",
-					ev.desc, displayKey(h.key), pass.Fset.Position(h.pos).Line)
-			}
-		}
-	}
-}
-
-// displayKey strips the read/write class suffix from a lock key.
-func displayKey(key string) string {
-	if i := strings.LastIndexByte(key, '/'); i >= 0 {
-		return key[:i]
-	}
-	return key
-}
-
-// lockEvent classifies call as a Lock/Unlock on a sync mutex.
-func lockEvent(pass *analysis.Pass, call *ast.CallExpr) (event, bool) {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok {
-		return event{}, false
-	}
-	var kind eventKind
-	var class string
-	switch sel.Sel.Name {
-	case "Lock":
-		kind, class = evLock, "w"
-	case "Unlock":
-		kind, class = evUnlock, "w"
-	case "RLock":
-		kind, class = evLock, "r"
-	case "RUnlock":
-		kind, class = evUnlock, "r"
-	default:
-		return event{}, false
-	}
-	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
-	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
-		return event{}, false
-	}
-	key := types.ExprString(sel.X)
-	return event{call.Pos(), kind, key + "/" + class, key}, true
-}
-
-// blockingCall describes call if it is a known blocking operation.
-func blockingCall(pass *analysis.Pass, call *ast.CallExpr) string {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok {
-		return ""
-	}
-	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
-	if !ok || fn.Pkg() == nil {
-		return ""
-	}
-	path, name := fn.Pkg().Path(), fn.Name()
-	switch {
-	case path == "sync" && name == "Wait" && recvNamed(fn) == "WaitGroup":
-		// sync.Cond.Wait is exempt: it atomically releases the mutex it
-		// was constructed with — that IS the condition-variable protocol.
-		return "sync.WaitGroup.Wait"
-	case path == "time" && name == "Sleep":
-		return "time.Sleep"
-	case path == "net" || path == "net/http" || strings.HasPrefix(path, "net/"):
-		return path + " call"
-	}
-	return ""
-}
-
-// recvNamed returns the name of fn's receiver's named type ("" for
-// plain functions).
-func recvNamed(fn *types.Func) string {
-	sig, ok := fn.Type().(*types.Signature)
-	if !ok || sig.Recv() == nil {
-		return ""
-	}
-	t := sig.Recv().Type()
-	if p, ok := t.(*types.Pointer); ok {
-		t = p.Elem()
-	}
-	if named, ok := t.(*types.Named); ok {
-		return named.Obj().Name()
-	}
-	return ""
 }
 
 // --- small helpers ---

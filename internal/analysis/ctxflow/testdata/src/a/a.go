@@ -4,12 +4,7 @@ package a
 import (
 	"context"
 	"net/http"
-	"sync"
-	"time"
 )
-
-var mu sync.Mutex
-var ch = make(chan int)
 
 // Positive: the request parameter is named but never used, so the
 // handler cannot observe cancellation.
@@ -29,45 +24,10 @@ func mintingHandler(w http.ResponseWriter, r *http.Request) {
 	_ = r.Header
 }
 
-// Positive: channel receive while holding the mutex.
-func recvUnderLock() int {
-	mu.Lock()
-	v := <-ch // want "channel receive while holding mu"
-	mu.Unlock()
-	return v
-}
-
-// Positive: deferred unlock keeps the lock held across the send.
-func sendUnderDeferredLock() {
-	mu.Lock()
-	defer mu.Unlock()
-	ch <- 1 // want "channel send while holding mu"
-}
-
-// Positive: sleeping while locked.
-func sleepUnderLock() {
-	mu.Lock()
-	time.Sleep(time.Millisecond) // want "time.Sleep while holding mu"
-	mu.Unlock()
-}
-
-// Positive: waiting on a WaitGroup while holding the mutex.
-func waitGroupUnderLock(wg *sync.WaitGroup) {
-	mu.Lock()
-	defer mu.Unlock()
-	wg.Wait() // want "sync.WaitGroup.Wait while holding mu"
-}
-
-// Negative: Cond.Wait atomically releases its mutex — that is the
-// condition-variable protocol, not a lock held across a block.
-var cond = sync.NewCond(&mu)
-
-func condWaitUnderLock(ready func() bool) {
-	mu.Lock()
-	defer mu.Unlock()
-	for !ready() {
-		cond.Wait()
-	}
+// Positive, suppressed: the directive with a reason silences the finding.
+func suppressedRoot(ctx context.Context) context.Context {
+	//fftlint:ignore ctxflow golden suppression case: detached audit context is intentional here
+	return context.Background()
 }
 
 // Negative: handler that uses its request context.
@@ -82,26 +42,6 @@ func goodHandler(w http.ResponseWriter, r *http.Request) {
 // Negative: explicitly anonymous request parameter.
 func staticHandler(w http.ResponseWriter, _ *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
-}
-
-// Negative: the lock is released before blocking.
-func unlockThenRecv() int {
-	mu.Lock()
-	x := 1
-	mu.Unlock()
-	return x + <-ch
-}
-
-// Negative: select with a default clause does not block.
-func nonBlockingSelect() int {
-	mu.Lock()
-	defer mu.Unlock()
-	select {
-	case v := <-ch:
-		return v
-	default:
-		return 0
-	}
 }
 
 // Negative: root contexts are fine where no request or context exists.

@@ -1,0 +1,207 @@
+// Package deadline flags network operations that can block forever
+// because nothing bounds them. The cluster's wire protocol and the
+// registry's heartbeats are the motivating sites: a peer that stops
+// mid-frame must cost a timeout, not a goroutine. It reports
+//
+//  1. net.Dial — no connect timeout; use net.DialTimeout or
+//     (&net.Dialer{Timeout: ...}).DialContext;
+//  2. the package-level http.Get / Head / Post / PostForm helpers —
+//     they ride http.DefaultClient, which has no Timeout; build a
+//     client with a Timeout or a request with NewRequestWithContext;
+//  3. an http.Client composite literal that sets no Timeout field —
+//     the zero value means "wait forever"; and
+//  4. Read / Write / ReadFrom / WriteTo on a net.Conn (including
+//     io.Copy / io.ReadAll / io.ReadFull handed a conn) inside a
+//     function that never calls SetDeadline / SetReadDeadline /
+//     SetWriteDeadline. A context deadline does NOT exempt the
+//     function: cancelling a context never unblocks a conn read — only
+//     a conn deadline does.
+//
+// Rule 4 is function-scoped: one Set*Deadline call anywhere in the
+// function (including nested literals) blesses all its conn I/O, so
+// the roundTripDeadline idiom — set once, then write + read — stays
+// quiet. Functions that receive an already-bounded conn suppress with
+// //fftlint:ignore deadline <reason> naming who set the deadline.
+package deadline
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "deadline",
+	Doc:  "flags unbounded network operations: dials, default-client HTTP, and conn I/O with no deadline",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		// Client literals are position-independent (package-level vars
+		// included); the deadline-scoped conn rules are per-function.
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.CompositeLit); ok {
+				checkClientLit(pass, lit)
+			}
+			return true
+		})
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkDecl(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkDecl checks one top-level function declaration. Nested literals
+// are checked as part of their declaration: a deadline set in the outer
+// function covers I/O in a closure and vice versa.
+func checkDecl(pass *analysis.Pass, body *ast.BlockStmt) {
+	setsDeadline := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			switch sel.Sel.Name {
+			case "SetDeadline", "SetReadDeadline", "SetWriteDeadline":
+				setsDeadline = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			checkCall(pass, call, setsDeadline)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, setsDeadline bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	path, name := fn.Pkg().Path(), fn.Name()
+	sig, _ := fn.Type().(*types.Signature)
+	isMethod := sig != nil && sig.Recv() != nil
+
+	switch {
+	case path == "net" && name == "Dial" && !isMethod:
+		pass.Reportf(call.Pos(),
+			"net.Dial has no connect timeout; use net.DialTimeout or (&net.Dialer{Timeout: ...}).DialContext")
+		return
+	case path == "net/http" && !isMethod &&
+		(name == "Get" || name == "Head" || name == "Post" || name == "PostForm"):
+		pass.Reportf(call.Pos(),
+			"http.%s uses http.DefaultClient, which has no timeout; build an http.Client with Timeout or a request with NewRequestWithContext", name)
+		return
+	}
+
+	if setsDeadline {
+		return
+	}
+	switch name {
+	case "Read", "Write", "ReadFrom", "WriteTo":
+		if isMethod && isConnType(pass, pass.TypesInfo.Types[sel.X].Type) {
+			pass.Reportf(call.Pos(),
+				"net.Conn.%s in a function that never sets a conn deadline; a stalled peer blocks this goroutine forever — call SetDeadline (a context cannot unblock a conn read)", name)
+		}
+	case "Copy", "ReadAll", "ReadFull":
+		if path == "io" && argIsConn(pass, call) {
+			pass.Reportf(call.Pos(),
+				"io.%s on a net.Conn in a function that never sets a conn deadline; a stalled peer blocks this goroutine forever — call SetDeadline first", name)
+		}
+	}
+}
+
+// checkClientLit flags http.Client{...} literals without a Timeout.
+func checkClientLit(pass *analysis.Pass, lit *ast.CompositeLit) {
+	t := pass.TypesInfo.Types[lit].Type
+	if t == nil {
+		return
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return
+	}
+	obj := named.Obj()
+	if obj.Name() != "Client" || obj.Pkg() == nil || obj.Pkg().Path() != "net/http" {
+		return
+	}
+	for _, e := range lit.Elts {
+		if kv, ok := e.(*ast.KeyValueExpr); ok {
+			if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "Timeout" {
+				return
+			}
+		}
+	}
+	pass.Reportf(lit.Pos(),
+		"http.Client literal without a Timeout waits forever on a stalled server; set Timeout (or document why via per-request contexts)")
+}
+
+// argIsConn reports whether any argument of call is a net.Conn.
+func argIsConn(pass *analysis.Pass, call *ast.CallExpr) bool {
+	for _, a := range call.Args {
+		if isConnType(pass, pass.TypesInfo.Types[a].Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// isConnType reports whether t is net.Conn or a concrete type that
+// implements it.
+func isConnType(pass *analysis.Pass, t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	iface := netConnInterface(pass.Pkg)
+	if iface == nil {
+		return false
+	}
+	return types.Implements(t, iface) || types.Implements(types.NewPointer(t), iface)
+}
+
+// netConnInterface finds the net.Conn interface in the package's import
+// graph, or nil when net is not reachable.
+func netConnInterface(pkg *types.Package) *types.Interface {
+	if pkg == nil {
+		return nil
+	}
+	seen := make(map[*types.Package]bool)
+	var find func(p *types.Package) *types.Interface
+	find = func(p *types.Package) *types.Interface {
+		if seen[p] {
+			return nil
+		}
+		seen[p] = true
+		if p.Path() == "net" {
+			if obj, ok := p.Scope().Lookup("Conn").(*types.TypeName); ok {
+				if iface, ok := obj.Type().Underlying().(*types.Interface); ok {
+					return iface
+				}
+			}
+			return nil
+		}
+		for _, imp := range p.Imports() {
+			if iface := find(imp); iface != nil {
+				return iface
+			}
+		}
+		return nil
+	}
+	return find(pkg)
+}

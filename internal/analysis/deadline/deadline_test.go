@@ -1,0 +1,12 @@
+package deadline_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/deadline"
+)
+
+func TestDeadline(t *testing.T) {
+	analysistest.Run(t, deadline.Analyzer, "a")
+}

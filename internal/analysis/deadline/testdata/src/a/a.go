@@ -1,0 +1,81 @@
+// Package a is the deadline golden package.
+package a
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Positive: net.Dial has no connect timeout.
+func dialForever() (net.Conn, error) {
+	return net.Dial("tcp", "127.0.0.1:1") // want "net.Dial has no connect timeout"
+}
+
+// Positive: the package-level helpers ride the timeout-less default
+// client.
+func fetch(url string) (*http.Response, error) {
+	return http.Get(url) // want "http.Get uses http.DefaultClient"
+}
+
+// Positive: a client literal with no Timeout waits forever.
+var lazyClient = &http.Client{} // want "http.Client literal without a Timeout"
+
+// Positive: conn read in a function that never sets a deadline.
+func readHeader(c net.Conn, hdr []byte) error {
+	_, err := io.ReadFull(c, hdr) // want "io.ReadFull on a net.Conn in a function that never sets a conn deadline"
+	return err
+}
+
+// Positive: direct conn write, same rule.
+func send(c net.Conn, frame []byte) error {
+	_, err := c.Write(frame) // want "net.Conn.Write in a function that never sets a conn deadline"
+	return err
+}
+
+// Positive, suppressed: the caller set the deadline; the directive
+// records that.
+func sendPrebounded(c net.Conn, frame []byte) error {
+	//fftlint:ignore deadline golden suppression case: caller sets the conn deadline before handing it over
+	_, err := c.Write(frame)
+	return err
+}
+
+// Negative: DialTimeout is bounded.
+func dialBounded() (net.Conn, error) {
+	return net.DialTimeout("tcp", "127.0.0.1:1", time.Second)
+}
+
+// Negative: a client with a Timeout.
+var boundedClient = &http.Client{Timeout: 5 * time.Second}
+
+// Negative: the function sets a deadline before its conn I/O.
+func roundTrip(c net.Conn, frame, hdr []byte) error {
+	if err := c.SetDeadline(time.Now().Add(time.Second)); err != nil {
+		return err
+	}
+	if _, err := c.Write(frame); err != nil {
+		return err
+	}
+	_, err := io.ReadFull(c, hdr)
+	return err
+}
+
+// Negative: a deadline set in the outer function covers closure I/O.
+func withRetry(c net.Conn, frame []byte) error {
+	_ = c.SetWriteDeadline(time.Now().Add(time.Second))
+	attempt := func() error {
+		_, err := c.Write(frame)
+		return err
+	}
+	if err := attempt(); err != nil {
+		return attempt()
+	}
+	return nil
+}
+
+// Negative: io helpers on in-memory readers are not conn I/O.
+func drain(r io.Reader) ([]byte, error) {
+	return io.ReadAll(r)
+}

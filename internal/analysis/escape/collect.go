@@ -1,0 +1,224 @@
+package escape
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// hotDirective mirrors internal/analysis: a file-level //fftlint:hot
+// comment marks the whole package as a hot path.
+const hotDirective = "//fftlint:hot"
+
+// HotPackages walks the module below root and returns the directories
+// (module-relative, sorted) of packages carrying the hot directive.
+// testdata trees and _test.go files are excluded: the budget covers
+// shipped code only.
+func HotPackages(root string) ([]string, error) {
+	dirs := make(map[string]bool)
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || strings.HasPrefix(name, ".") && path != root {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, line := range strings.Split(string(src), "\n") {
+			line = strings.TrimSpace(line)
+			if line == hotDirective || strings.HasPrefix(line, hotDirective+" ") {
+				rel, err := filepath.Rel(root, filepath.Dir(path))
+				if err != nil {
+					return err
+				}
+				dirs[filepath.ToSlash(rel)] = true
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(dirs))
+	for d := range dirs {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// BuildDiagnostics compiles the given package dirs (module-relative)
+// with -gcflags=-m and returns the raw diagnostic stream. The compiler
+// replays diagnostics from the build cache, so repeat runs are cheap
+// and deterministic for an unchanged tree.
+func BuildDiagnostics(root string, dirs []string) (string, error) {
+	if len(dirs) == 0 {
+		return "", nil
+	}
+	args := []string{"build", "-gcflags=-m"}
+	for _, d := range dirs {
+		args = append(args, "./"+d)
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return "", fmt.Errorf("go %s: %v\n%s", strings.Join(args, " "), err, out)
+	}
+	return string(out), nil
+}
+
+// Collect builds the module's hot packages with escape diagnostics on
+// and returns the attributed budget report for this toolchain.
+func Collect(root string) (*Report, error) {
+	dirs, err := HotPackages(root)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := BuildDiagnostics(root, dirs)
+	if err != nil {
+		return nil, err
+	}
+	diags := ParseM(raw)
+	return Attribute(root, dirs, diags)
+}
+
+// funcSpan is one declaration's line range within a file.
+type funcSpan struct {
+	name     string
+	from, to int
+}
+
+// Attribute maps each heap-escape diagnostic to its enclosing function
+// declaration and aggregates per package. Diagnostics in files outside
+// the hot dirs (dependencies the build touched) are dropped; sites
+// outside any declaration (package-level initialisers) are charged to
+// "(package init)".
+func Attribute(root string, dirs []string, diags []Diag) (*Report, error) {
+	spans := make(map[string][]funcSpan) // module-relative file -> decls
+	for _, dir := range dirs {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, filepath.Join(root, dir), func(fi fs.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, 0)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", dir, err)
+		}
+		for _, pkg := range pkgs {
+			for filename, file := range pkg.Files {
+				rel, err := filepath.Rel(root, filename)
+				if err != nil {
+					return nil, err
+				}
+				key := filepath.ToSlash(rel)
+				for _, d := range file.Decls {
+					fd, ok := d.(*ast.FuncDecl)
+					if !ok {
+						continue
+					}
+					spans[key] = append(spans[key], funcSpan{
+						name: declName(fd),
+						from: fset.Position(fd.Pos()).Line,
+						to:   fset.Position(fd.End()).Line,
+					})
+				}
+			}
+		}
+	}
+
+	type key struct{ pkg, fn string }
+	grouped := make(map[key][]Site)
+	for _, d := range diags {
+		file := filepath.ToSlash(d.File)
+		decls, ok := spans[file]
+		if !ok {
+			continue // not a hot-package source file
+		}
+		fn := "(package init)"
+		for _, s := range decls {
+			if d.Line >= s.from && d.Line <= s.to {
+				fn = s.name
+				break
+			}
+		}
+		k := key{pkg: d.Pkg, fn: fn}
+		grouped[k] = append(grouped[k], Site{File: file, Line: d.Line, Col: d.Col, Kind: d.Kind, What: d.What})
+	}
+
+	byPkg := make(map[string][]FuncEscapes)
+	for k, sites := range grouped {
+		sort.Slice(sites, func(i, j int) bool {
+			if sites[i].File != sites[j].File {
+				return sites[i].File < sites[j].File
+			}
+			if sites[i].Line != sites[j].Line {
+				return sites[i].Line < sites[j].Line
+			}
+			return sites[i].Col < sites[j].Col
+		})
+		byPkg[k.pkg] = append(byPkg[k.pkg], FuncEscapes{Func: k.fn, Count: len(sites), Sites: sites})
+	}
+
+	rep := &Report{SchemaVersion: SchemaVersion, GoVersion: runtime.Version()}
+	pkgPaths := make([]string, 0, len(byPkg))
+	for p := range byPkg {
+		pkgPaths = append(pkgPaths, p)
+	}
+	sort.Strings(pkgPaths)
+	for _, p := range pkgPaths {
+		funcs := byPkg[p]
+		sort.Slice(funcs, func(i, j int) bool { return funcs[i].Func < funcs[j].Func })
+		total := 0
+		for _, f := range funcs {
+			total += f.Count
+		}
+		rep.Packages = append(rep.Packages, PackageEscapes{Path: p, Total: total, Funcs: funcs})
+		rep.Total += total
+	}
+	return rep, nil
+}
+
+// declName renders a receiver-qualified function name the way the
+// budget file shows it: Forward becomes (*Plan).Forward when declared
+// on *Plan.
+func declName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	recv := typeName(fd.Recv.List[0].Type)
+	return "(" + recv + ")." + fd.Name.Name
+}
+
+func typeName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.StarExpr:
+		return "*" + typeName(e.X)
+	case *ast.IndexExpr:
+		return typeName(e.X)
+	case *ast.IndexListExpr:
+		return typeName(e.X)
+	default:
+		return "?"
+	}
+}

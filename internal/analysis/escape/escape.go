@@ -1,0 +1,227 @@
+// Package escape turns the Go compiler's escape-analysis diagnostics
+// (`go build -gcflags=-m`) into a versioned allocation budget for the
+// repository's hot-path packages — the ones marked //fftlint:hot.
+//
+// The hotalloc analyzer flags what the AST shows (make/append/new in a
+// loop); this package gates what the compiler *proves*: every value it
+// moves to the heap in a hot package is attributed to its enclosing
+// function and counted against the committed ALLOC_<seq>.json baseline.
+// A change that makes a previously stack-allocated value escape inside
+// internal/fft's butterfly loops fails `make alloc-compare` even though
+// no test broke and no benchmark was run.
+//
+// Escape diagnostics are a compiler implementation detail, not a stable
+// API: a new Go minor version may legitimately move values either way.
+// Reports therefore record the toolchain version, and Compare refuses
+// to diff across minor versions — loudly, with instructions to
+// re-baseline — instead of reporting phantom regressions.
+package escape
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SchemaVersion identifies the ALLOC_<seq>.json layout.
+const SchemaVersion = 1
+
+// Kind classifies one diagnostic.
+type Kind string
+
+const (
+	// KindEscape is "<expr> escapes to heap": the value itself is
+	// heap-allocated.
+	KindEscape Kind = "escapes"
+	// KindMoved is "moved to heap: <var>": a local variable was
+	// relocated because a reference outlives the frame.
+	KindMoved Kind = "moved"
+)
+
+// Site is one heap escape the compiler reported.
+type Site struct {
+	File string `json:"file"` // module-relative path
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Kind Kind   `json:"kind"`
+	What string `json:"what"` // the expression or variable that escapes
+}
+
+// FuncEscapes aggregates one function's heap escapes. Func is
+// receiver-qualified ("(*Plan).Forward"); sites inside function
+// literals count against the enclosing declaration.
+type FuncEscapes struct {
+	Func  string `json:"func"`
+	Count int    `json:"count"`
+	Sites []Site `json:"sites"`
+}
+
+// PackageEscapes is one hot package's budget entry.
+type PackageEscapes struct {
+	Path  string        `json:"path"`
+	Total int           `json:"total"`
+	Funcs []FuncEscapes `json:"funcs"`
+}
+
+// Report is the ALLOC_<seq>.json artifact.
+type Report struct {
+	SchemaVersion int              `json:"schema_version"`
+	Seq           int              `json:"seq"`
+	CreatedAt     string           `json:"created_at,omitempty"`
+	GoVersion     string           `json:"go_version"`
+	Total         int              `json:"total"`
+	Packages      []PackageEscapes `json:"packages"`
+}
+
+// Diag is one parsed compiler diagnostic.
+type Diag struct {
+	Pkg  string // import path from the preceding "# path" header
+	File string // as printed: module-relative when built from the root
+	Line int
+	Col  int
+	Kind Kind
+	What string
+}
+
+// diagRE matches `file.go:line:col: message`. The compiler prints
+// columns for every escape diagnostic; anything else is not ours.
+var diagRE = regexp.MustCompile(`^(\S+\.go):(\d+):(\d+): (.+)$`)
+
+// ParseM extracts heap-escape diagnostics from `go build -gcflags=-m`
+// output. Package clauses (`# import/path`) set the package attributed
+// to subsequent lines; inlining notes, "does not escape" and
+// "leaking param" lines are dropped — only "escapes to heap" and
+// "moved to heap" count against the budget.
+func ParseM(output string) []Diag {
+	var out []Diag
+	pkg := ""
+	for _, line := range strings.Split(output, "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "# "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		m := diagRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		msg := m[4]
+		var kind Kind
+		var what string
+		switch {
+		case strings.HasPrefix(msg, "moved to heap: "):
+			kind, what = KindMoved, strings.TrimPrefix(msg, "moved to heap: ")
+		case strings.HasSuffix(msg, " escapes to heap"):
+			kind, what = KindEscape, strings.TrimSuffix(msg, " escapes to heap")
+		default:
+			continue
+		}
+		ln, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		out = append(out, Diag{Pkg: pkg, File: m[1], Line: ln, Col: col, Kind: kind, What: what})
+	}
+	return out
+}
+
+// MinorVersion reduces a runtime-style version ("go1.24.0", "go1.24")
+// to its minor series ("go1.24"). Devel builds and anything else
+// unparseable are returned as-is, which makes any comparison against a
+// release version fail closed.
+func MinorVersion(v string) string {
+	rest, ok := strings.CutPrefix(v, "go")
+	if !ok {
+		return v
+	}
+	parts := strings.SplitN(rest, ".", 3)
+	if len(parts) < 2 {
+		return v
+	}
+	return "go" + parts[0] + "." + parts[1]
+}
+
+// VersionSkewError is returned by Compare when baseline and current
+// reports come from different Go minor versions. Escape analysis
+// changes between minors; diffing across them reports compiler drift
+// as if it were a code regression, so the comparison refuses to run.
+type VersionSkewError struct {
+	Baseline, Current string
+}
+
+func (e *VersionSkewError) Error() string {
+	return fmt.Sprintf(
+		"alloc budget baseline was recorded with %s but this toolchain is %s; "+
+			"escape analysis is not stable across Go minor versions — "+
+			"re-record the baseline on this toolchain (make alloc-baseline) and commit the new ALLOC_<seq>.json",
+		e.Baseline, e.Current)
+}
+
+// Delta is one function whose heap-escape count changed.
+type Delta struct {
+	Pkg      string
+	Func     string
+	Baseline int
+	Current  int
+	Sites    []Site // current sites, for regression diagnostics
+}
+
+// Comparison is the outcome of diffing current escapes against a
+// committed baseline.
+type Comparison struct {
+	Regressions  []Delta // current > baseline: fail the gate
+	Improvements []Delta // current < baseline: worth re-baselining
+}
+
+// Compare diffs current against baseline per (package, function). A
+// function absent from the baseline has budget zero — new hot code
+// starts allocation-clean or declares its escapes by re-baselining.
+func Compare(baseline, current *Report) (*Comparison, error) {
+	if baseline.SchemaVersion != SchemaVersion {
+		return nil, fmt.Errorf("baseline schema version %d, this tool speaks %d", baseline.SchemaVersion, SchemaVersion)
+	}
+	if b, c := MinorVersion(baseline.GoVersion), MinorVersion(current.GoVersion); b != c {
+		return nil, &VersionSkewError{Baseline: baseline.GoVersion, Current: current.GoVersion}
+	}
+	type key struct{ pkg, fn string }
+	base := make(map[key]int)
+	for _, p := range baseline.Packages {
+		for _, f := range p.Funcs {
+			base[key{p.Path, f.Func}] = f.Count
+		}
+	}
+	var cmp Comparison
+	seen := make(map[key]bool)
+	for _, p := range current.Packages {
+		for _, f := range p.Funcs {
+			k := key{p.Path, f.Func}
+			seen[k] = true
+			switch b := base[k]; {
+			case f.Count > b:
+				cmp.Regressions = append(cmp.Regressions, Delta{Pkg: p.Path, Func: f.Func, Baseline: b, Current: f.Count, Sites: f.Sites})
+			case f.Count < b:
+				cmp.Improvements = append(cmp.Improvements, Delta{Pkg: p.Path, Func: f.Func, Baseline: b, Current: f.Count})
+			}
+		}
+	}
+	for _, p := range baseline.Packages {
+		for _, f := range p.Funcs {
+			k := key{p.Path, f.Func}
+			if !seen[k] && f.Count > 0 {
+				cmp.Improvements = append(cmp.Improvements, Delta{Pkg: p.Path, Func: f.Func, Baseline: f.Count, Current: 0})
+			}
+		}
+	}
+	sortDeltas(cmp.Regressions)
+	sortDeltas(cmp.Improvements)
+	return &cmp, nil
+}
+
+func sortDeltas(ds []Delta) {
+	sort.Slice(ds, func(i, j int) bool {
+		if ds[i].Pkg != ds[j].Pkg {
+			return ds[i].Pkg < ds[j].Pkg
+		}
+		return ds[i].Func < ds[j].Func
+	})
+}

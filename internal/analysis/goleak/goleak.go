@@ -1,0 +1,293 @@
+// Package goleak flags goroutines spawned with no join or cancellation
+// path. A goroutine the caller cannot stop or wait for outlives its
+// request: under load each leaked goroutine pins its stack, its
+// captures and (for connection handlers) its socket, and a server that
+// leaks one goroutine per request falls over by memory long before it
+// saturates by CPU.
+//
+// A `go` statement is accepted as managed when evidence of a lifecycle
+// is reachable from it:
+//
+//   - the spawned body (or the spawned function's body, when it is
+//     declared in the same package) references a context.Context — a
+//     ctx.Done() select, a ctx-bounded call — or any channel value:
+//     sends, receives, closes and range loops all tie the goroutine to
+//     a peer that can release it;
+//   - the body uses a sync.WaitGroup (Add/Done/Wait) — somebody joins
+//     it; or
+//   - the spawn call passes a context, a channel, or a *sync.WaitGroup
+//     to a function declared elsewhere — the callee is assumed to
+//     honour what it was handed.
+//
+// Spawns of local closure variables (work := func() {...}; go work())
+// are checked by the closure's body, provided the variable is assigned
+// exactly one literal.
+//
+// The check is per-spawn-site evidence, not a proof: a ctx that is
+// never selected on still counts. That keeps the analyzer quiet on
+// managed code and loud exactly where a goroutine holds nothing that
+// could ever stop it — the fire-and-forget `go doWork()` with no
+// arguments. Suppress deliberate daemon goroutines with
+// //fftlint:ignore goleak <reason>.
+package goleak
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "goleak",
+	Doc:  "flags goroutines spawned without a reachable join or cancellation path",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{
+		pass:    pass,
+		decls:   declIndex(pass),
+		lits:    litIndex(pass),
+		scanned: make(map[*ast.FuncDecl]bool),
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !c.managed(g.Call) {
+				pass.Reportf(g.Pos(),
+					"goroutine has no join or cancellation path (no context, channel, or WaitGroup reachable); wire ctx.Done(), a stop channel, or a WaitGroup so it cannot outlive its caller")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type checker struct {
+	pass    *analysis.Pass
+	decls   map[*types.Func]*ast.FuncDecl
+	lits    map[types.Object]*ast.FuncLit // local closure variables
+	scanned map[*ast.FuncDecl]bool        // cycle guard for body scans
+}
+
+// declIndex maps function objects to their declarations in this unit,
+// so spawns of package-local functions can be checked by body.
+func declIndex(pass *analysis.Pass) map[*types.Func]*ast.FuncDecl {
+	out := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				out[fn] = fd
+			}
+		}
+	}
+	return out
+}
+
+// litIndex maps variables assigned exactly one function literal to that
+// literal, so `work := func(...) {...}; go work(...)` is checked by the
+// closure's body just like `go func(...) {...}(...)` would be. A
+// variable reassigned a second literal is dropped — which body runs is
+// then unknowable without flow analysis.
+func litIndex(pass *analysis.Pass) map[types.Object]*ast.FuncLit {
+	out := make(map[types.Object]*ast.FuncLit)
+	ambiguous := make(map[types.Object]bool)
+	record := func(id *ast.Ident, lit *ast.FuncLit) {
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		if _, dup := out[obj]; dup {
+			ambiguous[obj] = true
+			return
+		}
+		out[obj] = lit
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i, rhs := range n.Rhs {
+					lit, ok := rhs.(*ast.FuncLit)
+					if !ok {
+						continue
+					}
+					if id, ok := n.Lhs[i].(*ast.Ident); ok {
+						record(id, lit)
+					}
+				}
+			case *ast.ValueSpec:
+				if len(n.Names) != len(n.Values) {
+					return true
+				}
+				for i, v := range n.Values {
+					if lit, ok := v.(*ast.FuncLit); ok {
+						record(n.Names[i], lit)
+					}
+				}
+			}
+			return true
+		})
+	}
+	for obj := range ambiguous {
+		delete(out, obj)
+	}
+	return out
+}
+
+// managed reports whether the spawned call shows lifecycle evidence.
+func (c *checker) managed(call *ast.CallExpr) bool {
+	// Lifecycle-typed arguments: the callee was handed something it can
+	// block on or signal through.
+	for _, a := range call.Args {
+		if isLifecycleType(c.pass.TypesInfo.Types[a].Type) {
+			return true
+		}
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.FuncLit:
+		return c.bodyHasEvidence(fun.Body)
+	case *ast.Ident:
+		// A local variable holding a closure: check the closure's body.
+		if obj := c.pass.TypesInfo.Uses[fun]; obj != nil {
+			if lit, ok := c.lits[obj]; ok {
+				return c.bodyHasEvidence(lit.Body)
+			}
+		}
+	}
+	if fn := calleeFunc(c.pass, call); fn != nil {
+		if fd, ok := c.decls[fn]; ok {
+			if c.scanned[fd] {
+				return false // recursion: no evidence found elsewhere
+			}
+			c.scanned[fd] = true
+			ok := c.bodyHasEvidence(fd.Body)
+			delete(c.scanned, fd)
+			return ok
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves the called function object, if any.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fn, ok := pass.TypesInfo.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// bodyHasEvidence scans a function body for lifecycle evidence:
+// context- or channel-typed expressions, or WaitGroup method calls.
+// Package-local calls inside the body are followed, so a goroutine
+// running a thin wrapper around a managed loop still counts.
+func (c *checker) bodyHasEvidence(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if isWaitGroupMethod(c.pass, n) {
+				found = true
+				return false
+			}
+		case *ast.CallExpr:
+			if fn := calleeFunc(c.pass, n); fn != nil {
+				if fd, ok := c.decls[fn]; ok && !c.scanned[fd] {
+					c.scanned[fd] = true
+					if c.bodyHasEvidence(fd.Body) {
+						found = true
+					}
+					delete(c.scanned, fd)
+					if found {
+						return false
+					}
+				}
+			}
+		}
+		if e, ok := n.(ast.Expr); ok {
+			if isLifecycleType(c.pass.TypesInfo.Types[e].Type) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isLifecycleType reports whether t can carry a join/cancellation
+// signal: a context.Context, any channel, or a *sync.WaitGroup.
+func isLifecycleType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch {
+	case obj.Pkg().Path() == "context" && obj.Name() == "Context":
+		return true
+	case obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup":
+		return true
+	}
+	return false
+}
+
+// isWaitGroupMethod reports whether sel names Add/Done/Wait on a
+// sync.WaitGroup.
+func isWaitGroupMethod(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	switch sel.Sel.Name {
+	case "Add", "Done", "Wait":
+	default:
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "WaitGroup"
+}

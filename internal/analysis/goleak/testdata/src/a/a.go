@@ -1,0 +1,133 @@
+// Package a is the goleak golden package.
+package a
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Positive: fire-and-forget literal holding nothing that can stop it.
+func fireAndForget() {
+	go func() { // want "goroutine has no join or cancellation path"
+		for {
+			time.Sleep(time.Second)
+		}
+	}()
+}
+
+// Positive: spawning a package-local function whose body has no
+// lifecycle evidence either.
+func spinner() {
+	for {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func spawnSpinner() {
+	go spinner() // want "goroutine has no join or cancellation path"
+}
+
+// Positive: argument types carry no lifecycle either.
+func logEvery(d time.Duration) {
+	for {
+		time.Sleep(d)
+	}
+}
+
+func spawnLogger() {
+	go logEvery(time.Second) // want "goroutine has no join or cancellation path"
+}
+
+// Positive, suppressed: a deliberate daemon goroutine with a reason.
+func daemon() {
+	//fftlint:ignore goleak golden suppression case: process-lifetime daemon, dies with the program
+	go spinner()
+}
+
+// Negative: the body selects on ctx.Done().
+func watch(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+}
+
+// Negative: a WaitGroup joins the goroutine.
+func joined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(time.Millisecond)
+	}()
+	wg.Wait()
+}
+
+// Negative: delivering on a channel ties the goroutine to a receiver.
+func resultDelivery() int {
+	resc := make(chan int, 1)
+	go func() { resc <- 42 }()
+	return <-resc
+}
+
+// Negative: a package-local worker loop draining a channel is managed —
+// closing the channel releases it.
+type pool struct {
+	jobs chan func()
+}
+
+func (p *pool) worker() {
+	for j := range p.jobs {
+		j()
+	}
+}
+
+func (p *pool) start() {
+	go p.worker()
+}
+
+// Negative: a local closure variable whose body joins a WaitGroup is
+// resolved to its literal, same as spawning the literal directly.
+func closureVar(n int) {
+	var wg sync.WaitGroup
+	work := func(i int) {
+		defer wg.Done()
+		time.Sleep(time.Duration(i))
+	}
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go work(i)
+	}
+	wg.Wait()
+}
+
+// Positive: the closure variable is reassigned, so which body runs is
+// unknowable — no evidence is credited.
+func reassignedClosure(quiet bool) {
+	work := func() {
+		ch := make(chan struct{})
+		<-ch
+	}
+	if quiet {
+		work = func() { time.Sleep(time.Second) }
+	}
+	go work() // want "goroutine has no join or cancellation path"
+}
+
+// Negative: handing a context to an out-of-package callee counts as
+// managed — the callee is assumed to honour it.
+func delegate(ctx context.Context) {
+	go sleepCtx(ctx)
+}
+
+//go:noinline
+func sleepCtx(ctx context.Context) {
+	<-ctx.Done()
+}

@@ -1,0 +1,332 @@
+// Package lockhold flags blocking operations performed while a
+// sync.Mutex or sync.RWMutex is held. A lock held across blocking I/O
+// serialises every other request on that lock behind the slowest peer —
+// the convoy the server's worker pool and the cluster's per-connection
+// scratch exist to avoid. Blocking operations are
+//
+//   - channel sends, receives, and selects without a default clause;
+//   - sync.WaitGroup.Wait and time.Sleep;
+//   - calls into net, net/http and the other net/* packages;
+//   - Read/Write/ReadFrom/WriteTo on a net.Conn (and io.Copy,
+//     io.ReadAll, io.ReadFull when an argument is a net.Conn);
+//   - os/exec process waits (Run, Wait, Output, CombinedOutput); and
+//   - cluster RPCs — the repro/internal/cluster entry points that
+//     dial, hedge and retry across the network (Transform, Ping,
+//     ProbePing, ProbeStatus and their wire-level helpers); the
+//     package's in-memory helpers (breaker state, pool bookkeeping)
+//     are not blocking and do not count.
+//
+// sync.Cond.Wait is exempt: it atomically releases the mutex it was
+// constructed with — that IS the condition-variable protocol.
+//
+// The analysis is a source-order heuristic within one function body,
+// not a control-flow analysis: an Unlock on any path closes the window,
+// deferred Unlocks leave it open until function end, and nested
+// function literals are analysed independently. This check grew out of
+// the ctxflow analyzer; it is its own analyzer so suppressions name the
+// failure mode they waive.
+package lockhold
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockhold",
+	Doc:  "flags blocking operations (channels, I/O, sleeps, RPCs) while a sync mutex is held",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				body = n.Body
+			case *ast.FuncLit:
+				body = n.Body
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			checkLockedBlocking(pass, body)
+			return true
+		})
+	}
+	return nil
+}
+
+type eventKind int
+
+const (
+	evLock eventKind = iota
+	evUnlock
+	evBlocking
+)
+
+type event struct {
+	pos  token.Pos
+	kind eventKind
+	key  string // lock identity: receiver expression + r/w class
+	desc string // blocking-op description
+}
+
+func checkLockedBlocking(pass *analysis.Pass, body *ast.BlockStmt) {
+	// Communication statements of select cases are modelled by the
+	// select itself, not as standalone sends/receives.
+	commStmts := make(map[ast.Node]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectStmt); ok {
+			for _, cl := range sel.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok && cc.Comm != nil {
+					commStmts[cc.Comm] = true
+				}
+			}
+		}
+		return true
+	})
+
+	var events []event
+	ast.Inspect(body, func(n ast.Node) bool {
+		if commStmts[n] {
+			return false
+		}
+		switch n := n.(type) {
+		case nil:
+			return true
+		case *ast.FuncLit:
+			return false // analysed independently
+		case *ast.DeferStmt:
+			// A deferred Unlock holds the lock to function end (the
+			// window stays open) and a deferred blocking call runs after
+			// return, outside the window model: skip the whole subtree.
+			return false
+		case *ast.SendStmt:
+			events = append(events, event{n.Pos(), evBlocking, "", "channel send"})
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				events = append(events, event{n.Pos(), evBlocking, "", "channel receive"})
+			}
+		case *ast.SelectStmt:
+			blocking := true
+			for _, cl := range n.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+					blocking = false // has a default clause
+				}
+			}
+			if blocking {
+				events = append(events, event{n.Pos(), evBlocking, "", "select"})
+			}
+		case *ast.CallExpr:
+			if ev, ok := lockEvent(pass, n); ok {
+				events = append(events, ev)
+			} else if desc := blockingCall(pass, n); desc != "" {
+				events = append(events, event{n.Pos(), evBlocking, "", desc})
+			}
+		}
+		return true
+	})
+
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	type held struct {
+		key string
+		pos token.Pos
+	}
+	var open []held // insertion-ordered so reports are deterministic
+	for _, ev := range events {
+		switch ev.kind {
+		case evLock:
+			open = append(open, held{ev.key, ev.pos})
+		case evUnlock:
+			for i, h := range open {
+				if h.key == ev.key {
+					open = append(open[:i], open[i+1:]...)
+					break
+				}
+			}
+		case evBlocking:
+			if len(open) > 0 {
+				h := open[0]
+				pass.Reportf(ev.pos, "%s while holding %s (locked at line %d); release the lock around blocking operations",
+					ev.desc, displayKey(h.key), pass.Fset.Position(h.pos).Line)
+			}
+		}
+	}
+}
+
+// displayKey strips the read/write class suffix from a lock key.
+func displayKey(key string) string {
+	if i := strings.LastIndexByte(key, '/'); i >= 0 {
+		return key[:i]
+	}
+	return key
+}
+
+// lockEvent classifies call as a Lock/Unlock on a sync mutex.
+func lockEvent(pass *analysis.Pass, call *ast.CallExpr) (event, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return event{}, false
+	}
+	var kind eventKind
+	var class string
+	switch sel.Sel.Name {
+	case "Lock":
+		kind, class = evLock, "w"
+	case "Unlock":
+		kind, class = evUnlock, "w"
+	case "RLock":
+		kind, class = evLock, "r"
+	case "RUnlock":
+		kind, class = evUnlock, "r"
+	default:
+		return event{}, false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return event{}, false
+	}
+	key := types.ExprString(sel.X)
+	return event{call.Pos(), kind, key + "/" + class, key}, true
+}
+
+// blockingCall describes call if it is a known blocking operation.
+// clusterRPC names the repro/internal/cluster functions that perform a
+// network round trip (dial, hedge, retry). Everything else in that
+// package — breaker state, ring lookups, pool bookkeeping — is
+// in-memory and safe to call under a lock.
+var clusterRPC = map[string]bool{
+	"Transform":         true,
+	"Ping":              true,
+	"ProbePing":         true,
+	"ProbeStatus":       true,
+	"attempt":           true,
+	"tryRound":          true,
+	"roundTrip":         true,
+	"roundTripDeadline": true,
+	"dialPeer":          true,
+}
+
+func blockingCall(pass *analysis.Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	path, name := fn.Pkg().Path(), fn.Name()
+	// Read/Write/ReadFrom/WriteTo on a net.Conn value: the receiver's
+	// static type decides, so *net.TCPConn, the net.Conn interface and
+	// wrappers from other packages (crypto/tls) all count while
+	// bytes.Buffer.Read does not. Checked before the package-path rules
+	// so conn I/O gets the specific message.
+	switch name {
+	case "Read", "Write", "ReadFrom", "WriteTo":
+		if isConnType(pass, pass.TypesInfo.Types[sel.X].Type) {
+			return "net.Conn." + name
+		}
+	}
+	switch {
+	case path == "sync" && name == "Wait" && recvNamed(fn) == "WaitGroup":
+		// sync.Cond.Wait is exempt: it atomically releases the mutex it
+		// was constructed with — that IS the condition-variable protocol.
+		return "sync.WaitGroup.Wait"
+	case path == "time" && name == "Sleep":
+		return "time.Sleep"
+	case path == "net" || path == "net/http" || strings.HasPrefix(path, "net/"):
+		return path + " call"
+	case path == "os/exec" && (name == "Run" || name == "Wait" || name == "Output" || name == "CombinedOutput"):
+		return "os/exec." + name
+	case path == "repro/internal/cluster" && clusterRPC[name]:
+		return "cluster RPC (" + name + ")"
+	case path == "io" && (name == "Copy" || name == "ReadAll" || name == "ReadFull"):
+		if argIsConn(pass, call) {
+			return "io." + name + " on a net.Conn"
+		}
+		return ""
+	}
+	return ""
+}
+
+// argIsConn reports whether any argument of call is a net.Conn.
+func argIsConn(pass *analysis.Pass, call *ast.CallExpr) bool {
+	for _, a := range call.Args {
+		if isConnType(pass, pass.TypesInfo.Types[a].Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// isConnType reports whether t is net.Conn or a concrete type that
+// implements it (so pooled wrappers struct-embedding a conn count too).
+func isConnType(pass *analysis.Pass, t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	iface := netConnInterface(pass.Pkg)
+	if iface == nil {
+		return false
+	}
+	return types.Implements(t, iface) || types.Implements(types.NewPointer(t), iface)
+}
+
+// netConnInterface finds the net.Conn interface in the package's import
+// graph, or nil when net is not imported (then no value can have the
+// type anyway).
+func netConnInterface(pkg *types.Package) *types.Interface {
+	if pkg == nil {
+		return nil
+	}
+	seen := make(map[*types.Package]bool)
+	var find func(p *types.Package) *types.Interface
+	find = func(p *types.Package) *types.Interface {
+		if seen[p] {
+			return nil
+		}
+		seen[p] = true
+		if p.Path() == "net" {
+			if obj, ok := p.Scope().Lookup("Conn").(*types.TypeName); ok {
+				if iface, ok := obj.Type().Underlying().(*types.Interface); ok {
+					return iface
+				}
+			}
+			return nil
+		}
+		for _, imp := range p.Imports() {
+			if iface := find(imp); iface != nil {
+				return iface
+			}
+		}
+		return nil
+	}
+	return find(pkg)
+}
+
+// recvNamed returns the name of fn's receiver's named type ("" for
+// plain functions).
+func recvNamed(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}

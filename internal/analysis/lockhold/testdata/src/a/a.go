@@ -1,0 +1,130 @@
+// Package a is the lockhold golden package.
+package a
+
+import (
+	"io"
+	"net"
+	"os/exec"
+	"sync"
+	"time"
+)
+
+var mu sync.Mutex
+var ch = make(chan int)
+
+// Positive: channel receive while holding the mutex.
+func recvUnderLock() int {
+	mu.Lock()
+	v := <-ch // want "channel receive while holding mu"
+	mu.Unlock()
+	return v
+}
+
+// Positive: deferred unlock keeps the lock held across the send.
+func sendUnderDeferredLock() {
+	mu.Lock()
+	defer mu.Unlock()
+	ch <- 1 // want "channel send while holding mu"
+}
+
+// Positive: sleeping while locked.
+func sleepUnderLock() {
+	mu.Lock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while holding mu"
+	mu.Unlock()
+}
+
+// Positive: waiting on a WaitGroup while holding the mutex.
+func waitGroupUnderLock(wg *sync.WaitGroup) {
+	mu.Lock()
+	defer mu.Unlock()
+	wg.Wait() // want "sync.WaitGroup.Wait while holding mu"
+}
+
+// Positive: dialing while locked is network I/O under the lock.
+func dialUnderLock() (net.Conn, error) {
+	mu.Lock()
+	defer mu.Unlock()
+	return net.DialTimeout("tcp", "127.0.0.1:1", time.Second) // want "net call while holding mu"
+}
+
+// Positive: reading a net.Conn while locked blocks every other holder
+// behind the peer.
+func readConnUnderLock(c net.Conn, buf []byte) (int, error) {
+	mu.Lock()
+	defer mu.Unlock()
+	return c.Read(buf) // want "net.Conn.Read while holding mu"
+}
+
+// Positive: a concrete conn type counts like the interface.
+func writeTCPUnderLock(c *net.TCPConn, buf []byte) (int, error) {
+	mu.Lock()
+	defer mu.Unlock()
+	return c.Write(buf) // want "net.Conn.Write while holding mu"
+}
+
+// Positive: io helpers on a conn are conn reads.
+func readFullUnderLock(c net.Conn, buf []byte) (int, error) {
+	mu.Lock()
+	defer mu.Unlock()
+	return io.ReadFull(c, buf) // want "io.ReadFull on a net.Conn while holding mu"
+}
+
+// Positive: waiting out a subprocess under the lock.
+func execUnderLock() error {
+	mu.Lock()
+	defer mu.Unlock()
+	return exec.Command("true").Run() // want "os/exec.Run while holding mu"
+}
+
+// Positive, suppressed: the directive with a reason silences the finding.
+func suppressedSleep() {
+	mu.Lock()
+	defer mu.Unlock()
+	//fftlint:ignore lockhold golden suppression case: the sleep is a test fixture's deliberate hold
+	time.Sleep(time.Millisecond)
+}
+
+// Negative: Cond.Wait atomically releases its mutex — that is the
+// condition-variable protocol, not a lock held across a block.
+var cond = sync.NewCond(&mu)
+
+func condWaitUnderLock(ready func() bool) {
+	mu.Lock()
+	defer mu.Unlock()
+	for !ready() {
+		cond.Wait()
+	}
+}
+
+// Negative: the lock is released before blocking.
+func unlockThenRecv() int {
+	mu.Lock()
+	x := 1
+	mu.Unlock()
+	return x + <-ch
+}
+
+// Negative: select with a default clause does not block.
+func nonBlockingSelect() int {
+	mu.Lock()
+	defer mu.Unlock()
+	select {
+	case v := <-ch:
+		return v
+	default:
+		return 0
+	}
+}
+
+// Negative: io helpers on in-memory readers are not conn I/O.
+func readFullBuffer(r io.Reader, buf []byte) (int, error) {
+	mu.Lock()
+	defer mu.Unlock()
+	return io.ReadFull(r, buf)
+}
+
+// Negative: conn I/O with no lock held.
+func readConnUnlocked(c net.Conn, buf []byte) (int, error) {
+	return io.ReadFull(c, buf)
+}

@@ -1,0 +1,12 @@
+package poolput_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/poolput"
+)
+
+func TestPoolput(t *testing.T) {
+	analysistest.Run(t, poolput.Analyzer, "a")
+}

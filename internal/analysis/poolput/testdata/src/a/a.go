@@ -1,0 +1,74 @@
+// Package a is the poolput golden package.
+package a
+
+import "sync"
+
+type scratch struct{ buf []byte }
+
+var pool = sync.Pool{New: func() any { return new(scratch) }}
+var other = sync.Pool{New: func() any { return new(scratch) }}
+
+func use(s *scratch) {}
+
+// Positive: Get with no Put anywhere.
+func leak() {
+	s := pool.Get().(*scratch) // want "sync.Pool.Get from pool with no Put"
+	use(s)
+}
+
+// Positive: the Put goes to a different pool — the Get's pool is never
+// repaid.
+func crossPool() {
+	s := pool.Get().(*scratch) // want "sync.Pool.Get from pool with no Put"
+	use(s)
+	other.Put(s)
+}
+
+// Positive: discarded Get result can never be Put back.
+func discard() {
+	_ = pool.Get() // want "sync.Pool.Get from pool with no Put"
+}
+
+// Positive, suppressed: the Put happens in a named release function the
+// directive points at.
+func handoff() *scratch {
+	//fftlint:ignore poolput golden suppression case: released by put() at end of request
+	s := pool.Get().(*scratch)
+	use(s)
+	out := s
+	return out
+}
+
+// Negative: deferred Put.
+func balancedDefer() {
+	s := pool.Get().(*scratch)
+	defer pool.Put(s)
+	use(s)
+}
+
+// Negative: Put inside a deferred closure.
+func balancedClosure() {
+	s := pool.Get().(*scratch)
+	defer func() { pool.Put(s) }()
+	use(s)
+}
+
+// Negative: straight-line Put.
+func balancedInline() {
+	s := pool.Get().(*scratch)
+	use(s)
+	pool.Put(s)
+}
+
+// Negative: get-style wrapper — returning the value transfers the Put
+// obligation to the caller.
+func getScratch() *scratch {
+	s := pool.Get().(*scratch)
+	s.buf = s.buf[:0]
+	return s
+}
+
+// Negative: the matching put-style wrapper has Put without Get.
+func putScratch(s *scratch) {
+	pool.Put(s)
+}

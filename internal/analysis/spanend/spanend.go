@@ -1,0 +1,366 @@
+// Package spanend audits internal/obs span lifecycles. A span that is
+// started but never ended reports a duration that silently stretches to
+// whenever the snapshot happens — the trace lies, and the slow-request
+// ring captures phantom tail latency. It reports
+//
+//  1. a span-starting call (Tracer.Start, Tracer.StartUnder,
+//     obs.StartChild, Span.Child) whose result is discarded — the span
+//     can never be ended;
+//  2. a started span with no End() call anywhere in the function —
+//     unless the span is returned, stored, or passed on, which hands
+//     the obligation to someone else; and
+//  3. a started span whose End() is not deferred while a return
+//     statement sits between the start and the first End — an early
+//     exit on that path leaves the span open; defer sp.End() instead.
+//
+// It also checks context propagation into goroutines: a function that
+// receives a context.Context but spawns a goroutine referencing no
+// context at all detaches that goroutine from the span tree and from
+// cancellation — per-request tracers then blame the wrong request, and
+// the goroutine survives its request (see also the goleak analyzer).
+// Chained setters (StartChild(...).SetCat(...)) return the same span
+// and are not counted as fresh starts.
+package spanend
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "spanend",
+	Doc:  "flags obs spans not ended on every path and goroutines spawned without the caller's context",
+	Run:  run,
+}
+
+const obsPath = "repro/internal/obs"
+
+// starters are the functions that mint a new span; the chained setters
+// (SetCat, SetDetail, AddSteps) return the same span and do not count.
+var starters = map[string]bool{
+	"Start":      true,
+	"StartUnder": true,
+	"StartChild": true,
+	"Child":      true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var ft *ast.FuncType
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				ft, body = n.Type, n.Body
+			case *ast.FuncLit:
+				ft, body = n.Type, n.Body
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			checkSpans(pass, body)
+			checkGoCtx(pass, ft, body)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSpans applies the span-lifecycle rules to one function body.
+// Nested literals are walked too (a span started in a closure must end
+// in that closure or be deferred there), but starts inside a nested
+// literal belong to the literal's own invocation of checkSpans.
+func checkSpans(pass *analysis.Pass, body *ast.BlockStmt) {
+	type started struct {
+		pos token.Pos
+		obj types.Object // variable holding the span; nil when discarded
+	}
+	var starts []started
+
+	ownStmts(body, func(stmt ast.Stmt) {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok && isStarterChain(pass, call) {
+				pass.Reportf(call.Pos(), "span started and discarded; it can never be ended — assign it and defer its End()")
+			}
+		case *ast.AssignStmt:
+			if len(s.Lhs) != len(s.Rhs) {
+				return
+			}
+			for i, rhs := range s.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isStarterChain(pass, call) {
+					continue
+				}
+				id, ok := s.Lhs[i].(*ast.Ident)
+				if !ok || id.Name == "_" {
+					pass.Reportf(call.Pos(), "span started and discarded; it can never be ended — assign it and defer its End()")
+					continue
+				}
+				obj := pass.TypesInfo.Defs[id]
+				if obj == nil {
+					obj = pass.TypesInfo.Uses[id]
+				}
+				starts = append(starts, started{call.Pos(), obj})
+			}
+		}
+	})
+
+	for _, st := range starts {
+		if st.obj == nil {
+			continue
+		}
+		ends, deferred := endCalls(pass, body, st.obj)
+		if len(ends) == 0 {
+			if escapes(pass, body, st.obj, st.pos) {
+				continue // returned/stored/passed on: obligation transferred
+			}
+			pass.Reportf(st.pos, "span is never ended in this function; defer %s.End() right after the start", st.obj.Name())
+			continue
+		}
+		if deferred {
+			continue
+		}
+		firstEnd := ends[0]
+		if ret := returnBetween(body, st.pos, firstEnd); ret.IsValid() {
+			pass.Reportf(st.pos, "span is not ended on every return path (return at line %d exits before End); defer %s.End() instead",
+				pass.Fset.Position(ret).Line, st.obj.Name())
+		}
+	}
+}
+
+// ownStmts visits statements of body including nested blocks but NOT
+// nested function literals.
+func ownStmts(body *ast.BlockStmt, fn func(ast.Stmt)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if s, ok := n.(ast.Stmt); ok {
+			fn(s)
+		}
+		return true
+	})
+}
+
+// isStarterChain reports whether call mints a span: its outermost call
+// returns *obs.Span and somewhere down the selector chain sits one of
+// the starter functions. SetCat/SetDetail chains on top of a starter
+// still count as the mint; a bare SetCat on an existing span does not.
+func isStarterChain(pass *analysis.Pass, call *ast.CallExpr) bool {
+	if !isSpanPtr(pass.TypesInfo.Types[call].Type) {
+		return false
+	}
+	for {
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && starters[id.Name] {
+				if fn, ok := pass.TypesInfo.Uses[id].(*types.Func); ok && fromObs(fn) {
+					return true
+				}
+			}
+			return false
+		}
+		if starters[sel.Sel.Name] {
+			if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok && fromObs(fn) {
+				return true
+			}
+		}
+		inner, ok := sel.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		call = inner
+	}
+}
+
+func fromObs(fn *types.Func) bool {
+	return fn.Pkg() != nil && fn.Pkg().Path() == obsPath
+}
+
+func isSpanPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Span" && obj.Pkg() != nil && obj.Pkg().Path() == obsPath
+}
+
+// endCalls finds End() calls on obj anywhere in body (nested literals
+// included — a deferred closure ending the span counts). deferred is
+// true when at least one End runs under a defer.
+func endCalls(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object) (positions []token.Pos, deferred bool) {
+	var walk func(n ast.Node, inDefer bool)
+	walk = func(n ast.Node, inDefer bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.DeferStmt:
+				walk(m.Call, true)
+				return false
+			case *ast.CallExpr:
+				if sel, ok := m.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "End" {
+					if id, ok := sel.X.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+						positions = append(positions, m.Pos())
+						if inDefer {
+							deferred = true
+						}
+					}
+				}
+			case *ast.FuncLit:
+				// A literal invoked or deferred here inherits inDefer:
+				// `defer func() { sp.End() }()` is a deferred End.
+				walk(m.Body, inDefer)
+				return false
+			}
+			return true
+		})
+	}
+	walk(body, false)
+	sortPos(positions)
+	return positions, deferred
+}
+
+func sortPos(ps []token.Pos) {
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && ps[j] < ps[j-1]; j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}
+
+// escapes reports whether obj is returned, stored into a field/map/
+// slice, sent on a channel, or passed to a call after pos — all ways
+// the End obligation can legitimately leave this function.
+func escapes(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object, pos token.Pos) bool {
+	out := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if out || n == nil || n.Pos() <= pos {
+			return !out
+		}
+		uses := func(e ast.Expr) bool {
+			id, ok := e.(*ast.Ident)
+			return ok && pass.TypesInfo.Uses[id] == obj
+		}
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if uses(r) {
+					out = true
+				}
+			}
+		case *ast.CallExpr:
+			for _, a := range n.Args {
+				if uses(a) {
+					out = true
+				}
+			}
+		case *ast.AssignStmt:
+			for _, r := range n.Rhs {
+				if uses(r) {
+					out = true
+				}
+			}
+		case *ast.SendStmt:
+			if uses(n.Value) {
+				out = true
+			}
+		case *ast.CompositeLit:
+			for _, e := range n.Elts {
+				if kv, ok := e.(*ast.KeyValueExpr); ok {
+					if uses(kv.Value) {
+						out = true
+					}
+				} else if uses(e) {
+					out = true
+				}
+			}
+		}
+		return !out
+	})
+	return out
+}
+
+// returnBetween finds a return statement of this function (not of
+// nested literals) positioned after start and before end.
+func returnBetween(body *ast.BlockStmt, start, end token.Pos) token.Pos {
+	found := token.NoPos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found.IsValid() {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if r, ok := n.(*ast.ReturnStmt); ok {
+			if r.Pos() > start && r.Pos() < end {
+				found = r.Pos()
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// checkGoCtx reports goroutines spawned inside a context-carrying
+// function that reference no context at all.
+func checkGoCtx(pass *analysis.Pass, ft *ast.FuncType, body *ast.BlockStmt) {
+	hasCtx := false
+	if ft.Params != nil {
+		for _, f := range ft.Params.List {
+			if t := pass.TypesInfo.Types[f.Type].Type; isContext(t) {
+				hasCtx = true
+			}
+		}
+	}
+	if !hasCtx {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if goUsesContext(pass, g.Call) {
+			return true
+		}
+		pass.Reportf(g.Pos(),
+			"goroutine spawned without the function's context; the span tree and cancellation do not propagate — pass ctx (or a derived one) into the goroutine")
+		return true
+	})
+}
+
+// goUsesContext reports whether the spawned call references any
+// context-typed expression in its arguments or literal body.
+func goUsesContext(pass *analysis.Pass, call *ast.CallExpr) bool {
+	found := false
+	ast.Inspect(call, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if e, ok := n.(ast.Expr); ok && isContext(pass.TypesInfo.Types[e].Type) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

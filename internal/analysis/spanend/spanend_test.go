@@ -1,0 +1,12 @@
+package spanend_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/spanend"
+)
+
+func TestSpanend(t *testing.T) {
+	analysistest.Run(t, spanend.Analyzer, "a")
+}

@@ -1,0 +1,93 @@
+// Package a is the spanend golden package.
+package a
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Positive: the span result is discarded — nobody can ever end it.
+func discarded(ctx context.Context) {
+	obs.StartChild(ctx, "phase") // want "span started and discarded"
+	work()
+}
+
+// Positive: started, assigned, never ended.
+func neverEnded(tr *obs.Tracer) {
+	sp := tr.Start("load") // want "span is never ended in this function"
+	work()
+	_ = sp.Child // keep sp used without ending it
+}
+
+// Positive: the error return exits before End — only a defer covers
+// every path.
+func earlyReturn(tr *obs.Tracer, fail bool) error {
+	sp := tr.StartUnder("compute") // want "span is not ended on every return path"
+	if fail {
+		return errors.New("bailed")
+	}
+	sp.End()
+	return nil
+}
+
+// Positive: a context-carrying function spawning a context-free
+// goroutine detaches it from the span tree.
+func detached(ctx context.Context, done chan struct{}) {
+	go func() { // want "goroutine spawned without the function's context"
+		work()
+		close(done)
+	}()
+}
+
+// Positive, suppressed: the directive records why the span outlives the
+// function.
+func suppressedStart(tr *obs.Tracer) {
+	//fftlint:ignore spanend golden suppression case: span deliberately left open for the process-exit snapshot
+	sp := tr.Start("daemon")
+	_ = sp.Child
+}
+
+// Negative: deferred End covers every return path.
+func deferred(ctx context.Context, fail bool) error {
+	sp := obs.StartChild(ctx, "phase").SetCat(obs.CatCompute)
+	defer sp.End()
+	if fail {
+		return errors.New("bailed")
+	}
+	return nil
+}
+
+// Negative: straight-line End before the only return.
+func straightLine(tr *obs.Tracer) {
+	sp := tr.Start("once")
+	work()
+	sp.End()
+}
+
+// Negative: the span is returned — the caller owns the End now.
+func beginPhase(tr *obs.Tracer, name string) *obs.Span {
+	sp := tr.Start(name).SetCat(obs.CatNetsim)
+	return sp
+}
+
+// Negative: a deferred closure ending the span counts as deferred.
+func deferredClosure(tr *obs.Tracer) {
+	sp := tr.Start("wrapped")
+	defer func() {
+		sp.End()
+	}()
+	work()
+}
+
+// Negative: the goroutine receives the context explicitly.
+func attached(ctx context.Context, done chan struct{}) {
+	go func(ctx context.Context) {
+		<-ctx.Done()
+		close(done)
+	}(ctx)
+}
+
+func work() { time.Sleep(time.Microsecond) }

@@ -546,7 +546,23 @@ func (pc *pconn) roundTrip(ctx context.Context, timeout time.Duration, frame []b
 	if dl, ok := ctx.Deadline(); ok && dl.Before(deadline) {
 		deadline = dl
 	}
-	return pc.roundTripDeadline(deadline, frame)
+	// Cancellation must unblock the conn I/O immediately, not at the
+	// RPC deadline: when a hedged round's winner returns, tryRound
+	// cancels the losers, and before this hook each loser sat in
+	// ReadFull for the rest of the RPC budget (up to 30s) pinning its
+	// goroutine and pooled conn. Poking the deadline into the past
+	// fails the pending read now; the poked conn is safe to reuse
+	// because every round trip re-arms the deadline on entry.
+	stop := context.AfterFunc(ctx, func() {
+		_ = pc.c.SetDeadline(time.Now())
+	})
+	defer stop()
+	h, payload, err := pc.roundTripDeadline(deadline, frame)
+	if err != nil && ctx.Err() != nil {
+		// Report the cancellation, not the manufactured i/o timeout.
+		err = ctx.Err()
+	}
+	return h, payload, err
 }
 
 func (pc *pconn) roundTripDeadline(deadline time.Time, frame []byte) (wire.Header, []byte, error) {

@@ -1,0 +1,165 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cluster/wire"
+)
+
+// stallingPeer listens like a cluster node but never answers: it
+// accepts connections, drains whatever arrives, and holds the socket
+// open until the test ends (or the client closes it). It records when
+// the client side hangs up, which is how the tests below observe that a
+// canceled attempt released its connection.
+type stallingPeer struct {
+	ln     net.Listener
+	closed atomic.Int64 // connections the client closed on us
+}
+
+func startStallingPeer(t *testing.T) *stallingPeer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &stallingPeer{ln: ln}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(func() {
+		cancel()
+		_ = ln.Close()
+	})
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed by cleanup
+			}
+			go func() {
+				defer conn.Close()
+				buf := make([]byte, 4096)
+				for {
+					if ctx.Err() != nil {
+						return
+					}
+					//fftlint:ignore deadline stall on purpose: this fake peer must never answer; cleanup closes the conn
+					if _, err := conn.Read(buf); err != nil {
+						// The client hung up (or the test is over).
+						if ctx.Err() == nil {
+							s.closed.Add(1)
+						}
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return s
+}
+
+// TestRoundTripCancelUnblocks is the regression test for hedge losers
+// lingering in conn reads: canceling the context must fail a pending
+// round trip immediately, not after the RPC deadline runs out.
+func TestRoundTripCancelUnblocks(t *testing.T) {
+	peer := startStallingPeer(t)
+	pc, err := dialPeer(peer.ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	timer := time.AfterFunc(50*time.Millisecond, cancel)
+	defer timer.Stop()
+
+	start := time.Now()
+	_, _, err = pc.roundTrip(ctx, 30*time.Second, wire.AppendPing(nil, 1))
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("round trip against a stalling peer succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v to unblock the round trip; want ~50ms, not the 30s RPC budget", elapsed)
+	}
+}
+
+// TestHedgeWinnerReleasesLoser drives the full hedged path: the
+// preferred peer stalls, the hedge fires, the local executor wins, and
+// the losing attempt's connection must be torn down promptly — before
+// this fix the loser sat in ReadFull for the whole RPCTimeout, pinning
+// its goroutine and pooled conn long after Transform returned.
+func TestHedgeWinnerReleasesLoser(t *testing.T) {
+	peer := startStallingPeer(t)
+
+	self := "self-local"
+	reg := NewRegistry(self, []string{peer.ln.Addr().String()}, RegistryConfig{})
+	client, err := NewClient(reg, ClientConfig{
+		Self: self,
+		Local: func(ctx context.Context, op *wire.TransformOp) ([]complex128, error) {
+			// Slow enough that the hedge timer fires and the stalling
+			// peer is contacted regardless of preference order.
+			time.Sleep(50 * time.Millisecond)
+			out := make([]complex128, len(op.Input))
+			copy(out, op.Input)
+			return out, nil
+		},
+		Fanout:     2,
+		HedgeDelay: 5 * time.Millisecond,
+		RPCTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	op := &wire.TransformOp{Input: randComplexT(64, 7)}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := client.Transform(ctx, op); err != nil {
+		t.Fatalf("Transform: %v", err)
+	}
+
+	// The winner's return cancels the round; the loser must abandon its
+	// read and close its conn well before the 30s RPC budget.
+	deadline := time.Now().Add(5 * time.Second)
+	for peer.closed.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("hedge loser still holding its conn 5s after the round was won")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestRegistryStopCancelsProbes pins Stop's latency: canceling the
+// registry's root context must abort in-flight heartbeat probes, so
+// Stop returns immediately instead of waiting out ProbeTimeout.
+func TestRegistryStopCancelsProbes(t *testing.T) {
+	reg := NewRegistry("self", []string{"10.255.255.1:1"}, RegistryConfig{
+		ProbeTimeout: 30 * time.Second,
+	})
+	probing := make(chan struct{}, 16)
+	reg.Start(5*time.Millisecond, func(ctx context.Context, addr string) (bool, error) {
+		probing <- struct{}{}
+		<-ctx.Done() // a probe that only ends when canceled
+		return false, ctx.Err()
+	})
+
+	select {
+	case <-probing:
+	case <-time.After(5 * time.Second):
+		t.Fatal("heartbeat loop never probed")
+	}
+
+	start := time.Now()
+	reg.Stop()
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Stop took %v; in-flight probes must be canceled, not waited out", elapsed)
+	}
+}

@@ -179,9 +179,17 @@ func (n *Node) handleConn(c net.Conn) {
 		if n.ctx.Err() != nil {
 			return
 		}
+		// Idle wait: no deadline while parked between frames — peer
+		// conns legitimately sit open for minutes, and Stop unblocks
+		// this read by closing the conn. Once a header arrives the rest
+		// of the frame must follow promptly, so the payload read and the
+		// response write run under the RPC deadline; a peer that stalls
+		// mid-frame is cut loose instead of wedging this goroutine.
+		_ = c.SetDeadline(time.Time{})
 		if _, err := io.ReadFull(c, sc.hdr[:]); err != nil {
 			return // peer closed or node shutting down
 		}
+		_ = c.SetDeadline(time.Now().Add(n.cfg.RPCTimeout))
 		h, err := wire.ParseHeader(sc.hdr[:])
 		if err != nil {
 			return // protocol desync: drop the connection
@@ -216,6 +224,11 @@ func (n *Node) serveFrame(c net.Conn, h wire.Header, sc *connScratch) bool {
 	default:
 		return false
 	}
+	// Re-arm the write deadline here rather than relying on the one set
+	// when the frame arrived: a transform RPC may have spent most of the
+	// RPC budget executing, and the response still deserves a full
+	// window to flush to a slow-but-live peer.
+	_ = c.SetWriteDeadline(time.Now().Add(n.cfg.RPCTimeout))
 	_, err := c.Write(sc.resp)
 	return err == nil
 }

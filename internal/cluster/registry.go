@@ -80,6 +80,12 @@ type Registry struct {
 	stopOnce sync.Once
 	stopc    chan struct{}
 	done     chan struct{}
+
+	// rootCtx parents every heartbeat probe; Stop cancels it so
+	// in-flight probes abort immediately instead of running out their
+	// ProbeTimeout while Stop waits on them.
+	rootCtx    context.Context
+	rootCancel context.CancelFunc
 }
 
 // NewRegistry builds a registry for the local node self (its cluster
@@ -95,6 +101,7 @@ func NewRegistry(self string, peerAddrs []string, cfg RegistryConfig) *Registry 
 		stopc: make(chan struct{}),
 		done:  make(chan struct{}),
 	}
+	r.rootCtx, r.rootCancel = context.WithCancel(context.Background())
 	for _, addr := range peerAddrs {
 		if addr == "" || addr == self {
 			continue
@@ -249,7 +256,7 @@ func (r *Registry) probeAll(probe ProbeFunc) {
 		wg.Add(1)
 		go func(id, addr string) {
 			defer wg.Done()
-			ctx, cancel := context.WithTimeout(context.Background(), r.cfg.ProbeTimeout)
+			ctx, cancel := context.WithTimeout(r.rootCtx, r.cfg.ProbeTimeout)
 			defer cancel()
 			ready, err := probe(ctx, addr)
 			r.Observe(id, ready, err)
@@ -258,10 +265,14 @@ func (r *Registry) probeAll(probe ProbeFunc) {
 	wg.Wait()
 }
 
-// Stop ends the heartbeat loop and waits for it to exit. Safe to call
-// more than once, and without a prior Start.
+// Stop ends the heartbeat loop and waits for it to exit, canceling any
+// in-flight probes so the wait is immediate rather than bounded by
+// ProbeTimeout. Safe to call more than once, and without a prior Start.
 func (r *Registry) Stop() {
-	r.stopOnce.Do(func() { close(r.stopc) })
+	r.stopOnce.Do(func() {
+		close(r.stopc)
+		r.rootCancel()
+	})
 	if r.started.Load() {
 		<-r.done
 	}

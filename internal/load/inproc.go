@@ -74,6 +74,7 @@ func serveLoopback(handler http.Handler) (*http.Server, net.Listener, string, er
 		return nil, nil, "", fmt.Errorf("load: loopback listen: %w", err)
 	}
 	srv := &http.Server{Handler: handler}
+	//fftlint:ignore goleak lifecycle lives in srv: (*InprocTarget).Close shuts the server down, which unblocks Serve
 	go func() { _ = srv.Serve(ln) }()
 	return srv, ln, "http://" + ln.Addr().String(), nil
 }

@@ -64,7 +64,7 @@ func Run(ctx context.Context, target Target, tr *Trace, opts RunOptions) (*RunRe
 	opts = opts.withDefaults()
 	res := &RunResult{Latency: obs.NewCohortLatency()}
 
-	issue := func(p *Prepared) {
+	issue := func(ctx context.Context, p *Prepared) {
 		reqCtx, cancel := context.WithTimeout(ctx, opts.RequestTimeout)
 		start := time.Now()
 		out := target.Do(reqCtx, p)
@@ -111,7 +111,7 @@ func Run(ctx context.Context, target Target, tr *Trace, opts RunOptions) (*RunRe
 			go func() {
 				defer wg.Done()
 				defer func() { <-sem }()
-				issue(p)
+				issue(ctx, p)
 			}()
 		}
 		wg.Wait()
@@ -134,7 +134,7 @@ func Run(ctx context.Context, target Target, tr *Trace, opts RunOptions) (*RunRe
 						continue
 					}
 					atomic.AddInt64(&res.Sent, 1)
-					issue(p)
+					issue(ctx, p)
 				}
 			}()
 		}

@@ -131,6 +131,7 @@ func NewHTTPTarget(base string) *HTTPTarget {
 		MaxIdleConnsPerHost: 1024,
 		IdleConnTimeout:     90 * time.Second,
 	}
+	//fftlint:ignore deadline every request carries a per-request timeout via NewRequestWithContext in Do; a client-wide Timeout would cap long saturation probes
 	return &HTTPTarget{base: base, client: &http.Client{Transport: tr}}
 }
 

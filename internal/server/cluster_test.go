@@ -18,7 +18,7 @@ import (
 func TestReadyzFlipsOnDrain(t *testing.T) {
 	s, ts := newTestServer(t, Config{})
 
-	resp, err := http.Get(ts.URL + "/readyz")
+	resp, err := testClient.Get(ts.URL + "/readyz")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +31,7 @@ func TestReadyzFlipsOnDrain(t *testing.T) {
 
 	s.StartDrain()
 
-	resp, err = http.Get(ts.URL + "/readyz")
+	resp, err = testClient.Get(ts.URL + "/readyz")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +44,7 @@ func TestReadyzFlipsOnDrain(t *testing.T) {
 
 	// Liveness is drain-invariant: orchestrators must not restart a
 	// process that is merely finishing its in-flight work.
-	resp, err = http.Get(ts.URL + "/healthz")
+	resp, err = testClient.Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +210,7 @@ func TestClusterMetricsExposed(t *testing.T) {
 	}
 	resp.Body.Close()
 
-	r, err := http.Get(sc.https[0].URL + "/metrics")
+	r, err := testClient.Get(sc.https[0].URL + "/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +230,7 @@ func TestClusterMetricsExposed(t *testing.T) {
 
 	// Single-node snapshots must omit the section entirely.
 	_, single := newTestServer(t, Config{})
-	r2, err := http.Get(single.URL + "/metrics")
+	r2, err := testClient.Get(single.URL + "/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}

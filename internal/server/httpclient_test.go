@@ -1,0 +1,13 @@
+package server
+
+import (
+	"net/http"
+	"time"
+)
+
+// testClient replaces http.DefaultClient in the package's tests. The
+// default client has no timeout, so a wedged handler turns into a
+// 10-minute `go test` hang with a useless goroutine dump; a 30s cap
+// converts that into a fast, attributable failure while staying far
+// above anything a healthy in-process server needs.
+var testClient = &http.Client{Timeout: 30 * time.Second}

@@ -116,6 +116,7 @@ func TestIntegrationGracefulDrain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	//fftlint:ignore goleak lifecycle lives in httpSrv: this test's whole point is calling httpSrv.Shutdown below, which unblocks Serve
 	go httpSrv.Serve(ln) //nolint:errcheck
 	base := "http://" + ln.Addr().String()
 
@@ -147,7 +148,7 @@ func TestIntegrationGracefulDrain(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			body := mkBody(int64(i))
-			resp, err := http.Post(base+"/v1/fft", "application/json", bytes.NewReader(body))
+			resp, err := testClient.Post(base+"/v1/fft", "application/json", bytes.NewReader(body))
 			if err != nil {
 				errs[i] = err
 				return

@@ -15,7 +15,7 @@ import (
 
 func postBody(t *testing.T, url string, body string) *http.Response {
 	t.Helper()
-	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	resp, err := testClient.Post(url, "application/json", strings.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +39,7 @@ func TestMetricsContentNegotiation(t *testing.T) {
 	}
 
 	// Default: JSON.
-	resp, err := http.Get(ts.URL + "/metrics")
+	resp, err := testClient.Get(ts.URL + "/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +164,7 @@ func TestSlowTraceCapture(t *testing.T) {
 	resp.Body.Close()
 	id := resp.Header.Get("X-Request-ID")
 
-	resp, err := http.Get(ts.URL + "/v1/debug/slow")
+	resp, err := testClient.Get(ts.URL + "/v1/debug/slow")
 	if err != nil {
 		t.Fatal(err)
 	}

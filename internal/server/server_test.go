@@ -283,7 +283,7 @@ func postJSON(t *testing.T, url string, body any) *http.Response {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	resp, err := testClient.Post(url, "application/json", bytes.NewReader(data))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -366,7 +366,7 @@ func TestFFTBadRequests(t *testing.T) {
 	for _, c := range cases {
 		var resp *http.Response
 		if s, ok := c.body.(string); ok {
-			r, err := http.Post(ts.URL+"/v1/fft", "application/json", strings.NewReader(s))
+			r, err := testClient.Post(ts.URL+"/v1/fft", "application/json", strings.NewReader(s))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -457,7 +457,7 @@ func TestSimulateCoalescing(t *testing.T) {
 
 func TestCompareTables(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
-	resp, err := http.Get(ts.URL + "/v1/compare?n=4096")
+	resp, err := testClient.Get(ts.URL + "/v1/compare?n=4096")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -475,7 +475,7 @@ func TestCompareTables(t *testing.T) {
 		t.Fatalf("missing tables: %+v", body)
 	}
 	// Single table selection.
-	resp, err = http.Get(ts.URL + "/v1/compare?n=1024&table=2a")
+	resp, err = testClient.Get(ts.URL + "/v1/compare?n=1024&table=2a")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -485,7 +485,7 @@ func TestCompareTables(t *testing.T) {
 	}
 	// Errors: bad n, bad table.
 	for _, q := range []string{"?n=oops", "?table=9z", "?n=100"} {
-		resp, err := http.Get(ts.URL + "/v1/compare" + q)
+		resp, err := testClient.Get(ts.URL + "/v1/compare" + q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -498,7 +498,7 @@ func TestCompareTables(t *testing.T) {
 
 func TestHealthzAndMetrics(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
-	resp, err := http.Get(ts.URL + "/healthz")
+	resp, err := testClient.Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -508,7 +508,7 @@ func TestHealthzAndMetrics(t *testing.T) {
 	// Generate some traffic, then read the counters.
 	postJSON(t, ts.URL+"/v1/fft",
 		FFTRequest{TransformSpec: TransformSpec{Input: []Complex{{1, 0}, {2, 0}}}}).Body.Close()
-	resp, err = http.Get(ts.URL + "/metrics")
+	resp, err = testClient.Get(ts.URL + "/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -541,7 +541,7 @@ func TestHandlerPanicBecomes500(t *testing.T) {
 	}, false)
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
-	resp, err := http.Get(ts.URL + "/test/panic")
+	resp, err := testClient.Get(ts.URL + "/test/panic")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -579,7 +579,7 @@ func TestWorkerPanicBecomes500(t *testing.T) {
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	for i := 0; i < 3; i++ {
-		resp, err := http.Get(ts.URL + "/test/worker-panic")
+		resp, err := testClient.Get(ts.URL + "/test/worker-panic")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -589,7 +589,7 @@ func TestWorkerPanicBecomes500(t *testing.T) {
 		resp.Body.Close()
 	}
 	// Workers survived three panics; normal work still completes.
-	resp, err := http.Get(ts.URL + "/healthz")
+	resp, err := testClient.Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -601,7 +601,7 @@ func TestWorkerPanicBecomes500(t *testing.T) {
 
 func TestMethodNotAllowed(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
-	resp, err := http.Get(ts.URL + "/v1/fft")
+	resp, err := testClient.Get(ts.URL + "/v1/fft")
 	if err != nil {
 		t.Fatal(err)
 	}
