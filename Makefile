@@ -168,6 +168,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzBitReverse -fuzztime=$(FUZZTIME) ./internal/bits
 	$(GO) test -fuzz=FuzzPermuteCompose -fuzztime=$(FUZZTIME) ./internal/permute
 	$(GO) test -fuzz=FuzzFFTInverse -fuzztime=$(FUZZTIME) ./internal/fft
+	$(GO) test -fuzz=FuzzAnyPlanDFT -fuzztime=$(FUZZTIME) ./internal/fft
 
 # vuln scans the module with govulncheck when it is installed; the tool
 # is optional so offline environments are not broken.

@@ -27,7 +27,11 @@ func TestEndToEndModelMatchesSimulation(t *testing.T) {
 		n := 1 << uint(2*k)
 		side := 1 << uint(k)
 		x := randomSignal(n, int64(n))
-		want := fft.MustPlan(n).Forward(x)
+		// The simulated machines execute the paper's radix-2 DIF schedule,
+		// so compare against TransformDIF — the schedule-exact reference —
+		// not Transform, which is free to pick a faster serial kernel.
+		want := make([]complex128, n)
+		fft.MustPlan(n).TransformDIF(want, x)
 
 		cubeModel, err := perfmodel.HypercubeFFTSteps(n)
 		if err != nil {

@@ -31,6 +31,11 @@ const (
 	dctN     = 1024
 	machineN = 256
 	httpN    = 1024
+	// splitRadixN stresses the recursive split-radix kernel past the
+	// L2-resident sizes the flagship suite covers.
+	splitRadixN = 1 << 14
+	// anyN is a non-power-of-two serving size: the Bluestein path.
+	anyN = 1000
 )
 
 // randComplex fills a deterministic pseudo-random input; every suite
@@ -60,6 +65,8 @@ func All() []Suite {
 		{Name: fmt.Sprintf("fft/bitreverse/n%d", serialN), Setup: setupBitReverse},
 		{Name: fmt.Sprintf("fft/radix4/n%d", serialN), Setup: setupRadix4},
 		{Name: fmt.Sprintf("fft/real/n%d", serialN), Setup: setupReal},
+		{Name: fmt.Sprintf("fft/splitradix/n%d", splitRadixN), Setup: setupSplitRadix},
+		{Name: fmt.Sprintf("fft/anyplan/n%d", anyN), Setup: setupAnyPlan},
 		{Name: fmt.Sprintf("fft/dct/n%d", dctN), Setup: setupDCT},
 		{Name: fmt.Sprintf("parfft/mesh/n%d", machineN), Setup: setupParfft("mesh")},
 		{Name: fmt.Sprintf("parfft/hypercube/n%d", machineN), Setup: setupParfft("hypercube")},
@@ -146,6 +153,36 @@ func setupReal() (func() error, func(), error) {
 	src := randFloats(serialN, 4)
 	return func() error {
 		_ = p.Forward(src)
+		return nil
+	}, nil, nil
+}
+
+// setupSplitRadix measures the split-radix complex kernel at a size
+// past L2 residency; fft/transform covers the flagship N = 4096.
+func setupSplitRadix() (func() error, func(), error) {
+	p, err := fft.NewPlan(splitRadixN)
+	if err != nil {
+		return nil, nil, err
+	}
+	src := randComplex(splitRadixN, 10)
+	dst := make([]complex128, splitRadixN)
+	return func() error {
+		p.Transform(dst, src)
+		return nil
+	}, nil, nil
+}
+
+// setupAnyPlan measures the arbitrary-length (Bluestein) serving path
+// at a non-power-of-two size.
+func setupAnyPlan() (func() error, func(), error) {
+	p, err := fft.NewAnyPlan(anyN)
+	if err != nil {
+		return nil, nil, err
+	}
+	src := randComplex(anyN, 11)
+	dst := make([]complex128, anyN)
+	return func() error {
+		p.Transform(dst, src)
 		return nil
 	}, nil, nil
 }

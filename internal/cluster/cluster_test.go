@@ -102,6 +102,16 @@ func startTestCluster(t *testing.T, n int, clientCfg ClientConfig) *testCluster 
 	return tc
 }
 
+// shapeOp builds the i-th of 32 distinct plan shapes (16 power-of-two
+// sizes × forward/inverse). Ring placement depends on the node's
+// ephemeral port, so a small fixed shape set can hash entirely to the
+// local member and never forward; the "try shapes until one forwards"
+// loops draw from these 32 to push the no-forward probability to
+// ~2^-32.
+func shapeOp(i int) *wire.TransformOp {
+	return &wire.TransformOp{Input: randComplexT(2<<(i%16), int64(i)), Inverse: i >= 16}
+}
+
 func randComplexT(n int, seed int64) []complex128 {
 	rng := rand.New(rand.NewSource(seed))
 	xs := make([]complex128, n)
@@ -338,7 +348,7 @@ func TestClusterStatusRPC(t *testing.T) {
 	// remote-only... self is also a member, so pick ops until forwarded.
 	ctx := context.Background()
 	for i := 0; i < 32 && client.Metrics().Forwarded == 0; i++ {
-		op := &wire.TransformOp{Input: randComplexT(64<<(i%4), int64(i))}
+		op := shapeOp(i)
 		if _, err := client.Transform(ctx, op); err != nil {
 			t.Fatalf("transform %d: %v", i, err)
 		}
@@ -382,7 +392,7 @@ func TestClusterSpanPropagation(t *testing.T) {
 	root := tr.Start("request")
 	ctx := obs.WithTracer(obs.WithSpan(context.Background(), root), tr)
 	for i := 0; i < 32 && client.Metrics().Forwarded == 0; i++ {
-		op := &wire.TransformOp{Input: randComplexT(64<<(i%4), int64(i))}
+		op := shapeOp(i)
 		if _, err := client.Transform(ctx, op); err != nil {
 			t.Fatal(err)
 		}
@@ -486,7 +496,7 @@ func TestClusterRemoteErrorNotRetried(t *testing.T) {
 	var remote *RemoteError
 	sawRemote := false
 	for i := 0; i < 32 && !sawRemote; i++ {
-		op := &wire.TransformOp{Input: randComplexT(64<<(i%4), int64(i))}
+		op := shapeOp(i)
 		_, err := client.Transform(ctx, op)
 		if err != nil {
 			if !errors.As(err, &remote) {

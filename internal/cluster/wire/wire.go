@@ -54,9 +54,11 @@ const (
 
 // Transform-op flag bits (Header.Flags).
 const (
-	// FlagReal marks a real-input transform; samples are bare float64s.
+	// FlagReal marks a real-domain transform. A forward real transform's
+	// samples are bare float64s; a real inverse (FlagReal|FlagInverse)
+	// carries the n/2+1 packed half-spectrum as complex samples instead.
 	FlagReal = uint16(1 << 0)
-	// FlagInverse requests the inverse transform (complex only).
+	// FlagInverse requests the inverse transform.
 	FlagInverse = uint16(1 << 1)
 	// FlagNoReorder skips the terminal bit-reversal (forward complex
 	// only), leaving the spectrum in bit-reversed order.
@@ -120,8 +122,11 @@ func ParseHeader(b []byte) (Header, error) {
 
 // TransformOp is one transform RPC's operation: what to compute and on
 // which samples. Exactly one of Input (complex) or RealInput (real) is
-// populated, selected by Real. Decoders reuse the slices' capacity, so
-// one TransformOp per connection serves every request on it.
+// populated: RealInput for a forward real transform (Real set, Inverse
+// clear), Input for everything else — including the real inverse
+// (Real|Inverse), whose Input is the n/2+1 packed half-spectrum.
+// Decoders reuse the slices' capacity, so one TransformOp per
+// connection serves every request on it.
 type TransformOp struct {
 	Real      bool
 	Inverse   bool
@@ -130,13 +135,23 @@ type TransformOp struct {
 	RealInput []float64
 }
 
-// N returns the operation's sample count.
+// N returns the operation's time-domain sample count. For a real
+// inverse the payload is the half-spectrum of h = n/2+1 bins, so
+// n = 2*(h-1); a malformed op with an empty or one-bin spectrum yields
+// a non-positive N, which executors reject.
 func (op *TransformOp) N() int {
 	if op.Real {
+		if op.Inverse {
+			return 2 * (len(op.Input) - 1)
+		}
 		return len(op.RealInput)
 	}
 	return len(op.Input)
 }
+
+// realSamples reports whether the op's payload is bare float64 samples
+// (the forward real transform) rather than complex ones.
+func (op *TransformOp) realSamples() bool { return op.Real && !op.Inverse }
 
 // flags packs the op's option bits.
 func (op *TransformOp) flags() uint16 {
@@ -159,7 +174,7 @@ func (op *TransformOp) flags() uint16 {
 // keeping steady-state encoding allocation-free.
 func AppendTransformReq(dst []byte, id uint64, op *TransformOp) []byte {
 	var payload int
-	if op.Real {
+	if op.realSamples() {
 		payload = 8 * len(op.RealInput)
 	} else {
 		payload = 16 * len(op.Input)
@@ -175,7 +190,7 @@ func AppendTransformReq(dst []byte, id uint64, op *TransformOp) []byte {
 		ID:      id,
 	})
 	b := dst[base+HeaderSize:]
-	if op.Real {
+	if op.realSamples() {
 		putFloats(b, op.RealInput)
 	} else {
 		putComplex(b, op.Input)
@@ -193,7 +208,7 @@ func ParseTransformReq(h Header, payload []byte, op *TransformOp) error {
 	op.Real = h.Flags&FlagReal != 0
 	op.Inverse = h.Flags&FlagInverse != 0
 	op.NoReorder = h.Flags&FlagNoReorder != 0
-	if op.Real {
+	if op.realSamples() {
 		if len(payload)%8 != 0 {
 			return ErrTruncated
 		}

@@ -100,6 +100,40 @@ func TestTransformReqRoundTripReal(t *testing.T) {
 	}
 }
 
+// TestTransformReqRoundTripRealInverse pins the real-inverse framing:
+// FlagReal|FlagInverse carries the packed half-spectrum as complex
+// samples (not bare floats), and N() names the time-domain length the
+// spectrum describes — 2*(bins-1).
+func TestTransformReqRoundTripRealInverse(t *testing.T) {
+	op := &TransformOp{Real: true, Inverse: true, Input: randComplex(9, 7)} // n/2+1 bins for n=16
+	frame := AppendTransformReq(nil, 21, op)
+	h, err := ParseHeader(frame)
+	if err != nil {
+		t.Fatalf("ParseHeader: %v", err)
+	}
+	if h.Flags&FlagReal == 0 || h.Flags&FlagInverse == 0 {
+		t.Fatalf("flags: %04x", h.Flags)
+	}
+	var got TransformOp
+	// Stale float data from a previous forward-real decode must clear.
+	got.RealInput = []float64{1, 2, 3}
+	if err := ParseTransformReq(h, frame[HeaderSize:], &got); err != nil {
+		t.Fatalf("ParseTransformReq: %v", err)
+	}
+	if !got.Real || !got.Inverse || len(got.RealInput) != 0 {
+		t.Fatalf("real-inverse decode: %+v", got)
+	}
+	for i := range got.Input {
+		//fftlint:ignore floatcmp codec round-trip must be bit-exact, not approximately equal
+		if got.Input[i] != op.Input[i] {
+			t.Fatalf("bin %d: got %v want %v", i, got.Input[i], op.Input[i])
+		}
+	}
+	if got.N() != 16 {
+		t.Fatalf("N: got %d want 16", got.N())
+	}
+}
+
 func TestTransformRespRoundTrip(t *testing.T) {
 	out := randComplex(32, 3)
 	frame := AppendTransformOK(nil, 11, out)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
+	"sync"
 
 	"repro/internal/bits"
 )
@@ -12,7 +13,10 @@ import (
 // using Bluestein's chirp-z algorithm: the length-n DFT is re-expressed
 // as a linear convolution with a chirp sequence, which is evaluated by a
 // zero-padded power-of-two transform of length m >= 2n-1. Power-of-two
-// lengths delegate to the ordinary Plan.
+// lengths delegate to the ordinary Plan. An AnyPlan is safe for
+// concurrent use: the only mutable state is the scratch pool, which
+// hands each caller its own convolution buffer, so steady-state
+// transforms allocate nothing.
 type AnyPlan struct {
 	n int
 
@@ -26,6 +30,8 @@ type AnyPlan struct {
 	chirp []complex128
 	// fh is the inner FFT of the chirp filter h[j] = conj(chirp[|j|]).
 	fh []complex128
+	// scratch pools the m-length convolution buffer.
+	scratch sync.Pool
 }
 
 // NewAnyPlan creates a DFT plan for any length n >= 1.
@@ -64,6 +70,10 @@ func NewAnyPlan(n int) (*AnyPlan, error) {
 	}
 	p.fh = make([]complex128, m)
 	inner.Transform(p.fh, h)
+	p.scratch.New = func() any {
+		b := make([]complex128, m)
+		return &b
+	}
 	return p, nil
 }
 
@@ -80,9 +90,16 @@ func (p *AnyPlan) Transform(dst, src []complex128) {
 		p.pow2.Transform(dst, src)
 		return
 	}
-	a := make([]complex128, p.m)
+	//fftlint:ignore hotalloc pool.Get's New path allocates once per buffer, then reuses
+	ap := p.scratch.Get().(*[]complex128)
+	a := *ap
 	for j := 0; j < p.n; j++ {
 		a[j] = src[j] * p.chirp[j]
+	}
+	// The pooled buffer comes back with the previous call's tail; the
+	// convolution needs the padding region zeroed every time.
+	for j := p.n; j < p.m; j++ {
+		a[j] = 0
 	}
 	p.inner.Transform(a, a)
 	for i := range a {
@@ -92,6 +109,7 @@ func (p *AnyPlan) Transform(dst, src []complex128) {
 	for k := 0; k < p.n; k++ {
 		dst[k] = a[k] * p.chirp[k]
 	}
+	p.scratch.Put(ap)
 }
 
 // Inverse computes the inverse DFT of src into dst (may alias).
@@ -103,14 +121,15 @@ func (p *AnyPlan) Inverse(dst, src []complex128) {
 		p.pow2.Inverse(dst, src)
 		return
 	}
-	// IDFT(x) = conj(DFT(conj(x)))/n.
-	tmp := make([]complex128, p.n)
+	// IDFT(x) = conj(DFT(conj(x)))/n, conjugating through dst so no
+	// extra n-length buffer is needed (dst may alias src, and Transform
+	// tolerates aliased arguments).
 	for i, v := range src {
-		tmp[i] = cmplx.Conj(v)
+		dst[i] = cmplx.Conj(v)
 	}
-	p.Transform(tmp, tmp)
+	p.Transform(dst, dst)
 	scale := complex(1/float64(p.n), 0)
-	for i, v := range tmp {
+	for i, v := range dst {
 		dst[i] = cmplx.Conj(v) * scale
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
+	"sync"
 )
 
 // DCTPlan computes the type-II discrete cosine transform (the "DCT") and
@@ -19,6 +20,11 @@ type DCTPlan struct {
 	plan *Plan
 	// rot[k] = 2 * exp(-i*pi*k/(2n))
 	rot []complex128
+	// phase[k] = exp(+i*pi*k/(2n)) / 2, the inverse rotation.
+	phase []complex128
+	// scratch pools the n-length complex work buffer, so steady-state
+	// transforms allocate nothing.
+	scratch sync.Pool
 }
 
 // NewDCTPlan creates a DCT plan for length n (a power of two).
@@ -27,10 +33,15 @@ func NewDCTPlan(n int) (*DCTPlan, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fft: DCT: %w", err)
 	}
-	d := &DCTPlan{n: n, plan: p, rot: make([]complex128, n)}
+	d := &DCTPlan{n: n, plan: p, rot: make([]complex128, n), phase: make([]complex128, n)}
 	for k := 0; k < n; k++ {
 		angle := -math.Pi * float64(k) / float64(2*n)
 		d.rot[k] = 2 * cmplx.Exp(complex(0, angle))
+		d.phase[k] = cmplx.Exp(complex(0, -angle)) / 2
+	}
+	d.scratch.New = func() any {
+		b := make([]complex128, n)
+		return &b
 	}
 	return d, nil
 }
@@ -44,7 +55,9 @@ func (d *DCTPlan) Transform(dst, src []float64) {
 	if len(src) != d.n || len(dst) != d.n {
 		panic(fmt.Sprintf("fft: DCT length mismatch (%d,%d) vs %d", len(dst), len(src), d.n))
 	}
-	v := make([]complex128, d.n)
+	//fftlint:ignore hotalloc pool.Get's New path allocates once per buffer, then reuses
+	vp := d.scratch.Get().(*[]complex128)
+	v := *vp
 	half := (d.n + 1) / 2
 	for j := 0; j < half; j++ {
 		v[j] = complex(src[2*j], 0)
@@ -56,6 +69,7 @@ func (d *DCTPlan) Transform(dst, src []float64) {
 	for k := 0; k < d.n; k++ {
 		dst[k] = real(d.rot[k] * v[k])
 	}
+	d.scratch.Put(vp)
 }
 
 // Inverse computes the inverse of Transform (a scaled DCT-III): applying
@@ -70,14 +84,15 @@ func (d *DCTPlan) Inverse(dst, src []float64) {
 	// the underlying even sequence: V[n-k] = -i * conj(V[k]) * w where
 	// the standard inversion is V[k] = (c[k] - i*c[n-k]) * exp(i pi k/2n)/2
 	// with c[n] treated as 0.
-	v := make([]complex128, n)
+	//fftlint:ignore hotalloc pool.Get's New path allocates once per buffer, then reuses
+	vp := d.scratch.Get().(*[]complex128)
+	v := *vp
 	for k := 0; k < n; k++ {
 		var cNk float64
 		if k > 0 {
 			cNk = src[n-k]
 		}
-		phase := cmplx.Exp(complex(0, math.Pi*float64(k)/float64(2*n)))
-		v[k] = phase * complex(src[k], -cNk) / 2
+		v[k] = d.phase[k] * complex(src[k], -cNk)
 	}
 	d.plan.Inverse(v, v)
 	for j := 0; j < (n+1)/2; j++ {
@@ -86,6 +101,7 @@ func (d *DCTPlan) Inverse(dst, src []float64) {
 	for j := 0; j < n/2; j++ {
 		dst[2*j+1] = real(v[n-1-j])
 	}
+	d.scratch.Put(vp)
 }
 
 // DCTDirect computes the DCT-II from its definition in O(n^2); the test

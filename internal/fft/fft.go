@@ -22,7 +22,8 @@ import (
 
 // Plan holds the precomputed twiddle factors for transforms of one size.
 // A Plan is safe for concurrent use by multiple goroutines once created:
-// all fields are read-only after NewPlan.
+// every field is read-only after NewPlan except the four-step scratch
+// pool, which hands each concurrent transform its own buffer.
 type Plan struct {
 	n     int
 	log2n int
@@ -34,6 +35,10 @@ type Plan struct {
 	// element on every transform. Plans are shared through plancache, so
 	// the table is built once per size per process, not once per run.
 	revPairs []int32
+	// four is non-nil for n >= fourStepMin: Transform/Inverse then run
+	// the cache-blocked four-step decomposition instead of one monolithic
+	// butterfly network (see fourstep.go).
+	four *fourStepPlan
 }
 
 // NewPlan creates a transform plan for length n, which must be a power
@@ -53,6 +58,13 @@ func NewPlan(n int) (*Plan, error) {
 		if j := bits.Reverse(i, p.log2n); j > i {
 			p.revPairs = append(p.revPairs, int32(i), int32(j))
 		}
+	}
+	if n >= fourStepMin {
+		four, err := newFourStepPlan(n, p.log2n)
+		if err != nil {
+			return nil, err
+		}
+		p.four = four
 	}
 	return p, nil
 }
@@ -143,11 +155,42 @@ func (p *Plan) BitReverseInPlace(x []complex128) {
 	}
 }
 
+// transformInPlace computes the forward DFT of x in place, in natural
+// order, picking the fastest kernel for the size: the cache-blocked
+// four-step decomposition for n >= fourStepMin, otherwise the
+// split-radix network followed by the bit-reversal permutation.
+func (p *Plan) transformInPlace(x []complex128) {
+	if p.four != nil {
+		p.four.transform(p, x)
+		return
+	}
+	p.forwardSplitRadix(x)
+	p.BitReverseInPlace(x)
+}
+
 // Transform computes the forward DFT of src into dst (which may be the
-// same slice): dst[k] = sum_j src[j] * exp(-2*pi*i*j*k/n). It uses the
-// DIF butterfly network followed by the bit-reversal permutation,
-// mirroring the flow graph of Fig. 3.
+// same slice): dst[k] = sum_j src[j] * exp(-2*pi*i*j*k/n). It selects
+// the kernel by size — split-radix butterflies plus bit reversal in
+// cache, the four-step decomposition beyond — all numerically
+// equivalent (within rounding) to the paper's Fig. 3 flow graph, which
+// TransformDIF still executes verbatim.
 func (p *Plan) Transform(dst, src []complex128) {
+	p.checkLen(src)
+	p.checkLen(dst)
+	if &dst[0] != &src[0] {
+		copy(dst, src)
+	}
+	p.transformInPlace(dst)
+}
+
+// TransformDIF computes the forward DFT using the textbook radix-2
+// decimation-in-frequency network followed by the bit-reversal
+// permutation — butterfly for butterfly the schedule of the paper's
+// Fig. 3, shared (via DIFTwiddleExponent/Twiddle/Butterfly) with the
+// distributed FFT in package parfft. The simulated machines therefore
+// produce output bit-identical to TransformDIF; Transform itself is
+// free to pick a faster kernel and only agrees within rounding.
+func (p *Plan) TransformDIF(dst, src []complex128) {
 	p.checkLen(src)
 	p.checkLen(dst)
 	if &dst[0] != &src[0] {
@@ -162,14 +205,17 @@ func (p *Plan) Transform(dst, src []complex128) {
 // consume the spectrum symmetrically (e.g. convolution followed by an
 // inverse transform that accepts bit-reversed input) can skip the
 // reorder entirely, which is the "if the bit-reversal is not needed, as
-// in many applications" remark of §IV.A.
+// in many applications" remark of §IV.A. The split-radix network keeps
+// the same bit-reversed output layout as the radix-2 one, so this uses
+// it at every size (the four-step path reorders implicitly and offers
+// no shortcut here).
 func (p *Plan) TransformNoReorder(dst, src []complex128) {
 	p.checkLen(src)
 	p.checkLen(dst)
 	if &dst[0] != &src[0] {
 		copy(dst, src)
 	}
-	p.forwardDIF(dst)
+	p.forwardSplitRadix(dst)
 }
 
 // Inverse computes the inverse DFT of src into dst (which may alias):
@@ -181,8 +227,7 @@ func (p *Plan) Inverse(dst, src []complex128) {
 	for i, v := range src {
 		dst[i] = cmplx.Conj(v)
 	}
-	p.forwardDIF(dst)
-	p.BitReverseInPlace(dst)
+	p.transformInPlace(dst)
 	scale := complex(1/float64(p.n), 0)
 	for i, v := range dst {
 		dst[i] = cmplx.Conj(v) * scale

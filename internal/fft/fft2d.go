@@ -1,13 +1,21 @@
 package fft
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Plan2D computes two-dimensional DFTs of rows x cols arrays by
-// row-column decomposition. Both dimensions must be powers of two.
+// row-column decomposition. Both dimensions must be powers of two. A
+// Plan2D is safe for concurrent use: the only mutable state is the
+// column-buffer pool, which hands each caller its own scratch, so
+// steady-state transforms allocate nothing.
 type Plan2D struct {
 	rows, cols int
 	rowPlan    *Plan
 	colPlan    *Plan
+	// col pools the rows-length column gather/scatter buffer.
+	col sync.Pool
 }
 
 // NewPlan2D creates a 2D transform plan.
@@ -20,7 +28,12 @@ func NewPlan2D(rows, cols int) (*Plan2D, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fft: 2D plan rows: %w", err)
 	}
-	return &Plan2D{rows: rows, cols: cols, rowPlan: rp, colPlan: cp}, nil
+	p := &Plan2D{rows: rows, cols: cols, rowPlan: rp, colPlan: cp}
+	p.col.New = func() any {
+		b := make([]complex128, rows)
+		return &b
+	}
+	return p, nil
 }
 
 // Size returns the (rows, cols) shape.
@@ -35,6 +48,17 @@ func (p *Plan2D) checkLen(x []complex128) {
 // Transform computes the forward 2D DFT of the row-major array src into
 // dst (which may alias src).
 func (p *Plan2D) Transform(dst, src []complex128) {
+	p.apply(dst, src, p.rowPlan.Transform, p.colPlan.Transform)
+}
+
+// Inverse computes the inverse 2D DFT of src into dst (may alias).
+func (p *Plan2D) Inverse(dst, src []complex128) {
+	p.apply(dst, src, p.rowPlan.Inverse, p.colPlan.Inverse)
+}
+
+// apply runs the row-column decomposition with the given 1D transforms,
+// gathering each column through a pooled scratch buffer.
+func (p *Plan2D) apply(dst, src []complex128, rowFn, colFn func(dst, src []complex128)) {
 	p.checkLen(src)
 	p.checkLen(dst)
 	if &dst[0] != &src[0] {
@@ -43,40 +67,20 @@ func (p *Plan2D) Transform(dst, src []complex128) {
 	// Rows first.
 	for r := 0; r < p.rows; r++ {
 		row := dst[r*p.cols : (r+1)*p.cols]
-		p.rowPlan.Transform(row, row)
+		rowFn(row, row)
 	}
-	// Then columns, via a scratch column buffer.
-	col := make([]complex128, p.rows)
+	// Then columns, via the pooled column buffer.
+	//fftlint:ignore hotalloc pool.Get's New path allocates once per buffer, then reuses
+	cp := p.col.Get().(*[]complex128)
+	col := *cp
 	for c := 0; c < p.cols; c++ {
 		for r := 0; r < p.rows; r++ {
 			col[r] = dst[r*p.cols+c]
 		}
-		p.colPlan.Transform(col, col)
+		colFn(col, col)
 		for r := 0; r < p.rows; r++ {
 			dst[r*p.cols+c] = col[r]
 		}
 	}
-}
-
-// Inverse computes the inverse 2D DFT of src into dst (may alias).
-func (p *Plan2D) Inverse(dst, src []complex128) {
-	p.checkLen(src)
-	p.checkLen(dst)
-	if &dst[0] != &src[0] {
-		copy(dst, src)
-	}
-	for r := 0; r < p.rows; r++ {
-		row := dst[r*p.cols : (r+1)*p.cols]
-		p.rowPlan.Inverse(row, row)
-	}
-	col := make([]complex128, p.rows)
-	for c := 0; c < p.cols; c++ {
-		for r := 0; r < p.rows; r++ {
-			col[r] = dst[r*p.cols+c]
-		}
-		p.colPlan.Inverse(col, col)
-		for r := 0; r < p.rows; r++ {
-			dst[r*p.cols+c] = col[r]
-		}
-	}
+	p.col.Put(cp)
 }

@@ -60,3 +60,48 @@ func FuzzFFTInverse(f *testing.F) {
 		}
 	})
 }
+
+// FuzzAnyPlanDFT cross-checks the arbitrary-length Bluestein path
+// against the O(n^2) oracle for fuzzer-chosen lengths and signals. The
+// seeds cover the shapes the serving layer newly accepts: odd, prime,
+// and highly-composite lengths.
+func FuzzAnyPlanDFT(f *testing.F) {
+	f.Add(uint16(15), []byte{1, 2, 3, 4, 5, 6})                 // odd
+	f.Add(uint16(97), []byte{0x80, 0x01, 0x7f})                 // prime
+	f.Add(uint16(360), []byte{9, 8, 7, 6, 5, 4, 3, 2, 1})       // highly composite
+	f.Add(uint16(1009), []byte{0xff, 0x00, 0xff, 0x00})         // large prime
+	f.Add(uint16(96), []byte{1, 1, 2, 3, 5, 8, 13, 21, 34, 55}) // 3 * 2^5
+	f.Fuzz(func(t *testing.T, rawN uint16, raw []byte) {
+		n := int(rawN)%512 + 1
+		p, err := NewAnyPlan(n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		x := make([]complex128, n)
+		for i := 0; i < n; i++ {
+			var re, im float64
+			if 2*i < len(raw) {
+				re = float64(raw[2*i]) - 127.5
+			}
+			if 2*i+1 < len(raw) {
+				im = float64(raw[2*i+1]) - 127.5
+			}
+			x[i] = complex(re, im)
+		}
+		got := p.Forward(x)
+		want := DFT(x)
+		maxAbs := 1.0
+		for _, v := range x {
+			if a := cmplx.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		if d := MaxAbsDiff(got, want); d > 1e-8*maxAbs*float64(n) || math.IsNaN(d) {
+			t.Fatalf("n=%d: Bluestein differs from DFT by %g", n, d)
+		}
+		back := p.Backward(got)
+		if d := MaxAbsDiff(back, x); d > 1e-8*maxAbs*float64(n) || math.IsNaN(d) {
+			t.Fatalf("n=%d: inverse round trip differs by %g", n, d)
+		}
+	})
+}

@@ -1,0 +1,41 @@
+package fft
+
+import "testing"
+
+// Kernel-selection benchmarks: split-radix (SR) vs the four-step
+// decomposition (FS) at the same size, for re-tuning fourStepMin when
+// the host changes. On the 1-core Xeon fftbench host the decomposition
+// lost at every size through 2^22 (45% at 2^18, 21% at 2^20, 8% at
+// 2^22) and first won, by 7%, at 2^23 — hence fourStepMin = 1<<23.
+// Sizes above 2^20 are left out so `make gobench` stays quick; append
+// larger pairs locally when re-tuning.
+func benchKernel(b *testing.B, n int, four bool) {
+	p := MustPlan(n)
+	x := randomSignal(n, 1)
+	dst := make([]complex128, n)
+	copy(dst, x)
+	fs := p.four
+	if four && fs == nil {
+		var err error
+		fs, err = newFourStepPlan(n, p.log2n)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if four {
+			fs.transform(p, dst)
+		} else {
+			p.forwardSplitRadix(dst)
+			p.BitReverseInPlace(dst)
+		}
+	}
+}
+
+func BenchmarkKernelSR64K(b *testing.B)  { benchKernel(b, 1<<16, false) }
+func BenchmarkKernelFS64K(b *testing.B)  { benchKernel(b, 1<<16, true) }
+func BenchmarkKernelSR256K(b *testing.B) { benchKernel(b, 1<<18, false) }
+func BenchmarkKernelFS256K(b *testing.B) { benchKernel(b, 1<<18, true) }
+func BenchmarkKernelSR1M(b *testing.B)   { benchKernel(b, 1<<20, false) }
+func BenchmarkKernelFS1M(b *testing.B)   { benchKernel(b, 1<<20, true) }

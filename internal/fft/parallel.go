@@ -9,8 +9,10 @@ import (
 // spreads the butterfly work of each rank across a pool of goroutines —
 // host-level multicore parallelism for large transforms (the simulated
 // machines of package netsim model *network* parallelism instead).
-// workers <= 0 means runtime.GOMAXPROCS(0). Results are bit-identical to
-// Transform: the parallel split only partitions independent butterflies.
+// workers <= 0 means runtime.GOMAXPROCS(0). It executes the radix-2 DIF
+// schedule, so results are bit-identical to TransformDIF (the parallel
+// split only partitions independent butterflies) and agree with the
+// split-radix/four-step Transform within rounding.
 func (p *Plan) TransformParallel(dst, src []complex128, workers int) {
 	p.checkLen(src)
 	p.checkLen(dst)
@@ -18,7 +20,7 @@ func (p *Plan) TransformParallel(dst, src []complex128, workers int) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers == 1 || p.n < 4096 {
-		p.Transform(dst, src)
+		p.TransformDIF(dst, src)
 		return
 	}
 	if &dst[0] != &src[0] {

@@ -6,13 +6,18 @@ func TestTransformParallelMatchesSerial(t *testing.T) {
 	for _, n := range []int{64, 4096, 16384} {
 		p := MustPlan(n)
 		x := randomSignal(n, int64(n)+7000)
-		want := p.Forward(x)
+		want := make([]complex128, n)
+		p.TransformDIF(want, x)
+		fast := p.Forward(x)
 		for _, workers := range []int{0, 1, 2, 7, 16} {
 			dst := make([]complex128, n)
 			p.TransformParallel(dst, x, workers)
-			//fftlint:ignore floatcmp TransformParallel documents bit-identical results to Transform; bit-equality is the contract
+			//fftlint:ignore floatcmp TransformParallel documents bit-identical results to TransformDIF; bit-equality is the contract
 			if d := MaxAbsDiff(dst, want); d != 0 {
-				t.Fatalf("n=%d workers=%d: parallel differs by %g", n, workers, d)
+				t.Fatalf("n=%d workers=%d: parallel differs from DIF schedule by %g", n, workers, d)
+			}
+			if d := MaxAbsDiff(dst, fast); d > tol(n) {
+				t.Fatalf("n=%d workers=%d: parallel differs from Transform by %g", n, workers, d)
 			}
 		}
 	}
@@ -22,10 +27,11 @@ func TestTransformParallelInPlace(t *testing.T) {
 	n := 8192
 	p := MustPlan(n)
 	x := randomSignal(n, 7100)
-	want := p.Forward(x)
+	want := make([]complex128, n)
+	p.TransformDIF(want, x)
 	buf := append([]complex128(nil), x...)
 	p.TransformParallel(buf, buf, 8)
-	//fftlint:ignore floatcmp TransformParallel documents bit-identical results to Transform; bit-equality is the contract
+	//fftlint:ignore floatcmp TransformParallel documents bit-identical results to TransformDIF; bit-equality is the contract
 	if d := MaxAbsDiff(buf, want); d != 0 {
 		t.Fatalf("in-place parallel differs by %g", d)
 	}

@@ -2,6 +2,7 @@ package fft
 
 import (
 	"math"
+	"strings"
 	"testing"
 )
 
@@ -82,5 +83,75 @@ func BenchmarkFullComplexRealForward4096(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p.RealForward(x)
+	}
+}
+
+func TestRealPlanForwardIntoMatchesForward(t *testing.T) {
+	for _, n := range []int{2, 4, 64, 1024} {
+		p, err := NewRealPlan(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := randomReal(n, int64(n)+4100)
+		want := p.Forward(x)
+		got := p.ForwardInto(make([]complex128, p.SpectrumLen()), x)
+		//fftlint:ignore floatcmp Forward is a thin allocating wrapper over ForwardInto; bit-equality pins that
+		if d := MaxAbsDiff(got, want); d != 0 {
+			t.Fatalf("n=%d: ForwardInto differs from Forward by %g", n, d)
+		}
+	}
+}
+
+func TestRealPlanInverseIgnoresNonRealEdgeBins(t *testing.T) {
+	n := 64
+	p, _ := NewRealPlan(n)
+	x := randomReal(n, 4200)
+	spec := p.Forward(x)
+	// Contaminate the DC and Nyquist bins with imaginary residue, as
+	// spectral processing with float noise would. InverseInto documents
+	// that it ignores these parts, so the round trip must be unaffected.
+	dirty := append([]complex128(nil), spec...)
+	dirty[0] += complex(0, 0.25)
+	dirty[n/2] += complex(0, -0.5)
+	clean := p.Inverse(spec)
+	got := p.Inverse(dirty)
+	for i := range clean {
+		if math.Abs(clean[i]-got[i]) > 1e-12 {
+			t.Fatalf("sample %d: imag residue leaked into the signal (%g vs %g)", i, got[i], clean[i])
+		}
+	}
+}
+
+func TestRealPlanValidateSpectrum(t *testing.T) {
+	n := 32
+	p, _ := NewRealPlan(n)
+	spec := p.Forward(randomReal(n, 4300))
+	if err := p.ValidateSpectrum(spec); err != nil {
+		t.Fatalf("genuine Forward output rejected: %v", err)
+	}
+	if err := p.ValidateSpectrum(spec[:n/2]); err == nil {
+		t.Fatal("short spectrum accepted")
+	}
+	bad := append([]complex128(nil), spec...)
+	bad[0] += complex(0, 1+real(spec[0]))
+	if err := p.ValidateSpectrum(bad); err == nil {
+		t.Fatal("non-real DC bin accepted")
+	}
+	bad = append(bad[:0], spec...)
+	bad[n/2] += complex(0, 1+real(spec[n/2]))
+	if err := p.ValidateSpectrum(bad); err == nil {
+		t.Fatal("non-real Nyquist bin accepted")
+	}
+}
+
+func TestRealPlanErrorMessageTellsTheTruth(t *testing.T) {
+	// n=12 is even yet invalid (12/2=6 is not a power of two); the error
+	// must say "power of two", not merely "even".
+	_, err := NewRealPlan(12)
+	if err == nil {
+		t.Fatal("length 12 accepted")
+	}
+	if !strings.Contains(err.Error(), "power of two") {
+		t.Fatalf("error does not state the power-of-two requirement: %v", err)
 	}
 }

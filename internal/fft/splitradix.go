@@ -1,0 +1,112 @@
+package fft
+
+// Split-radix decimation-in-frequency kernel. Compared to the textbook
+// radix-2 network (forwardDIF, the paper's Fig. 3 schedule) it fuses two
+// radix-2 ranks into L-shaped butterflies, cutting the complex-multiply
+// count by about a third and replacing the per-butterfly
+// Twiddle(DIFTwiddleExponent(...)) calls with direct twiddle-table
+// indexing. Like every DIF decomposition of the Cooley–Tukey family it
+// leaves the spectrum in bit-reversed index order, so the existing
+// precomputed-swap BitReverseInPlace finishes the transform and the
+// TransformNoReorder contract ("spectrum in bit-reversed order") is
+// unchanged.
+//
+// The recursion for a block of length L with quarter q = L/4 follows
+// from splitting the DFT into even outputs and the two odd residue
+// classes mod 4: with d0 = x[j] - x[j+L/2], d1 = x[j+q] - x[j+3q] and
+// w = W_L = exp(-2*pi*i/L),
+//
+//	x[j]      <- x[j] + x[j+L/2]            (even half, recursed at L/2)
+//	x[j+q]    <- x[j+q] + x[j+3q]
+//	x[j+2q]   <- (d0 - i*d1) * w^j          (X[4m+1] block, recursed at q)
+//	x[j+3q]   <- (d0 + i*d1) * w^(3j)       (X[4m+3] block, recursed at q)
+//
+// for j in [0, q). Blocks at or below srCutoff fall through to a tight
+// radix-2 sweep (difBlock) — at small sizes the call overhead of further
+// splitting costs more than the saved multiplies.
+
+// srCutoff is the block length at or below which splitRadix stops
+// recursing and runs the iterative radix-2 sweep instead.
+const srCutoff = 32
+
+// forwardSplitRadix runs the split-radix DIF butterfly network in place.
+// On return the spectrum is in bit-reversed order, exactly like
+// forwardDIF (the two differ only in rounding, not in output layout).
+func (p *Plan) forwardSplitRadix(x []complex128) {
+	if p.n < 2 {
+		return
+	}
+	p.splitRadix(x, 1)
+}
+
+// splitRadix applies the split-radix DIF network to the sub-block x,
+// whose global twiddle stride is st = n/len(x): the j-th butterfly of
+// the block uses W_n^(j*st) = W_L^j.
+func (p *Plan) splitRadix(x []complex128, st int) {
+	l := len(x)
+	if l <= srCutoff {
+		p.difBlock(x, st)
+		return
+	}
+	q := l >> 2
+	tw := p.tw
+	// j = 0: both twiddles are exactly 1.
+	{
+		a, b := x[0], x[q]
+		c, d := x[2*q], x[3*q]
+		x[0] = a + c
+		x[q] = b + d
+		d0 := a - c
+		t := b - d
+		t = complex(imag(t), -real(t)) // -i * d1
+		x[2*q] = d0 + t
+		x[3*q] = d0 - t
+	}
+	for j := 1; j < q; j++ {
+		e1 := j * st // < n/4, in range for the half table
+		e3 := 3 * e1 // < 3n/4, may need the W^(k+n/2) = -W^k fold
+		w1 := tw[e1]
+		var w3 complex128
+		if e3 < len(tw) {
+			w3 = tw[e3]
+		} else {
+			w3 = -tw[e3-len(tw)]
+		}
+		a, b := x[j], x[j+q]
+		c, d := x[j+2*q], x[j+3*q]
+		x[j] = a + c
+		x[j+q] = b + d
+		d0 := a - c
+		t := b - d
+		t = complex(imag(t), -real(t)) // -i * d1
+		x[j+2*q] = (d0 + t) * w1
+		x[j+3*q] = (d0 - t) * w3
+	}
+	p.splitRadix(x[:2*q], st*2)
+	p.splitRadix(x[2*q:3*q], st*4)
+	p.splitRadix(x[3*q:], st*4)
+}
+
+// difBlock runs the plain radix-2 DIF network on the sub-block x with
+// global twiddle stride st, indexing the twiddle table directly instead
+// of going through Twiddle(DIFTwiddleExponent(...)). Every exponent it
+// forms is below n/2, so no symmetry fold is needed; the j = 0 column
+// multiplies by tw[0], which is exactly 1+0i, so no branch is needed
+// either.
+func (p *Plan) difBlock(x []complex128, st int) {
+	l := len(x)
+	tw := p.tw
+	for size := l; size >= 2; size >>= 1 {
+		half := size >> 1
+		step := st * (l / size)
+		for s := 0; s < l; s += size {
+			e := 0
+			for j := s; j < s+half; j++ {
+				a, b := x[j], x[j+half]
+				x[j] = a + b
+				x[j+half] = (a - b) * tw[e]
+				e += step
+			}
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package fft
+
+import (
+	"testing"
+
+	"repro/internal/bits"
+)
+
+// TestTransformMatchesDIFSchedule pins that the split-radix kernel and
+// the paper's radix-2 DIF schedule compute the same spectrum (within
+// rounding) at every power of two through 4096, with the DFT oracle
+// arbitrating at the sizes where O(n^2) is affordable.
+func TestTransformMatchesDIFSchedule(t *testing.T) {
+	for n := 1; n <= 4096; n *= 2 {
+		p := MustPlan(n)
+		x := randomSignal(n, int64(n)+8500)
+		fast := make([]complex128, n)
+		p.Transform(fast, x)
+		ref := make([]complex128, n)
+		p.TransformDIF(ref, x)
+		if d := MaxAbsDiff(fast, ref); d > tol(n) {
+			t.Fatalf("n=%d: split-radix differs from DIF schedule by %g", n, d)
+		}
+		if n <= 512 {
+			if d := MaxAbsDiff(fast, DFT(x)); d > tol(n) {
+				t.Fatalf("n=%d: split-radix differs from DFT by %g", n, d)
+			}
+		}
+	}
+}
+
+// TestTransformNoReorderBitReversedLayout pins the TransformNoReorder
+// contract under the split-radix kernel: position i holds spectrum bin
+// reverse(i), exactly as with the radix-2 network.
+func TestTransformNoReorderBitReversedLayout(t *testing.T) {
+	for _, n := range []int{2, 8, 64, 256, 2048} {
+		p := MustPlan(n)
+		x := randomSignal(n, int64(n)+8600)
+		raw := make([]complex128, n)
+		p.TransformNoReorder(raw, x)
+		spec := make([]complex128, n)
+		p.Transform(spec, x)
+		log2n := bits.Log2(n)
+		for i := 0; i < n; i++ {
+			k := bits.Reverse(i, log2n)
+			d := raw[i] - spec[k]
+			if real(d)*real(d)+imag(d)*imag(d) > tol(n)*tol(n) {
+				t.Fatalf("n=%d: raw[%d] != spec[%d] (diff %v)", n, i, k, d)
+			}
+		}
+	}
+}
+
+// TestInverseNoReorderComposesWithSplitRadix pins that the DIT inverse
+// network still undoes the (now split-radix) TransformNoReorder: the
+// two differ butterfly-for-butterfly, but both map natural order to the
+// same bit-reversed spectrum layout.
+func TestInverseNoReorderComposesWithSplitRadix(t *testing.T) {
+	n := 1024
+	p := MustPlan(n)
+	x := randomSignal(n, 8700)
+	raw := make([]complex128, n)
+	p.TransformNoReorder(raw, x)
+	back := make([]complex128, n)
+	p.InverseNoReorder(back, raw)
+	if d := MaxAbsDiff(back, x); d > tol(n) {
+		t.Fatalf("NoReorder round trip differs by %g", d)
+	}
+}
+
+// TestTransformDIFIsScheduleExact pins that TransformDIF reproduces the
+// Twiddle/DIFTwiddleExponent/Butterfly schedule bit for bit — the
+// contract the distributed FFT's verification rests on.
+func TestTransformDIFIsScheduleExact(t *testing.T) {
+	n := 256
+	p := MustPlan(n)
+	x := randomSignal(n, 8800)
+	want := append([]complex128(nil), x...)
+	for stage := p.Stages() - 1; stage >= 0; stage-- {
+		half := 1 << uint(stage)
+		size := half * 2
+		for start := 0; start < n; start += size {
+			for j := start; j < start+half; j++ {
+				w := p.Twiddle(p.DIFTwiddleExponent(stage, j))
+				want[j], want[j+half] = Butterfly(want[j], want[j+half], w)
+			}
+		}
+	}
+	p.BitReverseInPlace(want)
+	got := make([]complex128, n)
+	p.TransformDIF(got, x)
+	//fftlint:ignore floatcmp TransformDIF documents bit-identical execution of the Fig. 3 schedule; bit-equality is the contract
+	if d := MaxAbsDiff(got, want); d != 0 {
+		t.Fatalf("TransformDIF differs from the hand-run schedule by %g", d)
+	}
+}
+
+func BenchmarkSplitRadix4096(b *testing.B) {
+	p := MustPlan(4096)
+	x := randomSignal(4096, 1)
+	dst := make([]complex128, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Transform(dst, x)
+	}
+}
+
+func BenchmarkRadix2DIF4096(b *testing.B) {
+	p := MustPlan(4096)
+	x := randomSignal(4096, 1)
+	dst := make([]complex128, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.TransformDIF(dst, x)
+	}
+}

@@ -1,0 +1,85 @@
+package fft
+
+import "testing"
+
+// Steady-state allocation pins for the hot transform paths. Every plan
+// draws scratch from per-plan pools (or needs none at all), so after a
+// warm-up call the AllocsPerRun budget is exactly zero — the property
+// the serving layer's latency relies on, and the reason the plans stay
+// safe to share through plancache.
+
+func pinZeroAllocs(t *testing.T, name string, fn func()) {
+	t.Helper()
+	fn() // warm the pools
+	//fftlint:ignore floatcmp AllocsPerRun counts whole objects; the assertion is exactly zero
+	if n := testing.AllocsPerRun(20, fn); n != 0 {
+		t.Fatalf("%s: %v allocs/op, want 0", name, n)
+	}
+}
+
+func TestTransformZeroAllocs(t *testing.T) {
+	p := MustPlan(4096)
+	x := randomSignal(4096, 1)
+	dst := make([]complex128, 4096)
+	pinZeroAllocs(t, "Plan.Transform", func() { p.Transform(dst, x) })
+	pinZeroAllocs(t, "Plan.Inverse", func() { p.Inverse(dst, x) })
+	pinZeroAllocs(t, "Plan.TransformNoReorder", func() { p.TransformNoReorder(dst, x) })
+}
+
+func TestFourStepZeroAllocs(t *testing.T) {
+	n := 1 << 12
+	p := MustPlan(n)
+	four, err := newFourStepPlan(n, p.log2n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.four = four
+	x := randomSignal(n, 2)
+	dst := make([]complex128, n)
+	pinZeroAllocs(t, "fourStep.Transform", func() { p.Transform(dst, x) })
+}
+
+func TestAnyPlanZeroAllocs(t *testing.T) {
+	p, err := NewAnyPlan(1000) // non-power-of-two: the Bluestein path
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randomSignal(1000, 3)
+	dst := make([]complex128, 1000)
+	pinZeroAllocs(t, "AnyPlan.Transform", func() { p.Transform(dst, x) })
+	pinZeroAllocs(t, "AnyPlan.Inverse", func() { p.Inverse(dst, x) })
+}
+
+func TestRealPlanZeroAllocs(t *testing.T) {
+	p, err := NewRealPlan(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randomReal(4096, 4)
+	spec := make([]complex128, p.SpectrumLen())
+	out := make([]float64, 4096)
+	pinZeroAllocs(t, "RealPlan.ForwardInto", func() { p.ForwardInto(spec, x) })
+	pinZeroAllocs(t, "RealPlan.InverseInto", func() { p.InverseInto(out, spec) })
+}
+
+func TestPlan2DZeroAllocs(t *testing.T) {
+	p, err := NewPlan2D(64, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randomSignal(64*32, 5)
+	dst := make([]complex128, 64*32)
+	pinZeroAllocs(t, "Plan2D.Transform", func() { p.Transform(dst, x) })
+	pinZeroAllocs(t, "Plan2D.Inverse", func() { p.Inverse(dst, x) })
+}
+
+func TestDCTZeroAllocs(t *testing.T) {
+	p, err := NewDCTPlan(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randomReal(1024, 6)
+	dst := make([]float64, 1024)
+	pinZeroAllocs(t, "DCTPlan.Transform", func() { p.Transform(dst, x) })
+	pinZeroAllocs(t, "DCTPlan.Inverse", func() { p.Inverse(dst, x) })
+}

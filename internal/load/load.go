@@ -204,6 +204,9 @@ func DefaultCohorts() []Cohort {
 		{Op: OpFFTNoReorder, N: 512, Weight: 1},
 		{Op: OpReal, N: 2048, Weight: 1},
 		{Op: OpFFT, N: 4096, Weight: 0.5},
+		// Non-power-of-two transforms ride the Bluestein path; real
+		// traces are rarely all powers of two.
+		{Op: OpFFT, N: 1000, Weight: 0.5},
 	}
 }
 
@@ -220,6 +223,9 @@ func SmokeSpec() Spec {
 			{Op: OpFFT, N: 64, Weight: 3},
 			{Op: OpIFFT, N: 128, Weight: 1},
 			{Op: OpReal, N: 256, Weight: 1},
+			// Non-power-of-two: keeps the Bluestein serving path under
+			// continuous load, not just under unit tests.
+			{Op: OpFFT, N: 96, Weight: 1},
 		},
 	}
 }

@@ -8,8 +8,10 @@ import (
 )
 
 // TraceSchemaVersion identifies the trace-file layout; bump it on any
-// incompatible change to Trace or Request.
-const TraceSchemaVersion = 1
+// incompatible change to Trace or Request. v2: the default cohort mix
+// gained a non-power-of-two transform size (the Bluestein serving
+// path), reshuffling generated sequences.
+const TraceSchemaVersion = 2
 
 // Request is one generated request of a trace: when to send it, what to
 // send, and the seed its payload is derived from. The payload itself is

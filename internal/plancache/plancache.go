@@ -31,6 +31,7 @@ const (
 	KindReal    Kind = "real"    // *fft.RealPlan
 	KindRadix4  Kind = "radix4"  // *fft.Radix4Plan
 	KindDCT     Kind = "dct"     // *fft.DCTPlan
+	KindAny     Kind = "any"     // *fft.AnyPlan
 )
 
 // Key identifies one cached plan: its family and transform length.
@@ -264,6 +265,20 @@ func (c *Cache) RealPlan(n int) (*fft.RealPlan, error) {
 		return nil, err
 	}
 	return v.(*fft.RealPlan), nil
+}
+
+// AnyPlan returns the cached arbitrary-length plan for n, building it
+// on a miss. AnyPlan accepts any n >= 1 (Bluestein's algorithm embeds
+// the transform in a power-of-two convolution), so this is the serving
+// path for sizes ComplexPlan rejects.
+func (c *Cache) AnyPlan(n int) (*fft.AnyPlan, error) {
+	v, err := c.GetOrCreate(Key{Kind: KindAny, N: n}, func() (any, error) {
+		return fft.NewAnyPlan(n)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*fft.AnyPlan), nil
 }
 
 // Source adapts the cache to the fft.Source plan-reuse hook, so any

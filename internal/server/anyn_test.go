@@ -1,0 +1,183 @@
+package server
+
+// Regression tests for arbitrary-length serving and the real-inverse
+// path: non-power-of-two complex transforms must be served end to end
+// (HTTP and cluster) and match the naive DFT, and real_input+inverse
+// must never be silently answered with a forward spectrum — the bug
+// the RPC path used to have.
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cluster/wire"
+	"repro/internal/fft"
+)
+
+// TestFFTNonPow2MatchesDFT serves non-power-of-two complex transforms
+// over HTTP and checks them against the O(n^2) oracle, including odd,
+// prime and highly composite lengths, plus the inverse round trip.
+func TestFFTNonPow2MatchesDFT(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	rng := rand.New(rand.NewSource(41))
+	for _, n := range []int{3, 15, 48, 97, 360} {
+		in := make([]Complex, n)
+		x := make([]complex128, n)
+		for i := range in {
+			re, im := rng.NormFloat64(), rng.NormFloat64()
+			in[i] = Complex{re, im}
+			x[i] = complex(re, im)
+		}
+		fwd := decode[FFTResponse](t, postJSON(t, ts.URL+"/v1/fft",
+			FFTRequest{TransformSpec: TransformSpec{Input: in}}))
+		if fwd.Results[0].Error != "" {
+			t.Fatalf("n=%d: forward error: %s", n, fwd.Results[0].Error)
+		}
+		got := toComplex(fwd.Results[0].Output)
+		want := fft.DFT(x)
+		if d := fft.MaxAbsDiff(got, want); d > 1e-8*float64(n) {
+			t.Fatalf("n=%d: served transform differs from DFT by %g", n, d)
+		}
+		inv := decode[FFTResponse](t, postJSON(t, ts.URL+"/v1/fft",
+			FFTRequest{TransformSpec: TransformSpec{Input: fwd.Results[0].Output, Inverse: true}}))
+		if inv.Results[0].Error != "" {
+			t.Fatalf("n=%d: inverse error: %s", n, inv.Results[0].Error)
+		}
+		back := toComplex(inv.Results[0].Output)
+		if d := fft.MaxAbsDiff(back, x); d > 1e-8*float64(n) {
+			t.Fatalf("n=%d: round trip differs by %g", n, d)
+		}
+	}
+	// NoReorder stays power-of-two-only: bit-reversed order is
+	// undefined elsewhere.
+	resp := decode[FFTResponse](t, postJSON(t, ts.URL+"/v1/fft",
+		FFTRequest{TransformSpec: TransformSpec{Input: make([]Complex, 48), NoReorder: true}}))
+	if resp.Results[0].Error == "" {
+		t.Fatal("no_reorder at n=48 must carry an error")
+	}
+}
+
+// TestFFTRealInverseHTTP drives the real_inverse surface: the bins a
+// real_input transform returns must invert back to the samples, and a
+// spectrum whose DC/Nyquist bins carry imaginary mass is rejected
+// rather than silently projected.
+func TestFFTRealInverseHTTP(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	samples := []float64{1, -2, 3.5, 4, -0.25, 6, 7, 8.125}
+	fwd := decode[FFTResponse](t, postJSON(t, ts.URL+"/v1/fft",
+		FFTRequest{TransformSpec: TransformSpec{RealInput: samples}}))
+	if fwd.Results[0].Error != "" {
+		t.Fatalf("forward error: %s", fwd.Results[0].Error)
+	}
+	if len(fwd.Results[0].Output) != len(samples)/2+1 {
+		t.Fatalf("spectrum bins = %d, want %d", len(fwd.Results[0].Output), len(samples)/2+1)
+	}
+	inv := decode[FFTResponse](t, postJSON(t, ts.URL+"/v1/fft",
+		FFTRequest{TransformSpec: TransformSpec{RealInverse: fwd.Results[0].Output}}))
+	if inv.Results[0].Error != "" {
+		t.Fatalf("real inverse error: %s", inv.Results[0].Error)
+	}
+	if inv.Results[0].N != len(samples) {
+		t.Fatalf("real inverse n = %d, want %d", inv.Results[0].N, len(samples))
+	}
+	for i, c := range inv.Results[0].Output {
+		//fftlint:ignore floatcmp the imaginary part is widened from a float64 literal zero; exactly-zero is the contract
+		if math.Abs(c[0]-samples[i]) > 1e-12 || c[1] != 0 {
+			t.Fatalf("sample %d = %v, want [%v 0]", i, c, samples[i])
+		}
+	}
+
+	// Contaminated DC bin: rejected, not projected.
+	bad := append([]Complex(nil), fwd.Results[0].Output...)
+	bad[0][1] = 0.5
+	resp := decode[FFTResponse](t, postJSON(t, ts.URL+"/v1/fft",
+		FFTRequest{TransformSpec: TransformSpec{RealInverse: bad}}))
+	if resp.Results[0].Error == "" {
+		t.Fatal("non-real DC bin must carry an error")
+	}
+
+	// One bin cannot name a signal length.
+	resp = decode[FFTResponse](t, postJSON(t, ts.URL+"/v1/fft",
+		FFTRequest{TransformSpec: TransformSpec{RealInverse: []Complex{{1, 0}}}}))
+	if resp.Results[0].Error == "" {
+		t.Fatal("single-bin real_inverse must carry an error")
+	}
+}
+
+// TestExecuteOpRealInverseRegression pins the RPC-layer fix at the
+// executeOp level, the path a forwarded cluster op takes: an op with
+// Real and Inverse both set is a real inverse of its half-spectrum
+// Input, and its output must be the time-domain signal — not the
+// forward spectrum of anything, which is what this path used to
+// compute silently.
+func TestExecuteOpRealInverseRegression(t *testing.T) {
+	s := New(Config{})
+	t.Cleanup(func() { s.Close() })
+	samples := []float64{2, 0, -1, 4, 4, -3, 0.5, 1}
+	rp, err := fft.NewRealPlan(len(samples))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := rp.Forward(samples)
+
+	op := &wire.TransformOp{Real: true, Inverse: true, Input: spec}
+	if got, want := op.N(), len(samples); got != want {
+		t.Fatalf("op.N() = %d, want %d", got, want)
+	}
+	out, err := s.executeOp(context.Background(), op, nil)
+	if err != nil {
+		t.Fatalf("real inverse op: %v", err)
+	}
+	if len(out) != len(samples) {
+		t.Fatalf("output length %d, want %d", len(out), len(samples))
+	}
+	for i, c := range out {
+		//fftlint:ignore floatcmp the imaginary part is widened from a float64 literal zero; exactly-zero is the contract
+		if math.Abs(real(c)-samples[i]) > 1e-12 || imag(c) != 0 {
+			t.Fatalf("sample %d = %v, want (%v, 0)", i, c, samples[i])
+		}
+	}
+	// And explicitly: nothing resembling the forward spectrum.
+	fwdOfSamples := rp.Forward(samples)
+	if len(out) == len(fwdOfSamples) {
+		t.Fatalf("output shape matches the forward spectrum — regression")
+	}
+
+	// A malformed real inverse (empty spectrum) is rejected outright.
+	if _, err := s.executeOp(context.Background(), &wire.TransformOp{Real: true, Inverse: true}, nil); err == nil {
+		t.Fatal("empty real-inverse op must error")
+	}
+}
+
+// TestClusterNonPow2BitIdentical runs a non-power-of-two transform
+// through a 3-node cluster and a single-node server and requires the
+// outputs bit-identical: both execute the same cached AnyPlan path via
+// executeOp, wherever the ring places the op.
+func TestClusterNonPow2BitIdentical(t *testing.T) {
+	sc := startServerCluster(t, 3)
+	_, single := newTestServer(t, Config{})
+	rng := rand.New(rand.NewSource(43))
+	for _, n := range []int{48, 97, 360} {
+		in := make([]Complex, n)
+		for i := range in {
+			in[i] = Complex{rng.NormFloat64(), rng.NormFloat64()}
+		}
+		req := FFTRequest{TransformSpec: TransformSpec{Input: in}}
+		cl := decode[FFTResponse](t, postJSON(t, sc.https[0].URL+"/v1/fft", req))
+		if cl.Results[0].Error != "" {
+			t.Fatalf("n=%d: cluster error: %s", n, cl.Results[0].Error)
+		}
+		sg := decode[FFTResponse](t, postJSON(t, single.URL+"/v1/fft", req))
+		if sg.Results[0].Error != "" {
+			t.Fatalf("n=%d: single-node error: %s", n, sg.Results[0].Error)
+		}
+		a := toComplex(cl.Results[0].Output)
+		b := toComplex(sg.Results[0].Output)
+		//fftlint:ignore floatcmp both paths run the identical AnyPlan kernel through executeOp; bit-equality is the cluster's serving contract
+		if d := fft.MaxAbsDiff(a, b); d != 0 {
+			t.Fatalf("n=%d: cluster output differs from single-node by %g", n, d)
+		}
+	}
+}

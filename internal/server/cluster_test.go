@@ -245,13 +245,13 @@ func TestClusterMetricsExposed(t *testing.T) {
 }
 
 // TestClusterRemoteValidationMapsTo400 exercises the RemoteError → 400
-// mapping: a transform the remote peer rejects (over the length limit
-// there, under it here is impossible — so use a non-power-of-two, which
-// every node rejects identically at plan time) must surface as a
-// per-transform error, not a 5xx.
+// mapping: a transform the remote peer rejects must surface as a
+// per-transform error, not a 5xx. Non-power-of-two complex transforms
+// are now served via Bluestein, so the shape every node still rejects
+// identically at plan time is a non-power-of-two real transform.
 func TestClusterRemoteValidationMapsTo400(t *testing.T) {
 	sc := startServerCluster(t, 2)
-	bad := TransformSpec{Input: make([]Complex, 48)} // not a power of two
+	bad := TransformSpec{RealInput: make([]float64, 48)} // not a power of two
 	resp := postJSON(t, sc.https[0].URL+"/v1/fft", FFTRequest{TransformSpec: bad})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("batch status = %d (per-transform failures keep the batch 200)", resp.StatusCode)

@@ -50,18 +50,29 @@ func fromComplex(xs []complex128) []Complex {
 }
 
 // TransformSpec is one transform of a /v1/fft request. Exactly one of
-// Input (complex samples) or RealInput must be set.
+// Input (complex samples), RealInput or RealInverse must be set.
 type TransformSpec struct {
-	// Input holds complex samples as [re, im] pairs.
+	// Input holds complex samples as [re, im] pairs. Any length n >= 1
+	// is accepted: powers of two run the split-radix kernel, other
+	// lengths Bluestein's algorithm.
 	Input []Complex `json:"input,omitempty"`
-	// RealInput holds real samples; the response carries the n/2+1
-	// non-redundant spectrum bins.
+	// RealInput holds real samples (length a power of two); the
+	// response carries the n/2+1 non-redundant spectrum bins.
 	RealInput []float64 `json:"real_input,omitempty"`
-	// Inverse requests the inverse transform (complex input only).
+	// RealInverse holds the n/2+1 half-spectrum bins of a real signal
+	// and requests the inverse real transform: the response carries the
+	// n real samples (as [re, 0] pairs). The DC and Nyquist bins must
+	// be real-valued — a spectrum of a real signal has no imaginary
+	// part there — and the request is rejected otherwise. Setting
+	// Inverse alongside RealInput is an error, never a forward
+	// spectrum.
+	RealInverse []Complex `json:"real_inverse,omitempty"`
+	// Inverse requests the inverse transform (complex input only;
+	// real inverses use RealInverse).
 	Inverse bool `json:"inverse,omitempty"`
 	// NoReorder skips the terminal bit-reversal, leaving the spectrum
 	// in bit-reversed order (§IV.A's "if the bit-reversal is not
-	// needed" pipeline; forward complex only).
+	// needed" pipeline; forward complex power-of-two only).
 	NoReorder bool `json:"no_reorder,omitempty"`
 }
 
@@ -94,28 +105,71 @@ type FFTResponse struct {
 // sufficient capacity is reused for complex output (the HTTP path
 // passes pooled scratch); forwarded RPCs pass nil and the result is
 // serialized before the buffer would be reused.
+//
+// Complex transforms accept any length n >= 1: powers of two take the
+// split-radix plan, everything else the cached Bluestein AnyPlan.
+// NoReorder is the one power-of-two-only option — bit-reversed order
+// is undefined for other lengths. Real ops are power-of-two-only (the
+// packed half transform needs it) and a real op with Inverse set is a
+// genuine real inverse: its Input carries the n/2+1 half-spectrum and
+// the result is the real signal, widened to complex for the uniform
+// response shape. It is never silently answered with a forward
+// spectrum.
 func (s *Server) executeOp(_ context.Context, op *wire.TransformOp, dst []complex128) ([]complex128, error) {
 	n := op.N()
 	if err := s.checkLen(n); err != nil {
 		return nil, err
 	}
+	sized := func(m int) []complex128 {
+		if cap(dst) >= m {
+			return dst[:m]
+		}
+		return make([]complex128, m)
+	}
 	if op.Real {
+		if op.NoReorder {
+			return nil, badRequest("no_reorder applies to forward complex transforms only")
+		}
 		p, err := s.cache.RealPlan(n)
 		if err != nil {
 			return nil, badRequest("real plan: %v", err)
 		}
-		return p.Forward(op.RealInput), nil
+		if op.Inverse {
+			if err := p.ValidateSpectrum(op.Input); err != nil {
+				return nil, badRequest("real inverse: %v", err)
+			}
+			rb := getRBuf(n)
+			defer putRBuf(rb)
+			p.InverseInto(rb.x, op.Input)
+			out := sized(n)
+			for i, v := range rb.x {
+				out[i] = complex(v, 0)
+			}
+			return out, nil
+		}
+		return p.ForwardInto(sized(p.SpectrumLen()), op.RealInput), nil
+	}
+	if !bits.IsPow2(n) {
+		if op.NoReorder {
+			return nil, badRequest("no_reorder requires a power-of-two length, got %d", n)
+		}
+		p, err := s.cache.AnyPlan(n)
+		if err != nil {
+			return nil, badRequest("plan: %v", err)
+		}
+		out := sized(n)
+		if op.Inverse {
+			p.Inverse(out, op.Input)
+		} else {
+			p.Transform(out, op.Input)
+		}
+		return out, nil
 	}
 	p, err := s.cache.ComplexPlan(n)
 	if err != nil {
 		return nil, badRequest("plan: %v", err)
 	}
-	var out []complex128
-	if cap(dst) >= n {
-		out = dst[:n]
-	} else {
-		out = make([]complex128, n)
-	}
+	out := sized(n)
 	switch {
 	case op.Inverse:
 		p.Inverse(out, op.Input)
@@ -136,19 +190,51 @@ func (s *Server) executeOp(_ context.Context, op *wire.TransformOp, dst []comple
 func (s *Server) runTransform(ctx context.Context, spec TransformSpec) (TransformResult, error) {
 	sp := obs.StartChild(ctx, "transform").SetCat(obs.CatCompute)
 	defer sp.End()
+	populated := 0
+	for _, set := range []bool{len(spec.Input) > 0, len(spec.RealInput) > 0, len(spec.RealInverse) > 0} {
+		if set {
+			populated++
+		}
+	}
 	switch {
-	case len(spec.Input) > 0 && len(spec.RealInput) > 0:
-		return TransformResult{}, badRequest("transform sets both input and real_input")
-	case len(spec.RealInput) > 0:
+	case populated > 1:
+		return TransformResult{}, badRequest("transform sets more than one of input, real_input and real_inverse")
+	case len(spec.RealInverse) > 0:
 		if spec.Inverse || spec.NoReorder {
-			return TransformResult{}, badRequest("inverse/no_reorder apply to complex input only")
+			return TransformResult{}, badRequest("real_inverse is already the inverse; inverse/no_reorder do not apply")
+		}
+		h := len(spec.RealInverse)
+		if h < 2 {
+			return TransformResult{}, badRequest("real_inverse needs at least 2 spectrum bins (n/2+1 for signal length n)")
+		}
+		n := 2 * (h - 1)
+		if sp != nil {
+			sp.SetDetail(fmt.Sprintf("real-inverse n=%d", n))
+		}
+		b := getXBuf(n)
+		defer putXBuf(b)
+		toComplexInto(b.in[:h], spec.RealInverse)
+		op := wire.TransformOp{Real: true, Inverse: true, Input: b.in[:h]}
+		out, err := s.dispatchOp(ctx, &op, b.out)
+		if err != nil {
+			return TransformResult{}, err
+		}
+		return TransformResult{N: n, Output: fromComplex(out)}, nil
+	case len(spec.RealInput) > 0:
+		if spec.Inverse {
+			return TransformResult{}, badRequest("real_input with inverse is invalid: a real inverse takes the half-spectrum, not samples — pass the n/2+1 bins as real_inverse")
+		}
+		if spec.NoReorder {
+			return TransformResult{}, badRequest("no_reorder applies to complex input only")
 		}
 		n := len(spec.RealInput)
 		if sp != nil {
 			sp.SetDetail(fmt.Sprintf("real n=%d", n))
 		}
+		b := getXBuf(n)
+		defer putXBuf(b)
 		op := wire.TransformOp{Real: true, RealInput: spec.RealInput}
-		out, err := s.dispatchOp(ctx, &op, nil)
+		out, err := s.dispatchOp(ctx, &op, b.out)
 		if err != nil {
 			return TransformResult{}, err
 		}
@@ -198,8 +284,13 @@ func (s *Server) dispatchOp(ctx context.Context, op *wire.TransformOp, dst []com
 }
 
 // checkLen validates a transform length against the configured bound
-// (power-of-two validation is the plan constructor's job).
+// (shape validation — power of two where required — is the plan
+// constructor's job). A non-positive length means a malformed op, e.g.
+// a real inverse whose spectrum payload is too short to name a signal.
 func (s *Server) checkLen(n int) error {
+	if n < 1 {
+		return badRequest("transform length %d must be at least 1", n)
+	}
 	if n > s.cfg.MaxTransformLen {
 		return badRequest("transform length %d exceeds limit %d", n, s.cfg.MaxTransformLen)
 	}

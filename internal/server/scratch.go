@@ -30,3 +30,27 @@ func getXBuf(n int) *xbuf {
 // putXBuf returns a scratch pair to the pool. The caller must not keep
 // references to b.in or b.out past this call.
 func putXBuf(b *xbuf) { xbufPool.Put(b) }
+
+// rbuf is a pooled real-sample scratch buffer: the real inverse path
+// synthesizes n float64 samples before widening them into the complex
+// response, and pooling the intermediate keeps that path off the
+// allocator too.
+type rbuf struct {
+	x []float64
+}
+
+var rbufPool = sync.Pool{New: func() any { return new(rbuf) }}
+
+// getRBuf returns a real scratch buffer sized to n with stale contents.
+func getRBuf(n int) *rbuf {
+	b := rbufPool.Get().(*rbuf)
+	if cap(b.x) < n {
+		b.x = make([]float64, n)
+	}
+	b.x = b.x[:n]
+	return b
+}
+
+// putRBuf returns a real scratch buffer to the pool. The caller must
+// not keep references to b.x past this call.
+func putRBuf(b *rbuf) { rbufPool.Put(b) }

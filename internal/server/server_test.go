@@ -379,12 +379,21 @@ func TestFFTBadRequests(t *testing.T) {
 		}
 		resp.Body.Close()
 	}
-	// Non-power-of-two length: transform-level error, not an HTTP error.
+	// Non-power-of-two complex lengths are served (Bluestein), so the
+	// remaining per-transform rejections are real-domain shape errors:
+	// real_input must be a power of two, and real_input+inverse must be
+	// refused — never silently answered with a forward spectrum.
 	resp := postJSON(t, ts.URL+"/v1/fft",
-		FFTRequest{TransformSpec: TransformSpec{Input: []Complex{{1, 0}, {2, 0}, {3, 0}}}})
+		FFTRequest{TransformSpec: TransformSpec{RealInput: []float64{1, 2, 3}}})
 	body := decode[FFTResponse](t, resp)
 	if body.Results[0].Error == "" {
-		t.Fatal("length-3 transform must carry an error")
+		t.Fatal("length-3 real transform must carry an error")
+	}
+	resp = postJSON(t, ts.URL+"/v1/fft",
+		FFTRequest{TransformSpec: TransformSpec{RealInput: []float64{1, 2, 3, 4}, Inverse: true}})
+	body = decode[FFTResponse](t, resp)
+	if body.Results[0].Error == "" {
+		t.Fatal("real_input with inverse must carry an error")
 	}
 }
 
