@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all verify build vet lint test race test-race cover bench bench-compare bench-baseline alloc-baseline alloc-compare gobench fuzz vuln repro serve profile trace metrics-lint cluster-test cluster-demo load-smoke load-baseline load-compare examples clean
+.PHONY: all verify build vet lint test race test-race cover bench bench-compare bench-baseline alloc-baseline alloc-compare gobench fuzz vuln repro serve profile trace metrics-lint cluster-metrics-lint cluster-test cluster-demo load-smoke load-baseline load-compare examples clean
 
 all: verify
 
@@ -85,6 +85,48 @@ metrics-lint:
 	curl -s -X POST -d '{"input": [[1,0],[0,0],[0,0],[0,0]]}' http://$(METRICS_ADDR)/v1/fft >/dev/null; \
 	curl -s -H 'Accept: text/plain' http://$(METRICS_ADDR)/metrics | /tmp/promlint
 	@echo "metrics exposition is clean"
+
+# cluster-metrics-lint is the cluster half of the exposition gate: a
+# real 3-node ring over loopback TCP, transforms of several shapes
+# driven through one node so some forward across the wire, then every
+# node's /metrics is promlint-validated and the coordinator's must
+# carry the cluster families — hedge outcomes, wire byte counters and
+# a communication-roofline ratio >= 1.0. Mirrors the CI
+# metrics-scrape job's cluster step.
+CLUSTER_HTTP1 ?= 127.0.0.1:18081
+CLUSTER_HTTP2 ?= 127.0.0.1:18082
+CLUSTER_HTTP3 ?= 127.0.0.1:18083
+CLUSTER_ADDR1 ?= 127.0.0.1:19081
+CLUSTER_ADDR2 ?= 127.0.0.1:19082
+CLUSTER_ADDR3 ?= 127.0.0.1:19083
+cluster-metrics-lint:
+	$(GO) build -o /tmp/fftd-lint ./cmd/fftd
+	$(GO) build -o /tmp/promlint ./cmd/promlint
+	/tmp/fftd-lint -log=false -addr $(CLUSTER_HTTP1) -cluster $(CLUSTER_ADDR1) -peers $(CLUSTER_ADDR2),$(CLUSTER_ADDR3) & P1=$$!; \
+	/tmp/fftd-lint -log=false -addr $(CLUSTER_HTTP2) -cluster $(CLUSTER_ADDR2) -peers $(CLUSTER_ADDR1),$(CLUSTER_ADDR3) & P2=$$!; \
+	/tmp/fftd-lint -log=false -addr $(CLUSTER_HTTP3) -cluster $(CLUSTER_ADDR3) -peers $(CLUSTER_ADDR1),$(CLUSTER_ADDR2) & P3=$$!; \
+	trap 'kill $$P1 $$P2 $$P3 2>/dev/null' EXIT; \
+	for a in $(CLUSTER_HTTP1) $(CLUSTER_HTTP2) $(CLUSTER_HTTP3); do \
+		for i in $$(seq 1 50); do \
+			curl -sf http://$$a/healthz >/dev/null 2>&1 && break; sleep 0.1; \
+		done; \
+	done; \
+	for n in 64 128 256 512 1024 2048 4096; do \
+		body='{"input":[[1,0]'; i=1; \
+		while [ $$i -lt $$n ]; do body="$$body,[0,0]"; i=$$((i+1)); done; \
+		body="$$body]}"; \
+		curl -sf -X POST -d "$$body" http://$(CLUSTER_HTTP1)/v1/fft >/dev/null || exit 1; \
+		curl -sf -X POST -d "$${body%?},\"inverse\":true}" http://$(CLUSTER_HTTP1)/v1/fft >/dev/null || exit 1; \
+	done; \
+	for a in $(CLUSTER_HTTP1) $(CLUSTER_HTTP2) $(CLUSTER_HTTP3); do \
+		curl -s -H 'Accept: text/plain' http://$$a/metrics | /tmp/promlint || exit 1; \
+	done; \
+	text=$$(curl -s -H 'Accept: text/plain' http://$(CLUSTER_HTTP1)/metrics); \
+	for fam in fftd_cluster_comm_bytes_total fftd_cluster_hedge_outcome_total fftd_comm_roofline_ratio; do \
+		echo "$$text" | grep -q "^$$fam" || { echo "missing family $$fam"; exit 1; }; \
+	done; \
+	echo "$$text" | awk '/^fftd_comm_roofline_ratio/ { if ($$2 + 0 < 1.0) { print "roofline ratio " $$2 " < 1.0"; exit 1 } found = 1 } END { exit !found }' || exit 1
+	@echo "cluster metrics exposition is clean"
 
 # Regenerate every paper table/figure and the recorded outputs.
 repro:

@@ -108,8 +108,12 @@ func cmdRun(args []string) int {
 			fmt.Fprintf(os.Stderr, "fftbench: %v\n", err)
 			return 2
 		}
-		fmt.Printf("%-28s median %12.1f ns/op  min %12.1f  mad %8.1f  %8.1f allocs/op\n",
+		line := fmt.Sprintf("%-28s median %12.1f ns/op  min %12.1f  mad %8.1f  %8.1f allocs/op",
 			res.Suite, res.MedianNsPerOp, res.MinNsPerOp, res.MADNsPerOp, res.AllocsPerOp)
+		if res.CommBytesPerOp > 0 {
+			line += fmt.Sprintf("  %8d comm B/op  roofline %.2fx", res.CommBytesPerOp, res.CommRooflineRatio)
+		}
+		fmt.Println(line)
 		results = append(results, res)
 	}
 	fmt.Printf("%d suites in %v\n", len(results), time.Since(start).Round(time.Millisecond))

@@ -114,10 +114,10 @@ func runStatus(addrs []string, timeout time.Duration, asJSON bool) bool {
 		return emitJSON(rows) && healthy
 	}
 	t := report.New(fmt.Sprintf("cluster status (%d nodes)", len(addrs)),
-		"node", "state", "uptime", "transform rpcs", "rpc errors", "pings", "plan cache")
+		"node", "state", "uptime", "transform rpcs", "rpc errors", "pings", "wire in/out", "plan cache")
 	for _, r := range rows {
 		if r.Status == nil {
-			t.MustAddRow(r.Addr, "unreachable: "+r.Err, "-", "-", "-", "-", "-")
+			t.MustAddRow(r.Addr, "unreachable: "+r.Err, "-", "-", "-", "-", "-", "-")
 			continue
 		}
 		st := r.Status
@@ -133,7 +133,8 @@ func runStatus(addrs []string, timeout time.Duration, asJSON bool) bool {
 			(time.Duration(st.UptimeSeconds*float64(time.Second))).Round(time.Second).String(),
 			strconv.FormatInt(st.TransformRPCs, 10),
 			strconv.FormatInt(st.RPCErrors, 10),
-			strconv.FormatInt(st.Pings, 10), pc)
+			strconv.FormatInt(st.Pings, 10),
+			fmt.Sprintf("%d/%d", st.WireBytesRead, st.WireBytesWritten), pc)
 	}
 	if err := t.Render(os.Stdout); err != nil {
 		return false
@@ -203,19 +204,22 @@ func runRing(addrs []string, timeout time.Duration, asJSON bool) bool {
 	return healthy
 }
 
-// pingRow is one readiness probe, JSON-ready.
+// pingRow is one readiness probe, JSON-ready. WireVersion is the
+// highest frame version the peer's pong advertised — during a rolling
+// upgrade it shows which nodes can carry trace context.
 type pingRow struct {
-	Addr  string `json:"addr"`
-	Ready bool   `json:"ready"`
-	Err   string `json:"error,omitempty"`
+	Addr        string `json:"addr"`
+	Ready       bool   `json:"ready"`
+	WireVersion uint8  `json:"wire_version,omitempty"`
+	Err         string `json:"error,omitempty"`
 }
 
 func runPing(addrs []string, timeout time.Duration, asJSON bool) bool {
 	rows := make([]pingRow, len(addrs))
 	healthy := true
 	for i, a := range addrs {
-		ready, err := cluster.ProbePing(a, timeout)
-		rows[i] = pingRow{Addr: a, Ready: ready}
+		ver, ready, err := cluster.ProbeWire(a, timeout)
+		rows[i] = pingRow{Addr: a, Ready: ready, WireVersion: ver}
 		if err != nil {
 			rows[i].Err = err.Error()
 		}
@@ -226,15 +230,15 @@ func runPing(addrs []string, timeout time.Duration, asJSON bool) bool {
 	if asJSON {
 		return emitJSON(rows) && healthy
 	}
-	t := report.New("cluster readiness", "node", "state")
+	t := report.New("cluster readiness", "node", "state", "wire")
 	for _, r := range rows {
 		switch {
 		case r.Err != "":
-			t.MustAddRow(r.Addr, "unreachable: "+r.Err)
+			t.MustAddRow(r.Addr, "unreachable: "+r.Err, "-")
 		case r.Ready:
-			t.MustAddRow(r.Addr, "ready")
+			t.MustAddRow(r.Addr, "ready", fmt.Sprintf("v%d", r.WireVersion))
 		default:
-			t.MustAddRow(r.Addr, "draining")
+			t.MustAddRow(r.Addr, "draining", fmt.Sprintf("v%d", r.WireVersion))
 		}
 	}
 	if err := t.Render(os.Stdout); err != nil {

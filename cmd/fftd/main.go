@@ -21,8 +21,16 @@
 // failover on peer death. See docs/CLUSTER.md.
 //
 // Observability: every request gets an X-Request-ID and (with -log) a
-// structured log line; -slow-threshold and -trace-sample capture span
-// trees of slow or sampled requests; -debug-addr serves net/http/pprof
+// structured wide-event log line rolling up stage timings and wire byte
+// counts; -slow-threshold and -trace-sample capture span trees of slow
+// or sampled requests. In cluster mode the trees span nodes: trace
+// context rides the v2 wire frames, remote spans come back with the
+// response and are grafted under the coordinator's tree, and
+// /v1/debug/slow?format=chrome exports the captured trees as Chrome
+// trace_event JSON. /metrics adds fftd_cluster_comm_bytes_total,
+// fftd_cluster_hedge_outcome_total and fftd_comm_roofline_ratio — the
+// achieved-over-optimal communication ratio against the BSP lower
+// bound (see docs/OBSERVABILITY.md). -debug-addr serves net/http/pprof
 // and expvar on a separate listener, so profiling endpoints never share
 // a port with the public API.
 //

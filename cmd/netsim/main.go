@@ -24,6 +24,7 @@ import (
 	"repro/internal/fft"
 	"repro/internal/netsim"
 	"repro/internal/obs"
+	"repro/internal/obs/roofline"
 	"repro/internal/parfft"
 	"repro/internal/permute"
 	"repro/internal/report"
@@ -188,12 +189,16 @@ func run(network string, n int, wrap bool, scenario string, seed int64, workers 
 			return err
 		}
 		diff := fft.MaxAbsDiff(res.Output, fft.MustPlan(n).Forward(x))
+		st := m.Stats()
 		t := report.New(fmt.Sprintf("%d-point distributed FFT on %s", n, m.Name()),
 			"quantity", "value")
 		t.MustAddRow("butterfly data-transfer steps", fmt.Sprintf("%d", res.ButterflySteps))
 		t.MustAddRow("bit-reversal data-transfer steps", fmt.Sprintf("%d", res.BitReversalSteps))
 		t.MustAddRow("total data-transfer steps", fmt.Sprintf("%d", res.TotalSteps()))
 		t.MustAddRow("compute steps", fmt.Sprintf("%d", res.ComputeSteps))
+		t.MustAddRow("payload bytes moved", fmt.Sprintf("%d", st.CommBytes()))
+		t.MustAddRow("BSP lower bound (bytes)", fmt.Sprintf("%.0f", roofline.ButterflyBytes(n, n, netsim.WordBytes)))
+		t.MustAddRow("comm roofline (achieved/optimal)", fmt.Sprintf("%.2fx", netsim.CommRoofline(n, st)))
 		t.MustAddRow("max |error| vs serial FFT", fmt.Sprintf("%.3g", diff))
 		return t.Render(os.Stdout)
 

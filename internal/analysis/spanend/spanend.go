@@ -3,9 +3,9 @@
 // whenever the snapshot happens — the trace lies, and the slow-request
 // ring captures phantom tail latency. It reports
 //
-//  1. a span-starting call (Tracer.Start, Tracer.StartUnder,
-//     obs.StartChild, Span.Child) whose result is discarded — the span
-//     can never be ended;
+//  1. a span-starting call (Tracer.Start, Tracer.StartRPC,
+//     Tracer.StartUnder, obs.StartChild, Span.Child) whose result is
+//     discarded — the span can never be ended;
 //  2. a started span with no End() call anywhere in the function —
 //     unless the span is returned, stored, or passed on, which hands
 //     the obligation to someone else; and
@@ -42,6 +42,7 @@ const obsPath = "repro/internal/obs"
 // (SetCat, SetDetail, AddSteps) return the same span and do not count.
 var starters = map[string]bool{
 	"Start":      true,
+	"StartRPC":   true,
 	"StartUnder": true,
 	"StartChild": true,
 	"Child":      true,

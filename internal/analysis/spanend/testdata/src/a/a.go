@@ -33,6 +33,14 @@ func earlyReturn(tr *obs.Tracer, fail bool) error {
 	return nil
 }
 
+// Positive: an RPC root span from the remote-span API leaks exactly
+// like any other — the node would ship a frame whose root never closes.
+func rpcNeverEnded(tr *obs.Tracer) {
+	sp := tr.StartRPC("cluster.rpc") // want "span is never ended in this function"
+	work()
+	_ = sp.Child
+}
+
 // Positive: a context-carrying function spawning a context-free
 // goroutine detaches it from the span tree.
 func detached(ctx context.Context, done chan struct{}) {
@@ -53,6 +61,17 @@ func suppressedStart(tr *obs.Tracer) {
 // Negative: deferred End covers every return path.
 func deferred(ctx context.Context, fail bool) error {
 	sp := obs.StartChild(ctx, "phase").SetCat(obs.CatCompute)
+	defer sp.End()
+	if fail {
+		return errors.New("bailed")
+	}
+	return nil
+}
+
+// Negative: the RPC root is ended under a defer, wire-bytes annotation
+// chained on the starter and all.
+func rpcDeferred(tr *obs.Tracer, fail bool) error {
+	sp := tr.StartRPC("cluster.rpc").AddBytes(128, 4096)
 	defer sp.End()
 	if fail {
 		return errors.New("bailed")

@@ -27,6 +27,14 @@ import (
 type Suite struct {
 	Name  string
 	Setup func() (op func() error, cleanup func(), err error)
+	// Comm, when non-nil, profiles the operation's communication: the
+	// payload bytes one op moves and its achieved-over-optimal roofline
+	// ratio (≥ 1; see internal/obs/roofline). It runs once, untimed,
+	// outside the measurement loop — communication volume is
+	// deterministic, so one instrumented execution suffices. Suites
+	// without a communication dimension leave it nil and their report
+	// rows omit the columns.
+	Comm func() (bytesPerOp int64, rooflineRatio float64, err error)
 }
 
 // Options tunes how a suite is measured.
@@ -89,6 +97,10 @@ type Result struct {
 	MeanNsPerOp    float64 `json:"mean_ns_per_op"`
 	AllocsPerOp    float64 `json:"allocs_per_op"`
 	BytesPerOp     float64 `json:"bytes_per_op"`
+	// Communication columns, present only for suites with a Comm hook
+	// (schema-additive: readers of older reports see zero values).
+	CommBytesPerOp    int64   `json:"comm_bytes_per_op,omitempty"`
+	CommRooflineRatio float64 `json:"comm_roofline_ratio,omitempty"`
 }
 
 // RunSuite measures one suite: calibrate an iteration count against
@@ -152,6 +164,14 @@ func RunSuite(s Suite, opt Options) (Result, error) {
 		MeanNsPerOp:    mean(samples),
 		AllocsPerOp:    float64(after.Mallocs-before.Mallocs) / totalOps,
 		BytesPerOp:     float64(after.TotalAlloc-before.TotalAlloc) / totalOps,
+	}
+	if s.Comm != nil {
+		b, r, err := s.Comm()
+		if err != nil {
+			return Result{}, fmt.Errorf("bench: %s: comm profile: %w", s.Name, err)
+		}
+		res.CommBytesPerOp = b
+		res.CommRooflineRatio = r
 	}
 	return res, nil
 }

@@ -16,6 +16,7 @@ import (
 	"repro/internal/cluster/wire"
 	"repro/internal/fft"
 	"repro/internal/netsim"
+	"repro/internal/obs/roofline"
 	"repro/internal/parfft"
 	"repro/internal/permute"
 	"repro/internal/plancache"
@@ -68,15 +69,15 @@ func All() []Suite {
 		{Name: fmt.Sprintf("fft/splitradix/n%d", splitRadixN), Setup: setupSplitRadix},
 		{Name: fmt.Sprintf("fft/anyplan/n%d", anyN), Setup: setupAnyPlan},
 		{Name: fmt.Sprintf("fft/dct/n%d", dctN), Setup: setupDCT},
-		{Name: fmt.Sprintf("parfft/mesh/n%d", machineN), Setup: setupParfft("mesh")},
-		{Name: fmt.Sprintf("parfft/hypercube/n%d", machineN), Setup: setupParfft("hypercube")},
-		{Name: fmt.Sprintf("parfft/hypermesh/n%d", machineN), Setup: setupParfft("hypermesh")},
+		{Name: fmt.Sprintf("parfft/mesh/n%d", machineN), Setup: setupParfft("mesh"), Comm: commParfft("mesh")},
+		{Name: fmt.Sprintf("parfft/hypercube/n%d", machineN), Setup: setupParfft("hypercube"), Comm: commParfft("hypercube")},
+		{Name: fmt.Sprintf("parfft/hypermesh/n%d", machineN), Setup: setupParfft("hypermesh"), Comm: commParfft("hypermesh")},
 		{Name: "plancache/hit", Setup: setupPlanCacheHit},
 		{Name: fmt.Sprintf("netsim/route/mesh/n%d", machineN), Setup: setupRoute("mesh")},
 		{Name: fmt.Sprintf("netsim/route/hypercube/n%d", machineN), Setup: setupRoute("hypercube")},
 		{Name: fmt.Sprintf("netsim/route/hypermesh/n%d", machineN), Setup: setupRoute("hypermesh")},
 		{Name: fmt.Sprintf("fftd/http/fft/n%d", httpN), Setup: setupHTTPFFT},
-		{Name: fmt.Sprintf("cluster/route/n%d", httpN), Setup: setupClusterRoute},
+		{Name: fmt.Sprintf("cluster/route/n%d", httpN), Setup: setupClusterRoute, Comm: commClusterRoute},
 	}
 }
 
@@ -227,6 +228,26 @@ func buildMachine(topo string, n int) (netsim.Machine[complex128], error) {
 	}
 }
 
+// commParfft profiles one distributed FFT's communication on the
+// simulated machine: the netsim Words counter gives the payload bytes
+// one op moves, and CommRoofline relates them to the BSP lower bound
+// for machineN points on machineN nodes. The count is a property of
+// the schedule, not the run, so a single execution is exact.
+func commParfft(topo string) func() (int64, float64, error) {
+	return func() (int64, float64, error) {
+		m, err := buildMachine(topo, machineN)
+		if err != nil {
+			return 0, 0, err
+		}
+		x := randComplex(machineN, 6)
+		if _, err := parfft.Run(m, x, parfft.Options{}); err != nil {
+			return 0, 0, err
+		}
+		st := m.Stats()
+		return st.CommBytes(), netsim.CommRoofline(machineN, st), nil
+	}
+}
+
 func setupParfft(topo string) func() (func() error, func(), error) {
 	return func() (func() error, func(), error) {
 		m, err := buildMachine(topo, machineN)
@@ -284,6 +305,41 @@ func setupRoute(topo string) func() (func() error, func(), error) {
 // the forwarding path, not the local shortcut (which plancache/hit and
 // fft/transform already cover).
 func setupClusterRoute() (func() error, func(), error) {
+	client, op, cleanup, err := buildClusterRoute()
+	if err != nil {
+		return nil, nil, err
+	}
+	ctx := context.Background()
+	return func() error {
+		_, err := client.Transform(ctx, op)
+		return err
+	}, cleanup, nil
+}
+
+// commClusterRoute reports the forwarding path's wire traffic for one
+// transform — whole request and response frames, headers included —
+// against the serving-path communication floor the client accounts per
+// remotely-executed op (see cluster.ClientMetrics).
+func commClusterRoute() (int64, float64, error) {
+	client, op, cleanup, err := buildClusterRoute()
+	if err != nil {
+		return 0, 0, err
+	}
+	defer cleanup()
+	before := client.Metrics()
+	if _, err := client.Transform(context.Background(), op); err != nil {
+		return 0, 0, err
+	}
+	d := client.Metrics().Sub(before)
+	bytes := d.WireBytesSent + d.WireBytesRecv
+	return bytes, roofline.Ratio(float64(bytes), float64(d.CommFloorBytes)), nil
+}
+
+// buildClusterRoute stands up the two-node loopback cluster shared by
+// the cluster/route suite and its comm profile: node a is local, node b
+// owns the measured shape, and the returned op is pre-warmed so neither
+// plan compilation nor connection setup pollutes the measurement.
+func buildClusterRoute() (*cluster.Client, *wire.TransformOp, func(), error) {
 	exec := func(cache *plancache.Cache) cluster.Executor {
 		return func(_ context.Context, op *wire.TransformOp) ([]complex128, error) {
 			p, err := cache.ComplexPlan(op.N())
@@ -297,12 +353,12 @@ func setupClusterRoute() (func() error, func(), error) {
 	}
 	a, err := cluster.Listen("127.0.0.1:0", cluster.NodeConfig{Exec: exec(plancache.New(8))})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	b, err := cluster.Listen("127.0.0.1:0", cluster.NodeConfig{Exec: exec(plancache.New(8))})
 	if err != nil {
 		_ = a.Close()
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	reg := cluster.NewRegistry(a.Addr(), []string{b.Addr()}, cluster.RegistryConfig{})
 	client, err := cluster.NewClient(reg, cluster.ClientConfig{
@@ -312,7 +368,7 @@ func setupClusterRoute() (func() error, func(), error) {
 	if err != nil {
 		_ = a.Close()
 		_ = b.Close()
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	cleanup := func() {
 		client.Close()
@@ -329,17 +385,13 @@ func setupClusterRoute() (func() error, func(), error) {
 		}
 	}
 	op := wire.TransformOp{Input: randComplex(n, 9)}
-	ctx := context.Background()
 	// Warm the remote plan cache and the connection pool outside the
 	// measurement.
-	if _, err := client.Transform(ctx, &op); err != nil {
+	if _, err := client.Transform(context.Background(), &op); err != nil {
 		cleanup()
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return func() error {
-		_, err := client.Transform(ctx, &op)
-		return err
-	}, cleanup, nil
+	return client, &op, cleanup, nil
 }
 
 func setupHTTPFFT() (func() error, func(), error) {

@@ -92,6 +92,26 @@ type ClientMetrics struct {
 	Retries      int64 `json:"retries"`       // full preference-list retry rounds
 	BreakerSkips int64 `json:"breaker_skips"` // peers skipped on an open circuit
 	RemoteErrors int64 `json:"remote_errors"` // application errors returned by peers
+
+	// Hedge outcomes: every hedged attempt resolves to exactly one of
+	// won (its response was the round's winning success), lost (it
+	// completed with an error while the round was still undecided) or
+	// canceled (still in flight when the round resolved without it).
+	HedgeWon      int64 `json:"hedge_won"`
+	HedgeLost     int64 `json:"hedge_lost"`
+	HedgeCanceled int64 `json:"hedge_canceled"`
+
+	// WireBytesSent and WireBytesRecv count whole transform-RPC frames
+	// this client moved (headers, extensions, samples and span blocks;
+	// heartbeat pings are excluded — they are membership overhead, not
+	// transform communication). CommFloorBytes is the matching
+	// analytical floor: the sample bytes a remote execution cannot avoid
+	// moving, summed once per remotely-served transform regardless of
+	// how many hedges or retries it took. Achieved/floor is the
+	// cluster's communication-roofline ratio, ≥ 1 by construction.
+	WireBytesSent  int64 `json:"wire_bytes_sent"`
+	WireBytesRecv  int64 `json:"wire_bytes_recv"`
+	CommFloorBytes int64 `json:"comm_floor_bytes"`
 }
 
 // Sub returns the counter-wise difference m - prev: the routing
@@ -107,6 +127,14 @@ func (m ClientMetrics) Sub(prev ClientMetrics) ClientMetrics {
 		Retries:      m.Retries - prev.Retries,
 		BreakerSkips: m.BreakerSkips - prev.BreakerSkips,
 		RemoteErrors: m.RemoteErrors - prev.RemoteErrors,
+
+		HedgeWon:      m.HedgeWon - prev.HedgeWon,
+		HedgeLost:     m.HedgeLost - prev.HedgeLost,
+		HedgeCanceled: m.HedgeCanceled - prev.HedgeCanceled,
+
+		WireBytesSent:  m.WireBytesSent - prev.WireBytesSent,
+		WireBytesRecv:  m.WireBytesRecv - prev.WireBytesRecv,
+		CommFloorBytes: m.CommFloorBytes - prev.CommFloorBytes,
 	}
 }
 
@@ -120,6 +148,10 @@ type Client struct {
 	mu       sync.Mutex
 	pools    map[string]*connPool
 	breakers map[string]*breaker
+	// peerVer caches each peer's advertised wire capability, learned
+	// from pong flags: 0 unknown, wire.Version for old binaries,
+	// wire.Version2 for peers that accept trace contexts.
+	peerVer map[string]uint8
 
 	idHigh uint64
 	seq    atomic.Uint64
@@ -131,6 +163,14 @@ type Client struct {
 	retries      atomic.Int64
 	breakerSkips atomic.Int64
 	remoteErrors atomic.Int64
+
+	hedgeWon      atomic.Int64
+	hedgeLost     atomic.Int64
+	hedgeCanceled atomic.Int64
+
+	bytesSent atomic.Int64
+	bytesRecv atomic.Int64
+	commFloor atomic.Int64
 }
 
 // NewClient builds a client over a registry. The registry's recovery
@@ -148,6 +188,7 @@ func NewClient(reg *Registry, cfg ClientConfig) (*Client, error) {
 		reg:      reg,
 		pools:    make(map[string]*connPool),
 		breakers: make(map[string]*breaker),
+		peerVer:  make(map[string]uint8),
 		// Random high bits keep request IDs from successive processes
 		// distinct in merged traces.
 		idHigh: uint64(rand.Uint32()) << 32,
@@ -169,6 +210,14 @@ func (c *Client) Metrics() ClientMetrics {
 		Retries:      c.retries.Load(),
 		BreakerSkips: c.breakerSkips.Load(),
 		RemoteErrors: c.remoteErrors.Load(),
+
+		HedgeWon:      c.hedgeWon.Load(),
+		HedgeLost:     c.hedgeLost.Load(),
+		HedgeCanceled: c.hedgeCanceled.Load(),
+
+		WireBytesSent:  c.bytesSent.Load(),
+		WireBytesRecv:  c.bytesRecv.Load(),
+		CommFloorBytes: c.commFloor.Load(),
 	}
 }
 
@@ -230,18 +279,33 @@ func (c *Client) Transform(ctx context.Context, op *wire.TransformOp) ([]complex
 		return c.cfg.Local(ctx, op)
 	}
 
-	var sp *obs.Span
 	if tr := obs.FromContext(ctx); tr != nil {
-		sp = obs.StartChild(ctx, "cluster.route").SetCat(obs.CatCluster).
+		// Mint the cross-node trace ID lazily: the first routed transform
+		// of a traced request stamps the tracer, and every remote span of
+		// the request carries the same ID.
+		if tr.TraceID() == 0 {
+			tr.SetTraceID(obs.NewTraceID())
+		}
+		sp := obs.StartChild(ctx, "cluster.route").SetCat(obs.CatCluster).
 			SetDetail(fmt.Sprintf("shape=%s owner=%s", key, prefs[0]))
 		defer sp.End()
+		// Rebind so attempt spans nest under the route span rather than
+		// beside it.
+		ctx = obs.WithSpan(ctx, sp)
 	}
 
 	backoff := c.cfg.BackoffBase
 	var lastErr error
 	for round := 0; ; round++ {
-		out, err := c.tryRound(ctx, prefs, op)
+		out, peer, err := c.tryRound(ctx, prefs, op, round)
 		if err == nil {
+			if peer != c.cfg.Self {
+				// One remote execution's unavoidable communication: the
+				// request and response sample payloads, counted once per
+				// transform however many attempts it took. This is the
+				// serving-path roofline floor.
+				c.commFloor.Add(int64(sampleBytes(op) + 16*len(out)))
+			}
 			return out, nil
 		}
 		var remote *RemoteError
@@ -265,25 +329,41 @@ func (c *Client) Transform(ctx context.Context, op *wire.TransformOp) ([]complex
 	return nil, fmt.Errorf("cluster: all peers failed for shard %s: %w", key, lastErr)
 }
 
+// sampleBytes is the encoded size of an op's sample payload.
+func sampleBytes(op *wire.TransformOp) int {
+	if op.Real && !op.Inverse {
+		return 8 * len(op.RealInput)
+	}
+	return 16 * len(op.Input)
+}
+
 // attemptResult is one attempt's outcome.
 type attemptResult struct {
-	peer string
-	out  []complex128
-	err  error
+	peer  string
+	out   []complex128
+	err   error
+	hedge bool      // launched by the hedge timer
+	sp    *obs.Span // the attempt's span (nil when untraced)
 }
 
 // tryRound runs one pass over the preference list: launch the primary,
 // hedge to the next candidate when the hedge timer fires before a
 // response, and fail over immediately on hard errors. The first
-// success wins; a RemoteError is terminal for the round.
-func (c *Client) tryRound(ctx context.Context, prefs []string, op *wire.TransformOp) ([]complex128, error) {
+// success wins (its serving peer is returned); a RemoteError is
+// terminal for the round. Hedged attempts are resolved to
+// won/lost/canceled as the round settles.
+func (c *Client) tryRound(ctx context.Context, prefs []string, op *wire.TransformOp, round int) (_ []complex128, peer string, _ error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
 	resc := make(chan attemptResult, len(prefs))
 	next := 0
 	inflight := 0
-	launch := func() bool {
+	hedgesInflight := 0
+	// Hedges still in flight when the round resolves were launched for
+	// nothing: their cancellation is an outcome worth counting.
+	defer func() { c.hedgeCanceled.Add(int64(hedgesInflight)) }()
+	launch := func(kind string) bool {
 		for next < len(prefs) {
 			id := prefs[next]
 			next++
@@ -292,13 +372,18 @@ func (c *Client) tryRound(ctx context.Context, prefs []string, op *wire.Transfor
 				continue
 			}
 			inflight++
-			go func(id string) { resc <- c.attempt(ctx, id, op) }(id)
+			hedge := kind == "hedge"
+			go func(id, kind string) {
+				r := c.attempt(ctx, id, op, kind, round)
+				r.hedge = hedge
+				resc <- r
+			}(id, kind)
 			return true
 		}
 		return false
 	}
-	if !launch() {
-		return nil, ErrNoPeers
+	if !launch("primary") {
+		return nil, "", ErrNoPeers
 	}
 
 	var hedgec <-chan time.Time
@@ -313,69 +398,138 @@ func (c *Client) tryRound(ctx context.Context, prefs []string, op *wire.Transfor
 		select {
 		case r := <-resc:
 			inflight--
+			if r.hedge {
+				hedgesInflight--
+			}
 			if r.err == nil {
-				return r.out, nil
+				if r.hedge {
+					c.hedgeWon.Add(1)
+				}
+				r.sp.SetDetail(r.sp.Detail() + " outcome=won")
+				return r.out, r.peer, nil
+			}
+			if r.hedge {
+				c.hedgeLost.Add(1)
 			}
 			var remote *RemoteError
 			if errors.As(r.err, &remote) {
-				return nil, r.err
+				return nil, "", r.err
 			}
 			if firstErr == nil {
 				firstErr = r.err
 			}
-			if launch() {
+			if launch("failover") {
 				c.failovers.Add(1)
 			} else if inflight == 0 {
-				return nil, firstErr
+				return nil, "", firstErr
 			}
 		case <-hedgec:
-			if launch() {
+			if launch("hedge") {
 				c.hedged.Add(1)
+				hedgesInflight++
 			}
 		case <-ctx.Done():
-			return nil, ctx.Err()
+			return nil, "", ctx.Err()
 		}
 	}
 }
 
 // attempt executes op on one candidate: the local executor for Self,
 // a wire RPC otherwise. Transport outcomes feed the peer's breaker and
-// the registry's fast failure path.
-func (c *Client) attempt(ctx context.Context, id string, op *wire.TransformOp) attemptResult {
+// the registry's fast failure path. When the request is traced, the
+// attempt gets its own span tagged with peer, kind (primary, hedge,
+// failover), round and outcome — hedge losers and failed failovers
+// stay visible in the assembled tree instead of vanishing into the
+// winner's latency.
+func (c *Client) attempt(ctx context.Context, id string, op *wire.TransformOp, kind string, round int) attemptResult {
+	sp := obs.StartChild(ctx, "cluster.attempt")
+	if sp != nil {
+		sp.SetCat(obs.CatCluster).
+			SetDetail(fmt.Sprintf("peer=%s kind=%s round=%d", id, kind, round))
+		defer sp.End()
+	}
+	outcome := func(o string) { sp.SetDetail(sp.Detail() + " outcome=" + o) }
+
 	if id == c.cfg.Self {
 		c.local.Add(1)
+		if sp != nil {
+			ctx = obs.WithSpan(ctx, sp)
+		}
 		out, err := c.cfg.Local(ctx, op)
-		return attemptResult{peer: id, out: out, err: err}
+		if err != nil {
+			outcome("failed")
+		}
+		// Successful attempts are left untagged here: the round tags the
+		// winning one "won" when it consumes the result, and a success
+		// that lost the race keeps no outcome (it was discarded).
+		return attemptResult{peer: id, out: out, err: err, sp: sp}
 	}
 	c.forwarded.Add(1)
-	out, remoteMsg, err := c.rpcTransform(ctx, id, op)
+	out, remoteMsg, err := c.rpcTransform(ctx, id, op, sp)
 	b := c.breaker(id)
 	switch {
 	case err != nil:
 		b.record(false)
 		c.reg.ReportFailure(id, err)
-		return attemptResult{peer: id, err: fmt.Errorf("cluster: peer %s: %w", id, err)}
+		if ctx.Err() != nil {
+			outcome("canceled")
+		} else {
+			outcome("failed")
+		}
+		return attemptResult{peer: id, err: fmt.Errorf("cluster: peer %s: %w", id, err), sp: sp}
 	case remoteMsg != "":
 		// The peer is healthy — it executed and reported an application
 		// error — so the breaker records success.
 		b.record(true)
 		c.remoteErrors.Add(1)
-		return attemptResult{peer: id, err: &RemoteError{Peer: id, Msg: remoteMsg}}
+		outcome("remote-error")
+		return attemptResult{peer: id, err: &RemoteError{Peer: id, Msg: remoteMsg}, sp: sp}
 	default:
 		b.record(true)
-		return attemptResult{peer: id, out: out}
+		return attemptResult{peer: id, out: out, sp: sp}
 	}
 }
 
+// peerCap returns addr's cached wire capability (0 when no pong has
+// been seen yet).
+func (c *Client) peerCap(addr string) uint8 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.peerVer[addr]
+}
+
 // rpcTransform performs one transform RPC over a pooled connection.
-func (c *Client) rpcTransform(ctx context.Context, addr string, op *wire.TransformOp) ([]complex128, string, error) {
+// When sp is non-nil (a traced request) and the peer speaks wire v2,
+// the request carries the trace context and the response's span block
+// is grafted under sp; the whole frame sizes in both directions are
+// recorded on sp and on the client-wide byte counters at the same
+// points, so span totals and counters reconcile exactly.
+func (c *Client) rpcTransform(ctx context.Context, addr string, op *wire.TransformOp, sp *obs.Span) ([]complex128, string, error) {
+	tr := obs.FromContext(ctx)
+	traced := sp != nil && tr != nil
+	if traced && c.peerCap(addr) == 0 {
+		// Capability unknown (first contact before any heartbeat): one
+		// pooled ping doubles as the version handshake.
+		if _, err := c.Ping(ctx, addr); err != nil {
+			return nil, "", err
+		}
+	}
 	p := c.pool(addr)
 	pc, err := p.get(ctx)
 	if err != nil {
 		return nil, "", err
 	}
 	id := c.nextID()
-	pc.wbuf = wire.AppendTransformReq(pc.wbuf[:0], id, op)
+	if traced && c.peerCap(addr) >= wire.Version2 {
+		tc := wire.TraceContext{
+			TraceID:    tr.TraceID(),
+			ParentSpan: uint32(sp.ID()),
+			Sampled:    true,
+		}
+		pc.wbuf = wire.AppendTransformReqV2(pc.wbuf[:0], id, op, tc)
+	} else {
+		pc.wbuf = wire.AppendTransformReq(pc.wbuf[:0], id, op)
+	}
 	h, payload, err := pc.roundTrip(ctx, c.cfg.RPCTimeout, pc.wbuf)
 	if err != nil {
 		pc.close()
@@ -385,10 +539,20 @@ func (c *Client) rpcTransform(ctx context.Context, addr string, op *wire.Transfo
 		pc.close()
 		return nil, "", fmt.Errorf("wire: unexpected %s frame (id %x, want %x)", wire.TypeName(h.Type), h.ID, id)
 	}
-	out, remoteMsg, err := wire.ParseTransformResp(h, payload, nil)
+	sent, recv := int64(len(pc.wbuf)), int64(wire.HeaderSize+len(payload))
+	c.bytesSent.Add(sent)
+	c.bytesRecv.Add(recv)
+	sp.AddBytes(sent, recv)
+	out, spanBlock, remoteMsg, err := wire.ParseTransformRespV2(h, payload, nil)
 	if err != nil {
 		pc.close()
 		return nil, "", err
+	}
+	if len(spanBlock) > 0 && traced {
+		// A corrupt span block loses observability, not the result.
+		if rspans, perr := obs.ParseSpans(spanBlock); perr == nil {
+			tr.Graft(sp, rspans)
+		}
 	}
 	p.put(pc)
 	return out, remoteMsg, nil
@@ -414,6 +578,15 @@ func (c *Client) Ping(ctx context.Context, addr string) (bool, error) {
 		return false, fmt.Errorf("wire: unexpected %s frame", wire.TypeName(h.Type))
 	}
 	p.put(pc)
+	// Pongs double as the version handshake: FlagV2 advertises that the
+	// peer accepts trace-context frames.
+	ver := uint8(wire.Version)
+	if h.Flags&wire.FlagV2 != 0 {
+		ver = wire.Version2
+	}
+	c.mu.Lock()
+	c.peerVer[addr] = ver
+	c.mu.Unlock()
 	return h.Flags&wire.FlagReady != 0, nil
 }
 
@@ -436,6 +609,30 @@ func ProbePing(addr string, timeout time.Duration) (bool, error) {
 		return false, fmt.Errorf("wire: unexpected %s frame", wire.TypeName(h.Type))
 	}
 	return h.Flags&wire.FlagReady != 0, nil
+}
+
+// ProbeWire dials addr fresh and reports the highest wire version the
+// peer advertises alongside readiness — `fftcluster ping` uses it to
+// show which nodes would carry trace context during a rolling upgrade.
+func ProbeWire(addr string, timeout time.Duration) (version uint8, ready bool, err error) {
+	pc, err := dialPeer(addr, timeout)
+	if err != nil {
+		return 0, false, err
+	}
+	defer pc.close()
+	pc.wbuf = wire.AppendPing(pc.wbuf[:0], 1)
+	h, _, err := pc.roundTripDeadline(time.Now().Add(timeout), pc.wbuf)
+	if err != nil {
+		return 0, false, err
+	}
+	if h.Type != wire.TypePong {
+		return 0, false, fmt.Errorf("wire: unexpected %s frame", wire.TypeName(h.Type))
+	}
+	version = wire.Version
+	if h.Flags&wire.FlagV2 != 0 {
+		version = wire.Version2
+	}
+	return version, h.Flags&wire.FlagReady != 0, nil
 }
 
 // ProbeStatus dials addr fresh and fetches its NodeStatus.

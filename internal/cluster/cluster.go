@@ -110,7 +110,12 @@ type NodeStatus struct {
 	TransformRPCs int64            `json:"transform_rpcs"`
 	RPCErrors     int64            `json:"rpc_errors"`
 	Pings         int64            `json:"pings"`
-	PlanCache     *plancache.Stats `json:"plan_cache,omitempty"`
+	// WireBytesRead and WireBytesWritten count whole frames (headers,
+	// extensions and payloads) through this node's cluster port — the
+	// server-side half of the communication-roofline accounting.
+	WireBytesRead    int64            `json:"wire_bytes_read"`
+	WireBytesWritten int64            `json:"wire_bytes_written"`
+	PlanCache        *plancache.Stats `json:"plan_cache,omitempty"`
 }
 
 // RemoteError is an application-level failure reported by the peer that

@@ -37,6 +37,11 @@ type NodeConfig struct {
 	// RPCTimeout bounds one forwarded transform's execution; 0 means
 	// 30s.
 	RPCTimeout time.Duration
+	// WireV1Only makes the node behave like a pre-tracing binary: pongs
+	// do not advertise v2, and version-2 frames drop the connection.
+	// It exists so version-negotiation tests can pin interop with old
+	// peers without building an old binary.
+	WireV1Only bool
 }
 
 // Node is a running cluster listener: it accepts peer connections and
@@ -55,6 +60,8 @@ type Node struct {
 	transformRPCs atomic.Int64
 	rpcErrors     atomic.Int64
 	pings         atomic.Int64
+	bytesRead     atomic.Int64
+	bytesWritten  atomic.Int64
 }
 
 // Listen starts a node on addr (use "127.0.0.1:0" in tests and read
@@ -111,6 +118,9 @@ func (n *Node) Status() NodeStatus {
 		TransformRPCs: n.transformRPCs.Load(),
 		RPCErrors:     n.rpcErrors.Load(),
 		Pings:         n.pings.Load(),
+
+		WireBytesRead:    n.bytesRead.Load(),
+		WireBytesWritten: n.bytesWritten.Load(),
 	}
 	if n.cfg.StatusExtra != nil {
 		n.cfg.StatusExtra(&s)
@@ -161,9 +171,11 @@ func (n *Node) acceptLoop() {
 // wire layer once these reach steady-state capacity.
 type connScratch struct {
 	hdr     [wire.HeaderSize]byte
+	ext     [wire.TraceCtxSize]byte
 	payload []byte
 	op      wire.TransformOp
 	resp    []byte
+	span    []byte
 }
 
 func (n *Node) handleConn(c net.Conn) {
@@ -194,6 +206,20 @@ func (n *Node) handleConn(c net.Conn) {
 		if err != nil {
 			return // protocol desync: drop the connection
 		}
+		if n.cfg.WireV1Only && h.Version != wire.Version {
+			return // old binary: unknown version drops the connection
+		}
+		// A v2 request may carry a trace-context extension between the
+		// header and the Len-counted payload.
+		var tc wire.TraceContext
+		if ext := h.ExtLen(); ext > 0 {
+			if _, err := io.ReadFull(c, sc.ext[:ext]); err != nil {
+				return
+			}
+			if tc, err = wire.ParseTraceContext(sc.ext[:ext]); err != nil {
+				return
+			}
+		}
 		if cap(sc.payload) < int(h.Len) {
 			sc.payload = make([]byte, h.Len)
 		}
@@ -201,18 +227,25 @@ func (n *Node) handleConn(c net.Conn) {
 		if _, err := io.ReadFull(c, sc.payload); err != nil {
 			return
 		}
-		if !n.serveFrame(c, h, &sc) {
+		n.bytesRead.Add(int64(wire.HeaderSize + h.ExtLen() + len(sc.payload)))
+		if !n.serveFrame(c, h, tc, &sc) {
 			return
 		}
 	}
 }
 
 // serveFrame dispatches one decoded frame; false drops the connection.
-func (n *Node) serveFrame(c net.Conn, h wire.Header, sc *connScratch) bool {
+func (n *Node) serveFrame(c net.Conn, h wire.Header, tc wire.TraceContext, sc *connScratch) bool {
 	switch h.Type {
 	case wire.TypePing:
 		n.pings.Add(1)
-		sc.resp = wire.AppendPong(sc.resp[:0], h.ID, n.ready())
+		if n.cfg.WireV1Only {
+			sc.resp = wire.AppendPong(sc.resp[:0], h.ID, n.ready())
+		} else {
+			// Advertise v2 capability on every pong: heartbeats double as
+			// the version handshake.
+			sc.resp = wire.AppendPongV2(sc.resp[:0], h.ID, n.ready())
+		}
 	case wire.TypeStatusReq:
 		body, err := json.Marshal(n.Status())
 		if err != nil {
@@ -220,7 +253,7 @@ func (n *Node) serveFrame(c net.Conn, h wire.Header, sc *connScratch) bool {
 		}
 		sc.resp = wire.AppendStatusResp(sc.resp[:0], h.ID, body)
 	case wire.TypeTransformReq:
-		n.serveTransform(h, sc)
+		n.serveTransform(h, tc, sc)
 	default:
 		return false
 	}
@@ -230,13 +263,24 @@ func (n *Node) serveFrame(c net.Conn, h wire.Header, sc *connScratch) bool {
 	// window to flush to a slow-but-live peer.
 	_ = c.SetWriteDeadline(time.Now().Add(n.cfg.RPCTimeout))
 	_, err := c.Write(sc.resp)
+	if err == nil {
+		n.bytesWritten.Add(int64(len(sc.resp)))
+	}
 	return err == nil
 }
 
 // serveTransform executes one forwarded transform into sc.resp. The
 // wire request ID is threaded into the obs span (when the node traces)
 // and into the executor's context, so cross-node traces correlate.
-func (n *Node) serveTransform(h wire.Header, sc *connScratch) {
+//
+// When the request carries a sampled trace context, the node records
+// its half of the work into a fresh per-request tracer and ships the
+// finished spans back in the response's span block; the coordinator
+// grafts them under its RPC attempt span, assembling one cross-node
+// tree. The remote root span's byte counts cover the whole request and
+// response frames — including the trace extension and the span block
+// itself — so a trace's totals reconcile against frame-level counters.
+func (n *Node) serveTransform(h wire.Header, tc wire.TraceContext, sc *connScratch) {
 	n.transformRPCs.Add(1)
 	ctx, cancel := context.WithTimeout(n.ctx, n.cfg.RPCTimeout)
 	defer cancel()
@@ -251,16 +295,45 @@ func (n *Node) serveTransform(h wire.Header, sc *connScratch) {
 	}
 	defer sp.End()
 
+	// Sampled v2 request: record this node's spans for the coordinator.
+	// The request tracer shadows the node-local one in ctx, so the
+	// executor's spans land in the tree that travels back.
+	var rt *obs.Tracer
+	var root *obs.Span
+	if tc.Sampled {
+		rt = obs.New()
+		rt.SetTraceID(tc.TraceID)
+		root = rt.StartRPC("cluster.rpc").SetDetail(fmt.Sprintf("rid=%016x node=%s", h.ID, n.cfg.ID))
+		ctx = obs.WithTracer(ctx, rt)
+		ctx = obs.WithSpan(ctx, root)
+	}
+	reqFrame := wire.HeaderSize + h.ExtLen() + len(sc.payload)
+
 	if err := wire.ParseTransformReq(h, sc.payload, &sc.op); err != nil {
 		n.rpcErrors.Add(1)
+		root.End()
 		sc.resp = wire.AppendTransformErr(sc.resp[:0], h.ID, err.Error())
 		return
 	}
 	out, err := n.cfg.Exec(ctx, &sc.op)
 	if err != nil {
 		n.rpcErrors.Add(1)
+		root.End()
 		sc.resp = wire.AppendTransformErr(sc.resp[:0], h.ID, err.Error())
 		return
 	}
-	sc.resp = wire.AppendTransformOK(sc.resp[:0], h.ID, out)
+	if root == nil {
+		sc.resp = wire.AppendTransformOK(sc.resp[:0], h.ID, out)
+		return
+	}
+	// Two-pass sizing: the span block's encoded length is stable under
+	// byte-count and end-time patches (fixed-width fields), so the exact
+	// response frame size can be stamped on the root span before the
+	// block is serialized.
+	blockLen := obs.EncodedSpansLen(rt.Snapshot())
+	respFrame := wire.HeaderSize + 16*len(out) + blockLen + 4
+	root.AddBytes(int64(respFrame), int64(reqFrame))
+	root.End()
+	sc.span = obs.AppendSpans(sc.span[:0], rt.Snapshot())
+	sc.resp = wire.AppendTransformOKV2(sc.resp[:0], h.ID, out, sc.span)
 }

@@ -1,0 +1,209 @@
+// Version 2 of the wire protocol: distributed-tracing extensions.
+//
+// v2 is a strict superset of v1 — every v1 frame is also a valid v2
+// conversation, and a v2 sender talking to a v1 peer emits bytes
+// identical to a v1 sender (pinned by tests). Three flag bits carry the
+// new capabilities:
+//
+//   - FlagTraceCtx on a TypeTransformReq marks a fixed 16-byte trace
+//     context (trace ID, parent span, sampling bit) inserted between
+//     the header and the payload. Header.Len still counts payload bytes
+//     only; the extension is part of the frame envelope, like the
+//     header itself.
+//   - FlagSpanBlock on a TypeTransformResp marks a remote span block
+//     (internal/obs encoding) appended after the samples, followed by a
+//     trailing u32 block length so the receiver can split samples from
+//     block without parsing the block first. Here Header.Len covers
+//     samples + block + trailer: the whole payload, preserving the v1
+//     read loop's "read Len bytes" contract.
+//   - FlagV2 on a TypePong advertises that the sender speaks v2, which
+//     is how a client discovers per-peer capability without an extra
+//     handshake round: heartbeats already flow.
+//
+// Versioning rule: a node answers with the version the request carried,
+// and a client only sends v2 frames to peers whose pongs advertised
+// FlagV2 — old and new binaries interoperate frame-for-frame.
+package wire
+
+import "encoding/binary"
+
+// Version2 is the protocol version for frames using the tracing
+// extensions. Receivers accept both Version and Version2.
+const Version2 = 2
+
+// v2 flag bits.
+const (
+	// FlagTraceCtx marks a request frame carrying a TraceContext
+	// extension between header and payload.
+	FlagTraceCtx = uint16(1 << 5)
+	// FlagSpanBlock marks a response payload that ends with a remote
+	// span block and its u32 length trailer.
+	FlagSpanBlock = uint16(1 << 6)
+	// FlagV2 on a pong advertises v2 capability.
+	FlagV2 = uint16(1 << 7)
+)
+
+// TraceCtxSize is the fixed length of the trace-context extension.
+const TraceCtxSize = 16
+
+// TraceContext is the propagated trace identity: the wire form of
+// internal/obs's SpanContext. The package defines its own struct so the
+// protocol layer stays dependency-free.
+type TraceContext struct {
+	// TraceID correlates every span of one cross-node request.
+	TraceID uint64
+	// ParentSpan is the sender-side span the receiver's spans nest
+	// under.
+	ParentSpan uint32
+	// Sampled tells the receiver whether to record and return spans.
+	Sampled bool
+}
+
+// traceFlagSampled is bit 0 of the trace-context flags byte; the
+// remaining bits and the three trailing bytes are reserved (written
+// zero, ignored on read) for future extension without another version
+// bump.
+const traceFlagSampled = 1 << 0
+
+// PutTraceContext writes tc into b, which must hold TraceCtxSize bytes.
+func PutTraceContext(b []byte, tc TraceContext) {
+	_ = b[TraceCtxSize-1]
+	binary.LittleEndian.PutUint64(b[0:8], tc.TraceID)
+	binary.LittleEndian.PutUint32(b[8:12], tc.ParentSpan)
+	var f byte
+	if tc.Sampled {
+		f = traceFlagSampled
+	}
+	b[12] = f
+	b[13], b[14], b[15] = 0, 0, 0
+}
+
+// ParseTraceContext decodes a trace-context extension.
+func ParseTraceContext(b []byte) (TraceContext, error) {
+	if len(b) < TraceCtxSize {
+		return TraceContext{}, ErrTruncated
+	}
+	return TraceContext{
+		TraceID:    binary.LittleEndian.Uint64(b[0:8]),
+		ParentSpan: binary.LittleEndian.Uint32(b[8:12]),
+		Sampled:    b[12]&traceFlagSampled != 0,
+	}, nil
+}
+
+// ExtLen returns the length of the frame-envelope extension following
+// the header — bytes the receiver must read before the Len-counted
+// payload. Zero for every v1 frame.
+func (h Header) ExtLen() int {
+	if h.Version >= Version2 && h.Type == TypeTransformReq && h.Flags&FlagTraceCtx != 0 {
+		return TraceCtxSize
+	}
+	return 0
+}
+
+// AppendTransformReqV2 appends a v2 transform-request frame carrying a
+// trace context between header and samples. The sample payload is
+// byte-identical to AppendTransformReq's.
+func AppendTransformReqV2(dst []byte, id uint64, op *TransformOp, tc TraceContext) []byte {
+	var payload int
+	if op.realSamples() {
+		payload = 8 * len(op.RealInput)
+	} else {
+		payload = 16 * len(op.Input)
+	}
+	dst = grow(dst, HeaderSize+TraceCtxSize+payload)
+	base := len(dst)
+	dst = dst[:base+HeaderSize+TraceCtxSize+payload]
+	PutHeader(dst[base:], Header{
+		Len:     uint32(payload),
+		Version: Version2,
+		Type:    TypeTransformReq,
+		Flags:   op.flags() | FlagTraceCtx,
+		ID:      id,
+	})
+	PutTraceContext(dst[base+HeaderSize:], tc)
+	b := dst[base+HeaderSize+TraceCtxSize:]
+	if op.realSamples() {
+		putFloats(b, op.RealInput)
+	} else {
+		putComplex(b, op.Input)
+	}
+	return dst
+}
+
+// AppendTransformOKV2 appends a successful v2 transform-response frame:
+// samples, then spanBlock, then the u32 block-length trailer. An empty
+// spanBlock is legal (the remote recorded nothing); the trailer is
+// still present so the flag's decode path is uniform.
+func AppendTransformOKV2(dst []byte, id uint64, out []complex128, spanBlock []byte) []byte {
+	samples := 16 * len(out)
+	payload := samples + len(spanBlock) + 4
+	dst = grow(dst, HeaderSize+payload)
+	base := len(dst)
+	dst = dst[:base+HeaderSize+payload]
+	PutHeader(dst[base:], Header{
+		Len:     uint32(payload),
+		Version: Version2,
+		Type:    TypeTransformResp,
+		Flags:   FlagSpanBlock,
+		ID:      id,
+	})
+	putComplex(dst[base+HeaderSize:], out)
+	copy(dst[base+HeaderSize+samples:], spanBlock)
+	binary.LittleEndian.PutUint32(dst[base+HeaderSize+samples+len(spanBlock):], uint32(len(spanBlock)))
+	return dst
+}
+
+// SplitSpanBlock splits a FlagSpanBlock response payload into samples
+// and span block. For payloads without the flag it returns the payload
+// unchanged with a nil block, so callers can invoke it unconditionally.
+func SplitSpanBlock(h Header, payload []byte) (samples, spanBlock []byte, err error) {
+	if h.Flags&FlagSpanBlock == 0 {
+		return payload, nil, nil
+	}
+	if len(payload) < 4 {
+		return nil, nil, ErrTruncated
+	}
+	blockLen := int(binary.LittleEndian.Uint32(payload[len(payload)-4:]))
+	if blockLen > len(payload)-4 {
+		return nil, nil, ErrTruncated
+	}
+	cut := len(payload) - 4 - blockLen
+	return payload[:cut], payload[cut : cut+blockLen], nil
+}
+
+// ParseTransformRespV2 decodes a transform-response payload from either
+// protocol version, returning the span block (nil when absent) along
+// with the samples. It is ParseTransformResp plus span-block splitting;
+// error responses never carry blocks.
+func ParseTransformRespV2(h Header, payload []byte, out []complex128) (result []complex128, spanBlock []byte, remoteErr string, err error) {
+	if int(h.Len) != len(payload) {
+		return out[:0], nil, "", ErrTruncated
+	}
+	if h.Flags&FlagError != 0 {
+		return out[:0], nil, string(payload), nil
+	}
+	samples, spanBlock, err := SplitSpanBlock(h, payload)
+	if err != nil {
+		return out[:0], nil, "", err
+	}
+	if len(samples)%16 != 0 {
+		return out[:0], nil, "", ErrTruncated
+	}
+	out = growComplex(out, len(samples)/16)
+	getComplex(out, samples)
+	return out, spanBlock, "", nil
+}
+
+// AppendPongV2 appends a v2 ping response advertising v2 capability via
+// FlagV2 alongside the readiness bit.
+func AppendPongV2(dst []byte, id uint64, ready bool) []byte {
+	dst = grow(dst, HeaderSize)
+	base := len(dst)
+	dst = dst[:base+HeaderSize]
+	flags := FlagV2
+	if ready {
+		flags |= FlagReady
+	}
+	PutHeader(dst[base:], Header{Version: Version2, Type: TypePong, Flags: flags, ID: id})
+	return dst
+}

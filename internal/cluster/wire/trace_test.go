@@ -1,0 +1,193 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	tc := TraceContext{TraceID: 0xfeedface12345678, ParentSpan: 42, Sampled: true}
+	var b [TraceCtxSize]byte
+	PutTraceContext(b[:], tc)
+	got, err := ParseTraceContext(b[:])
+	if err != nil {
+		t.Fatalf("ParseTraceContext: %v", err)
+	}
+	if got != tc {
+		t.Fatalf("round trip: got %+v want %+v", got, tc)
+	}
+	if _, err := ParseTraceContext(b[:TraceCtxSize-1]); err != ErrTruncated {
+		t.Errorf("short ctx: got %v want %v", err, ErrTruncated)
+	}
+	// Unsampled keeps flag byte clear.
+	PutTraceContext(b[:], TraceContext{TraceID: 1})
+	if got, _ := ParseTraceContext(b[:]); got.Sampled {
+		t.Error("unsampled context parsed as sampled")
+	}
+}
+
+func TestTransformReqV2RoundTrip(t *testing.T) {
+	op := &TransformOp{Input: randComplex(32, 3), NoReorder: true}
+	tc := TraceContext{TraceID: 99, ParentSpan: 7, Sampled: true}
+	frame := AppendTransformReqV2(nil, 11, op, tc)
+	h, err := ParseHeader(frame)
+	if err != nil {
+		t.Fatalf("ParseHeader: %v", err)
+	}
+	if h.Version != Version2 || h.Flags&FlagTraceCtx == 0 {
+		t.Fatalf("header: %+v", h)
+	}
+	if h.ExtLen() != TraceCtxSize {
+		t.Fatalf("ExtLen = %d, want %d", h.ExtLen(), TraceCtxSize)
+	}
+	if int(h.Len) != 16*len(op.Input) {
+		t.Fatalf("Len = %d counts the extension; want payload-only %d", h.Len, 16*len(op.Input))
+	}
+	gotTC, err := ParseTraceContext(frame[HeaderSize:])
+	if err != nil {
+		t.Fatalf("ParseTraceContext: %v", err)
+	}
+	if gotTC != tc {
+		t.Fatalf("trace ctx: got %+v want %+v", gotTC, tc)
+	}
+	var got TransformOp
+	if err := ParseTransformReq(h, frame[HeaderSize+TraceCtxSize:], &got); err != nil {
+		t.Fatalf("ParseTransformReq: %v", err)
+	}
+	//fftlint:ignore floatcmp the codec copies samples verbatim; bit-identity is the wire contract
+	if !got.NoReorder || len(got.Input) != len(op.Input) || got.Input[5] != op.Input[5] {
+		t.Fatalf("op mismatch: %+v", got)
+	}
+}
+
+// TestV2SamplePayloadBitIdentical pins the interop contract: a v2
+// request's sample payload is byte-for-byte the v1 encoding, so a
+// receiver's decode path is shared and a v2 client downgrading for a v1
+// peer emits exactly what a v1 client would.
+func TestV2SamplePayloadBitIdentical(t *testing.T) {
+	op := &TransformOp{Real: true, RealInput: []float64{1, 2, 3, 4, 5, 6, 7, 8}}
+	v1 := AppendTransformReq(nil, 5, op)
+	v2 := AppendTransformReqV2(nil, 5, op, TraceContext{TraceID: 1, Sampled: true})
+	if !bytes.Equal(v1[HeaderSize:], v2[HeaderSize+TraceCtxSize:]) {
+		t.Error("v2 sample payload differs from v1 encoding")
+	}
+	h1, _ := ParseHeader(v1)
+	h2, _ := ParseHeader(v2)
+	if h1.Len != h2.Len {
+		t.Errorf("payload lengths differ: v1=%d v2=%d", h1.Len, h2.Len)
+	}
+	if h1.Flags != h2.Flags&^FlagTraceCtx {
+		t.Errorf("op flag bits differ: v1=%#x v2=%#x", h1.Flags, h2.Flags)
+	}
+}
+
+func TestTransformOKV2RoundTrip(t *testing.T) {
+	out := randComplex(16, 4)
+	block := []byte{9, 8, 7, 6, 5}
+	frame := AppendTransformOKV2(nil, 13, out, block)
+	h, err := ParseHeader(frame)
+	if err != nil {
+		t.Fatalf("ParseHeader: %v", err)
+	}
+	if h.Flags&FlagSpanBlock == 0 || h.Version != Version2 {
+		t.Fatalf("header: %+v", h)
+	}
+	if h.ExtLen() != 0 {
+		t.Fatalf("responses carry no envelope extension; ExtLen = %d", h.ExtLen())
+	}
+	got, gotBlock, remoteErr, err := ParseTransformRespV2(h, frame[HeaderSize:], nil)
+	if err != nil || remoteErr != "" {
+		t.Fatalf("ParseTransformRespV2: %v / %q", err, remoteErr)
+	}
+	//fftlint:ignore floatcmp the codec copies samples verbatim; bit-identity is the wire contract
+	if len(got) != len(out) || got[3] != out[3] {
+		t.Fatalf("samples mismatch: %d", len(got))
+	}
+	if !bytes.Equal(gotBlock, block) {
+		t.Fatalf("span block mismatch: %v", gotBlock)
+	}
+}
+
+func TestTransformOKV2EmptyBlock(t *testing.T) {
+	out := randComplex(4, 5)
+	frame := AppendTransformOKV2(nil, 1, out, nil)
+	h, _ := ParseHeader(frame)
+	got, block, remoteErr, err := ParseTransformRespV2(h, frame[HeaderSize:], nil)
+	if err != nil || remoteErr != "" {
+		t.Fatalf("parse: %v / %q", err, remoteErr)
+	}
+	if len(got) != 4 || len(block) != 0 {
+		t.Fatalf("got %d samples, %d block bytes", len(got), len(block))
+	}
+}
+
+// TestParseTransformRespV2AcceptsV1 pins that the v2 parser decodes a
+// v1 response unchanged — the client uses one parse path for both peer
+// generations.
+func TestParseTransformRespV2AcceptsV1(t *testing.T) {
+	out := randComplex(8, 6)
+	frame := AppendTransformOK(nil, 2, out)
+	h, _ := ParseHeader(frame)
+	got, block, remoteErr, err := ParseTransformRespV2(h, frame[HeaderSize:], nil)
+	if err != nil || remoteErr != "" || block != nil {
+		t.Fatalf("parse: %v / %q / block=%v", err, remoteErr, block)
+	}
+	//fftlint:ignore floatcmp the codec copies samples verbatim; bit-identity is the wire contract
+	if len(got) != 8 || got[7] != out[7] {
+		t.Fatalf("samples mismatch")
+	}
+	// And the error path.
+	ef := AppendTransformErr(nil, 3, "boom")
+	eh, _ := ParseHeader(ef)
+	_, _, remoteErr, err = ParseTransformRespV2(eh, ef[HeaderSize:], nil)
+	if err != nil || remoteErr != "boom" {
+		t.Fatalf("error path: %v / %q", err, remoteErr)
+	}
+}
+
+func TestSplitSpanBlockRejectsCorrupt(t *testing.T) {
+	h := Header{Flags: FlagSpanBlock}
+	if _, _, err := SplitSpanBlock(h, []byte{1, 2}); err != ErrTruncated {
+		t.Errorf("short payload: got %v", err)
+	}
+	// Trailer claims a block bigger than the payload.
+	if _, _, err := SplitSpanBlock(h, []byte{0, 0, 0xff, 0xff, 0xff, 0xff}); err != ErrTruncated {
+		t.Errorf("oversized block len: got %v", err)
+	}
+}
+
+func TestPongV2Capability(t *testing.T) {
+	frame := AppendPongV2(nil, 9, true)
+	h, err := ParseHeader(frame)
+	if err != nil {
+		t.Fatalf("ParseHeader: %v", err)
+	}
+	if h.Flags&FlagV2 == 0 || h.Flags&FlagReady == 0 {
+		t.Fatalf("flags = %#x, want FlagV2|FlagReady", h.Flags)
+	}
+	// v1 pong never sets FlagV2.
+	old := AppendPong(nil, 9, true)
+	oh, _ := ParseHeader(old)
+	if oh.Flags&FlagV2 != 0 {
+		t.Fatal("v1 pong advertises v2")
+	}
+	// Not-ready v2 pong still advertises capability.
+	drain := AppendPongV2(nil, 9, false)
+	dh, _ := ParseHeader(drain)
+	if dh.Flags&FlagV2 == 0 || dh.Flags&FlagReady != 0 {
+		t.Fatalf("draining pong flags = %#x", dh.Flags)
+	}
+}
+
+func TestAppendTransformReqV2Allocs(t *testing.T) {
+	op := &TransformOp{Input: randComplex(256, 7)}
+	tc := TraceContext{TraceID: 1, ParentSpan: 2, Sampled: true}
+	buf := AppendTransformReqV2(nil, 1, op, tc)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = AppendTransformReqV2(buf[:0], 1, op, tc)
+	})
+	//fftlint:ignore floatcmp AllocsPerRun returns an exact integer count; zero means zero
+	if allocs != 0 {
+		t.Errorf("AppendTransformReqV2 allocs = %v, want 0", allocs)
+	}
+}

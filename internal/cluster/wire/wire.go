@@ -24,8 +24,9 @@ import (
 	"math"
 )
 
-// Version is the protocol version carried by every header. A receiver
-// rejects frames from a different version rather than guessing.
+// Version is the baseline protocol version. Version2 (trace.go) adds
+// the distributed-tracing extensions; a receiver accepts both and
+// rejects anything else rather than guessing.
 const Version = 1
 
 // HeaderSize is the fixed frame-header length in bytes.
@@ -111,7 +112,7 @@ func ParseHeader(b []byte) (Header, error) {
 		Flags:   binary.LittleEndian.Uint16(b[6:8]),
 		ID:      binary.LittleEndian.Uint64(b[8:16]),
 	}
-	if h.Version != Version {
+	if h.Version != Version && h.Version != Version2 {
 		return Header{}, ErrVersion
 	}
 	if h.Len > MaxPayload {

@@ -35,7 +35,7 @@ func TestParseHeaderRejects(t *testing.T) {
 	if _, err := ParseHeader(b[:HeaderSize-1]); err != ErrShortHeader {
 		t.Errorf("short header: got %v want %v", err, ErrShortHeader)
 	}
-	PutHeader(b[:], Header{Version: Version + 1, Type: TypePing})
+	PutHeader(b[:], Header{Version: Version2 + 1, Type: TypePing})
 	if _, err := ParseHeader(b[:]); err != ErrVersion {
 		t.Errorf("version mismatch: got %v want %v", err, ErrVersion)
 	}

@@ -85,6 +85,7 @@ func (h *Hypercube[T]) ExchangeCompute(bit int, f func(self, partner T, node int
 	h.stats.Steps++
 	h.stats.ComputeSteps++
 	h.stats.LinkTraversals += h.Nodes()
+	h.stats.Words += h.Nodes()
 	if h.cfg.traceEnabled() {
 		detail := fmt.Sprintf("bit %d", bit)
 		h.cfg.Trace.Record(h.Name(), trace.OpExchange, detail, 1)
@@ -153,6 +154,7 @@ func (h *Hypercube[T]) Route(p permute.Permutation) (int, error) {
 		queues[i*dims+d].push(cubePacket[T]{dst: dst, val: h.vals[i]})
 		remaining++
 	}
+	h.stats.Words += remaining
 
 	steps := 0
 	arrivals := h.rarr
@@ -236,6 +238,21 @@ func (h *Hypercube[T]) RouteBitPermutation(bp []int) (int, error) {
 	if err := permute.Permutation(bp).Validate(); err != nil {
 		return 0, fmt.Errorf("netsim: %w", err)
 	}
+	// Words: the induced register permutation relocates exactly the
+	// registers whose address changes under the bit rearrangement — the
+	// same count Route reports for the equivalent permutation, keeping
+	// Words engine-invariant on the conflict-free fast path.
+	moved := 0
+	for a := 0; a < h.Nodes(); a++ {
+		dest := 0
+		for i := 0; i < dims; i++ {
+			dest |= ((a >> uint(i)) & 1) << uint(bp[i])
+		}
+		if dest != a {
+			moved++
+		}
+	}
+	h.stats.Words += moved
 	// Factor bp into transpositions cycle by cycle. Applying swaps in
 	// this order realizes the full bit permutation.
 	cur := append([]int(nil), bp...)

@@ -88,6 +88,7 @@ func (h *Hypermesh[T]) ExchangeCompute(bit int, f func(self, partner T, node int
 	h.stats.Steps++
 	h.stats.ComputeSteps++
 	h.stats.LinkTraversals += h.Nodes()
+	h.stats.Words += h.Nodes()
 	if h.cfg.traceEnabled() {
 		detail := fmt.Sprintf("bit %d", bit)
 		h.cfg.Trace.Record(h.Name(), trace.OpExchange, detail, 1)
@@ -187,6 +188,14 @@ func (h *Hypermesh[T]) PermuteNets(dim int, perms [][]int) error {
 func (h *Hypermesh[T]) Route(p permute.Permutation) (int, error) {
 	if err := validateRoute(h.Name(), h.Nodes(), p); err != nil {
 		return 0, err
+	}
+	// Words counts the registers the caller's permutation relocates,
+	// once, regardless of how many net phases realize it — the
+	// engine-invariant payload volume, not the decomposition's detours.
+	for i, dst := range p {
+		if dst != i {
+			h.stats.Words++
+		}
 	}
 	// Fast path: a permutation that only moves packets within the nets
 	// of a single dimension is itself one net phase — one step.

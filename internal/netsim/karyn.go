@@ -95,6 +95,7 @@ func (k *KAryNCube[T]) ExchangeCompute(bit int, f func(self, partner T, node int
 	k.stats.Steps += d
 	k.stats.ComputeSteps++
 	k.stats.LinkTraversals += d * k.Nodes()
+	k.stats.Words += k.Nodes()
 	if k.cfg.traceEnabled() {
 		detail := fmt.Sprintf("bit %d (ring distance %d)", bit, d)
 		k.cfg.Trace.Record(k.Name(), trace.OpExchange, detail, d)
@@ -180,6 +181,7 @@ func (k *KAryNCube[T]) Route(p permute.Permutation) (int, error) {
 		queues[i*numPorts+port].push(karyPacket[T]{dst: dst, val: k.vals[i]})
 		remaining++
 	}
+	k.stats.Words += remaining
 
 	steps := 0
 	arrivals := k.rarr

@@ -93,6 +93,7 @@ func (m *Mesh[T]) ExchangeCompute(bit int, f func(self, partner T, node int) T) 
 	m.stats.Steps += d
 	m.stats.ComputeSteps++
 	m.stats.LinkTraversals += d * m.Nodes()
+	m.stats.Words += m.Nodes()
 	if m.cfg.traceEnabled() {
 		detail := fmt.Sprintf("bit %d (distance %d)", bit, d)
 		m.cfg.Trace.Record(m.Name(), trace.OpExchange, detail, d)
@@ -263,6 +264,7 @@ func (m *Mesh[T]) Route(p permute.Permutation) (int, error) {
 		queues[i*numDirs+d].push(meshPacket[T]{dst: dst, val: m.vals[i], seq: i})
 		remaining++
 	}
+	m.stats.Words += remaining
 
 	steps := 0
 	arrivals := m.rarr
@@ -346,6 +348,7 @@ func (m *Mesh[T]) ShiftRows(delta int) error {
 	}
 	m.stats.Steps += d
 	m.stats.LinkTraversals += d * m.Nodes()
+	m.stats.Words += m.Nodes()
 	if m.cfg.traceEnabled() {
 		detail := fmt.Sprintf("rows by %d", delta)
 		m.cfg.Trace.Record(m.Name(), trace.OpShift, detail, d)

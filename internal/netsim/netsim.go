@@ -33,6 +33,7 @@ import (
 	"sync"
 
 	"repro/internal/obs"
+	"repro/internal/obs/roofline"
 	"repro/internal/permute"
 	"repro/internal/trace"
 )
@@ -52,6 +53,33 @@ type Stats struct {
 	// MaxQueue is the largest per-node queue length observed while
 	// routing arbitrary permutations (0 for conflict-free schedules).
 	MaxQueue int
+	// Words counts payload words the workload injects into the network:
+	// one per node on every ExchangeCompute, one per relocated register
+	// on every Route (and mesh ShiftRows) call. Unlike Steps and
+	// LinkTraversals, it is topology-invariant by construction — the same
+	// schedule reports the same Words on every machine — so it measures
+	// the workload's intrinsic communication volume, the quantity the
+	// BSP lower bound (internal/obs/roofline) prices. Intermediate hops
+	// taken to realize a relocation are deliberately not re-counted.
+	Words int
+}
+
+// WordBytes is the payload size of one simulated register word: a
+// complex128, matching the serving path's 16 bytes per sample so
+// simulated and measured communication volumes share one unit.
+const WordBytes = 16
+
+// CommBytes converts the counted payload words to bytes.
+func (s Stats) CommBytes() int64 { return int64(s.Words) * WordBytes }
+
+// CommRoofline compares a butterfly run's communication volume against
+// the BSP lower bound for an n-point butterfly on this machine's n PEs
+// (one register each): achieved bytes over optimal bytes, ≥ 1 for any
+// schedule that actually computes the butterfly, 0 when the bound is
+// degenerate (n < 2). All machines report the same ratio for the same
+// schedule because Words is topology-invariant.
+func CommRoofline(n int, s Stats) float64 {
+	return roofline.Ratio(float64(s.CommBytes()), roofline.ButterflyBytes(n, n, WordBytes))
 }
 
 // Config controls simulation execution.

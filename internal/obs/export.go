@@ -37,10 +37,13 @@ type chromeEvent struct {
 }
 
 type chromeArgs struct {
-	ID     int    `json:"id"`
-	Parent int    `json:"parent,omitempty"`
-	Detail string `json:"detail,omitempty"`
-	Steps  int    `json:"steps,omitempty"`
+	ID        int    `json:"id"`
+	Parent    int    `json:"parent,omitempty"`
+	Detail    string `json:"detail,omitempty"`
+	Steps     int    `json:"steps,omitempty"`
+	BytesSent int64  `json:"bytes_sent,omitempty"`
+	BytesRecv int64  `json:"bytes_recv,omitempty"`
+	Remote    bool   `json:"remote,omitempty"`
 }
 
 // chromeTrace is the JSON object form of the trace_event format.
@@ -56,8 +59,15 @@ type chromeTrace struct {
 // its own tid (the root span's id), so concurrent request trees render
 // as separate tracks instead of interleaving on one.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
-	spans := t.Snapshot()
+	return WriteChromeSpans(w, t.Snapshot(), t.epochTime())
+}
 
+// WriteChromeSpans renders an already-captured span set — a slow-trace
+// ring entry, a grafted cross-node tree — in the same Chrome
+// trace_event form as Tracer.WriteChromeTrace. epoch anchors the
+// timestamps; the zero time renders absolute-time microseconds, which
+// the viewers handle fine (they normalize to the earliest event).
+func WriteChromeSpans(w io.Writer, spans []SpanData, epoch time.Time) error {
 	// root[id] = id of the tree root each span belongs to.
 	parent := make(map[int]int, len(spans))
 	for _, s := range spans {
@@ -70,7 +80,6 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		return id
 	}
 
-	epoch := t.epochTime()
 	events := make([]chromeEvent, 0, len(spans))
 	for _, s := range spans {
 		events = append(events, chromeEvent{
@@ -81,7 +90,10 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			Dur:  float64(s.Duration.Nanoseconds()) / 1e3,
 			PID:  1,
 			TID:  rootOf(s.ID),
-			Args: chromeArgs{ID: s.ID, Parent: s.Parent, Detail: s.Detail, Steps: s.Steps},
+			Args: chromeArgs{
+				ID: s.ID, Parent: s.Parent, Detail: s.Detail, Steps: s.Steps,
+				BytesSent: s.BytesSent, BytesRecv: s.BytesRecv, Remote: s.Remote,
+			},
 		})
 	}
 	enc := json.NewEncoder(w)

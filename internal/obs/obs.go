@@ -43,12 +43,13 @@ const (
 // batch request's transforms may create and finish spans from many
 // goroutines at once. A nil *Tracer is the disabled tracer.
 type Tracer struct {
-	mu     sync.Mutex
-	clock  func() time.Time
-	epoch  time.Time
-	spans  []*Span
-	nextID int
-	parent *Span // implicit parent for StartUnder; see SetParent
+	mu      sync.Mutex
+	clock   func() time.Time
+	epoch   time.Time
+	spans   []*Span
+	nextID  int
+	parent  *Span  // implicit parent for StartUnder; see SetParent
+	traceID uint64 // cross-node correlation ID; 0 until set
 }
 
 // New creates an empty tracer using the real clock.
@@ -67,20 +68,55 @@ func NewWithClock(clock func() time.Time) *Tracer {
 type Span struct {
 	t *Tracer
 
-	id     int
-	parent int // 0 = root
-	name   string
-	cat    string
-	detail string
-	steps  int
-	start  time.Time
-	end    time.Time
-	ended  bool
+	id        int
+	parent    int // 0 = root
+	name      string
+	cat       string
+	detail    string
+	steps     int
+	bytesSent int64
+	bytesRecv int64
+	remote    bool // grafted from another node's tracer
+	start     time.Time
+	end       time.Time
+	ended     bool
 }
 
 // Start opens a root span. On a nil tracer it returns nil, and the
 // nil span silently absorbs the rest of the instrumentation calls.
 func (t *Tracer) Start(name string) *Span { return t.start(0, name) }
+
+// StartRPC opens a root span for an incoming cluster RPC — the
+// receiving half of cross-node span propagation. It is Start with the
+// cluster category pre-applied; the spanend analyzer knows it as a
+// span-starting call, so a forgotten End on a node's RPC path is caught
+// statically like any other leak.
+func (t *Tracer) StartRPC(name string) *Span {
+	return t.start(0, name).SetCat(CatCluster)
+}
+
+// SetTraceID stamps the tracer with a cross-node trace ID: the 64-bit
+// correlation key a coordinator mints for one request and every node
+// touching that request logs and propagates.
+func (t *Tracer) SetTraceID(id uint64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.traceID = id
+	t.mu.Unlock()
+}
+
+// TraceID returns the tracer's cross-node trace ID, or 0 when none has
+// been set (single-node traces never need one).
+func (t *Tracer) TraceID() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.traceID
+}
 
 func (t *Tracer) start(parent int, name string) *Span {
 	if t == nil {
@@ -125,6 +161,17 @@ func (s *Span) SetDetail(detail string) *Span {
 	return s
 }
 
+// Detail returns the span's current detail text ("" for the nil span),
+// so callers can append an outcome to a detail set at start.
+func (s *Span) Detail() string {
+	if s == nil {
+		return ""
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	return s.detail
+}
+
 // AddSteps attaches data-transfer step cost to the span; repeated calls
 // accumulate.
 func (s *Span) AddSteps(n int) *Span {
@@ -135,6 +182,39 @@ func (s *Span) AddSteps(n int) *Span {
 	s.steps += n
 	s.t.mu.Unlock()
 	return s
+}
+
+// AddBytes attaches wire-transfer byte counts to the span — bytes this
+// side sent and received while the span was open. Repeated calls
+// accumulate; cluster RPC spans record whole frame sizes here so a
+// trace's byte totals reconcile exactly against the wire-level
+// counters.
+func (s *Span) AddBytes(sent, recv int64) *Span {
+	if s == nil {
+		return nil
+	}
+	s.t.mu.Lock()
+	s.bytesSent += sent
+	s.bytesRecv += recv
+	s.t.mu.Unlock()
+	return s
+}
+
+// ID returns the span's tracer-local identifier (0 for the nil span) —
+// the value cross-node propagation sends as the remote side's parent.
+func (s *Span) ID() int {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// StartTime returns the span's start instant (zero for the nil span).
+func (s *Span) StartTime() time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	return s.start
 }
 
 // End closes the span at the tracer clock's current time. Ending twice
@@ -197,6 +277,13 @@ type SpanData struct {
 	Steps    int           `json:"steps,omitempty"`
 	Start    time.Time     `json:"start"`
 	Duration time.Duration `json:"duration_ns"`
+	// BytesSent and BytesRecv are the wire bytes this side of the span
+	// moved (cluster RPC spans; 0 elsewhere).
+	BytesSent int64 `json:"bytes_sent,omitempty"`
+	BytesRecv int64 `json:"bytes_recv,omitempty"`
+	// Remote marks a span grafted from another node's tracer during
+	// cross-node trace assembly.
+	Remote bool `json:"remote,omitempty"`
 }
 
 // Snapshot returns every span in creation order. Unfinished spans get
@@ -216,14 +303,17 @@ func (t *Tracer) Snapshot() []SpanData {
 			end = now
 		}
 		out[i] = SpanData{
-			ID:       s.id,
-			Parent:   s.parent,
-			Name:     s.name,
-			Cat:      s.cat,
-			Detail:   s.detail,
-			Steps:    s.steps,
-			Start:    s.start,
-			Duration: end.Sub(s.start),
+			ID:        s.id,
+			Parent:    s.parent,
+			Name:      s.name,
+			Cat:       s.cat,
+			Detail:    s.detail,
+			Steps:     s.steps,
+			Start:     s.start,
+			Duration:  end.Sub(s.start),
+			BytesSent: s.bytesSent,
+			BytesRecv: s.bytesRecv,
+			Remote:    s.remote,
 		}
 	}
 	return out

@@ -1,0 +1,261 @@
+package obs
+
+// Cross-node span propagation: the coordinator of a cluster request
+// sends a SpanContext in the wire-frame header extension, the remote
+// node records its half of the work into a fresh tracer, ships the
+// finished spans back as a compact binary block in the response frame,
+// and the coordinator grafts them under the RPC attempt span — one
+// coherent tree per request, exportable through the existing JSON and
+// Chrome trace_event paths.
+//
+// Clocks are not assumed synchronized between nodes. A remote span
+// block carries start offsets relative to the remote RPC root span, and
+// Graft re-bases the whole block at the coordinator-side parent span's
+// start time; absolute cross-node skew therefore cancels out of the
+// assembled tree (the remote subtree can appear up to one network
+// one-way delay earlier than it physically ran, which is the usual
+// distributed-tracing compromise).
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// SpanContext is the propagatable identity of a traced request: what a
+// coordinator puts in the wire-frame header extension so a remote node
+// can attach its spans to the right tree.
+type SpanContext struct {
+	// TraceID is the 64-bit correlation key for the whole cross-node
+	// request; every node handling it logs the same value.
+	TraceID uint64
+	// ParentSpan is the coordinator-side span the remote work nests
+	// under (the RPC attempt span's ID).
+	ParentSpan uint32
+	// Sampled reports whether the coordinator is collecting this trace;
+	// when false the remote node skips span recording entirely.
+	Sampled bool
+}
+
+// NewTraceID mints a random 64-bit trace ID. Randomness (not a
+// sequence) keeps IDs from different coordinators distinct in merged
+// logs without coordination.
+func NewTraceID() uint64 {
+	// Two Uint32 draws: rand.Uint64 needs a *Rand; the global helpers
+	// top out at Uint32 on this API surface.
+	return uint64(rand.Uint32())<<32 | uint64(rand.Uint32())
+}
+
+// ErrSpanBlock reports a malformed remote span block.
+var ErrSpanBlock = errors.New("obs: malformed remote span block")
+
+// Remote span blocks are encoded little-endian:
+//
+//	u32 span count, then per span:
+//	u32 id, u32 parent, i64 startOffsetNs, i64 durationNs,
+//	i64 steps, i64 bytesSent, i64 bytesRecv,
+//	u16-length-prefixed name, cat, detail.
+//
+// Offsets are relative to the block's first span start (the remote RPC
+// root), so the block is clock-free.
+const spanFixedLen = 4 + 4 + 8 + 8 + 8 + 8 + 8
+
+// EncodedSpansLen returns the exact byte length AppendSpans would
+// produce for spans — byte fields are fixed-width, so a span's encoded
+// size does not change when its byte counts are patched later. Nodes
+// use this to record the full response-frame size on the RPC root span
+// before the block is serialized.
+func EncodedSpansLen(spans []SpanData) int {
+	n := 4
+	for _, s := range spans {
+		n += spanFixedLen + 6 + strLen(s.Name) + strLen(s.Cat) + strLen(s.Detail)
+	}
+	return n
+}
+
+// strLen is the encoded payload length of a string field, matching the
+// truncation AppendSpans applies to oversized values.
+func strLen(s string) int {
+	if len(s) > 0xffff {
+		return 0xffff
+	}
+	return len(s)
+}
+
+// AppendSpans appends the binary encoding of spans to dst and returns
+// the extended slice. Span start times are encoded as offsets from the
+// first span's start; an empty spans slice encodes as a bare zero
+// count.
+func AppendSpans(dst []byte, spans []SpanData) []byte {
+	var epoch time.Time
+	if len(spans) > 0 {
+		epoch = spans[0].Start
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(spans)))
+	for _, s := range spans {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(s.ID))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(s.Parent))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(s.Start.Sub(epoch)))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(s.Duration))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(s.Steps))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(s.BytesSent))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(s.BytesRecv))
+		for _, str := range []string{s.Name, s.Cat, s.Detail} {
+			if len(str) > 0xffff {
+				str = str[:0xffff]
+			}
+			dst = binary.LittleEndian.AppendUint16(dst, uint16(len(str)))
+			dst = append(dst, str...)
+		}
+	}
+	return dst
+}
+
+// RemoteSpan is one decoded span from a remote node's block, clock-free
+// (start is an offset from the block's root span).
+type RemoteSpan struct {
+	ID          int
+	Parent      int
+	StartOffset time.Duration
+	Duration    time.Duration
+	Steps       int
+	BytesSent   int64
+	BytesRecv   int64
+	Name        string
+	Cat         string
+	Detail      string
+}
+
+// ParseSpans decodes a remote span block. The block must be exactly
+// consumed; trailing bytes are an error (the wire layer frames blocks
+// with explicit lengths).
+func ParseSpans(b []byte) ([]RemoteSpan, error) {
+	if len(b) < 4 {
+		return nil, ErrSpanBlock
+	}
+	count := binary.LittleEndian.Uint32(b)
+	b = b[4:]
+	if count > uint32(len(b)/spanFixedLen)+1 {
+		return nil, ErrSpanBlock // count cannot fit in the remaining bytes
+	}
+	out := make([]RemoteSpan, 0, count)
+	readStr := func() (string, bool) {
+		if len(b) < 2 {
+			return "", false
+		}
+		n := int(binary.LittleEndian.Uint16(b))
+		b = b[2:]
+		if len(b) < n {
+			return "", false
+		}
+		s := string(b[:n])
+		b = b[n:]
+		return s, true
+	}
+	for i := uint32(0); i < count; i++ {
+		if len(b) < spanFixedLen {
+			return nil, ErrSpanBlock
+		}
+		var rs RemoteSpan
+		rs.ID = int(binary.LittleEndian.Uint32(b))
+		rs.Parent = int(binary.LittleEndian.Uint32(b[4:]))
+		rs.StartOffset = time.Duration(binary.LittleEndian.Uint64(b[8:]))
+		rs.Duration = time.Duration(binary.LittleEndian.Uint64(b[16:]))
+		rs.Steps = int(binary.LittleEndian.Uint64(b[24:]))
+		rs.BytesSent = int64(binary.LittleEndian.Uint64(b[32:]))
+		rs.BytesRecv = int64(binary.LittleEndian.Uint64(b[40:]))
+		b = b[spanFixedLen:]
+		var ok bool
+		if rs.Name, ok = readStr(); !ok {
+			return nil, ErrSpanBlock
+		}
+		if rs.Cat, ok = readStr(); !ok {
+			return nil, ErrSpanBlock
+		}
+		if rs.Detail, ok = readStr(); !ok {
+			return nil, ErrSpanBlock
+		}
+		out = append(out, rs)
+	}
+	if len(b) != 0 {
+		return nil, ErrSpanBlock
+	}
+	return out, nil
+}
+
+// Graft attaches a remote node's span block under parent: every remote
+// span gets a fresh local ID (remote IDs are tracer-local and would
+// collide), the remote parent/child structure is preserved, remote
+// roots (and spans whose parent is missing from the block) hang off
+// parent, and start times are re-based at parent's start. Grafted spans
+// are created already ended and marked Remote. A nil tracer or nil
+// parent is a no-op (untraced requests never assemble).
+func (t *Tracer) Graft(parent *Span, spans []RemoteSpan) {
+	if t == nil || parent == nil || len(spans) == 0 {
+		return
+	}
+	base := parent.StartTime()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// First pass reserves fresh IDs so forward references (a child
+	// encoded before its parent) still remap.
+	ids := make(map[int]int, len(spans))
+	for _, rs := range spans {
+		t.nextID++
+		ids[rs.ID] = t.nextID
+	}
+	for _, rs := range spans {
+		id := ids[rs.ID]
+		pid, ok := ids[rs.Parent]
+		if !ok || rs.Parent == 0 {
+			pid = parent.id
+		}
+		start := base.Add(rs.StartOffset)
+		t.spans = append(t.spans, &Span{
+			t:         t,
+			id:        id,
+			parent:    pid,
+			name:      rs.Name,
+			cat:       rs.Cat,
+			detail:    rs.Detail,
+			steps:     rs.Steps,
+			bytesSent: rs.BytesSent,
+			bytesRecv: rs.BytesRecv,
+			remote:    true,
+			start:     start,
+			end:       start.Add(rs.Duration),
+			ended:     true,
+		})
+	}
+}
+
+// Rollup is the per-request aggregate of one span tree: the wide-event
+// view. Stage timings sum span durations per category; byte totals sum
+// the local (non-remote) spans only, so they reconcile exactly against
+// this node's wire-level counters instead of double-counting the remote
+// side's mirror-image accounting.
+type Rollup struct {
+	StageNs     map[string]int64 // category -> summed span duration (ns)
+	Steps       int              // summed data-transfer step costs
+	BytesSent   int64            // wire bytes sent by local spans
+	BytesRecv   int64            // wire bytes received by local spans
+	Spans       int              // total spans in the tree
+	RemoteSpans int              // spans grafted from other nodes
+}
+
+// RollupOf aggregates a span snapshot into a Rollup.
+func RollupOf(spans []SpanData) Rollup {
+	r := Rollup{StageNs: map[string]int64{}, Spans: len(spans)}
+	for _, s := range spans {
+		r.StageNs[s.Cat] += int64(s.Duration)
+		r.Steps += s.Steps
+		if s.Remote {
+			r.RemoteSpans++
+			continue
+		}
+		r.BytesSent += s.BytesSent
+		r.BytesRecv += s.BytesRecv
+	}
+	return r
+}

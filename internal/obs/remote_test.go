@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock returns a clock that advances step per call.
+func fakeClock(step time.Duration) func() time.Time {
+	t := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	return func() time.Time {
+		t = t.Add(step)
+		return t
+	}
+}
+
+func TestSpanBlockRoundTrip(t *testing.T) {
+	tr := NewWithClock(fakeClock(time.Millisecond))
+	root := tr.StartRPC("cluster.rpc").SetDetail("rid=42").AddBytes(128, 4096)
+	child := root.Child("execute")
+	child.SetCat(CatCompute).AddSteps(17)
+	child.End()
+	root.End()
+
+	snap := tr.Snapshot()
+	wantLen := EncodedSpansLen(snap)
+	blk := AppendSpans(nil, snap)
+	if len(blk) != wantLen {
+		t.Fatalf("EncodedSpansLen=%d but encoded %d bytes", wantLen, len(blk))
+	}
+
+	got, err := ParseSpans(blk)
+	if err != nil {
+		t.Fatalf("ParseSpans: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d spans, want 2", len(got))
+	}
+	r := got[0]
+	if r.Name != "cluster.rpc" || r.Cat != CatCluster || r.Detail != "rid=42" {
+		t.Errorf("root fields = %+v", r)
+	}
+	if r.BytesSent != 128 || r.BytesRecv != 4096 {
+		t.Errorf("root bytes = %d/%d, want 128/4096", r.BytesSent, r.BytesRecv)
+	}
+	if r.StartOffset != 0 {
+		t.Errorf("root start offset = %v, want 0", r.StartOffset)
+	}
+	c := got[1]
+	if c.Parent != r.ID {
+		t.Errorf("child parent = %d, want %d", c.Parent, r.ID)
+	}
+	if c.Steps != 17 || c.Name != "execute" || c.Cat != CatCompute {
+		t.Errorf("child fields = %+v", c)
+	}
+	if c.StartOffset <= 0 || c.Duration <= 0 {
+		t.Errorf("child timing = %v/%v, want positive", c.StartOffset, c.Duration)
+	}
+}
+
+func TestParseSpansRejectsCorrupt(t *testing.T) {
+	blk := AppendSpans(nil, NewWithClock(fakeClock(time.Millisecond)).Snapshot())
+	cases := map[string][]byte{
+		"empty":         nil,
+		"short header":  {1, 2},
+		"huge count":    {0xff, 0xff, 0xff, 0xff},
+		"trailing junk": append(append([]byte{}, blk...), 0),
+	}
+	for name, b := range cases {
+		if _, err := ParseSpans(b); err == nil {
+			t.Errorf("%s: want error, got nil", name)
+		}
+	}
+	// One-span block truncated mid-record.
+	tr := NewWithClock(fakeClock(time.Millisecond))
+	tr.Start("x").End()
+	full := AppendSpans(nil, tr.Snapshot())
+	if _, err := ParseSpans(full[:len(full)-1]); err == nil {
+		t.Error("truncated block: want error, got nil")
+	}
+}
+
+func TestGraftBuildsSingleTree(t *testing.T) {
+	// Remote node records its half.
+	remote := NewWithClock(fakeClock(time.Millisecond))
+	rroot := remote.StartRPC("cluster.rpc")
+	rchild := rroot.Child("execute")
+	rchild.AddSteps(5)
+	rchild.End()
+	rroot.AddBytes(200, 100)
+	rroot.End()
+	blk := AppendSpans(nil, remote.Snapshot())
+
+	// Coordinator grafts it under its attempt span.
+	local := NewWithClock(fakeClock(time.Millisecond))
+	routeSp := local.Start("cluster.route")
+	attempt := routeSp.Child("cluster.attempt")
+	parsed, err := ParseSpans(blk)
+	if err != nil {
+		t.Fatalf("ParseSpans: %v", err)
+	}
+	local.Graft(attempt, parsed)
+	attempt.End()
+	routeSp.End()
+
+	snap := local.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("got %d spans, want 4", len(snap))
+	}
+	byName := map[string]SpanData{}
+	for _, s := range snap {
+		byName[s.Name] = s
+	}
+	rpc, ok := byName["cluster.rpc"]
+	if !ok || !rpc.Remote {
+		t.Fatalf("grafted rpc span missing or not remote: %+v", rpc)
+	}
+	if rpc.Parent != byName["cluster.attempt"].ID {
+		t.Errorf("rpc parent = %d, want attempt %d", rpc.Parent, byName["cluster.attempt"].ID)
+	}
+	exec, ok := byName["execute"]
+	if !ok || !exec.Remote {
+		t.Fatalf("grafted execute span missing or not remote: %+v", exec)
+	}
+	if exec.Parent != rpc.ID {
+		t.Errorf("execute parent = %d, want rpc %d", exec.Parent, rpc.ID)
+	}
+	if rpc.Start != byName["cluster.attempt"].Start {
+		t.Errorf("remote root not re-based at attempt start: %v vs %v",
+			rpc.Start, byName["cluster.attempt"].Start)
+	}
+	// Every span reachable to one root: a single tree.
+	parents := map[int]int{}
+	for _, s := range snap {
+		parents[s.ID] = s.Parent
+	}
+	for _, s := range snap {
+		id := s.ID
+		for parents[id] != 0 {
+			id = parents[id]
+		}
+		if id != byName["cluster.route"].ID {
+			t.Errorf("span %q not rooted at cluster.route", s.Name)
+		}
+	}
+}
+
+func TestGraftNilSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Graft(nil, []RemoteSpan{{ID: 1, Name: "x"}})
+	live := New()
+	live.Graft(nil, []RemoteSpan{{ID: 1, Name: "x"}})
+	if live.Len() != 0 {
+		t.Errorf("nil-parent graft added spans: %d", live.Len())
+	}
+}
+
+func TestRollupOf(t *testing.T) {
+	tr := NewWithClock(fakeClock(time.Millisecond))
+	root := tr.Start("request").SetCat(CatServer)
+	att := root.Child("cluster.attempt")
+	att.SetCat(CatCluster).AddBytes(100, 300)
+	tr.Graft(att, []RemoteSpan{{
+		ID: 1, Name: "cluster.rpc", Cat: CatCluster,
+		Duration: 2 * time.Millisecond, Steps: 9, BytesSent: 300, BytesRecv: 100,
+	}})
+	att.End()
+	root.End()
+
+	r := RollupOf(tr.Snapshot())
+	if r.Spans != 3 || r.RemoteSpans != 1 {
+		t.Errorf("spans=%d remote=%d, want 3/1", r.Spans, r.RemoteSpans)
+	}
+	if r.BytesSent != 100 || r.BytesRecv != 300 {
+		t.Errorf("bytes=%d/%d, want local-only 100/300", r.BytesSent, r.BytesRecv)
+	}
+	if r.Steps != 9 {
+		t.Errorf("steps=%d, want 9", r.Steps)
+	}
+	if r.StageNs[CatServer] <= 0 || r.StageNs[CatCluster] <= 0 {
+		t.Errorf("stage sums missing: %v", r.StageNs)
+	}
+}
+
+func TestTraceID(t *testing.T) {
+	var nilTr *Tracer
+	nilTr.SetTraceID(7) // no panic
+	if nilTr.TraceID() != 0 {
+		t.Error("nil tracer trace ID != 0")
+	}
+	tr := New()
+	if tr.TraceID() != 0 {
+		t.Error("fresh tracer trace ID != 0")
+	}
+	tr.SetTraceID(0xdeadbeef)
+	if tr.TraceID() != 0xdeadbeef {
+		t.Errorf("trace ID = %#x", tr.TraceID())
+	}
+	if NewTraceID() == NewTraceID() && NewTraceID() == NewTraceID() {
+		t.Error("NewTraceID returned identical values repeatedly")
+	}
+}

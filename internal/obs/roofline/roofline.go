@@ -1,0 +1,66 @@
+// Package roofline computes the BSP communication lower bound for
+// butterfly (FFT) computations, giving the serving stack an analytical
+// floor to judge achieved communication against — the communication
+// analogue of an arithmetic roofline.
+//
+// The bound follows Bilardi, Scquizzato and Silvestri ("A Lower Bound
+// Technique for Communication in BSP", PAPERS.md): any BSP computation
+// of an n-input butterfly DAG on p processors, with the input initially
+// balanced across processors, must communicate
+//
+//	Ω( n·log n / log(2n/p) )
+//
+// words in total. The intuition is Hong–Kung's red–blue pebbling
+// argument applied per processor: a processor holding m = n/p words can
+// advance each resident value through at most O(log m) butterfly ranks
+// before every further rank pairs it with a value held elsewhere, so
+// the log₂ n ranks split into at least log n / log(2n/p) communication
+// phases, each moving Ω(n) words across the machine.
+//
+// The package reports the bound with constant 1/2 — the constant the
+// recursive-decomposition proof yields for the exact butterfly DAG —
+// so the floor is conservative (never above the true optimum) and a
+// measured/floor ratio is always ≥ 1 for a correct schedule.
+package roofline
+
+import "math"
+
+// ButterflyWords returns the minimum number of words any BSP schedule
+// must communicate to evaluate an n-input butterfly DAG on p
+// processors:
+//
+//	W(n, p) = n·log₂(n) / (2·log₂(2n/p))
+//
+// n is the transform length and p the processor count. The bound is 0
+// when p < 2 (a single processor communicates nothing) or n < 2 (no
+// butterfly ranks). p is capped at n: with more processors than points
+// the fully distributed bound n·log₂(n)/2 applies — every butterfly
+// pairing crosses processors in at least half the ranks.
+func ButterflyWords(n, p int) float64 {
+	if p < 2 || n < 2 {
+		return 0
+	}
+	if p > n {
+		p = n
+	}
+	nf := float64(n)
+	return nf * math.Log2(nf) / (2 * math.Log2(2*nf/float64(p)))
+}
+
+// ButterflyBytes is ButterflyWords scaled by the machine word size in
+// bytes (16 for complex128, 8 for float64 sample streams).
+func ButterflyBytes(n, p, wordBytes int) float64 {
+	return ButterflyWords(n, p) * float64(wordBytes)
+}
+
+// Ratio returns achieved/floor — the roofline ratio. A value of 1.0
+// means the schedule communicates exactly at the lower bound; larger
+// values measure communication overhead (headers, hedged duplicates,
+// retries, non-optimal routing). Returns 0 when the floor is 0 (no
+// communication required, so no ratio is meaningful).
+func Ratio(achieved, floor float64) float64 {
+	if floor <= 0 {
+		return 0
+	}
+	return achieved / floor
+}

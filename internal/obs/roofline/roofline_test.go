@@ -1,0 +1,63 @@
+package roofline
+
+import (
+	"math"
+	"testing"
+)
+
+func TestButterflyWordsEdgeCases(t *testing.T) {
+	for _, tc := range []struct{ n, p int }{
+		{0, 4}, {1, 4}, {1024, 0}, {1024, 1},
+	} {
+		//fftlint:ignore floatcmp zero is the degenerate-case sentinel the API promises, not an arithmetic result
+		if got := ButterflyWords(tc.n, tc.p); got != 0 {
+			t.Errorf("ButterflyWords(%d,%d) = %v, want 0", tc.n, tc.p, got)
+		}
+	}
+}
+
+func TestButterflyWordsKnownValues(t *testing.T) {
+	// p = n: fully distributed, W = n·log2(n)/2.
+	if got, want := ButterflyWords(1024, 1024), 1024*10/2.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("ButterflyWords(1024,1024) = %v, want %v", got, want)
+	}
+	// p > n clamps to p = n.
+	//fftlint:ignore floatcmp p clamps to n before the formula runs, so both calls are the same expression
+	if got, want := ButterflyWords(64, 1<<20), ButterflyWords(64, 64); got != want {
+		t.Errorf("overclamped = %v, want %v", got, want)
+	}
+	// n=1024, p=2: W = 1024·10 / (2·log2(1024)) = 1024·10/20 = 512.
+	if got, want := ButterflyWords(1024, 2), 512.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("ButterflyWords(1024,2) = %v, want %v", got, want)
+	}
+}
+
+func TestButterflyWordsMonotonicInP(t *testing.T) {
+	// More processors ⇒ less memory per processor ⇒ more communication.
+	prev := 0.0
+	for p := 2; p <= 1024; p *= 2 {
+		w := ButterflyWords(1024, p)
+		if w <= prev {
+			t.Errorf("ButterflyWords(1024,%d) = %v not > previous %v", p, w, prev)
+		}
+		prev = w
+	}
+}
+
+func TestButterflyBytes(t *testing.T) {
+	//fftlint:ignore floatcmp both sides are the identical closed form at integer inputs; exact equality pins the formula
+	if got, want := ButterflyBytes(1024, 2, 16), 512.0*16; got != want {
+		t.Errorf("ButterflyBytes = %v, want %v", got, want)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	//fftlint:ignore floatcmp zero is the degenerate-floor sentinel, not an arithmetic result
+	if got := Ratio(100, 0); got != 0 {
+		t.Errorf("Ratio(100,0) = %v, want 0", got)
+	}
+	//fftlint:ignore floatcmp 200/100 is exact in binary floating point; the quotient contract is pinned bitwise
+	if got := Ratio(200, 100); got != 2 {
+		t.Errorf("Ratio(200,100) = %v, want 2", got)
+	}
+}

@@ -1,0 +1,70 @@
+package parfft
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+)
+
+// TestCommRooflineEngineInvariant pins the communication-roofline
+// acceptance property: the same 64-point FFT schedule reports the same
+// payload word count — and therefore the same achieved-over-optimal
+// ratio — on all four routing engines, and that ratio is ≥ 1 (a real
+// schedule cannot beat the BSP lower bound).
+func TestCommRooflineEngineInvariant(t *testing.T) {
+	const n = 64
+	x := randomSignal(n, 5)
+
+	mesh, err := netsim.NewMesh[complex128](8, true, netsim.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cube, err := netsim.NewHypercube[complex128](6, netsim.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hm, err := netsim.NewHypermesh[complex128](8, 2, netsim.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kc, err := netsim.NewKAryNCube[complex128](8, 2, netsim.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	machines := []netsim.Machine[complex128]{mesh, cube, hm, kc}
+
+	var words []int
+	var ratios []float64
+	for _, m := range machines {
+		if _, err := Run(m, append([]complex128(nil), x...), Options{}); err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		st := m.Stats()
+		if st.Words == 0 {
+			t.Fatalf("%s counted no payload words", m.Name())
+		}
+		r := netsim.CommRoofline(n, st)
+		if r < 1.0 {
+			t.Errorf("%s roofline ratio = %v, want >= 1.0", m.Name(), r)
+		}
+		words = append(words, st.Words)
+		ratios = append(ratios, r)
+	}
+	for i := 1; i < len(machines); i++ {
+		if words[i] != words[0] {
+			t.Errorf("%s counted %d words, %s counted %d — Words must be topology-invariant",
+				machines[i].Name(), words[i], machines[0].Name(), words[0])
+		}
+		//fftlint:ignore floatcmp identical word counts divide by the identical floor; bit-equality pins engine invariance
+		if ratios[i] != ratios[0] {
+			t.Errorf("%s ratio %v != %s ratio %v", machines[i].Name(), ratios[i], machines[0].Name(), ratios[0])
+		}
+	}
+
+	// Pin the absolute count so the accounting cannot silently drift:
+	// log2(64)=6 butterfly exchanges move 64 words each, and the
+	// bit-reversal relocates the 56 non-palindromic 6-bit addresses.
+	if want := 6*64 + 56; words[0] != want {
+		t.Errorf("64-point FFT counted %d words, want %d", words[0], want)
+	}
+}

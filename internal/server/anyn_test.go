@@ -156,7 +156,7 @@ func TestExecuteOpRealInverseRegression(t *testing.T) {
 // outputs bit-identical: both execute the same cached AnyPlan path via
 // executeOp, wherever the ring places the op.
 func TestClusterNonPow2BitIdentical(t *testing.T) {
-	sc := startServerCluster(t, 3)
+	sc := startServerCluster(t, 3, Config{})
 	_, single := newTestServer(t, Config{})
 	rng := rand.New(rand.NewSource(43))
 	for _, n := range []int{48, 97, 360} {

@@ -65,12 +65,12 @@ type serverCluster struct {
 	nodes   []*cluster.Node
 }
 
-func startServerCluster(t *testing.T, n int) *serverCluster {
+func startServerCluster(t *testing.T, n int, cfg Config) *serverCluster {
 	t.Helper()
 	sc := &serverCluster{}
 	addrs := make([]string, n)
 	for i := 0; i < n; i++ {
-		s := New(Config{})
+		s := New(cfg)
 		node, err := cluster.Listen("127.0.0.1:0", cluster.NodeConfig{
 			Exec:  s.ClusterExecutor(),
 			Ready: func() bool { return !s.Draining() },
@@ -149,7 +149,7 @@ func randComplexInput(rng *rand.Rand, n int) []Complex {
 // bit-identical to the same batch served by a single-node fftd,
 // because remote execution reaches the exact same plan-cache code path.
 func TestClusterServesBatchBitIdentical(t *testing.T) {
-	sc := startServerCluster(t, 3)
+	sc := startServerCluster(t, 3, Config{})
 	_, single := newTestServer(t, Config{})
 
 	specs := clusterBatch()
@@ -202,7 +202,7 @@ func TestClusterServesBatchBitIdentical(t *testing.T) {
 // TestClusterMetricsExposed asserts /metrics carries the routing
 // counters in cluster mode (JSON shape satellite).
 func TestClusterMetricsExposed(t *testing.T) {
-	sc := startServerCluster(t, 2)
+	sc := startServerCluster(t, 2, Config{})
 
 	resp := postJSON(t, sc.https[0].URL+"/v1/fft", FFTRequest{Transforms: clusterBatch()[:8]})
 	if resp.StatusCode != http.StatusOK {
@@ -250,7 +250,7 @@ func TestClusterMetricsExposed(t *testing.T) {
 // are now served via Bluestein, so the shape every node still rejects
 // identically at plan time is a non-power-of-two real transform.
 func TestClusterRemoteValidationMapsTo400(t *testing.T) {
-	sc := startServerCluster(t, 2)
+	sc := startServerCluster(t, 2, Config{})
 	bad := TransformSpec{RealInput: make([]float64, 48)} // not a power of two
 	resp := postJSON(t, sc.https[0].URL+"/v1/fft", FFTRequest{TransformSpec: bad})
 	if resp.StatusCode != http.StatusOK {
@@ -267,7 +267,7 @@ func TestClusterRemoteValidationMapsTo400(t *testing.T) {
 // routing counters (cluster mode only), with shard labels in index
 // order so scrapes stay deterministic.
 func TestPromShardAndClusterFamilies(t *testing.T) {
-	sc := startServerCluster(t, 2)
+	sc := startServerCluster(t, 2, Config{})
 	resp := postJSON(t, sc.https[0].URL+"/v1/fft", FFTRequest{Transforms: clusterBatch()[:8]})
 	resp.Body.Close()
 
@@ -305,7 +305,7 @@ func TestPromShardAndClusterFamilies(t *testing.T) {
 // TestClusterDrainStopsRouting: after StartDrain, a peer's heartbeat
 // sees ready=false and routes away from the draining node.
 func TestClusterDrainStopsRouting(t *testing.T) {
-	sc := startServerCluster(t, 2)
+	sc := startServerCluster(t, 2, Config{})
 	// Start heartbeats from node 0's registry against node 1.
 	c0 := sc.servers[0].Cluster()
 	c0.Registry().Start(10*time.Millisecond, c0.Ping)

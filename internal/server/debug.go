@@ -13,21 +13,36 @@ import (
 // ring and served at GET /v1/debug/slow: enough to see where a slow
 // request spent its time without re-running it under a profiler.
 type CapturedTrace struct {
-	RequestID  string         `json:"request_id"`
-	Route      string         `json:"route"`
-	Status     int            `json:"status"`
-	Start      time.Time      `json:"start"`
-	DurationMS float64        `json:"duration_ms"`
-	Sampled    bool           `json:"sampled,omitempty"` // captured by sampling, not slowness
-	Spans      []obs.SpanData `json:"spans"`
+	RequestID  string    `json:"request_id"`
+	Route      string    `json:"route"`
+	Status     int       `json:"status"`
+	Start      time.Time `json:"start"`
+	DurationMS float64   `json:"duration_ms"`
+	Sampled    bool      `json:"sampled,omitempty"` // captured by sampling, not slowness
+	// TraceID is the cross-node trace ID (hex) once the request's trace
+	// crossed the cluster port; empty for purely local traces.
+	TraceID string `json:"trace_id,omitempty"`
+	// WireBytesSent and WireBytesRecv sum the local spans' wire byte
+	// counts — what this coordinator moved for the request. RemoteSpans
+	// counts spans grafted from peers; Spans includes them, so a slow
+	// forwarded request shows where the time went on the other side too.
+	WireBytesSent int64          `json:"wire_bytes_sent,omitempty"`
+	WireBytesRecv int64          `json:"wire_bytes_recv,omitempty"`
+	RemoteSpans   int            `json:"remote_spans,omitempty"`
+	Spans         []obs.SpanData `json:"spans"`
 }
 
 // SlowTraces is the GET /v1/debug/slow body.
 type SlowTraces struct {
 	// Captured counts every capture since start; the ring holds only the
 	// most recent ones.
-	Captured int64           `json:"captured"`
-	Traces   []CapturedTrace `json:"traces"`
+	Captured int64 `json:"captured"`
+	// CommRooflineRatio is the cluster's achieved-over-optimal
+	// communication ratio at serve time (cluster mode only): wire bytes
+	// actually moved divided by the analytical floor. ≥ 1 once any
+	// transform was served remotely; 0 before.
+	CommRooflineRatio float64         `json:"comm_roofline_ratio,omitempty"`
+	Traces            []CapturedTrace `json:"traces"`
 }
 
 // slowRing is a fixed-size ring of captured request traces, newest

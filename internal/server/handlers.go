@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/bits"
 	"repro/internal/cluster"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/hardware"
 	"repro/internal/netsim"
 	"repro/internal/obs"
+	"repro/internal/obs/roofline"
 	"repro/internal/parfft"
 	"repro/internal/perfmodel"
 	"repro/internal/permute"
@@ -411,6 +413,14 @@ type SimulateResponse struct {
 	DeliveredRate float64 `json:"delivered_rate,omitempty"`
 	AvgLatency    float64 `json:"avg_latency,omitempty"`
 
+	// Communication-roofline fields (fft scenario): simulated payload
+	// volume, the BSP lower bound for the same butterfly, and
+	// achieved/optimal — identical across networks for one schedule
+	// because the word count is topology-invariant (netsim.Stats.Words).
+	CommBytes         int64   `json:"comm_bytes,omitempty"`
+	CommFloorBytes    int64   `json:"comm_floor_bytes,omitempty"`
+	CommRooflineRatio float64 `json:"comm_roofline_ratio,omitempty"`
+
 	TotalSteps int          `json:"total_steps"`
 	Stats      netsim.Stats `json:"stats"`
 
@@ -498,6 +508,9 @@ func (s *Server) runSimulation(ctx context.Context, req SimulateRequest) (*Simul
 		resp.TotalSteps = res.TotalSteps()
 		resp.MaxError = fft.MaxAbsDiff(res.Output, want)
 		resp.Stats = m.Stats()
+		resp.CommBytes = resp.Stats.CommBytes()
+		resp.CommFloorBytes = int64(roofline.ButterflyBytes(req.N, req.N, netsim.WordBytes))
+		resp.CommRooflineRatio = netsim.CommRoofline(req.N, resp.Stats)
 		t := report.New(fmt.Sprintf("%d-point distributed FFT on %s", req.N, m.Name()),
 			"quantity", "value")
 		t.MustAddRow("butterfly data-transfer steps", strconv.Itoa(res.ButterflySteps))
@@ -505,6 +518,7 @@ func (s *Server) runSimulation(ctx context.Context, req SimulateRequest) (*Simul
 		t.MustAddRow("total data-transfer steps", strconv.Itoa(res.TotalSteps()))
 		t.MustAddRow("compute steps", strconv.Itoa(res.ComputeSteps))
 		t.MustAddRow("max |error| vs serial FFT", fmt.Sprintf("%.3g", resp.MaxError))
+		t.MustAddRow("comm roofline (achieved/optimal bytes)", fmt.Sprintf("%.2f", resp.CommRooflineRatio))
 		resp.Table = t
 		return resp, nil
 
@@ -759,10 +773,47 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleSlow serves the slow-trace ring: the most recent captured
-// request span trees, newest first.
-func (s *Server) handleSlow(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, SlowTraces{
+// request span trees (remote children included), newest first, plus the
+// cluster's communication-roofline ratio when one is routing.
+// ?format=chrome re-renders the same ring as Chrome trace_event JSON —
+// every captured tree, remote children grafted in place, loadable
+// directly in chrome://tracing or Perfetto.
+func (s *Server) handleSlow(w http.ResponseWriter, r *http.Request) {
+	traces := s.slow.list()
+	if r.URL.Query().Get("format") == "chrome" {
+		// Each capture has its own tracer, so span IDs restart at 1 per
+		// trace; offset them so the flattened set keeps distinct trees
+		// (and therefore distinct tracks) in the viewer.
+		var spans []obs.SpanData
+		offset := 0
+		for _, ct := range traces {
+			maxID := 0
+			for _, sp := range ct.Spans {
+				sp.ID += offset
+				if sp.Parent != 0 {
+					sp.Parent += offset
+				}
+				if sp.ID > maxID {
+					maxID = sp.ID
+				}
+				spans = append(spans, sp)
+			}
+			offset = maxID
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := obs.WriteChromeSpans(w, spans, time.Time{}); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+	body := SlowTraces{
 		Captured: s.metrics.slowCaptured.Load(),
-		Traces:   s.slow.list(),
-	})
+		Traces:   traces,
+	}
+	if s.cluster != nil {
+		m := s.cluster.Metrics()
+		body.CommRooflineRatio = roofline.Ratio(
+			float64(m.WireBytesSent+m.WireBytesRecv), float64(m.CommFloorBytes))
+	}
+	writeJSON(w, body)
 }

@@ -6,6 +6,7 @@ import (
 	"strconv"
 
 	"repro/internal/obs"
+	"repro/internal/obs/roofline"
 )
 
 // writePrometheus renders the full metrics surface in Prometheus text
@@ -108,6 +109,32 @@ func (m *Metrics) writePrometheus(w io.Writer, s Snapshot) error {
 		pw.Sample("fftd_cluster_breaker_skips_total", nil, float64(s.Cluster.BreakerSkips))
 		pw.Header("fftd_cluster_remote_errors_total", "counter", "Application errors returned by peers.")
 		pw.Sample("fftd_cluster_remote_errors_total", nil, float64(s.Cluster.RemoteErrors))
+
+		// Every hedged attempt resolves to exactly one outcome, so the
+		// three series sum to fftd_cluster_hedged_total.
+		pw.Header("fftd_cluster_hedge_outcome_total", "counter", "Hedged attempts by resolution: won the round, lost (errored while it was live), or canceled in flight.")
+		for _, o := range []struct {
+			outcome string
+			v       int64
+		}{
+			{"won", s.Cluster.HedgeWon},
+			{"lost", s.Cluster.HedgeLost},
+			{"canceled", s.Cluster.HedgeCanceled},
+		} {
+			pw.Sample("fftd_cluster_hedge_outcome_total",
+				[]obs.Label{{Name: "outcome", Value: o.outcome}}, float64(o.v))
+		}
+
+		pw.Header("fftd_cluster_comm_bytes_total", "counter", "Transform-RPC wire bytes moved by this node's routing client (whole frames; heartbeat pings excluded).")
+		pw.Sample("fftd_cluster_comm_bytes_total",
+			[]obs.Label{{Name: "direction", Value: "received"}}, float64(s.Cluster.WireBytesRecv))
+		pw.Sample("fftd_cluster_comm_bytes_total",
+			[]obs.Label{{Name: "direction", Value: "sent"}}, float64(s.Cluster.WireBytesSent))
+
+		pw.Header("fftd_comm_roofline_ratio", "gauge", "Achieved cluster communication over the analytical floor (>= 1 once any transform was served remotely; 0 before).")
+		pw.Sample("fftd_comm_roofline_ratio", nil, roofline.Ratio(
+			float64(s.Cluster.WireBytesSent+s.Cluster.WireBytesRecv),
+			float64(s.Cluster.CommFloorBytes)))
 	}
 
 	// Per-route latency histogram with the fixed cumulative bounds of

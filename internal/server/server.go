@@ -22,6 +22,7 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -287,28 +288,67 @@ func (s *Server) route(pattern string, h http.HandlerFunc, traceable bool) {
 			}
 			elapsed := time.Since(start)
 			s.metrics.observe(pattern, rec.status, elapsed)
+			var ro obs.Rollup
 			if tr != nil {
 				root.End()
+				spans := tr.Snapshot()
+				ro = obs.RollupOf(spans)
 				if sampled || (s.cfg.SlowThreshold > 0 && elapsed >= s.cfg.SlowThreshold) {
-					s.slow.add(CapturedTrace{
-						RequestID:  id,
-						Route:      pattern,
-						Status:     rec.status,
-						Start:      start,
-						DurationMS: float64(elapsed) / float64(time.Millisecond),
-						Sampled:    sampled,
-						Spans:      tr.Snapshot(),
-					})
+					ct := CapturedTrace{
+						RequestID:     id,
+						Route:         pattern,
+						Status:        rec.status,
+						Start:         start,
+						DurationMS:    float64(elapsed) / float64(time.Millisecond),
+						Sampled:       sampled,
+						WireBytesSent: ro.BytesSent,
+						WireBytesRecv: ro.BytesRecv,
+						RemoteSpans:   ro.RemoteSpans,
+						Spans:         spans,
+					}
+					if tid := tr.TraceID(); tid != 0 {
+						ct.TraceID = fmt.Sprintf("%016x", tid)
+					}
+					s.slow.add(ct)
 					s.metrics.slowCaptured.Add(1)
 				}
 			}
 			if l := s.cfg.Logger; l != nil {
-				l.LogAttrs(context.Background(), slog.LevelInfo, "request",
+				// One record per request. Traced requests widen it into the
+				// canonical "wide event": the whole request story — stage
+				// timings by span category, wire byte counts, remote span
+				// count, trace ID — on a single queryable line.
+				attrs := []slog.Attr{
 					slog.String("id", id),
 					slog.String("route", pattern),
 					slog.Int("status", rec.status),
 					slog.Duration("elapsed", elapsed),
-				)
+				}
+				if tr != nil {
+					if tid := tr.TraceID(); tid != 0 {
+						attrs = append(attrs, slog.String("trace_id", fmt.Sprintf("%016x", tid)))
+					}
+					attrs = append(attrs,
+						slog.Int("spans", ro.Spans),
+						slog.Int("remote_spans", ro.RemoteSpans),
+						slog.Int64("wire_bytes_sent", ro.BytesSent),
+						slog.Int64("wire_bytes_recv", ro.BytesRecv),
+					)
+					if ro.Steps > 0 {
+						attrs = append(attrs, slog.Int("steps", ro.Steps))
+					}
+					cats := make([]string, 0, len(ro.StageNs))
+					for cat := range ro.StageNs {
+						cats = append(cats, cat)
+					}
+					sort.Strings(cats)
+					stages := make([]any, 0, len(cats))
+					for _, cat := range cats {
+						stages = append(stages, slog.Float64(cat, float64(ro.StageNs[cat])/1e6))
+					}
+					attrs = append(attrs, slog.Group("stage_ms", stages...))
+				}
+				l.LogAttrs(context.Background(), slog.LevelInfo, "request", attrs...)
 			}
 		}()
 		h(rec, r)

@@ -421,6 +421,38 @@ func TestSimulateFFTScenario(t *testing.T) {
 	}
 }
 
+// TestSimulateRooflineInvariant asserts the fft scenario reports the
+// communication roofline and that the ratio is ≥ 1 and identical on
+// every network the endpoint serves — the word count underlying it is
+// topology-invariant, so only the step costs may differ.
+func TestSimulateRooflineInvariant(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var first *SimulateResponse
+	for _, network := range []string{"mesh", "hypercube", "hypermesh"} {
+		resp := postJSON(t, ts.URL+"/v1/simulate",
+			SimulateRequest{Network: network, N: 64, Scenario: "fft", Seed: 3})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s status = %d", network, resp.StatusCode)
+		}
+		body := decode[SimulateResponse](t, resp)
+		if body.CommRooflineRatio < 1.0 {
+			t.Errorf("%s comm_roofline_ratio = %v, want >= 1.0", network, body.CommRooflineRatio)
+		}
+		if body.CommBytes <= 0 || body.CommFloorBytes <= 0 {
+			t.Errorf("%s comm bytes %d / floor %d, want both > 0", network, body.CommBytes, body.CommFloorBytes)
+		}
+		if first == nil {
+			first = &body
+			continue
+		}
+		//fftlint:ignore floatcmp identical word counts divide by the identical floor; bit-equality pins topology invariance
+		if body.CommBytes != first.CommBytes || body.CommRooflineRatio != first.CommRooflineRatio {
+			t.Errorf("%s reports bytes=%d ratio=%v, first network bytes=%d ratio=%v — must be invariant",
+				network, body.CommBytes, body.CommRooflineRatio, first.CommBytes, first.CommRooflineRatio)
+		}
+	}
+}
+
 func TestSimulateRejectsBadInput(t *testing.T) {
 	_, ts := newTestServer(t, Config{MaxSimNodes: 1024})
 	for _, req := range []SimulateRequest{
