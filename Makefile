@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all verify build vet lint test race test-race cover bench bench-compare bench-baseline alloc-baseline alloc-compare gobench fuzz vuln repro serve profile trace metrics-lint cluster-metrics-lint cluster-test cluster-demo load-smoke load-baseline load-compare examples clean
+.PHONY: all verify build vet lint test race test-race cover bench bench-compare bench-baseline alloc-baseline alloc-compare gobench fuzz vuln repro serve profile trace metrics-lint cluster-metrics-lint cluster-test pencil-test cluster-demo load-smoke load-baseline load-compare examples clean
 
 all: verify
 
@@ -56,6 +56,15 @@ profile:
 # race detector. Mirrors the CI cluster job.
 cluster-test:
 	$(GO) test -race -run 'Cluster|Ring|Breaker|Registry|Readyz' -count=1 ./internal/cluster/... ./internal/server/
+
+# pencil-test runs the distributed 2D/3D pencil FFT suites under the
+# race detector: the coordinator/worker unit tests, the 3-node
+# real-TCP bit-identity + mid-transpose node-kill tests, and the
+# /v1/fft2d serving tests. Mirrors the CI pencil job
+# (docs/PENCIL.md).
+pencil-test:
+	$(GO) test -race -count=1 ./internal/pencil/... ./internal/cluster/wire/
+	$(GO) test -race -count=1 -run 'Pencil|FFT2D|RequestBodyLimit' ./internal/cluster ./internal/server/ ./internal/load/
 
 # cluster-demo runs the in-process 3-node ring walkthrough: a
 # 64-transform batch with one node killed mid-batch and zero failed
@@ -118,14 +127,21 @@ cluster-metrics-lint:
 		curl -sf -X POST -d "$$body" http://$(CLUSTER_HTTP1)/v1/fft >/dev/null || exit 1; \
 		curl -sf -X POST -d "$${body%?},\"inverse\":true}" http://$(CLUSTER_HTTP1)/v1/fft >/dev/null || exit 1; \
 	done; \
+	body='{"rows":16,"cols":16,"input":[[1,0]'; i=1; \
+	while [ $$i -lt 256 ]; do body="$$body,[0,0]"; i=$$((i+1)); done; \
+	body="$$body]}"; \
+	curl -sf -X POST -d "$$body" http://$(CLUSTER_HTTP1)/v1/fft2d >/dev/null || exit 1; \
 	for a in $(CLUSTER_HTTP1) $(CLUSTER_HTTP2) $(CLUSTER_HTTP3); do \
 		curl -s -H 'Accept: text/plain' http://$$a/metrics | /tmp/promlint || exit 1; \
 	done; \
 	text=$$(curl -s -H 'Accept: text/plain' http://$(CLUSTER_HTTP1)/metrics); \
-	for fam in fftd_cluster_comm_bytes_total fftd_cluster_hedge_outcome_total fftd_comm_roofline_ratio; do \
+	for fam in fftd_cluster_comm_bytes_total fftd_cluster_hedge_outcome_total fftd_comm_roofline_ratio \
+		fftd_pencil_transforms_total fftd_pencil_rpcs_total fftd_pencil_wire_bytes_total \
+		fftd_pencil_comm_floor_bytes_total fftd_pencil_roofline_ratio fftd_pencil_band_bytes; do \
 		echo "$$text" | grep -q "^$$fam" || { echo "missing family $$fam"; exit 1; }; \
 	done; \
-	echo "$$text" | awk '/^fftd_comm_roofline_ratio/ { if ($$2 + 0 < 1.0) { print "roofline ratio " $$2 " < 1.0"; exit 1 } found = 1 } END { exit !found }' || exit 1
+	echo "$$text" | awk '/^fftd_comm_roofline_ratio/ { if ($$2 + 0 < 1.0) { print "roofline ratio " $$2 " < 1.0"; exit 1 } found = 1 } END { exit !found }' || exit 1; \
+	echo "$$text" | awk '/^fftd_pencil_roofline_ratio/ { if ($$2 + 0 < 1.0) { print "pencil roofline ratio " $$2 " < 1.0"; exit 1 } found = 1 } END { exit !found }' || exit 1
 	@echo "cluster metrics exposition is clean"
 
 # Regenerate every paper table/figure and the recorded outputs.
@@ -211,6 +227,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzPermuteCompose -fuzztime=$(FUZZTIME) ./internal/permute
 	$(GO) test -fuzz=FuzzFFTInverse -fuzztime=$(FUZZTIME) ./internal/fft
 	$(GO) test -fuzz=FuzzAnyPlanDFT -fuzztime=$(FUZZTIME) ./internal/fft
+	$(GO) test -fuzz=FuzzWireDecode -fuzztime=$(FUZZTIME) ./internal/cluster/wire
 
 # vuln scans the module with govulncheck when it is installed; the tool
 # is optional so offline environments are not broken.

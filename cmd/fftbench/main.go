@@ -177,24 +177,44 @@ func cmdCompare(args []string) int {
 	return printComparison(old, cur, *threshold)
 }
 
-// printComparison renders the per-suite deltas and returns the process
-// exit code: 1 when any suite regressed past its threshold.
+// printComparison renders the per-suite deltas — and names the suites
+// that could not be compared, so coverage silently shrinking is visible
+// — then returns the process exit code: 1 when any suite regressed past
+// its threshold.
 func printComparison(old, cur *bench.Report, threshold float64) int {
-	deltas := bench.Compare(old, cur, bench.DefaultThresholds(), threshold)
-	if len(deltas) == 0 {
-		fmt.Println("no common suites to compare")
-		return 0
-	}
-	fmt.Printf("\n%-28s %14s %14s %8s\n", "suite", "old ns/op", "new ns/op", "ratio")
-	for _, d := range deltas {
-		mark := ""
-		if d.Regressed {
-			mark = fmt.Sprintf("  REGRESSION (> %.2fx)", d.Threshold)
-		} else if d.Ratio < 0.90 {
-			mark = "  improved"
+	deltas, skipped := bench.Compare(old, cur, bench.DefaultThresholds(), threshold)
+	if len(deltas) > 0 {
+		fmt.Printf("\n%-28s %14s %14s %8s\n", "suite", "old ns/op", "new ns/op", "ratio")
+		for _, d := range deltas {
+			mark := ""
+			if d.Regressed {
+				mark = fmt.Sprintf("  REGRESSION (> %.2fx)", d.Threshold)
+			} else if d.Ratio < 0.90 {
+				mark = "  improved"
+			}
+			fmt.Printf("%-28s %14.1f %14.1f %7.2fx%s\n",
+				d.Suite, d.OldMedian, d.NewMedian, d.Ratio, mark)
 		}
-		fmt.Printf("%-28s %14.1f %14.1f %7.2fx%s\n",
-			d.Suite, d.OldMedian, d.NewMedian, d.Ratio, mark)
+	} else {
+		fmt.Println("no common suites to compare")
+	}
+	if !skipped.Empty() {
+		fmt.Println()
+		for _, sk := range []struct {
+			names []string
+			why   string
+		}{
+			{skipped.OnlyOld, "only in old report"},
+			{skipped.OnlyNew, "only in new report"},
+			{skipped.Unmeasured, "no usable old median"},
+		} {
+			for _, name := range sk.names {
+				fmt.Printf("skipped %-28s (%s)\n", name, sk.why)
+			}
+		}
+	}
+	if len(deltas) == 0 {
+		return 0
 	}
 	if regs := bench.Regressions(deltas); len(regs) > 0 {
 		fmt.Printf("\n%d suite(s) regressed past threshold\n", len(regs))

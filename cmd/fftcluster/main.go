@@ -114,10 +114,10 @@ func runStatus(addrs []string, timeout time.Duration, asJSON bool) bool {
 		return emitJSON(rows) && healthy
 	}
 	t := report.New(fmt.Sprintf("cluster status (%d nodes)", len(addrs)),
-		"node", "state", "uptime", "transform rpcs", "rpc errors", "pings", "wire in/out", "plan cache")
+		"node", "state", "uptime", "transform rpcs", "pencil rpcs", "rpc errors", "pings", "wire in/out", "plan cache", "pencil bands")
 	for _, r := range rows {
 		if r.Status == nil {
-			t.MustAddRow(r.Addr, "unreachable: "+r.Err, "-", "-", "-", "-", "-", "-")
+			t.MustAddRow(r.Addr, "unreachable: "+r.Err, "-", "-", "-", "-", "-", "-", "-", "-")
 			continue
 		}
 		st := r.Status
@@ -129,17 +129,38 @@ func runStatus(addrs []string, timeout time.Duration, asJSON bool) bool {
 		if st.PlanCache != nil {
 			pc = fmt.Sprintf("%d/%d (%d hits)", st.PlanCache.Size, st.PlanCache.Capacity, st.PlanCache.Hits)
 		}
+		bands := "-"
+		if st.Pencil != nil {
+			bands = fmt.Sprintf("%d open, %s/%s", st.Pencil.OpenJobs,
+				sizeBytes(st.Pencil.BytesInUse), sizeBytes(st.Pencil.MemCap))
+		}
 		t.MustAddRow(r.Addr, state,
 			(time.Duration(st.UptimeSeconds*float64(time.Second))).Round(time.Second).String(),
 			strconv.FormatInt(st.TransformRPCs, 10),
+			strconv.FormatInt(st.PencilRPCs, 10),
 			strconv.FormatInt(st.RPCErrors, 10),
 			strconv.FormatInt(st.Pings, 10),
-			fmt.Sprintf("%d/%d", st.WireBytesRead, st.WireBytesWritten), pc)
+			fmt.Sprintf("%d/%d", st.WireBytesRead, st.WireBytesWritten), pc, bands)
 	}
 	if err := t.Render(os.Stdout); err != nil {
 		return false
 	}
 	return healthy
+}
+
+// sizeBytes renders a byte count with a binary-unit suffix, compact
+// enough for one status cell.
+func sizeBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/float64(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/float64(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/float64(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
 }
 
 // ringShapes are the representative plan shapes the ring report maps to

@@ -6,6 +6,7 @@
 // Endpoints:
 //
 //	POST /v1/fft        single or batch complex/real transforms
+//	POST /v1/fft2d      distributed 2D/3D pencil FFTs (see docs/PENCIL.md)
 //	POST /v1/simulate   run a netsim scenario (fft, bitreversal, random, traffic)
 //	GET  /v1/compare    the paper's Table 1A/1B/2A/2B and bisection numbers
 //	GET  /v1/debug/slow recently captured slow-request span trees
@@ -58,6 +59,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/pencil"
 	"repro/internal/server"
 )
 
@@ -76,6 +78,7 @@ func main() {
 	peers := flag.String("peers", "", "comma-separated peer cluster addresses")
 	nodeID := flag.String("node-id", "", "cluster identity; must be the address peers dial (default: the bound -cluster address)")
 	heartbeat := flag.Duration("heartbeat", time.Second, "cluster heartbeat probe interval")
+	pencilMem := flag.Int64("pencil-mem", 0, "per-node pencil band memory cap in bytes for /v1/fft2d; larger transforms stream out of core (0 = 256 MiB)")
 	flag.Parse()
 
 	cfg := server.Config{
@@ -85,6 +88,7 @@ func main() {
 		PlanCacheSize:    *cacheSize,
 		SlowThreshold:    *slowThreshold,
 		TraceSampleEvery: *traceSample,
+		PencilMemCap:     *pencilMem,
 	}
 	if *logRequests {
 		cfg.Logger = slog.New(slog.NewJSONHandler(os.Stdout, nil))
@@ -143,9 +147,14 @@ func (cr *clusterRuntime) close() {
 // server's drain state, and the status RPC carries plan-cache stats.
 func startCluster(s *server.Server, cc clusterConfig) (*clusterRuntime, error) {
 	node, err := cluster.Listen(cc.Addr, cluster.NodeConfig{
-		ID:    cc.NodeID,
-		Exec:  s.ClusterExecutor(),
-		Ready: func() bool { return !s.Draining() },
+		ID:     cc.NodeID,
+		Exec:   s.ClusterExecutor(),
+		Ready:  func() bool { return !s.Draining() },
+		Pencil: s.PencilWorker(),
+		PencilStats: func() *pencil.WorkerStats {
+			stats := s.PencilWorker().Stats()
+			return &stats
+		},
 		StatusExtra: func(st *cluster.NodeStatus) {
 			stats := s.PlanCache().Stats()
 			st.PlanCache = &stats

@@ -93,9 +93,18 @@ func TestCompareFlagsInjectedSlowdown(t *testing.T) {
 		{Suite: "b", MedianNsPerOp: 490},
 		{Suite: "new", MedianNsPerOp: 1},
 	}}
-	deltas := Compare(old, cur, nil, 1.2)
+	deltas, skipped := Compare(old, cur, nil, 1.2)
 	if len(deltas) != 2 {
 		t.Fatalf("got %d deltas, want 2 (added/removed suites skipped): %+v", len(deltas), deltas)
+	}
+	if len(skipped.OnlyOld) != 1 || skipped.OnlyOld[0] != "gone" {
+		t.Fatalf("skipped.OnlyOld = %v, want [gone]", skipped.OnlyOld)
+	}
+	if len(skipped.OnlyNew) != 1 || skipped.OnlyNew[0] != "new" {
+		t.Fatalf("skipped.OnlyNew = %v, want [new]", skipped.OnlyNew)
+	}
+	if len(skipped.Unmeasured) != 0 {
+		t.Fatalf("skipped.Unmeasured = %v, want empty", skipped.Unmeasured)
 	}
 	regs := Regressions(deltas)
 	if len(regs) != 1 || regs[0].Suite != "a" {
@@ -106,7 +115,7 @@ func TestCompareFlagsInjectedSlowdown(t *testing.T) {
 	}
 
 	// Per-suite threshold override clears the same slowdown.
-	deltas = Compare(old, cur, map[string]float64{"a": 1.3}, 1.2)
+	deltas, _ = Compare(old, cur, map[string]float64{"a": 1.3}, 1.2)
 	if regs := Regressions(deltas); len(regs) != 0 {
 		t.Fatalf("override ignored: %+v", regs)
 	}

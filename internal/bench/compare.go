@@ -35,12 +35,32 @@ type Delta struct {
 	Regressed bool    `json:"regressed"`
 }
 
+// Skipped names the suites a comparison could not diff: present in
+// only one report (renames and additions are not regressions) or
+// common but without a usable old median. The gate prints them so a
+// suite silently dropping out of coverage is visible in the CI log
+// instead of passing as "no regression".
+type Skipped struct {
+	// OnlyOld are suites in the old report but not the new one.
+	OnlyOld []string `json:"only_old,omitempty"`
+	// OnlyNew are suites in the new report but not the old one.
+	OnlyNew []string `json:"only_new,omitempty"`
+	// Unmeasured are common suites whose old median was not positive,
+	// leaving no baseline to compare against.
+	Unmeasured []string `json:"unmeasured,omitempty"`
+}
+
+// Empty reports whether nothing was skipped.
+func (s Skipped) Empty() bool {
+	return len(s.OnlyOld) == 0 && len(s.OnlyNew) == 0 && len(s.Unmeasured) == 0
+}
+
 // Compare diffs two reports suite by suite. Suites present in only one
-// report are skipped (renames and additions are not regressions); the
-// returned deltas follow the new report's suite order. thresholds maps
-// suite name to allowed ratio, falling back to def (or DefaultThreshold
-// when def <= 0).
-func Compare(old, cur *Report, thresholds map[string]float64, def float64) []Delta {
+// report are skipped and returned by name alongside the deltas; the
+// deltas follow the new report's suite order and OnlyOld follows the
+// old report's. thresholds maps suite name to allowed ratio, falling
+// back to def (or DefaultThreshold when def <= 0).
+func Compare(old, cur *Report, thresholds map[string]float64, def float64) ([]Delta, Skipped) {
 	if def <= 0 {
 		def = DefaultThreshold
 	}
@@ -48,10 +68,25 @@ func Compare(old, cur *Report, thresholds map[string]float64, def float64) []Del
 	for _, r := range old.Results {
 		oldBySuite[r.Suite] = r
 	}
+	var skipped Skipped
+	curSuites := make(map[string]bool, len(cur.Results))
+	for _, nr := range cur.Results {
+		curSuites[nr.Suite] = true
+	}
+	for _, or := range old.Results {
+		if !curSuites[or.Suite] {
+			skipped.OnlyOld = append(skipped.OnlyOld, or.Suite)
+		}
+	}
 	deltas := make([]Delta, 0, len(cur.Results))
 	for _, nr := range cur.Results {
 		or, ok := oldBySuite[nr.Suite]
-		if !ok || or.MedianNsPerOp <= 0 {
+		if !ok {
+			skipped.OnlyNew = append(skipped.OnlyNew, nr.Suite)
+			continue
+		}
+		if or.MedianNsPerOp <= 0 {
+			skipped.Unmeasured = append(skipped.Unmeasured, nr.Suite)
 			continue
 		}
 		th := def
@@ -68,7 +103,7 @@ func Compare(old, cur *Report, thresholds map[string]float64, def float64) []Del
 			Regressed: ratio > th,
 		})
 	}
-	return deltas
+	return deltas, skipped
 }
 
 // Regressions filters deltas down to the failing ones.

@@ -18,6 +18,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/obs/roofline"
 	"repro/internal/parfft"
+	"repro/internal/pencil"
 	"repro/internal/permute"
 	"repro/internal/plancache"
 	"repro/internal/server"
@@ -37,6 +38,12 @@ const (
 	splitRadixN = 1 << 14
 	// anyN is a non-power-of-two serving size: the Bluestein path.
 	anyN = 1000
+	// pencilRows x pencilCols is the distributed 2D pencil FFT: three
+	// in-process workers behind the loopback wire codec, so the suite
+	// tracks slab/band scheduling plus shard encode/decode without
+	// socket noise.
+	pencilRows = 64
+	pencilCols = 64
 )
 
 // randComplex fills a deterministic pseudo-random input; every suite
@@ -78,6 +85,7 @@ func All() []Suite {
 		{Name: fmt.Sprintf("netsim/route/hypermesh/n%d", machineN), Setup: setupRoute("hypermesh")},
 		{Name: fmt.Sprintf("fftd/http/fft/n%d", httpN), Setup: setupHTTPFFT},
 		{Name: fmt.Sprintf("cluster/route/n%d", httpN), Setup: setupClusterRoute, Comm: commClusterRoute},
+		{Name: fmt.Sprintf("pencil/2d/%dx%d", pencilRows, pencilCols), Setup: setupPencil, Comm: commPencil},
 	}
 }
 
@@ -294,6 +302,54 @@ func setupRoute(topo string) func() (func() error, func(), error) {
 			return err
 		}, nil, nil
 	}
+}
+
+// ---- distributed pencil FFT ----
+
+// buildPencil stands up the three-worker loopback pencil harness: a
+// shared plan cache (as three fftd nodes would each hold hot plans),
+// deterministic input, and a run configuration routing every shard
+// through the real wire codec.
+func buildPencil() (pencil.Config, pencil.SliceSource, pencil.SliceSink) {
+	cache := plancache.New(16)
+	workers := make(map[string]*pencil.Worker, 3)
+	names := make([]string, 3)
+	for i := range names {
+		names[i] = fmt.Sprintf("w%d", i)
+		workers[names[i]] = pencil.NewWorker(pencil.WorkerConfig{Plans: cache})
+	}
+	in := randComplex(pencilRows*pencilCols, 29)
+	out := make([]complex128, len(in))
+	cfg := pencil.Config{
+		Shape:     pencil.Shape2D(pencilRows, pencilCols),
+		Workers:   names,
+		Transport: pencil.NewLocalTransport(true, workers),
+	}
+	return cfg, pencil.SliceSource{Data: in, Cols: pencilCols}, pencil.SliceSink{Data: out, Cols: pencilCols}
+}
+
+// setupPencil measures one full distributed 2D pencil FFT: row slabs,
+// the deposit transpose, column bands and the gather, with every shard
+// round-tripping the wire codec.
+func setupPencil() (func() error, func(), error) {
+	cfg, src, sink := buildPencil()
+	ctx := context.Background()
+	return func() error {
+		_, err := pencil.Run(ctx, cfg, src, sink)
+		return err
+	}, nil, nil
+}
+
+// commPencil reports one run's wire traffic — whole pencil frames both
+// directions — against the coordinator's analytical transpose floor
+// (sample payload bytes of remote sub-operations).
+func commPencil() (int64, float64, error) {
+	cfg, src, sink := buildPencil()
+	stats, err := pencil.Run(context.Background(), cfg, src, sink)
+	if err != nil {
+		return 0, 0, err
+	}
+	return stats.WireBytesSent + stats.WireBytesRecv, stats.RooflineRatio, nil
 }
 
 // ---- end-to-end service ----

@@ -28,6 +28,7 @@ import (
 	"fmt"
 
 	"repro/internal/cluster/wire"
+	"repro/internal/pencil"
 	"repro/internal/plancache"
 )
 
@@ -116,6 +117,10 @@ type NodeStatus struct {
 	WireBytesRead    int64            `json:"wire_bytes_read"`
 	WireBytesWritten int64            `json:"wire_bytes_written"`
 	PlanCache        *plancache.Stats `json:"plan_cache,omitempty"`
+	// PencilRPCs counts pencil sub-operations served; Pencil snapshots
+	// the node's pencil worker (band memory, open jobs) when one runs.
+	PencilRPCs int64               `json:"pencil_rpcs,omitempty"`
+	Pencil     *pencil.WorkerStats `json:"pencil,omitempty"`
 }
 
 // RemoteError is an application-level failure reported by the peer that

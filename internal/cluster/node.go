@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/cluster/wire"
 	"repro/internal/obs"
+	"repro/internal/pencil"
 )
 
 // NodeConfig configures the server side of the cluster port.
@@ -34,6 +35,13 @@ type NodeConfig struct {
 	// the wire request ID — the receiving half of cross-node span
 	// propagation. Nil keeps the RPC loop Sprintf-free.
 	Obs *obs.Tracer
+	// Pencil, when non-nil, serves the distributed pencil-FFT
+	// sub-operations (a pencil.Worker in fftd). Nil nodes answer pencil
+	// frames with an error response instead of joining the schedule.
+	Pencil PencilExecutor
+	// PencilStats, when non-nil, snapshots the pencil worker for the
+	// status RPC.
+	PencilStats func() *pencil.WorkerStats
 	// RPCTimeout bounds one forwarded transform's execution; 0 means
 	// 30s.
 	RPCTimeout time.Duration
@@ -58,6 +66,7 @@ type Node struct {
 	conns  map[net.Conn]struct{}
 
 	transformRPCs atomic.Int64
+	pencilRPCs    atomic.Int64
 	rpcErrors     atomic.Int64
 	pings         atomic.Int64
 	bytesRead     atomic.Int64
@@ -116,11 +125,15 @@ func (n *Node) Status() NodeStatus {
 		Ready:         n.ready(),
 		UptimeSeconds: time.Since(n.start).Seconds(),
 		TransformRPCs: n.transformRPCs.Load(),
+		PencilRPCs:    n.pencilRPCs.Load(),
 		RPCErrors:     n.rpcErrors.Load(),
 		Pings:         n.pings.Load(),
 
 		WireBytesRead:    n.bytesRead.Load(),
 		WireBytesWritten: n.bytesWritten.Load(),
+	}
+	if n.cfg.PencilStats != nil {
+		s.Pencil = n.cfg.PencilStats()
 	}
 	if n.cfg.StatusExtra != nil {
 		n.cfg.StatusExtra(&s)
@@ -174,6 +187,8 @@ type connScratch struct {
 	ext     [wire.TraceCtxSize]byte
 	payload []byte
 	op      wire.TransformOp
+	pop     wire.PencilOp
+	presp   wire.PencilOp
 	resp    []byte
 	span    []byte
 }
@@ -254,6 +269,8 @@ func (n *Node) serveFrame(c net.Conn, h wire.Header, tc wire.TraceContext, sc *c
 		sc.resp = wire.AppendStatusResp(sc.resp[:0], h.ID, body)
 	case wire.TypeTransformReq:
 		n.serveTransform(h, tc, sc)
+	case wire.TypePencilReq:
+		n.servePencil(h, tc, sc)
 	default:
 		return false
 	}
@@ -336,4 +353,45 @@ func (n *Node) serveTransform(h wire.Header, tc wire.TraceContext, sc *connScrat
 	root.End()
 	sc.span = obs.AppendSpans(sc.span[:0], rt.Snapshot())
 	sc.resp = wire.AppendTransformOKV2(sc.resp[:0], h.ID, out, sc.span)
+}
+
+// servePencil executes one pencil sub-operation into sc.resp. Pencil
+// responses carry no span block (the coordinator's own spans account
+// every byte of the schedule); a sampled trace context still correlates
+// the node-local span with the coordinator's trace ID. Nodes without a
+// pencil executor answer with an error response — the coordinator sees
+// which peer cannot join a schedule instead of a dropped connection.
+func (n *Node) servePencil(h wire.Header, tc wire.TraceContext, sc *connScratch) {
+	n.pencilRPCs.Add(1)
+	if n.cfg.Pencil == nil {
+		n.rpcErrors.Add(1)
+		sc.resp = wire.AppendPencilErr(sc.resp[:0], h.ID, "pencil not supported on this node")
+		return
+	}
+	ctx, cancel := context.WithTimeout(n.ctx, n.cfg.RPCTimeout)
+	defer cancel()
+	ctx = obs.WithRequestID(ctx, h.ID)
+
+	var sp *obs.Span
+	if n.cfg.Obs != nil {
+		sp = n.cfg.Obs.Start("pencil.rpc").SetCat(obs.CatCluster)
+		ctx = obs.WithTracer(ctx, n.cfg.Obs)
+		ctx = obs.WithSpan(ctx, sp)
+	}
+	defer sp.End()
+
+	if err := wire.ParsePencilReq(h, sc.payload, &sc.pop); err != nil {
+		n.rpcErrors.Add(1)
+		sc.resp = wire.AppendPencilErr(sc.resp[:0], h.ID, err.Error())
+		return
+	}
+	if sp != nil {
+		sp.SetDetail(fmt.Sprintf("rid=%016x trace=%016x %s job=%d", h.ID, tc.TraceID, wire.PencilSubName(sc.pop.Sub), sc.pop.Job))
+	}
+	if err := n.cfg.Pencil.ServePencil(ctx, &sc.pop, &sc.presp); err != nil {
+		n.rpcErrors.Add(1)
+		sc.resp = wire.AppendPencilErr(sc.resp[:0], h.ID, err.Error())
+		return
+	}
+	sc.resp = wire.AppendPencilOK(sc.resp[:0], h.ID, &sc.presp)
 }

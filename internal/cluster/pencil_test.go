@@ -1,0 +1,223 @@
+package cluster
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cluster/wire"
+	"repro/internal/fft"
+	"repro/internal/pencil"
+	"repro/internal/plancache"
+)
+
+// startPencilCluster is startTestCluster with a pencil worker installed
+// on every node, the configuration fftd runs with.
+func startPencilCluster(t *testing.T, n int, v1Only map[int]bool) (*testCluster, []*pencil.Worker) {
+	t.Helper()
+	tc := &testCluster{}
+	workers := make([]*pencil.Worker, n)
+	for i := 0; i < n; i++ {
+		cache := plancache.New(32)
+		workers[i] = pencil.NewWorker(pencil.WorkerConfig{Plans: cache})
+		w := workers[i]
+		node, err := Listen("127.0.0.1:0", NodeConfig{
+			Exec:        planExecutor(cache),
+			Pencil:      w,
+			PencilStats: func() *pencil.WorkerStats { s := w.Stats(); return &s },
+			WireV1Only:  v1Only[i],
+		})
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+		tc.nodes = append(tc.nodes, node)
+		tc.addrs = append(tc.addrs, node.Addr())
+	}
+	for i := 0; i < n; i++ {
+		peers := make([]string, 0, n-1)
+		for j, a := range tc.addrs {
+			if j != i {
+				peers = append(peers, a)
+			}
+		}
+		reg := NewRegistry(tc.addrs[i], peers, RegistryConfig{FailThreshold: 2})
+		client, err := NewClient(reg, ClientConfig{
+			Self:  tc.addrs[i],
+			Local: planExecutor(plancache.New(32)),
+		})
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+		tc.regs = append(tc.regs, reg)
+		tc.clients = append(tc.clients, client)
+	}
+	t.Cleanup(func() {
+		for _, c := range tc.clients {
+			c.Close()
+		}
+		for _, r := range tc.regs {
+			r.Stop()
+		}
+		for _, nd := range tc.nodes {
+			_ = nd.Close()
+		}
+	})
+	return tc, workers
+}
+
+// TestPencilClusterBitIdenticalTCP pins the acceptance criterion over
+// real sockets: a 3-node cluster computes 2D pencil FFTs bit-identical
+// to single-node Plan2D for a square, a non-square and a non-power-of-
+// two shape, forward and inverse.
+func TestPencilClusterBitIdenticalTCP(t *testing.T) {
+	tc, workers := startPencilCluster(t, 3, nil)
+	transport := &PencilTransport{Client: tc.clients[0], Self: tc.addrs[0], Local: workers[0]}
+
+	shapes := []struct{ rows, cols int }{{16, 16}, {8, 32}, {12, 20}}
+	for _, sh := range shapes {
+		for _, inverse := range []bool{false, true} {
+			in := randComplexT(sh.rows*sh.cols, int64(sh.rows*1000+sh.cols))
+			ref, err := fft.NewPlan2D(sh.rows, sh.cols)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := make([]complex128, len(in))
+			if inverse {
+				ref.Inverse(want, in)
+			} else {
+				ref.Transform(want, in)
+			}
+
+			got := make([]complex128, len(in))
+			stats, err := pencil.Run(context.Background(), pencil.Config{
+				Shape:     pencil.Shape2D(sh.rows, sh.cols),
+				Inverse:   inverse,
+				Workers:   tc.addrs,
+				Transport: transport,
+			}, pencil.SliceSource{Data: in, Cols: sh.cols}, pencil.SliceSink{Data: got, Cols: sh.cols})
+			if err != nil {
+				t.Fatalf("%dx%d inverse=%v: %v", sh.rows, sh.cols, inverse, err)
+			}
+			if stats.Workers != 3 {
+				t.Fatalf("%dx%d: ran on %d workers, want 3", sh.rows, sh.cols, stats.Workers)
+			}
+			if stats.WireBytesSent == 0 || stats.WireBytesRecv == 0 {
+				t.Fatalf("%dx%d: no wire traffic recorded (%+v)", sh.rows, sh.cols, stats)
+			}
+			if stats.CommFloorBytes <= 0 || stats.RooflineRatio < 1 {
+				t.Fatalf("%dx%d: bad comm accounting: floor=%d ratio=%g", sh.rows, sh.cols, stats.CommFloorBytes, stats.RooflineRatio)
+			}
+			for i := range got {
+				//fftlint:ignore floatcmp the acceptance criterion is bit-identical distributed vs single-node output
+				if got[i] != want[i] {
+					t.Fatalf("%dx%d inverse=%v sample %d: cluster %v, Plan2D %v", sh.rows, sh.cols, inverse, i, got[i], want[i])
+				}
+			}
+		}
+	}
+	for i, w := range workers {
+		st := w.Stats()
+		if st.OpenJobs != 0 || st.BytesInUse != 0 {
+			t.Fatalf("worker %d leaked: %+v", i, st)
+		}
+	}
+	// The remote nodes really served pencil traffic.
+	served := int64(0)
+	for _, nd := range tc.nodes[1:] {
+		served += nd.Status().PencilRPCs
+	}
+	if served == 0 {
+		t.Fatal("no remote pencil RPCs recorded; run never left the coordinator node")
+	}
+}
+
+// killerTransport closes a victim node after its second deposit,
+// simulating a node dying mid-transpose with band state loaded.
+type killerTransport struct {
+	inner    pencil.Transport
+	victim   string
+	node     *Node
+	deposits atomic.Int64
+	once     sync.Once
+}
+
+func (k *killerTransport) Call(ctx context.Context, peer string, req, resp *wire.PencilOp) (int64, int64, error) {
+	if peer == k.victim && req.Sub == wire.PencilDeposit && k.deposits.Add(1) > 2 {
+		k.once.Do(func() { _ = k.node.Close() })
+	}
+	return k.inner.Call(ctx, peer, req, resp)
+}
+
+// TestPencilClusterNodeKillTCP kills a real TCP node mid-transpose: the
+// run must fail with a clean error naming the peer, must not hang, and
+// must not have written a single shard to the sink.
+func TestPencilClusterNodeKillTCP(t *testing.T) {
+	tc, workers := startPencilCluster(t, 3, nil)
+	base := &PencilTransport{Client: tc.clients[0], Self: tc.addrs[0], Local: workers[0]}
+	victim := tc.addrs[1]
+	transport := &killerTransport{inner: base, victim: victim, node: tc.nodes[1]}
+
+	rows, cols := 32, 32
+	in := randComplexT(rows*cols, 7)
+	sink := &countingPencilSink{inner: pencil.SliceSink{Data: make([]complex128, len(in)), Cols: cols}}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := pencil.Run(context.Background(), pencil.Config{
+			Shape:     pencil.Shape2D(rows, cols),
+			Workers:   tc.addrs,
+			Transport: transport,
+		}, pencil.SliceSource{Data: in, Cols: cols}, sink)
+		done <- err
+	}()
+
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("run succeeded despite node kill mid-transpose")
+		}
+		if !strings.Contains(err.Error(), victim) {
+			t.Fatalf("error does not name the dead peer %s: %v", victim, err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("pencil run hung after node kill")
+	}
+	if n := sink.writes.Load(); n != 0 {
+		t.Fatalf("failed run wrote %d shards to the sink; want none", n)
+	}
+}
+
+type countingPencilSink struct {
+	inner  pencil.SliceSink
+	writes atomic.Int64
+}
+
+func (s *countingPencilSink) WriteBand(rowLo, nrows, colLo, ncols int, data []complex128) error {
+	s.writes.Add(1)
+	return s.inner.WriteBand(rowLo, nrows, colLo, ncols, data)
+}
+
+// TestPencilClusterV1PeerRefused pins the version negotiation: a peer
+// whose pong does not advertise wire v2 is refused before any pencil
+// frame is sent, with an error saying why.
+func TestPencilClusterV1PeerRefused(t *testing.T) {
+	tc, workers := startPencilCluster(t, 2, map[int]bool{1: true})
+	transport := &PencilTransport{Client: tc.clients[0], Self: tc.addrs[0], Local: workers[0]}
+
+	in := randComplexT(16*16, 3)
+	out := make([]complex128, len(in))
+	_, err := pencil.Run(context.Background(), pencil.Config{
+		Shape:     pencil.Shape2D(16, 16),
+		Workers:   tc.addrs,
+		Transport: transport,
+	}, pencil.SliceSource{Data: in, Cols: 16}, pencil.SliceSink{Data: out, Cols: 16})
+	if err == nil {
+		t.Fatal("pencil run against a v1-only peer succeeded; want version refusal")
+	}
+	if !strings.Contains(err.Error(), "wire v1") {
+		t.Fatalf("refusal does not explain the version gate: %v", err)
+	}
+}

@@ -1,0 +1,124 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzWireDecode drives arbitrary bytes through the full frame decode
+// path a node runs on every connection: header parse, the v2
+// trace-context extension, and every per-type payload parser including
+// the span-block trailer split and the pencil shard sub-header. The
+// invariant under fuzz is memory safety plus error discipline — a
+// malformed frame must come back as a wire error, never a panic, an
+// over-read or a giant allocation — and any frame that does decode must
+// re-encode to an equivalent decode (round-trip stability).
+func FuzzWireDecode(f *testing.F) {
+	// Seed with one well-formed frame of every type and envelope shape.
+	op := TransformOp{Input: []complex128{1 + 2i, 3 - 4i}}
+	f.Add(AppendTransformReq(nil, 1, &op))
+	f.Add(AppendTransformReqV2(nil, 2, &op, TraceContext{TraceID: 9, ParentSpan: 3, Sampled: true}))
+	realOp := TransformOp{Real: true, RealInput: []float64{1, 2, 3}}
+	f.Add(AppendTransformReq(nil, 3, &realOp))
+	f.Add(AppendTransformOK(nil, 4, []complex128{5i}))
+	f.Add(AppendTransformOKV2(nil, 5, []complex128{6}, []byte{1, 2, 3, 4}))
+	f.Add(AppendTransformErr(nil, 6, "boom"))
+	f.Add(AppendPing(nil, 7))
+	f.Add(AppendPong(nil, 8, true))
+	f.Add(AppendPongV2(nil, 9, false))
+	f.Add(AppendStatusReq(nil, 10))
+	f.Add(AppendStatusResp(nil, 11, []byte(`{"ok":true}`)))
+	pop := PencilOp{Sub: PencilDeposit, Dims: 2, Rows: 4, Cols: 4, RowN: 1, ColN: 2, Job: 12, Data: []complex128{1, 2i}}
+	f.Add(AppendPencilReq(nil, 12, &pop))
+	f.Add(AppendPencilReqTraced(nil, 13, &pop, TraceContext{TraceID: 1}))
+	f.Add(AppendPencilOK(nil, 14, &pop))
+	f.Add(AppendPencilErr(nil, 15, "cap exceeded"))
+	// A few deliberately broken envelopes.
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Add(bytes.Repeat([]byte{0}, HeaderSize))
+
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		h, err := ParseHeader(frame)
+		if err != nil {
+			return
+		}
+		if h.Len > MaxPayload {
+			t.Fatalf("ParseHeader accepted Len %d > MaxPayload", h.Len)
+		}
+		rest := frame[HeaderSize:]
+		ext := h.ExtLen()
+		if ext > 0 {
+			if len(rest) < ext {
+				return // a real node's ext read would hit EOF here
+			}
+			if _, err := ParseTraceContext(rest[:ext]); err != nil {
+				t.Fatalf("fixed-size trace context failed to parse: %v", err)
+			}
+			rest = rest[ext:]
+		}
+		// A node reads exactly Len payload bytes after the envelope;
+		// shorter input is a connection-level EOF, not a parser input.
+		if len(rest) < int(h.Len) {
+			return
+		}
+		payload := rest[:h.Len]
+
+		switch h.Type {
+		case TypeTransformReq:
+			var op TransformOp
+			if err := ParseTransformReq(h, payload, &op); err != nil {
+				return
+			}
+			// Round-trip: re-encoding the decoded op must itself decode.
+			var back TransformOp
+			re := AppendTransformReq(nil, h.ID, &op)
+			rh, err := ParseHeader(re)
+			if err != nil {
+				t.Fatalf("re-encoded transform req header: %v", err)
+			}
+			if err := ParseTransformReq(rh, re[HeaderSize:], &back); err != nil {
+				t.Fatalf("re-encoded transform req payload: %v", err)
+			}
+			if back.N() != op.N() {
+				t.Fatalf("round trip changed N: %d vs %d", back.N(), op.N())
+			}
+		case TypeTransformResp:
+			out, _, _, err := ParseTransformRespV2(h, payload, nil)
+			if err != nil {
+				return
+			}
+			if 16*len(out) > len(payload) {
+				t.Fatalf("decoded %d samples from %d payload bytes", len(out), len(payload))
+			}
+		case TypePencilReq:
+			var op PencilOp
+			if err := ParsePencilReq(h, payload, &op); err != nil {
+				return
+			}
+			if 16*len(op.Data) != len(payload)-PencilHdrSize {
+				t.Fatalf("pencil data %d samples vs payload %d", len(op.Data), len(payload))
+			}
+			re := AppendPencilReq(nil, h.ID, &op)
+			rh, err := ParseHeader(re)
+			if err != nil {
+				t.Fatalf("re-encoded pencil req header: %v", err)
+			}
+			var back PencilOp
+			if err := ParsePencilReq(rh, re[HeaderSize:], &back); err != nil {
+				t.Fatalf("re-encoded pencil req payload: %v", err)
+			}
+			if back.Sub != op.Sub || back.Job != op.Job || len(back.Data) != len(op.Data) {
+				t.Fatalf("pencil round trip mismatch: %+v vs %+v", back, op)
+			}
+		case TypePencilResp:
+			var op PencilOp
+			if _, err := ParsePencilResp(h, payload, &op); err != nil {
+				return
+			}
+		case TypePong:
+			// Flag-only; nothing to parse.
+		default:
+			// Ping/status payloads are opaque.
+		}
+	})
+}

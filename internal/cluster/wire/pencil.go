@@ -1,0 +1,241 @@
+// Pencil shard framing: the wire ops of the distributed 2D/3D pencil
+// FFT (internal/pencil). A pencil run is a short stateful conversation
+// — open a column band, stream row-transformed shards into it, run the
+// column FFTs, read the band back, close — and each step is one
+// request/response pair carrying the same fixed sub-header so every
+// frame is self-describing: shape, slab/band coordinates and the job ID
+// binding the step to its open band.
+//
+// Pencil frames are Version2-only. That is the version negotiation: a
+// v1-only node drops v2 frames at the header check, and the coordinator
+// refuses to schedule pencil work onto peers whose pongs did not
+// advertise FlagV2 (see cluster.PencilTransport). Requests may carry the
+// standard TraceContext extension (FlagTraceCtx); responses carry no
+// span block — the coordinator owns the whole schedule, so its own
+// spans account every byte both directions, and the per-node compute
+// shows up in the nodes' own metrics instead.
+//
+// Like the rest of the package, encode and decode are allocation-free
+// in steady state: encoders append into caller-reused buffers, decoders
+// fill caller-reused slices.
+package wire
+
+import "encoding/binary"
+
+// Pencil message types.
+const (
+	// TypePencilReq carries one pencil sub-operation (Version2 only).
+	TypePencilReq = uint8(7)
+	// TypePencilResp answers a TypePencilReq.
+	TypePencilResp = uint8(8)
+)
+
+// Pencil sub-operations (PencilOp.Sub).
+const (
+	// PencilOpen allocates a column band of a new job on the receiver:
+	// Rows x ColN samples at columns [ColLo, ColLo+ColN), plus column
+	// scratch, counted against the node's pencil memory cap.
+	PencilOpen = uint8(1)
+	// PencilRows row-transforms the carried slab in place and returns
+	// it: Data holds RowN full rows (RowN x Cols samples). Stateless —
+	// the receiver keeps nothing — so it needs no open job.
+	PencilRows = uint8(2)
+	// PencilDeposit stores a shard of row-transformed samples into the
+	// open band: Data holds RowN x ColN samples destined for rows
+	// [RowLo, RowLo+RowN) of the band. The deposit fan-out from each
+	// slab owner to every band owner is the distributed transpose.
+	PencilDeposit = uint8(3)
+	// PencilColFFT runs the length-Rows column transforms over the open
+	// band in place.
+	PencilColFFT = uint8(4)
+	// PencilRead returns rows [RowLo, RowLo+RowN) of the open band
+	// (RowN x ColN samples), the gather half of the inverse transpose.
+	PencilRead = uint8(5)
+	// PencilClose frees the open band.
+	PencilClose = uint8(6)
+)
+
+// PencilHdrSize is the fixed sub-header every pencil payload starts
+// with; sample data follows immediately.
+const PencilHdrSize = 40
+
+// PencilOp is one pencil sub-operation: the decoded sub-header plus the
+// shard samples. Field meaning varies by Sub (see the sub-op
+// constants); unused coordinates are zero. Decoders reuse Data's
+// capacity, so one PencilOp per connection serves every frame on it.
+type PencilOp struct {
+	// Sub selects the sub-operation.
+	Sub uint8
+	// Dims is 2 or 3. For 3D the "rows" of the flattened 2D problem are
+	// x-planes: Rows = nx, Cols = ny*nz, PlaneRows = ny so the receiver
+	// can rebuild the ny x nz plane shape; PlaneRows is 0 for 2D.
+	Dims      uint8
+	Rows      uint32
+	Cols      uint32
+	PlaneRows uint32
+	// RowLo/RowN bound the slab or band-row range the op touches.
+	RowLo uint32
+	RowN  uint32
+	// ColLo/ColN bound the column band.
+	ColLo uint32
+	ColN  uint32
+	// Job binds stateful ops (everything but PencilRows) to one open
+	// band on the receiver.
+	Job uint64
+	// Inverse requests the inverse transform direction (FlagInverse).
+	Inverse bool
+	// Data is the shard payload; may be empty (Open, ColFFT, Close).
+	Data []complex128
+}
+
+// putPencilHdr writes op's sub-header into b, which must hold
+// PencilHdrSize bytes.
+func putPencilHdr(b []byte, op *PencilOp) {
+	_ = b[PencilHdrSize-1]
+	b[0] = op.Sub
+	b[1] = op.Dims
+	b[2], b[3] = 0, 0 // reserved
+	binary.LittleEndian.PutUint32(b[4:8], op.Rows)
+	binary.LittleEndian.PutUint32(b[8:12], op.Cols)
+	binary.LittleEndian.PutUint32(b[12:16], op.PlaneRows)
+	binary.LittleEndian.PutUint32(b[16:20], op.RowLo)
+	binary.LittleEndian.PutUint32(b[20:24], op.RowN)
+	binary.LittleEndian.PutUint32(b[24:28], op.ColLo)
+	binary.LittleEndian.PutUint32(b[28:32], op.ColN)
+	binary.LittleEndian.PutUint64(b[32:40], op.Job)
+}
+
+// parsePencilHdr decodes a sub-header into op (Data untouched).
+func parsePencilHdr(b []byte, op *PencilOp) {
+	op.Sub = b[0]
+	op.Dims = b[1]
+	op.Rows = binary.LittleEndian.Uint32(b[4:8])
+	op.Cols = binary.LittleEndian.Uint32(b[8:12])
+	op.PlaneRows = binary.LittleEndian.Uint32(b[12:16])
+	op.RowLo = binary.LittleEndian.Uint32(b[16:20])
+	op.RowN = binary.LittleEndian.Uint32(b[20:24])
+	op.ColLo = binary.LittleEndian.Uint32(b[24:28])
+	op.ColN = binary.LittleEndian.Uint32(b[28:32])
+	op.Job = binary.LittleEndian.Uint64(b[32:40])
+}
+
+// appendPencil appends one pencil frame of the given type.
+func appendPencil(dst []byte, typ uint8, id uint64, op *PencilOp, tc *TraceContext) []byte {
+	payload := PencilHdrSize + 16*len(op.Data)
+	ext := 0
+	var flags uint16
+	if op.Inverse {
+		flags |= FlagInverse
+	}
+	if tc != nil {
+		flags |= FlagTraceCtx
+		ext = TraceCtxSize
+	}
+	dst = grow(dst, HeaderSize+ext+payload)
+	base := len(dst)
+	dst = dst[:base+HeaderSize+ext+payload]
+	PutHeader(dst[base:], Header{
+		Len:     uint32(payload),
+		Version: Version2,
+		Type:    typ,
+		Flags:   flags,
+		ID:      id,
+	})
+	if tc != nil {
+		PutTraceContext(dst[base+HeaderSize:], *tc)
+	}
+	putPencilHdr(dst[base+HeaderSize+ext:], op)
+	putComplex(dst[base+HeaderSize+ext+PencilHdrSize:], op.Data)
+	return dst
+}
+
+// AppendPencilReq appends a pencil-request frame (header, sub-header,
+// samples) to dst and returns the extended slice.
+func AppendPencilReq(dst []byte, id uint64, op *PencilOp) []byte {
+	return appendPencil(dst, TypePencilReq, id, op, nil)
+}
+
+// AppendPencilReqTraced is AppendPencilReq with a TraceContext
+// extension between header and payload (FlagTraceCtx).
+func AppendPencilReqTraced(dst []byte, id uint64, op *PencilOp, tc TraceContext) []byte {
+	return appendPencil(dst, TypePencilReq, id, op, &tc)
+}
+
+// AppendPencilOK appends a successful pencil-response frame echoing
+// op's sub-header, with op.Data as the result samples.
+func AppendPencilOK(dst []byte, id uint64, op *PencilOp) []byte {
+	return appendPencil(dst, TypePencilResp, id, op, nil)
+}
+
+// AppendPencilErr appends an error pencil-response frame whose payload
+// is the message text (no sub-header; FlagError marks the shape).
+func AppendPencilErr(dst []byte, id uint64, msg string) []byte {
+	payload := len(msg)
+	dst = grow(dst, HeaderSize+payload)
+	base := len(dst)
+	dst = dst[:base+HeaderSize+payload]
+	PutHeader(dst[base:], Header{
+		Len:     uint32(payload),
+		Version: Version2,
+		Type:    TypePencilResp,
+		Flags:   FlagError,
+		ID:      id,
+	})
+	copy(dst[base+HeaderSize:], msg)
+	return dst
+}
+
+// parsePencilPayload decodes a sub-header-plus-samples payload into op,
+// reusing op.Data's capacity.
+func parsePencilPayload(h Header, payload []byte, op *PencilOp) error {
+	if int(h.Len) != len(payload) {
+		return ErrTruncated
+	}
+	if len(payload) < PencilHdrSize || (len(payload)-PencilHdrSize)%16 != 0 {
+		return ErrTruncated
+	}
+	parsePencilHdr(payload, op)
+	op.Inverse = h.Flags&FlagInverse != 0
+	op.Data = growComplex(op.Data, (len(payload)-PencilHdrSize)/16)
+	getComplex(op.Data, payload[PencilHdrSize:])
+	return nil
+}
+
+// ParsePencilReq decodes a pencil-request payload (everything after the
+// header and any trace-context extension) into op, reusing op.Data.
+func ParsePencilReq(h Header, payload []byte, op *PencilOp) error {
+	return parsePencilPayload(h, payload, op)
+}
+
+// ParsePencilResp decodes a pencil-response payload into op. A response
+// carrying FlagError yields the remote error text (one allocation — the
+// error path only) and leaves op untouched.
+func ParsePencilResp(h Header, payload []byte, op *PencilOp) (remoteErr string, err error) {
+	if int(h.Len) != len(payload) {
+		return "", ErrTruncated
+	}
+	if h.Flags&FlagError != 0 {
+		return string(payload), nil
+	}
+	return "", parsePencilPayload(h, payload, op)
+}
+
+// PencilSubName names a pencil sub-operation for diagnostics.
+func PencilSubName(sub uint8) string {
+	switch sub {
+	case PencilOpen:
+		return "open"
+	case PencilRows:
+		return "rows"
+	case PencilDeposit:
+		return "deposit"
+	case PencilColFFT:
+		return "colfft"
+	case PencilRead:
+		return "read"
+	case PencilClose:
+		return "close"
+	default:
+		return "unknown"
+	}
+}

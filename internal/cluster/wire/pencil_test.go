@@ -1,0 +1,174 @@
+package wire
+
+import (
+	"testing"
+)
+
+func pencilOpFixture() PencilOp {
+	return PencilOp{
+		Sub:       PencilDeposit,
+		Dims:      3,
+		Rows:      16,
+		Cols:      24,
+		PlaneRows: 4,
+		RowLo:     8,
+		RowN:      2,
+		ColLo:     6,
+		ColN:      3,
+		Job:       0xfeedbeef,
+		Inverse:   true,
+		Data:      []complex128{1 + 2i, 3 - 4i, 5i, -7, 8 + 8i, -9 - 1i},
+	}
+}
+
+func TestPencilReqRoundTrip(t *testing.T) {
+	op := pencilOpFixture()
+	frame := AppendPencilReq(nil, 42, &op)
+	h, err := ParseHeader(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Type != TypePencilReq || h.Version != Version2 || h.ID != 42 {
+		t.Fatalf("header %+v", h)
+	}
+	if h.ExtLen() != 0 {
+		t.Fatalf("untraced req ExtLen = %d", h.ExtLen())
+	}
+	var got PencilOp
+	if err := ParsePencilReq(h, frame[HeaderSize:], &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Sub != op.Sub || got.Dims != op.Dims || got.Rows != op.Rows ||
+		got.Cols != op.Cols || got.PlaneRows != op.PlaneRows ||
+		got.RowLo != op.RowLo || got.RowN != op.RowN ||
+		got.ColLo != op.ColLo || got.ColN != op.ColN ||
+		got.Job != op.Job || got.Inverse != op.Inverse {
+		t.Fatalf("sub-header mismatch: %+v vs %+v", got, op)
+	}
+	if len(got.Data) != len(op.Data) {
+		t.Fatalf("data length %d vs %d", len(got.Data), len(op.Data))
+	}
+	for i := range got.Data {
+		//fftlint:ignore floatcmp codec round trip must be bit-exact
+		if got.Data[i] != op.Data[i] {
+			t.Fatalf("data[%d] = %v, want %v", i, got.Data[i], op.Data[i])
+		}
+	}
+}
+
+func TestPencilReqTracedRoundTrip(t *testing.T) {
+	op := pencilOpFixture()
+	tc := TraceContext{TraceID: 0xabc, ParentSpan: 7, Sampled: true}
+	frame := AppendPencilReqTraced(nil, 9, &op, tc)
+	h, err := ParseHeader(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.ExtLen() != TraceCtxSize {
+		t.Fatalf("traced pencil req ExtLen = %d, want %d", h.ExtLen(), TraceCtxSize)
+	}
+	gotTC, err := ParseTraceContext(frame[HeaderSize : HeaderSize+TraceCtxSize])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotTC != tc {
+		t.Fatalf("trace context %+v, want %+v", gotTC, tc)
+	}
+	var got PencilOp
+	if err := ParsePencilReq(h, frame[HeaderSize+TraceCtxSize:], &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Job != op.Job || len(got.Data) != len(op.Data) {
+		t.Fatalf("decoded op %+v", got)
+	}
+}
+
+func TestPencilRespRoundTripAndError(t *testing.T) {
+	op := pencilOpFixture()
+	op.Sub = PencilRead
+	frame := AppendPencilOK(nil, 3, &op)
+	h, err := ParseHeader(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got PencilOp
+	remoteErr, err := ParsePencilResp(h, frame[HeaderSize:], &got)
+	if err != nil || remoteErr != "" {
+		t.Fatalf("ok resp: remoteErr=%q err=%v", remoteErr, err)
+	}
+	if got.Sub != PencilRead || len(got.Data) != len(op.Data) {
+		t.Fatalf("decoded resp %+v", got)
+	}
+
+	ef := AppendPencilErr(nil, 4, "band too large")
+	eh, err := ParseHeader(ef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remoteErr, err = ParsePencilResp(eh, ef[HeaderSize:], &got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remoteErr != "band too large" {
+		t.Fatalf("remoteErr = %q", remoteErr)
+	}
+}
+
+func TestPencilParseRejectsCorrupt(t *testing.T) {
+	op := pencilOpFixture()
+	frame := AppendPencilReq(nil, 1, &op)
+	h, _ := ParseHeader(frame)
+	var got PencilOp
+	// Payload shorter than the sub-header.
+	short := Header{Len: 8, Version: Version2, Type: TypePencilReq}
+	if err := ParsePencilReq(short, frame[HeaderSize:HeaderSize+8], &got); err == nil {
+		t.Fatal("short payload accepted")
+	}
+	// Data region not a multiple of 16.
+	bad := h
+	bad.Len = uint32(PencilHdrSize + 7)
+	if err := ParsePencilReq(bad, frame[HeaderSize:HeaderSize+PencilHdrSize+7], &got); err == nil {
+		t.Fatal("ragged data accepted")
+	}
+	// Header/payload length mismatch.
+	if err := ParsePencilReq(h, frame[HeaderSize:len(frame)-16], &got); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+func TestPencilEncodeDecodeAllocFree(t *testing.T) {
+	op := pencilOpFixture()
+	buf := AppendPencilReq(nil, 1, &op)
+	var dec PencilOp
+	h, _ := ParseHeader(buf)
+	if err := ParsePencilReq(h, buf[HeaderSize:], &dec); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = AppendPencilReq(buf[:0], 2, &op)
+		h, _ := ParseHeader(buf)
+		if err := ParsePencilReq(h, buf[HeaderSize:], &dec); err != nil {
+			t.Fatal(err)
+		}
+	})
+	//fftlint:ignore floatcmp AllocsPerRun returns a whole count; the pin is exactly zero
+	if allocs != 0 {
+		t.Fatalf("pencil encode+decode allocates %v per op; want 0", allocs)
+	}
+}
+
+func TestPencilSubName(t *testing.T) {
+	names := map[uint8]string{
+		PencilOpen: "open", PencilRows: "rows", PencilDeposit: "deposit",
+		PencilColFFT: "colfft", PencilRead: "read", PencilClose: "close",
+		99: "unknown",
+	}
+	for sub, want := range names {
+		if got := PencilSubName(sub); got != want {
+			t.Fatalf("PencilSubName(%d) = %q, want %q", sub, got, want)
+		}
+	}
+	if TypeName(TypePencilReq) != "pencil-req" || TypeName(TypePencilResp) != "pencil-resp" {
+		t.Fatal("TypeName missing pencil entries")
+	}
+}

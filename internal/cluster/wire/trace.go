@@ -94,7 +94,8 @@ func ParseTraceContext(b []byte) (TraceContext, error) {
 // the header — bytes the receiver must read before the Len-counted
 // payload. Zero for every v1 frame.
 func (h Header) ExtLen() int {
-	if h.Version >= Version2 && h.Type == TypeTransformReq && h.Flags&FlagTraceCtx != 0 {
+	if h.Version >= Version2 && h.Flags&FlagTraceCtx != 0 &&
+		(h.Type == TypeTransformReq || h.Type == TypePencilReq) {
 		return TraceCtxSize
 	}
 	return 0

@@ -344,6 +344,10 @@ func TypeName(t uint8) string {
 		return "status-req"
 	case TypeStatusResp:
 		return "status-resp"
+	case TypePencilReq:
+		return "pencil-req"
+	case TypePencilResp:
+		return "pencil-resp"
 	default:
 		return fmt.Sprintf("unknown(%d)", t)
 	}

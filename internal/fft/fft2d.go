@@ -3,32 +3,60 @@ package fft
 import (
 	"fmt"
 	"sync"
+
+	"repro/internal/bits"
 )
 
+// Transformer is the interface shared by the 1D plans (*Plan and
+// *AnyPlan): a fixed-length forward and inverse DFT where dst may alias
+// src. The pencil decomposition in internal/pencil runs its row and
+// column stages through this interface so distributed slabs execute the
+// exact same per-element instruction sequence as Plan2D.
+type Transformer interface {
+	Len() int
+	Transform(dst, src []complex128)
+	Inverse(dst, src []complex128)
+}
+
+// NewTransformer picks the 1D plan for length n: the split-radix /
+// four-step Plan for powers of two, Bluestein's AnyPlan otherwise.
+// AnyPlan delegates to Plan at power-of-two sizes, so the choice never
+// changes numerical results — only the construction cost.
+func NewTransformer(n int) (Transformer, error) {
+	if bits.IsPow2(n) {
+		return NewPlan(n)
+	}
+	return NewAnyPlan(n)
+}
+
 // Plan2D computes two-dimensional DFTs of rows x cols arrays by
-// row-column decomposition. Both dimensions must be powers of two. A
-// Plan2D is safe for concurrent use: the only mutable state is the
-// column-buffer pool, which hands each caller its own scratch, so
-// steady-state transforms allocate nothing.
+// row-column decomposition. Any side length >= 1 is supported:
+// power-of-two sides use the split-radix kernels, other sides fall back
+// to Bluestein's chirp-z plan. A Plan2D is safe for concurrent use: the
+// only mutable state is the column-buffer pool, which hands each caller
+// its own scratch, so steady-state transforms allocate nothing.
 type Plan2D struct {
 	rows, cols int
-	rowPlan    *Plan
-	colPlan    *Plan
+	rowT       Transformer // length cols, applied along each row
+	colT       Transformer // length rows, applied down each column
 	// col pools the rows-length column gather/scatter buffer.
 	col sync.Pool
 }
 
-// NewPlan2D creates a 2D transform plan.
+// NewPlan2D creates a 2D transform plan for any rows, cols >= 1.
 func NewPlan2D(rows, cols int) (*Plan2D, error) {
-	rp, err := NewPlan(cols)
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("fft: 2D shape %dx%d has a side < 1", rows, cols)
+	}
+	rt, err := NewTransformer(cols)
 	if err != nil {
 		return nil, fmt.Errorf("fft: 2D plan cols: %w", err)
 	}
-	cp, err := NewPlan(rows)
+	ct, err := NewTransformer(rows)
 	if err != nil {
 		return nil, fmt.Errorf("fft: 2D plan rows: %w", err)
 	}
-	p := &Plan2D{rows: rows, cols: cols, rowPlan: rp, colPlan: cp}
+	p := &Plan2D{rows: rows, cols: cols, rowT: rt, colT: ct}
 	p.col.New = func() any {
 		b := make([]complex128, rows)
 		return &b
@@ -48,39 +76,82 @@ func (p *Plan2D) checkLen(x []complex128) {
 // Transform computes the forward 2D DFT of the row-major array src into
 // dst (which may alias src).
 func (p *Plan2D) Transform(dst, src []complex128) {
-	p.apply(dst, src, p.rowPlan.Transform, p.colPlan.Transform)
+	p.apply(dst, src, false)
 }
 
 // Inverse computes the inverse 2D DFT of src into dst (may alias).
 func (p *Plan2D) Inverse(dst, src []complex128) {
-	p.apply(dst, src, p.rowPlan.Inverse, p.colPlan.Inverse)
+	p.apply(dst, src, true)
 }
 
-// apply runs the row-column decomposition with the given 1D transforms,
-// gathering each column through a pooled scratch buffer.
-func (p *Plan2D) apply(dst, src []complex128, rowFn, colFn func(dst, src []complex128)) {
+// apply runs the row-column decomposition: the row stage over the whole
+// array, then the column stage through a pooled gather/scatter buffer.
+// Both stages go through the same slab primitives the distributed
+// pencil path uses, so single-node and distributed execution share the
+// per-element operation order exactly.
+func (p *Plan2D) apply(dst, src []complex128, inverse bool) {
 	p.checkLen(src)
 	p.checkLen(dst)
 	if &dst[0] != &src[0] {
 		copy(dst, src)
 	}
-	// Rows first.
-	for r := 0; r < p.rows; r++ {
-		row := dst[r*p.cols : (r+1)*p.cols]
-		rowFn(row, row)
-	}
-	// Then columns, via the pooled column buffer.
+	p.TransformRows(dst, inverse)
 	//fftlint:ignore hotalloc pool.Get's New path allocates once per buffer, then reuses
 	cp := p.col.Get().(*[]complex128)
-	col := *cp
-	for c := 0; c < p.cols; c++ {
-		for r := 0; r < p.rows; r++ {
-			col[r] = dst[r*p.cols+c]
-		}
-		colFn(col, col)
-		for r := 0; r < p.rows; r++ {
-			dst[r*p.cols+c] = col[r]
+	TransformColumns(p.colT, dst, p.rows, p.cols, inverse, *cp)
+	p.col.Put(cp)
+}
+
+// TransformRows runs only the row stage of the decomposition over x,
+// which holds len(x)/cols consecutive row-major rows — a contiguous
+// slab of the full array, not necessarily all of it. This is the
+// per-node compute step of the distributed pencil decomposition: each
+// node transforms the rows it owns, and the column stage happens after
+// the transpose.
+func (p *Plan2D) TransformRows(x []complex128, inverse bool) {
+	if p.cols == 0 || len(x)%p.cols != 0 {
+		panic(fmt.Sprintf("fft: slab length %d is not a multiple of cols %d", len(x), p.cols))
+	}
+	for off := 0; off < len(x); off += p.cols {
+		row := x[off : off+p.cols]
+		if inverse {
+			p.rowT.Inverse(row, row)
+		} else {
+			p.rowT.Transform(row, row)
 		}
 	}
-	p.col.Put(cp)
+}
+
+// TransformColumns applies the length-rows transform t down each column
+// of the row-major rows x cols band x: column c is gathered with stride
+// cols into scratch, transformed, and scattered back, for c = 0..cols-1
+// in order. The band may be any contiguous run of full-height columns
+// of a larger array (a pencil), which is how the distributed column
+// stage runs on the node that owns those columns after the transpose.
+// scratch must have length >= rows; it exists so hot callers can reuse
+// one buffer across bands.
+func TransformColumns(t Transformer, x []complex128, rows, cols int, inverse bool, scratch []complex128) {
+	if len(x) != rows*cols {
+		panic(fmt.Sprintf("fft: band length %d does not match %dx%d", len(x), rows, cols))
+	}
+	if t.Len() != rows {
+		panic(fmt.Sprintf("fft: column plan length %d does not match rows %d", t.Len(), rows))
+	}
+	if len(scratch) < rows {
+		panic(fmt.Sprintf("fft: column scratch length %d < rows %d", len(scratch), rows))
+	}
+	col := scratch[:rows]
+	for c := 0; c < cols; c++ {
+		for r := 0; r < rows; r++ {
+			col[r] = x[r*cols+c]
+		}
+		if inverse {
+			t.Inverse(col, col)
+		} else {
+			t.Transform(col, col)
+		}
+		for r := 0; r < rows; r++ {
+			x[r*cols+c] = col[r]
+		}
+	}
 }

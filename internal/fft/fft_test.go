@@ -304,16 +304,8 @@ func TestPowerSpectrumPeak(t *testing.T) {
 	}
 }
 
-func TestPlan2DMatchesDirect2D(t *testing.T) {
-	rows, cols := 8, 16
-	p, err := NewPlan2D(rows, cols)
-	if err != nil {
-		t.Fatal(err)
-	}
-	x := randomSignal(rows*cols, 81)
-	got := make([]complex128, rows*cols)
-	p.Transform(got, x)
-	// Direct O(n^2) 2D DFT.
+// direct2D is the O(n^2) 2D DFT oracle.
+func direct2D(x []complex128, rows, cols int) []complex128 {
 	want := make([]complex128, rows*cols)
 	for kr := 0; kr < rows; kr++ {
 		for kc := 0; kc < cols; kc++ {
@@ -327,8 +319,112 @@ func TestPlan2DMatchesDirect2D(t *testing.T) {
 			want[kr*cols+kc] = sum
 		}
 	}
+	return want
+}
+
+func TestPlan2DMatchesDirect2D(t *testing.T) {
+	// 8x16 exercises the pure power-of-two path, 12x20 the Bluestein
+	// fallback on both sides; both shapes are the satellite property
+	// check that also pins the pencil decomposition (internal/pencil
+	// asserts bit-identity against Plan2D on top of this oracle).
+	for _, shape := range [][2]int{{8, 16}, {12, 20}} {
+		rows, cols := shape[0], shape[1]
+		p, err := NewPlan2D(rows, cols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := randomSignal(rows*cols, 81)
+		got := make([]complex128, rows*cols)
+		p.Transform(got, x)
+		if d := MaxAbsDiff(got, direct2D(x, rows, cols)); d > 1e-7 {
+			t.Fatalf("%dx%d transform differs from direct by %g", rows, cols, d)
+		}
+		p.Inverse(got, got)
+		if d := MaxAbsDiff(got, x); d > 1e-9 {
+			t.Fatalf("%dx%d round trip diff %g", rows, cols, d)
+		}
+	}
+}
+
+func TestPlan2DSlabStagesMatchWhole(t *testing.T) {
+	// Running the row stage slab-by-slab and the column stage
+	// band-by-band must reproduce Transform bit for bit: the pencil
+	// decomposition's correctness rests on this equality.
+	rows, cols := 12, 20
+	p, err := NewPlan2D(rows, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randomSignal(rows*cols, 83)
+	want := make([]complex128, rows*cols)
+	p.Transform(want, x)
+
+	got := make([]complex128, rows*cols)
+	copy(got, x)
+	// Row stage in two uneven slabs.
+	p.TransformRows(got[:5*cols], false)
+	p.TransformRows(got[5*cols:], false)
+	// Column stage gathered band by band out of the row-major array,
+	// exactly as the distributed transpose delivers it.
+	colT, err := NewTransformer(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := make([]complex128, rows)
+	for colLo := 0; colLo < cols; colLo += 7 {
+		bw := cols - colLo
+		if bw > 7 {
+			bw = 7
+		}
+		band := make([]complex128, rows*bw)
+		for r := 0; r < rows; r++ {
+			copy(band[r*bw:(r+1)*bw], got[r*cols+colLo:r*cols+colLo+bw])
+		}
+		TransformColumns(colT, band, rows, bw, false, scratch)
+		for r := 0; r < rows; r++ {
+			copy(got[r*cols+colLo:r*cols+colLo+bw], band[r*bw:(r+1)*bw])
+		}
+	}
+	for i := range got {
+		//fftlint:ignore floatcmp the slab stages must be bit-identical to the whole-array path
+		if got[i] != want[i] {
+			t.Fatalf("slab-staged output differs from Transform at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPlan3DMatchesDirect3D(t *testing.T) {
+	nx, ny, nz := 4, 6, 8
+	p, err := NewPlan3D(nx, ny, nz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randomSignal(nx*ny*nz, 87)
+	got := make([]complex128, len(x))
+	p.Transform(got, x)
+	want := make([]complex128, len(x))
+	for kx := 0; kx < nx; kx++ {
+		for ky := 0; ky < ny; ky++ {
+			for kz := 0; kz < nz; kz++ {
+				var sum complex128
+				for ix := 0; ix < nx; ix++ {
+					for iy := 0; iy < ny; iy++ {
+						for iz := 0; iz < nz; iz++ {
+							angle := -2 * math.Pi * (float64(kx*ix)/float64(nx) + float64(ky*iy)/float64(ny) + float64(kz*iz)/float64(nz))
+							sum += x[(ix*ny+iy)*nz+iz] * cmplx.Exp(complex(0, angle))
+						}
+					}
+				}
+				want[(kx*ny+ky)*nz+kz] = sum
+			}
+		}
+	}
 	if d := MaxAbsDiff(got, want); d > 1e-7 {
-		t.Fatalf("2D transform differs from direct by %g", d)
+		t.Fatalf("3D transform differs from direct by %g", d)
+	}
+	p.Inverse(got, got)
+	if d := MaxAbsDiff(got, x); d > 1e-9 {
+		t.Fatalf("3D round trip diff %g", d)
 	}
 }
 
@@ -350,11 +446,19 @@ func TestPlan2DRoundTrip(t *testing.T) {
 }
 
 func TestPlan2DRejectsBadShapes(t *testing.T) {
-	if _, err := NewPlan2D(3, 8); err == nil {
-		t.Fatal("rows=3 accepted")
+	// Non-power-of-two sides are legal since the Bluestein fallback;
+	// only non-positive sides are rejected.
+	if _, err := NewPlan2D(0, 8); err == nil {
+		t.Fatal("rows=0 accepted")
 	}
-	if _, err := NewPlan2D(8, 12); err == nil {
-		t.Fatal("cols=12 accepted")
+	if _, err := NewPlan2D(8, -1); err == nil {
+		t.Fatal("cols=-1 accepted")
+	}
+	if _, err := NewPlan2D(3, 8); err != nil {
+		t.Fatalf("rows=3 rejected: %v", err)
+	}
+	if _, err := NewPlan3D(2, 0, 4); err == nil {
+		t.Fatal("ny=0 accepted")
 	}
 }
 

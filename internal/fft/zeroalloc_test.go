@@ -13,7 +13,15 @@ func pinZeroAllocs(t *testing.T, name string, fn func()) {
 	fn() // warm the pools
 	//fftlint:ignore floatcmp AllocsPerRun counts whole objects; the assertion is exactly zero
 	if n := testing.AllocsPerRun(20, fn); n != 0 {
-		t.Fatalf("%s: %v allocs/op, want 0", name, n)
+		// A GC cycle inside the measured window empties the scratch
+		// pools (and the race-mode runtime sheds sync.Pool puts), so a
+		// buffer refills once — a one-off, not a leak. Retry once: a
+		// real per-call allocation repeats in every run and still
+		// fails.
+		//fftlint:ignore floatcmp see above
+		if n = testing.AllocsPerRun(20, fn); n != 0 {
+			t.Fatalf("%s: %v allocs/op, want 0", name, n)
+		}
 	}
 }
 

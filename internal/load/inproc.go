@@ -116,8 +116,9 @@ func StartInprocCluster(n int, cfg server.Config) (*InprocTarget, error) {
 		s := server.New(cfg)
 		t.servers = append(t.servers, s)
 		node, err := cluster.Listen("127.0.0.1:0", cluster.NodeConfig{
-			Exec:  s.ClusterExecutor(),
-			Ready: func() bool { return !s.Draining() },
+			Exec:   s.ClusterExecutor(),
+			Ready:  func() bool { return !s.Draining() },
+			Pencil: s.PencilWorker(),
 		})
 		if err != nil {
 			return fail(fmt.Errorf("load: cluster node %d: %w", i, err))

@@ -45,11 +45,16 @@ const (
 	// OpSimulate is a netsim scenario run (POST /v1/simulate) — the
 	// heavyweight cohort of a realistic mix.
 	OpSimulate Op = "simulate"
+	// OpFFT2D is a distributed 2D pencil transform (POST /v1/fft2d):
+	// the cohort that keeps the coordinator, the band workers and (in
+	// cluster mode) the transpose wire traffic under load.
+	OpFFT2D Op = "fft2d"
 )
 
 // validOps is the closed set of ops a spec may name.
 var validOps = map[Op]bool{
 	OpFFT: true, OpIFFT: true, OpFFTNoReorder: true, OpReal: true, OpSimulate: true,
+	OpFFT2D: true,
 }
 
 // Cohort is one request class of a heterogeneous mix: an op, a size,
@@ -69,12 +74,19 @@ type Cohort struct {
 	// fft). Ignored for transform ops.
 	Network  string `json:"network,omitempty"`
 	Scenario string `json:"scenario,omitempty"`
+	// Rows and Cols shape OpFFT2D cohorts (both required, any sides
+	// >= 1); N is ignored for them. Ignored for every other op.
+	Rows int `json:"rows,omitempty"`
+	Cols int `json:"cols,omitempty"`
 }
 
 // label returns the cohort's display name.
 func (c Cohort) label() string {
 	if c.Name != "" {
 		return c.Name
+	}
+	if c.Op == OpFFT2D {
+		return fmt.Sprintf("%s/%dx%d", c.Op, c.Rows, c.Cols)
 	}
 	return fmt.Sprintf("%s/%d", c.Op, c.N)
 }
@@ -159,7 +171,11 @@ func (s Spec) Validate() error {
 		if !validOps[c.Op] {
 			return fmt.Errorf("load: cohort %d has unknown op %q", i, c.Op)
 		}
-		if c.N <= 0 {
+		if c.Op == OpFFT2D {
+			if c.Rows < 1 || c.Cols < 1 {
+				return fmt.Errorf("load: cohort %d (%s) needs rows and cols >= 1, got %dx%d", i, c.label(), c.Rows, c.Cols)
+			}
+		} else if c.N <= 0 {
 			return fmt.Errorf("load: cohort %d (%s) needs n > 0, got %d", i, c.label(), c.N)
 		}
 		if c.Weight <= 0 || math.IsInf(c.Weight, 0) || math.IsNaN(c.Weight) {
@@ -226,6 +242,25 @@ func SmokeSpec() Spec {
 			// Non-power-of-two: keeps the Bluestein serving path under
 			// continuous load, not just under unit tests.
 			{Op: OpFFT, N: 96, Weight: 1},
+		},
+	}
+}
+
+// Pencil2DSpec is the distributed-transform workload: closed-loop
+// fft2d cohorts spanning a square power-of-two shape, a non-square one
+// and a non-power-of-two one, so a sweep against a cluster target keeps
+// the pencil coordinator, both worker stages and the transpose wire
+// path under sustained load.
+func Pencil2DSpec() Spec {
+	return Spec{
+		SchemaVersion: SpecSchemaVersion,
+		Name:          "pencil2d",
+		Seed:          7,
+		Arrival:       ArrivalSpec{Kind: ArrivalClosed, Concurrency: 2},
+		Cohorts: []Cohort{
+			{Op: OpFFT2D, Rows: 32, Cols: 32, Weight: 3},
+			{Op: OpFFT2D, Rows: 16, Cols: 64, Weight: 2},
+			{Op: OpFFT2D, Rows: 12, Cols: 20, Weight: 1},
 		},
 	}
 }

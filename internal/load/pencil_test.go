@@ -1,0 +1,58 @@
+package load
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// TestPencil2DSpecServes pins the fft2d cohort end to end: the spec
+// validates, generates a deterministic trace carrying the 2D shapes,
+// and every prepared request is served by an in-process fftd through
+// the pencil coordinator.
+func TestPencil2DSpecServes(t *testing.T) {
+	spec := Pencil2DSpec()
+	spec.Requests = 8
+	tr, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := StartInproc(server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer target.Close()
+	ctx := context.Background()
+	for i := range tr.Requests {
+		r := &tr.Requests[i]
+		if r.Rows < 1 || r.Cols < 1 || r.N != r.Rows*r.Cols {
+			t.Fatalf("request %d shape not carried: %+v", i, r)
+		}
+		p, err := Prepare(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Path != "/v1/fft2d" {
+			t.Fatalf("request %d routed to %s", i, p.Path)
+		}
+		if o := target.Do(ctx, p); o.Status != 200 {
+			t.Fatalf("request %d (%s): status %d err %q", i, r.Cohort, o.Status, o.Err)
+		}
+	}
+	if runs := target.Server().MetricsSnapshot().Pencil.Runs2D; runs != 8 {
+		t.Fatalf("server ran %d pencil transforms, want 8", runs)
+	}
+}
+
+// TestPencil2DSpecValidation pins the cohort shape checks.
+func TestPencil2DSpecValidation(t *testing.T) {
+	spec := Pencil2DSpec()
+	spec.Requests = 1
+	spec.Cohorts[0].Rows = 0
+	err := spec.Validate()
+	if err == nil || !strings.Contains(err.Error(), "rows and cols") {
+		t.Fatalf("zero-rows cohort validated: %v", err)
+	}
+}

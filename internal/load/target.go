@@ -54,6 +54,17 @@ func Prepare(r *Request) (*Prepared, error) {
 			return nil, fmt.Errorf("load: encode real request: %w", err)
 		}
 		return &Prepared{Req: r, Path: "/v1/fft", Body: body}, nil
+	case OpFFT2D:
+		total := r.Rows * r.Cols
+		in := make([]server.Complex, total)
+		for i := range in {
+			in[i] = server.Complex{rng.NormFloat64(), rng.NormFloat64()}
+		}
+		body, err := json.Marshal(server.FFT2DRequest{Rows: r.Rows, Cols: r.Cols, Input: in})
+		if err != nil {
+			return nil, fmt.Errorf("load: encode fft2d request: %w", err)
+		}
+		return &Prepared{Req: r, Path: "/v1/fft2d", Body: body}, nil
 	case OpSimulate:
 		body, err := json.Marshal(server.SimulateRequest{
 			Network:  r.Network,

@@ -35,6 +35,9 @@ type Request struct {
 	// Network and Scenario carry the simulate-cohort knobs.
 	Network  string `json:"network,omitempty"`
 	Scenario string `json:"scenario,omitempty"`
+	// Rows and Cols carry the fft2d-cohort shape (N = Rows*Cols).
+	Rows int `json:"rows,omitempty"`
+	Cols int `json:"cols,omitempty"`
 }
 
 // Trace is a fully expanded workload: the spec it came from plus the
@@ -150,6 +153,11 @@ func Generate(spec Spec) (*Trace, error) {
 			if req.Scenario == "" {
 				req.Scenario = "fft"
 			}
+		}
+		if cohort.Op == OpFFT2D {
+			req.Rows = cohort.Rows
+			req.Cols = cohort.Cols
+			req.N = cohort.Rows * cohort.Cols
 		}
 		tr.Requests[i] = req
 	}

@@ -1,0 +1,496 @@
+package pencil
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster/wire"
+	"repro/internal/obs"
+	"repro/internal/obs/roofline"
+)
+
+// Shape is the flattened 2D view of the transform: Rows x Cols
+// row-major. A 3D nx x ny x nz volume flattens to Rows = nx,
+// Cols = ny*nz with PlaneRows = ny, so every "row" is one x-plane and
+// the same schedule (and wire ops) serves both ranks; PlaneRows is 0
+// for plain 2D.
+type Shape struct {
+	Rows      int
+	Cols      int
+	PlaneRows int
+}
+
+// Shape2D describes a rows x cols transform.
+func Shape2D(rows, cols int) Shape { return Shape{Rows: rows, Cols: cols} }
+
+// Shape3D describes an nx x ny x nz transform.
+func Shape3D(nx, ny, nz int) Shape { return Shape{Rows: nx, Cols: ny * nz, PlaneRows: ny} }
+
+// Dims returns 2 or 3.
+func (s Shape) Dims() int {
+	if s.PlaneRows > 0 {
+		return 3
+	}
+	return 2
+}
+
+// Total returns the sample count.
+func (s Shape) Total() int { return s.Rows * s.Cols }
+
+func (s Shape) validate() error {
+	if s.Rows < 1 || s.Cols < 1 {
+		return fmt.Errorf("pencil: shape %dx%d has a side < 1", s.Rows, s.Cols)
+	}
+	if s.PlaneRows > 0 && s.Cols%s.PlaneRows != 0 {
+		return fmt.Errorf("pencil: plane rows %d does not divide cols %d", s.PlaneRows, s.Cols)
+	}
+	return nil
+}
+
+// Source streams the input: ReadRows fills dst (n*Cols samples) with
+// row-major rows [rowLo, rowLo+n). Out-of-core runs call it more than
+// once per row range — a Source must be re-readable.
+type Source interface {
+	ReadRows(rowLo, n int, dst []complex128) error
+}
+
+// Sink receives the output: WriteBand stores the nrows x ncols
+// row-major shard covering rows [rowLo, rowLo+nrows) of columns
+// [colLo, colLo+ncols). The coordinator never writes the same cell
+// twice in one run, and on error it writes nothing at all for the
+// failed run.
+type Sink interface {
+	WriteBand(rowLo, nrows, colLo, ncols int, data []complex128) error
+}
+
+// SliceSource serves rows out of a full in-memory row-major array.
+type SliceSource struct {
+	Data []complex128
+	Cols int
+}
+
+// ReadRows implements Source.
+func (s SliceSource) ReadRows(rowLo, n int, dst []complex128) error {
+	lo, hi := rowLo*s.Cols, (rowLo+n)*s.Cols
+	if lo < 0 || hi > len(s.Data) || len(dst) != hi-lo {
+		return fmt.Errorf("pencil: source rows [%d,%d) out of range", rowLo, rowLo+n)
+	}
+	copy(dst, s.Data[lo:hi])
+	return nil
+}
+
+// SliceSink scatters band shards into a full in-memory row-major array.
+type SliceSink struct {
+	Data []complex128
+	Cols int
+}
+
+// WriteBand implements Sink.
+func (s SliceSink) WriteBand(rowLo, nrows, colLo, ncols int, data []complex128) error {
+	if len(data) != nrows*ncols || colLo < 0 || colLo+ncols > s.Cols ||
+		rowLo < 0 || (rowLo+nrows)*s.Cols > len(s.Data) {
+		return fmt.Errorf("pencil: sink band [%d,%d)x[%d,%d) out of range", rowLo, rowLo+nrows, colLo, colLo+ncols)
+	}
+	for r := 0; r < nrows; r++ {
+		copy(s.Data[(rowLo+r)*s.Cols+colLo:], data[r*ncols:(r+1)*ncols])
+	}
+	return nil
+}
+
+// Transport delivers one pencil sub-operation to a peer and fills resp
+// with its answer, returning the wire bytes it moved each direction —
+// whole frames, headers included; zero for calls served in-process.
+// A FlagError response surfaces as a non-nil error.
+type Transport interface {
+	Call(ctx context.Context, peer string, req, resp *wire.PencilOp) (sent, recv int64, err error)
+}
+
+// Config parameterizes one distributed run.
+type Config struct {
+	Shape   Shape
+	Inverse bool
+	// Workers are the transport addresses sharing the run, in schedule
+	// order; at least one.
+	Workers []string
+	// Transport delivers the sub-operations.
+	Transport Transport
+	// MemCap bounds per-node band memory and the coordinator's own
+	// streaming buffers. 0 means DefaultMemCap. Datasets larger than
+	// the cap run out of core (see package comment).
+	MemCap int64
+	// Metrics, when non-nil, accumulates run counters.
+	Metrics *Metrics
+}
+
+// Stats describes one completed run.
+type Stats struct {
+	Workers        int     `json:"workers"`
+	Bands          int     `json:"bands"`
+	Waves          int     `json:"waves"`
+	ChunkRows      int     `json:"chunk_rows"`
+	BandCols       int     `json:"band_cols"`
+	RPCs           int64   `json:"rpcs"`
+	WireBytesSent  int64   `json:"wire_bytes_sent"`
+	WireBytesRecv  int64   `json:"wire_bytes_recv"`
+	CommFloorBytes int64   `json:"comm_floor_bytes"`
+	RooflineRatio  float64 `json:"roofline_ratio"`
+}
+
+// jobSeq mints process-unique job IDs.
+var jobSeq atomic.Uint64
+
+// run carries one run's schedule and accounting.
+type run struct {
+	cfg       Config
+	rows      int
+	cols      int
+	chunkRows int
+	bandCols  int
+	bands     int
+	waves     int
+
+	chunk []complex128 // chunkRows x cols streaming buffer
+	shard []complex128 // chunkRows x bandCols transpose shard
+
+	span  *obs.Span // run root; nil when untraced
+	stats Stats
+}
+
+// Run executes one distributed pencil FFT: src streams in row-major,
+// the transformed array streams out through sink. On error nothing has
+// been written to sink and every reachable worker band has been closed.
+func Run(ctx context.Context, cfg Config, src Source, sink Sink) (Stats, error) {
+	if err := cfg.Shape.validate(); err != nil {
+		return Stats{}, err
+	}
+	if len(cfg.Workers) == 0 {
+		return Stats{}, errors.New("pencil: no workers")
+	}
+	if cfg.Transport == nil {
+		return Stats{}, errors.New("pencil: no transport")
+	}
+	if cfg.MemCap <= 0 {
+		cfg.MemCap = DefaultMemCap
+	}
+	r, err := plan(cfg)
+	if err != nil {
+		return Stats{}, err
+	}
+	sp := obs.StartChild(ctx, "pencil.run").SetCat(obs.CatCluster).
+		SetDetail(fmt.Sprintf("shape=%dx%d dims=%d workers=%d bands=%d waves=%d",
+			r.rows, r.cols, cfg.Shape.Dims(), len(cfg.Workers), r.bands, r.waves))
+	defer sp.End()
+	r.span = sp
+	ctx = obs.WithSpan(ctx, sp)
+
+	if cfg.Metrics != nil {
+		if cfg.Shape.Dims() == 3 {
+			cfg.Metrics.runs3D.Add(1)
+		} else {
+			cfg.Metrics.runs2D.Add(1)
+		}
+	}
+	if err := r.execute(ctx, src, sink); err != nil {
+		if cfg.Metrics != nil {
+			cfg.Metrics.errors.Add(1)
+		}
+		r.span.SetDetail("error: " + err.Error())
+		return Stats{}, err
+	}
+	r.stats.Workers = len(cfg.Workers)
+	r.stats.Bands = r.bands
+	r.stats.Waves = r.waves
+	r.stats.ChunkRows = r.chunkRows
+	r.stats.BandCols = r.bandCols
+	r.stats.RooflineRatio = roofline.Ratio(
+		float64(r.stats.WireBytesSent+r.stats.WireBytesRecv),
+		float64(r.stats.CommFloorBytes))
+	return r.stats, nil
+}
+
+// plan sizes the schedule against the memory cap and the wire's
+// payload bound.
+func plan(cfg Config) (*run, error) {
+	rows, cols := cfg.Shape.Rows, cfg.Shape.Cols
+	p := len(cfg.Workers)
+	cap16 := cfg.MemCap / 16 // cap in complex128 samples
+
+	// A worker band is rows x bandCols plus rows of column scratch:
+	// 16*rows*(bandCols+1) bytes, bounded by the cap. Never wider than
+	// the even split across workers.
+	bandCols := int(cap16/int64(rows) - 1)
+	if evenSplit := (cols + p - 1) / p; bandCols > evenSplit {
+		bandCols = evenSplit
+	}
+	if bandCols < 1 {
+		return nil, fmt.Errorf("pencil: cap %d cannot hold one %d-row column band", cfg.MemCap, rows)
+	}
+
+	// The coordinator streams chunkRows full rows at a time; its chunk
+	// buffer and transpose shard each stay under half the cap, and one
+	// chunk must fit a wire frame.
+	chunkRows := int(cap16 / 2 / int64(cols))
+	if maxFrame := (wire.MaxPayload - wire.PencilHdrSize) / (16 * cols); chunkRows > maxFrame {
+		chunkRows = maxFrame
+	}
+	if chunkRows > rows {
+		chunkRows = rows
+	}
+	// A 3D "row" is a whole x-plane and is never split mid-plane — the
+	// flattened view already makes each row one plane, so chunking at
+	// row granularity preserves plane alignment.
+	if chunkRows < 1 {
+		return nil, fmt.Errorf("pencil: cap %d cannot stream one %d-sample row", cfg.MemCap, cols)
+	}
+
+	bands := (cols + bandCols - 1) / bandCols
+	waves := (bands + p - 1) / p
+	return &run{
+		cfg:       cfg,
+		rows:      rows,
+		cols:      cols,
+		chunkRows: chunkRows,
+		bandCols:  bandCols,
+		bands:     bands,
+		waves:     waves,
+		chunk:     make([]complex128, chunkRows*cols),
+		shard:     make([]complex128, chunkRows*bandCols),
+	}, nil
+}
+
+// band is one open column band during a wave.
+type band struct {
+	job   uint64
+	owner string
+	colLo int
+	colN  int
+}
+
+// call sends one sub-operation, threading the byte accounting into the
+// run's span tree, stats and metrics at the same points with the same
+// values, so span rollups reconcile exactly with the metrics deltas.
+// The communication floor accrues the shard samples actually moved over
+// the wire (sent or received on a remote call) — the bytes the
+// transpose must cross the bisection with; headers and sub-headers are
+// overhead above the floor, which keeps achieved/floor >= 1.
+func (r *run) call(ctx context.Context, stage, peer string, req, resp *wire.PencilOp) error {
+	sp := obs.StartChild(ctx, "pencil.rpc").SetCat(obs.CatCluster).
+		SetDetail(stage + " " + peer)
+	sent, recv, err := r.cfg.Transport.Call(ctx, peer, req, resp)
+	sp.AddBytes(sent, recv)
+	sp.End()
+	r.stats.RPCs++
+	var floor int64
+	if sent > 0 {
+		floor += 16 * int64(len(req.Data))
+	}
+	if recv > 0 {
+		floor += 16 * int64(len(resp.Data))
+	}
+	r.stats.WireBytesSent += sent
+	r.stats.WireBytesRecv += recv
+	r.stats.CommFloorBytes += floor
+	r.cfg.Metrics.countRPC(req.Sub)
+	r.cfg.Metrics.addWire(sent, recv, floor)
+	if err != nil {
+		return fmt.Errorf("pencil: %s on %s: %w", stage, peer, err)
+	}
+	return nil
+}
+
+// header builds the common sub-header for this run.
+func (r *run) header(sub uint8) wire.PencilOp {
+	op := wire.PencilOp{
+		Sub:     sub,
+		Dims:    uint8(r.cfg.Shape.Dims()),
+		Rows:    uint32(r.rows),
+		Cols:    uint32(r.cols),
+		Inverse: r.cfg.Inverse,
+	}
+	if r.cfg.Shape.PlaneRows > 0 {
+		op.PlaneRows = uint32(r.cfg.Shape.PlaneRows)
+	}
+	return op
+}
+
+// execute runs the waves. Within each wave: open the wave's bands,
+// stream every slab through its owner's row transform and deposit the
+// transposed shards (the distributed transpose), run the column FFTs,
+// gather the bands into the sink, close. The gather for a wave starts
+// only after every column FFT of that wave succeeded, so a mid-wave
+// failure leaves the sink untouched by that wave; earlier waves cover
+// disjoint columns and were complete. A failed run therefore never
+// interleaves partial new data into cells a retry would also write.
+func (r *run) execute(ctx context.Context, src Source, sink Sink) error {
+	workers := r.cfg.Workers
+	for wave := 0; wave < r.waves; wave++ {
+		if r.cfg.Metrics != nil {
+			r.cfg.Metrics.waves.Add(1)
+		}
+		r.stats.Waves++
+		var open []band
+		waveErr := func() error {
+			// Open this wave's bands, one per worker.
+			for k := 0; k < len(workers); k++ {
+				colLo := (wave*len(workers) + k) * r.bandCols
+				if colLo >= r.cols {
+					break
+				}
+				colN := r.cols - colLo
+				if colN > r.bandCols {
+					colN = r.bandCols
+				}
+				b := band{job: jobSeq.Add(1), owner: workers[k], colLo: colLo, colN: colN}
+				op := r.header(wire.PencilOpen)
+				op.Job = b.job
+				op.ColLo = uint32(colLo)
+				op.ColN = uint32(colN)
+				var resp wire.PencilOp
+				if err := r.call(ctx, "open", b.owner, &op, &resp); err != nil {
+					return err
+				}
+				open = append(open, b)
+			}
+			// Scatter: stream each slab through its owner's row stage,
+			// then deposit each band's columns with the band owner.
+			slabs := SplitRows(r.rows, len(workers))
+			for s, slab := range slabs {
+				owner := workers[s]
+				for lo := slab.Lo; lo < slab.Hi; lo += r.chunkRows {
+					cn := slab.Hi - lo
+					if cn > r.chunkRows {
+						cn = r.chunkRows
+					}
+					chunk := r.chunk[:cn*r.cols]
+					if err := src.ReadRows(lo, cn, chunk); err != nil {
+						return fmt.Errorf("pencil: source rows [%d,%d): %w", lo, lo+cn, err)
+					}
+					op := r.header(wire.PencilRows)
+					op.RowLo = uint32(lo)
+					op.RowN = uint32(cn)
+					op.Data = chunk
+					var resp wire.PencilOp
+					if err := r.call(ctx, "rows", owner, &op, &resp); err != nil {
+						return err
+					}
+					if len(resp.Data) != cn*r.cols {
+						return fmt.Errorf("pencil: rows on %s returned %d samples, want %d", owner, len(resp.Data), cn*r.cols)
+					}
+					transformed := resp.Data
+					for _, b := range open {
+						shard := r.shard[:cn*b.colN]
+						for i := 0; i < cn; i++ {
+							copy(shard[i*b.colN:(i+1)*b.colN], transformed[i*r.cols+b.colLo:i*r.cols+b.colLo+b.colN])
+						}
+						dep := r.header(wire.PencilDeposit)
+						dep.Job = b.job
+						dep.RowLo = uint32(lo)
+						dep.RowN = uint32(cn)
+						dep.ColLo = uint32(b.colLo)
+						dep.ColN = uint32(b.colN)
+						dep.Data = shard
+						var dresp wire.PencilOp
+						if err := r.call(ctx, "deposit", b.owner, &dep, &dresp); err != nil {
+							return err
+						}
+					}
+				}
+			}
+			// Column FFTs over every band of the wave.
+			for _, b := range open {
+				op := r.header(wire.PencilColFFT)
+				op.Job = b.job
+				op.ColLo = uint32(b.colLo)
+				op.ColN = uint32(b.colN)
+				var resp wire.PencilOp
+				if err := r.call(ctx, "colfft", b.owner, &op, &resp); err != nil {
+					return err
+				}
+			}
+			// Gather the finished bands into the sink.
+			for _, b := range open {
+				for lo := 0; lo < r.rows; lo += r.chunkRows {
+					cn := r.rows - lo
+					if cn > r.chunkRows {
+						cn = r.chunkRows
+					}
+					op := r.header(wire.PencilRead)
+					op.Job = b.job
+					op.RowLo = uint32(lo)
+					op.RowN = uint32(cn)
+					op.ColLo = uint32(b.colLo)
+					op.ColN = uint32(b.colN)
+					var resp wire.PencilOp
+					if err := r.call(ctx, "read", b.owner, &op, &resp); err != nil {
+						return err
+					}
+					if len(resp.Data) != cn*b.colN {
+						return fmt.Errorf("pencil: read on %s returned %d samples, want %d", b.owner, len(resp.Data), cn*b.colN)
+					}
+					if err := sink.WriteBand(lo, cn, b.colLo, b.colN, resp.Data); err != nil {
+						return fmt.Errorf("pencil: sink band [%d,%d)x[%d,%d): %w", lo, lo+cn, b.colLo, b.colLo+b.colN, err)
+					}
+				}
+			}
+			// Close the wave's bands.
+			for i := len(open) - 1; i >= 0; i-- {
+				b := open[i]
+				op := r.header(wire.PencilClose)
+				op.Job = b.job
+				var resp wire.PencilOp
+				if err := r.call(ctx, "close", b.owner, &op, &resp); err != nil {
+					return err
+				}
+				open = open[:i]
+			}
+			return nil
+		}()
+		if waveErr != nil {
+			r.abandon(open)
+			return waveErr
+		}
+	}
+	return nil
+}
+
+// abandon best-effort-closes bands after a failure so worker memory
+// frees now instead of at TTL expiry. It runs on a detached short
+// deadline: the original context may already be canceled, and a worker
+// that died ignores us either way.
+func (r *run) abandon(open []band) {
+	if len(open) == 0 {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	for _, b := range open {
+		op := r.header(wire.PencilClose)
+		op.Job = b.job
+		var resp wire.PencilOp
+		// Ignore errors: TTL expiry is the backstop.
+		_ = r.call(ctx, "close", b.owner, &op, &resp)
+	}
+}
+
+// RowRange is one worker's contiguous slab [Lo, Hi).
+type RowRange struct{ Lo, Hi int }
+
+// SplitRows divides rows into p contiguous near-even slabs, the first
+// rows%p slabs one row taller. Workers beyond rows get empty slabs.
+func SplitRows(rows, p int) []RowRange {
+	out := make([]RowRange, p)
+	base, extra := rows/p, rows%p
+	lo := 0
+	for i := range out {
+		n := base
+		if i < extra {
+			n++
+		}
+		out[i] = RowRange{Lo: lo, Hi: lo + n}
+		lo += n
+	}
+	return out
+}

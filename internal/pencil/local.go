@@ -1,0 +1,74 @@
+package pencil
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/cluster/wire"
+)
+
+// LocalTransport serves pencil sub-operations from in-process workers —
+// the single-node serving path (one worker, no cluster) and the test
+// and bench harness (several named workers standing in for nodes).
+//
+// With Loopback set every call round-trips through the real wire codec
+// and reports whole-frame byte counts, exactly as a TCP transport
+// would: tests exercise the encode/decode path and the byte accounting
+// without sockets. Without Loopback calls dispatch directly and report
+// zero bytes — nothing crossed a wire, and the comm floor stays zero to
+// match.
+type LocalTransport struct {
+	Workers  map[string]*Worker
+	Loopback bool
+
+	ids atomic.Uint64
+}
+
+// NewLocalTransport builds a transport over named in-process workers.
+func NewLocalTransport(loopback bool, workers map[string]*Worker) *LocalTransport {
+	return &LocalTransport{Workers: workers, Loopback: loopback}
+}
+
+// Call implements Transport.
+func (t *LocalTransport) Call(ctx context.Context, peer string, req, resp *wire.PencilOp) (sent, recv int64, err error) {
+	w, ok := t.Workers[peer]
+	if !ok {
+		return 0, 0, fmt.Errorf("pencil: no local worker %q", peer)
+	}
+	if !t.Loopback {
+		return 0, 0, w.ServePencil(ctx, req, resp)
+	}
+	id := t.ids.Add(1)
+	frame := wire.AppendPencilReq(nil, id, req)
+	h, err := wire.ParseHeader(frame)
+	if err != nil {
+		return 0, 0, err
+	}
+	var decoded wire.PencilOp
+	if err := wire.ParsePencilReq(h, frame[wire.HeaderSize:], &decoded); err != nil {
+		return 0, 0, err
+	}
+	var out wire.PencilOp
+	var respFrame []byte
+	if serveErr := w.ServePencil(ctx, &decoded, &out); serveErr != nil {
+		respFrame = wire.AppendPencilErr(nil, id, serveErr.Error())
+	} else {
+		respFrame = wire.AppendPencilOK(nil, id, &out)
+	}
+	sent = int64(len(frame))
+	recv = int64(len(respFrame))
+	rh, err := wire.ParseHeader(respFrame)
+	if err != nil {
+		return sent, recv, err
+	}
+	remoteErr, err := wire.ParsePencilResp(rh, respFrame[wire.HeaderSize:], resp)
+	if err != nil {
+		return sent, recv, err
+	}
+	if remoteErr != "" {
+		return sent, recv, errors.New(remoteErr)
+	}
+	return sent, recv, nil
+}

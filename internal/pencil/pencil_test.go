@@ -1,0 +1,336 @@
+package pencil
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster/wire"
+	"repro/internal/fft"
+	"repro/internal/obs"
+	"repro/internal/plancache"
+)
+
+func randComplex(n int, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+// harness builds p in-process workers behind a loopback transport.
+func harness(t *testing.T, p int, memCap int64) (Config, map[string]*Worker) {
+	t.Helper()
+	cache := plancache.New(64)
+	workers := make(map[string]*Worker, p)
+	names := make([]string, p)
+	for i := 0; i < p; i++ {
+		names[i] = fmt.Sprintf("w%d", i)
+		workers[names[i]] = NewWorker(WorkerConfig{MemCap: memCap, Plans: cache})
+	}
+	return Config{
+		Workers:   names,
+		Transport: NewLocalTransport(true, workers),
+		MemCap:    memCap,
+	}, workers
+}
+
+func runShape(t *testing.T, cfg Config, shape Shape, inverse bool, input []complex128) ([]complex128, Stats) {
+	t.Helper()
+	cfg.Shape = shape
+	cfg.Inverse = inverse
+	out := make([]complex128, shape.Total())
+	stats, err := Run(context.Background(), cfg,
+		SliceSource{Data: input, Cols: shape.Cols},
+		SliceSink{Data: out, Cols: shape.Cols})
+	if err != nil {
+		t.Fatalf("Run(%dx%d): %v", shape.Rows, shape.Cols, err)
+	}
+	return out, stats
+}
+
+func TestRunMatchesPlan2DBitIdentical(t *testing.T) {
+	// Three shapes per the acceptance criteria: square power-of-two,
+	// non-square, and non-power-of-two sides — all on 3 workers.
+	shapes := [][2]int{{16, 16}, {8, 32}, {12, 20}}
+	for _, s := range shapes {
+		rows, cols := s[0], s[1]
+		cfg, _ := harness(t, 3, 0)
+		x := randComplex(rows*cols, int64(rows*1000+cols))
+		got, stats := runShape(t, cfg, Shape2D(rows, cols), false, x)
+		p, err := fft.NewPlan2D(rows, cols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]complex128, len(x))
+		p.Transform(want, x)
+		for i := range got {
+			//fftlint:ignore floatcmp the acceptance criterion is bit-identical distributed vs single-node output
+			if got[i] != want[i] {
+				t.Fatalf("%dx%d: distributed output differs from Plan2D at %d: %v vs %v", rows, cols, i, got[i], want[i])
+			}
+		}
+		if stats.Workers != 3 || stats.RPCs == 0 {
+			t.Fatalf("stats %+v", stats)
+		}
+
+		// And the inverse direction round-trips through the same path.
+		back, _ := runShape(t, cfg, Shape2D(rows, cols), true, got)
+		winv := make([]complex128, len(x))
+		p.Inverse(winv, got)
+		for i := range back {
+			//fftlint:ignore floatcmp inverse must match Plan2D.Inverse bit for bit
+			if back[i] != winv[i] {
+				t.Fatalf("%dx%d: distributed inverse differs at %d", rows, cols, i)
+			}
+		}
+	}
+}
+
+func TestRun3DMatchesPlan3D(t *testing.T) {
+	nx, ny, nz := 4, 6, 8
+	cfg, _ := harness(t, 2, 0)
+	x := randComplex(nx*ny*nz, 77)
+	got, _ := runShape(t, cfg, Shape3D(nx, ny, nz), false, x)
+	p, err := fft.NewPlan3D(nx, ny, nz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]complex128, len(x))
+	p.Transform(want, x)
+	for i := range got {
+		//fftlint:ignore floatcmp distributed 3D must match Plan3D bit for bit
+		if got[i] != want[i] {
+			t.Fatalf("3D distributed output differs from Plan3D at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRunOutOfCore(t *testing.T) {
+	// 64x64 complex = 64 KiB total, but each node may hold only 16 KiB
+	// of band + scratch: the run must split into multiple waves and
+	// still match Plan2D, with every worker's peak under the cap.
+	rows, cols := 64, 64
+	memCap := int64(16) << 10
+	cfg, workers := harness(t, 2, memCap)
+	x := randComplex(rows*cols, 5)
+	got, stats := runShape(t, cfg, Shape2D(rows, cols), false, x)
+	if stats.Waves < 2 {
+		t.Fatalf("dataset 4x the cap ran in %d wave(s); want out-of-core waves", stats.Waves)
+	}
+	p, err := fft.NewPlan2D(rows, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]complex128, len(x))
+	p.Transform(want, x)
+	for i := range got {
+		//fftlint:ignore floatcmp out-of-core output must still be bit-identical
+		if got[i] != want[i] {
+			t.Fatalf("out-of-core output differs at %d", i)
+		}
+	}
+	for name, w := range workers {
+		st := w.Stats()
+		if st.BytesPeak > memCap {
+			t.Fatalf("worker %s peak %d exceeds cap %d", name, st.BytesPeak, memCap)
+		}
+		if st.BytesPeak == 0 {
+			t.Fatalf("worker %s never held a band", name)
+		}
+		if st.OpenJobs != 0 || st.BytesInUse != 0 {
+			t.Fatalf("worker %s leaked %d jobs / %d bytes", name, st.OpenJobs, st.BytesInUse)
+		}
+	}
+}
+
+func TestRunRejectsImpossibleCap(t *testing.T) {
+	cfg, _ := harness(t, 2, 1<<10)
+	cfg.Shape = Shape2D(1024, 1024) // one column band alone exceeds 1 KiB
+	_, err := Run(context.Background(), cfg,
+		SliceSource{Data: make([]complex128, 1024*1024), Cols: 1024},
+		SliceSink{Data: make([]complex128, 1024*1024), Cols: 1024})
+	if err == nil || !strings.Contains(err.Error(), "cap") {
+		t.Fatalf("err = %v, want cap-sizing error", err)
+	}
+}
+
+// killTransport fails every call to a given peer once armed, and can
+// arm itself after a fixed number of successful deposits — the
+// mid-transpose node kill.
+type killTransport struct {
+	inner Transport
+	peer  string
+
+	mu       sync.Mutex
+	deposits int
+	killAt   int
+	dead     bool
+}
+
+func (k *killTransport) Call(ctx context.Context, peer string, req, resp *wire.PencilOp) (int64, int64, error) {
+	k.mu.Lock()
+	if req.Sub == wire.PencilDeposit {
+		k.deposits++
+		if k.deposits >= k.killAt {
+			k.dead = true
+		}
+	}
+	dead := k.dead && peer == k.peer
+	k.mu.Unlock()
+	if dead {
+		return 0, 0, fmt.Errorf("connection refused (node %s down)", peer)
+	}
+	return k.inner.Call(ctx, peer, req, resp)
+}
+
+// countingSink fails the test if any write lands.
+type countingSink struct {
+	t      *testing.T
+	writes int
+}
+
+func (c *countingSink) WriteBand(rowLo, nrows, colLo, ncols int, data []complex128) error {
+	c.writes++
+	return nil
+}
+
+func TestRunNodeKillMidTranspose(t *testing.T) {
+	cfg, _ := harness(t, 3, 0)
+	kt := &killTransport{inner: cfg.Transport, peer: "w1", killAt: 2}
+	cfg.Transport = kt
+	cfg.Shape = Shape2D(16, 16)
+	sink := &countingSink{t: t}
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(context.Background(), cfg,
+			SliceSource{Data: randComplex(256, 9), Cols: 16}, sink)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Run succeeded despite a dead node")
+		}
+		if !strings.Contains(err.Error(), "w1") {
+			t.Fatalf("error does not name the dead peer: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Run hung after node kill")
+	}
+	if sink.writes != 0 {
+		t.Fatalf("sink saw %d writes from a failed run; want 0", sink.writes)
+	}
+}
+
+func TestRunSpansReconcileWithMetrics(t *testing.T) {
+	cfg, _ := harness(t, 2, 0)
+	m := &Metrics{}
+	cfg.Metrics = m
+	cfg.Shape = Shape2D(8, 32)
+	tr := obs.New()
+	ctx := obs.WithTracer(context.Background(), tr)
+	x := randComplex(8*32, 11)
+	out := make([]complex128, len(x))
+	stats, err := Run(ctx, cfg,
+		SliceSource{Data: x, Cols: 32}, SliceSink{Data: out, Cols: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	roll := obs.RollupOf(tr.Snapshot())
+	if roll.BytesSent != snap.WireBytesSent || roll.BytesRecv != snap.WireBytesRecv {
+		t.Fatalf("span rollup (%d, %d) does not reconcile with metrics (%d, %d)",
+			roll.BytesSent, roll.BytesRecv, snap.WireBytesSent, snap.WireBytesRecv)
+	}
+	if stats.WireBytesSent != snap.WireBytesSent || stats.WireBytesRecv != snap.WireBytesRecv {
+		t.Fatalf("stats bytes (%d, %d) vs metrics (%d, %d)",
+			stats.WireBytesSent, stats.WireBytesRecv, snap.WireBytesSent, snap.WireBytesRecv)
+	}
+	if stats.CommFloorBytes <= 0 || stats.RooflineRatio < 1 {
+		t.Fatalf("floor %d, ratio %g; want positive floor and ratio >= 1",
+			stats.CommFloorBytes, stats.RooflineRatio)
+	}
+	if snap.RPCs() != stats.RPCs {
+		t.Fatalf("metrics RPCs %d vs stats %d", snap.RPCs(), stats.RPCs)
+	}
+	if snap.Runs2D != 1 || snap.Errors != 0 {
+		t.Fatalf("snapshot %+v", snap)
+	}
+}
+
+func TestWorkerRejectsOverCapAndExpires(t *testing.T) {
+	w := NewWorker(WorkerConfig{MemCap: 4 << 10, JobTTL: 10 * time.Millisecond})
+	open := func(job uint64, rows, colN int) error {
+		op := &wire.PencilOp{Sub: wire.PencilOpen, Dims: 2, Rows: uint32(rows), Cols: 64, ColN: uint32(colN), Job: job}
+		var resp wire.PencilOp
+		return w.ServePencil(context.Background(), op, &resp)
+	}
+	// 16*16*(15+1) = 4096 bytes: exactly the cap.
+	if err := open(1, 16, 15); err != nil {
+		t.Fatalf("open at cap: %v", err)
+	}
+	if err := open(2, 16, 15); err == nil {
+		t.Fatal("second band accepted over cap")
+	}
+	st := w.Stats()
+	if st.Rejected != 1 || st.BytesPeak != 4096 {
+		t.Fatalf("stats %+v", st)
+	}
+	// After TTL the orphaned band is reclaimed by the next op's sweep.
+	time.Sleep(20 * time.Millisecond)
+	if err := open(3, 16, 15); err != nil {
+		t.Fatalf("open after expiry: %v", err)
+	}
+	st = w.Stats()
+	if st.ExpiredJobs != 1 || st.OpenJobs != 1 {
+		t.Fatalf("stats after expiry %+v", st)
+	}
+}
+
+func TestSplitRows(t *testing.T) {
+	for _, tc := range []struct{ rows, p int }{{10, 3}, {3, 5}, {16, 4}, {1, 1}} {
+		slabs := SplitRows(tc.rows, tc.p)
+		if len(slabs) != tc.p {
+			t.Fatalf("SplitRows(%d,%d) len %d", tc.rows, tc.p, len(slabs))
+		}
+		lo, total := 0, 0
+		for _, s := range slabs {
+			if s.Lo != lo || s.Hi < s.Lo {
+				t.Fatalf("SplitRows(%d,%d) = %v not contiguous", tc.rows, tc.p, slabs)
+			}
+			total += s.Hi - s.Lo
+			lo = s.Hi
+		}
+		if total != tc.rows {
+			t.Fatalf("SplitRows(%d,%d) covers %d rows", tc.rows, tc.p, total)
+		}
+	}
+}
+
+func TestLocalTransportDirectMode(t *testing.T) {
+	// Without loopback, calls dispatch in-process and report zero wire
+	// bytes — so the comm floor stays zero too.
+	cfg, _ := harness(t, 1, 0)
+	cfg.Transport = NewLocalTransport(false, cfg.Transport.(*LocalTransport).Workers)
+	x := randComplex(16*16, 3)
+	got, stats := runShape(t, cfg, Shape2D(16, 16), false, x)
+	p, _ := fft.NewPlan2D(16, 16)
+	want := make([]complex128, len(x))
+	p.Transform(want, x)
+	for i := range got {
+		//fftlint:ignore floatcmp single-worker direct mode must still match Plan2D bit for bit
+		if got[i] != want[i] {
+			t.Fatalf("direct-mode output differs at %d", i)
+		}
+	}
+	if stats.WireBytesSent != 0 || stats.WireBytesRecv != 0 || stats.CommFloorBytes != 0 {
+		t.Fatalf("direct mode reported wire traffic: %+v", stats)
+	}
+}

@@ -32,6 +32,7 @@ const (
 	KindRadix4  Kind = "radix4"  // *fft.Radix4Plan
 	KindDCT     Kind = "dct"     // *fft.DCTPlan
 	KindAny     Kind = "any"     // *fft.AnyPlan
+	KindPlan2D  Kind = "plan2d"  // *fft.Plan2D, N packed as rows<<32|cols
 )
 
 // Key identifies one cached plan: its family and transform length.
@@ -279,6 +280,20 @@ func (c *Cache) AnyPlan(n int) (*fft.AnyPlan, error) {
 		return nil, err
 	}
 	return v.(*fft.AnyPlan), nil
+}
+
+// Plan2D returns the cached 2D plan for a rows x cols transform,
+// building it on a miss. The two sides pack into the key's single N
+// (rows in the high 32 bits), which bounds each side at 2^31-1 —
+// far beyond MaxTransformLen's reach for the product.
+func (c *Cache) Plan2D(rows, cols int) (*fft.Plan2D, error) {
+	v, err := c.GetOrCreate(Key{Kind: KindPlan2D, N: rows<<32 | cols}, func() (any, error) {
+		return fft.NewPlan2D(rows, cols)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*fft.Plan2D), nil
 }
 
 // Source adapts the cache to the fft.Source plan-reuse hook, so any

@@ -72,8 +72,9 @@ func startServerCluster(t *testing.T, n int, cfg Config) *serverCluster {
 	for i := 0; i < n; i++ {
 		s := New(cfg)
 		node, err := cluster.Listen("127.0.0.1:0", cluster.NodeConfig{
-			Exec:  s.ClusterExecutor(),
-			Ready: func() bool { return !s.Draining() },
+			Exec:   s.ClusterExecutor(),
+			Ready:  func() bool { return !s.Draining() },
+			Pencil: s.PencilWorker(),
 		})
 		if err != nil {
 			t.Fatal(err)

@@ -304,8 +304,8 @@ func (s *Server) checkLen(n int) error {
 // the pool and large batches get the pool's backpressure.
 func (s *Server) handleFFT(w http.ResponseWriter, r *http.Request) {
 	var req FFTRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, badRequest("decode: %v", err))
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeError(w, err)
 		return
 	}
 	specs := req.Transforms

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/pencil"
 	"repro/internal/plancache"
 	"repro/internal/trace"
 )
@@ -144,8 +145,12 @@ type Snapshot struct {
 	Latency       trace.HistogramSnapshot `json:"latency"`
 	// Cluster carries the routing client's counters; nil when the
 	// server runs single-node.
-	Cluster    *cluster.ClientMetrics `json:"cluster,omitempty"`
-	RouteOrder []string               `json:"-"`
+	Cluster *cluster.ClientMetrics `json:"cluster,omitempty"`
+	// Pencil counts /v1/fft2d coordinator activity; PencilWorker is the
+	// local band worker's memory and job gauges.
+	Pencil       *pencil.MetricsSnapshot `json:"pencil,omitempty"`
+	PencilWorker *pencil.WorkerStats     `json:"pencil_worker,omitempty"`
+	RouteOrder   []string                `json:"-"`
 }
 
 // snapshot gathers every counter consistently enough for monitoring.

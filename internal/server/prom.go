@@ -137,6 +137,62 @@ func (m *Metrics) writePrometheus(w io.Writer, s Snapshot) error {
 			float64(s.Cluster.CommFloorBytes)))
 	}
 
+	// Pencil (distributed 2D/3D FFT) families. The transport totals are
+	// added at exactly the points the coordinator's spans record bytes,
+	// so fftd_pencil_wire_bytes_total reconciles against traced span
+	// rollups; the roofline gauge compares whole-frame bytes against the
+	// analytical transpose floor (>= 1 once any shard crossed a wire).
+	if s.Pencil != nil {
+		p := s.Pencil
+		pw.Header("fftd_pencil_transforms_total", "counter", "Pencil FFT runs completed, by dimensionality.")
+		pw.Sample("fftd_pencil_transforms_total", []obs.Label{{Name: "dims", Value: "2"}}, float64(p.Runs2D))
+		pw.Sample("fftd_pencil_transforms_total", []obs.Label{{Name: "dims", Value: "3"}}, float64(p.Runs3D))
+		pw.Header("fftd_pencil_errors_total", "counter", "Pencil FFT runs that failed.")
+		pw.Sample("fftd_pencil_errors_total", nil, float64(p.Errors))
+		pw.Header("fftd_pencil_waves_total", "counter", "Column-band waves executed (more waves than runs means out-of-core streaming).")
+		pw.Sample("fftd_pencil_waves_total", nil, float64(p.Waves))
+
+		pw.Header("fftd_pencil_rpcs_total", "counter", "Pencil sub-operations issued by this node's coordinator, by stage.")
+		for _, st := range []struct {
+			stage string
+			v     int64
+		}{
+			{"open", p.RPCsOpen},
+			{"rows", p.RPCsRows},
+			{"deposit", p.RPCsDeposit},
+			{"colfft", p.RPCsColFFT},
+			{"read", p.RPCsRead},
+			{"close", p.RPCsClose},
+		} {
+			pw.Sample("fftd_pencil_rpcs_total",
+				[]obs.Label{{Name: "stage", Value: st.stage}}, float64(st.v))
+		}
+
+		pw.Header("fftd_pencil_wire_bytes_total", "counter", "Pencil wire bytes moved by this node's coordinator (whole frames; in-process calls excluded).")
+		pw.Sample("fftd_pencil_wire_bytes_total",
+			[]obs.Label{{Name: "direction", Value: "received"}}, float64(p.WireBytesRecv))
+		pw.Sample("fftd_pencil_wire_bytes_total",
+			[]obs.Label{{Name: "direction", Value: "sent"}}, float64(p.WireBytesSent))
+		pw.Header("fftd_pencil_comm_floor_bytes_total", "counter", "Analytical lower bound on pencil communication: sample payload bytes of remote sub-operations.")
+		pw.Sample("fftd_pencil_comm_floor_bytes_total", nil, float64(p.CommFloorBytes))
+		pw.Header("fftd_pencil_roofline_ratio", "gauge", "Achieved pencil communication over the analytical floor (>= 1 once any shard crossed a wire; 0 before).")
+		pw.Sample("fftd_pencil_roofline_ratio", nil, roofline.Ratio(
+			float64(p.WireBytesSent+p.WireBytesRecv), float64(p.CommFloorBytes)))
+	}
+	if s.PencilWorker != nil {
+		ws := s.PencilWorker
+		pw.Header("fftd_pencil_open_jobs", "gauge", "Pencil band jobs currently open on the local worker.")
+		pw.Sample("fftd_pencil_open_jobs", nil, float64(ws.OpenJobs))
+		pw.Header("fftd_pencil_band_bytes", "gauge", "Local pencil worker band memory, current and high-water, against its cap.")
+		pw.Sample("fftd_pencil_band_bytes", []obs.Label{{Name: "state", Value: "in_use"}}, float64(ws.BytesInUse))
+		pw.Sample("fftd_pencil_band_bytes", []obs.Label{{Name: "state", Value: "peak"}}, float64(ws.BytesPeak))
+		pw.Sample("fftd_pencil_band_bytes", []obs.Label{{Name: "state", Value: "cap"}}, float64(ws.MemCap))
+		pw.Header("fftd_pencil_jobs_rejected_total", "counter", "Pencil band opens rejected by the memory cap or job limit.")
+		pw.Sample("fftd_pencil_jobs_rejected_total", nil, float64(ws.Rejected))
+		pw.Header("fftd_pencil_jobs_expired_total", "counter", "Pencil band jobs reclaimed by the idle TTL sweep.")
+		pw.Sample("fftd_pencil_jobs_expired_total", nil, float64(ws.ExpiredJobs))
+	}
+
 	// Per-route latency histogram with the fixed cumulative bounds of
 	// latencyBounds plus the mandatory +Inf bucket.
 	order, hists := m.routeLatencies()

@@ -29,6 +29,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/cluster/wire"
 	"repro/internal/obs"
+	"repro/internal/pencil"
 	"repro/internal/plancache"
 )
 
@@ -46,6 +47,10 @@ type Config struct {
 	MaxTransformLen int
 	// MaxBatch rejects /v1/fft batches larger than this; 0 means 4096.
 	MaxBatch int
+	// PencilMemCap bounds per-node band memory for /v1/fft2d pencil
+	// runs; larger transforms stream out of core. 0 means
+	// pencil.DefaultMemCap (256 MiB).
+	PencilMemCap int64
 	// MaxSimNodes rejects simulations larger than this; 0 means 2^14.
 	MaxSimNodes int
 	// LatencyWindow is the latency histogram's sample window; 0 means
@@ -114,6 +119,15 @@ type Server struct {
 	// always executing locally. Written once at startup (SetCluster)
 	// before the listener starts accepting.
 	cluster *cluster.Client
+
+	// pencilWorker serves pencil band sub-operations: local /v1/fft2d
+	// stages, and (in cluster mode) shards deposited by peers via
+	// cluster.Node. pencilTransport carries the coordinator's
+	// sub-operations — in-process single-node, over the cluster client
+	// once SetCluster installs one.
+	pencilWorker    *pencil.Worker
+	pencilMetrics   *pencil.Metrics
+	pencilTransport pencil.Transport
 }
 
 // New creates a ready-to-serve Server.
@@ -127,11 +141,20 @@ func New(cfg Config) *Server {
 		slow:    newSlowRing(cfg.SlowRingSize),
 		rids:    newRequestIDs(),
 	}
+	s.pencilWorker = pencil.NewWorker(pencil.WorkerConfig{
+		MemCap: cfg.PencilMemCap,
+		Plans:  s.cache,
+	})
+	s.pencilMetrics = &pencil.Metrics{}
+	s.pencilTransport = pencil.NewLocalTransport(false, map[string]*pencil.Worker{
+		localPencilWorker: s.pencilWorker,
+	})
 	s.mux = http.NewServeMux()
 	// Compute-bearing routes are traceable; the cheap read-only
 	// endpoints are not (tracing a metrics scrape tells nobody
 	// anything, and sampling would fill the ring with them).
 	s.route("POST /v1/fft", s.handleFFT, true)
+	s.route("POST /v1/fft2d", s.handleFFT2D, true)
 	s.route("POST /v1/simulate", s.handleSimulate, true)
 	s.route("GET /v1/compare", s.handleCompare, true)
 	s.route("GET /healthz", s.handleHealthz, false)
@@ -156,6 +179,10 @@ func (s *Server) MetricsSnapshot() Snapshot {
 		cm := s.cluster.Metrics()
 		snap.Cluster = &cm
 	}
+	pm := s.pencilMetrics.Snapshot()
+	ws := s.pencilWorker.Stats()
+	snap.Pencil = &pm
+	snap.PencilWorker = &ws
 	return snap
 }
 
@@ -170,8 +197,23 @@ func (s *Server) StartDrain() { s.draining.Store(true) }
 func (s *Server) Draining() bool { return s.draining.Load() }
 
 // SetCluster installs the cluster routing client. Call it once during
-// startup, before the HTTP listener accepts requests.
-func (s *Server) SetCluster(c *cluster.Client) { s.cluster = c }
+// startup, before the HTTP listener accepts requests. It also switches
+// /v1/fft2d onto the cluster: pencil sub-operations ride the client's
+// pooled connections to every ring member, with the self-owned shard
+// served in-process by this server's pencil worker.
+func (s *Server) SetCluster(c *cluster.Client) {
+	s.cluster = c
+	s.pencilTransport = &cluster.PencilTransport{
+		Client: c,
+		Self:   c.Registry().Self(),
+		Local:  s.pencilWorker,
+	}
+}
+
+// PencilWorker exposes the server's pencil executor so cmd/fftd can
+// hand it to cluster.NodeConfig — peers' coordinators then deposit
+// bands into the same worker /v1/fft2d uses locally.
+func (s *Server) PencilWorker() *pencil.Worker { return s.pencilWorker }
 
 // Cluster returns the installed cluster client, or nil.
 func (s *Server) Cluster() *cluster.Client { return s.cluster }
@@ -204,6 +246,35 @@ func (e *statusError) Error() string { return e.msg }
 // badRequest builds a 400-class statusError.
 func badRequest(format string, args ...any) error {
 	return &statusError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// maxBodyBytes bounds a transform request body, derived from
+// MaxTransformLen: the JSON wire form of one complex sample
+// ("[<float>,<float>]") is under 64 bytes even at full float64
+// precision, and 64 KiB covers the request envelope. Any valid request
+// fits; a hostile or runaway body is cut off at the reader instead of
+// buffered into memory.
+func (s *Server) maxBodyBytes() int64 {
+	return int64(s.cfg.MaxTransformLen)*64 + 64<<10
+}
+
+// decodeBody decodes a JSON request body capped by maxBodyBytes. A body
+// over the cap maps to 413 Request Entity Too Large; malformed JSON
+// (including a body truncated by the cap mid-token on some paths) stays
+// a 400.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBodyBytes())
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return &statusError{
+				status: http.StatusRequestEntityTooLarge,
+				msg:    fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit),
+			}
+		}
+		return badRequest("decode: %v", err)
+	}
+	return nil
 }
 
 // httpStatus maps a handler error onto a response code: explicit
