@@ -498,6 +498,22 @@ func (c *Client) peerCap(addr string) uint8 {
 	return c.peerVer[addr]
 }
 
+// PencilCapable reports whether peer can carry pencil shards: pencil
+// frames are wire-v2-only, and capability is advertised in pong flags.
+// When no pong has been cached yet (fresh cluster before the first
+// heartbeat) one pooled ping resolves it; an unreachable peer reports
+// false and is left for the registry to mark down. Schedulers use this
+// to exclude v1-only stragglers from a pencil run instead of letting
+// one old binary fail every run.
+func (c *Client) PencilCapable(ctx context.Context, peer string) bool {
+	if c.peerCap(peer) == 0 {
+		if _, err := c.Ping(ctx, peer); err != nil {
+			return false
+		}
+	}
+	return c.peerCap(peer) >= wire.Version2
+}
+
 // rpcTransform performs one transform RPC over a pooled connection.
 // When sp is non-nil (a traced request) and the peer speaks wire v2,
 // the request carries the trace context and the response's span block

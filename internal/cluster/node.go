@@ -388,10 +388,23 @@ func (n *Node) servePencil(h wire.Header, tc wire.TraceContext, sc *connScratch)
 	if sp != nil {
 		sp.SetDetail(fmt.Sprintf("rid=%016x trace=%016x %s job=%d", h.ID, tc.TraceID, wire.PencilSubName(sc.pop.Sub), sc.pop.Job))
 	}
-	if err := n.cfg.Pencil.ServePencil(ctx, &sc.pop, &sc.presp); err != nil {
+	if err := n.servePencilOp(ctx, &sc.pop, &sc.presp); err != nil {
 		n.rpcErrors.Add(1)
 		sc.resp = wire.AppendPencilErr(sc.resp[:0], h.ID, err.Error())
 		return
 	}
 	sc.resp = wire.AppendPencilOK(sc.resp[:0], h.ID, &sc.presp)
+}
+
+// servePencilOp runs the pencil executor under a panic guard: the
+// sub-headers are untrusted wire input, and a panic in band arithmetic
+// must cost one error response, not the conn loop (and with it every
+// RPC multiplexed on the connection).
+func (n *Node) servePencilOp(ctx context.Context, op, resp *wire.PencilOp) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("pencil: %s panicked on this node: %v", wire.PencilSubName(op.Sub), p)
+		}
+	}()
+	return n.cfg.Pencil.ServePencil(ctx, op, resp)
 }

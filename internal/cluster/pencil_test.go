@@ -200,6 +200,65 @@ func (s *countingPencilSink) WriteBand(rowLo, nrows, colLo, ncols int, data []co
 	return s.inner.WriteBand(rowLo, nrows, colLo, ncols, data)
 }
 
+// TestPencilCapable pins the capability gate schedulers filter with: a
+// v2 peer reports capable (resolving unknown capability with one
+// handshake ping), a v1-only peer and an unreachable one do not.
+func TestPencilCapable(t *testing.T) {
+	tc, _ := startPencilCluster(t, 3, map[int]bool{2: true})
+	c := tc.clients[0]
+	ctx := context.Background()
+	if !c.PencilCapable(ctx, tc.addrs[1]) {
+		t.Fatal("v2 peer reported not pencil-capable")
+	}
+	if c.PencilCapable(ctx, tc.addrs[2]) {
+		t.Fatal("v1-only peer reported pencil-capable")
+	}
+	if c.PencilCapable(ctx, "127.0.0.1:1") {
+		t.Fatal("unreachable peer reported pencil-capable")
+	}
+}
+
+// panicPencil stands in for a worker bug: every sub-operation panics.
+type panicPencil struct{}
+
+func (panicPencil) ServePencil(ctx context.Context, op, resp *wire.PencilOp) error {
+	panic("band arithmetic exploded")
+}
+
+// TestPencilServePanicIsErrorResponse — a panic while serving a pencil
+// frame must cost one error response, not the node's conn loop: the
+// coordinator sees a RemoteError and the connection still serves pings.
+func TestPencilServePanicIsErrorResponse(t *testing.T) {
+	node, err := Listen("127.0.0.1:0", NodeConfig{
+		Exec:   planExecutor(plancache.New(4)),
+		Pencil: panicPencil{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	reg := NewRegistry("coordinator", []string{node.Addr()}, RegistryConfig{})
+	client, err := NewClient(reg, ClientConfig{
+		Self:  "coordinator",
+		Local: planExecutor(plancache.New(4)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	transport := &PencilTransport{Client: client, Self: "coordinator"}
+
+	op := &wire.PencilOp{Sub: wire.PencilOpen, Dims: 2, Rows: 4, Cols: 4, ColN: 2, Job: 1}
+	var resp wire.PencilOp
+	_, _, err = transport.Call(context.Background(), node.Addr(), op, &resp)
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("err = %v, want a remote error naming the panic", err)
+	}
+	if _, err := client.Ping(context.Background(), node.Addr()); err != nil {
+		t.Fatalf("node no longer serves pings after a pencil panic: %v", err)
+	}
+}
+
 // TestPencilClusterV1PeerRefused pins the version negotiation: a peer
 // whose pong does not advertise wire v2 is refused before any pencil
 // frame is sent, with an error saying why.

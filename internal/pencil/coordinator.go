@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"sync/atomic"
 	"time"
 
@@ -60,8 +61,11 @@ type Source interface {
 // Sink receives the output: WriteBand stores the nrows x ncols
 // row-major shard covering rows [rowLo, rowLo+nrows) of columns
 // [colLo, colLo+ncols). The coordinator never writes the same cell
-// twice in one run, and on error it writes nothing at all for the
-// failed run.
+// twice within one attempt, and never interleaves partial new data
+// into a cell: writes for a wave start only after the whole wave
+// succeeded, and a run re-planned after a peer capacity rejection
+// (Stats.CapRetries) rewrites cells from the abandoned attempt with
+// identical values.
 type Sink interface {
 	WriteBand(rowLo, nrows, colLo, ncols int, data []complex128) error
 }
@@ -137,10 +141,21 @@ type Stats struct {
 	WireBytesRecv  int64   `json:"wire_bytes_recv"`
 	CommFloorBytes int64   `json:"comm_floor_bytes"`
 	RooflineRatio  float64 `json:"roofline_ratio"`
+	// CapRetries counts re-plans with narrower column bands after a
+	// worker rejected an open on its memory cap (a peer configured with
+	// a smaller cap than this coordinator's).
+	CapRetries int `json:"cap_retries,omitempty"`
 }
 
-// jobSeq mints process-unique job IDs.
+// jobSeq mints job IDs. Workers key band state by job ID alone, so IDs
+// must be unique across every coordinator that might share a worker,
+// not just within one process: every node serves /v1/fft2d, and two
+// nodes coordinating concurrently with aligned counters (e.g. after a
+// restart) would collide on "job already open". The sequence therefore
+// starts at a per-process random offset instead of 0.
 var jobSeq atomic.Uint64
+
+func init() { jobSeq.Store(rand.Uint64()) }
 
 // run carries one run's schedule and accounting.
 type run struct {
@@ -175,17 +190,10 @@ func Run(ctx context.Context, cfg Config, src Source, sink Sink) (Stats, error) 
 	if cfg.MemCap <= 0 {
 		cfg.MemCap = DefaultMemCap
 	}
-	r, err := plan(cfg)
+	r, err := plan(cfg, 0)
 	if err != nil {
 		return Stats{}, err
 	}
-	sp := obs.StartChild(ctx, "pencil.run").SetCat(obs.CatCluster).
-		SetDetail(fmt.Sprintf("shape=%dx%d dims=%d workers=%d bands=%d waves=%d",
-			r.rows, r.cols, cfg.Shape.Dims(), len(cfg.Workers), r.bands, r.waves))
-	defer sp.End()
-	r.span = sp
-	ctx = obs.WithSpan(ctx, sp)
-
 	if cfg.Metrics != nil {
 		if cfg.Shape.Dims() == 3 {
 			cfg.Metrics.runs3D.Add(1)
@@ -193,14 +201,50 @@ func Run(ctx context.Context, cfg Config, src Source, sink Sink) (Stats, error) 
 			cfg.Metrics.runs2D.Add(1)
 		}
 	}
-	if err := r.execute(ctx, src, sink); err != nil {
+	// plan sizes column bands against this coordinator's own cap, but a
+	// peer started with a smaller cap rejects the open. Those
+	// rejections are curable: re-plan with bands narrowed to half and
+	// re-run until they fit the smallest peer or cannot narrow further.
+	// A retried attempt rewrites sink cells from the abandoned one with
+	// identical values (same plans, same per-element order), so the
+	// retry is invisible in the output.
+	retries := 0
+	for {
+		r.stats.CapRetries = retries
+		err := r.runOnce(ctx, src, sink)
+		if err == nil {
+			return r.stats, nil
+		}
+		if IsBandCapMsg(err.Error()) && r.bandCols > 1 {
+			if nr, perr := plan(cfg, r.bandCols/2); perr == nil {
+				r = nr
+				retries++
+				if cfg.Metrics != nil {
+					cfg.Metrics.capRetries.Add(1)
+				}
+				continue
+			}
+		}
 		if cfg.Metrics != nil {
 			cfg.Metrics.errors.Add(1)
 		}
-		r.span.SetDetail("error: " + err.Error())
 		return Stats{}, err
 	}
-	r.stats.Workers = len(cfg.Workers)
+}
+
+// runOnce executes one planned attempt end to end, filling r.stats.
+func (r *run) runOnce(ctx context.Context, src Source, sink Sink) error {
+	sp := obs.StartChild(ctx, "pencil.run").SetCat(obs.CatCluster).
+		SetDetail(fmt.Sprintf("shape=%dx%d dims=%d workers=%d bands=%d waves=%d retries=%d",
+			r.rows, r.cols, r.cfg.Shape.Dims(), len(r.cfg.Workers), r.bands, r.waves, r.stats.CapRetries))
+	defer sp.End()
+	r.span = sp
+	ctx = obs.WithSpan(ctx, sp)
+	if err := r.execute(ctx, src, sink); err != nil {
+		sp.SetDetail("error: " + err.Error())
+		return err
+	}
+	r.stats.Workers = len(r.cfg.Workers)
 	r.stats.Bands = r.bands
 	r.stats.Waves = r.waves
 	r.stats.ChunkRows = r.chunkRows
@@ -208,12 +252,13 @@ func Run(ctx context.Context, cfg Config, src Source, sink Sink) (Stats, error) 
 	r.stats.RooflineRatio = roofline.Ratio(
 		float64(r.stats.WireBytesSent+r.stats.WireBytesRecv),
 		float64(r.stats.CommFloorBytes))
-	return r.stats, nil
+	return nil
 }
 
 // plan sizes the schedule against the memory cap and the wire's
-// payload bound.
-func plan(cfg Config) (*run, error) {
+// payload bound. maxBandCols, when positive, narrows the column bands
+// below what the cap allows — the cap-rejection retry path.
+func plan(cfg Config, maxBandCols int) (*run, error) {
 	rows, cols := cfg.Shape.Rows, cfg.Shape.Cols
 	p := len(cfg.Workers)
 	cap16 := cfg.MemCap / 16 // cap in complex128 samples
@@ -224,6 +269,9 @@ func plan(cfg Config) (*run, error) {
 	bandCols := int(cap16/int64(rows) - 1)
 	if evenSplit := (cols + p - 1) / p; bandCols > evenSplit {
 		bandCols = evenSplit
+	}
+	if maxBandCols > 0 && bandCols > maxBandCols {
+		bandCols = maxBandCols
 	}
 	if bandCols < 1 {
 		return nil, fmt.Errorf("pencil: cap %d cannot hold one %d-row column band", cfg.MemCap, rows)

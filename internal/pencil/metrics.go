@@ -16,10 +16,11 @@ import (
 // rollup reconciles exactly against the metrics deltas (pinned by
 // TestRunSpansReconcileWithMetrics).
 type Metrics struct {
-	runs2D atomic.Int64
-	runs3D atomic.Int64
-	errors atomic.Int64
-	waves  atomic.Int64
+	runs2D     atomic.Int64
+	runs3D     atomic.Int64
+	errors     atomic.Int64
+	waves      atomic.Int64
+	capRetries atomic.Int64
 
 	rpcOpen    atomic.Int64
 	rpcRows    atomic.Int64
@@ -35,10 +36,11 @@ type Metrics struct {
 
 // MetricsSnapshot is a point-in-time copy of the pencil counters.
 type MetricsSnapshot struct {
-	Runs2D int64 `json:"runs_2d"`
-	Runs3D int64 `json:"runs_3d"`
-	Errors int64 `json:"errors"`
-	Waves  int64 `json:"waves"`
+	Runs2D     int64 `json:"runs_2d"`
+	Runs3D     int64 `json:"runs_3d"`
+	Errors     int64 `json:"errors"`
+	Waves      int64 `json:"waves"`
+	CapRetries int64 `json:"cap_retries"`
 
 	RPCsOpen    int64 `json:"rpcs_open"`
 	RPCsRows    int64 `json:"rpcs_rows"`
@@ -62,6 +64,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		Runs3D:         m.runs3D.Load(),
 		Errors:         m.errors.Load(),
 		Waves:          m.waves.Load(),
+		CapRetries:     m.capRetries.Load(),
 		RPCsOpen:       m.rpcOpen.Load(),
 		RPCsRows:       m.rpcRows.Load(),
 		RPCsDeposit:    m.rpcDeposit.Load(),

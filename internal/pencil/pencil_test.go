@@ -294,6 +294,113 @@ func TestWorkerRejectsOverCapAndExpires(t *testing.T) {
 	}
 }
 
+// TestOpenRejectsOverflowShape — hostile uint32 shape fields used to
+// wrap the 16*rows*(colN+1) byte estimate to 0, slip past the cap check
+// and panic the make (crashing the serving conn loop). The open must
+// reject instead, charging nothing.
+func TestOpenRejectsOverflowShape(t *testing.T) {
+	w := NewWorker(WorkerConfig{MemCap: 1 << 20})
+	op := &wire.PencilOp{Sub: wire.PencilOpen, Dims: 2, Rows: 1 << 31, Cols: 1, ColN: 1<<31 - 1, Job: 7}
+	var resp wire.PencilOp
+	err := w.ServePencil(context.Background(), op, &resp)
+	if err == nil {
+		t.Fatal("overflow-sized open accepted")
+	}
+	if !IsBandCapMsg(err.Error()) {
+		t.Fatalf("overflow rejection not classified as band-cap: %v", err)
+	}
+	if st := w.Stats(); st.OpenJobs != 0 || st.BytesInUse != 0 || st.Rejected != 1 {
+		t.Fatalf("stats after overflow rejection: %+v", st)
+	}
+}
+
+// TestBusyMsgClassification pins the message-string classification the
+// serving layer and the coordinator's cap retry rely on — remote
+// errors cross the wire as bare strings.
+func TestBusyMsgClassification(t *testing.T) {
+	cases := []struct {
+		msg       string
+		busy, cap bool
+	}{
+		{"pencil busy: 64 jobs already open", true, false},
+		{"pencil busy: band needs 4096 bytes, 0 of 1024 in use", true, true},
+		{"pencil busy: band 8x512 cannot fit cap 1024", true, true},
+		{"pencil busy: job 9 expired or not open", true, false},
+		{"pencil: shape 0x4 has a side < 1", false, false},
+		{"pencil: dims 4 not 2 or 3", false, false},
+		// Wrapped in coordinator and transport context, as the server sees it.
+		{"pencil: open on w1: remote error from w1: pencil busy: band needs 1 bytes, 0 of 0 in use", true, true},
+	}
+	for _, tc := range cases {
+		if got := IsBusyMsg(tc.msg); got != tc.busy {
+			t.Errorf("IsBusyMsg(%q) = %v, want %v", tc.msg, got, tc.busy)
+		}
+		if got := IsBandCapMsg(tc.msg); got != tc.cap {
+			t.Errorf("IsBandCapMsg(%q) = %v, want %v", tc.msg, got, tc.cap)
+		}
+	}
+}
+
+// TestRunNarrowsBandsForSmallerPeerCap — the coordinator plans bands
+// against its own cap, but here the worker was started with a cap that
+// holds only a 2-column band (16*8*(2+1) = 384 bytes <= 400). Each
+// wider open is rejected; the run must narrow bands, finish, and stay
+// bit-identical to Plan2D.
+func TestRunNarrowsBandsForSmallerPeerCap(t *testing.T) {
+	rows, cols := 8, 16
+	cache := plancache.New(16)
+	workers := map[string]*Worker{"w0": NewWorker(WorkerConfig{MemCap: 400, Plans: cache})}
+	m := &Metrics{}
+	cfg := Config{
+		Shape:     Shape2D(rows, cols),
+		Workers:   []string{"w0"},
+		Transport: NewLocalTransport(true, workers),
+		MemCap:    DefaultMemCap,
+		Metrics:   m,
+	}
+	x := randComplex(rows*cols, 21)
+	out := make([]complex128, len(x))
+	stats, err := Run(context.Background(), cfg,
+		SliceSource{Data: x, Cols: cols}, SliceSink{Data: out, Cols: cols})
+	if err != nil {
+		t.Fatalf("Run against a smaller peer cap: %v", err)
+	}
+	if stats.CapRetries == 0 {
+		t.Fatalf("run never narrowed bands: %+v", stats)
+	}
+	if stats.BandCols > 2 {
+		t.Fatalf("final band width %d wider than the peer cap holds", stats.BandCols)
+	}
+	snap := m.Snapshot()
+	if snap.CapRetries != int64(stats.CapRetries) || snap.Errors != 0 || snap.Runs2D != 1 {
+		t.Fatalf("metrics %+v vs stats %+v", snap, stats)
+	}
+	p, err := fft.NewPlan2D(rows, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]complex128, len(x))
+	p.Transform(want, x)
+	for i := range out {
+		//fftlint:ignore floatcmp a cap-narrowed retry must still match Plan2D bit for bit
+		if out[i] != want[i] {
+			t.Fatalf("cap-narrowed output differs at %d: %v vs %v", i, out[i], want[i])
+		}
+	}
+	if st := workers["w0"].Stats(); st.Rejected == 0 || st.OpenJobs != 0 || st.BytesInUse != 0 {
+		t.Fatalf("worker stats after narrowed run: %+v", st)
+	}
+}
+
+// TestJobSeqSeededNonZero — workers key band state by job ID alone, so
+// coordinators on different nodes must mint from independent random
+// offsets, not a shared zero origin.
+func TestJobSeqSeededNonZero(t *testing.T) {
+	if jobSeq.Load() == 0 {
+		t.Fatal("jobSeq starts at 0; job IDs must start at a per-process random offset")
+	}
+}
+
 func TestSplitRows(t *testing.T) {
 	for _, tc := range []struct{ rows, p int }{{10, 3}, {3, 5}, {16, 4}, {1, 1}} {
 		slabs := SplitRows(tc.rows, tc.p)

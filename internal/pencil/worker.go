@@ -25,12 +25,34 @@ package pencil
 import (
 	"context"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/cluster/wire"
 	"repro/internal/fft"
 )
+
+// Worker rejections that depend on load or elapsed time — the memory
+// cap, the job limit, a TTL-reclaimed band — carry busyPrefix so they
+// can be classified from the message alone: remote errors cross the
+// wire as bare strings, and a transient rejection must not be reported
+// to HTTP callers as their own error. bandCapNeedle marks the subset
+// caused by the band memory cap specifically — the rejections a
+// coordinator can cure by re-planning with narrower column bands.
+const (
+	busyPrefix    = "pencil busy:"
+	bandCapNeedle = busyPrefix + " band"
+)
+
+// IsBusyMsg reports whether msg (a worker error, possibly wrapped in
+// transport context) is a transient capacity or reclaimed-state
+// rejection — retryable server-side, not a caller error.
+func IsBusyMsg(msg string) bool { return strings.Contains(msg, busyPrefix) }
+
+// IsBandCapMsg reports whether msg is a band memory-cap rejection —
+// the case Run retries with narrower bands.
+func IsBandCapMsg(msg string) bool { return strings.Contains(msg, bandCapNeedle) }
 
 // PlanSource supplies the 1D and 2D plans the worker transforms with.
 // *plancache.Cache satisfies it, so a node's pencil worker shares the
@@ -43,8 +65,8 @@ type PlanSource interface {
 // freshPlans is the fallback PlanSource building uncached plans.
 type freshPlans struct{}
 
-func (freshPlans) AnyPlan(n int) (*fft.AnyPlan, error)           { return fft.NewAnyPlan(n) }
-func (freshPlans) Plan2D(rows, cols int) (*fft.Plan2D, error)    { return fft.NewPlan2D(rows, cols) }
+func (freshPlans) AnyPlan(n int) (*fft.AnyPlan, error)        { return fft.NewAnyPlan(n) }
+func (freshPlans) Plan2D(rows, cols int) (*fft.Plan2D, error) { return fft.NewPlan2D(rows, cols) }
 
 // WorkerConfig bounds one node's pencil executor.
 type WorkerConfig struct {
@@ -209,8 +231,6 @@ func (w *Worker) open(op *wire.PencilOp) error {
 	if colN < 1 {
 		return fmt.Errorf("pencil: open with band width %d", colN)
 	}
-	// Band plus the column-FFT scratch, both complex128.
-	need := int64(16) * int64(rows) * int64(colN+1)
 	now := time.Now()
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -220,11 +240,22 @@ func (w *Worker) open(op *wire.PencilOp) error {
 	}
 	if len(w.jobs) >= w.cfg.MaxJobs {
 		w.rejected++
-		return fmt.Errorf("pencil: %d jobs already open", len(w.jobs))
+		return fmt.Errorf("%s %d jobs already open", busyPrefix, len(w.jobs))
 	}
+	// The band plus the column-FFT scratch, both complex128, costs
+	// 16*rows*(colN+1) bytes. Rows and ColN arrive as untrusted uint32
+	// wire fields, so bound rows by division before multiplying: the
+	// straight product wraps int64 for hostile shapes (e.g. Rows=2^31,
+	// ColN=2^31-1 gives 0), slipping past the cap check into a make
+	// that panics the serving process.
+	if int64(rows) > w.cfg.MemCap/16/int64(colN+1) {
+		w.rejected++
+		return fmt.Errorf("%s band %dx%d cannot fit cap %d", busyPrefix, rows, colN, w.cfg.MemCap)
+	}
+	need := int64(16) * int64(rows) * int64(colN+1)
 	if w.inUse+need > w.cfg.MemCap {
 		w.rejected++
-		return fmt.Errorf("pencil: band needs %d bytes, %d of %d in use", need, w.inUse, w.cfg.MemCap)
+		return fmt.Errorf("%s band needs %d bytes, %d of %d in use", busyPrefix, need, w.inUse, w.cfg.MemCap)
 	}
 	w.jobs[op.Job] = &wjob{
 		rows:    rows,
@@ -250,7 +281,9 @@ func (w *Worker) lookup(id uint64) (*wjob, error) {
 	w.sweepLocked(now)
 	j, ok := w.jobs[id]
 	if !ok {
-		return nil, fmt.Errorf("pencil: job %d not open", id)
+		// Most often the TTL sweep reclaimed the band while the
+		// coordinator stalled — transient state, hence busy-classified.
+		return nil, fmt.Errorf("%s job %d expired or not open", busyPrefix, id)
 	}
 	j.expires = now.Add(w.cfg.JobTTL)
 	return j, nil
@@ -364,7 +397,7 @@ func (w *Worker) close(op *wire.PencilOp) error {
 	defer w.mu.Unlock()
 	j, ok := w.jobs[op.Job]
 	if !ok {
-		return fmt.Errorf("pencil: job %d not open", op.Job)
+		return fmt.Errorf("%s job %d expired or not open", busyPrefix, op.Job)
 	}
 	delete(w.jobs, op.Job)
 	w.inUse -= j.need

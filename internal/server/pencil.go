@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"net/http"
 
@@ -55,18 +56,29 @@ type FFT2DResponse struct {
 	Output            []Complex `json:"output"`
 }
 
-// pencilWorkers returns the schedule for one run: the ring members in
-// cluster mode (every ready node, self included), the in-process worker
-// otherwise.
-func (s *Server) pencilWorkers() []string {
-	if s.cluster != nil {
-		if members := s.cluster.Registry().Ring().Members(); len(members) > 0 {
-			return members
-		}
-		// Ring empty (every peer marked down): serve on self alone.
-		return []string{s.cluster.Registry().Self()}
+// pencilWorkers returns the schedule for one run: in cluster mode the
+// ring members that can actually serve pencil shards — self plus every
+// peer that advertised wire v2 — and the in-process worker otherwise.
+// Pencil frames are v2-only, so one v1-only straggler in the ring must
+// shrink the schedule, not fail every run.
+func (s *Server) pencilWorkers(ctx context.Context) []string {
+	if s.cluster == nil {
+		return []string{localPencilWorker}
 	}
-	return []string{localPencilWorker}
+	self := s.cluster.Registry().Self()
+	members := s.cluster.Registry().Ring().Members()
+	workers := make([]string, 0, len(members))
+	for _, m := range members {
+		if m == self || s.cluster.PencilCapable(ctx, m) {
+			workers = append(workers, m)
+		}
+	}
+	if len(workers) == 0 {
+		// Ring empty (every peer marked down) or no capable member:
+		// serve on self alone.
+		return []string{self}
+	}
+	return workers
 }
 
 // handleFFT2D serves distributed 2D/3D pencil FFTs. The whole run is
@@ -107,7 +119,7 @@ func (s *Server) handleFFT2D(w http.ResponseWriter, r *http.Request) {
 	poolErr := s.pool.do(r.Context(), func() {
 		in := toComplex(req.Input)
 		out := make([]complex128, total)
-		workers := s.pencilWorkers()
+		workers := s.pencilWorkers(r.Context())
 		stats, err := pencil.Run(r.Context(), pencil.Config{
 			Shape:     shape,
 			Inverse:   req.Inverse,
@@ -118,11 +130,21 @@ func (s *Server) handleFFT2D(w http.ResponseWriter, r *http.Request) {
 		}, pencil.SliceSource{Data: in, Cols: shape.Cols}, pencil.SliceSink{Data: out, Cols: shape.Cols})
 		if err != nil {
 			var remote *cluster.RemoteError
-			if errors.As(err, &remote) {
-				// The peer rejected the run's shape or capacity; the same
-				// validation would fail anywhere, so it is the caller's error.
+			switch {
+			case errors.As(err, &remote) && pencil.IsBusyMsg(remote.Msg):
+				// The peer rejected on load or reclaimed state (memory
+				// cap, job limit, TTL expiry) — transient and retryable,
+				// not the caller's error.
+				runErr = unavailable("%s", remote.Msg)
+			case errors.As(err, &remote):
+				// The peer rejected the run's shape; the same validation
+				// would fail anywhere, so it is the caller's error.
 				runErr = badRequest("%s", remote.Msg)
-			} else {
+			case pencil.IsBusyMsg(err.Error()):
+				// The same transient rejections from the in-process
+				// worker (single-node mode has no RemoteError wrapper).
+				runErr = unavailable("%s", err.Error())
+			default:
 				runErr = err
 			}
 			return

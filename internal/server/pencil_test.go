@@ -2,11 +2,15 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 
+	"repro/internal/cluster"
+	"repro/internal/cluster/wire"
 	"repro/internal/fft"
 )
 
@@ -172,6 +176,109 @@ func TestFFT2DPencilValidation(t *testing.T) {
 			t.Fatalf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.want)
 		}
 	}
+}
+
+// errPencilTransport fails every pencil sub-operation with a fixed
+// error, standing in for a peer's rejection.
+type errPencilTransport struct{ err error }
+
+func (e errPencilTransport) Call(ctx context.Context, peer string, req, resp *wire.PencilOp) (int64, int64, error) {
+	return 0, 0, e.err
+}
+
+// TestFFT2DRemoteErrorStatusMapping — a peer's transient capacity
+// rejection (mem cap, job limit, TTL expiry) must map to 503, not 400:
+// only shape validation that would fail anywhere is the caller's error.
+func TestFFT2DRemoteErrorStatusMapping(t *testing.T) {
+	cases := []struct {
+		name string
+		msg  string
+		want int
+	}{
+		{"job limit", "pencil busy: 64 jobs already open", http.StatusServiceUnavailable},
+		{"expired job", "pencil busy: job 9 expired or not open", http.StatusServiceUnavailable},
+		{"validation", "pencil: dims 4 not 2 or 3", http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		s, ts := newTestServer(t, Config{})
+		s.pencilTransport = errPencilTransport{err: &cluster.RemoteError{Peer: "w1", Msg: tc.msg}}
+		in, _ := fft2dInput(t, 4, 4, 0, false, 1)
+		resp := postJSON(t, ts.URL+"/v1/fft2d", FFT2DRequest{Rows: 4, Cols: 4, Input: in})
+		eb := decode[errorBody](t, resp)
+		if resp.StatusCode != tc.want {
+			t.Fatalf("%s: status %d, want %d (%+v)", tc.name, resp.StatusCode, tc.want, eb)
+		}
+		if !strings.Contains(eb.Error, tc.msg) {
+			t.Fatalf("%s: error body %q does not carry the peer message", tc.name, eb.Error)
+		}
+	}
+}
+
+// TestFFT2DClusterSkipsV1Peer — one v1-only node in the ring (an old
+// binary: no pencil support, drops v2 frames) must be excluded from the
+// pencil schedule instead of failing every /v1/fft2d run.
+func TestFFT2DClusterSkipsV1Peer(t *testing.T) {
+	var servers []*Server
+	var nodes []*cluster.Node
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		s := New(Config{})
+		node, err := cluster.Listen("127.0.0.1:0", cluster.NodeConfig{
+			Exec:   s.ClusterExecutor(),
+			Ready:  func() bool { return !s.Draining() },
+			Pencil: s.PencilWorker(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers = append(servers, s)
+		nodes = append(nodes, node)
+		addrs = append(addrs, node.Addr())
+	}
+	oldServer := New(Config{})
+	oldNode, err := cluster.Listen("127.0.0.1:0", cluster.NodeConfig{
+		Exec:       oldServer.ClusterExecutor(),
+		Ready:      func() bool { return true },
+		WireV1Only: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs = append(addrs, oldNode.Addr())
+
+	reg := cluster.NewRegistry(addrs[0], []string{addrs[1], addrs[2]}, cluster.RegistryConfig{})
+	client, err := cluster.NewClient(reg, cluster.ClientConfig{
+		Self:  addrs[0],
+		Local: servers[0].ClusterExecutor(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	servers[0].SetCluster(client)
+	ts := httptest.NewServer(servers[0].Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		client.Close()
+		for _, n := range nodes {
+			_ = n.Close()
+		}
+		_ = oldNode.Close()
+		for _, s := range servers {
+			s.Close()
+		}
+		oldServer.Close()
+	})
+
+	in, want := fft2dInput(t, 8, 16, 0, false, 13)
+	resp := postJSON(t, ts.URL+"/v1/fft2d", FFT2DRequest{Rows: 8, Cols: 16, Input: in})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d with a v1 peer in the ring; want the peer excluded and 200", resp.StatusCode)
+	}
+	body := decode[FFT2DResponse](t, resp)
+	if !body.Distributed || body.Workers != 2 {
+		t.Fatalf("schedule used %d workers (distributed=%v); want the v1 peer excluded (2)", body.Workers, body.Distributed)
+	}
+	checkFFT2DOutput(t, "v1-excluded cluster", body.Output, want)
 }
 
 // TestRequestBodyLimit413 — satellite regression test: /v1/fft and

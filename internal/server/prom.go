@@ -151,6 +151,8 @@ func (m *Metrics) writePrometheus(w io.Writer, s Snapshot) error {
 		pw.Sample("fftd_pencil_errors_total", nil, float64(p.Errors))
 		pw.Header("fftd_pencil_waves_total", "counter", "Column-band waves executed (more waves than runs means out-of-core streaming).")
 		pw.Sample("fftd_pencil_waves_total", nil, float64(p.Waves))
+		pw.Header("fftd_pencil_cap_retries_total", "counter", "Pencil runs re-planned with narrower column bands after a peer memory-cap rejection.")
+		pw.Sample("fftd_pencil_cap_retries_total", nil, float64(p.CapRetries))
 
 		pw.Header("fftd_pencil_rpcs_total", "counter", "Pencil sub-operations issued by this node's coordinator, by stage.")
 		for _, st := range []struct {

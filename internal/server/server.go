@@ -248,6 +248,12 @@ func badRequest(format string, args ...any) error {
 	return &statusError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
 }
 
+// unavailable builds a 503-class statusError — transient server-side
+// conditions a client may retry, as distinct from caller errors.
+func unavailable(format string, args ...any) error {
+	return &statusError{status: http.StatusServiceUnavailable, msg: fmt.Sprintf(format, args...)}
+}
+
 // maxBodyBytes bounds a transform request body, derived from
 // MaxTransformLen: the JSON wire form of one complex sample
 // ("[<float>,<float>]") is under 64 bytes even at full float64
